@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the analysis kernels: pairwise interference
+//! precomputation, individual delay-bound evaluations, the discrete-event
+//! simulator and the ILP encoding of the Observation V.1 instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msmr_bench::{generate_case, paper_config, BENCH_SEED};
+use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_model::{JobId, JobSetBuilder, PreemptionPolicy, Time};
+use msmr_sched::{PairwiseIlp, Sdca};
+use msmr_sim::{PriorityMap, Simulator};
+use std::hint::black_box;
+
+/// The Observation V.1 instance used by the ILP benchmark.
+fn observation_v1() -> msmr_model::JobSet {
+    let mut b = JobSetBuilder::new();
+    b.stage("s1", 2, PreemptionPolicy::Preemptive)
+        .stage("s2", 2, PreemptionPolicy::Preemptive)
+        .stage("s3", 2, PreemptionPolicy::Preemptive);
+    let rows: [([u64; 3], [usize; 3], u64); 4] = [
+        ([5, 7, 15], [0, 1, 1], 60),
+        ([7, 9, 17], [1, 1, 1], 55),
+        ([6, 8, 30], [0, 0, 0], 55),
+        ([2, 4, 3], [1, 0, 0], 50),
+    ];
+    for (times, resources, deadline) in rows {
+        b.job()
+            .deadline(Time::new(deadline))
+            .stage_time(Time::new(times[0]), resources[0])
+            .stage_time(Time::new(times[1]), resources[1])
+            .stage_time(Time::new(times[2]), resources[2])
+            .add()
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let jobs = generate_case(&paper_config(), BENCH_SEED);
+    let analysis = Analysis::new(&jobs);
+    let order: Vec<JobId> = jobs.job_ids().collect();
+    let lowest = *order.last().expect("non-empty");
+    let ctx = InterferenceSets::from_total_order(&order, lowest);
+
+    c.bench_function("analysis_precompute_100_jobs", |b| {
+        b.iter(|| Analysis::new(black_box(&jobs)));
+    });
+    c.bench_function("delay_bound_eq6_lowest_priority", |b| {
+        b.iter(|| {
+            analysis.delay_bound(
+                black_box(DelayBoundKind::RefinedPreemptive),
+                black_box(lowest),
+                black_box(&ctx),
+            )
+        });
+    });
+    c.bench_function("delay_bound_eq10_lowest_priority", |b| {
+        b.iter(|| {
+            analysis.delay_bound(
+                black_box(DelayBoundKind::EdgeHybrid),
+                black_box(lowest),
+                black_box(&ctx),
+            )
+        });
+    });
+    c.bench_function("sdca_full_test", |b| {
+        let sdca = Sdca::edge();
+        b.iter(|| sdca.is_feasible(black_box(&analysis), black_box(lowest), black_box(&ctx)));
+    });
+    c.bench_function("simulate_100_jobs_global_order", |b| {
+        let priorities = PriorityMap::from_global_order(&jobs, &order);
+        let simulator = Simulator::new(&jobs);
+        b.iter(|| simulator.run(black_box(&priorities)));
+    });
+    c.bench_function("ilp_observation_v1", |b| {
+        let instance = observation_v1();
+        b.iter(|| {
+            PairwiseIlp::new(DelayBoundKind::RefinedPreemptive).assign(black_box(&instance))
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

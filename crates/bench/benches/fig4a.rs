@@ -1,0 +1,47 @@
+//! Figure 4a benchmark: acceptance ratio versus the heaviness threshold β.
+//!
+//! Prints the Fig. 4a data series (at [`BENCH_CASES`] test cases per point)
+//! and then benchmarks the full five-approach evaluation of one test case
+//! per β value.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msmr_bench::{generate_case, paper_config, BENCH_CASES, BENCH_SEED};
+use msmr_experiments::{evaluate_all, AcceptanceExperiment, Approach};
+use std::hint::black_box;
+
+const BETAS: [f64; 4] = [0.05, 0.10, 0.15, 0.20];
+
+fn print_figure_data() {
+    let experiment = AcceptanceExperiment::new(BENCH_CASES, BENCH_SEED);
+    println!("\nFigure 4a data ({BENCH_CASES} cases per point):");
+    println!("beta    DM    DMR   OPDCA  OPT   DCMP");
+    for beta in BETAS {
+        let row = experiment
+            .run(&paper_config().with_beta(beta))
+            .expect("valid configuration");
+        println!(
+            "{beta:<7.2}{:<6.1}{:<6.1}{:<7.1}{:<6.1}{:<6.1}",
+            row.acceptance(Approach::Dm),
+            row.acceptance(Approach::Dmr),
+            row.acceptance(Approach::Opdca),
+            row.acceptance(Approach::Opt),
+            row.acceptance(Approach::Dcmp),
+        );
+    }
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    print_figure_data();
+    let mut group = c.benchmark_group("fig4a_evaluate_case");
+    group.sample_size(10);
+    for beta in BETAS {
+        let jobs = generate_case(&paper_config().with_beta(beta), BENCH_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &jobs, |b, jobs| {
+            b.iter(|| evaluate_all(black_box(jobs), 50_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 4b benchmark: acceptance ratio versus the per-stage heaviness
+//! ratios `[h1, h2, h3]`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msmr_bench::{generate_case, paper_config, BENCH_CASES, BENCH_SEED};
+use msmr_experiments::{evaluate_all, AcceptanceExperiment, Approach};
+use std::hint::black_box;
+
+const RATIOS: [[f64; 3]; 4] = [
+    [0.01, 0.01, 0.01],
+    [0.05, 0.05, 0.05],
+    [0.10, 0.10, 0.01],
+    [0.01, 0.15, 0.01],
+];
+
+fn print_figure_data() {
+    let experiment = AcceptanceExperiment::new(BENCH_CASES, BENCH_SEED);
+    println!("\nFigure 4b data ({BENCH_CASES} cases per point):");
+    println!("[h1,h2,h3]            DM    DMR   OPDCA  OPT   DCMP");
+    for ratios in RATIOS {
+        let row = experiment
+            .run(&paper_config().with_heavy_ratios(ratios))
+            .expect("valid configuration");
+        println!(
+            "[{:.2},{:.2},{:.2}]      {:<6.1}{:<6.1}{:<7.1}{:<6.1}{:<6.1}",
+            ratios[0],
+            ratios[1],
+            ratios[2],
+            row.acceptance(Approach::Dm),
+            row.acceptance(Approach::Dmr),
+            row.acceptance(Approach::Opdca),
+            row.acceptance(Approach::Opt),
+            row.acceptance(Approach::Dcmp),
+        );
+    }
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    print_figure_data();
+    let mut group = c.benchmark_group("fig4b_evaluate_case");
+    group.sample_size(10);
+    for (index, ratios) in RATIOS.iter().enumerate() {
+        let jobs = generate_case(&paper_config().with_heavy_ratios(*ratios), BENCH_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(index), &jobs, |b, jobs| {
+            b.iter(|| evaluate_all(black_box(jobs), 50_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4c benchmark: acceptance ratio versus the taskset heaviness
+//! bound γ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msmr_bench::{generate_case, paper_config, BENCH_CASES, BENCH_SEED};
+use msmr_experiments::{evaluate_all, AcceptanceExperiment, Approach};
+use std::hint::black_box;
+
+const GAMMAS: [f64; 4] = [0.6, 0.7, 0.8, 0.9];
+
+fn print_figure_data() {
+    let experiment = AcceptanceExperiment::new(BENCH_CASES, BENCH_SEED);
+    println!("\nFigure 4c data ({BENCH_CASES} cases per point):");
+    println!("gamma   DM    DMR   OPDCA  OPT   DCMP");
+    for gamma in GAMMAS {
+        let row = experiment
+            .run(&paper_config().with_gamma(gamma))
+            .expect("valid configuration");
+        println!(
+            "{gamma:<8.1}{:<6.1}{:<6.1}{:<7.1}{:<6.1}{:<6.1}",
+            row.acceptance(Approach::Dm),
+            row.acceptance(Approach::Dmr),
+            row.acceptance(Approach::Opdca),
+            row.acceptance(Approach::Opt),
+            row.acceptance(Approach::Dcmp),
+        );
+    }
+}
+
+fn bench_fig4c(c: &mut Criterion) {
+    print_figure_data();
+    let mut group = c.benchmark_group("fig4c_evaluate_case");
+    group.sample_size(10);
+    for gamma in GAMMAS {
+        let jobs = generate_case(&paper_config().with_gamma(gamma), BENCH_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &jobs, |b, jobs| {
+            b.iter(|| evaluate_all(black_box(jobs), 50_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4c);
+criterion_main!(benches);

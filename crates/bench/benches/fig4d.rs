@@ -1,0 +1,56 @@
+//! Figure 4d benchmark: rejected heaviness of the admission-controller
+//! variants of OPDCA, DMR and DM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msmr_bench::{generate_case, paper_config, BENCH_CASES, BENCH_SEED};
+use msmr_experiments::{admission_rejects, Approach, RejectedHeavinessExperiment};
+use msmr_workload::EdgeWorkloadConfig;
+use std::hint::black_box;
+
+fn settings() -> Vec<(&'static str, EdgeWorkloadConfig)> {
+    let base = paper_config();
+    vec![
+        ("beta=0.01", base.clone().with_beta(0.01)),
+        ("beta=0.2", base.clone().with_beta(0.2)),
+        ("h=0.01", base.clone().with_heavy_ratios([0.01, 0.01, 0.01])),
+        ("h1=h2=0.1", base.clone().with_heavy_ratios([0.10, 0.10, 0.01])),
+        ("gamma=0.6", base.clone().with_gamma(0.6)),
+        ("gamma=0.9", base.with_gamma(0.9)),
+    ]
+}
+
+fn print_figure_data() {
+    let experiment = RejectedHeavinessExperiment::new(BENCH_CASES, BENCH_SEED);
+    println!("\nFigure 4d data ({BENCH_CASES} cases per setting, rejected heaviness %):");
+    println!("setting              OPDCA   DMR     DM");
+    for (label, config) in settings() {
+        let row = experiment.run(label, &config).expect("valid configuration");
+        println!(
+            "{label:<21}{:<8.2}{:<8.2}{:<8.2}",
+            row.rejected(Approach::Opdca),
+            row.rejected(Approach::Dmr),
+            row.rejected(Approach::Dm),
+        );
+    }
+}
+
+fn bench_fig4d(c: &mut Criterion) {
+    print_figure_data();
+    let mut group = c.benchmark_group("fig4d_admission_control");
+    group.sample_size(10);
+    // Benchmark the heaviest setting for each admission controller.
+    let jobs = generate_case(&paper_config().with_beta(0.2), BENCH_SEED);
+    for approach in [Approach::Opdca, Approach::Dmr, Approach::Dm] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| admission_rejects(black_box(approach), black_box(jobs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4d);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Helpers shared by the admission-controller experiments (Fig. 4d).
+
+use msmr_model::{JobId, JobSet, StageId};
+
+/// Total heaviness of one job across all stages, `Σ_j P_{i,j} / D_i`.
+///
+/// # Panics
+///
+/// Panics if the job id is out of range.
+#[must_use]
+pub fn job_heaviness(jobs: &JobSet, job: JobId) -> f64 {
+    (0..jobs.stage_count())
+        .map(|j| jobs.job(job).heaviness(StageId::new(j)))
+        .sum()
+}
+
+/// The *rejected heaviness* metric of Fig. 4d: the heaviness of the
+/// rejected jobs as a percentage of the heaviness of all jobs.
+///
+/// Returns 0 when the job set is empty.
+///
+/// # Panics
+///
+/// Panics if a rejected id is out of range.
+#[must_use]
+pub fn rejected_heaviness_percent(jobs: &JobSet, rejected: &[JobId]) -> f64 {
+    let total: f64 = jobs.job_ids().map(|i| job_heaviness(jobs, i)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let rejected_sum: f64 = rejected.iter().map(|&i| job_heaviness(jobs, i)).sum();
+    100.0 * rejected_sum / total
+}
+
+/// The accepted-job ratio as a percentage.
+#[must_use]
+pub fn acceptance_percent(accepted: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 100.0;
+    }
+    100.0 * accepted as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+
+    fn jobs() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 1, PreemptionPolicy::Preemptive)
+            .stage("b", 1, PreemptionPolicy::Preemptive);
+        // heaviness 0.1 + 0.2 = 0.3
+        b.job()
+            .deadline(Time::new(100))
+            .stage_time(Time::new(10), 0)
+            .stage_time(Time::new(20), 0)
+            .add()
+            .unwrap();
+        // heaviness 0.3 + 0.4 = 0.7
+        b.job()
+            .deadline(Time::new(100))
+            .stage_time(Time::new(30), 0)
+            .stage_time(Time::new(40), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn job_heaviness_sums_stages() {
+        let jobs = jobs();
+        assert!((job_heaviness(&jobs, JobId::new(0)) - 0.3).abs() < 1e-12);
+        assert!((job_heaviness(&jobs, JobId::new(1)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_heaviness_is_a_percentage_of_the_total() {
+        let jobs = jobs();
+        assert!((rejected_heaviness_percent(&jobs, &[]) - 0.0).abs() < 1e-12);
+        assert!((rejected_heaviness_percent(&jobs, &[JobId::new(0)]) - 30.0).abs() < 1e-9);
+        assert!((rejected_heaviness_percent(&jobs, &[JobId::new(1)]) - 70.0).abs() < 1e-9);
+        assert!(
+            (rejected_heaviness_percent(&jobs, &[JobId::new(0), JobId::new(1)]) - 100.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn acceptance_percent_handles_edge_cases() {
+        assert!((acceptance_percent(0, 0) - 100.0).abs() < 1e-12);
+        assert!((acceptance_percent(3, 4) - 75.0).abs() < 1e-12);
+        assert!((acceptance_percent(0, 5) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! DCMP — the deadline-decomposition baseline of the evaluation (§VI-A).
+
+use msmr_model::{HeavinessProfile, JobId, JobSet, StageId, Time};
+use msmr_sim::{PriorityMap, SimulationOutcome, Simulator};
+
+/// The decomposition baseline: the end-to-end deadline of every job is
+/// split into per-stage *virtual deadlines* proportional to the heaviness
+/// of the resource the job uses at each stage
+/// (`D_i · Υ_{i,j} / Σ_j Υ_{i,j}`), per-stage priorities are assigned in
+/// inverse order of those virtual deadlines (deadline-monotonic), and the
+/// resulting schedule is *simulated* on the `msmr-sim` engine. A test case
+/// is accepted when every decomposed job meets its virtual deadline at
+/// every stage (which also implies the end-to-end deadline, since the
+/// virtual deadlines sum to `D_i`).
+///
+/// The paper uses this baseline because no analytical schedulability test
+/// applies to the decomposed jobs in this setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dcmp;
+
+impl Dcmp {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Dcmp
+    }
+
+    /// Virtual deadline of every job at every stage,
+    /// `D_i · Υ_{i,j} / Σ_j Υ_{i,j}` (indexed `[job][stage]`).
+    #[must_use]
+    pub fn virtual_deadlines(&self, jobs: &JobSet) -> Vec<Vec<Time>> {
+        jobs.job_ids()
+            .map(|i| {
+                let upsilons: Vec<f64> = jobs
+                    .pipeline()
+                    .stage_ids()
+                    .map(|j| HeavinessProfile::upsilon(jobs, i, j))
+                    .collect();
+                let total: f64 = upsilons.iter().sum();
+                let deadline = jobs.job(i).deadline().as_ticks() as f64;
+                upsilons
+                    .iter()
+                    .map(|&u| {
+                        let share = if total > 0.0 { u / total } else { 0.0 };
+                        Time::new((deadline * share).round().max(1.0) as u64)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the baseline on a job set: decomposition, per-stage
+    /// deadline-monotonic priorities and simulation.
+    #[must_use]
+    pub fn evaluate(&self, jobs: &JobSet) -> DcmpOutcome {
+        let virtual_deadlines = self.virtual_deadlines(jobs);
+        // Per-stage priority value = virtual deadline (smaller = higher
+        // priority), exactly "priorities in the inverse order of the
+        // deadline".
+        let values: Vec<Vec<u64>> = jobs
+            .pipeline()
+            .stage_ids()
+            .map(|j| {
+                jobs.job_ids()
+                    .map(|i| virtual_deadlines[i.index()][j.index()].as_ticks())
+                    .collect()
+            })
+            .collect();
+        let priorities = PriorityMap::from_values(jobs, values);
+        let simulation = Simulator::new(jobs).run(&priorities);
+        let accepted = jobs.job_ids().all(|i| {
+            Self::meets_virtual_deadlines(jobs, &virtual_deadlines, &simulation, i)
+        });
+        DcmpOutcome {
+            virtual_deadlines,
+            priorities,
+            simulation,
+            accepted,
+        }
+    }
+
+    /// Checks whether each decomposed (per-stage) job meets its virtual
+    /// deadline: the stage must complete within `vd_{i,j}` of the moment
+    /// the job became ready at that stage (its arrival for the first
+    /// stage, the previous stage's completion afterwards).
+    fn meets_virtual_deadlines(
+        jobs: &JobSet,
+        virtual_deadlines: &[Vec<Time>],
+        simulation: &SimulationOutcome,
+        job: JobId,
+    ) -> bool {
+        let mut ready = jobs.job(job).arrival();
+        for stage in jobs.pipeline().stage_ids() {
+            let completion = simulation.stage_completion(job, stage);
+            let deadline = ready.saturating_add(virtual_deadlines[job.index()][stage.index()]);
+            if completion > deadline {
+                return false;
+            }
+            ready = completion;
+        }
+        true
+    }
+}
+
+/// Result of one DCMP evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcmpOutcome {
+    /// Virtual deadlines, indexed `[job][stage]`.
+    pub virtual_deadlines: Vec<Vec<Time>>,
+    /// The per-stage deadline-monotonic priorities derived from them.
+    pub priorities: PriorityMap,
+    /// The simulated schedule.
+    pub simulation: SimulationOutcome,
+    /// `true` when every job met its end-to-end deadline in the
+    /// simulation.
+    pub accepted: bool,
+}
+
+impl DcmpOutcome {
+    /// Virtual deadline of one job at one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn virtual_deadline(&self, job: JobId, stage: StageId) -> Time {
+        self.virtual_deadlines[job.index()][stage.index()]
+    }
+
+    /// Jobs that missed their end-to-end deadline in the simulation.
+    #[must_use]
+    pub fn deadline_misses(&self) -> Vec<JobId> {
+        self.simulation.deadline_misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+
+    fn jid(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    fn two_stage_jobs() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("net", 1, PreemptionPolicy::NonPreemptive)
+            .stage("cpu", 1, PreemptionPolicy::Preemptive);
+        // J0: light on net, heavy on cpu.
+        b.job()
+            .deadline(Time::new(100))
+            .stage_time(Time::new(10), 0)
+            .stage_time(Time::new(40), 0)
+            .add()
+            .unwrap();
+        // J1: balanced.
+        b.job()
+            .deadline(Time::new(80))
+            .stage_time(Time::new(20), 0)
+            .stage_time(Time::new(20), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn virtual_deadlines_split_proportionally_to_upsilon() {
+        let jobs = two_stage_jobs();
+        let vd = Dcmp::new().virtual_deadlines(&jobs);
+        // Υ_{0,0} = 10/100 + 20/80 = 0.35, Υ_{0,1} = 40/100 + 20/80 = 0.65.
+        // J0: stage 0 gets 100·0.35 = 35, stage 1 gets 65.
+        assert_eq!(vd[0][0], Time::new(35));
+        assert_eq!(vd[0][1], Time::new(65));
+        // The split sums back to (approximately) the end-to-end deadline.
+        let total: u64 = vd[0].iter().map(|t| t.as_ticks()).sum();
+        assert!((99..=101).contains(&total));
+        // J1 shares the same resources, so the same proportions apply to
+        // its deadline of 80.
+        assert_eq!(vd[1][0], Time::new(28));
+        assert_eq!(vd[1][1], Time::new(52));
+    }
+
+    #[test]
+    fn evaluate_accepts_a_lightly_loaded_system() {
+        let jobs = two_stage_jobs();
+        let outcome = Dcmp::new().evaluate(&jobs);
+        assert!(outcome.accepted);
+        assert!(outcome.deadline_misses().is_empty());
+        assert_eq!(outcome.virtual_deadline(jid(0), StageId::new(1)), Time::new(65));
+        // Priorities follow the virtual deadlines: J1 has the smaller
+        // virtual deadline at both stages, hence the higher priority.
+        assert!(outcome
+            .priorities
+            .outranks(StageId::new(0), jid(1), jid(0)));
+    }
+
+    #[test]
+    fn evaluate_rejects_an_overloaded_system() {
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+        for _ in 0..3 {
+            b.job()
+                .deadline(Time::new(10))
+                .stage_time(Time::new(6), 0)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let outcome = Dcmp::new().evaluate(&jobs);
+        assert!(!outcome.accepted);
+        assert!(!outcome.deadline_misses().is_empty());
+    }
+}

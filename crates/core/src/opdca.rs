@@ -1,0 +1,460 @@
+//! OPDCA — Algorithm 1: optimal priority assignment driven by `S_DCA`.
+
+use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_model::{JobId, JobSet, Time};
+
+use crate::{InfeasibleError, PriorityOrdering, Sdca};
+
+/// OPDCA (Algorithm 1 of the paper): Audsley's optimal priority assignment
+/// using the OPA-compatible schedulability test [`Sdca`].
+///
+/// Priorities are assigned from the lowest (`ρ = n`) to the highest
+/// (`ρ = 1`); at each level any job that passes `S_DCA` with all remaining
+/// unassigned jobs assumed higher priority receives the level. The
+/// algorithm is optimal with respect to `S_DCA` (Observation IV.3): if any
+/// fixed-priority ordering passes the test, OPDCA finds one, using at most
+/// `O(n²)` test invocations.
+///
+/// The [`Opdca::admission_control`] variant implements the Fig. 4d
+/// behaviour: instead of declaring the whole set infeasible it discards the
+/// job with the largest deadline overshoot and keeps assigning priorities
+/// to the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opdca {
+    sdca: Sdca,
+}
+
+impl Opdca {
+    /// Creates the algorithm for the given delay bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is not OPA-compatible (Observation IV.2): using
+    /// Eq. 2 or Eq. 4 inside Audsley's algorithm would be unsound. Use the
+    /// pairwise algorithms for those bounds instead.
+    #[must_use]
+    pub fn new(bound: DelayBoundKind) -> Self {
+        Opdca::with_test(Sdca::new(bound))
+    }
+
+    /// Creates the algorithm from an existing test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test's bound is not OPA-compatible.
+    #[must_use]
+    pub fn with_test(sdca: Sdca) -> Self {
+        assert!(
+            sdca.is_opa_compatible(),
+            "OPDCA requires an OPA-compatible schedulability test ({} is not)",
+            sdca.bound()
+        );
+        Opdca { sdca }
+    }
+
+    /// The underlying schedulability test.
+    #[must_use]
+    pub const fn test(&self) -> Sdca {
+        self.sdca
+    }
+
+    /// Computes an optimal priority ordering for `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleError`] when no job can take the current lowest
+    /// priority level, i.e. no priority ordering passes `S_DCA`.
+    pub fn assign(&self, jobs: &JobSet) -> Result<OrderingResult, InfeasibleError> {
+        let analysis = Analysis::new(jobs);
+        self.assign_with_analysis(&analysis)
+    }
+
+    /// Like [`Opdca::assign`] but reuses a precomputed [`Analysis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleError`] when no priority ordering passes
+    /// `S_DCA`.
+    pub fn assign_with_analysis(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> Result<OrderingResult, InfeasibleError> {
+        let jobs = analysis.jobs();
+        let mut unassigned: Vec<JobId> = jobs.job_ids().collect();
+        let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(jobs.len());
+        let mut sdca_calls = 0usize;
+
+        while !unassigned.is_empty() {
+            let mut chosen: Option<usize> = None;
+            for (idx, &candidate) in unassigned.iter().enumerate() {
+                let ctx = InterferenceSets::for_opa_probe(
+                    unassigned.iter().copied(),
+                    assigned_lowest_first.iter().copied(),
+                    candidate,
+                );
+                sdca_calls += 1;
+                if self.sdca.is_feasible(analysis, candidate, &ctx) {
+                    chosen = Some(idx);
+                    break;
+                }
+            }
+            match chosen {
+                Some(idx) => {
+                    let job = unassigned.remove(idx);
+                    assigned_lowest_first.push(job);
+                }
+                None => {
+                    return Err(InfeasibleError::new("OPDCA", unassigned));
+                }
+            }
+        }
+
+        let order: Vec<JobId> = assigned_lowest_first.into_iter().rev().collect();
+        let ordering = PriorityOrdering::new(order);
+        let delays = self.delays_under(analysis, &ordering);
+        Ok(OrderingResult {
+            ordering,
+            delays,
+            sdca_calls,
+        })
+    }
+
+    /// Runs OPDCA as an admission controller (§VI-B): whenever no job fits
+    /// the current priority level, the job with the largest deadline
+    /// overshoot `Δ_i − D_i` is rejected and the assignment continues with
+    /// the remaining jobs.
+    #[must_use]
+    pub fn admission_control(&self, jobs: &JobSet) -> OrderingAdmissionOutcome {
+        let analysis = Analysis::new(jobs);
+        self.admission_control_with_analysis(&analysis)
+    }
+
+    /// Like [`Opdca::admission_control`] but reuses a precomputed
+    /// [`Analysis`].
+    #[must_use]
+    pub fn admission_control_with_analysis(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> OrderingAdmissionOutcome {
+        let jobs = analysis.jobs();
+        let mut unassigned: Vec<JobId> = jobs.job_ids().collect();
+        let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(jobs.len());
+        let mut rejected: Vec<JobId> = Vec::new();
+
+        while !unassigned.is_empty() {
+            let mut chosen: Option<usize> = None;
+            let mut worst: Option<(usize, i128)> = None;
+            for (idx, &candidate) in unassigned.iter().enumerate() {
+                let ctx = InterferenceSets::for_opa_probe(
+                    unassigned.iter().copied(),
+                    assigned_lowest_first.iter().copied(),
+                    candidate,
+                );
+                let slack = self.sdca.slack(analysis, candidate, &ctx);
+                if slack >= 0 {
+                    chosen = Some(idx);
+                    break;
+                }
+                let overshoot = -slack;
+                if worst.is_none_or(|(_, w)| overshoot > w) {
+                    worst = Some((idx, overshoot));
+                }
+            }
+            match chosen {
+                Some(idx) => {
+                    let job = unassigned.remove(idx);
+                    assigned_lowest_first.push(job);
+                }
+                None => {
+                    let (idx, _) = worst.expect("at least one unassigned job exists");
+                    rejected.push(unassigned.remove(idx));
+                }
+            }
+        }
+
+        let mut accepted: Vec<JobId> = assigned_lowest_first.clone();
+        accepted.sort_unstable();
+        let ordering = PriorityOrdering::new(assigned_lowest_first.into_iter().rev().collect());
+        OrderingAdmissionOutcome {
+            ordering,
+            accepted,
+            rejected,
+        }
+    }
+
+    /// Delay bound of every job under a (possibly partial) ordering; jobs
+    /// outside the ordering get a zero-interference delay.
+    fn delays_under(&self, analysis: &Analysis<'_>, ordering: &PriorityOrdering) -> Vec<Time> {
+        analysis
+            .jobs()
+            .job_ids()
+            .map(|i| {
+                if ordering.priority_of(i).is_some() {
+                    self.sdca
+                        .delay(analysis, i, &ordering.interference_sets(i))
+                } else {
+                    self.sdca.delay(analysis, i, &InterferenceSets::default())
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for Opdca {
+    fn default() -> Self {
+        Opdca::new(DelayBoundKind::RefinedPreemptive)
+    }
+}
+
+/// Successful output of [`Opdca::assign`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingResult {
+    ordering: PriorityOrdering,
+    delays: Vec<Time>,
+    sdca_calls: usize,
+}
+
+impl OrderingResult {
+    /// The computed priority ordering (highest priority first).
+    #[must_use]
+    pub fn ordering(&self) -> &PriorityOrdering {
+        &self.ordering
+    }
+
+    /// Consumes the result, returning the ordering.
+    #[must_use]
+    pub fn into_ordering(self) -> PriorityOrdering {
+        self.ordering
+    }
+
+    /// The delay bound `Δ_i` of a job under the computed ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job id is out of range.
+    #[must_use]
+    pub fn delay(&self, job: JobId) -> Time {
+        self.delays[job.index()]
+    }
+
+    /// Delay bounds of all jobs, indexed by job id.
+    #[must_use]
+    pub fn delays(&self) -> &[Time] {
+        &self.delays
+    }
+
+    /// Number of `S_DCA` invocations performed (at most `n(n+1)/2 ≤ O(n²)`).
+    #[must_use]
+    pub fn sdca_calls(&self) -> usize {
+        self.sdca_calls
+    }
+}
+
+/// Output of [`Opdca::admission_control`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingAdmissionOutcome {
+    /// Priority ordering over the accepted jobs (highest priority first).
+    pub ordering: PriorityOrdering,
+    /// Accepted jobs in id order.
+    pub accepted: Vec<JobId>,
+    /// Rejected jobs in rejection order.
+    pub rejected: Vec<JobId>,
+}
+
+impl OrderingAdmissionOutcome {
+    /// Fraction of jobs accepted.
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.accepted.len() + self.rejected.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.accepted.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+
+    fn jid(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    /// The Observation V.1 system, for which no total ordering exists.
+    fn observation_v1() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("s1", 2, PreemptionPolicy::Preemptive)
+            .stage("s2", 2, PreemptionPolicy::Preemptive)
+            .stage("s3", 2, PreemptionPolicy::Preemptive);
+        let rows: [([u64; 3], [usize; 3], u64); 4] = [
+            ([5, 7, 15], [0, 1, 1], 60),
+            ([7, 9, 17], [1, 1, 1], 55),
+            ([6, 8, 30], [0, 0, 0], 55),
+            ([2, 4, 3], [1, 0, 0], 50),
+        ];
+        for (times, resources, deadline) in rows {
+            b.job()
+                .deadline(Time::new(deadline))
+                .stage_time(Time::new(times[0]), resources[0])
+                .stage_time(Time::new(times[1]), resources[1])
+                .stage_time(Time::new(times[2]), resources[2])
+                .add()
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A two-job single-CPU system where only one ordering is feasible.
+    fn forced_order() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive)
+            .stage("net", 1, PreemptionPolicy::Preemptive);
+        // J0: tight deadline, must be the higher-priority job.
+        b.job()
+            .deadline(Time::new(12))
+            .stage_time(Time::new(4), 0)
+            .stage_time(Time::new(5), 0)
+            .add()
+            .unwrap();
+        // J1: loose deadline.
+        b.job()
+            .deadline(Time::new(40))
+            .stage_time(Time::new(6), 0)
+            .stage_time(Time::new(7), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_only_feasible_ordering() {
+        let jobs = forced_order();
+        let result = Opdca::default().assign(&jobs).unwrap();
+        assert_eq!(result.ordering().as_slice(), &[jid(0), jid(1)]);
+        // At most n(n+1)/2 test calls for n=2.
+        assert!(result.sdca_calls() <= 3);
+        // Delays are consistent with the ordering and within deadlines.
+        for i in 0..2 {
+            assert!(result.delay(jid(i)) <= jobs.job(jid(i)).deadline());
+        }
+        assert_eq!(result.delays().len(), 2);
+        let ordering = result.into_ordering();
+        assert!(ordering.covers(&jobs));
+    }
+
+    #[test]
+    fn observation_v1_has_no_total_ordering() {
+        let jobs = observation_v1();
+        let err = Opdca::default().assign(&jobs).unwrap_err();
+        assert_eq!(err.algorithm, "OPDCA");
+        // The failure happens at the very first (lowest) level, so every
+        // job is reported unschedulable.
+        assert_eq!(err.unschedulable.len(), 4);
+    }
+
+    #[test]
+    fn admission_control_rejects_and_schedules_the_rest() {
+        let jobs = observation_v1();
+        let outcome = Opdca::default().admission_control(&jobs);
+        assert!(!outcome.rejected.is_empty());
+        assert_eq!(outcome.accepted.len() + outcome.rejected.len(), 4);
+        assert!(outcome.acceptance_ratio() < 1.0);
+        // All accepted jobs are feasible under the produced ordering.
+        let analysis = Analysis::new(&jobs);
+        let sdca = Sdca::preemptive();
+        for &job in &outcome.accepted {
+            let ctx = outcome.ordering.interference_sets(job);
+            assert!(sdca.is_feasible(&analysis, job, &ctx));
+        }
+        // Rejected jobs are not part of the ordering.
+        for &job in &outcome.rejected {
+            assert!(outcome.ordering.priority_of(job).is_none());
+        }
+    }
+
+    #[test]
+    fn admission_control_accepts_everything_when_feasible() {
+        let jobs = forced_order();
+        let outcome = Opdca::default().admission_control(&jobs);
+        assert!(outcome.rejected.is_empty());
+        assert_eq!(outcome.accepted.len(), 2);
+        assert!((outcome.acceptance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimality_against_brute_force_on_small_systems() {
+        // For every ordering-feasible system found by brute force, OPDCA
+        // must also find an ordering; and when OPDCA fails, brute force
+        // must fail too.
+        use msmr_workload::{RandomMsmrConfig, RandomMsmrGenerator};
+        let generator = RandomMsmrGenerator::new(RandomMsmrConfig {
+            jobs: (3, 5),
+            stages: (2, 3),
+            resources_per_stage: (1, 2),
+            deadline_factor: (1.2, 3.0),
+            ..RandomMsmrConfig::default()
+        })
+        .unwrap();
+        let sdca = Sdca::preemptive();
+        for seed in 0..40 {
+            let jobs = generator.generate_seeded(seed);
+            let analysis = Analysis::new(&jobs);
+            let brute = brute_force_ordering_exists(&analysis, &sdca);
+            let opdca = Opdca::default().assign_with_analysis(&analysis);
+            assert_eq!(
+                brute,
+                opdca.is_ok(),
+                "seed {seed}: OPDCA disagrees with brute force"
+            );
+        }
+    }
+
+    /// Exhaustively checks whether any total priority ordering passes the
+    /// test.
+    fn brute_force_ordering_exists(analysis: &Analysis<'_>, sdca: &Sdca) -> bool {
+        fn permute(
+            analysis: &Analysis<'_>,
+            sdca: &Sdca,
+            remaining: &mut Vec<JobId>,
+            prefix: &mut Vec<JobId>,
+        ) -> bool {
+            if remaining.is_empty() {
+                return prefix.iter().all(|&i| {
+                    let ctx = InterferenceSets::from_total_order(prefix, i);
+                    sdca.is_feasible(analysis, i, &ctx)
+                });
+            }
+            for idx in 0..remaining.len() {
+                let job = remaining.remove(idx);
+                prefix.push(job);
+                if permute(analysis, sdca, remaining, prefix) {
+                    prefix.pop();
+                    remaining.insert(idx, job);
+                    return true;
+                }
+                prefix.pop();
+                remaining.insert(idx, job);
+            }
+            false
+        }
+        let mut remaining: Vec<JobId> = analysis.jobs().job_ids().collect();
+        let mut prefix = Vec::new();
+        permute(analysis, sdca, &mut remaining, &mut prefix)
+    }
+
+    #[test]
+    #[should_panic(expected = "OPA-compatible")]
+    fn incompatible_bound_is_rejected() {
+        let _ = Opdca::new(DelayBoundKind::NonPreemptiveMsmr);
+    }
+
+    #[test]
+    fn default_uses_refined_preemptive() {
+        assert_eq!(
+            Opdca::default().test().bound(),
+            DelayBoundKind::RefinedPreemptive
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The `S_DCA` schedulability test (§IV-A).
+
+use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_model::{JobId, Time};
+
+/// The schedulability test `S_DCA(J_i, H_i, L_i)` of the paper: the delay
+/// composition bound selected by a [`DelayBoundKind`] is evaluated for the
+/// target job and compared against its end-to-end deadline.
+///
+/// When used inside OPA ([`Opdca`](crate::Opdca)) the selected bound must
+/// be OPA-compatible ([`DelayBoundKind::is_opa_compatible`]); the pairwise
+/// algorithms of §V accept any bound because they never rely on Audsley's
+/// argument.
+///
+/// # Example
+///
+/// ```
+/// use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+/// use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+/// use msmr_sched::Sdca;
+///
+/// # fn main() -> Result<(), msmr_model::ModelError> {
+/// let mut b = JobSetBuilder::new();
+/// b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+/// b.job().deadline(Time::from_millis(10)).stage_time(Time::from_millis(4), 0).add()?;
+/// b.job().deadline(Time::from_millis(4)).stage_time(Time::from_millis(3), 0).add()?;
+/// let jobs = b.build()?;
+/// let analysis = Analysis::new(&jobs);
+/// let sdca = Sdca::new(DelayBoundKind::RefinedPreemptive);
+///
+/// // Job 0 is schedulable at the lowest priority (4 + 3 ≤ 10)...
+/// assert!(sdca.is_feasible(&analysis, 0.into(), &InterferenceSets::new([1.into()], [])));
+/// // ...but job 1 is not (3 + 4 > 4).
+/// assert!(!sdca.is_feasible(&analysis, 1.into(), &InterferenceSets::new([0.into()], [])));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sdca {
+    bound: DelayBoundKind,
+}
+
+impl Sdca {
+    /// Creates the test for a particular delay bound.
+    #[must_use]
+    pub const fn new(bound: DelayBoundKind) -> Self {
+        Sdca { bound }
+    }
+
+    /// The default preemptive MSMR test (Eq. 6).
+    #[must_use]
+    pub const fn preemptive() -> Self {
+        Sdca::new(DelayBoundKind::RefinedPreemptive)
+    }
+
+    /// The OPA-compatible non-preemptive MSMR test (Eq. 5).
+    #[must_use]
+    pub const fn non_preemptive() -> Self {
+        Sdca::new(DelayBoundKind::NonPreemptiveOpa)
+    }
+
+    /// The edge-computing test (Eq. 10): preemptive servers,
+    /// non-preemptive download at the last stage.
+    #[must_use]
+    pub const fn edge() -> Self {
+        Sdca::new(DelayBoundKind::EdgeHybrid)
+    }
+
+    /// The delay bound backing the test.
+    #[must_use]
+    pub const fn bound(&self) -> DelayBoundKind {
+        self.bound
+    }
+
+    /// Whether the test can be used inside Audsley's optimal priority
+    /// assignment.
+    #[must_use]
+    pub const fn is_opa_compatible(&self) -> bool {
+        self.bound.is_opa_compatible()
+    }
+
+    /// The end-to-end delay bound `Δ_i` of the target under the given
+    /// higher-/lower-priority sets.
+    #[must_use]
+    pub fn delay(&self, analysis: &Analysis<'_>, target: JobId, ctx: &InterferenceSets) -> Time {
+        analysis.delay_bound(self.bound, target, ctx)
+    }
+
+    /// `S_DCA(J_i, H_i, L_i)`: `true` iff `Δ_i ≤ D_i`.
+    #[must_use]
+    pub fn is_feasible(
+        &self,
+        analysis: &Analysis<'_>,
+        target: JobId,
+        ctx: &InterferenceSets,
+    ) -> bool {
+        self.delay(analysis, target, ctx) <= analysis.jobs().job(target).deadline()
+    }
+
+    /// Slack `D_i − Δ_i` of the target (negative when the deadline is
+    /// missed), used by the repair phase of DMR and by the admission
+    /// controllers.
+    #[must_use]
+    pub fn slack(
+        &self,
+        analysis: &Analysis<'_>,
+        target: JobId,
+        ctx: &InterferenceSets,
+    ) -> i128 {
+        let deadline = analysis.jobs().job(target).deadline();
+        deadline.signed_diff(self.delay(analysis, target, ctx))
+    }
+}
+
+impl Default for Sdca {
+    fn default() -> Self {
+        Sdca::preemptive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+
+    fn jobs() -> msmr_model::JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 1, PreemptionPolicy::Preemptive)
+            .stage("b", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(30))
+            .stage_time(Time::new(5), 0)
+            .stage_time(Time::new(10), 0)
+            .add()
+            .unwrap();
+        b.job()
+            .deadline(Time::new(18))
+            .stage_time(Time::new(4), 0)
+            .stage_time(Time::new(6), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn constructors_pick_the_expected_bounds() {
+        assert_eq!(Sdca::preemptive().bound(), DelayBoundKind::RefinedPreemptive);
+        assert_eq!(Sdca::non_preemptive().bound(), DelayBoundKind::NonPreemptiveOpa);
+        assert_eq!(Sdca::edge().bound(), DelayBoundKind::EdgeHybrid);
+        assert_eq!(Sdca::default(), Sdca::preemptive());
+        assert!(Sdca::preemptive().is_opa_compatible());
+        assert!(!Sdca::new(DelayBoundKind::NonPreemptiveMsmr).is_opa_compatible());
+    }
+
+    #[test]
+    fn feasibility_and_slack() {
+        let jobs = jobs();
+        let analysis = Analysis::new(&jobs);
+        let sdca = Sdca::preemptive();
+        let lowest = InterferenceSets::new([JobId::new(1)], []);
+        // Δ_0 with J1 higher: t_{0,1}=10 + (6 + 4)=... job-additive: self 10,
+        // J1 shares both stages (one 2-stage segment, w=2): 6+4=10;
+        // stage-additive (stage 0): max(5,4)=5. Δ = 25 ≤ 30.
+        assert_eq!(sdca.delay(&analysis, JobId::new(0), &lowest), Time::new(25));
+        assert!(sdca.is_feasible(&analysis, JobId::new(0), &lowest));
+        assert_eq!(sdca.slack(&analysis, JobId::new(0), &lowest), 5);
+        // J1 at the lowest priority: 6 + (10+5) + max(4,5) = 26 > 18.
+        let lowest = InterferenceSets::new([JobId::new(0)], []);
+        assert!(!sdca.is_feasible(&analysis, JobId::new(1), &lowest));
+        assert!(sdca.slack(&analysis, JobId::new(1), &lowest) < 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Enumeration of the delay-bound variants defined by the paper.
+
+use std::fmt;
+
+/// Which delay composition bound to evaluate.
+///
+/// The variants map one-to-one to the equations of the paper; see the
+/// crate-level table. [`DelayBoundKind::is_opa_compatible`] records the
+/// paper's Observations IV.1 and IV.2: a bound whose value may *decrease*
+/// when a lower-priority job set changes violates condition 3 of
+/// OPA-compatibility and must not be used inside Audsley's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DelayBoundKind {
+    /// Eq. 1 — preemptive scheduling in a multi-stage *single-resource*
+    /// pipeline (all jobs compete at every stage).
+    PreemptiveSingleResource,
+    /// Eq. 2 — non-preemptive scheduling in a single-resource pipeline.
+    /// OPA-incompatible (Observation IV.2 / Example 1).
+    NonPreemptiveSingleResource,
+    /// Eq. 3 — preemptive MSMR bound with `2·m_{i,k}` job-additive terms
+    /// per higher-priority job.
+    PreemptiveMsmr,
+    /// Eq. 4 — non-preemptive MSMR bound; blocking term over `L_i`.
+    /// OPA-incompatible.
+    NonPreemptiveMsmr,
+    /// Eq. 5 — non-preemptive MSMR bound with the blocking term taken over
+    /// all other jobs (`J \ J_i`), which restores OPA-compatibility at the
+    /// cost of extra pessimism.
+    NonPreemptiveOpa,
+    /// Eq. 6 — refined preemptive MSMR bound with `w_{i,k}` job-additive
+    /// terms (single-stage segments count once). The default preemptive
+    /// test of the paper.
+    RefinedPreemptive,
+    /// Eq. 10 — the edge-computing bound: refined preemptive interference
+    /// on all stages plus a non-preemptive blocking term at the *last*
+    /// stage (download via an access point).
+    EdgeHybrid,
+}
+
+impl DelayBoundKind {
+    /// All variants, in paper-equation order.
+    #[must_use]
+    pub const fn all() -> [DelayBoundKind; 7] {
+        [
+            DelayBoundKind::PreemptiveSingleResource,
+            DelayBoundKind::NonPreemptiveSingleResource,
+            DelayBoundKind::PreemptiveMsmr,
+            DelayBoundKind::NonPreemptiveMsmr,
+            DelayBoundKind::NonPreemptiveOpa,
+            DelayBoundKind::RefinedPreemptive,
+            DelayBoundKind::EdgeHybrid,
+        ]
+    }
+
+    /// Whether a schedulability test built on this bound satisfies the
+    /// three conditions of OPA-compatibility (§III-B, Observations IV.1 and
+    /// IV.2).
+    #[must_use]
+    pub const fn is_opa_compatible(self) -> bool {
+        match self {
+            DelayBoundKind::PreemptiveSingleResource
+            | DelayBoundKind::PreemptiveMsmr
+            | DelayBoundKind::NonPreemptiveOpa
+            | DelayBoundKind::RefinedPreemptive
+            | DelayBoundKind::EdgeHybrid => true,
+            DelayBoundKind::NonPreemptiveSingleResource | DelayBoundKind::NonPreemptiveMsmr => {
+                false
+            }
+        }
+    }
+
+    /// The paper equation number this variant corresponds to.
+    #[must_use]
+    pub const fn equation(self) -> u8 {
+        match self {
+            DelayBoundKind::PreemptiveSingleResource => 1,
+            DelayBoundKind::NonPreemptiveSingleResource => 2,
+            DelayBoundKind::PreemptiveMsmr => 3,
+            DelayBoundKind::NonPreemptiveMsmr => 4,
+            DelayBoundKind::NonPreemptiveOpa => 5,
+            DelayBoundKind::RefinedPreemptive => 6,
+            DelayBoundKind::EdgeHybrid => 10,
+        }
+    }
+
+    /// Whether the bound models preemptive execution at every stage
+    /// (`EdgeHybrid` is preemptive everywhere except the last stage).
+    #[must_use]
+    pub const fn is_preemptive(self) -> bool {
+        matches!(
+            self,
+            DelayBoundKind::PreemptiveSingleResource
+                | DelayBoundKind::PreemptiveMsmr
+                | DelayBoundKind::RefinedPreemptive
+        )
+    }
+}
+
+impl fmt::Display for DelayBoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DelayBoundKind::PreemptiveSingleResource => "preemptive single-resource (Eq. 1)",
+            DelayBoundKind::NonPreemptiveSingleResource => {
+                "non-preemptive single-resource (Eq. 2)"
+            }
+            DelayBoundKind::PreemptiveMsmr => "preemptive MSMR (Eq. 3)",
+            DelayBoundKind::NonPreemptiveMsmr => "non-preemptive MSMR (Eq. 4)",
+            DelayBoundKind::NonPreemptiveOpa => "non-preemptive OPA-compatible (Eq. 5)",
+            DelayBoundKind::RefinedPreemptive => "refined preemptive (Eq. 6)",
+            DelayBoundKind::EdgeHybrid => "edge hybrid (Eq. 10)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matches_paper_observations() {
+        use DelayBoundKind::*;
+        assert!(PreemptiveSingleResource.is_opa_compatible());
+        assert!(!NonPreemptiveSingleResource.is_opa_compatible());
+        assert!(PreemptiveMsmr.is_opa_compatible());
+        assert!(!NonPreemptiveMsmr.is_opa_compatible());
+        assert!(NonPreemptiveOpa.is_opa_compatible());
+        assert!(RefinedPreemptive.is_opa_compatible());
+        assert!(EdgeHybrid.is_opa_compatible());
+    }
+
+    #[test]
+    fn equations_are_unique_and_in_order() {
+        let eqs: Vec<u8> = DelayBoundKind::all().iter().map(|k| k.equation()).collect();
+        assert_eq!(eqs, vec![1, 2, 3, 4, 5, 6, 10]);
+    }
+
+    #[test]
+    fn preemptive_classification() {
+        assert!(DelayBoundKind::RefinedPreemptive.is_preemptive());
+        assert!(!DelayBoundKind::NonPreemptiveOpa.is_preemptive());
+        assert!(!DelayBoundKind::EdgeHybrid.is_preemptive());
+    }
+
+    #[test]
+    fn display_mentions_equation() {
+        for kind in DelayBoundKind::all() {
+            assert!(kind.to_string().contains("Eq."));
+        }
+    }
+}

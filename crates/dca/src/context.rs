@@ -1,0 +1,249 @@
+//! Higher-/lower-priority interference sets (`H_i`, `L_i`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use msmr_model::JobId;
+
+/// The interference sets of one target job: the set `H_i` of
+/// higher-priority jobs and the set `L_i` of lower-priority jobs.
+///
+/// The delay composition bounds of [`Analysis`](crate::Analysis) are
+/// functions of these *sets only* — never of the relative order inside
+/// them — which is exactly what makes the resulting schedulability test
+/// OPA-compatible (conditions 1 and 2 of §III-B).
+///
+/// A job absent from both sets is treated as unrelated to the target (e.g.
+/// jobs that cannot interfere, or jobs whose relative priority is not yet
+/// decided in a pairwise assignment search).
+///
+/// # Example
+///
+/// ```
+/// use msmr_dca::InterferenceSets;
+/// use msmr_model::JobId;
+///
+/// // Priority order J2 > J0 > J1 (highest to lowest); target J0.
+/// let ctx = InterferenceSets::from_total_order(
+///     &[JobId::new(2), JobId::new(0), JobId::new(1)],
+///     JobId::new(0),
+/// );
+/// assert!(ctx.is_higher(JobId::new(2)));
+/// assert!(ctx.is_lower(JobId::new(1)));
+/// assert!(!ctx.is_higher(JobId::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterferenceSets {
+    higher: BTreeSet<JobId>,
+    lower: BTreeSet<JobId>,
+}
+
+impl InterferenceSets {
+    /// Creates interference sets from explicit higher- and lower-priority
+    /// job collections.
+    ///
+    /// The target job itself should appear in neither set; it is ignored by
+    /// the delay bounds if it does.
+    #[must_use]
+    pub fn new<H, L>(higher: H, lower: L) -> Self
+    where
+        H: IntoIterator<Item = JobId>,
+        L: IntoIterator<Item = JobId>,
+    {
+        InterferenceSets {
+            higher: higher.into_iter().collect(),
+            lower: lower.into_iter().collect(),
+        }
+    }
+
+    /// Builds the sets of a target job from a total priority order given
+    /// from highest to lowest priority.
+    ///
+    /// Jobs not mentioned in `order` are unrelated to the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` does not appear in `order`.
+    #[must_use]
+    pub fn from_total_order(order: &[JobId], target: JobId) -> Self {
+        let position = order
+            .iter()
+            .position(|&id| id == target)
+            .expect("target job must appear in the priority order");
+        InterferenceSets {
+            higher: order[..position].iter().copied().collect(),
+            lower: order[position + 1..].iter().copied().collect(),
+        }
+    }
+
+    /// Builds the sets used by Audsley's optimal priority assignment when
+    /// probing whether `target` can take the current (lowest unassigned)
+    /// priority: all other `unassigned` jobs are assumed higher priority,
+    /// and the already-`assigned` jobs (which hold lower priorities) form
+    /// `L_i`.
+    #[must_use]
+    pub fn for_opa_probe<U, A>(unassigned: U, assigned: A, target: JobId) -> Self
+    where
+        U: IntoIterator<Item = JobId>,
+        A: IntoIterator<Item = JobId>,
+    {
+        let higher = unassigned.into_iter().filter(|&id| id != target).collect();
+        let lower = assigned.into_iter().filter(|&id| id != target).collect();
+        InterferenceSets { higher, lower }
+    }
+
+    /// The set of higher-priority jobs `H_i`.
+    #[must_use]
+    pub fn higher(&self) -> &BTreeSet<JobId> {
+        &self.higher
+    }
+
+    /// The set of lower-priority jobs `L_i`.
+    #[must_use]
+    pub fn lower(&self) -> &BTreeSet<JobId> {
+        &self.lower
+    }
+
+    /// Returns `true` if `job` is in `H_i`.
+    #[must_use]
+    pub fn is_higher(&self, job: JobId) -> bool {
+        self.higher.contains(&job)
+    }
+
+    /// Returns `true` if `job` is in `L_i`.
+    #[must_use]
+    pub fn is_lower(&self, job: JobId) -> bool {
+        self.lower.contains(&job)
+    }
+
+    /// Adds a job to `H_i`, removing it from `L_i` if present.
+    pub fn insert_higher(&mut self, job: JobId) {
+        self.lower.remove(&job);
+        self.higher.insert(job);
+    }
+
+    /// Adds a job to `L_i`, removing it from `H_i` if present.
+    pub fn insert_lower(&mut self, job: JobId) {
+        self.higher.remove(&job);
+        self.lower.insert(job);
+    }
+
+    /// Removes a job from both sets.
+    pub fn remove(&mut self, job: JobId) {
+        self.higher.remove(&job);
+        self.lower.remove(&job);
+    }
+
+    /// Builder-style variant of [`InterferenceSets::insert_higher`].
+    #[must_use]
+    pub fn with_higher(mut self, job: JobId) -> Self {
+        self.insert_higher(job);
+        self
+    }
+
+    /// Builder-style variant of [`InterferenceSets::insert_lower`].
+    #[must_use]
+    pub fn with_lower(mut self, job: JobId) -> Self {
+        self.insert_lower(job);
+        self
+    }
+
+    /// Number of higher-priority jobs.
+    #[must_use]
+    pub fn higher_count(&self) -> usize {
+        self.higher.len()
+    }
+
+    /// Number of lower-priority jobs.
+    #[must_use]
+    pub fn lower_count(&self) -> usize {
+        self.lower.len()
+    }
+}
+
+impl fmt::Display for InterferenceSets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "H={{{}}} L={{{}}}",
+            self.higher
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            self.lower
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    #[test]
+    fn from_total_order_splits_around_target() {
+        let order = [id(3), id(1), id(0), id(2)];
+        let ctx = InterferenceSets::from_total_order(&order, id(0));
+        assert_eq!(ctx.higher().len(), 2);
+        assert!(ctx.is_higher(id(3)) && ctx.is_higher(id(1)));
+        assert_eq!(ctx.lower().len(), 1);
+        assert!(ctx.is_lower(id(2)));
+        assert!(!ctx.is_higher(id(0)) && !ctx.is_lower(id(0)));
+    }
+
+    #[test]
+    fn highest_and_lowest_priority_targets() {
+        let order = [id(0), id(1), id(2)];
+        let top = InterferenceSets::from_total_order(&order, id(0));
+        assert_eq!(top.higher_count(), 0);
+        assert_eq!(top.lower_count(), 2);
+        let bottom = InterferenceSets::from_total_order(&order, id(2));
+        assert_eq!(bottom.higher_count(), 2);
+        assert_eq!(bottom.lower_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must appear")]
+    fn missing_target_panics() {
+        let _ = InterferenceSets::from_total_order(&[id(1)], id(0));
+    }
+
+    #[test]
+    fn opa_probe_excludes_target() {
+        let ctx = InterferenceSets::for_opa_probe(
+            vec![id(0), id(1), id(2)],
+            vec![id(3), id(4)],
+            id(1),
+        );
+        assert!(ctx.is_higher(id(0)) && ctx.is_higher(id(2)));
+        assert!(!ctx.is_higher(id(1)));
+        assert!(ctx.is_lower(id(3)) && ctx.is_lower(id(4)));
+    }
+
+    #[test]
+    fn mutation_keeps_sets_disjoint() {
+        let mut ctx = InterferenceSets::new([id(1)], [id(2)]);
+        ctx.insert_higher(id(2));
+        assert!(ctx.is_higher(id(2)) && !ctx.is_lower(id(2)));
+        ctx.insert_lower(id(1));
+        assert!(ctx.is_lower(id(1)) && !ctx.is_higher(id(1)));
+        ctx.remove(id(1));
+        assert!(!ctx.is_lower(id(1)));
+        let ctx = ctx.with_higher(id(7)).with_lower(id(8));
+        assert!(ctx.is_higher(id(7)) && ctx.is_lower(id(8)));
+    }
+
+    #[test]
+    fn display_lists_both_sets() {
+        let ctx = InterferenceSets::new([id(1)], [id(2)]);
+        assert_eq!(ctx.to_string(), "H={J1} L={J2}");
+    }
+}

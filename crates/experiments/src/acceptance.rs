@@ -1,0 +1,191 @@
+//! Acceptance-ratio experiments (Fig. 4a–4c).
+
+use std::collections::BTreeMap;
+
+use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+use crate::approach::{evaluate_all, Approach, ApproachOutcome};
+
+/// An acceptance-ratio experiment: generate `cases` test cases from a
+/// workload configuration and record, for every approach, the percentage
+/// of cases it accepts.
+///
+/// Figures 4a–4c of the paper are sweeps of this experiment over β,
+/// `[h1,h2,h3]` and γ respectively; the `fig4a`–`fig4c` binaries perform
+/// those sweeps and print one [`AcceptanceRow`] per parameter value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptanceExperiment {
+    cases: usize,
+    base_seed: u64,
+    opt_node_limit: u64,
+}
+
+impl AcceptanceExperiment {
+    /// Creates an experiment running `cases` test cases per configuration,
+    /// seeded deterministically from `base_seed`.
+    #[must_use]
+    pub fn new(cases: usize, base_seed: u64) -> Self {
+        AcceptanceExperiment {
+            cases,
+            base_seed,
+            opt_node_limit: 200_000,
+        }
+    }
+
+    /// Overrides the node budget of the exact pairwise search (larger =
+    /// fewer `Undecided` outcomes, longer run time).
+    #[must_use]
+    pub fn with_opt_node_limit(mut self, node_limit: u64) -> Self {
+        self.opt_node_limit = node_limit;
+        self
+    }
+
+    /// Number of test cases per configuration.
+    #[must_use]
+    pub fn cases(&self) -> usize {
+        self.cases
+    }
+
+    /// Runs the experiment for one workload configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] if the configuration is invalid.
+    pub fn run(&self, config: &EdgeWorkloadConfig) -> Result<AcceptanceRow, WorkloadError> {
+        let generator = EdgeWorkloadGenerator::new(config.clone())?;
+        let mut accepted: BTreeMap<Approach, usize> = Approach::all()
+            .into_iter()
+            .map(|a| (a, 0usize))
+            .collect();
+        let mut undecided = 0usize;
+        for case in 0..self.cases {
+            let jobs = generator.generate_seeded(self.base_seed.wrapping_add(case as u64));
+            for (approach, outcome) in evaluate_all(&jobs, self.opt_node_limit) {
+                match outcome {
+                    ApproachOutcome::Accepted => {
+                        *accepted.get_mut(&approach).expect("initialised above") += 1;
+                    }
+                    ApproachOutcome::Undecided => undecided += 1,
+                    ApproachOutcome::Rejected => {}
+                }
+            }
+        }
+        Ok(AcceptanceRow {
+            config: config.clone(),
+            cases: self.cases,
+            accepted,
+            opt_undecided: undecided,
+        })
+    }
+
+    /// Convenience: runs the experiment for every configuration of a sweep
+    /// and returns one row per configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] on the first invalid configuration.
+    pub fn sweep(
+        &self,
+        configs: &[EdgeWorkloadConfig],
+    ) -> Result<Vec<AcceptanceRow>, WorkloadError> {
+        configs.iter().map(|c| self.run(c)).collect()
+    }
+}
+
+impl Default for AcceptanceExperiment {
+    fn default() -> Self {
+        AcceptanceExperiment::new(100, 2024)
+    }
+}
+
+/// One data point of an acceptance-ratio figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceRow {
+    /// The workload configuration the row was measured for.
+    pub config: EdgeWorkloadConfig,
+    /// Number of evaluated test cases.
+    pub cases: usize,
+    /// Accepted-case counts per approach.
+    pub accepted: BTreeMap<Approach, usize>,
+    /// Number of cases where the exact pairwise search returned no verdict
+    /// within its node budget (counted as rejections for OPT).
+    pub opt_undecided: usize,
+}
+
+impl AcceptanceRow {
+    /// Acceptance ratio of one approach, in percent.
+    #[must_use]
+    pub fn acceptance(&self, approach: Approach) -> f64 {
+        if self.cases == 0 {
+            return 100.0;
+        }
+        100.0 * self.accepted.get(&approach).copied().unwrap_or(0) as f64 / self.cases as f64
+    }
+
+    /// All acceptance ratios in the paper's legend order
+    /// (DM, DMR, OPDCA, OPT, DCMP).
+    #[must_use]
+    pub fn acceptances(&self) -> Vec<(Approach, f64)> {
+        Approach::all()
+            .into_iter()
+            .map(|a| (a, self.acceptance(a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EdgeWorkloadConfig {
+        EdgeWorkloadConfig::default()
+            .with_jobs(12)
+            .with_infrastructure(4, 3)
+    }
+
+    #[test]
+    fn acceptance_ratios_are_consistent() {
+        let experiment = AcceptanceExperiment::new(4, 7).with_opt_node_limit(50_000);
+        assert_eq!(experiment.cases(), 4);
+        let row = experiment.run(&tiny_config()).unwrap();
+        assert_eq!(row.cases, 4);
+        for (approach, ratio) in row.acceptances() {
+            assert!(
+                (0.0..=100.0).contains(&ratio),
+                "{approach} ratio out of range"
+            );
+        }
+        // Dominance relations guaranteed by construction: OPT accepts
+        // whenever OPDCA or DMR does.
+        assert!(row.acceptance(Approach::Opt) >= row.acceptance(Approach::Opdca));
+        assert!(row.acceptance(Approach::Opt) >= row.acceptance(Approach::Dmr));
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_config() {
+        let experiment = AcceptanceExperiment::new(2, 3).with_opt_node_limit(20_000);
+        let configs = vec![
+            tiny_config().with_beta(0.05),
+            tiny_config().with_beta(0.20),
+        ];
+        let rows = experiment.sweep(&configs).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].config.beta - 0.05).abs() < 1e-12);
+        assert!((rows[1].config.beta - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configuration_is_reported() {
+        let experiment = AcceptanceExperiment::default();
+        let bad = tiny_config().with_beta(0.0);
+        assert!(experiment.run(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_cases_row_defaults_to_full_acceptance() {
+        let experiment = AcceptanceExperiment::new(0, 0);
+        let row = experiment.run(&tiny_config()).unwrap();
+        assert!((row.acceptance(Approach::Dm) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! The five evaluated approaches.
+
+use std::fmt;
+
+use msmr_dca::{Analysis, DelayBoundKind};
+use msmr_model::{JobId, JobSet};
+use msmr_sched::{Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseSearchConfig, PairwiseSearchOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The delay bound used throughout the evaluation: Eq. 10, i.e. preemptive
+/// servers with non-preemptive download at the last stage.
+pub const EVALUATION_BOUND: DelayBoundKind = DelayBoundKind::EdgeHybrid;
+
+/// One of the five approaches compared in Fig. 4.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Approach {
+    /// Deadline-monotonic pairwise assignment without repair.
+    Dm,
+    /// Deadline-monotonic & repair heuristic (Algorithm 2).
+    Dmr,
+    /// Optimal priority ordering via Algorithm 1.
+    Opdca,
+    /// Optimal pairwise assignment (exact search; the paper's ILP).
+    Opt,
+    /// Deadline-decomposition baseline (virtual deadlines + simulation).
+    Dcmp,
+}
+
+impl Approach {
+    /// All approaches in the order the paper's legends list them.
+    #[must_use]
+    pub const fn all() -> [Approach; 5] {
+        [
+            Approach::Dm,
+            Approach::Dmr,
+            Approach::Opdca,
+            Approach::Opt,
+            Approach::Dcmp,
+        ]
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Approach::Dm => "DM",
+            Approach::Dmr => "DMR",
+            Approach::Opdca => "OPDCA",
+            Approach::Opt => "OPT",
+            Approach::Dcmp => "DCMP",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Result of evaluating one approach on one test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApproachOutcome {
+    /// The approach schedules the whole job set.
+    Accepted,
+    /// The approach cannot schedule the job set (or, for heuristics, does
+    /// not find a feasible assignment).
+    Rejected,
+    /// The exact search exhausted its budget without a conclusive answer
+    /// (only possible for OPT); counted as rejected in acceptance ratios,
+    /// so the reported OPT ratio is a *lower* bound.
+    Undecided,
+}
+
+impl ApproachOutcome {
+    /// `true` for [`ApproachOutcome::Accepted`].
+    #[must_use]
+    pub fn is_accepted(self) -> bool {
+        matches!(self, ApproachOutcome::Accepted)
+    }
+}
+
+/// Evaluates every approach on one test case.
+///
+/// The implications `OPDCA accepted ⇒ OPT accepted` and
+/// `DMR accepted ⇒ OPT accepted` (a feasible ordering or repaired pairwise
+/// assignment *is* a feasible pairwise assignment) are used to skip the
+/// expensive exact search whenever possible; this shortcut is exact, not an
+/// approximation.
+#[must_use]
+pub fn evaluate_all(jobs: &JobSet, opt_node_limit: u64) -> Vec<(Approach, ApproachOutcome)> {
+    let analysis = Analysis::new(jobs);
+
+    let dm_ok = Dm::new(EVALUATION_BOUND).is_schedulable(&analysis);
+    let dmr_ok = Dmr::new(EVALUATION_BOUND)
+        .assign_with_analysis(&analysis)
+        .is_ok();
+    let opdca_ok = Opdca::new(EVALUATION_BOUND)
+        .assign_with_analysis(&analysis)
+        .is_ok();
+    let opt = if dmr_ok || opdca_ok {
+        ApproachOutcome::Accepted
+    } else {
+        match OptPairwise::with_config(
+            EVALUATION_BOUND,
+            PairwiseSearchConfig {
+                node_limit: opt_node_limit,
+            },
+        )
+        .assign_with_analysis(&analysis)
+        {
+            PairwiseSearchOutcome::Feasible(_) => ApproachOutcome::Accepted,
+            PairwiseSearchOutcome::Infeasible => ApproachOutcome::Rejected,
+            PairwiseSearchOutcome::Unknown => ApproachOutcome::Undecided,
+        }
+    };
+    let dcmp_ok = Dcmp::new().evaluate(jobs).accepted;
+
+    let to_outcome = |ok: bool| {
+        if ok {
+            ApproachOutcome::Accepted
+        } else {
+            ApproachOutcome::Rejected
+        }
+    };
+    vec![
+        (Approach::Dm, to_outcome(dm_ok)),
+        (Approach::Dmr, to_outcome(dmr_ok)),
+        (Approach::Opdca, to_outcome(opdca_ok)),
+        (Approach::Opt, opt),
+        (Approach::Dcmp, to_outcome(dcmp_ok)),
+    ]
+}
+
+/// Runs one approach as an admission controller and returns the rejected
+/// jobs (only DM, DMR and OPDCA support this mode, mirroring Fig. 4d).
+///
+/// # Panics
+///
+/// Panics if called for [`Approach::Opt`] or [`Approach::Dcmp`].
+#[must_use]
+pub fn admission_rejects(approach: Approach, jobs: &JobSet) -> Vec<JobId> {
+    match approach {
+        Approach::Dm => Dm::new(EVALUATION_BOUND).admission_control(jobs).rejected,
+        Approach::Dmr => Dmr::new(EVALUATION_BOUND).admission_control(jobs).rejected,
+        Approach::Opdca => {
+            Opdca::new(EVALUATION_BOUND)
+                .admission_control(jobs)
+                .rejected
+        }
+        Approach::Opt | Approach::Dcmp => {
+            panic!("{approach} is not evaluated as an admission controller in Fig. 4d")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+
+    fn light_jobs() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("up", 2, PreemptionPolicy::NonPreemptive)
+            .stage("srv", 2, PreemptionPolicy::Preemptive)
+            .stage("down", 2, PreemptionPolicy::NonPreemptive);
+        for i in 0..4u64 {
+            b.job()
+                .deadline(Time::new(200))
+                .stage_time(Time::new(5), (i % 2) as usize)
+                .stage_time(Time::new(20), (i % 2) as usize)
+                .stage_time(Time::new(5), (i % 2) as usize)
+                .add()
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn display_and_enumeration() {
+        assert_eq!(Approach::all().len(), 5);
+        assert_eq!(Approach::Opdca.to_string(), "OPDCA");
+        assert_eq!(Approach::Dcmp.to_string(), "DCMP");
+    }
+
+    #[test]
+    fn light_system_is_accepted_by_every_approach() {
+        let jobs = light_jobs();
+        for (approach, outcome) in evaluate_all(&jobs, 100_000) {
+            assert!(
+                outcome.is_accepted(),
+                "{approach} rejected a trivially schedulable system"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_controllers_do_not_reject_light_systems() {
+        let jobs = light_jobs();
+        for approach in [Approach::Dm, Approach::Dmr, Approach::Opdca] {
+            assert!(admission_rejects(approach, &jobs).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not evaluated as an admission controller")]
+    fn opt_has_no_admission_mode() {
+        let jobs = light_jobs();
+        let _ = admission_rejects(Approach::Opt, &jobs);
+    }
+
+    #[test]
+    fn outcome_accessor() {
+        assert!(ApproachOutcome::Accepted.is_accepted());
+        assert!(!ApproachOutcome::Rejected.is_accepted());
+        assert!(!ApproachOutcome::Undecided.is_accepted());
+    }
+}

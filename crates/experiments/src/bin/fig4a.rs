@@ -1,0 +1,44 @@
+//! Figure 4a — acceptance ratio versus the heaviness threshold β.
+//!
+//! Sweeps β over {0.05, 0.10, 0.15, 0.20} with the paper's defaults
+//! (h = [0.05, 0.05, 0.01], γ = 0.7, 25 APs, 20 servers, 100 jobs) and
+//! prints the acceptance ratio of DM, DMR, OPDCA, OPT and DCMP.
+
+use msmr_experiments::cli::RunOptions;
+use msmr_experiments::{format_markdown_table, AcceptanceExperiment, Approach, Cell};
+
+fn main() {
+    let options = match RunOptions::parse() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("error: {err}\n{}", RunOptions::usage());
+            std::process::exit(2);
+        }
+    };
+    let experiment = AcceptanceExperiment::new(options.cases, options.seed)
+        .with_opt_node_limit(options.opt_node_limit);
+
+    println!(
+        "Figure 4a: acceptance ratio (%) vs heaviness threshold beta \
+         ({} cases x {} jobs per point)",
+        options.cases, options.jobs
+    );
+    let mut rows = Vec::new();
+    for beta in [0.05, 0.10, 0.15, 0.20] {
+        let config = options.base_config().with_beta(beta);
+        let row = experiment.run(&config).expect("valid configuration");
+        let mut cells = vec![Cell::from(format!("{beta:.2}"))];
+        for approach in Approach::all() {
+            cells.push(Cell::from(row.acceptance(approach)));
+        }
+        cells.push(Cell::from(row.opt_undecided as f64));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        format_markdown_table(
+            &["beta", "DM", "DMR", "OPDCA", "OPT", "DCMP", "OPT undecided"],
+            &rows
+        )
+    );
+}

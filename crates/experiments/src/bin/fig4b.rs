@@ -1,0 +1,54 @@
+//! Figure 4b — acceptance ratio versus the per-stage heaviness ratios
+//! `[h1, h2, h3]`.
+//!
+//! Sweeps the four configurations the paper plots:
+//! `[0.01,0.01,0.01]`, `[0.05,0.05,0.05]`, `[0.1,0.1,0.01]` and
+//! `[0.01,0.15,0.01]`, with β = 0.15 and γ = 0.7.
+
+use msmr_experiments::cli::RunOptions;
+use msmr_experiments::{format_markdown_table, AcceptanceExperiment, Approach, Cell};
+
+fn main() {
+    let options = match RunOptions::parse() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("error: {err}\n{}", RunOptions::usage());
+            std::process::exit(2);
+        }
+    };
+    let experiment = AcceptanceExperiment::new(options.cases, options.seed)
+        .with_opt_node_limit(options.opt_node_limit);
+
+    println!(
+        "Figure 4b: acceptance ratio (%) vs per-stage heaviness [h1,h2,h3] \
+         ({} cases x {} jobs per point)",
+        options.cases, options.jobs
+    );
+    let sweeps: [[f64; 3]; 4] = [
+        [0.01, 0.01, 0.01],
+        [0.05, 0.05, 0.05],
+        [0.10, 0.10, 0.01],
+        [0.01, 0.15, 0.01],
+    ];
+    let mut rows = Vec::new();
+    for ratios in sweeps {
+        let config = options.base_config().with_heavy_ratios(ratios);
+        let row = experiment.run(&config).expect("valid configuration");
+        let mut cells = vec![Cell::from(format!(
+            "[{:.2},{:.2},{:.2}]",
+            ratios[0], ratios[1], ratios[2]
+        ))];
+        for approach in Approach::all() {
+            cells.push(Cell::from(row.acceptance(approach)));
+        }
+        cells.push(Cell::from(row.opt_undecided as f64));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        format_markdown_table(
+            &["[h1,h2,h3]", "DM", "DMR", "OPDCA", "OPT", "DCMP", "OPT undecided"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 4c — acceptance ratio versus the taskset heaviness bound γ.
+//!
+//! Sweeps γ over {0.6, 0.7, 0.8, 0.9} with β = 0.15 and
+//! h = [0.05, 0.05, 0.01].
+
+use msmr_experiments::cli::RunOptions;
+use msmr_experiments::{format_markdown_table, AcceptanceExperiment, Approach, Cell};
+
+fn main() {
+    let options = match RunOptions::parse() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("error: {err}\n{}", RunOptions::usage());
+            std::process::exit(2);
+        }
+    };
+    let experiment = AcceptanceExperiment::new(options.cases, options.seed)
+        .with_opt_node_limit(options.opt_node_limit);
+
+    println!(
+        "Figure 4c: acceptance ratio (%) vs taskset heaviness bound gamma \
+         ({} cases x {} jobs per point)",
+        options.cases, options.jobs
+    );
+    let mut rows = Vec::new();
+    for gamma in [0.6, 0.7, 0.8, 0.9] {
+        let config = options.base_config().with_gamma(gamma);
+        let row = experiment.run(&config).expect("valid configuration");
+        let mut cells = vec![Cell::from(format!("{gamma:.1}"))];
+        for approach in Approach::all() {
+            cells.push(Cell::from(row.acceptance(approach)));
+        }
+        cells.push(Cell::from(row.opt_undecided as f64));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        format_markdown_table(
+            &["gamma", "DM", "DMR", "OPDCA", "OPT", "DCMP", "OPT undecided"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 4d — rejected heaviness of OPDCA, DMR and DM running as
+//! admission controllers.
+//!
+//! Evaluates the six parameter settings of the paper: β ∈ {0.01, 0.2},
+//! h1=h2=h3=0.01, h1=h2=0.1 & h3=0.01, and γ ∈ {0.6, 0.9}.
+
+use msmr_experiments::cli::RunOptions;
+use msmr_experiments::{format_markdown_table, Cell, RejectedHeavinessExperiment};
+use msmr_workload::EdgeWorkloadConfig;
+
+fn main() {
+    let options = match RunOptions::parse() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("error: {err}\n{}", RunOptions::usage());
+            std::process::exit(2);
+        }
+    };
+    let experiment = RejectedHeavinessExperiment::new(options.cases, options.seed);
+
+    println!(
+        "Figure 4d: rejected heaviness (%) as admission controllers \
+         ({} cases x {} jobs per setting)",
+        options.cases, options.jobs
+    );
+    let base = options.base_config();
+    let settings: Vec<(&str, EdgeWorkloadConfig)> = vec![
+        ("beta=0.01", base.clone().with_beta(0.01)),
+        ("beta=0.2", base.clone().with_beta(0.2)),
+        (
+            "h1=h2=h3=0.01",
+            base.clone().with_heavy_ratios([0.01, 0.01, 0.01]),
+        ),
+        (
+            "h1=h2=0.1,h3=0.01",
+            base.clone().with_heavy_ratios([0.10, 0.10, 0.01]),
+        ),
+        ("gamma=0.6", base.clone().with_gamma(0.6)),
+        ("gamma=0.9", base.clone().with_gamma(0.9)),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, config) in settings {
+        let row = experiment.run(label, &config).expect("valid configuration");
+        rows.push(vec![
+            Cell::from(label),
+            Cell::from(row.rejected(msmr_experiments::Approach::Opdca)),
+            Cell::from(row.rejected(msmr_experiments::Approach::Dmr)),
+            Cell::from(row.rejected(msmr_experiments::Approach::Dm)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_markdown_table(&["setting", "OPDCA", "DMR", "DM"], &rows)
+    );
+}

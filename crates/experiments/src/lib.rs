@@ -1,0 +1,47 @@
+//! Experiment harness reproducing the evaluation of the MSMR scheduling
+//! paper (§VI, Fig. 4a–4d).
+//!
+//! The harness glues the workload generator (`msmr-workload`), the
+//! priority-assignment algorithms (`msmr-sched`) and the simulator
+//! (`msmr-sim`) together:
+//!
+//! * [`Approach`] — the five evaluated approaches (DM, DMR, OPDCA, OPT,
+//!   DCMP), all applied with the edge-computing delay bound (Eq. 10).
+//! * [`AcceptanceExperiment`] — acceptance-ratio sweeps over β,
+//!   `[h1,h2,h3]` and γ (Fig. 4a–4c).
+//! * [`RejectedHeavinessExperiment`] — the admission-controller comparison
+//!   of Fig. 4d.
+//!
+//! Each figure has a matching binary (`fig4a` … `fig4d`) that prints the
+//! same series the paper plots; `EXPERIMENTS.md` in the repository root
+//! records paper-reported versus measured values.
+//!
+//! # Example
+//!
+//! ```
+//! use msmr_experiments::{AcceptanceExperiment, Approach};
+//! use msmr_workload::EdgeWorkloadConfig;
+//!
+//! # fn main() -> Result<(), msmr_workload::WorkloadError> {
+//! // A miniature version of the Fig. 4a sweep (2 cases, 20 jobs).
+//! let experiment = AcceptanceExperiment::new(2, 42);
+//! let config = EdgeWorkloadConfig::default().with_jobs(20).with_beta(0.05);
+//! let row = experiment.run(&config)?;
+//! assert!(row.acceptance(Approach::Opt) >= row.acceptance(Approach::Opdca));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acceptance;
+mod approach;
+pub mod cli;
+mod rejected;
+mod table;
+
+pub use acceptance::{AcceptanceExperiment, AcceptanceRow};
+pub use approach::{admission_rejects, evaluate_all, Approach, ApproachOutcome, EVALUATION_BOUND};
+pub use rejected::{RejectedHeavinessExperiment, RejectedHeavinessRow};
+pub use table::{format_markdown_table, Cell};

@@ -1,0 +1,71 @@
+//! Error type of the ILP crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VarId;
+
+/// Error produced when building or solving an integer linear problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// A variable id does not belong to the problem it was used with.
+    UnknownVariable {
+        /// The offending variable.
+        var: VarId,
+        /// Number of variables in the problem.
+        len: usize,
+    },
+    /// A variable was declared with `lower > upper`.
+    InvalidBounds {
+        /// Declared lower bound.
+        lower: i64,
+        /// Declared upper bound.
+        upper: i64,
+    },
+    /// Activity or objective arithmetic would overflow `i64`.
+    ///
+    /// Problems built from realistic scheduling instances never get close
+    /// to this; the error exists so the solver can refuse rather than wrap
+    /// around silently.
+    Overflow,
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::UnknownVariable { var, len } => {
+                write!(f, "variable {var:?} does not belong to this problem ({len} variables)")
+            }
+            IlpError::InvalidBounds { lower, upper } => {
+                write!(f, "invalid variable bounds: lower {lower} exceeds upper {upper}")
+            }
+            IlpError::Overflow => write!(f, "coefficient arithmetic overflowed"),
+        }
+    }
+}
+
+impl Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = IlpError::InvalidBounds { lower: 3, upper: 1 };
+        assert!(err.to_string().contains("lower 3"));
+        let err = IlpError::UnknownVariable {
+            var: VarId::new(4),
+            len: 2,
+        };
+        assert!(err.to_string().contains("2 variables"));
+        assert!(IlpError::Overflow.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IlpError>();
+    }
+}

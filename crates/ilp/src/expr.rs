@@ -1,0 +1,216 @@
+//! Linear expressions over problem variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::VarId;
+
+/// A linear expression `Σ a_j·x_j + c` over problem variables.
+///
+/// Expressions are built incrementally with [`LinExpr::term`] and
+/// [`LinExpr::constant`]; repeated terms for the same variable are merged by
+/// summing their coefficients, and zero coefficients are dropped.
+///
+/// ```
+/// use msmr_ilp::{LinExpr, Problem};
+///
+/// let mut p = Problem::new();
+/// let x = p.binary("x");
+/// let y = p.binary("y");
+/// let expr = LinExpr::new().term(x, 2).term(y, -1).term(x, 3).constant(7);
+/// assert_eq!(expr.coefficient(x), 5);
+/// assert_eq!(expr.coefficient(y), -1);
+/// assert_eq!(expr.constant_term(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    #[must_use]
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Adds `coefficient · var` to the expression, merging with any existing
+    /// term for the same variable.
+    #[must_use]
+    pub fn term(mut self, var: VarId, coefficient: i64) -> Self {
+        self.add_term(var, coefficient);
+        self
+    }
+
+    /// Adds a constant offset to the expression.
+    #[must_use]
+    pub fn constant(mut self, value: i64) -> Self {
+        self.constant += value;
+        self
+    }
+
+    /// In-place variant of [`LinExpr::term`].
+    pub fn add_term(&mut self, var: VarId, coefficient: i64) {
+        let entry = self.terms.entry(var).or_insert(0);
+        *entry += coefficient;
+        if *entry == 0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// In-place variant of [`LinExpr::constant`].
+    pub fn add_constant(&mut self, value: i64) {
+        self.constant += value;
+    }
+
+    /// Adds another expression to this one.
+    #[must_use]
+    pub fn plus(mut self, other: &LinExpr) -> Self {
+        for (&var, &coef) in &other.terms {
+            self.add_term(var, coef);
+        }
+        self.constant += other.constant;
+        self
+    }
+
+    /// Returns the expression multiplied by a scalar.
+    #[must_use]
+    pub fn scaled(mut self, factor: i64) -> Self {
+        if factor == 0 {
+            return LinExpr::new();
+        }
+        for coef in self.terms.values_mut() {
+            *coef *= factor;
+        }
+        self.constant *= factor;
+        self
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    #[must_use]
+    pub fn coefficient(&self, var: VarId) -> i64 {
+        self.terms.get(&var).copied().unwrap_or(0)
+    }
+
+    /// The constant offset `c`.
+    #[must_use]
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with non-zero
+    /// coefficients, in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, i64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with a non-zero coefficient.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the expression has no variable terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for the given assignment.
+    ///
+    /// Variables missing from `values` (index out of range) evaluate as
+    /// zero.
+    #[must_use]
+    pub fn evaluate(&self, values: &[i64]) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&var, &coef)| coef * values.get(var.index()).copied().unwrap_or(0))
+                .sum::<i64>()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(var: VarId) -> Self {
+        LinExpr::new().term(var, 1)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (var, coef) in self.terms() {
+            if first {
+                write!(f, "{coef}·x{}", var.index())?;
+                first = false;
+            } else if coef >= 0 {
+                write!(f, " + {coef}·x{}", var.index())?;
+            } else {
+                write!(f, " - {}·x{}", -coef, var.index())?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn merging_and_cancellation() {
+        let e = LinExpr::new().term(v(0), 2).term(v(0), -2).term(v(1), 5);
+        assert_eq!(e.coefficient(v(0)), 0);
+        assert_eq!(e.coefficient(v(1)), 5);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+        assert!(LinExpr::new().is_empty());
+    }
+
+    #[test]
+    fn plus_and_scaled() {
+        let a = LinExpr::new().term(v(0), 1).constant(2);
+        let b = LinExpr::new().term(v(0), 3).term(v(1), -1).constant(-5);
+        let sum = a.clone().plus(&b);
+        assert_eq!(sum.coefficient(v(0)), 4);
+        assert_eq!(sum.coefficient(v(1)), -1);
+        assert_eq!(sum.constant_term(), -3);
+        let doubled = sum.scaled(2);
+        assert_eq!(doubled.coefficient(v(0)), 8);
+        assert_eq!(doubled.constant_term(), -6);
+        assert!(doubled.clone().scaled(0).is_empty());
+        assert_eq!(doubled.scaled(0).constant_term(), 0);
+    }
+
+    #[test]
+    fn evaluate_assignment() {
+        let e = LinExpr::new().term(v(0), 2).term(v(2), -3).constant(4);
+        assert_eq!(e.evaluate(&[5, 0, 1]), 2 * 5 - 3 + 4);
+        // Out-of-range variables count as zero.
+        assert_eq!(e.evaluate(&[5]), 14);
+    }
+
+    #[test]
+    fn from_var_and_display() {
+        let e = LinExpr::from(v(3)).term(v(1), -2).constant(-1);
+        assert_eq!(e.coefficient(v(3)), 1);
+        let text = e.to_string();
+        assert!(text.contains("x3"));
+        assert!(text.contains("x1"));
+        assert_eq!(LinExpr::new().constant(7).to_string(), "7");
+        assert_eq!(LinExpr::new().to_string(), "0");
+    }
+}

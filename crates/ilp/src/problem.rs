@@ -1,0 +1,411 @@
+//! Problem definition: variables, constraints and objective.
+
+use std::fmt;
+
+use crate::{IlpError, LinExpr};
+
+/// Opaque identifier of a problem variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Creates a variable id from its dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        VarId(index)
+    }
+
+    /// Dense index of the variable within its problem.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A bounded integer decision variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    name: String,
+    lower: i64,
+    upper: i64,
+}
+
+impl Variable {
+    /// The variable's (diagnostic) name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Smallest admissible value.
+    #[must_use]
+    pub fn lower(&self) -> i64 {
+        self.lower
+    }
+
+    /// Largest admissible value.
+    #[must_use]
+    pub fn upper(&self) -> i64 {
+        self.upper
+    }
+
+    /// Returns `true` if the domain is `{0, 1}`.
+    #[must_use]
+    pub fn is_binary(&self) -> bool {
+        self.lower == 0 && self.upper == 1
+    }
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Ge => write!(f, ">="),
+            CmpOp::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A linear constraint `expr (≤|≥|=) rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    expr: LinExpr,
+    op: CmpOp,
+    rhs: i64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    #[must_use]
+    pub fn new(expr: LinExpr, op: CmpOp, rhs: i64) -> Self {
+        Constraint { expr, op, rhs }
+    }
+
+    /// The left-hand-side expression.
+    #[must_use]
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The comparison operator.
+    #[must_use]
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The right-hand-side constant.
+    #[must_use]
+    pub fn rhs(&self) -> i64 {
+        self.rhs
+    }
+
+    /// Checks the constraint against a complete assignment.
+    #[must_use]
+    pub fn is_satisfied_by(&self, values: &[i64]) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.op {
+            CmpOp::Le => lhs <= self.rhs,
+            CmpOp::Ge => lhs >= self.rhs,
+            CmpOp::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.op, self.rhs)
+    }
+}
+
+/// Optimisation sense of the objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Objective {
+    /// Pure feasibility problem.
+    None,
+    /// Minimise the expression.
+    Minimize(LinExpr),
+    /// Maximise the expression.
+    Maximize(LinExpr),
+}
+
+/// An integer linear problem: bounded integer variables, linear constraints
+/// and an optional linear objective.
+///
+/// See the crate-level example. Construction methods validate their inputs;
+/// constraints referencing foreign variables are caught by
+/// [`Solver::solve`](crate::Solver::solve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    variables: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    pub(crate) objective: Objective,
+}
+
+impl Default for Problem {
+    fn default() -> Self {
+        Problem::new()
+    }
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    #[must_use]
+    pub fn new() -> Self {
+        Problem {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            objective: Objective::None,
+        }
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.int_var(name, 0, 1)
+            .expect("binary bounds are always valid")
+    }
+
+    /// Adds a bounded integer variable with inclusive bounds
+    /// `lower ..= upper`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::InvalidBounds`] if `lower > upper`.
+    pub fn int_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: i64,
+        upper: i64,
+    ) -> Result<VarId, IlpError> {
+        if lower > upper {
+            return Err(IlpError::InvalidBounds { lower, upper });
+        }
+        let id = VarId::new(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+        });
+        Ok(id)
+    }
+
+    /// Adds the constraint `expr ≤ rhs`.
+    pub fn less_equal(&mut self, expr: LinExpr, rhs: i64) -> &mut Self {
+        self.constraints.push(Constraint::new(expr, CmpOp::Le, rhs));
+        self
+    }
+
+    /// Adds the constraint `expr ≥ rhs`.
+    pub fn greater_equal(&mut self, expr: LinExpr, rhs: i64) -> &mut Self {
+        self.constraints.push(Constraint::new(expr, CmpOp::Ge, rhs));
+        self
+    }
+
+    /// Adds the constraint `expr = rhs`.
+    pub fn equal(&mut self, expr: LinExpr, rhs: i64) -> &mut Self {
+        self.constraints.push(Constraint::new(expr, CmpOp::Eq, rhs));
+        self
+    }
+
+    /// Adds an arbitrary pre-built constraint.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Sets a minimisation objective (replacing any previous objective).
+    pub fn minimize(&mut self, expr: LinExpr) -> &mut Self {
+        self.objective = Objective::Minimize(expr);
+        self
+    }
+
+    /// Sets a maximisation objective (replacing any previous objective).
+    pub fn maximize(&mut self, expr: LinExpr) -> &mut Self {
+        self.objective = Objective::Maximize(expr);
+        self
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variable behind an id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for ids that do not belong to
+    /// this problem.
+    pub fn variable(&self, var: VarId) -> Result<&Variable, IlpError> {
+        self.variables.get(var.index()).ok_or(IlpError::UnknownVariable {
+            var,
+            len: self.variables.len(),
+        })
+    }
+
+    /// Iterates over the variables in id order.
+    pub fn variables(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId::new(i), v))
+    }
+
+    /// Iterates over the constraints in insertion order.
+    pub fn constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Checks that every variable referenced by constraints and the
+    /// objective belongs to this problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] naming the first foreign
+    /// variable found.
+    pub fn validate(&self) -> Result<(), IlpError> {
+        let check_expr = |expr: &LinExpr| -> Result<(), IlpError> {
+            for (var, _) in expr.terms() {
+                if var.index() >= self.variables.len() {
+                    return Err(IlpError::UnknownVariable {
+                        var,
+                        len: self.variables.len(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for c in &self.constraints {
+            check_expr(c.expr())?;
+        }
+        match &self.objective {
+            Objective::None => Ok(()),
+            Objective::Minimize(e) | Objective::Maximize(e) => check_expr(e),
+        }
+    }
+
+    /// Checks a complete assignment against every constraint.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied_by(values))
+            && self.variables.iter().enumerate().all(|(i, v)| {
+                values
+                    .get(i)
+                    .is_some_and(|&x| x >= v.lower && x <= v.upper)
+            })
+    }
+
+    /// Evaluates the objective for an assignment (`None` for feasibility
+    /// problems).
+    #[must_use]
+    pub fn objective_value(&self, values: &[i64]) -> Option<i64> {
+        match &self.objective {
+            Objective::None => None,
+            Objective::Minimize(e) | Objective::Maximize(e) => Some(e.evaluate(values)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_creation_and_bounds() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        let y = p.int_var("y", -3, 7).unwrap();
+        assert_eq!(p.num_variables(), 2);
+        assert!(p.variable(x).unwrap().is_binary());
+        assert!(!p.variable(y).unwrap().is_binary());
+        assert_eq!(p.variable(y).unwrap().lower(), -3);
+        assert_eq!(p.variable(y).unwrap().upper(), 7);
+        assert_eq!(p.variable(y).unwrap().name(), "y");
+        assert!(matches!(
+            p.int_var("bad", 5, 2),
+            Err(IlpError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            p.variable(VarId::new(99)),
+            Err(IlpError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn constraints_and_feasibility_check() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        let y = p.int_var("y", 0, 10).unwrap();
+        p.less_equal(LinExpr::new().term(x, 2).term(y, 1), 5);
+        p.greater_equal(LinExpr::from(y), 1);
+        p.equal(LinExpr::new().term(x, 1).term(y, 1), 3);
+        assert_eq!(p.num_constraints(), 3);
+        assert!(p.is_feasible(&[1, 2]));
+        assert!(!p.is_feasible(&[0, 2])); // violates equality
+        assert!(!p.is_feasible(&[1, 11])); // violates variable bound
+        assert!(!p.is_feasible(&[2, 1])); // x out of binary bounds
+    }
+
+    #[test]
+    fn validation_catches_foreign_variables() {
+        let mut p = Problem::new();
+        let _x = p.binary("x");
+        p.less_equal(LinExpr::new().term(VarId::new(5), 1), 3);
+        assert!(matches!(p.validate(), Err(IlpError::UnknownVariable { .. })));
+
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        p.maximize(LinExpr::new().term(VarId::new(9), 1));
+        p.less_equal(LinExpr::from(x), 1);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn objective_value_evaluation() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        assert_eq!(p.objective_value(&[1]), None);
+        p.maximize(LinExpr::new().term(x, 4).constant(1));
+        assert_eq!(p.objective_value(&[1]), Some(5));
+        p.minimize(LinExpr::new().term(x, 2));
+        assert_eq!(p.objective_value(&[1]), Some(2));
+    }
+
+    #[test]
+    fn constraint_display_and_accessors() {
+        let c = Constraint::new(LinExpr::new().term(VarId::new(0), 2), CmpOp::Ge, 3);
+        assert_eq!(c.op(), CmpOp::Ge);
+        assert_eq!(c.rhs(), 3);
+        assert_eq!(c.expr().coefficient(VarId::new(0)), 2);
+        assert!(c.to_string().contains(">="));
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Eq.to_string(), "=");
+    }
+
+    #[test]
+    fn variables_iteration() {
+        let mut p = Problem::new();
+        p.binary("a");
+        p.binary("b");
+        let names: Vec<&str> = p.variables().map(|(_, v)| v.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(p.constraints().count(), 0);
+    }
+}

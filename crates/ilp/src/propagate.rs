@@ -1,0 +1,292 @@
+//! Domain store and bounds-consistency propagation for linear constraints.
+
+use crate::{CmpOp, Problem};
+
+/// Current lower/upper bounds of every variable during search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Domains {
+    lower: Vec<i64>,
+    upper: Vec<i64>,
+}
+
+impl Domains {
+    /// Initial domains straight from the variable declarations.
+    pub(crate) fn from_problem(problem: &Problem) -> Self {
+        let mut lower = Vec::with_capacity(problem.num_variables());
+        let mut upper = Vec::with_capacity(problem.num_variables());
+        for (_, var) in problem.variables() {
+            lower.push(var.lower());
+            upper.push(var.upper());
+        }
+        Domains { lower, upper }
+    }
+
+    pub(crate) fn lower(&self, var: usize) -> i64 {
+        self.lower[var]
+    }
+
+    pub(crate) fn upper(&self, var: usize) -> i64 {
+        self.upper[var]
+    }
+
+    pub(crate) fn is_fixed(&self, var: usize) -> bool {
+        self.lower[var] == self.upper[var]
+    }
+
+    pub(crate) fn width(&self, var: usize) -> i64 {
+        self.upper[var] - self.lower[var]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    pub(crate) fn all_fixed(&self) -> bool {
+        (0..self.len()).all(|v| self.is_fixed(v))
+    }
+
+    /// The assignment formed by the lower bounds; only meaningful when all
+    /// variables are fixed.
+    pub(crate) fn assignment(&self) -> Vec<i64> {
+        self.lower.clone()
+    }
+
+    pub(crate) fn set_lower(&mut self, var: usize, value: i64) {
+        self.lower[var] = value;
+    }
+
+    pub(crate) fn set_upper(&mut self, var: usize, value: i64) {
+        self.upper[var] = value;
+    }
+}
+
+/// A constraint normalised to the form `Σ a_j x_j ≤ b`.
+#[derive(Debug, Clone)]
+pub(crate) struct LeConstraint {
+    pub(crate) terms: Vec<(usize, i64)>,
+    pub(crate) rhs: i64,
+}
+
+impl LeConstraint {
+    /// Minimum possible activity of the left-hand side under the current
+    /// domains.
+    fn min_activity(&self, domains: &Domains) -> i128 {
+        self.terms
+            .iter()
+            .map(|&(var, coef)| {
+                let bound = if coef > 0 {
+                    domains.lower(var)
+                } else {
+                    domains.upper(var)
+                };
+                i128::from(coef) * i128::from(bound)
+            })
+            .sum()
+    }
+}
+
+/// Normalises all problem constraints to `≤` form (a `=` constraint becomes
+/// two inequalities, a `≥` constraint is negated).
+pub(crate) fn normalize(problem: &Problem) -> Vec<LeConstraint> {
+    let mut out = Vec::new();
+    for c in problem.constraints() {
+        let terms: Vec<(usize, i64)> = c
+            .expr()
+            .terms()
+            .map(|(var, coef)| (var.index(), coef))
+            .collect();
+        let rhs = c.rhs() - c.expr().constant_term();
+        match c.op() {
+            CmpOp::Le => out.push(LeConstraint {
+                terms: terms.clone(),
+                rhs,
+            }),
+            CmpOp::Ge => out.push(negated(&terms, rhs)),
+            CmpOp::Eq => {
+                out.push(LeConstraint {
+                    terms: terms.clone(),
+                    rhs,
+                });
+                out.push(negated(&terms, rhs));
+            }
+        }
+    }
+    out
+}
+
+fn negated(terms: &[(usize, i64)], rhs: i64) -> LeConstraint {
+    LeConstraint {
+        terms: terms.iter().map(|&(v, c)| (v, -c)).collect(),
+        rhs: -rhs,
+    }
+}
+
+/// Result of a propagation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Propagation {
+    /// Domains are (bounds-)consistent with every constraint.
+    Consistent,
+    /// Some constraint cannot be satisfied under the current domains.
+    Infeasible,
+}
+
+/// Runs bounds-consistency propagation to a fixpoint.
+pub(crate) fn propagate(constraints: &[LeConstraint], domains: &mut Domains) -> Propagation {
+    loop {
+        let mut changed = false;
+        for c in constraints {
+            let min_activity = c.min_activity(domains);
+            if min_activity > i128::from(c.rhs) {
+                return Propagation::Infeasible;
+            }
+            for &(var, coef) in &c.terms {
+                if coef == 0 {
+                    continue;
+                }
+                let own_min = if coef > 0 {
+                    i128::from(coef) * i128::from(domains.lower(var))
+                } else {
+                    i128::from(coef) * i128::from(domains.upper(var))
+                };
+                let slack = i128::from(c.rhs) - (min_activity - own_min);
+                if coef > 0 {
+                    // coef · x ≤ slack  ⇒  x ≤ ⌊slack / coef⌋
+                    let new_upper = div_floor(slack, i128::from(coef));
+                    if new_upper < i128::from(domains.lower(var)) {
+                        return Propagation::Infeasible;
+                    }
+                    if new_upper < i128::from(domains.upper(var)) {
+                        domains.set_upper(var, new_upper as i64);
+                        changed = true;
+                    }
+                } else {
+                    // coef · x ≤ slack with coef < 0  ⇒  x ≥ ⌈slack / coef⌉
+                    let new_lower = div_ceil(slack, i128::from(coef));
+                    if new_lower > i128::from(domains.upper(var)) {
+                        return Propagation::Infeasible;
+                    }
+                    if new_lower > i128::from(domains.lower(var)) {
+                        domains.set_lower(var, new_lower as i64);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Propagation::Consistent;
+        }
+    }
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(7, -2), -4);
+        assert_eq!(div_floor(-7, -2), 3);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_ceil(7, -2), -3);
+        assert_eq!(div_ceil(-7, -2), 4);
+        assert_eq!(div_floor(6, 3), 2);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+
+    #[test]
+    fn propagation_tightens_upper_bounds() {
+        let mut p = Problem::new();
+        let x = p.int_var("x", 0, 10).unwrap();
+        let y = p.int_var("y", 2, 10).unwrap();
+        // x + y <= 6 with y >= 2 forces x <= 4.
+        p.less_equal(LinExpr::new().term(x, 1).term(y, 1), 6);
+        let constraints = normalize(&p);
+        let mut domains = Domains::from_problem(&p);
+        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(domains.upper(x.index()), 4);
+        assert_eq!(domains.upper(y.index()), 6);
+    }
+
+    #[test]
+    fn propagation_tightens_lower_bounds_via_ge() {
+        let mut p = Problem::new();
+        let x = p.int_var("x", 0, 10).unwrap();
+        let y = p.int_var("y", 0, 3).unwrap();
+        // x + y >= 8 with y <= 3 forces x >= 5.
+        p.greater_equal(LinExpr::new().term(x, 1).term(y, 1), 8);
+        let constraints = normalize(&p);
+        let mut domains = Domains::from_problem(&p);
+        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(domains.lower(x.index()), 5);
+    }
+
+    #[test]
+    fn equality_fixes_variables() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        let y = p.binary("y");
+        // x + y = 2 fixes both to 1.
+        p.equal(LinExpr::new().term(x, 1).term(y, 1), 2);
+        let constraints = normalize(&p);
+        let mut domains = Domains::from_problem(&p);
+        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert!(domains.all_fixed());
+        assert_eq!(domains.assignment(), vec![1, 1]);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        p.greater_equal(LinExpr::new().term(x, 1), 2);
+        let constraints = normalize(&p);
+        let mut domains = Domains::from_problem(&p);
+        assert_eq!(propagate(&constraints, &mut domains), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn negative_coefficients_and_constants() {
+        let mut p = Problem::new();
+        let x = p.int_var("x", -5, 5).unwrap();
+        // -2x + 1 <= -5  ⇒  x >= 3.
+        p.less_equal(LinExpr::new().term(x, -2).constant(1), -5);
+        let constraints = normalize(&p);
+        let mut domains = Domains::from_problem(&p);
+        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(domains.lower(x.index()), 3);
+        assert_eq!(domains.upper(x.index()), 5);
+    }
+
+    #[test]
+    fn domain_accessors() {
+        let mut p = Problem::new();
+        let x = p.int_var("x", 1, 4).unwrap();
+        let domains = Domains::from_problem(&p);
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains.width(x.index()), 3);
+        assert!(!domains.is_fixed(x.index()));
+        assert!(!domains.all_fixed());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: the branch-and-bound solver agrees with brute-force
+//! enumeration on randomly generated small problems.
+
+use msmr_ilp::{CmpOp, Constraint, LinExpr, Outcome, Problem, Solver, VarId};
+use proptest::prelude::*;
+
+/// A compact, generatable description of a random problem.
+#[derive(Debug, Clone)]
+struct RandomProblem {
+    /// Per-variable inclusive bounds.
+    bounds: Vec<(i64, i64)>,
+    /// Constraints as (coefficients, op, rhs).
+    constraints: Vec<(Vec<i64>, u8, i64)>,
+    /// Objective coefficients (empty = feasibility problem).
+    objective: Vec<i64>,
+    maximize: bool,
+}
+
+impl RandomProblem {
+    fn build(&self) -> Problem {
+        let mut p = Problem::new();
+        let vars: Vec<VarId> = self
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| p.int_var(format!("x{i}"), lo, hi).expect("valid bounds"))
+            .collect();
+        for (coeffs, op, rhs) in &self.constraints {
+            let mut expr = LinExpr::new();
+            for (v, &c) in vars.iter().zip(coeffs) {
+                expr.add_term(*v, c);
+            }
+            let op = match op % 3 {
+                0 => CmpOp::Le,
+                1 => CmpOp::Ge,
+                _ => CmpOp::Eq,
+            };
+            p.add_constraint(Constraint::new(expr, op, *rhs));
+        }
+        if !self.objective.is_empty() {
+            let mut expr = LinExpr::new();
+            for (v, &c) in vars.iter().zip(&self.objective) {
+                expr.add_term(*v, c);
+            }
+            if self.maximize {
+                p.maximize(expr);
+            } else {
+                p.minimize(expr);
+            }
+        }
+        p
+    }
+
+    /// Enumerates every assignment, returning (any feasible?, best objective).
+    fn brute_force(&self, problem: &Problem) -> (bool, Option<i64>) {
+        let n = self.bounds.len();
+        let mut assignment = vec![0i64; n];
+        let mut feasible = false;
+        let mut best: Option<i64> = None;
+        self.enumerate(problem, 0, &mut assignment, &mut feasible, &mut best);
+        (feasible, best)
+    }
+
+    fn enumerate(
+        &self,
+        problem: &Problem,
+        index: usize,
+        assignment: &mut Vec<i64>,
+        feasible: &mut bool,
+        best: &mut Option<i64>,
+    ) {
+        if index == self.bounds.len() {
+            if problem.is_feasible(assignment) {
+                *feasible = true;
+                if let Some(value) = problem.objective_value(assignment) {
+                    *best = Some(match *best {
+                        None => value,
+                        Some(b) if self.maximize => b.max(value),
+                        Some(b) => b.min(value),
+                    });
+                }
+            }
+            return;
+        }
+        let (lo, hi) = self.bounds[index];
+        for v in lo..=hi {
+            assignment[index] = v;
+            self.enumerate(problem, index + 1, assignment, feasible, best);
+        }
+    }
+}
+
+fn random_problem() -> impl Strategy<Value = RandomProblem> {
+    let bounds = prop::collection::vec(
+        (-3i64..=1).prop_flat_map(|lo| (Just(lo), lo..=lo + 4)),
+        1..=4,
+    );
+    bounds.prop_flat_map(|bounds| {
+        let n = bounds.len();
+        let constraints = prop::collection::vec(
+            (
+                prop::collection::vec(-4i64..=4, n),
+                0u8..3,
+                -8i64..=8,
+            ),
+            0..=4,
+        );
+        let objective = prop::collection::vec(-5i64..=5, 0..=n);
+        (
+            Just(bounds),
+            constraints,
+            objective,
+            proptest::bool::ANY,
+        )
+            .prop_map(|(bounds, constraints, objective, maximize)| RandomProblem {
+                bounds,
+                constraints,
+                objective,
+                maximize,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feasibility answers must match brute force exactly.
+    #[test]
+    fn solver_matches_brute_force_feasibility(rp in random_problem()) {
+        let problem = rp.build();
+        let (expected_feasible, expected_best) = rp.brute_force(&problem);
+        let outcome = Solver::new().solve(&problem).expect("valid problem");
+        prop_assert!(outcome.is_conclusive());
+        prop_assert_eq!(outcome.is_feasible(), expected_feasible);
+        if let Some(solution) = outcome.solution() {
+            // Any reported solution must really satisfy every constraint.
+            prop_assert!(problem.is_feasible(solution.values()));
+        }
+        // And the optimum must match when there is an objective.
+        if !rp.objective.is_empty() && expected_feasible {
+            prop_assert_eq!(outcome.objective(), expected_best);
+        }
+    }
+
+    /// Solutions of feasibility problems always satisfy the constraints.
+    #[test]
+    fn reported_solutions_are_feasible(rp in random_problem()) {
+        let problem = rp.build();
+        if let Outcome::Optimal(solution) | Outcome::Feasible(solution) =
+            Solver::new().solve(&problem).expect("valid problem")
+        {
+            prop_assert!(problem.is_feasible(solution.values()));
+        }
+    }
+}

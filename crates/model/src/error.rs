@@ -1,0 +1,161 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{JobId, StageId};
+
+/// Error produced when constructing or validating an MSMR system model.
+///
+/// All public constructors of this crate validate their inputs
+/// (C-VALIDATE); the variants below describe every way validation can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A pipeline must have at least one stage.
+    EmptyPipeline,
+    /// A stage must contain at least one resource.
+    EmptyStage {
+        /// The offending stage.
+        stage: StageId,
+    },
+    /// A job's per-stage processing-time vector does not have one entry per
+    /// pipeline stage.
+    StageCountMismatch {
+        /// The offending job.
+        job: JobId,
+        /// Number of stages in the pipeline.
+        expected: usize,
+        /// Number of per-stage entries supplied for the job.
+        actual: usize,
+    },
+    /// A job is mapped to a resource index that does not exist at a stage.
+    UnknownResource {
+        /// The offending job.
+        job: JobId,
+        /// Stage at which the mapping is invalid.
+        stage: StageId,
+        /// The out-of-range resource index.
+        resource: usize,
+        /// Number of resources available at the stage.
+        available: usize,
+    },
+    /// A job's end-to-end deadline is zero.
+    ZeroDeadline {
+        /// The offending job.
+        job: JobId,
+    },
+    /// A job has zero processing time in every stage.
+    ZeroProcessing {
+        /// The offending job.
+        job: JobId,
+    },
+    /// A job id was referenced that is not part of the job set.
+    UnknownJob {
+        /// The unknown id.
+        job: JobId,
+        /// Number of jobs in the set.
+        len: usize,
+    },
+    /// A stage id was referenced that is not part of the pipeline.
+    UnknownStage {
+        /// The unknown id.
+        stage: StageId,
+        /// Number of stages in the pipeline.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyPipeline => write!(f, "pipeline has no stages"),
+            ModelError::EmptyStage { stage } => {
+                write!(f, "stage {stage} has no resources")
+            }
+            ModelError::StageCountMismatch {
+                job,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "job {job} specifies {actual} stage entries but the pipeline has {expected} stages"
+            ),
+            ModelError::UnknownResource {
+                job,
+                stage,
+                resource,
+                available,
+            } => write!(
+                f,
+                "job {job} is mapped to resource {resource} at stage {stage}, \
+                 but only {available} resources exist there"
+            ),
+            ModelError::ZeroDeadline { job } => {
+                write!(f, "job {job} has a zero end-to-end deadline")
+            }
+            ModelError::ZeroProcessing { job } => {
+                write!(f, "job {job} has zero processing time in every stage")
+            }
+            ModelError::UnknownJob { job, len } => {
+                write!(f, "job {job} does not exist (job set has {len} jobs)")
+            }
+            ModelError::UnknownStage { stage, len } => {
+                write!(f, "stage {stage} does not exist (pipeline has {len} stages)")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::EmptyPipeline,
+            ModelError::EmptyStage {
+                stage: StageId::new(1),
+            },
+            ModelError::StageCountMismatch {
+                job: JobId::new(0),
+                expected: 3,
+                actual: 2,
+            },
+            ModelError::UnknownResource {
+                job: JobId::new(2),
+                stage: StageId::new(1),
+                resource: 9,
+                available: 3,
+            },
+            ModelError::ZeroDeadline {
+                job: JobId::new(4),
+            },
+            ModelError::ZeroProcessing {
+                job: JobId::new(5),
+            },
+            ModelError::UnknownJob {
+                job: JobId::new(7),
+                len: 3,
+            },
+            ModelError::UnknownStage {
+                stage: StageId::new(9),
+                len: 3,
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("job"));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

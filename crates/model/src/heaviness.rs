@@ -1,0 +1,232 @@
+//! Heaviness metrics of jobs, resources and whole job sets (§VI-A of the
+//! paper).
+//!
+//! * `h_{i,j} = P_{i,j} / D_i` — heaviness of job `J_i` at stage `S_j`
+//!   ([`Job::heaviness`](crate::Job::heaviness)).
+//! * `χ_{y,j}` — sum of the heaviness of all jobs mapped to the `y`-th
+//!   resource at stage `S_j` ([`ResourceHeaviness`]).
+//! * `H = max_{y,j} χ_{y,j}` — heaviness of the job set
+//!   ([`HeavinessProfile::system`]), the paper's analogue of total
+//!   utilisation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{JobId, JobSet, ResourceRef, StageId};
+
+/// Heaviness `χ_{y,j}` of one physical resource: the sum of `P_{i,j}/D_i`
+/// over every job mapped to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceHeaviness {
+    /// The resource the value refers to.
+    pub resource: ResourceRef,
+    /// Sum of job heaviness on this resource.
+    pub heaviness: f64,
+    /// Number of jobs mapped to the resource.
+    pub job_count: usize,
+}
+
+/// Heaviness profile of a [`JobSet`]: per-resource `χ_{y,j}` values and the
+/// system heaviness `H`.
+///
+/// # Example
+///
+/// ```
+/// use msmr_model::{HeavinessProfile, JobSetBuilder, PreemptionPolicy, Time};
+///
+/// # fn main() -> Result<(), msmr_model::ModelError> {
+/// let mut b = JobSetBuilder::new();
+/// b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+/// b.job()
+///     .deadline(Time::from_millis(100))
+///     .stage_time(Time::from_millis(30), 0)
+///     .add()?;
+/// b.job()
+///     .deadline(Time::from_millis(200))
+///     .stage_time(Time::from_millis(50), 0)
+///     .add()?;
+/// let set = b.build()?;
+/// let profile = HeavinessProfile::of(&set);
+/// assert!((profile.system() - 0.55).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeavinessProfile {
+    per_resource: BTreeMap<ResourceRef, ResourceHeaviness>,
+    system: f64,
+}
+
+impl HeavinessProfile {
+    /// Computes the heaviness profile of a job set.
+    #[must_use]
+    pub fn of(jobs: &JobSet) -> Self {
+        let mut per_resource: BTreeMap<ResourceRef, ResourceHeaviness> = jobs
+            .pipeline()
+            .resource_refs()
+            .map(|r| {
+                (
+                    r,
+                    ResourceHeaviness {
+                        resource: r,
+                        heaviness: 0.0,
+                        job_count: 0,
+                    },
+                )
+            })
+            .collect();
+        for job in jobs.jobs() {
+            for (stage, _) in jobs.pipeline().stages() {
+                let r = ResourceRef::new(stage, job.resource(stage));
+                let entry = per_resource
+                    .get_mut(&r)
+                    .expect("validated job maps to existing resource");
+                entry.heaviness += job.heaviness(stage);
+                entry.job_count += 1;
+            }
+        }
+        let system = per_resource
+            .values()
+            .map(|r| r.heaviness)
+            .fold(0.0, f64::max);
+        HeavinessProfile {
+            per_resource,
+            system,
+        }
+    }
+
+    /// System heaviness `H = max_{y,j} χ_{y,j}`.
+    #[must_use]
+    pub fn system(&self) -> f64 {
+        self.system
+    }
+
+    /// Heaviness of one resource (`0.0` for resources with no mapped jobs;
+    /// `None` only if the resource does not exist in the pipeline).
+    #[must_use]
+    pub fn resource(&self, resource: ResourceRef) -> Option<f64> {
+        self.per_resource.get(&resource).map(|r| r.heaviness)
+    }
+
+    /// The most heavily loaded resource and its heaviness.
+    #[must_use]
+    pub fn heaviest_resource(&self) -> Option<ResourceHeaviness> {
+        self.per_resource
+            .values()
+            .copied()
+            .max_by(|a, b| a.heaviness.total_cmp(&b.heaviness))
+    }
+
+    /// Iterates over the per-resource heaviness values in resource order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceHeaviness> {
+        self.per_resource.values()
+    }
+
+    /// Sum of the heaviness of all jobs mapped to the same resource as job
+    /// `i` at stage `j` — `Υ_{i,j}` of the DCMP baseline (§VI-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job or stage id is out of range for `jobs`.
+    #[must_use]
+    pub fn upsilon(jobs: &JobSet, i: JobId, stage: StageId) -> f64 {
+        let resource = ResourceRef::new(stage, jobs.job(i).resource(stage));
+        jobs.jobs_on_resource(resource)
+            .into_iter()
+            .map(|k| jobs.job(k).heaviness(stage))
+            .sum()
+    }
+}
+
+/// Returns `true` if job `i` is *heavy* at `stage` for the threshold `β`,
+/// i.e. `h_{i,j} ≥ β` (§VI-A).
+///
+/// # Panics
+///
+/// Panics if the job or stage id is out of range.
+#[must_use]
+pub fn is_heavy(jobs: &JobSet, i: JobId, stage: StageId, beta: f64) -> bool {
+    jobs.job(i).heaviness(stage) >= beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobSetBuilder, PreemptionPolicy, ResourceId, Time};
+
+    fn example_set() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("s0", 2, PreemptionPolicy::Preemptive)
+            .stage("s1", 1, PreemptionPolicy::Preemptive);
+        // J0: heaviness 0.3 on S0/R0, 0.1 on S1/R0.
+        b.job()
+            .deadline(Time::new(100))
+            .stage_time(Time::new(30), 0)
+            .stage_time(Time::new(10), 0)
+            .add()
+            .unwrap();
+        // J1: heaviness 0.25 on S0/R1, 0.5 on S1/R0.
+        b.job()
+            .deadline(Time::new(40))
+            .stage_time(Time::new(10), 1)
+            .stage_time(Time::new(20), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_resource_heaviness() {
+        let set = example_set();
+        let profile = HeavinessProfile::of(&set);
+        let s0r0 = ResourceRef::new(StageId::new(0), ResourceId::new(0));
+        let s0r1 = ResourceRef::new(StageId::new(0), ResourceId::new(1));
+        let s1r0 = ResourceRef::new(StageId::new(1), ResourceId::new(0));
+        assert!((profile.resource(s0r0).unwrap() - 0.3).abs() < 1e-12);
+        assert!((profile.resource(s0r1).unwrap() - 0.25).abs() < 1e-12);
+        assert!((profile.resource(s1r0).unwrap() - 0.6).abs() < 1e-12);
+        assert!(profile
+            .resource(ResourceRef::new(StageId::new(5), ResourceId::new(0)))
+            .is_none());
+    }
+
+    #[test]
+    fn system_heaviness_is_max() {
+        let set = example_set();
+        let profile = HeavinessProfile::of(&set);
+        assert!((profile.system() - 0.6).abs() < 1e-12);
+        let heaviest = profile.heaviest_resource().unwrap();
+        assert_eq!(
+            heaviest.resource,
+            ResourceRef::new(StageId::new(1), ResourceId::new(0))
+        );
+        assert_eq!(heaviest.job_count, 2);
+    }
+
+    #[test]
+    fn iteration_covers_all_resources() {
+        let set = example_set();
+        let profile = HeavinessProfile::of(&set);
+        assert_eq!(profile.iter().count(), 3);
+    }
+
+    #[test]
+    fn upsilon_matches_definition() {
+        let set = example_set();
+        // At stage 1 both jobs share resource 0: Υ = 0.1 + 0.5.
+        let u = HeavinessProfile::upsilon(&set, JobId::new(0), StageId::new(1));
+        assert!((u - 0.6).abs() < 1e-12);
+        // At stage 0, J0 is alone on resource 0.
+        let u = HeavinessProfile::upsilon(&set, JobId::new(0), StageId::new(0));
+        assert!((u - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_classification() {
+        let set = example_set();
+        assert!(is_heavy(&set, JobId::new(0), StageId::new(0), 0.15));
+        assert!(!is_heavy(&set, JobId::new(0), StageId::new(1), 0.15));
+        assert!(is_heavy(&set, JobId::new(1), StageId::new(1), 0.5));
+    }
+}

@@ -1,0 +1,216 @@
+//! Typed identifiers for jobs, stages and resources.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job within a [`JobSet`](crate::JobSet).
+///
+/// Job ids are dense indices `0..n` assigned in insertion order.
+///
+/// ```
+/// use msmr_model::JobId;
+/// let id = JobId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "J3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// Creates a job id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        JobId(index)
+    }
+
+    /// Returns the dense index of this job.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl From<usize> for JobId {
+    fn from(index: usize) -> Self {
+        JobId(index)
+    }
+}
+
+impl From<JobId> for usize {
+    fn from(id: JobId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of a pipeline stage (`S_j` in the paper), a dense index
+/// `0..N`.
+///
+/// ```
+/// use msmr_model::StageId;
+/// assert_eq!(StageId::new(1).to_string(), "S1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct StageId(usize);
+
+impl StageId {
+    /// Creates a stage id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        StageId(index)
+    }
+
+    /// Returns the dense index of this stage.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<usize> for StageId {
+    fn from(index: usize) -> Self {
+        StageId(index)
+    }
+}
+
+impl From<StageId> for usize {
+    fn from(id: StageId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of a resource *within one stage* (`R_{i,j}` picks one of the
+/// heterogeneous resources available at stage `S_j`).
+///
+/// A `ResourceId` alone does not identify a physical resource; the pair of
+/// stage and resource id does — see [`ResourceRef`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// Creates a resource id from a dense per-stage index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ResourceId(index)
+    }
+
+    /// Returns the dense per-stage index of this resource.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<usize> for ResourceId {
+    fn from(index: usize) -> Self {
+        ResourceId(index)
+    }
+}
+
+impl From<ResourceId> for usize {
+    fn from(id: ResourceId) -> Self {
+        id.0
+    }
+}
+
+/// A fully qualified reference to one physical resource: the stage it
+/// belongs to plus its per-stage [`ResourceId`].
+///
+/// ```
+/// use msmr_model::{ResourceRef, StageId, ResourceId};
+/// let r = ResourceRef::new(StageId::new(2), ResourceId::new(5));
+/// assert_eq!(r.to_string(), "S2/R5");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ResourceRef {
+    /// Stage the resource belongs to.
+    pub stage: StageId,
+    /// Per-stage index of the resource.
+    pub resource: ResourceId,
+}
+
+impl ResourceRef {
+    /// Creates a resource reference.
+    #[must_use]
+    pub const fn new(stage: StageId, resource: ResourceId) -> Self {
+        ResourceRef { stage, resource }
+    }
+}
+
+impl fmt::Display for ResourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.stage, self.resource)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_roundtrip() {
+        let id = JobId::from(7usize);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id, JobId::new(7));
+        assert_eq!(id.to_string(), "J7");
+    }
+
+    #[test]
+    fn stage_id_roundtrip() {
+        let id = StageId::from(2usize);
+        assert_eq!(usize::from(id), 2);
+        assert_eq!(id.index(), 2);
+        assert_eq!(id.to_string(), "S2");
+    }
+
+    #[test]
+    fn resource_id_roundtrip() {
+        let id = ResourceId::from(4usize);
+        assert_eq!(usize::from(id), 4);
+        assert_eq!(id.to_string(), "R4");
+    }
+
+    #[test]
+    fn resource_ref_display_and_ordering() {
+        let a = ResourceRef::new(StageId::new(0), ResourceId::new(1));
+        let b = ResourceRef::new(StageId::new(1), ResourceId::new(0));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "S0/R1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert!(StageId::new(0) < StageId::new(3));
+        assert!(ResourceId::new(2) < ResourceId::new(9));
+    }
+}

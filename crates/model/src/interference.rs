@@ -1,0 +1,361 @@
+//! Pairwise interference structure: shared stages, segments and the
+//! `ep`/`et` quantities of the delay composition analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Job, StageId, Time};
+
+/// One *segment* of a job pair `<J_i, J_k>`: a maximal run of consecutive
+/// stages in which both jobs are mapped to the same resource (§II).
+///
+/// ```
+/// use msmr_model::Segment;
+/// let seg = Segment::new(1.into(), 3);
+/// assert_eq!(seg.start().index(), 1);
+/// assert_eq!(seg.len(), 3);
+/// assert!(seg.stages().eq([1.into(), 2.into(), 3.into()]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    start: StageId,
+    len: usize,
+}
+
+impl Segment {
+    /// Creates a segment starting at `start` spanning `len` consecutive
+    /// stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`; a segment spans at least one stage.
+    #[must_use]
+    pub fn new(start: StageId, len: usize) -> Self {
+        assert!(len > 0, "a segment spans at least one stage");
+        Segment { start, len }
+    }
+
+    /// First stage of the segment.
+    #[must_use]
+    pub fn start(&self) -> StageId {
+        self.start
+    }
+
+    /// Number of consecutive stages in the segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment consists of exactly one stage.
+    ///
+    /// Single-stage segments contribute only one job-additive term in the
+    /// refined preemptive bound (paper Eq. 6), because the higher-priority
+    /// job joins and leaves the shared pipeline portion at the same stage.
+    #[must_use]
+    pub fn is_single_stage(&self) -> bool {
+        self.len == 1
+    }
+
+    /// Iterates over the stages covered by this segment, in pipeline order.
+    pub fn stages(&self) -> impl Iterator<Item = StageId> {
+        let start = self.start.index();
+        (start..start + self.len).map(StageId::new)
+    }
+
+    /// Returns `true` if the segment covers the given stage.
+    #[must_use]
+    pub fn contains(&self, stage: StageId) -> bool {
+        let j = stage.index();
+        j >= self.start.index() && j < self.start.index() + self.len
+    }
+}
+
+/// All segments of a job pair `<J_i, J_k>`, together with the derived
+/// counts `m_{i,k}`, `u_{i,k}`, `v_{i,k}` and `w_{i,k}` used by the delay
+/// composition bounds.
+///
+/// The relation is symmetric: `Segments::between(a, b)` equals
+/// `Segments::between(b, a)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Segments {
+    segments: Vec<Segment>,
+}
+
+impl Segments {
+    /// Computes the segments of the pair `<a, b>`: maximal runs of
+    /// consecutive stages on which both jobs use the same resource.
+    ///
+    /// Stages beyond the shorter of the two jobs' stage vectors are treated
+    /// as not shared (a validated [`JobSet`](crate::JobSet) guarantees equal
+    /// lengths).
+    #[must_use]
+    pub fn between(a: &Job, b: &Job) -> Self {
+        let stages = a.stage_count().min(b.stage_count());
+        let mut segments = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for j in 0..stages {
+            let stage = StageId::new(j);
+            let shared = a.resource(stage) == b.resource(stage);
+            match (shared, run_start) {
+                (true, None) => run_start = Some(j),
+                (false, Some(start)) => {
+                    segments.push(Segment::new(StageId::new(start), j - start));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            segments.push(Segment::new(StageId::new(start), stages - start));
+        }
+        Segments { segments }
+    }
+
+    /// Builds a `Segments` value from explicit segments (mainly for tests).
+    #[must_use]
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        Segments { segments }
+    }
+
+    /// `m_{i,k}`: the number of segments of the pair.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` if the two jobs share no resource at any stage.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// `u_{i,k}`: the number of segments consisting of exactly one stage.
+    #[must_use]
+    pub fn single_stage_count(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_single_stage()).count()
+    }
+
+    /// `v_{i,k}`: the number of segments spanning two or more stages.
+    #[must_use]
+    pub fn multi_stage_count(&self) -> usize {
+        self.segments.iter().filter(|s| !s.is_single_stage()).count()
+    }
+
+    /// `w_{i,k} = u_{i,k} + 2 v_{i,k}`: the maximum number of job-additive
+    /// stage-processing terms a higher-priority job contributes to `Δ_i`
+    /// in the refined preemptive bound (paper Eq. 6).
+    #[must_use]
+    pub fn job_additive_terms(&self) -> usize {
+        self.single_stage_count() + 2 * self.multi_stage_count()
+    }
+
+    /// Iterates over the segments in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter()
+    }
+
+    /// Returns `true` if some segment covers the given stage.
+    #[must_use]
+    pub fn covers(&self, stage: StageId) -> bool {
+        self.segments.iter().any(|s| s.contains(stage))
+    }
+}
+
+impl<'a> IntoIterator for &'a Segments {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments.iter()
+    }
+}
+
+/// The shared-stage processing times `ep_{k,j}` and their ordered variants
+/// `et_{k,x}` of an interfering job `J_k` with respect to a target job
+/// `J_i` (Table I of the paper).
+///
+/// `ep_{k,j} = P_{k,j}` when `J_i` and `J_k` are mapped to the same resource
+/// at stage `S_j`, and 0 otherwise. `et_{k,x}` is the `x`-th largest of the
+/// `ep_{k,j}` values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedStageTimes {
+    /// `ep_{k,j}` indexed by stage.
+    per_stage: Vec<Time>,
+    /// `ep_{k,j}` sorted in non-increasing order.
+    sorted: Vec<Time>,
+}
+
+impl SharedStageTimes {
+    /// Computes `ep_{k,·}` of the interferer `k` with respect to the target
+    /// `i`.
+    ///
+    /// When `k` and `i` are the same job, every stage counts as shared, so
+    /// the result equals `k`'s own processing times (this matches the
+    /// convention `ep_{i,j} = P_{i,j}` used in the bounds).
+    #[must_use]
+    pub fn of(interferer: &Job, target: &Job) -> Self {
+        let stages = interferer.stage_count();
+        let mut per_stage = Vec::with_capacity(stages);
+        for j in 0..stages {
+            let stage = StageId::new(j);
+            let shared = interferer.id() == target.id()
+                || (j < target.stage_count()
+                    && interferer.resource(stage) == target.resource(stage));
+            per_stage.push(if shared {
+                interferer.processing(stage)
+            } else {
+                Time::ZERO
+            });
+        }
+        let mut sorted = per_stage.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        SharedStageTimes { per_stage, sorted }
+    }
+
+    /// `ep_{k,j}` for the given stage; zero if the stage is out of range.
+    #[must_use]
+    pub fn ep(&self, stage: StageId) -> Time {
+        self.per_stage.get(stage.index()).copied().unwrap_or(Time::ZERO)
+    }
+
+    /// `et_{k,x}`: the `x`-th largest shared-stage processing time
+    /// (1-based). Zero when `x` is 0 or exceeds the number of stages.
+    #[must_use]
+    pub fn et(&self, x: usize) -> Time {
+        if x == 0 {
+            return Time::ZERO;
+        }
+        self.sorted.get(x - 1).copied().unwrap_or(Time::ZERO)
+    }
+
+    /// `et_{k,1} = max_j ep_{k,j}`.
+    #[must_use]
+    pub fn max(&self) -> Time {
+        self.et(1)
+    }
+
+    /// Sum of the `x` largest shared-stage processing times,
+    /// `Σ_{y=1..x} et_{k,y}`.
+    #[must_use]
+    pub fn sum_of_largest(&self, x: usize) -> Time {
+        self.sorted.iter().take(x).copied().sum()
+    }
+
+    /// All `ep_{k,j}` in stage order.
+    #[must_use]
+    pub fn per_stage(&self) -> &[Time] {
+        &self.per_stage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Job, JobId, Time};
+
+    fn job(id: usize, stages: &[(u64, usize)]) -> Job {
+        let mut b = Job::builder().deadline(Time::new(1_000));
+        for &(p, r) in stages {
+            b = b.stage_time(Time::new(p), r);
+        }
+        b.build(JobId::new(id)).unwrap()
+    }
+
+    #[test]
+    fn segment_basics() {
+        let s = Segment::new(StageId::new(2), 2);
+        assert!(!s.is_single_stage());
+        assert!(s.contains(StageId::new(3)));
+        assert!(!s.contains(StageId::new(4)));
+        assert_eq!(s.stages().collect::<Vec<_>>(), vec![StageId::new(2), StageId::new(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_length_segment_panics() {
+        let _ = Segment::new(StageId::new(0), 0);
+    }
+
+    #[test]
+    fn no_shared_stage_yields_no_segment() {
+        // Figure 1(a)-style: the pair never shares a resource.
+        let a = job(0, &[(5, 0), (5, 0), (5, 0)]);
+        let b = job(1, &[(5, 1), (5, 1), (5, 1)]);
+        let segs = Segments::between(&a, &b);
+        assert!(segs.is_empty());
+        assert_eq!(segs.count(), 0);
+        assert_eq!(segs.job_additive_terms(), 0);
+    }
+
+    #[test]
+    fn single_contiguous_segment() {
+        // Shared at stages 1 and 2 only -> one segment of length 2.
+        let a = job(0, &[(5, 0), (5, 0), (5, 0), (5, 0)]);
+        let b = job(1, &[(5, 1), (5, 0), (5, 0), (5, 1)]);
+        let segs = Segments::between(&a, &b);
+        assert_eq!(segs.count(), 1);
+        assert_eq!(segs.single_stage_count(), 0);
+        assert_eq!(segs.multi_stage_count(), 1);
+        assert_eq!(segs.job_additive_terms(), 2);
+        assert!(segs.covers(StageId::new(1)));
+        assert!(!segs.covers(StageId::new(0)));
+    }
+
+    #[test]
+    fn two_segments_like_figure_1e() {
+        // Figure 1(e): the pair shares two disjoint portions of the pipeline.
+        let a = job(0, &[(5, 0), (5, 0), (5, 0), (5, 0)]);
+        let b = job(1, &[(5, 0), (5, 1), (5, 0), (5, 0)]);
+        let segs = Segments::between(&a, &b);
+        assert_eq!(segs.count(), 2);
+        assert_eq!(segs.single_stage_count(), 1);
+        assert_eq!(segs.multi_stage_count(), 1);
+        // One term for the single-stage segment + two for the longer one.
+        assert_eq!(segs.job_additive_terms(), 3);
+    }
+
+    #[test]
+    fn segments_are_symmetric() {
+        let a = job(0, &[(5, 0), (7, 2), (5, 1)]);
+        let b = job(1, &[(3, 0), (4, 2), (6, 0)]);
+        assert_eq!(Segments::between(&a, &b), Segments::between(&b, &a));
+    }
+
+    #[test]
+    fn segments_iteration() {
+        let a = job(0, &[(5, 0), (5, 1), (5, 0)]);
+        let b = job(1, &[(5, 0), (5, 0), (5, 0)]);
+        let segs = Segments::between(&a, &b);
+        let collected: Vec<_> = (&segs).into_iter().collect();
+        assert_eq!(collected.len(), segs.count());
+        assert_eq!(segs.iter().count(), segs.count());
+    }
+
+    #[test]
+    fn shared_stage_times_ep_and_et() {
+        // b shares stages 0 and 2 with a.
+        let a = job(0, &[(5, 0), (5, 1), (5, 0)]);
+        let b = job(1, &[(9, 0), (20, 0), (4, 0)]);
+        let st = SharedStageTimes::of(&b, &a);
+        assert_eq!(st.ep(StageId::new(0)), Time::new(9));
+        assert_eq!(st.ep(StageId::new(1)), Time::ZERO);
+        assert_eq!(st.ep(StageId::new(2)), Time::new(4));
+        assert_eq!(st.et(1), Time::new(9));
+        assert_eq!(st.et(2), Time::new(4));
+        assert_eq!(st.et(3), Time::ZERO);
+        assert_eq!(st.max(), Time::new(9));
+        assert_eq!(st.sum_of_largest(2), Time::new(13));
+        assert_eq!(st.sum_of_largest(10), Time::new(13));
+        assert_eq!(st.per_stage().len(), 3);
+        assert_eq!(st.ep(StageId::new(7)), Time::ZERO);
+        assert_eq!(st.et(0), Time::ZERO);
+    }
+
+    #[test]
+    fn shared_stage_times_of_self_is_own_processing() {
+        let a = job(0, &[(5, 0), (8, 1), (2, 0)]);
+        let st = SharedStageTimes::of(&a, &a);
+        assert_eq!(st.per_stage(), a.processing_times());
+        assert_eq!(st.max(), Time::new(8));
+    }
+}

@@ -1,0 +1,353 @@
+//! Pipeline and stage descriptions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, ResourceId, ResourceRef, StageId};
+
+/// Scheduling policy applied at a stage's resources.
+///
+/// The paper analyses both preemptive and non-preemptive fixed-priority
+/// scheduling; the edge-computing evaluation (§VI) mixes the two in a single
+/// pipeline (preemption allowed at servers, prohibited at access points), so
+/// the policy is recorded per stage.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum PreemptionPolicy {
+    /// Higher-priority jobs preempt lower-priority ones immediately.
+    #[default]
+    Preemptive,
+    /// A job that started executing on a resource runs to completion of its
+    /// stage demand before the resource is handed over.
+    NonPreemptive,
+}
+
+impl PreemptionPolicy {
+    /// Returns `true` for [`PreemptionPolicy::Preemptive`].
+    #[must_use]
+    pub const fn is_preemptive(self) -> bool {
+        matches!(self, PreemptionPolicy::Preemptive)
+    }
+}
+
+impl fmt::Display for PreemptionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreemptionPolicy::Preemptive => write!(f, "preemptive"),
+            PreemptionPolicy::NonPreemptive => write!(f, "non-preemptive"),
+        }
+    }
+}
+
+/// One stage `S_j` of the pipeline: a named group of interchangeable-type
+/// (but possibly heterogeneous-speed) resources and its preemption policy.
+///
+/// Heterogeneity is expressed through per-job processing times rather than
+/// per-resource speeds: the model follows the paper in specifying `P_{i,j}`
+/// directly for the resource `R_{i,j}` the job is mapped to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    name: String,
+    resource_count: usize,
+    preemption: PreemptionPolicy,
+}
+
+impl Stage {
+    /// Creates a stage with `resource_count` resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyStage`] if `resource_count == 0` (the
+    /// offending stage id is reported as `0`; [`Pipeline::new`] re-validates
+    /// with the correct index).
+    pub fn new(
+        name: impl Into<String>,
+        resource_count: usize,
+        preemption: PreemptionPolicy,
+    ) -> Result<Self, ModelError> {
+        if resource_count == 0 {
+            return Err(ModelError::EmptyStage {
+                stage: StageId::new(0),
+            });
+        }
+        Ok(Stage {
+            name: name.into(),
+            resource_count,
+            preemption,
+        })
+    }
+
+    /// Human-readable stage name (e.g. `"uplink"`, `"server"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of resources available at this stage.
+    #[must_use]
+    pub fn resource_count(&self) -> usize {
+        self.resource_count
+    }
+
+    /// Preemption policy applied at this stage.
+    #[must_use]
+    pub fn preemption(&self) -> PreemptionPolicy {
+        self.preemption
+    }
+
+    /// Iterates over the resource ids of this stage.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.resource_count).map(ResourceId::new)
+    }
+}
+
+/// A multi-stage pipeline: the ordered list of stages every job traverses.
+///
+/// # Example
+///
+/// ```
+/// use msmr_model::{Pipeline, PreemptionPolicy, Stage};
+///
+/// # fn main() -> Result<(), msmr_model::ModelError> {
+/// let pipeline = Pipeline::new(vec![
+///     Stage::new("uplink", 25, PreemptionPolicy::NonPreemptive)?,
+///     Stage::new("server", 20, PreemptionPolicy::Preemptive)?,
+///     Stage::new("downlink", 25, PreemptionPolicy::NonPreemptive)?,
+/// ])?;
+/// assert_eq!(pipeline.stage_count(), 3);
+/// assert_eq!(pipeline.total_resources(), 70);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from its ordered stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPipeline`] when `stages` is empty and
+    /// [`ModelError::EmptyStage`] when any stage has zero resources.
+    pub fn new(stages: Vec<Stage>) -> Result<Self, ModelError> {
+        if stages.is_empty() {
+            return Err(ModelError::EmptyPipeline);
+        }
+        for (j, stage) in stages.iter().enumerate() {
+            if stage.resource_count == 0 {
+                return Err(ModelError::EmptyStage {
+                    stage: StageId::new(j),
+                });
+            }
+        }
+        Ok(Pipeline { stages })
+    }
+
+    /// Convenience constructor for a pipeline whose stages all share one
+    /// preemption policy and have the given resource counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::new`].
+    pub fn uniform(
+        resource_counts: &[usize],
+        preemption: PreemptionPolicy,
+    ) -> Result<Self, ModelError> {
+        let stages = resource_counts
+            .iter()
+            .enumerate()
+            .map(|(j, &count)| Stage {
+                name: format!("stage{j}"),
+                resource_count: count,
+                preemption,
+            })
+            .collect();
+        Pipeline::new(stages)
+    }
+
+    /// Convenience constructor for the *multi-stage single-resource* pipeline
+    /// of the original delay composition algebra papers: `stage_count`
+    /// stages with exactly one resource each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPipeline`] if `stage_count == 0`.
+    pub fn single_resource(
+        stage_count: usize,
+        preemption: PreemptionPolicy,
+    ) -> Result<Self, ModelError> {
+        Pipeline::uniform(&vec![1; stage_count], preemption)
+    }
+
+    /// Number of stages `N`.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of resources across all stages.
+    #[must_use]
+    pub fn total_resources(&self) -> usize {
+        self.stages.iter().map(Stage::resource_count).sum()
+    }
+
+    /// Returns the stage with the given id, if it exists.
+    #[must_use]
+    pub fn stage(&self, id: StageId) -> Option<&Stage> {
+        self.stages.get(id.index())
+    }
+
+    /// Returns the stage with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownStage`] if the id is out of range.
+    pub fn try_stage(&self, id: StageId) -> Result<&Stage, ModelError> {
+        self.stage(id).ok_or(ModelError::UnknownStage {
+            stage: id,
+            len: self.stages.len(),
+        })
+    }
+
+    /// Iterates over `(StageId, &Stage)` pairs in pipeline order.
+    pub fn stages(&self) -> impl Iterator<Item = (StageId, &Stage)> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (StageId::new(j), s))
+    }
+
+    /// Iterates over stage ids in pipeline order.
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> {
+        (0..self.stages.len()).map(StageId::new)
+    }
+
+    /// Iterates over every physical resource of the pipeline.
+    pub fn resource_refs(&self) -> impl Iterator<Item = ResourceRef> + '_ {
+        self.stages().flat_map(|(stage_id, stage)| {
+            stage
+                .resources()
+                .map(move |res| ResourceRef::new(stage_id, res))
+        })
+    }
+
+    /// Returns the preemption policy of a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; use [`Pipeline::try_stage`] for a
+    /// fallible lookup.
+    #[must_use]
+    pub fn preemption(&self, id: StageId) -> PreemptionPolicy {
+        self.stages[id.index()].preemption()
+    }
+
+    /// Returns `true` if every stage is preemptive.
+    #[must_use]
+    pub fn fully_preemptive(&self) -> bool {
+        self.stages
+            .iter()
+            .all(|s| s.preemption().is_preemptive())
+    }
+
+    /// Returns `true` if every stage is non-preemptive.
+    #[must_use]
+    pub fn fully_non_preemptive(&self) -> bool {
+        self.stages
+            .iter()
+            .all(|s| !s.preemption().is_preemptive())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_rejects_zero_resources() {
+        assert!(matches!(
+            Stage::new("x", 0, PreemptionPolicy::Preemptive),
+            Err(ModelError::EmptyStage { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_rejects_empty() {
+        assert_eq!(Pipeline::new(vec![]), Err(ModelError::EmptyPipeline));
+        assert_eq!(
+            Pipeline::single_resource(0, PreemptionPolicy::Preemptive),
+            Err(ModelError::EmptyPipeline)
+        );
+    }
+
+    #[test]
+    fn uniform_pipeline() {
+        let p = Pipeline::uniform(&[2, 3], PreemptionPolicy::NonPreemptive).unwrap();
+        assert_eq!(p.stage_count(), 2);
+        assert_eq!(p.total_resources(), 5);
+        assert!(p.fully_non_preemptive());
+        assert!(!p.fully_preemptive());
+        assert_eq!(p.stage(StageId::new(1)).unwrap().resource_count(), 3);
+        assert_eq!(p.preemption(StageId::new(0)), PreemptionPolicy::NonPreemptive);
+    }
+
+    #[test]
+    fn single_resource_pipeline() {
+        let p = Pipeline::single_resource(4, PreemptionPolicy::Preemptive).unwrap();
+        assert_eq!(p.stage_count(), 4);
+        assert_eq!(p.total_resources(), 4);
+        assert!(p.fully_preemptive());
+    }
+
+    #[test]
+    fn stage_lookup_errors() {
+        let p = Pipeline::single_resource(2, PreemptionPolicy::Preemptive).unwrap();
+        assert!(p.try_stage(StageId::new(1)).is_ok());
+        assert_eq!(
+            p.try_stage(StageId::new(2)),
+            Err(ModelError::UnknownStage {
+                stage: StageId::new(2),
+                len: 2
+            })
+        );
+        assert!(p.stage(StageId::new(5)).is_none());
+    }
+
+    #[test]
+    fn resource_ref_enumeration() {
+        let p = Pipeline::uniform(&[2, 1], PreemptionPolicy::Preemptive).unwrap();
+        let refs: Vec<ResourceRef> = p.resource_refs().collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], ResourceRef::new(StageId::new(0), ResourceId::new(0)));
+        assert_eq!(refs[2], ResourceRef::new(StageId::new(1), ResourceId::new(0)));
+    }
+
+    #[test]
+    fn mixed_policy_pipeline() {
+        let p = Pipeline::new(vec![
+            Stage::new("uplink", 2, PreemptionPolicy::NonPreemptive).unwrap(),
+            Stage::new("server", 3, PreemptionPolicy::Preemptive).unwrap(),
+        ])
+        .unwrap();
+        assert!(!p.fully_preemptive());
+        assert!(!p.fully_non_preemptive());
+        assert_eq!(p.stage(StageId::new(0)).unwrap().name(), "uplink");
+        assert_eq!(
+            p.stage(StageId::new(0)).unwrap().resources().count(),
+            2
+        );
+    }
+
+    #[test]
+    fn preemption_policy_display_and_default() {
+        assert_eq!(PreemptionPolicy::Preemptive.to_string(), "preemptive");
+        assert_eq!(PreemptionPolicy::NonPreemptive.to_string(), "non-preemptive");
+        assert_eq!(PreemptionPolicy::default(), PreemptionPolicy::Preemptive);
+        assert!(PreemptionPolicy::Preemptive.is_preemptive());
+        assert!(!PreemptionPolicy::NonPreemptive.is_preemptive());
+    }
+}

@@ -1,0 +1,263 @@
+//! Integer time values.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time or a duration, measured in integer ticks.
+///
+/// All quantities of the system model (arrival times, processing times,
+/// deadlines, delay bounds) are expressed as `Time`. The tick unit is
+/// whatever the caller chooses; the edge-computing experiments of the paper
+/// interpret one tick as one millisecond.
+///
+/// Using an integer representation keeps the delay composition bounds, the
+/// ILP encoding and the discrete-event simulator exact, so tests can assert
+/// equalities and dominance relations without floating point tolerance.
+///
+/// # Example
+///
+/// ```
+/// use msmr_model::Time;
+///
+/// let offload = Time::from_millis(20);
+/// let compute = Time::from_millis(150);
+/// assert_eq!((offload + compute).as_millis(), 170);
+/// assert!(offload < compute);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; useful as an "infinite" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    ///
+    /// ```
+    /// use msmr_model::Time;
+    /// assert_eq!(Time::new(5).as_ticks(), 5);
+    /// ```
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Creates a time interpreted as milliseconds (one tick per millisecond).
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value interpreted as milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the zero instant.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition: clamps at [`Time::MAX`] instead of overflowing.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction: clamps at [`Time::ZERO`] instead of
+    /// underflowing.
+    ///
+    /// ```
+    /// use msmr_model::Time;
+    /// assert_eq!(Time::new(3).saturating_sub(Time::new(10)), Time::ZERO);
+    /// ```
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction, returning `None` on underflow.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Signed difference `self - other` in ticks (may be negative).
+    ///
+    /// Used for lateness / slack computations such as `Δ_i - D_i`.
+    #[must_use]
+    pub fn signed_diff(self, other: Time) -> i128 {
+        i128::from(self.0) - i128::from(other.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if the subtraction underflows; use
+    /// [`Time::saturating_sub`] or [`Time::checked_sub`] when the operands
+    /// are not known to be ordered.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Time {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::new(42).as_ticks(), 42);
+        assert_eq!(Time::from_millis(7).as_millis(), 7);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::new(1).is_zero());
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(10);
+        let b = Time::new(3);
+        assert_eq!(a + b, Time::new(13));
+        assert_eq!(a - b, Time::new(7));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::new(13));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::new(3).saturating_sub(Time::new(5)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
+        assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
+        assert_eq!(
+            Time::new(5).checked_sub(Time::new(3)),
+            Some(Time::new(2))
+        );
+    }
+
+    #[test]
+    fn ordering_min_max() {
+        let a = Time::new(4);
+        let b = Time::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn signed_diff() {
+        assert_eq!(Time::new(5).signed_diff(Time::new(9)), -4);
+        assert_eq!(Time::new(9).signed_diff(Time::new(5)), 4);
+    }
+
+    #[test]
+    fn summation() {
+        let total: Time = [Time::new(1), Time::new(2), Time::new(3)].iter().sum();
+        assert_eq!(total, Time::new(6));
+        let total: Time = vec![Time::new(4), Time::new(6)].into_iter().sum();
+        assert_eq!(total, Time::new(10));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let t: Time = 12u64.into();
+        let raw: u64 = t.into();
+        assert_eq!(raw, 12);
+        assert_eq!(t.to_string(), "12");
+    }
+}

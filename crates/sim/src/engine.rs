@@ -1,0 +1,515 @@
+//! The discrete-event simulation engine.
+
+use msmr_model::{JobId, JobSet, PreemptionPolicy, ResourceRef, StageId, Time};
+
+use crate::{ExecutionSlice, PriorityMap, SimulationOutcome};
+
+/// Discrete-event simulator for one [`JobSet`].
+///
+/// The engine is exact for integer-valued processing times: preemptions and
+/// dispatch decisions happen only at event instants (arrivals and stage
+/// completions), which is sufficient for fixed-priority scheduling because
+/// the ready sets only change at those instants.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    jobs: &'a JobSet,
+}
+
+/// Per-job mutable simulation state.
+#[derive(Debug, Clone)]
+struct JobState {
+    /// Index of the stage currently being served (`== stage_count` when the
+    /// job has left the pipeline).
+    stage: usize,
+    /// Remaining demand at the current stage.
+    remaining: u64,
+    /// Time the job became ready at the current stage.
+    ready_at: u64,
+    /// Absolute completion time of each finished stage.
+    stage_completions: Vec<u64>,
+    /// Absolute pipeline-exit time (valid once `done`).
+    completion: u64,
+    done: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given job set.
+    #[must_use]
+    pub fn new(jobs: &'a JobSet) -> Self {
+        Simulator { jobs }
+    }
+
+    /// The simulated job set.
+    #[must_use]
+    pub fn jobs(&self) -> &JobSet {
+        self.jobs
+    }
+
+    /// Runs the simulation to completion under the given priorities and
+    /// returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priorities` does not cover every job and stage of the job
+    /// set.
+    #[must_use]
+    pub fn run(&self, priorities: &PriorityMap) -> SimulationOutcome {
+        let n = self.jobs.len();
+        let n_stages = self.jobs.stage_count();
+        assert_eq!(priorities.stage_count(), n_stages, "priority map stage count mismatch");
+        assert_eq!(priorities.job_count(), n, "priority map job count mismatch");
+
+        // Dense resource indexing.
+        let resources: Vec<ResourceRef> = self.jobs.pipeline().resource_refs().collect();
+        let resource_index = |r: ResourceRef| -> usize {
+            resources
+                .iter()
+                .position(|&x| x == r)
+                .expect("resource of a validated job exists")
+        };
+
+        let mut states: Vec<JobState> = self
+            .jobs
+            .jobs()
+            .map(|job| JobState {
+                stage: 0,
+                remaining: job.processing(StageId::new(0)).as_ticks(),
+                ready_at: job.arrival().as_ticks(),
+                stage_completions: Vec::with_capacity(n_stages),
+                completion: 0,
+                done: false,
+            })
+            .collect();
+        // For non-preemptive resources: the job currently holding the
+        // resource, if any.
+        let mut occupied: Vec<Option<JobId>> = vec![None; resources.len()];
+        let mut trace: Vec<ExecutionSlice> = Vec::new();
+
+        let mut time = self
+            .jobs
+            .jobs()
+            .map(|j| j.arrival().as_ticks())
+            .min()
+            .unwrap_or(0);
+
+        if n == 0 {
+            return SimulationOutcome::new(self.jobs, Vec::new(), Vec::new(), Vec::new());
+        }
+
+        loop {
+            self.advance_zero_work(&mut states, &mut occupied, time, &resources, resource_index);
+            if states.iter().all(|s| s.done) {
+                break;
+            }
+
+            // Select the running job of every resource.
+            let mut running: Vec<Option<JobId>> = vec![None; resources.len()];
+            for (r_idx, &resource) in resources.iter().enumerate() {
+                let policy = self.jobs.pipeline().preemption(resource.stage);
+                if policy == PreemptionPolicy::NonPreemptive {
+                    if let Some(holder) = occupied[r_idx] {
+                        let st = &states[holder.index()];
+                        if !st.done
+                            && st.stage == resource.stage.index()
+                            && st.remaining > 0
+                        {
+                            running[r_idx] = Some(holder);
+                            continue;
+                        }
+                        occupied[r_idx] = None;
+                    }
+                }
+                let candidate = self
+                    .ready_candidates(&states, time, resource)
+                    .into_iter()
+                    .min_by_key(|&id| (priorities.priority(resource.stage, id), id.index()));
+                running[r_idx] = candidate;
+                if policy == PreemptionPolicy::NonPreemptive {
+                    occupied[r_idx] = candidate;
+                }
+            }
+
+            // Next event: earliest running-job completion or future arrival.
+            let mut next: Option<u64> = None;
+            for (r_idx, slot) in running.iter().enumerate() {
+                if let Some(job) = slot {
+                    let _ = r_idx;
+                    let finish = time + states[job.index()].remaining;
+                    next = Some(next.map_or(finish, |n: u64| n.min(finish)));
+                }
+            }
+            for (idx, st) in states.iter().enumerate() {
+                let _ = idx;
+                if !st.done && st.ready_at > time {
+                    next = Some(next.map_or(st.ready_at, |n: u64| n.min(st.ready_at)));
+                }
+            }
+            let Some(next_time) = next else {
+                // No runnable work and no future events: everything left is
+                // done (or the loop would have found a candidate).
+                break;
+            };
+
+            // Execute the selected jobs until the next event.
+            let delta = next_time - time;
+            if delta > 0 {
+                for (r_idx, slot) in running.iter().enumerate() {
+                    let Some(job) = *slot else { continue };
+                    let st = &mut states[job.index()];
+                    st.remaining -= delta;
+                    push_slice(
+                        &mut trace,
+                        ExecutionSlice {
+                            resource: resources[r_idx],
+                            job,
+                            stage: StageId::new(st.stage),
+                            start: Time::new(time),
+                            end: Time::new(next_time),
+                        },
+                    );
+                }
+            }
+
+            // Handle completions at the new time.
+            for (r_idx, slot) in running.iter().enumerate() {
+                let Some(job) = *slot else { continue };
+                if states[job.index()].remaining == 0 {
+                    occupied[r_idx] = None;
+                    self.complete_stage(&mut states[job.index()], job, next_time);
+                }
+            }
+
+            time = next_time;
+            if states.iter().all(|s| s.done) {
+                break;
+            }
+        }
+
+        let completions = states.iter().map(|s| Time::new(s.completion)).collect();
+        let stage_completions = states
+            .iter()
+            .map(|s| s.stage_completions.iter().map(|&t| Time::new(t)).collect())
+            .collect();
+        SimulationOutcome::new(self.jobs, completions, stage_completions, trace)
+    }
+
+    /// Jobs ready to execute on `resource` at `time`.
+    fn ready_candidates(
+        &self,
+        states: &[JobState],
+        time: u64,
+        resource: ResourceRef,
+    ) -> Vec<JobId> {
+        self.jobs
+            .jobs()
+            .filter(|job| {
+                let st = &states[job.id().index()];
+                !st.done
+                    && st.ready_at <= time
+                    && st.remaining > 0
+                    && st.stage == resource.stage.index()
+                    && job.resource(resource.stage) == resource.resource
+            })
+            .map(|job| job.id())
+            .collect()
+    }
+
+    /// Moves jobs through stages whose demand is zero (they complete
+    /// instantly once ready).
+    fn advance_zero_work(
+        &self,
+        states: &mut [JobState],
+        occupied: &mut [Option<JobId>],
+        time: u64,
+        resources: &[ResourceRef],
+        resource_index: impl Fn(ResourceRef) -> usize,
+    ) {
+        loop {
+            let mut progressed = false;
+            for i in 0..states.len() {
+                let job = JobId::new(i);
+                if !states[i].done && states[i].ready_at <= time && states[i].remaining == 0 {
+                    // Release the resource if this zero-work job was holding
+                    // it (possible on non-preemptive stages).
+                    let stage = StageId::new(states[i].stage);
+                    let r = ResourceRef::new(stage, self.jobs.job(job).resource(stage));
+                    let r_idx = resource_index(r);
+                    if occupied[r_idx] == Some(job) {
+                        occupied[r_idx] = None;
+                    }
+                    let _ = &resources;
+                    self.complete_stage(&mut states[i], job, time);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Records the completion of the current stage of `job` at `time` and
+    /// advances it to the next stage (or out of the pipeline).
+    fn complete_stage(&self, state: &mut JobState, job: JobId, time: u64) {
+        state.stage_completions.push(time);
+        state.stage += 1;
+        if state.stage == self.jobs.stage_count() {
+            state.done = true;
+            state.completion = time;
+        } else {
+            state.ready_at = time;
+            state.remaining = self
+                .jobs
+                .job(job)
+                .processing(StageId::new(state.stage))
+                .as_ticks();
+        }
+    }
+}
+
+/// Appends a slice to the trace, merging it with the previous slice when it
+/// seamlessly continues the same job on the same resource.
+fn push_slice(trace: &mut Vec<ExecutionSlice>, slice: ExecutionSlice) {
+    if let Some(last) = trace.last_mut() {
+        if last.resource == slice.resource
+            && last.job == slice.job
+            && last.stage == slice.stage
+            && last.end == slice.start
+        {
+            last.end = slice.end;
+            return;
+        }
+    }
+    trace.push(slice);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+
+    fn jid(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    fn single_cpu(policy: PreemptionPolicy, jobs: &[(u64, u64, u64)]) -> JobSet {
+        // (arrival, processing, deadline)
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, policy);
+        for &(a, p, d) in jobs {
+            b.job()
+                .arrival(Time::new(a))
+                .deadline(Time::new(d))
+                .stage_time(Time::new(p), 0)
+                .add()
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_job_runs_unimpeded_through_the_pipeline() {
+        let mut b = JobSetBuilder::new();
+        b.stage("s0", 1, PreemptionPolicy::Preemptive)
+            .stage("s1", 1, PreemptionPolicy::NonPreemptive)
+            .stage("s2", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .arrival(Time::new(3))
+            .deadline(Time::new(100))
+            .stage_time(Time::new(4), 0)
+            .stage_time(Time::new(5), 0)
+            .stage_time(Time::new(6), 0)
+            .add()
+            .unwrap();
+        let jobs = b.build().unwrap();
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.delay(jid(0)), Time::new(15));
+        assert_eq!(outcome.completion(jid(0)), Time::new(18));
+        assert_eq!(outcome.stage_completion(jid(0), StageId::new(0)), Time::new(7));
+        assert_eq!(outcome.stage_completion(jid(0), StageId::new(1)), Time::new(12));
+        assert_eq!(outcome.executed_time(jid(0)), Time::new(15));
+        assert!(outcome.all_deadlines_met());
+    }
+
+    #[test]
+    fn preemptive_cpu_priority_order() {
+        // Both arrive at 0; the higher-priority job finishes first.
+        let jobs = single_cpu(PreemptionPolicy::Preemptive, &[(0, 4, 10), (0, 5, 20)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.delay(jid(0)), Time::new(4));
+        assert_eq!(outcome.delay(jid(1)), Time::new(9));
+        assert_eq!(outcome.makespan(), Time::new(9));
+    }
+
+    #[test]
+    fn preemption_interrupts_a_lower_priority_job() {
+        // Low-priority job starts at 0, high-priority job arrives at 2.
+        let jobs = single_cpu(PreemptionPolicy::Preemptive, &[(2, 3, 10), (0, 6, 20)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        // High priority runs 2..5.
+        assert_eq!(outcome.completion(jid(0)), Time::new(5));
+        assert_eq!(outcome.delay(jid(0)), Time::new(3));
+        // Low priority executes 0..2 and 5..9.
+        assert_eq!(outcome.completion(jid(1)), Time::new(9));
+        // Its trace has two slices.
+        let slices: Vec<_> = outcome.trace().iter().filter(|s| s.job == jid(1)).collect();
+        assert_eq!(slices.len(), 2);
+    }
+
+    #[test]
+    fn non_preemptive_stage_blocks_higher_priority_job() {
+        // Same scenario, non-preemptive: the low-priority job runs to
+        // completion and blocks the high-priority one.
+        let jobs = single_cpu(PreemptionPolicy::NonPreemptive, &[(2, 3, 10), (0, 6, 20)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.completion(jid(1)), Time::new(6));
+        assert_eq!(outcome.completion(jid(0)), Time::new(9));
+        assert_eq!(outcome.delay(jid(0)), Time::new(7));
+        // Each job executes in one contiguous slice.
+        assert_eq!(outcome.trace().len(), 2);
+    }
+
+    #[test]
+    fn pipelined_execution_overlaps_stages() {
+        // Two jobs, two single-resource stages, preemptive, same arrival.
+        let mut b = JobSetBuilder::new();
+        b.stage("s0", 1, PreemptionPolicy::Preemptive)
+            .stage("s1", 1, PreemptionPolicy::Preemptive);
+        for (p0, p1) in [(3u64, 4u64), (2, 5)] {
+            b.job()
+                .deadline(Time::new(100))
+                .stage_time(Time::new(p0), 0)
+                .stage_time(Time::new(p1), 0)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        // J0: stage0 0..3, stage1 3..7. J1: stage0 3..5, stage1 7..12.
+        assert_eq!(outcome.completion(jid(0)), Time::new(7));
+        assert_eq!(outcome.completion(jid(1)), Time::new(12));
+        // While J0 executes at stage 1 (3..7), J1 runs at stage 0 (3..5):
+        // the pipeline genuinely overlaps.
+        let j1_stage0 = outcome
+            .trace()
+            .iter()
+            .find(|s| s.job == jid(1) && s.stage == StageId::new(0))
+            .unwrap();
+        assert_eq!(j1_stage0.start, Time::new(3));
+        assert_eq!(j1_stage0.end, Time::new(5));
+    }
+
+    #[test]
+    fn per_stage_priorities_can_differ() {
+        // J0 beats J1 at stage 0, loses at stage 1.
+        let mut b = JobSetBuilder::new();
+        b.stage("s0", 1, PreemptionPolicy::Preemptive)
+            .stage("s1", 1, PreemptionPolicy::Preemptive);
+        for _ in 0..2 {
+            b.job()
+                .deadline(Time::new(100))
+                .stage_time(Time::new(2), 0)
+                .stage_time(Time::new(10), 0)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let priorities = PriorityMap::from_per_stage_orders(
+            &jobs,
+            &[vec![jid(0), jid(1)], vec![jid(1), jid(0)]],
+        );
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        // Stage 0: J0 0..2, J1 2..4. Stage 1: J0 ready at 2 and runs 2..4,
+        // then J1 (higher priority there) preempts at 4 and runs 4..14,
+        // J0 finishes 14..22.
+        assert_eq!(outcome.completion(jid(1)), Time::new(14));
+        assert_eq!(outcome.completion(jid(0)), Time::new(22));
+    }
+
+    #[test]
+    fn heterogeneous_resources_at_one_stage_run_in_parallel() {
+        let mut b = JobSetBuilder::new();
+        b.stage("srv", 2, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(10))
+            .stage_time(Time::new(6), 0)
+            .add()
+            .unwrap();
+        b.job()
+            .deadline(Time::new(10))
+            .stage_time(Time::new(7), 1)
+            .add()
+            .unwrap();
+        let jobs = b.build().unwrap();
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.completion(jid(0)), Time::new(6));
+        assert_eq!(outcome.completion(jid(1)), Time::new(7));
+    }
+
+    #[test]
+    fn zero_work_stages_complete_instantly() {
+        let mut b = JobSetBuilder::new();
+        b.stage("s0", 1, PreemptionPolicy::Preemptive)
+            .stage("s1", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(10))
+            .stage_time(Time::ZERO, 0)
+            .stage_time(Time::new(5), 0)
+            .add()
+            .unwrap();
+        let jobs = b.build().unwrap();
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.completion(jid(0)), Time::new(5));
+        assert_eq!(outcome.stage_completion(jid(0), StageId::new(0)), Time::ZERO);
+    }
+
+    #[test]
+    fn deadline_misses_are_reported() {
+        let jobs = single_cpu(PreemptionPolicy::Preemptive, &[(0, 5, 10), (0, 5, 6)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0), jid(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert!(!outcome.all_deadlines_met());
+        assert_eq!(outcome.deadline_misses(), vec![jid(1)]);
+        assert!(outcome.meets_deadline(jid(0)));
+    }
+
+    #[test]
+    fn trace_has_no_overlapping_slices_per_resource() {
+        let jobs = single_cpu(
+            PreemptionPolicy::Preemptive,
+            &[(0, 4, 100), (1, 3, 100), (2, 5, 100)],
+        );
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(2), jid(1), jid(0)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        let trace = outcome.trace();
+        for (i, a) in trace.iter().enumerate() {
+            for b in &trace[i + 1..] {
+                if a.resource == b.resource {
+                    assert!(!a.overlaps(b), "overlapping execution on one resource");
+                }
+            }
+        }
+        // Work conservation: every job executes exactly its demand.
+        for i in 0..3 {
+            assert_eq!(outcome.executed_time(jid(i)), jobs.job(jid(i)).total_processing());
+        }
+    }
+
+    #[test]
+    fn late_arrivals_idle_the_resource() {
+        let jobs = single_cpu(PreemptionPolicy::Preemptive, &[(10, 2, 5)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[jid(0)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        assert_eq!(outcome.completion(jid(0)), Time::new(12));
+        assert_eq!(outcome.delay(jid(0)), Time::new(2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Textual rendering of execution traces (ASCII Gantt charts).
+
+use std::fmt::Write as _;
+
+use msmr_model::{JobSet, ResourceRef, Time};
+
+use crate::SimulationOutcome;
+
+/// Renders the execution trace of a simulation as an ASCII Gantt chart,
+/// one row per resource, one column per `tick_width` time units.
+///
+/// Intended for debugging and for the examples; the output is stable and
+/// deterministic, so it can also be asserted against in tests.
+///
+/// # Example
+///
+/// ```
+/// use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+/// use msmr_sim::{render_gantt, PriorityMap, Simulator};
+///
+/// # fn main() -> Result<(), msmr_model::ModelError> {
+/// let mut b = JobSetBuilder::new();
+/// b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+/// b.job().deadline(Time::new(10)).stage_time(Time::new(2), 0).add()?;
+/// b.job().deadline(Time::new(10)).stage_time(Time::new(3), 0).add()?;
+/// let jobs = b.build()?;
+/// let outcome = Simulator::new(&jobs)
+///     .run(&PriorityMap::from_global_order(&jobs, &[0.into(), 1.into()]));
+/// let chart = render_gantt(&jobs, &outcome, 1);
+/// assert!(chart.contains("S0/R0"));
+/// assert!(chart.contains("00111"));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tick_width` is zero.
+#[must_use]
+pub fn render_gantt(jobs: &JobSet, outcome: &SimulationOutcome, tick_width: u64) -> String {
+    assert!(tick_width > 0, "tick width must be positive");
+    let makespan = outcome.makespan();
+    let columns = (makespan.as_ticks() + tick_width - 1) / tick_width;
+    let resources: Vec<ResourceRef> = jobs.pipeline().resource_refs().collect();
+
+    let mut output = String::new();
+    let _ = writeln!(
+        output,
+        "time 0..{} ({} per column)",
+        makespan,
+        Time::new(tick_width)
+    );
+    for resource in resources {
+        let mut row = vec!['.'; columns as usize];
+        for slice in outcome.trace().iter().filter(|s| s.resource == resource) {
+            let start = slice.start.as_ticks() / tick_width;
+            let end = (slice.end.as_ticks() + tick_width - 1) / tick_width;
+            for cell in row.iter_mut().take(end as usize).skip(start as usize) {
+                // Single-character job label: digits for the first ten
+                // jobs, letters afterwards.
+                let idx = slice.job.index();
+                *cell = if idx < 10 {
+                    char::from(b'0' + idx as u8)
+                } else {
+                    char::from(b'a' + ((idx - 10) % 26) as u8)
+                };
+            }
+        }
+        let _ = writeln!(output, "{resource:>8} |{}|", row.iter().collect::<String>());
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PriorityMap, Simulator};
+    use msmr_model::{JobId, JobSetBuilder, PreemptionPolicy};
+
+    fn two_stage_jobs() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("net", 1, PreemptionPolicy::Preemptive)
+            .stage("cpu", 2, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(30))
+            .stage_time(Time::new(2), 0)
+            .stage_time(Time::new(4), 0)
+            .add()
+            .unwrap();
+        b.job()
+            .deadline(Time::new(30))
+            .stage_time(Time::new(3), 0)
+            .stage_time(Time::new(5), 1)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gantt_covers_every_resource_and_job() {
+        let jobs = two_stage_jobs();
+        let priorities =
+            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        let chart = render_gantt(&jobs, &outcome, 1);
+        // One header line plus one line per resource (1 + 2).
+        assert_eq!(chart.lines().count(), 1 + 3);
+        assert!(chart.contains("S0/R0"));
+        assert!(chart.contains("S1/R1"));
+        // Both jobs appear somewhere in the chart.
+        assert!(chart.contains('0'));
+        assert!(chart.contains('1'));
+    }
+
+    #[test]
+    fn coarser_ticks_shorten_the_rows() {
+        let jobs = two_stage_jobs();
+        let priorities =
+            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        let fine = render_gantt(&jobs, &outcome, 1);
+        let coarse = render_gantt(&jobs, &outcome, 4);
+        assert!(coarse.len() < fine.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "tick width")]
+    fn zero_tick_width_panics() {
+        let jobs = two_stage_jobs();
+        let priorities =
+            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let outcome = Simulator::new(&jobs).run(&priorities);
+        let _ = render_gantt(&jobs, &outcome, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for workload-generator configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a workload-generator configuration is inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A count parameter (jobs, access points, servers, stages, resources)
+    /// must be at least one.
+    ZeroCount {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// A probability or ratio parameter is outside `[0, 1]`.
+    InvalidRatio {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A numeric range has its minimum above its maximum.
+    InvalidRange {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Range minimum.
+        min: u64,
+        /// Range maximum.
+        max: u64,
+    },
+    /// The heaviness threshold `β` must be positive and at most 0.5 so that
+    /// the per-job cap `2β` stays at or below 1.
+    InvalidBeta {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The taskset heaviness bound `γ` must be positive.
+    InvalidGamma {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroCount { parameter } => {
+                write!(f, "parameter `{parameter}` must be at least 1")
+            }
+            WorkloadError::InvalidRatio { parameter, value } => {
+                write!(f, "parameter `{parameter}` must lie in [0, 1], got {value}")
+            }
+            WorkloadError::InvalidRange { parameter, min, max } => {
+                write!(f, "range `{parameter}` has min {min} above max {max}")
+            }
+            WorkloadError::InvalidBeta { value } => {
+                write!(f, "heaviness threshold beta must lie in (0, 0.5], got {value}")
+            }
+            WorkloadError::InvalidGamma { value } => {
+                write!(f, "taskset heaviness bound gamma must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let err = WorkloadError::ZeroCount { parameter: "jobs" };
+        assert!(err.to_string().contains("jobs"));
+        let err = WorkloadError::InvalidRatio {
+            parameter: "h1",
+            value: 1.5,
+        };
+        assert!(err.to_string().contains("h1"));
+        let err = WorkloadError::InvalidRange {
+            parameter: "offload",
+            min: 9,
+            max: 2,
+        };
+        assert!(err.to_string().contains("offload"));
+        assert!(WorkloadError::InvalidBeta { value: 0.9 }.to_string().contains("0.9"));
+        assert!(WorkloadError::InvalidGamma { value: -1.0 }.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WorkloadError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Workload generators for MSMR scheduling experiments.
+//!
+//! Two generators are provided:
+//!
+//! * [`EdgeWorkloadGenerator`] re-creates the edge-computing test cases of
+//!   the paper's evaluation (§VI-A, Fig. 3): a three-stage pipeline
+//!   (non-preemptive wireless uplink at an access point, preemptive edge
+//!   server, non-preemptive wireless downlink), 25 access points, 20
+//!   servers and 100 jobs by default, with the workload *heaviness*
+//!   controlled by the threshold `β`, the per-stage heavy-job ratios
+//!   `[h1, h2, h3]` and the taskset heaviness bound `γ`.
+//! * [`RandomMsmrGenerator`] produces small random MSMR systems of
+//!   arbitrary shape, used by the property tests of the workspace.
+//!
+//! Both generators are deterministic given a seed, so every experiment in
+//! `msmr-experiments` is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
+//!
+//! # fn main() -> Result<(), msmr_workload::WorkloadError> {
+//! let config = EdgeWorkloadConfig::default().with_jobs(20).with_beta(0.10);
+//! let generator = EdgeWorkloadGenerator::new(config)?;
+//! let jobs = generator.generate_seeded(42);
+//! assert_eq!(jobs.len(), 20);
+//! assert_eq!(jobs.pipeline().stage_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edge;
+mod error;
+mod random;
+
+pub use edge::{resource_heaviness, system_heaviness, EdgeWorkloadConfig, EdgeWorkloadGenerator};
+pub use error::WorkloadError;
+pub use random::{RandomMsmrConfig, RandomMsmrGenerator};

@@ -1,0 +1,235 @@
+//! Random MSMR system generator for property-based testing.
+
+use msmr_model::{JobBuilder, JobSet, JobSetBuilder, Pipeline, PreemptionPolicy, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::WorkloadError;
+
+/// Configuration of the random MSMR generator.
+///
+/// Unlike [`EdgeWorkloadConfig`](crate::EdgeWorkloadConfig), this generator
+/// does not model any particular platform; it produces small systems of
+/// arbitrary shape (random stage count, resource counts, mappings, arrival
+/// times and deadlines) and is used by the workspace's property tests to
+/// exercise the analysis, the simulator and the priority-assignment
+/// algorithms on a wide variety of structures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomMsmrConfig {
+    /// Inclusive range of the number of stages.
+    pub stages: (usize, usize),
+    /// Inclusive range of the number of resources per stage.
+    pub resources_per_stage: (usize, usize),
+    /// Inclusive range of the number of jobs.
+    pub jobs: (usize, usize),
+    /// Inclusive range of per-stage processing times.
+    pub processing: (u64, u64),
+    /// Inclusive range of arrival times (use `(0, 0)` for synchronous
+    /// release).
+    pub arrivals: (u64, u64),
+    /// Deadline = total processing × a factor drawn from this range.
+    pub deadline_factor: (f64, f64),
+    /// Preemption policy applied to every stage.
+    pub preemption: PreemptionPolicy,
+}
+
+impl Default for RandomMsmrConfig {
+    fn default() -> Self {
+        RandomMsmrConfig {
+            stages: (2, 4),
+            resources_per_stage: (1, 3),
+            jobs: (2, 8),
+            processing: (1, 20),
+            arrivals: (0, 0),
+            deadline_factor: (1.0, 6.0),
+            preemption: PreemptionPolicy::Preemptive,
+        }
+    }
+}
+
+impl RandomMsmrConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] describing the first inconsistent
+    /// parameter.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        for (name, (lo, hi)) in [
+            ("stages", self.stages),
+            ("resources_per_stage", self.resources_per_stage),
+            ("jobs", self.jobs),
+        ] {
+            if lo == 0 {
+                return Err(WorkloadError::ZeroCount { parameter: name });
+            }
+            if lo > hi {
+                return Err(WorkloadError::InvalidRange {
+                    parameter: name,
+                    min: lo as u64,
+                    max: hi as u64,
+                });
+            }
+        }
+        if self.processing.0 == 0 || self.processing.0 > self.processing.1 {
+            return Err(WorkloadError::InvalidRange {
+                parameter: "processing",
+                min: self.processing.0,
+                max: self.processing.1,
+            });
+        }
+        if self.arrivals.0 > self.arrivals.1 {
+            return Err(WorkloadError::InvalidRange {
+                parameter: "arrivals",
+                min: self.arrivals.0,
+                max: self.arrivals.1,
+            });
+        }
+        if self.deadline_factor.0 <= 0.0 || self.deadline_factor.0 > self.deadline_factor.1 {
+            return Err(WorkloadError::InvalidRatio {
+                parameter: "deadline_factor",
+                value: self.deadline_factor.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generator of random MSMR systems.
+///
+/// ```
+/// use msmr_workload::{RandomMsmrConfig, RandomMsmrGenerator};
+///
+/// # fn main() -> Result<(), msmr_workload::WorkloadError> {
+/// let generator = RandomMsmrGenerator::new(RandomMsmrConfig::default())?;
+/// let jobs = generator.generate_seeded(1);
+/// assert!(jobs.len() >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomMsmrGenerator {
+    config: RandomMsmrConfig,
+}
+
+impl RandomMsmrGenerator {
+    /// Creates a generator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] if the configuration is inconsistent.
+    pub fn new(config: RandomMsmrConfig) -> Result<Self, WorkloadError> {
+        config.validate()?;
+        Ok(RandomMsmrGenerator { config })
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &RandomMsmrConfig {
+        &self.config
+    }
+
+    /// Generates a random MSMR job set.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> JobSet {
+        let cfg = &self.config;
+        let n_stages = rng.gen_range(cfg.stages.0..=cfg.stages.1);
+        let resource_counts: Vec<usize> = (0..n_stages)
+            .map(|_| rng.gen_range(cfg.resources_per_stage.0..=cfg.resources_per_stage.1))
+            .collect();
+        let pipeline = Pipeline::uniform(&resource_counts, cfg.preemption)
+            .expect("validated configuration produces a valid pipeline");
+
+        let n_jobs = rng.gen_range(cfg.jobs.0..=cfg.jobs.1);
+        let mut builder = JobSetBuilder::new();
+        builder.pipeline(pipeline);
+        for _ in 0..n_jobs {
+            let mut job = JobBuilder::new();
+            let arrival = rng.gen_range(cfg.arrivals.0..=cfg.arrivals.1);
+            let mut total = 0u64;
+            let mut stages = Vec::with_capacity(n_stages);
+            for &resources in &resource_counts {
+                let p = rng.gen_range(cfg.processing.0..=cfg.processing.1);
+                total += p;
+                stages.push((p, rng.gen_range(0..resources)));
+            }
+            let factor = rng.gen_range(cfg.deadline_factor.0..=cfg.deadline_factor.1);
+            let deadline = ((total as f64) * factor).ceil().max(1.0) as u64;
+            job = job.arrival(Time::new(arrival)).deadline(Time::new(deadline));
+            for (p, r) in stages {
+                job = job.stage_time(Time::new(p), r);
+            }
+            builder.push_job(job).expect("generated job is valid");
+        }
+        builder.build().expect("generated job set is valid")
+    }
+
+    /// Generates a random MSMR job set from a seed (deterministic).
+    #[must_use]
+    pub fn generate_seeded(&self, seed: u64) -> JobSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate(&mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_inconsistent_configs() {
+        let mut cfg = RandomMsmrConfig::default();
+        cfg.stages = (0, 3);
+        assert!(cfg.validate().is_err());
+        let mut cfg = RandomMsmrConfig::default();
+        cfg.jobs = (5, 2);
+        assert!(cfg.validate().is_err());
+        let mut cfg = RandomMsmrConfig::default();
+        cfg.processing = (0, 5);
+        assert!(cfg.validate().is_err());
+        let mut cfg = RandomMsmrConfig::default();
+        cfg.deadline_factor = (0.0, 1.0);
+        assert!(RandomMsmrGenerator::new(cfg).is_err());
+        let mut cfg = RandomMsmrConfig::default();
+        cfg.arrivals = (10, 2);
+        assert!(cfg.validate().is_err());
+        assert!(RandomMsmrConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn generated_sets_respect_the_configured_shape() {
+        let cfg = RandomMsmrConfig {
+            stages: (2, 3),
+            resources_per_stage: (1, 2),
+            jobs: (3, 5),
+            processing: (1, 9),
+            arrivals: (0, 4),
+            deadline_factor: (2.0, 3.0),
+            preemption: PreemptionPolicy::NonPreemptive,
+        };
+        let gen = RandomMsmrGenerator::new(cfg).unwrap();
+        for seed in 0..20 {
+            let jobs = gen.generate_seeded(seed);
+            let stages = jobs.pipeline().stage_count();
+            assert!((2..=3).contains(&stages));
+            assert!((3..=5).contains(&jobs.len()));
+            assert!(jobs.pipeline().fully_non_preemptive());
+            for job in jobs.jobs() {
+                assert!(job.arrival().as_ticks() <= 4);
+                for t in job.processing_times() {
+                    assert!((1..=9).contains(&t.as_ticks()));
+                }
+                // Deadline at least the total demand.
+                assert!(job.deadline() >= job.total_processing());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = RandomMsmrGenerator::new(RandomMsmrConfig::default()).unwrap();
+        assert_eq!(gen.generate_seeded(5), gen.generate_seeded(5));
+        assert_eq!(gen.config().jobs, (2, 8));
+    }
+}
