@@ -73,9 +73,7 @@ fn bench_kernels(c: &mut Criterion) {
     });
     c.bench_function("ilp_observation_v1", |b| {
         let instance = observation_v1();
-        b.iter(|| {
-            PairwiseIlp::new(DelayBoundKind::RefinedPreemptive).assign(black_box(&instance))
-        });
+        b.iter(|| PairwiseIlp::new(DelayBoundKind::RefinedPreemptive).assign(black_box(&instance)));
     });
 }
 

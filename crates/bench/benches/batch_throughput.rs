@@ -1,0 +1,78 @@
+//! Batch-evaluation throughput: `SolverRegistry::evaluate_batch` with one
+//! worker thread versus all available cores.
+//!
+//! Prints the measured wall-clock speedup of the parallel path before the
+//! criterion samples. On a multi-core runner the speedup approaches the
+//! core count because the per-case evaluations are independent and
+//! dynamically balanced; on a single-core container both paths coincide
+//! (the batch API then runs inline on the caller's thread).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msmr_bench::{generate_case, small_config, BENCH_SEED};
+use msmr_experiments::{evaluation_budget, evaluation_registry};
+use msmr_model::JobSet;
+use std::hint::black_box;
+
+const BATCH_SIZE: usize = 16;
+const OPT_NODE_LIMIT: u64 = 50_000;
+
+fn batch() -> Vec<JobSet> {
+    (0..BATCH_SIZE)
+        .map(|i| generate_case(&small_config(40), BENCH_SEED.wrapping_add(i as u64)))
+        .collect()
+}
+
+fn print_speedup(jobsets: &[JobSet]) {
+    let registry = evaluation_registry();
+    let budget = evaluation_budget(OPT_NODE_LIMIT);
+    let threads = msmr_par::default_threads();
+
+    let start = Instant::now();
+    let sequential = registry.evaluate_batch(jobsets, budget, 1);
+    let sequential_time = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = registry.evaluate_batch(jobsets, budget, threads);
+    let parallel_time = start.elapsed();
+
+    // The parallel path must be a pure wall-clock optimisation.
+    assert_eq!(sequential.len(), parallel.len());
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        for (a, b) in seq.iter().zip(par) {
+            assert_eq!(a.solver, b.solver);
+            assert_eq!(a.kind, b.kind, "parallel evaluation changed a verdict");
+        }
+    }
+
+    let speedup = sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!(
+        "\nbatch of {BATCH_SIZE} cases: sequential {:?}, parallel ({threads} threads) {:?} \
+         -> speedup {speedup:.2}x",
+        sequential_time, parallel_time
+    );
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let jobsets = batch();
+    print_speedup(&jobsets);
+
+    let registry = evaluation_registry();
+    let budget = evaluation_budget(OPT_NODE_LIMIT);
+    let mut group = c.benchmark_group("batch_evaluate");
+    group.sample_size(5);
+    for threads in [1, msmr_par::default_threads()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &jobsets,
+            |b, jobsets| {
+                b.iter(|| registry.evaluate_batch(black_box(jobsets), budget, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

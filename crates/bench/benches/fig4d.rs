@@ -13,7 +13,10 @@ fn settings() -> Vec<(&'static str, EdgeWorkloadConfig)> {
         ("beta=0.01", base.clone().with_beta(0.01)),
         ("beta=0.2", base.clone().with_beta(0.2)),
         ("h=0.01", base.clone().with_heavy_ratios([0.01, 0.01, 0.01])),
-        ("h1=h2=0.1", base.clone().with_heavy_ratios([0.10, 0.10, 0.01])),
+        (
+            "h1=h2=0.1",
+            base.clone().with_heavy_ratios([0.10, 0.10, 0.01]),
+        ),
         ("gamma=0.6", base.clone().with_gamma(0.6)),
         ("gamma=0.9", base.with_gamma(0.9)),
     ]
@@ -41,13 +44,9 @@ fn bench_fig4d(c: &mut Criterion) {
     // Benchmark the heaviest setting for each admission controller.
     let jobs = generate_case(&paper_config().with_beta(0.2), BENCH_SEED);
     for approach in [Approach::Opdca, Approach::Dmr, Approach::Dm] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(approach),
-            &jobs,
-            |b, jobs| {
-                b.iter(|| admission_rejects(black_box(approach), black_box(jobs)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(approach), &jobs, |b, jobs| {
+            b.iter(|| admission_rejects(black_box(approach), black_box(jobs)));
+        });
     }
     group.finish();
 }

@@ -23,13 +23,9 @@ fn bench_scalability(c: &mut Criterion) {
             &jobs,
             |b, jobs| b.iter(|| Analysis::new(black_box(jobs))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("opdca", jobs_count),
-            &jobs,
-            |b, jobs| {
-                b.iter(|| Opdca::new(EVALUATION_BOUND).assign(black_box(jobs)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("opdca", jobs_count), &jobs, |b, jobs| {
+            b.iter(|| Opdca::new(EVALUATION_BOUND).assign(black_box(jobs)));
+        });
         group.bench_with_input(BenchmarkId::new("dmr", jobs_count), &jobs, |b, jobs| {
             b.iter(|| Dmr::new(EVALUATION_BOUND).assign(black_box(jobs)));
         });
@@ -39,7 +35,10 @@ fn bench_scalability(c: &mut Criterion) {
             |b, jobs| {
                 let solver = OptPairwise::with_config(
                     EVALUATION_BOUND,
-                    PairwiseSearchConfig { node_limit: 20_000 },
+                    PairwiseSearchConfig {
+                        node_limit: 20_000,
+                        ..PairwiseSearchConfig::default()
+                    },
                 );
                 b.iter(|| solver.assign(black_box(jobs)));
             },

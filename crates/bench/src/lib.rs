@@ -42,10 +42,7 @@ pub fn paper_config() -> EdgeWorkloadConfig {
 pub fn small_config(jobs: usize) -> EdgeWorkloadConfig {
     EdgeWorkloadConfig::default()
         .with_jobs(jobs)
-        .with_infrastructure(
-            (jobs / 4).clamp(2, 25),
-            (jobs / 5).clamp(2, 20),
-        )
+        .with_infrastructure((jobs / 4).clamp(2, 25), (jobs / 5).clamp(2, 20))
 }
 
 #[cfg(test)]
@@ -58,7 +55,5 @@ mod tests {
         assert_eq!(jobs.len(), 10);
         let jobs = generate_case(&small_config(20), 2);
         assert_eq!(jobs.len(), 20);
-        assert!(BENCH_CASES > 0);
-        assert_eq!(BENCH_SEED, 2024);
     }
 }

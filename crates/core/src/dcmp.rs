@@ -68,9 +68,9 @@ impl Dcmp {
             .collect();
         let priorities = PriorityMap::from_values(jobs, values);
         let simulation = Simulator::new(jobs).run(&priorities);
-        let accepted = jobs.job_ids().all(|i| {
-            Self::meets_virtual_deadlines(jobs, &virtual_deadlines, &simulation, i)
-        });
+        let accepted = jobs
+            .job_ids()
+            .all(|i| Self::meets_virtual_deadlines(jobs, &virtual_deadlines, &simulation, i));
         DcmpOutcome {
             virtual_deadlines,
             priorities,
@@ -145,8 +145,11 @@ mod tests {
 
     fn two_stage_jobs() -> JobSet {
         let mut b = JobSetBuilder::new();
-        b.stage("net", 1, PreemptionPolicy::NonPreemptive)
-            .stage("cpu", 1, PreemptionPolicy::Preemptive);
+        b.stage("net", 1, PreemptionPolicy::NonPreemptive).stage(
+            "cpu",
+            1,
+            PreemptionPolicy::Preemptive,
+        );
         // J0: light on net, heavy on cpu.
         b.job()
             .deadline(Time::new(100))
@@ -187,12 +190,13 @@ mod tests {
         let outcome = Dcmp::new().evaluate(&jobs);
         assert!(outcome.accepted);
         assert!(outcome.deadline_misses().is_empty());
-        assert_eq!(outcome.virtual_deadline(jid(0), StageId::new(1)), Time::new(65));
+        assert_eq!(
+            outcome.virtual_deadline(jid(0), StageId::new(1)),
+            Time::new(65)
+        );
         // Priorities follow the virtual deadlines: J1 has the smaller
         // virtual deadline at both stages, hence the higher priority.
-        assert!(outcome
-            .priorities
-            .outranks(StageId::new(0), jid(1), jid(0)));
+        assert!(outcome.priorities.outranks(StageId::new(0), jid(1), jid(0)));
     }
 
     #[test]

@@ -44,7 +44,8 @@ impl Dm {
     /// deadline under this baseline's bound.
     #[must_use]
     pub fn is_schedulable(&self, analysis: &Analysis<'_>) -> bool {
-        self.assign(analysis.jobs()).is_feasible(analysis, self.bound)
+        self.assign(analysis.jobs())
+            .is_feasible(analysis, self.bound)
     }
 
     /// Runs DM as an admission controller: jobs with the largest deadline
@@ -163,8 +164,7 @@ impl Dmr {
             for (competitor, _) in candidates {
                 let mut trial = assignment.clone();
                 trial.set_higher(job, competitor);
-                let competitor_delay =
-                    delay_of(analysis, &trial, active, competitor, self.bound);
+                let competitor_delay = delay_of(analysis, &trial, active, competitor, self.bound);
                 if competitor_delay <= jobs.job(competitor).deadline() {
                     assignment = trial;
                     delta = delay_of(analysis, &assignment, active, job, self.bound);
@@ -410,8 +410,11 @@ mod tests {
         // Two jobs on one CPU: J0 has the larger deadline but J1 (smaller
         // deadline) can tolerate the lower priority, while J0 cannot.
         let mut b = JobSetBuilder::new();
-        b.stage("cpu", 1, PreemptionPolicy::Preemptive)
-            .stage("net", 1, PreemptionPolicy::Preemptive);
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive).stage(
+            "net",
+            1,
+            PreemptionPolicy::Preemptive,
+        );
         // J0: D = 21, total 15+4.
         b.job()
             .deadline(Time::new(21))
@@ -504,11 +507,8 @@ mod tests {
                     .filter(|k| outcome.accepted.contains(k))
                     .collect();
                 let restricted = InterferenceSets::new(higher, lower);
-                let delta = analysis.delay_bound(
-                    DelayBoundKind::RefinedPreemptive,
-                    job,
-                    &restricted,
-                );
+                let delta =
+                    analysis.delay_bound(DelayBoundKind::RefinedPreemptive, job, &restricted);
                 assert!(delta <= jobs.job(job).deadline());
             }
         }
@@ -516,7 +516,10 @@ mod tests {
 
     #[test]
     fn bounds_are_configurable() {
-        assert_eq!(Dm::new(DelayBoundKind::EdgeHybrid).bound(), DelayBoundKind::EdgeHybrid);
+        assert_eq!(
+            Dm::new(DelayBoundKind::EdgeHybrid).bound(),
+            DelayBoundKind::EdgeHybrid
+        );
         assert_eq!(
             Dmr::new(DelayBoundKind::NonPreemptiveMsmr).bound(),
             DelayBoundKind::NonPreemptiveMsmr

@@ -24,6 +24,7 @@ use crate::{PairwiseAssignment, PairwiseSearchOutcome};
 pub struct PairwiseIlp {
     bound: DelayBoundKind,
     node_limit: u64,
+    time_limit: Option<std::time::Duration>,
 }
 
 impl PairwiseIlp {
@@ -48,6 +49,7 @@ impl PairwiseIlp {
         PairwiseIlp {
             bound,
             node_limit: 20_000_000,
+            time_limit: None,
         }
     }
 
@@ -55,6 +57,14 @@ impl PairwiseIlp {
     #[must_use]
     pub fn with_node_limit(mut self, node_limit: u64) -> Self {
         self.node_limit = node_limit;
+        self
+    }
+
+    /// Sets a wall-clock budget; exceeding it truncates the solve to
+    /// [`PairwiseSearchOutcome::Unknown`] like an exhausted node budget.
+    #[must_use]
+    pub fn with_time_limit(mut self, time_limit: std::time::Duration) -> Self {
+        self.time_limit = Some(time_limit);
         self
     }
 
@@ -74,14 +84,29 @@ impl PairwiseIlp {
     /// Like [`PairwiseIlp::assign`] but reuses a precomputed [`Analysis`].
     #[must_use]
     pub fn assign_with_analysis(&self, analysis: &Analysis<'_>) -> PairwiseSearchOutcome {
+        self.assign_with_stats(analysis).0
+    }
+
+    /// Like [`PairwiseIlp::assign_with_analysis`], additionally reporting
+    /// the branch-and-bound statistics of the underlying ILP solve.
+    #[must_use]
+    pub fn assign_with_stats(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> (PairwiseSearchOutcome, crate::PairwiseSearchStats) {
         let (problem, variables) = self.encode(analysis);
         let solver = Solver::with_config(SolverConfig {
             node_limit: self.node_limit,
+            time_limit: self.time_limit,
         });
-        let outcome = solver
-            .solve(&problem)
+        let (outcome, stats) = solver
+            .solve_with_stats(&problem)
             .expect("the encoding only uses variables of its own problem");
-        match outcome {
+        let stats = crate::PairwiseSearchStats {
+            nodes: stats.nodes,
+            truncated: stats.truncated,
+        };
+        let outcome = match outcome {
             Outcome::Optimal(solution) | Outcome::Feasible(solution) => {
                 let mut assignment = PairwiseAssignment::new();
                 for (&(i, k), &var) in &variables {
@@ -93,7 +118,8 @@ impl PairwiseIlp {
             }
             Outcome::Infeasible => PairwiseSearchOutcome::Infeasible,
             Outcome::Unknown => PairwiseSearchOutcome::Unknown,
-        }
+        };
+        (outcome, stats)
     }
 
     /// Builds the ILP. Returns the problem and the map from ordered pairs
@@ -134,8 +160,7 @@ impl PairwiseIlp {
                 if !pair.interferes() {
                     continue;
                 }
-                let contribution =
-                    pair.sum_of_largest(pair.job_additive_terms()).as_ticks() as i64;
+                let contribution = pair.sum_of_largest(pair.job_additive_terms()).as_ticks() as i64;
                 if contribution > 0 {
                     delay.add_term(x[&(k, i)], contribution);
                 }
@@ -174,7 +199,11 @@ impl PairwiseIlp {
         let jobs = analysis.jobs();
         let own = jobs.job(i).processing(stage).as_ticks() as i64;
         let theta = problem
-            .int_var(format!("theta_{}_{}", i.index(), stage.index()), own, big_m.max(own))
+            .int_var(
+                format!("theta_{}_{}", i.index(), stage.index()),
+                own,
+                big_m.max(own),
+            )
             .expect("theta bounds are ordered");
 
         // Members of Z_{i,j} = M_{i,j} ∪ {J_i} and their selector binaries.
@@ -198,17 +227,9 @@ impl PairwiseIlp {
             // Eq. 9a: θ ≥ ep_{k,j}·X_{k,i}.
             problem.greater_equal(LinExpr::new().term(theta, 1).term(xki, -ep), 0);
             // Eq. 9b: θ ≤ ep_{k,j}·X_{k,i} + (1−b)·M.
-            let b = problem.binary(format!(
-                "b_{}_{}_{}",
-                i.index(),
-                stage.index(),
-                k.index()
-            ));
+            let b = problem.binary(format!("b_{}_{}_{}", i.index(), stage.index(), k.index()));
             problem.less_equal(
-                LinExpr::new()
-                    .term(theta, 1)
-                    .term(xki, -ep)
-                    .term(b, big_m),
+                LinExpr::new().term(theta, 1).term(xki, -ep).term(b, big_m),
                 big_m,
             );
             selectors.add_term(b, 1);
@@ -231,11 +252,7 @@ impl PairwiseIlp {
     ) -> VarId {
         let jobs = analysis.jobs();
         let blocking = problem
-            .int_var(
-                format!("block_{}_{}", i.index(), stage.index()),
-                0,
-                big_m,
-            )
+            .int_var(format!("block_{}_{}", i.index(), stage.index()), 0, big_m)
             .expect("blocking bounds are ordered");
         for k in jobs.competitors_at(i, stage) {
             let pair = analysis.pair(i, k);
@@ -291,8 +308,8 @@ mod tests {
     fn ilp_finds_the_observation_v1_assignment() {
         let jobs = observation_v1();
         let analysis = Analysis::new(&jobs);
-        let outcome = PairwiseIlp::new(DelayBoundKind::RefinedPreemptive)
-            .assign_with_analysis(&analysis);
+        let outcome =
+            PairwiseIlp::new(DelayBoundKind::RefinedPreemptive).assign_with_analysis(&analysis);
         let assignment = outcome.assignment().expect("feasible by Observation V.1");
         assert!(assignment.is_feasible(&analysis, DelayBoundKind::RefinedPreemptive));
     }

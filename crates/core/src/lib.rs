@@ -24,12 +24,34 @@
 //! * [`admission`] — helpers shared by the admission-controller variants
 //!   (rejected-heaviness metric of Fig. 4d).
 //!
+//! All six engines are also exposed through one object-safe seam:
+//!
+//! * [`Solver`] — `solve(&SolveCtx) -> Verdict` plus capability queries
+//!   ([`Solver::is_exact`], [`Solver::supports_admission`],
+//!   [`Solver::name`]), implemented by [`Dm`], [`Dmr`], [`Opdca`],
+//!   [`OptPairwise`], [`PairwiseIlp`] and [`Dcmp`].
+//! * [`SolveCtx`] — shared, lazily-built [`msmr_dca::Analysis`] (one
+//!   `O(n²·N)` pass per job set, not per approach) and a [`Budget`]
+//!   (node limit, wall-clock deadline).
+//! * [`Verdict`] — the unified, serde-serializable report: accepted /
+//!   rejected / undecided, an optional [`Witness`]
+//!   ([`PriorityOrdering`] or [`PairwiseAssignment`]), per-job delay
+//!   bounds and [`SolverStats`].
+//! * [`SolverRegistry`] — maps names to boxed solvers, encodes the
+//!   `DMR ⇒ OPT` / `OPDCA ⇒ OPT` implication shortcuts declaratively, and
+//!   fans batches of job sets out over worker threads
+//!   ([`SolverRegistry::evaluate_batch`]).
+//!
 //! # Quick start
+//!
+//! Build a job set, then evaluate every approach of the paper through the
+//! registry — the analysis is computed once and shared, and OPT is
+//! short-circuited whenever DMR or OPDCA already proves feasibility:
 //!
 //! ```
 //! use msmr_dca::DelayBoundKind;
 //! use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
-//! use msmr_sched::Opdca;
+//! use msmr_sched::{Budget, SolverRegistry};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut b = JobSetBuilder::new();
@@ -47,11 +69,36 @@
 //!     .add()?;
 //! let jobs = b.build()?;
 //!
-//! let result = Opdca::new(DelayBoundKind::RefinedPreemptive).assign(&jobs)?;
-//! assert_eq!(result.ordering().len(), 2);
+//! let registry = SolverRegistry::paper_suite(DelayBoundKind::RefinedPreemptive);
+//! let verdicts = registry.evaluate(&jobs, Budget::default());
+//! assert_eq!(verdicts.len(), 5);
+//! assert!(verdicts.iter().all(|v| v.is_accepted()));
+//!
+//! // Single solvers are addressable by name, e.g. for a CLI:
+//! let opdca = registry.solver("OPDCA").expect("registered");
+//! assert!(opdca.is_exact() && opdca.supports_admission());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Batches fan out over worker threads while keeping per-case results
+//! identical to the sequential path:
+//!
+//! ```no_run
+//! use msmr_dca::DelayBoundKind;
+//! use msmr_model::JobSet;
+//! use msmr_sched::{Budget, SolverRegistry};
+//!
+//! # fn load_cases() -> Vec<JobSet> { Vec::new() }
+//! let registry = SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid);
+//! let cases: Vec<JobSet> = load_cases();
+//! let budget = Budget::default().with_node_limit(200_000);
+//! let verdicts = registry.evaluate_batch(&cases, budget, msmr_par::default_threads());
+//! ```
+//!
+//! The engine-specific constructors and entry points (`Opdca::assign`,
+//! `OptPairwise::assign_with_analysis`, ...) remain available; the trait
+//! impls are thin adapters over them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,17 +112,26 @@ mod opdca;
 mod opt;
 mod ordering;
 mod pairwise;
+mod registry;
 mod sdca;
+mod solver;
+mod solvers;
 
 pub use dcmp::{Dcmp, DcmpOutcome};
 pub use dmr::{Dm, Dmr, PairwiseAdmissionOutcome};
 pub use error::InfeasibleError;
 pub use ilp_encoding::PairwiseIlp;
 pub use opdca::{Opdca, OrderingAdmissionOutcome, OrderingResult};
-pub use opt::{OptPairwise, PairwiseSearchConfig, PairwiseSearchOutcome};
+pub use opt::{OptPairwise, PairwiseSearchConfig, PairwiseSearchOutcome, PairwiseSearchStats};
 pub use ordering::PriorityOrdering;
 pub use pairwise::{PairwiseAssignment, PairwiseCycleError};
+pub use registry::SolverRegistry;
 pub use sdca::Sdca;
+pub use solver::{
+    AdmissionVerdict, Budget, SolveCtx, Solver, SolverStats, UnsupportedMode, Verdict, VerdictKind,
+    Witness,
+};
+pub use solvers::{DCMP, DM, DMR, OPDCA, OPT, OPT_ILP};
 
 // Re-export the bound selector so downstream users rarely need msmr-dca
 // directly.

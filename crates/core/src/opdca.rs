@@ -190,8 +190,7 @@ impl Opdca {
             .job_ids()
             .map(|i| {
                 if ordering.priority_of(i).is_some() {
-                    self.sdca
-                        .delay(analysis, i, &ordering.interference_sets(i))
+                    self.sdca.delay(analysis, i, &ordering.interference_sets(i))
                 } else {
                     self.sdca.delay(analysis, i, &InterferenceSets::default())
                 }
@@ -309,8 +308,11 @@ mod tests {
     /// A two-job single-CPU system where only one ordering is feasible.
     fn forced_order() -> JobSet {
         let mut b = JobSetBuilder::new();
-        b.stage("cpu", 1, PreemptionPolicy::Preemptive)
-            .stage("net", 1, PreemptionPolicy::Preemptive);
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive).stage(
+            "net",
+            1,
+            PreemptionPolicy::Preemptive,
+        );
         // J0: tight deadline, must be the higher-priority job.
         b.job()
             .deadline(Time::new(12))

@@ -1,10 +1,16 @@
 //! OPT — exact pairwise priority assignment via specialised
 //! branch-and-bound.
 
+use std::time::{Duration, Instant};
+
 use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
 use msmr_model::{JobId, JobSet, Time};
 
 use crate::PairwiseAssignment;
+
+/// How many search nodes are explored between wall-clock deadline checks;
+/// a power of two so the check compiles to a mask test.
+const DEADLINE_CHECK_INTERVAL: u64 = 4_096;
 
 /// Configuration of the pairwise branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,14 +19,28 @@ pub struct PairwiseSearchConfig {
     /// Truncation is reported as [`PairwiseSearchOutcome::Unknown`], never
     /// silently as infeasible.
     pub node_limit: u64,
+    /// Optional wall-clock budget; exceeding it truncates the search the
+    /// same way the node limit does (checked every few thousand nodes).
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for PairwiseSearchConfig {
     fn default() -> Self {
         PairwiseSearchConfig {
             node_limit: 5_000_000,
+            time_limit: None,
         }
     }
+}
+
+/// Counters describing one branch-and-bound run, reported by
+/// [`OptPairwise::assign_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairwiseSearchStats {
+    /// Search nodes explored.
+    pub nodes: u64,
+    /// Whether the node or time budget truncated the search.
+    pub truncated: bool,
 }
 
 /// Result of an exact pairwise priority search.
@@ -117,6 +137,16 @@ impl OptPairwise {
     /// Like [`OptPairwise::assign`] but reuses a precomputed [`Analysis`].
     #[must_use]
     pub fn assign_with_analysis(&self, analysis: &Analysis<'_>) -> PairwiseSearchOutcome {
+        self.assign_with_stats(analysis).0
+    }
+
+    /// Like [`OptPairwise::assign_with_analysis`], additionally reporting
+    /// how many nodes the search explored and whether it was truncated.
+    #[must_use]
+    pub fn assign_with_stats(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> (PairwiseSearchOutcome, PairwiseSearchStats) {
         let jobs = analysis.jobs();
 
         // Jobs with no interference at all must already be feasible on
@@ -124,7 +154,10 @@ impl OptPairwise {
         for i in jobs.job_ids() {
             let alone = analysis.delay_bound(self.bound, i, &InterferenceSets::default());
             if alone > jobs.job(i).deadline() {
-                return PairwiseSearchOutcome::Infeasible;
+                return (
+                    PairwiseSearchOutcome::Infeasible,
+                    PairwiseSearchStats::default(),
+                );
             }
         }
 
@@ -149,6 +182,7 @@ impl OptPairwise {
             bound: self.bound,
             pairs,
             node_limit: self.config.node_limit,
+            deadline: self.config.time_limit.map(|limit| Instant::now() + limit),
             nodes: 0,
             truncated: false,
             solution: None,
@@ -156,11 +190,16 @@ impl OptPairwise {
         let assignment = PairwiseAssignment::new();
         search.explore(0, assignment);
 
-        match (search.solution, search.truncated) {
+        let stats = PairwiseSearchStats {
+            nodes: search.nodes,
+            truncated: search.truncated,
+        };
+        let outcome = match (search.solution, search.truncated) {
             (Some(assignment), _) => PairwiseSearchOutcome::Feasible(assignment),
             (None, true) => PairwiseSearchOutcome::Unknown,
             (None, false) => PairwiseSearchOutcome::Infeasible,
-        }
+        };
+        (outcome, stats)
     }
 }
 
@@ -170,6 +209,7 @@ struct PairSearch<'a, 'j> {
     bound: DelayBoundKind,
     pairs: Vec<(JobId, JobId)>,
     node_limit: u64,
+    deadline: Option<Instant>,
     nodes: u64,
     truncated: bool,
     solution: Option<PairwiseAssignment>,
@@ -192,6 +232,12 @@ impl PairSearch<'_, '_> {
         if self.nodes >= self.node_limit {
             self.truncated = true;
             return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.nodes.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
+                self.truncated = true;
+                return true;
+            }
         }
         self.nodes += 1;
 
@@ -216,7 +262,8 @@ impl PairSearch<'_, '_> {
             next.set_higher(winner, loser);
             // Monotonicity: the partial bounds of the two affected jobs are
             // lower bounds on their final delays, so pruning here is safe.
-            if self.job_fits(&next, winner) && self.job_fits(&next, loser)
+            if self.job_fits(&next, winner)
+                && self.job_fits(&next, loser)
                 && self.explore(depth + 1, next)
             {
                 return true;
@@ -327,7 +374,10 @@ mod tests {
         let jobs = observation_v1();
         let solver = OptPairwise::with_config(
             DelayBoundKind::RefinedPreemptive,
-            PairwiseSearchConfig { node_limit: 1 },
+            PairwiseSearchConfig {
+                node_limit: 1,
+                ..PairwiseSearchConfig::default()
+            },
         );
         let outcome = solver.assign(&jobs);
         // With a single node the search cannot finish; it must not claim
@@ -390,10 +440,11 @@ mod tests {
                 return true;
             }
         }
-        m == 0 && jobs.job_ids().all(|i| {
-            analysis.delay_bound(bound, i, &InterferenceSets::default())
-                <= jobs.job(i).deadline()
-        })
+        m == 0
+            && jobs.job_ids().all(|i| {
+                analysis.delay_bound(bound, i, &InterferenceSets::default())
+                    <= jobs.job(i).deadline()
+            })
     }
 
     #[test]

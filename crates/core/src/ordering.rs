@@ -81,13 +81,36 @@ impl PriorityOrdering {
     /// Returns `true` if the ordering covers exactly the jobs of `jobs`.
     #[must_use]
     pub fn covers(&self, jobs: &JobSet) -> bool {
-        self.order.len() == jobs.len()
-            && jobs.job_ids().all(|id| self.priority_of(id).is_some())
+        self.order.len() == jobs.len() && jobs.job_ids().all(|id| self.priority_of(id).is_some())
     }
 
     /// Iterates over the jobs from highest to lowest priority.
     pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
         self.order.iter().copied()
+    }
+}
+
+// Serialized transparently as the priority-ordered list of job ids; a
+// manual impl because deserialization must re-validate uniqueness instead
+// of panicking like `PriorityOrdering::new`.
+impl serde::Serialize for PriorityOrdering {
+    fn serialize(&self) -> serde::Value {
+        serde::Serialize::serialize(&self.order)
+    }
+}
+
+impl serde::Deserialize for PriorityOrdering {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let order = <Vec<JobId> as serde::Deserialize>::deserialize(value)?;
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in &order {
+            if !seen.insert(id) {
+                return Err(serde::Error::custom(format!(
+                    "job {id} appears twice in the priority ordering"
+                )));
+            }
+        }
+        Ok(PriorityOrdering { order })
     }
 }
 

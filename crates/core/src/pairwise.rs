@@ -38,8 +38,7 @@ impl PairwiseAssignment {
         let mut assignment = PairwiseAssignment::new();
         for i in jobs.job_ids() {
             for k in jobs.competitors(i) {
-                if i < k && ordering.priority_of(i).is_some() && ordering.priority_of(k).is_some()
-                {
+                if i < k && ordering.priority_of(i).is_some() && ordering.priority_of(k).is_some() {
                     if ordering.outranks(i, k) {
                         assignment.set_higher(i, k);
                     } else {
@@ -201,6 +200,37 @@ impl PairwiseAssignment {
             order.push(next);
         }
         Ok(order)
+    }
+}
+
+// Serialized as the list of decided `[winner, loser]` pairs (each pair
+// once); a manual impl because the internal double-entry map would need
+// tuple-valued JSON object keys.
+impl serde::Serialize for PairwiseAssignment {
+    fn serialize(&self) -> serde::Value {
+        let pairs: Vec<(JobId, JobId)> = self.iter().collect();
+        serde::Serialize::serialize(&pairs)
+    }
+}
+
+impl serde::Deserialize for PairwiseAssignment {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = <Vec<(JobId, JobId)> as serde::Deserialize>::deserialize(value)?;
+        let mut assignment = PairwiseAssignment::new();
+        for (winner, loser) in pairs {
+            if winner == loser {
+                return Err(serde::Error::custom(format!(
+                    "job {winner} cannot outrank itself"
+                )));
+            }
+            if assignment.is_decided(winner, loser) {
+                return Err(serde::Error::custom(format!(
+                    "pair ({winner}, {loser}) appears twice in the serialized assignment"
+                )));
+            }
+            assignment.set_higher(winner, loser);
+        }
+        Ok(assignment)
     }
 }
 

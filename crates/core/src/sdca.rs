@@ -101,12 +101,7 @@ impl Sdca {
     /// missed), used by the repair phase of DMR and by the admission
     /// controllers.
     #[must_use]
-    pub fn slack(
-        &self,
-        analysis: &Analysis<'_>,
-        target: JobId,
-        ctx: &InterferenceSets,
-    ) -> i128 {
+    pub fn slack(&self, analysis: &Analysis<'_>, target: JobId, ctx: &InterferenceSets) -> i128 {
         let deadline = analysis.jobs().job(target).deadline();
         deadline.signed_diff(self.delay(analysis, target, ctx))
     }
@@ -144,8 +139,14 @@ mod tests {
 
     #[test]
     fn constructors_pick_the_expected_bounds() {
-        assert_eq!(Sdca::preemptive().bound(), DelayBoundKind::RefinedPreemptive);
-        assert_eq!(Sdca::non_preemptive().bound(), DelayBoundKind::NonPreemptiveOpa);
+        assert_eq!(
+            Sdca::preemptive().bound(),
+            DelayBoundKind::RefinedPreemptive
+        );
+        assert_eq!(
+            Sdca::non_preemptive().bound(),
+            DelayBoundKind::NonPreemptiveOpa
+        );
         assert_eq!(Sdca::edge().bound(), DelayBoundKind::EdgeHybrid);
         assert_eq!(Sdca::default(), Sdca::preemptive());
         assert!(Sdca::preemptive().is_opa_compatible());

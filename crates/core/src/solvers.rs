@@ -1,0 +1,436 @@
+//! [`Solver`] implementations for the six engines of the workspace.
+//!
+//! Each impl delegates to the engine's legacy entry points (which stay
+//! public), translates the engine-specific outcome into the unified
+//! [`Verdict`] and honours the [`Budget`](crate::Budget) of the context
+//! where the engine supports limits.
+
+use msmr_dca::DelayBoundKind;
+
+use crate::solver::{
+    timed, AdmissionVerdict, SolveCtx, Solver, SolverStats, UnsupportedMode, Verdict, VerdictKind,
+    Witness,
+};
+use crate::{
+    Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseIlp, PairwiseSearchConfig, PairwiseSearchOutcome,
+};
+
+/// Canonical registry/CLI name of the deadline-monotonic baseline.
+pub const DM: &str = "DM";
+/// Canonical name of the deadline-monotonic & repair heuristic.
+pub const DMR: &str = "DMR";
+/// Canonical name of Algorithm 1 (Audsley / `S_DCA`).
+pub const OPDCA: &str = "OPDCA";
+/// Canonical name of the exact pairwise branch-and-bound engine.
+pub const OPT: &str = "OPT";
+/// Canonical name of the paper's ILP formulation of OPT.
+pub const OPT_ILP: &str = "OPT-ILP";
+/// Canonical name of the deadline-decomposition simulation baseline.
+pub const DCMP: &str = "DCMP";
+
+impl Solver for Dm {
+    fn name(&self) -> &str {
+        DM
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn supports_admission(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        // Force the shared analysis outside the timed section so
+        // `elapsed_micros` reflects only this solver's own work,
+        // independent of its position in a registry's evaluation order.
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| {
+            let assignment = self.assign(ctx.jobs());
+            let delays = assignment.delays(analysis, self.bound());
+            let unschedulable: Vec<_> = ctx
+                .jobs()
+                .job_ids()
+                .filter(|&job| delays[job.index()] > ctx.jobs().job(job).deadline())
+                .collect();
+            let kind = if unschedulable.is_empty() {
+                VerdictKind::Accepted
+            } else {
+                VerdictKind::Rejected
+            };
+            // Witnesses certify feasibility, so only accepted verdicts
+            // carry the DM assignment; the delays still explain rejections.
+            let witness = (kind == VerdictKind::Accepted).then_some(Witness::Pairwise(assignment));
+            Verdict {
+                solver: DM.to_string(),
+                kind,
+                witness,
+                delays: Some(delays),
+                unschedulable,
+                stats: SolverStats::default(),
+            }
+        });
+        with_elapsed(verdict, elapsed)
+    }
+
+    fn admission_control(&self, ctx: &SolveCtx<'_>) -> Result<AdmissionVerdict, UnsupportedMode> {
+        let outcome = Dm::admission_control(self, ctx.jobs());
+        Ok(AdmissionVerdict {
+            solver: DM.to_string(),
+            accepted: outcome.accepted,
+            rejected: outcome.rejected,
+            witness: Some(Witness::Pairwise(outcome.assignment)),
+        })
+    }
+}
+
+impl Solver for Dmr {
+    fn name(&self) -> &str {
+        DMR
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn supports_admission(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| match self.assign_with_analysis(analysis) {
+            Ok(assignment) => {
+                let delays = assignment.delays(analysis, self.bound());
+                Verdict {
+                    solver: DMR.to_string(),
+                    kind: VerdictKind::Accepted,
+                    witness: Some(Witness::Pairwise(assignment)),
+                    delays: Some(delays),
+                    unschedulable: Vec::new(),
+                    stats: SolverStats::default(),
+                }
+            }
+            Err(err) => Verdict {
+                solver: DMR.to_string(),
+                kind: VerdictKind::Rejected,
+                witness: None,
+                delays: None,
+                unschedulable: err.unschedulable,
+                stats: SolverStats::default(),
+            },
+        });
+        with_elapsed(verdict, elapsed)
+    }
+
+    fn admission_control(&self, ctx: &SolveCtx<'_>) -> Result<AdmissionVerdict, UnsupportedMode> {
+        let outcome = Dmr::admission_control(self, ctx.jobs());
+        Ok(AdmissionVerdict {
+            solver: DMR.to_string(),
+            accepted: outcome.accepted,
+            rejected: outcome.rejected,
+            witness: Some(Witness::Pairwise(outcome.assignment)),
+        })
+    }
+}
+
+impl Solver for Opdca {
+    fn name(&self) -> &str {
+        OPDCA
+    }
+
+    // Optimal for problem P1 (total orderings) with respect to `S_DCA`:
+    // a rejection proves no ordering passes the test.
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn supports_admission(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| match self.assign_with_analysis(analysis) {
+            Ok(result) => Verdict {
+                solver: OPDCA.to_string(),
+                kind: VerdictKind::Accepted,
+                delays: Some(result.delays().to_vec()),
+                stats: SolverStats {
+                    sdca_calls: result.sdca_calls() as u64,
+                    ..SolverStats::default()
+                },
+                witness: Some(Witness::Ordering(result.into_ordering())),
+                unschedulable: Vec::new(),
+            },
+            Err(err) => Verdict {
+                solver: OPDCA.to_string(),
+                kind: VerdictKind::Rejected,
+                witness: None,
+                delays: None,
+                unschedulable: err.unschedulable,
+                stats: SolverStats::default(),
+            },
+        });
+        with_elapsed(verdict, elapsed)
+    }
+
+    fn admission_control(&self, ctx: &SolveCtx<'_>) -> Result<AdmissionVerdict, UnsupportedMode> {
+        let outcome = self.admission_control_with_analysis(ctx.analysis());
+        Ok(AdmissionVerdict {
+            solver: OPDCA.to_string(),
+            accepted: outcome.accepted,
+            rejected: outcome.rejected,
+            witness: Some(Witness::Ordering(outcome.ordering)),
+        })
+    }
+}
+
+impl Solver for OptPairwise {
+    fn name(&self) -> &str {
+        OPT
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        let budgeted = OptPairwise::with_config(
+            self.bound(),
+            PairwiseSearchConfig {
+                node_limit: ctx.budget().node_limit.unwrap_or(self.config().node_limit),
+                time_limit: ctx.budget().time_limit.or(self.config().time_limit),
+            },
+        );
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| {
+            let (outcome, stats) = budgeted.assign_with_stats(analysis);
+            pairwise_outcome_verdict(OPT, ctx, self.bound(), outcome, stats.nodes)
+        });
+        with_elapsed(verdict, elapsed)
+    }
+}
+
+impl Solver for PairwiseIlp {
+    fn name(&self) -> &str {
+        OPT_ILP
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        let mut budgeted = match ctx.budget().node_limit {
+            Some(node_limit) => self.with_node_limit(node_limit),
+            None => *self,
+        };
+        if let Some(time_limit) = ctx.budget().time_limit {
+            budgeted = budgeted.with_time_limit(time_limit);
+        }
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| {
+            let (outcome, stats) = budgeted.assign_with_stats(analysis);
+            pairwise_outcome_verdict(OPT_ILP, ctx, self.bound(), outcome, stats.nodes)
+        });
+        with_elapsed(verdict, elapsed)
+    }
+}
+
+impl Solver for Dcmp {
+    fn name(&self) -> &str {
+        DCMP
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
+        let (outcome, elapsed) = timed(|| self.evaluate(ctx.jobs()));
+        let kind = if outcome.accepted {
+            VerdictKind::Accepted
+        } else {
+            VerdictKind::Rejected
+        };
+        let verdict = Verdict {
+            solver: DCMP.to_string(),
+            kind,
+            witness: None,
+            delays: None,
+            unschedulable: outcome.deadline_misses(),
+            stats: SolverStats::default(),
+        };
+        with_elapsed(verdict, elapsed)
+    }
+}
+
+/// Translates a [`PairwiseSearchOutcome`] into a [`Verdict`].
+fn pairwise_outcome_verdict(
+    name: &str,
+    ctx: &SolveCtx<'_>,
+    bound: DelayBoundKind,
+    outcome: PairwiseSearchOutcome,
+    nodes: u64,
+) -> Verdict {
+    let stats = SolverStats {
+        nodes_explored: nodes,
+        ..SolverStats::default()
+    };
+    match outcome {
+        PairwiseSearchOutcome::Feasible(assignment) => {
+            let delays = assignment.delays(ctx.analysis(), bound);
+            Verdict {
+                solver: name.to_string(),
+                kind: VerdictKind::Accepted,
+                witness: Some(Witness::Pairwise(assignment)),
+                delays: Some(delays),
+                unschedulable: Vec::new(),
+                stats,
+            }
+        }
+        PairwiseSearchOutcome::Infeasible => Verdict {
+            solver: name.to_string(),
+            kind: VerdictKind::Rejected,
+            witness: None,
+            delays: None,
+            unschedulable: Vec::new(),
+            stats,
+        },
+        PairwiseSearchOutcome::Unknown => Verdict {
+            solver: name.to_string(),
+            kind: VerdictKind::Undecided,
+            witness: None,
+            delays: None,
+            unschedulable: Vec::new(),
+            stats,
+        },
+    }
+}
+
+fn with_elapsed(mut verdict: Verdict, elapsed_micros: u64) -> Verdict {
+    verdict.stats.elapsed_micros = elapsed_micros;
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveCtx;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+
+    fn light_jobs() -> msmr_model::JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 2, PreemptionPolicy::Preemptive)
+            .stage("b", 2, PreemptionPolicy::Preemptive);
+        for i in 0..3u64 {
+            b.job()
+                .deadline(Time::new(100))
+                .stage_time(Time::new(4), (i % 2) as usize)
+                .stage_time(Time::new(6), (i % 2) as usize)
+                .add()
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_engine_solves_through_the_trait() {
+        let jobs = light_jobs();
+        let ctx = SolveCtx::new(&jobs);
+        let bound = DelayBoundKind::RefinedPreemptive;
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(Dm::new(bound)),
+            Box::new(Dmr::new(bound)),
+            Box::new(Opdca::new(bound)),
+            Box::new(OptPairwise::new(bound)),
+            Box::new(PairwiseIlp::new(bound)),
+            Box::new(Dcmp::new()),
+        ];
+        for solver in &solvers {
+            let verdict = solver.solve(&ctx);
+            assert_eq!(verdict.solver, solver.name());
+            assert!(
+                verdict.is_accepted(),
+                "{} rejected a trivially schedulable set",
+                solver.name()
+            );
+        }
+        // One shared analysis served all six solvers.
+        assert!(ctx.analysis_is_built());
+    }
+
+    #[test]
+    fn capability_queries_match_the_paper() {
+        let bound = DelayBoundKind::RefinedPreemptive;
+        assert!(Dm::new(bound).supports_admission());
+        assert!(Dmr::new(bound).supports_admission());
+        assert!(Opdca::new(bound).supports_admission());
+        assert!(!OptPairwise::new(bound).supports_admission());
+        assert!(!PairwiseIlp::new(bound).supports_admission());
+        assert!(!Dcmp::new().supports_admission());
+
+        assert!(!Dm::new(bound).is_exact());
+        assert!(!Dmr::new(bound).is_exact());
+        assert!(Opdca::new(bound).is_exact());
+        assert!(OptPairwise::new(bound).is_exact());
+        assert!(PairwiseIlp::new(bound).is_exact());
+        assert!(!Dcmp::new().is_exact());
+    }
+
+    #[test]
+    fn unsupported_admission_is_a_typed_error() {
+        let jobs = light_jobs();
+        let ctx = SolveCtx::new(&jobs);
+        let err = Solver::admission_control(&Dcmp::new(), &ctx).unwrap_err();
+        assert_eq!(err.solver, "DCMP");
+        let err =
+            Solver::admission_control(&OptPairwise::new(DelayBoundKind::RefinedPreemptive), &ctx)
+                .unwrap_err();
+        assert_eq!(err.solver, "OPT");
+    }
+
+    #[test]
+    fn budget_node_limit_reaches_the_search() {
+        // A competing pair forces at least one search node; a zero node
+        // budget must therefore yield Undecided, proving the context
+        // budget overrides the solver's configured default.
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+        for _ in 0..2 {
+            b.job()
+                .deadline(Time::new(100))
+                .stage_time(Time::new(5), 0)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let ctx = SolveCtx::with_budget(&jobs, crate::Budget::default().with_node_limit(0));
+        let verdict = Solver::solve(&OptPairwise::new(DelayBoundKind::RefinedPreemptive), &ctx);
+        assert_eq!(verdict.kind, VerdictKind::Undecided);
+        assert!(!verdict.is_conclusive());
+    }
+
+    #[test]
+    fn admission_verdicts_partition_the_jobs() {
+        let jobs = light_jobs();
+        let ctx = SolveCtx::new(&jobs);
+        for solver in [
+            Box::new(Dm::new(DelayBoundKind::RefinedPreemptive)) as Box<dyn Solver>,
+            Box::new(Dmr::new(DelayBoundKind::RefinedPreemptive)),
+            Box::new(Opdca::new(DelayBoundKind::RefinedPreemptive)),
+        ] {
+            let verdict = solver.admission_control(&ctx).unwrap();
+            assert_eq!(
+                verdict.accepted.len() + verdict.rejected.len(),
+                jobs.len(),
+                "{}",
+                solver.name()
+            );
+            assert!((verdict.acceptance_ratio() - 1.0).abs() < 1e-12);
+            assert!(verdict.witness.is_some());
+        }
+    }
+}

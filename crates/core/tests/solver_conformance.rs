@@ -1,0 +1,195 @@
+//! Trait-conformance suite: every solver registered in the full suite must
+//! return, through `Solver::solve`, exactly the outcome its legacy entry
+//! point returns, on a corpus of random job sets from `msmr-workload`.
+
+use msmr_dca::{Analysis, DelayBoundKind};
+use msmr_model::JobSet;
+use msmr_sched::{
+    Budget, Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseIlp, PairwiseSearchConfig,
+    PairwiseSearchOutcome, SolveCtx, Solver, SolverRegistry, VerdictKind, Witness,
+};
+use msmr_workload::{
+    EdgeWorkloadConfig, EdgeWorkloadGenerator, RandomMsmrConfig, RandomMsmrGenerator,
+};
+
+const BOUND: DelayBoundKind = DelayBoundKind::RefinedPreemptive;
+const NODE_LIMIT: u64 = 200_000;
+
+/// A mixed corpus: small random MSMR systems plus edge-scenario cases.
+fn corpus() -> Vec<JobSet> {
+    let random = RandomMsmrGenerator::new(RandomMsmrConfig {
+        jobs: (2, 6),
+        stages: (2, 3),
+        resources_per_stage: (1, 2),
+        deadline_factor: (1.0, 3.0),
+        ..RandomMsmrConfig::default()
+    })
+    .expect("valid random configuration");
+    let edge = EdgeWorkloadGenerator::new(
+        EdgeWorkloadConfig::default()
+            .with_jobs(12)
+            .with_infrastructure(4, 3)
+            .with_beta(0.2),
+    )
+    .expect("valid edge configuration");
+    let mut cases: Vec<JobSet> = (0..24).map(|seed| random.generate_seeded(seed)).collect();
+    cases.extend((0..8).map(|seed| edge.generate_seeded(seed)));
+    cases
+}
+
+/// The legacy verdict of one named solver, computed through the
+/// engine-specific entry points the crate exposed before the `Solver`
+/// trait existed.
+fn legacy_kind(name: &str, jobs: &JobSet) -> VerdictKind {
+    let analysis = Analysis::new(jobs);
+    let accepted = |ok: bool| {
+        if ok {
+            VerdictKind::Accepted
+        } else {
+            VerdictKind::Rejected
+        }
+    };
+    match name {
+        "DM" => accepted(Dm::new(BOUND).is_schedulable(&analysis)),
+        "DMR" => accepted(Dmr::new(BOUND).assign_with_analysis(&analysis).is_ok()),
+        "OPDCA" => accepted(Opdca::new(BOUND).assign_with_analysis(&analysis).is_ok()),
+        "OPT" => {
+            let outcome = OptPairwise::with_config(
+                BOUND,
+                PairwiseSearchConfig {
+                    node_limit: NODE_LIMIT,
+                    ..PairwiseSearchConfig::default()
+                },
+            )
+            .assign_with_analysis(&analysis);
+            match outcome {
+                PairwiseSearchOutcome::Feasible(_) => VerdictKind::Accepted,
+                PairwiseSearchOutcome::Infeasible => VerdictKind::Rejected,
+                PairwiseSearchOutcome::Unknown => VerdictKind::Undecided,
+            }
+        }
+        "OPT-ILP" => {
+            let outcome = PairwiseIlp::new(BOUND)
+                .with_node_limit(NODE_LIMIT)
+                .assign_with_analysis(&analysis);
+            match outcome {
+                PairwiseSearchOutcome::Feasible(_) => VerdictKind::Accepted,
+                PairwiseSearchOutcome::Infeasible => VerdictKind::Rejected,
+                PairwiseSearchOutcome::Unknown => VerdictKind::Undecided,
+            }
+        }
+        "DCMP" => accepted(Dcmp::new().evaluate(jobs).accepted),
+        other => panic!("unknown solver `{other}`"),
+    }
+}
+
+#[test]
+fn all_six_solvers_match_their_legacy_entry_points() {
+    let registry = SolverRegistry::full_suite(BOUND);
+    assert_eq!(registry.len(), 6);
+    let budget = Budget::default().with_node_limit(NODE_LIMIT);
+    for (case, jobs) in corpus().iter().enumerate() {
+        let ctx = SolveCtx::with_budget(jobs, budget);
+        for name in registry.names() {
+            let solver = registry.solver(name).expect("name comes from the registry");
+            let verdict = solver.solve(&ctx);
+            assert_eq!(
+                verdict.kind,
+                legacy_kind(name, jobs),
+                "case {case}: {name} disagrees with its legacy entry point"
+            );
+            assert_eq!(verdict.solver, name);
+        }
+    }
+}
+
+#[test]
+fn accepted_witnesses_are_feasible() {
+    let registry = SolverRegistry::full_suite(BOUND);
+    let budget = Budget::default().with_node_limit(NODE_LIMIT);
+    for jobs in corpus() {
+        let analysis = Analysis::new(&jobs);
+        let ctx = SolveCtx::with_budget(&jobs, budget);
+        for name in registry.names() {
+            let verdict = registry.solver(name).expect("registered").solve(&ctx);
+            if !verdict.is_accepted() {
+                continue;
+            }
+            match &verdict.witness {
+                Some(Witness::Pairwise(assignment)) => {
+                    assert!(
+                        assignment.is_feasible(&analysis, BOUND),
+                        "{name} reported an infeasible pairwise witness"
+                    );
+                }
+                Some(Witness::Ordering(ordering)) => {
+                    for job in jobs.job_ids() {
+                        let ctx = ordering.interference_sets(job);
+                        assert!(
+                            analysis.delay_bound(BOUND, job, &ctx) <= jobs.job(job).deadline(),
+                            "{name} reported an infeasible ordering witness"
+                        );
+                    }
+                }
+                // DCMP justifies acceptance by simulation, not a witness.
+                None => assert_eq!(name, "DCMP"),
+            }
+            // Reported delays must certify feasibility.
+            if let Some(delays) = &verdict.delays {
+                for job in jobs.job_ids() {
+                    assert!(delays[job.index()] <= jobs.job(job).deadline());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn admission_verdicts_match_the_legacy_controllers() {
+    for jobs in corpus() {
+        let ctx = SolveCtx::new(&jobs);
+        let dm = Solver::admission_control(&Dm::new(BOUND), &ctx).expect("DM supports admission");
+        let legacy = Dm::new(BOUND).admission_control(&jobs);
+        assert_eq!(dm.accepted, legacy.accepted);
+        assert_eq!(dm.rejected, legacy.rejected);
+
+        let dmr =
+            Solver::admission_control(&Dmr::new(BOUND), &ctx).expect("DMR supports admission");
+        let legacy = Dmr::new(BOUND).admission_control(&jobs);
+        assert_eq!(dmr.accepted, legacy.accepted);
+        assert_eq!(dmr.rejected, legacy.rejected);
+
+        let opdca =
+            Solver::admission_control(&Opdca::new(BOUND), &ctx).expect("OPDCA supports admission");
+        let legacy = Opdca::new(BOUND).admission_control(&jobs);
+        assert_eq!(opdca.accepted, legacy.accepted);
+        assert_eq!(opdca.rejected, legacy.rejected);
+    }
+}
+
+#[test]
+fn exact_engines_agree_through_the_registry() {
+    let registry = SolverRegistry::full_suite(BOUND);
+    let budget = Budget::default().with_node_limit(NODE_LIMIT);
+    for (case, jobs) in corpus().iter().enumerate() {
+        // evaluate_parallel runs every solver for real (no shortcuts).
+        let verdicts = registry.evaluate_parallel(jobs, budget, 2);
+        let kind = |name: &str| {
+            verdicts
+                .iter()
+                .find(|v| v.solver == name)
+                .map(|v| v.kind)
+                .expect("registered")
+        };
+        if kind("OPT") != VerdictKind::Undecided && kind("OPT-ILP") != VerdictKind::Undecided {
+            assert_eq!(kind("OPT"), kind("OPT-ILP"), "case {case}");
+        }
+        // Exact dominance: OPT accepts whenever a heuristic pairwise
+        // solver or the ordering solver accepts.
+        for weaker in ["DMR", "OPDCA"] {
+            if kind(weaker) == VerdictKind::Accepted {
+                assert_eq!(kind("OPT"), VerdictKind::Accepted, "case {case}: {weaker}");
+            }
+        }
+    }
+}

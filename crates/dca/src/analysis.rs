@@ -53,7 +53,10 @@ impl<'a> Analysis<'a> {
     #[must_use]
     pub fn pair(&self, target: JobId, interferer: JobId) -> &PairInterference {
         let n = self.jobs.len();
-        assert!(target.index() < n && interferer.index() < n, "job id out of range");
+        assert!(
+            target.index() < n && interferer.index() < n,
+            "job id out of range"
+        );
         &self.pairs[target.index() * n + interferer.index()]
     }
 
@@ -119,11 +122,7 @@ impl<'a> Analysis<'a> {
     /// where `H^a_i ⊆ H_i` contains the higher-priority jobs arriving
     /// strictly after the target.
     #[must_use]
-    pub fn preemptive_single_resource_bound(
-        &self,
-        target: JobId,
-        ctx: &InterferenceSets,
-    ) -> Time {
+    pub fn preemptive_single_resource_bound(&self, target: JobId, ctx: &InterferenceSets) -> Time {
         let higher = self.effective_higher(target, ctx);
         let target_job = self.jobs.job(target);
         let mut delta = target_job.max_processing();
@@ -223,8 +222,7 @@ impl<'a> Analysis<'a> {
             .job_ids()
             .filter(|&k| k != target && self.pair(target, k).interferes())
             .collect();
-        self.non_preemptive_core(target, &higher)
-            + self.blocking_all_stages(target, &everyone_else)
+        self.non_preemptive_core(target, &higher) + self.blocking_all_stages(target, &everyone_else)
     }
 
     /// Shared part of Eqs. 4 and 5: job-additive `m_{i,k}·et_{k,1}` terms
@@ -315,12 +313,7 @@ impl<'a> Analysis<'a> {
 
     /// Evaluates the bound selected by `kind`.
     #[must_use]
-    pub fn delay_bound(
-        &self,
-        kind: DelayBoundKind,
-        target: JobId,
-        ctx: &InterferenceSets,
-    ) -> Time {
+    pub fn delay_bound(&self, kind: DelayBoundKind, target: JobId, ctx: &InterferenceSets) -> Time {
         match kind {
             DelayBoundKind::PreemptiveSingleResource => {
                 self.preemptive_single_resource_bound(target, ctx)
@@ -499,16 +492,28 @@ mod tests {
         let analysis = Analysis::new(&jobs);
         // Target J1 (id 0): higher = {J3}.
         let ctx = InterferenceSets::new([jid(2)], [jid(1)]);
-        assert_eq!(analysis.refined_preemptive_bound(jid(0), &ctx), Time::new(34));
+        assert_eq!(
+            analysis.refined_preemptive_bound(jid(0), &ctx),
+            Time::new(34)
+        );
         // Target J2 (id 1): higher = {J1}.
         let ctx = InterferenceSets::new([jid(0)], [jid(3)]);
-        assert_eq!(analysis.refined_preemptive_bound(jid(1), &ctx), Time::new(55));
+        assert_eq!(
+            analysis.refined_preemptive_bound(jid(1), &ctx),
+            Time::new(55)
+        );
         // Target J3 (id 2): higher = {J4}.
         let ctx = InterferenceSets::new([jid(3)], [jid(0)]);
-        assert_eq!(analysis.refined_preemptive_bound(jid(2), &ctx), Time::new(51));
+        assert_eq!(
+            analysis.refined_preemptive_bound(jid(2), &ctx),
+            Time::new(51)
+        );
         // Target J4 (id 3): higher = {J2}.
         let ctx = InterferenceSets::new([jid(1)], [jid(2)]);
-        assert_eq!(analysis.refined_preemptive_bound(jid(3), &ctx), Time::new(22));
+        assert_eq!(
+            analysis.refined_preemptive_bound(jid(3), &ctx),
+            Time::new(22)
+        );
     }
 
     #[test]
@@ -519,11 +524,11 @@ mod tests {
         let jobs = observation_v1();
         let analysis = Analysis::new(&jobs);
         let expected = [62u64, 57, 56, 64];
-        for target in 0..4 {
+        for (target, &want) in expected.iter().enumerate() {
             let higher: Vec<JobId> = (0..4).filter(|&k| k != target).map(jid).collect();
             let ctx = InterferenceSets::new(higher, []);
             let delta = analysis.refined_preemptive_bound(jid(target), &ctx);
-            assert_eq!(delta, Time::new(expected[target]));
+            assert_eq!(delta, Time::new(want));
             assert!(delta > jobs.job(jid(target)).deadline());
         }
     }
@@ -538,7 +543,10 @@ mod tests {
         let analysis = Analysis::new(&jobs);
         let ctx = InterferenceSets::default();
         // J1 <5,7,15>: 15 + (5 + 7) = 27.
-        assert_eq!(analysis.refined_preemptive_bound(jid(0), &ctx), Time::new(27));
+        assert_eq!(
+            analysis.refined_preemptive_bound(jid(0), &ctx),
+            Time::new(27)
+        );
     }
 
     #[test]
@@ -553,14 +561,13 @@ mod tests {
             DelayBoundKind::EdgeHybrid,
         ] {
             let base = analysis.delay_bound(kind, jid(0), &InterferenceSets::default());
-            let with_one =
-                analysis.delay_bound(kind, jid(0), &InterferenceSets::new([jid(1)], []));
-            let with_two = analysis.delay_bound(
-                kind,
-                jid(0),
-                &InterferenceSets::new([jid(1), jid(2)], []),
+            let with_one = analysis.delay_bound(kind, jid(0), &InterferenceSets::new([jid(1)], []));
+            let with_two =
+                analysis.delay_bound(kind, jid(0), &InterferenceSets::new([jid(1), jid(2)], []));
+            assert!(
+                with_one >= base,
+                "{kind}: adding interference reduced the bound"
             );
-            assert!(with_one >= base, "{kind}: adding interference reduced the bound");
             assert!(with_two >= with_one);
         }
     }

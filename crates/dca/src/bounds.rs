@@ -101,9 +101,7 @@ impl fmt::Display for DelayBoundKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
             DelayBoundKind::PreemptiveSingleResource => "preemptive single-resource (Eq. 1)",
-            DelayBoundKind::NonPreemptiveSingleResource => {
-                "non-preemptive single-resource (Eq. 2)"
-            }
+            DelayBoundKind::NonPreemptiveSingleResource => "non-preemptive single-resource (Eq. 2)",
             DelayBoundKind::PreemptiveMsmr => "preemptive MSMR (Eq. 3)",
             DelayBoundKind::NonPreemptiveMsmr => "non-preemptive MSMR (Eq. 4)",
             DelayBoundKind::NonPreemptiveOpa => "non-preemptive OPA-compatible (Eq. 5)",

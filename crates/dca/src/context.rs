@@ -218,11 +218,8 @@ mod tests {
 
     #[test]
     fn opa_probe_excludes_target() {
-        let ctx = InterferenceSets::for_opa_probe(
-            vec![id(0), id(1), id(2)],
-            vec![id(3), id(4)],
-            id(1),
-        );
+        let ctx =
+            InterferenceSets::for_opa_probe(vec![id(0), id(1), id(2)], vec![id(3), id(4)], id(1));
         assert!(ctx.is_higher(id(0)) && ctx.is_higher(id(2)));
         assert!(!ctx.is_higher(id(1)));
         assert!(ctx.is_lower(id(3)) && ctx.is_lower(id(4)));

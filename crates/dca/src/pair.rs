@@ -1,6 +1,6 @@
 //! Precomputed pairwise interference data.
 
-use msmr_model::{JobSet, JobId, Segments, SharedStageTimes, StageId, Time};
+use msmr_model::{JobId, JobSet, Segments, SharedStageTimes, StageId, Time};
 
 /// Precomputed interference data of an ordered job pair
 /// *(target `J_i`, interferer `J_k`)*.

@@ -26,18 +26,15 @@ fn arbitrary_jobset() -> impl Strategy<Value = JobSet> {
                         builder
                     })
             };
-            (Just(resources), prop::collection::vec(job, jobs)).prop_map(
-                |(resources, builders)| {
-                    let pipeline =
-                        Pipeline::uniform(&resources, PreemptionPolicy::Preemptive).unwrap();
-                    let jobs: Vec<Job> = builders
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, b)| b.build(JobId::new(i)).unwrap())
-                        .collect();
-                    JobSet::new(pipeline, jobs).unwrap()
-                },
-            )
+            (Just(resources), prop::collection::vec(job, jobs)).prop_map(|(resources, builders)| {
+                let pipeline = Pipeline::uniform(&resources, PreemptionPolicy::Preemptive).unwrap();
+                let jobs: Vec<Job> = builders
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| b.build(JobId::new(i)).unwrap())
+                    .collect();
+                JobSet::new(pipeline, jobs).unwrap()
+            })
         })
     })
 }
@@ -106,9 +103,7 @@ fn oracle_eq5(jobs: &JobSet, target: JobId, higher: &[JobId]) -> Time {
         let stage = StageId::new(j);
         let mut max = 0u64;
         for k in jobs.job_ids() {
-            if k != target
-                && jobs.windows_overlap(target, k)
-                && jobs.shares_stage(target, k, stage)
+            if k != target && jobs.windows_overlap(target, k) && jobs.shares_stage(target, k, stage)
             {
                 max = max.max(jobs.job(k).processing(stage).as_ticks());
             }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator, WorkloadError};
 use serde::{Deserialize, Serialize};
 
-use crate::approach::{evaluate_all, Approach, ApproachOutcome};
+use crate::approach::{evaluation_budget, evaluation_registry, Approach, ApproachOutcome};
 
 /// An acceptance-ratio experiment: generate `cases` test cases from a
 /// workload configuration and record, for every approach, the percentage
@@ -14,22 +14,31 @@ use crate::approach::{evaluate_all, Approach, ApproachOutcome};
 /// Figures 4a–4c of the paper are sweeps of this experiment over β,
 /// `[h1,h2,h3]` and γ respectively; the `fig4a`–`fig4c` binaries perform
 /// those sweeps and print one [`AcceptanceRow`] per parameter value.
+///
+/// Evaluation goes through
+/// [`SolverRegistry::evaluate_batch`](msmr_sched::SolverRegistry::evaluate_batch):
+/// the generated cases fan out over worker threads while each case is
+/// evaluated with one shared analysis and the exact implication
+/// shortcuts, so results are identical for every thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AcceptanceExperiment {
     cases: usize,
     base_seed: u64,
     opt_node_limit: u64,
+    threads: usize,
 }
 
 impl AcceptanceExperiment {
     /// Creates an experiment running `cases` test cases per configuration,
-    /// seeded deterministically from `base_seed`.
+    /// seeded deterministically from `base_seed`, evaluated on all
+    /// available cores.
     #[must_use]
     pub fn new(cases: usize, base_seed: u64) -> Self {
         AcceptanceExperiment {
             cases,
             base_seed,
             opt_node_limit: 200_000,
+            threads: msmr_par::default_threads(),
         }
     }
 
@@ -41,10 +50,29 @@ impl AcceptanceExperiment {
         self
     }
 
+    /// Overrides the number of worker threads used to evaluate the batch
+    /// of test cases (0 selects the available parallelism). Results do not
+    /// depend on this value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            msmr_par::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Number of test cases per configuration.
     #[must_use]
     pub fn cases(&self) -> usize {
         self.cases
+    }
+
+    /// Worker threads used for the batch evaluation.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs the experiment for one workload configuration.
@@ -54,16 +82,23 @@ impl AcceptanceExperiment {
     /// Returns a [`WorkloadError`] if the configuration is invalid.
     pub fn run(&self, config: &EdgeWorkloadConfig) -> Result<AcceptanceRow, WorkloadError> {
         let generator = EdgeWorkloadGenerator::new(config.clone())?;
-        let mut accepted: BTreeMap<Approach, usize> = Approach::all()
-            .into_iter()
-            .map(|a| (a, 0usize))
-            .collect();
+        let registry = evaluation_registry();
+        let budget = evaluation_budget(self.opt_node_limit);
+        // Streaming batch: each worker generates its case on demand, so a
+        // paper-scale sweep never holds more than `threads` job sets.
+        let batch = registry.evaluate_batch_with(self.cases, budget, self.threads, |case| {
+            generator.generate_seeded(self.base_seed.wrapping_add(case as u64))
+        });
+
+        let mut accepted: BTreeMap<Approach, usize> =
+            Approach::all().into_iter().map(|a| (a, 0usize)).collect();
         let mut undecided = 0usize;
-        for case in 0..self.cases {
-            let jobs = generator.generate_seeded(self.base_seed.wrapping_add(case as u64));
-            for (approach, outcome) in evaluate_all(&jobs, self.opt_node_limit) {
-                match outcome {
+        for verdicts in &batch {
+            for verdict in verdicts {
+                match ApproachOutcome::from(verdict.kind) {
                     ApproachOutcome::Accepted => {
+                        let approach = Approach::from_solver_name(&verdict.solver)
+                            .expect("registry contains only the paper approaches");
                         *accepted.get_mut(&approach).expect("initialised above") += 1;
                     }
                     ApproachOutcome::Undecided => undecided += 1,
@@ -163,12 +198,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        let config = tiny_config();
+        let sequential = AcceptanceExperiment::new(4, 7)
+            .with_opt_node_limit(50_000)
+            .with_threads(1);
+        let parallel = AcceptanceExperiment::new(4, 7)
+            .with_opt_node_limit(50_000)
+            .with_threads(4);
+        assert_eq!(sequential.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        let a = sequential.run(&config).unwrap();
+        let b = parallel.run(&config).unwrap();
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.opt_undecided, b.opt_undecided);
+    }
+
+    #[test]
+    fn zero_threads_selects_auto_parallelism() {
+        let experiment = AcceptanceExperiment::new(1, 1).with_threads(0);
+        assert!(experiment.threads() >= 1);
+    }
+
+    #[test]
     fn sweep_produces_one_row_per_config() {
         let experiment = AcceptanceExperiment::new(2, 3).with_opt_node_limit(20_000);
-        let configs = vec![
-            tiny_config().with_beta(0.05),
-            tiny_config().with_beta(0.20),
-        ];
+        let configs = vec![tiny_config().with_beta(0.05), tiny_config().with_beta(0.20)];
         let rows = experiment.sweep(&configs).unwrap();
         assert_eq!(rows.len(), 2);
         assert!((rows[0].config.beta - 0.05).abs() < 1e-12);

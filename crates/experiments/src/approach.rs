@@ -1,10 +1,17 @@
-//! The five evaluated approaches.
+//! The five evaluated approaches, expressed over the unified
+//! [`SolverRegistry`] of `msmr-sched`.
+//!
+//! [`Approach`] remains the compact identifier the figures use; evaluation
+//! now goes through [`msmr_sched::Solver::solve`] with one shared
+//! [`msmr_dca::Analysis`] per test case and the `DMR ⇒ OPT` /
+//! `OPDCA ⇒ OPT` implication shortcuts registered declaratively on the
+//! registry instead of hand-wired control flow.
 
 use std::fmt;
 
-use msmr_dca::{Analysis, DelayBoundKind};
+use msmr_dca::DelayBoundKind;
 use msmr_model::{JobId, JobSet};
-use msmr_sched::{Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseSearchConfig, PairwiseSearchOutcome};
+use msmr_sched::{Budget, SolveCtx, SolverRegistry, UnsupportedMode, Verdict, VerdictKind};
 use serde::{Deserialize, Serialize};
 
 /// The delay bound used throughout the evaluation: Eq. 10, i.e. preemptive
@@ -12,9 +19,7 @@ use serde::{Deserialize, Serialize};
 pub const EVALUATION_BOUND: DelayBoundKind = DelayBoundKind::EdgeHybrid;
 
 /// One of the five approaches compared in Fig. 4.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Approach {
     /// Deadline-monotonic pairwise assignment without repair.
     Dm,
@@ -40,18 +45,31 @@ impl Approach {
             Approach::Dcmp,
         ]
     }
+
+    /// The registry/CLI name of the approach's solver.
+    #[must_use]
+    pub const fn solver_name(self) -> &'static str {
+        match self {
+            Approach::Dm => msmr_sched::DM,
+            Approach::Dmr => msmr_sched::DMR,
+            Approach::Opdca => msmr_sched::OPDCA,
+            Approach::Opt => msmr_sched::OPT,
+            Approach::Dcmp => msmr_sched::DCMP,
+        }
+    }
+
+    /// Parses a registry/CLI solver name back into an approach.
+    #[must_use]
+    pub fn from_solver_name(name: &str) -> Option<Approach> {
+        Approach::all()
+            .into_iter()
+            .find(|approach| approach.solver_name() == name)
+    }
 }
 
 impl fmt::Display for Approach {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Approach::Dm => "DM",
-            Approach::Dmr => "DMR",
-            Approach::Opdca => "OPDCA",
-            Approach::Opt => "OPT",
-            Approach::Dcmp => "DCMP",
-        };
-        f.write_str(name)
+        f.write_str(self.solver_name())
     }
 }
 
@@ -77,78 +95,75 @@ impl ApproachOutcome {
     }
 }
 
+impl From<VerdictKind> for ApproachOutcome {
+    fn from(kind: VerdictKind) -> Self {
+        match kind {
+            VerdictKind::Accepted => ApproachOutcome::Accepted,
+            VerdictKind::Rejected => ApproachOutcome::Rejected,
+            VerdictKind::Undecided => ApproachOutcome::Undecided,
+        }
+    }
+}
+
+/// The registry used by the evaluation: the paper's five approaches under
+/// the edge-computing bound (Eq. 10), with the exact implication shortcuts
+/// `DMR accepted ⇒ OPT accepted` and `OPDCA accepted ⇒ OPT accepted`
+/// (a feasible ordering or repaired pairwise assignment *is* a feasible
+/// pairwise assignment).
+#[must_use]
+pub fn evaluation_registry() -> SolverRegistry {
+    SolverRegistry::paper_suite(EVALUATION_BOUND)
+}
+
+/// The evaluation budget implied by an OPT node limit.
+#[must_use]
+pub fn evaluation_budget(opt_node_limit: u64) -> Budget {
+    Budget::default().with_node_limit(opt_node_limit)
+}
+
+/// Evaluates every approach on one test case, returning the full
+/// [`Verdict`]s in legend order.
+#[must_use]
+pub fn evaluate_all_verdicts(jobs: &JobSet, opt_node_limit: u64) -> Vec<Verdict> {
+    evaluation_registry().evaluate(jobs, evaluation_budget(opt_node_limit))
+}
+
 /// Evaluates every approach on one test case.
 ///
-/// The implications `OPDCA accepted ⇒ OPT accepted` and
-/// `DMR accepted ⇒ OPT accepted` (a feasible ordering or repaired pairwise
-/// assignment *is* a feasible pairwise assignment) are used to skip the
-/// expensive exact search whenever possible; this shortcut is exact, not an
-/// approximation.
+/// Implemented on [`SolverRegistry::evaluate`]: the interference analysis
+/// is built once and shared by all approaches, and the `OPDCA ⇒ OPT` /
+/// `DMR ⇒ OPT` shortcuts skip the exact search whenever possible (this
+/// shortcut is exact, not an approximation).
 #[must_use]
 pub fn evaluate_all(jobs: &JobSet, opt_node_limit: u64) -> Vec<(Approach, ApproachOutcome)> {
-    let analysis = Analysis::new(jobs);
-
-    let dm_ok = Dm::new(EVALUATION_BOUND).is_schedulable(&analysis);
-    let dmr_ok = Dmr::new(EVALUATION_BOUND)
-        .assign_with_analysis(&analysis)
-        .is_ok();
-    let opdca_ok = Opdca::new(EVALUATION_BOUND)
-        .assign_with_analysis(&analysis)
-        .is_ok();
-    let opt = if dmr_ok || opdca_ok {
-        ApproachOutcome::Accepted
-    } else {
-        match OptPairwise::with_config(
-            EVALUATION_BOUND,
-            PairwiseSearchConfig {
-                node_limit: opt_node_limit,
-            },
-        )
-        .assign_with_analysis(&analysis)
-        {
-            PairwiseSearchOutcome::Feasible(_) => ApproachOutcome::Accepted,
-            PairwiseSearchOutcome::Infeasible => ApproachOutcome::Rejected,
-            PairwiseSearchOutcome::Unknown => ApproachOutcome::Undecided,
-        }
-    };
-    let dcmp_ok = Dcmp::new().evaluate(jobs).accepted;
-
-    let to_outcome = |ok: bool| {
-        if ok {
-            ApproachOutcome::Accepted
-        } else {
-            ApproachOutcome::Rejected
-        }
-    };
-    vec![
-        (Approach::Dm, to_outcome(dm_ok)),
-        (Approach::Dmr, to_outcome(dmr_ok)),
-        (Approach::Opdca, to_outcome(opdca_ok)),
-        (Approach::Opt, opt),
-        (Approach::Dcmp, to_outcome(dcmp_ok)),
-    ]
+    evaluate_all_verdicts(jobs, opt_node_limit)
+        .into_iter()
+        .map(|verdict| {
+            let approach = Approach::from_solver_name(&verdict.solver)
+                .expect("the evaluation registry only contains the five paper approaches");
+            (approach, ApproachOutcome::from(verdict.kind))
+        })
+        .collect()
 }
 
 /// Runs one approach as an admission controller and returns the rejected
 /// jobs (only DM, DMR and OPDCA support this mode, mirroring Fig. 4d).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if called for [`Approach::Opt`] or [`Approach::Dcmp`].
-#[must_use]
-pub fn admission_rejects(approach: Approach, jobs: &JobSet) -> Vec<JobId> {
-    match approach {
-        Approach::Dm => Dm::new(EVALUATION_BOUND).admission_control(jobs).rejected,
-        Approach::Dmr => Dmr::new(EVALUATION_BOUND).admission_control(jobs).rejected,
-        Approach::Opdca => {
-            Opdca::new(EVALUATION_BOUND)
-                .admission_control(jobs)
-                .rejected
-        }
-        Approach::Opt | Approach::Dcmp => {
-            panic!("{approach} is not evaluated as an admission controller in Fig. 4d")
-        }
-    }
+/// Returns [`UnsupportedMode`] for approaches without an admission
+/// variant ([`Approach::Opt`] and [`Approach::Dcmp`]); query
+/// [`msmr_sched::Solver::supports_admission`] through the registry to
+/// check upfront.
+pub fn admission_rejects(approach: Approach, jobs: &JobSet) -> Result<Vec<JobId>, UnsupportedMode> {
+    let registry = evaluation_registry();
+    let solver = registry
+        .solver(approach.solver_name())
+        .expect("every approach is registered in the evaluation registry");
+    let ctx = SolveCtx::new(jobs);
+    solver
+        .admission_control(&ctx)
+        .map(|verdict| verdict.rejected)
 }
 
 #[cfg(test)]
@@ -181,6 +196,28 @@ mod tests {
     }
 
     #[test]
+    fn solver_names_round_trip() {
+        for approach in Approach::all() {
+            assert_eq!(
+                Approach::from_solver_name(approach.solver_name()),
+                Some(approach)
+            );
+        }
+        assert_eq!(Approach::from_solver_name("OPT-ILP"), None);
+        assert_eq!(Approach::from_solver_name("nope"), None);
+    }
+
+    #[test]
+    fn registry_matches_the_legend_order() {
+        let registry = evaluation_registry();
+        let names: Vec<&str> = Approach::all()
+            .into_iter()
+            .map(Approach::solver_name)
+            .collect();
+        assert_eq!(registry.names(), names);
+    }
+
+    #[test]
     fn light_system_is_accepted_by_every_approach() {
         let jobs = light_jobs();
         for (approach, outcome) in evaluate_all(&jobs, 100_000) {
@@ -192,18 +229,44 @@ mod tests {
     }
 
     #[test]
+    fn verdicts_carry_solver_details() {
+        let jobs = light_jobs();
+        let verdicts = evaluate_all_verdicts(&jobs, 100_000);
+        assert_eq!(verdicts.len(), 5);
+        let opdca = verdicts.iter().find(|v| v.solver == "OPDCA").unwrap();
+        assert!(opdca.stats.sdca_calls > 0);
+        assert!(opdca.witness.is_some());
+        // The light system is accepted by DMR, so OPT is implied.
+        let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+        assert_eq!(opt.stats.implied_by.as_deref(), Some("DMR"));
+    }
+
+    #[test]
     fn admission_controllers_do_not_reject_light_systems() {
         let jobs = light_jobs();
         for approach in [Approach::Dm, Approach::Dmr, Approach::Opdca] {
-            assert!(admission_rejects(approach, &jobs).is_empty());
+            assert!(admission_rejects(approach, &jobs).unwrap().is_empty());
         }
     }
 
     #[test]
-    #[should_panic(expected = "not evaluated as an admission controller")]
-    fn opt_has_no_admission_mode() {
+    fn opt_and_dcmp_have_no_admission_mode() {
         let jobs = light_jobs();
-        let _ = admission_rejects(Approach::Opt, &jobs);
+        for approach in [Approach::Opt, Approach::Dcmp] {
+            let err = admission_rejects(approach, &jobs).unwrap_err();
+            assert_eq!(err.solver, approach.solver_name());
+            assert!(err.to_string().contains("admission control"));
+        }
+        // The capability query agrees with the typed error.
+        let registry = evaluation_registry();
+        for approach in Approach::all() {
+            let solver = registry.solver(approach.solver_name()).unwrap();
+            assert_eq!(
+                solver.supports_admission(),
+                admission_rejects(approach, &jobs).is_ok(),
+                "{approach}"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@ fn main() {
         }
     };
     let experiment = AcceptanceExperiment::new(options.cases, options.seed)
-        .with_opt_node_limit(options.opt_node_limit);
+        .with_opt_node_limit(options.opt_node_limit)
+        .with_threads(options.threads);
 
     println!(
         "Figure 4a: acceptance ratio (%) vs heaviness threshold beta \

@@ -17,7 +17,8 @@ fn main() {
         }
     };
     let experiment = AcceptanceExperiment::new(options.cases, options.seed)
-        .with_opt_node_limit(options.opt_node_limit);
+        .with_opt_node_limit(options.opt_node_limit)
+        .with_threads(options.threads);
 
     println!(
         "Figure 4b: acceptance ratio (%) vs per-stage heaviness [h1,h2,h3] \
@@ -47,7 +48,15 @@ fn main() {
     println!(
         "{}",
         format_markdown_table(
-            &["[h1,h2,h3]", "DM", "DMR", "OPDCA", "OPT", "DCMP", "OPT undecided"],
+            &[
+                "[h1,h2,h3]",
+                "DM",
+                "DMR",
+                "OPDCA",
+                "OPT",
+                "DCMP",
+                "OPT undecided"
+            ],
             &rows
         )
     );

@@ -15,7 +15,8 @@ fn main() {
         }
     };
     let experiment = AcceptanceExperiment::new(options.cases, options.seed)
-        .with_opt_node_limit(options.opt_node_limit);
+        .with_opt_node_limit(options.opt_node_limit)
+        .with_threads(options.threads);
 
     println!(
         "Figure 4c: acceptance ratio (%) vs taskset heaviness bound gamma \
@@ -36,7 +37,15 @@ fn main() {
     println!(
         "{}",
         format_markdown_table(
-            &["gamma", "DM", "DMR", "OPDCA", "OPT", "DCMP", "OPT undecided"],
+            &[
+                "gamma",
+                "DM",
+                "DMR",
+                "OPDCA",
+                "OPT",
+                "DCMP",
+                "OPT undecided"
+            ],
             &rows
         )
     );

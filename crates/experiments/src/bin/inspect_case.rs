@@ -20,8 +20,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let generator =
-        EdgeWorkloadGenerator::new(options.base_config()).expect("valid configuration");
+    let generator = EdgeWorkloadGenerator::new(options.base_config()).expect("valid configuration");
     let jobs = generator.generate_seeded(options.seed);
     let analysis = Analysis::new(&jobs);
     let profile = HeavinessProfile::of(&jobs);

@@ -25,6 +25,8 @@ pub struct RunOptions {
     pub servers: usize,
     /// Node budget of the exact pairwise search per test case.
     pub opt_node_limit: u64,
+    /// Worker threads for batch evaluation (0 = all available cores).
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -36,6 +38,7 @@ impl Default for RunOptions {
             access_points: 25,
             servers: 20,
             opt_node_limit: 200_000,
+            threads: 0,
         }
     }
 }
@@ -90,6 +93,7 @@ impl RunOptions {
                 "--opt-nodes" => {
                     options.opt_node_limit = parse_number(&value_for("--opt-nodes")?)?;
                 }
+                "--threads" => options.threads = parse_number(&value_for("--threads")?)?,
                 "--help" | "-h" => {
                     println!("{}", Self::usage());
                     std::process::exit(0);
@@ -111,7 +115,8 @@ impl RunOptions {
          --jobs <n>           jobs per test case (default 100)\n  \
          --access-points <n>  access points (default 25)\n  \
          --servers <n>        servers (default 20)\n  \
-         --opt-nodes <n>      node budget of the exact OPT search (default 200000)"
+         --opt-nodes <n>      node budget of the exact OPT search (default 200000)\n  \
+         --threads <n>        worker threads for batch evaluation (default 0 = all cores)"
             .to_string()
     }
 
@@ -153,8 +158,20 @@ mod tests {
     #[test]
     fn parsing_overrides_values() {
         let opts = RunOptions::parse_from(args(&[
-            "--cases", "5", "--seed", "9", "--jobs", "30", "--servers", "6",
-            "--access-points", "8", "--opt-nodes", "1000",
+            "--cases",
+            "5",
+            "--seed",
+            "9",
+            "--jobs",
+            "30",
+            "--servers",
+            "6",
+            "--access-points",
+            "8",
+            "--opt-nodes",
+            "1000",
+            "--threads",
+            "3",
         ]))
         .unwrap();
         assert_eq!(opts.cases, 5);
@@ -163,6 +180,8 @@ mod tests {
         assert_eq!(opts.servers, 6);
         assert_eq!(opts.access_points, 8);
         assert_eq!(opts.opt_node_limit, 1000);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(RunOptions::default().threads, 0);
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! (`msmr-sim`) together:
 //!
 //! * [`Approach`] — the five evaluated approaches (DM, DMR, OPDCA, OPT,
-//!   DCMP), all applied with the edge-computing delay bound (Eq. 10).
+//!   DCMP), all applied with the edge-computing delay bound (Eq. 10) and
+//!   evaluated through the unified
+//!   [`SolverRegistry`](msmr_sched::SolverRegistry) seam (see
+//!   [`evaluation_registry`]).
 //! * [`AcceptanceExperiment`] — acceptance-ratio sweeps over β,
-//!   `[h1,h2,h3]` and γ (Fig. 4a–4c).
+//!   `[h1,h2,h3]` and γ (Fig. 4a–4c), fanning test cases out over worker
+//!   threads via `SolverRegistry::evaluate_batch`.
 //! * [`RejectedHeavinessExperiment`] — the admission-controller comparison
 //!   of Fig. 4d.
 //!
@@ -42,6 +46,9 @@ mod rejected;
 mod table;
 
 pub use acceptance::{AcceptanceExperiment, AcceptanceRow};
-pub use approach::{admission_rejects, evaluate_all, Approach, ApproachOutcome, EVALUATION_BOUND};
+pub use approach::{
+    admission_rejects, evaluate_all, evaluate_all_verdicts, evaluation_budget, evaluation_registry,
+    Approach, ApproachOutcome, EVALUATION_BOUND,
+};
 pub use rejected::{RejectedHeavinessExperiment, RejectedHeavinessRow};
 pub use table::{format_markdown_table, Cell};

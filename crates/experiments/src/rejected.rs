@@ -49,14 +49,13 @@ impl RejectedHeavinessExperiment {
         config: &EdgeWorkloadConfig,
     ) -> Result<RejectedHeavinessRow, WorkloadError> {
         let generator = EdgeWorkloadGenerator::new(config.clone())?;
-        let mut totals: BTreeMap<Approach, f64> = Self::approaches()
-            .into_iter()
-            .map(|a| (a, 0.0))
-            .collect();
+        let mut totals: BTreeMap<Approach, f64> =
+            Self::approaches().into_iter().map(|a| (a, 0.0)).collect();
         for case in 0..self.cases {
             let jobs = generator.generate_seeded(self.base_seed.wrapping_add(case as u64));
             for approach in Self::approaches() {
-                let rejected = admission_rejects(approach, &jobs);
+                let rejected = admission_rejects(approach, &jobs)
+                    .expect("every Fig. 4d approach supports admission control");
                 *totals.get_mut(&approach).expect("initialised above") +=
                     rejected_heaviness_percent(&jobs, &rejected);
             }

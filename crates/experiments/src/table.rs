@@ -77,12 +77,7 @@ pub fn format_markdown_table(headers: &[&str], rows: &[Vec<Cell>]) -> String {
         out.push('\n');
     };
     write_row(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
-    write_row(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    write_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in &rendered {
         write_row(row);
     }

@@ -35,10 +35,16 @@ impl fmt::Display for IlpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IlpError::UnknownVariable { var, len } => {
-                write!(f, "variable {var:?} does not belong to this problem ({len} variables)")
+                write!(
+                    f,
+                    "variable {var:?} does not belong to this problem ({len} variables)"
+                )
             }
             IlpError::InvalidBounds { lower, upper } => {
-                write!(f, "invalid variable bounds: lower {lower} exceeds upper {upper}")
+                write!(
+                    f,
+                    "invalid variable bounds: lower {lower} exceeds upper {upper}"
+                )
             }
             IlpError::Overflow => write!(f, "coefficient arithmetic overflowed"),
         }

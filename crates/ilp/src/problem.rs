@@ -254,10 +254,12 @@ impl Problem {
     /// Returns [`IlpError::UnknownVariable`] for ids that do not belong to
     /// this problem.
     pub fn variable(&self, var: VarId) -> Result<&Variable, IlpError> {
-        self.variables.get(var.index()).ok_or(IlpError::UnknownVariable {
-            var,
-            len: self.variables.len(),
-        })
+        self.variables
+            .get(var.index())
+            .ok_or(IlpError::UnknownVariable {
+                var,
+                len: self.variables.len(),
+            })
     }
 
     /// Iterates over the variables in id order.
@@ -305,11 +307,11 @@ impl Problem {
     #[must_use]
     pub fn is_feasible(&self, values: &[i64]) -> bool {
         self.constraints.iter().all(|c| c.is_satisfied_by(values))
-            && self.variables.iter().enumerate().all(|(i, v)| {
-                values
-                    .get(i)
-                    .is_some_and(|&x| x >= v.lower && x <= v.upper)
-            })
+            && self
+                .variables
+                .iter()
+                .enumerate()
+                .all(|(i, v)| values.get(i).is_some_and(|&x| x >= v.lower && x <= v.upper))
     }
 
     /// Evaluates the objective for an assignment (`None` for feasibility
@@ -368,7 +370,10 @@ mod tests {
         let mut p = Problem::new();
         let _x = p.binary("x");
         p.less_equal(LinExpr::new().term(VarId::new(5), 1), 3);
-        assert!(matches!(p.validate(), Err(IlpError::UnknownVariable { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(IlpError::UnknownVariable { .. })
+        ));
 
         let mut p = Problem::new();
         let x = p.binary("x");

@@ -224,7 +224,10 @@ mod tests {
         p.less_equal(LinExpr::new().term(x, 1).term(y, 1), 6);
         let constraints = normalize(&p);
         let mut domains = Domains::from_problem(&p);
-        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(
+            propagate(&constraints, &mut domains),
+            Propagation::Consistent
+        );
         assert_eq!(domains.upper(x.index()), 4);
         assert_eq!(domains.upper(y.index()), 6);
     }
@@ -238,7 +241,10 @@ mod tests {
         p.greater_equal(LinExpr::new().term(x, 1).term(y, 1), 8);
         let constraints = normalize(&p);
         let mut domains = Domains::from_problem(&p);
-        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(
+            propagate(&constraints, &mut domains),
+            Propagation::Consistent
+        );
         assert_eq!(domains.lower(x.index()), 5);
     }
 
@@ -251,7 +257,10 @@ mod tests {
         p.equal(LinExpr::new().term(x, 1).term(y, 1), 2);
         let constraints = normalize(&p);
         let mut domains = Domains::from_problem(&p);
-        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(
+            propagate(&constraints, &mut domains),
+            Propagation::Consistent
+        );
         assert!(domains.all_fixed());
         assert_eq!(domains.assignment(), vec![1, 1]);
     }
@@ -263,7 +272,10 @@ mod tests {
         p.greater_equal(LinExpr::new().term(x, 1), 2);
         let constraints = normalize(&p);
         let mut domains = Domains::from_problem(&p);
-        assert_eq!(propagate(&constraints, &mut domains), Propagation::Infeasible);
+        assert_eq!(
+            propagate(&constraints, &mut domains),
+            Propagation::Infeasible
+        );
     }
 
     #[test]
@@ -274,7 +286,10 @@ mod tests {
         p.less_equal(LinExpr::new().term(x, -2).constant(1), -5);
         let constraints = normalize(&p);
         let mut domains = Domains::from_problem(&p);
-        assert_eq!(propagate(&constraints, &mut domains), Propagation::Consistent);
+        assert_eq!(
+            propagate(&constraints, &mut domains),
+            Propagation::Consistent
+        );
         assert_eq!(domains.lower(x.index()), 3);
         assert_eq!(domains.upper(x.index()), 5);
     }

@@ -1,5 +1,7 @@
 //! Depth-first branch-and-bound search.
 
+use std::time::{Duration, Instant};
+
 use crate::problem::Objective;
 use crate::propagate::{normalize, propagate, Domains, LeConstraint, Propagation};
 use crate::{IlpError, LinExpr, Problem, VarId};
@@ -12,15 +14,22 @@ pub struct SolverConfig {
     /// [`Outcome::Feasible`] (incumbent found) or [`Outcome::Unknown`] (no
     /// incumbent), never a silent "infeasible".
     pub node_limit: u64,
+    /// Optional wall-clock budget; exceeding it truncates the search the
+    /// same way the node limit does (checked every few thousand nodes).
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             node_limit: 10_000_000,
+            time_limit: None,
         }
     }
 }
+
+/// How many search nodes are explored between wall-clock deadline checks.
+const DEADLINE_CHECK_INTERVAL: u64 = 4_096;
 
 /// Search statistics reported by [`Solver::solve_with_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +177,7 @@ impl Solver {
             constraints: &constraints,
             minimise: minimise.as_ref(),
             node_limit: self.config.node_limit,
+            deadline: self.config.time_limit.map(|limit| Instant::now() + limit),
             stats: SolverStats::default(),
             incumbent: None,
             incumbent_cost: i128::MAX,
@@ -201,6 +211,7 @@ struct Search<'a> {
     constraints: &'a [LeConstraint],
     minimise: Option<&'a LinExpr>,
     node_limit: u64,
+    deadline: Option<Instant>,
     stats: SolverStats,
     incumbent: Option<Vec<i64>>,
     incumbent_cost: i128,
@@ -237,6 +248,14 @@ impl Search<'_> {
         if self.stats.nodes >= self.node_limit {
             self.stats.truncated = true;
             return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.stats.nodes.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                && Instant::now() >= deadline
+            {
+                self.stats.truncated = true;
+                return true;
+            }
         }
         self.stats.nodes += 1;
 
@@ -390,6 +409,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_time_limit_truncates_the_search() {
+        let mut problem = Problem::new();
+        let mut sum = LinExpr::new();
+        for i in 0..18 {
+            let v = problem.binary(format!("b{i}"));
+            sum.add_term(v, 1);
+        }
+        problem.equal(sum, 9);
+        let solver = Solver::with_config(SolverConfig {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..SolverConfig::default()
+        });
+        let (outcome, stats) = solver.solve_with_stats(&problem).unwrap();
+        assert!(stats.truncated);
+        // Truncation must never be reported as infeasibility.
+        assert!(!matches!(outcome, Outcome::Infeasible));
+    }
+
+    #[test]
     fn node_limit_yields_unknown_or_feasible() {
         // A problem with a large search space and a tiny node budget.
         let mut p = Problem::new();
@@ -399,7 +437,10 @@ mod tests {
             sum.add_term(v, 1);
         }
         p.equal(sum, 15);
-        let solver = Solver::with_config(SolverConfig { node_limit: 1 });
+        let solver = Solver::with_config(SolverConfig {
+            node_limit: 1,
+            ..SolverConfig::default()
+        });
         let (outcome, stats) = solver.solve_with_stats(&p).unwrap();
         assert!(stats.truncated);
         assert!(!outcome.is_conclusive());
@@ -430,7 +471,10 @@ mod tests {
 
     #[test]
     fn solver_accessors() {
-        let solver = Solver::with_config(SolverConfig { node_limit: 42 });
+        let solver = Solver::with_config(SolverConfig {
+            node_limit: 42,
+            ..SolverConfig::default()
+        });
         assert_eq!(solver.config().node_limit, 42);
         assert_eq!(SolverConfig::default().node_limit, 10_000_000);
     }

@@ -98,26 +98,18 @@ fn random_problem() -> impl Strategy<Value = RandomProblem> {
     bounds.prop_flat_map(|bounds| {
         let n = bounds.len();
         let constraints = prop::collection::vec(
-            (
-                prop::collection::vec(-4i64..=4, n),
-                0u8..3,
-                -8i64..=8,
-            ),
+            (prop::collection::vec(-4i64..=4, n), 0u8..3, -8i64..=8),
             0..=4,
         );
         let objective = prop::collection::vec(-5i64..=5, 0..=n);
-        (
-            Just(bounds),
-            constraints,
-            objective,
-            proptest::bool::ANY,
-        )
-            .prop_map(|(bounds, constraints, objective, maximize)| RandomProblem {
+        (Just(bounds), constraints, objective, proptest::bool::ANY).prop_map(
+            |(bounds, constraints, objective, maximize)| RandomProblem {
                 bounds,
                 constraints,
                 objective,
                 maximize,
-            })
+            },
+        )
     })
 }
 

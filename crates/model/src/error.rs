@@ -101,7 +101,10 @@ impl fmt::Display for ModelError {
                 write!(f, "job {job} does not exist (job set has {len} jobs)")
             }
             ModelError::UnknownStage { stage, len } => {
-                write!(f, "stage {stage} does not exist (pipeline has {len} stages)")
+                write!(
+                    f,
+                    "stage {stage} does not exist (pipeline has {len} stages)"
+                )
             }
         }
     }
@@ -131,12 +134,8 @@ mod tests {
                 resource: 9,
                 available: 3,
             },
-            ModelError::ZeroDeadline {
-                job: JobId::new(4),
-            },
-            ModelError::ZeroProcessing {
-                job: JobId::new(5),
-            },
+            ModelError::ZeroDeadline { job: JobId::new(4) },
+            ModelError::ZeroProcessing { job: JobId::new(5) },
             ModelError::UnknownJob {
                 job: JobId::new(7),
                 len: 3,

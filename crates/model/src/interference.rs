@@ -46,6 +46,14 @@ impl Segment {
         self.len
     }
 
+    /// Whether the segment covers no stage at all. Segments produced by
+    /// the interference analysis always cover at least one stage; this
+    /// exists for API completeness alongside [`Segment::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Whether the segment consists of exactly one stage.
     ///
     /// Single-stage segments contribute only one job-additive term in the
@@ -138,7 +146,10 @@ impl Segments {
     /// `v_{i,k}`: the number of segments spanning two or more stages.
     #[must_use]
     pub fn multi_stage_count(&self) -> usize {
-        self.segments.iter().filter(|s| !s.is_single_stage()).count()
+        self.segments
+            .iter()
+            .filter(|s| !s.is_single_stage())
+            .count()
     }
 
     /// `w_{i,k} = u_{i,k} + 2 v_{i,k}`: the maximum number of job-additive
@@ -215,7 +226,10 @@ impl SharedStageTimes {
     /// `ep_{k,j}` for the given stage; zero if the stage is out of range.
     #[must_use]
     pub fn ep(&self, stage: StageId) -> Time {
-        self.per_stage.get(stage.index()).copied().unwrap_or(Time::ZERO)
+        self.per_stage
+            .get(stage.index())
+            .copied()
+            .unwrap_or(Time::ZERO)
     }
 
     /// `et_{k,x}`: the `x`-th largest shared-stage processing time
@@ -267,7 +281,10 @@ mod tests {
         assert!(!s.is_single_stage());
         assert!(s.contains(StageId::new(3)));
         assert!(!s.contains(StageId::new(4)));
-        assert_eq!(s.stages().collect::<Vec<_>>(), vec![StageId::new(2), StageId::new(3)]);
+        assert_eq!(
+            s.stages().collect::<Vec<_>>(),
+            vec![StageId::new(2), StageId::new(3)]
+        );
     }
 
     #[test]

@@ -251,8 +251,8 @@ impl JobSet {
                 kept.push(job.clone());
             }
         }
-        let set = JobSet::new(self.pipeline.clone(), kept)
-            .expect("removing a job preserves validity");
+        let set =
+            JobSet::new(self.pipeline.clone(), kept).expect("removing a job preserves validity");
         (set, original)
     }
 
@@ -361,8 +361,8 @@ impl JobSetBuilder {
         resources: usize,
         preemption: PreemptionPolicy,
     ) -> &mut Self {
-        let stage = Stage::new(name, resources, preemption)
-            .expect("stage must have at least one resource");
+        let stage =
+            Stage::new(name, resources, preemption).expect("stage must have at least one resource");
         self.stages.push(stage);
         self
     }
@@ -519,9 +519,7 @@ mod tests {
     #[test]
     fn restrict_to_subset() {
         let set = three_stage_set();
-        let (reduced, original) = set
-            .restrict_to(&[JobId::new(2), JobId::new(0)])
-            .unwrap();
+        let (reduced, original) = set.restrict_to(&[JobId::new(2), JobId::new(0)]).unwrap();
         assert_eq!(reduced.len(), 2);
         assert_eq!(original, vec![JobId::new(2), JobId::new(0)]);
         assert_eq!(reduced.job(JobId::new(0)).deadline(), Time::new(70));
@@ -549,7 +547,10 @@ mod tests {
             .build(JobId::new(0))
             .unwrap();
         let err = JobSet::new(pipeline, vec![job]).unwrap_err();
-        assert!(matches!(err, ModelError::UnknownResource { resource: 3, .. }));
+        assert!(matches!(
+            err,
+            ModelError::UnknownResource { resource: 3, .. }
+        ));
     }
 
     #[test]

@@ -249,17 +249,13 @@ impl Pipeline {
     /// Returns `true` if every stage is preemptive.
     #[must_use]
     pub fn fully_preemptive(&self) -> bool {
-        self.stages
-            .iter()
-            .all(|s| s.preemption().is_preemptive())
+        self.stages.iter().all(|s| s.preemption().is_preemptive())
     }
 
     /// Returns `true` if every stage is non-preemptive.
     #[must_use]
     pub fn fully_non_preemptive(&self) -> bool {
-        self.stages
-            .iter()
-            .all(|s| !s.preemption().is_preemptive())
+        self.stages.iter().all(|s| !s.preemption().is_preemptive())
     }
 }
 
@@ -292,7 +288,10 @@ mod tests {
         assert!(p.fully_non_preemptive());
         assert!(!p.fully_preemptive());
         assert_eq!(p.stage(StageId::new(1)).unwrap().resource_count(), 3);
-        assert_eq!(p.preemption(StageId::new(0)), PreemptionPolicy::NonPreemptive);
+        assert_eq!(
+            p.preemption(StageId::new(0)),
+            PreemptionPolicy::NonPreemptive
+        );
     }
 
     #[test]
@@ -322,8 +321,14 @@ mod tests {
         let p = Pipeline::uniform(&[2, 1], PreemptionPolicy::Preemptive).unwrap();
         let refs: Vec<ResourceRef> = p.resource_refs().collect();
         assert_eq!(refs.len(), 3);
-        assert_eq!(refs[0], ResourceRef::new(StageId::new(0), ResourceId::new(0)));
-        assert_eq!(refs[2], ResourceRef::new(StageId::new(1), ResourceId::new(0)));
+        assert_eq!(
+            refs[0],
+            ResourceRef::new(StageId::new(0), ResourceId::new(0))
+        );
+        assert_eq!(
+            refs[2],
+            ResourceRef::new(StageId::new(1), ResourceId::new(0))
+        );
     }
 
     #[test]
@@ -336,16 +341,16 @@ mod tests {
         assert!(!p.fully_preemptive());
         assert!(!p.fully_non_preemptive());
         assert_eq!(p.stage(StageId::new(0)).unwrap().name(), "uplink");
-        assert_eq!(
-            p.stage(StageId::new(0)).unwrap().resources().count(),
-            2
-        );
+        assert_eq!(p.stage(StageId::new(0)).unwrap().resources().count(), 2);
     }
 
     #[test]
     fn preemption_policy_display_and_default() {
         assert_eq!(PreemptionPolicy::Preemptive.to_string(), "preemptive");
-        assert_eq!(PreemptionPolicy::NonPreemptive.to_string(), "non-preemptive");
+        assert_eq!(
+            PreemptionPolicy::NonPreemptive.to_string(),
+            "non-preemptive"
+        );
         assert_eq!(PreemptionPolicy::default(), PreemptionPolicy::Preemptive);
         assert!(PreemptionPolicy::Preemptive.is_preemptive());
         assert!(!PreemptionPolicy::NonPreemptive.is_preemptive());

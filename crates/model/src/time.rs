@@ -224,10 +224,7 @@ mod tests {
         assert_eq!(Time::new(3).saturating_sub(Time::new(5)), Time::ZERO);
         assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
         assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
-        assert_eq!(
-            Time::new(5).checked_sub(Time::new(3)),
-            Some(Time::new(2))
-        );
+        assert_eq!(Time::new(5).checked_sub(Time::new(3)), Some(Time::new(2)));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! shared-stage processing times and heaviness accounting.
 
 use msmr_model::{
-    HeavinessProfile, Job, JobId, JobSet, Pipeline, PreemptionPolicy, Segments,
-    SharedStageTimes, StageId, Time,
+    HeavinessProfile, Job, JobId, JobSet, Pipeline, PreemptionPolicy, Segments, SharedStageTimes,
+    StageId, Time,
 };
 use proptest::prelude::*;
 
@@ -30,20 +30,15 @@ fn arbitrary_jobset() -> impl Strategy<Value = JobSet> {
                         builder
                     })
             };
-            (
-                Just(resources),
-                prop::collection::vec(job, jobs),
-            )
-                .prop_map(|(resources, builders)| {
-                    let pipeline =
-                        Pipeline::uniform(&resources, PreemptionPolicy::Preemptive).unwrap();
-                    let jobs: Vec<Job> = builders
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, b)| b.build(JobId::new(i)).unwrap())
-                        .collect();
-                    JobSet::new(pipeline, jobs).unwrap()
-                })
+            (Just(resources), prop::collection::vec(job, jobs)).prop_map(|(resources, builders)| {
+                let pipeline = Pipeline::uniform(&resources, PreemptionPolicy::Preemptive).unwrap();
+                let jobs: Vec<Job> = builders
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| b.build(JobId::new(i)).unwrap())
+                    .collect();
+                JobSet::new(pipeline, jobs).unwrap()
+            })
         })
     })
 }

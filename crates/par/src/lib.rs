@@ -1,0 +1,135 @@
+//! Std-only data-parallel helpers for the msmr workspace.
+//!
+//! The batch-evaluation API of `msmr-sched` fans out independent job-set
+//! evaluations across CPU cores. The build container cannot fetch `rayon`,
+//! so this crate provides the one primitive the workspace needs — an
+//! order-preserving [`parallel_map`] over a slice — on top of
+//! `std::thread::scope` with atomic work stealing. The API is deliberately
+//! rayon-shaped so swapping the implementation for `rayon::par_iter` later
+//! is a one-file change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads [`parallel_map`] uses when the caller does
+/// not pin one: the available CPU parallelism, or 1 when unknown.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items` and returns the results in
+/// input order, fanning the work out over `threads` worker threads.
+///
+/// Work is distributed dynamically (an atomic next-item counter), so
+/// heavily skewed per-item costs — common when one job set triggers an
+/// exact search and its neighbours do not — still balance. With
+/// `threads <= 1` or a single item the closure runs on the caller's
+/// thread, which keeps small batches allocation-free and makes the
+/// parallel and sequential paths bit-identical.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers have stopped.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let workers = threads.min(items.len());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = f(index, item);
+                results
+                    .lock()
+                    .expect("a worker panicked while holding the result lock")
+                    .push((index, result));
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    let mut indexed = results
+        .into_inner()
+        .expect("all workers joined without panicking");
+    indexed.sort_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |_, &x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(&items, 1, |i, &x| x + i as u64);
+        let par = parallel_map(&items, 8, |i, &x| x + i as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let tagged = parallel_map(&items, 2, |i, &s| format!("{i}:{s}"));
+        assert_eq!(tagged, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u64> = Vec::new();
+        assert!(parallel_map(&items, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u64> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 2, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

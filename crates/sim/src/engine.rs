@@ -58,7 +58,11 @@ impl<'a> Simulator<'a> {
     pub fn run(&self, priorities: &PriorityMap) -> SimulationOutcome {
         let n = self.jobs.len();
         let n_stages = self.jobs.stage_count();
-        assert_eq!(priorities.stage_count(), n_stages, "priority map stage count mismatch");
+        assert_eq!(
+            priorities.stage_count(),
+            n_stages,
+            "priority map stage count mismatch"
+        );
         assert_eq!(priorities.job_count(), n, "priority map job count mismatch");
 
         // Dense resource indexing.
@@ -111,10 +115,7 @@ impl<'a> Simulator<'a> {
                 if policy == PreemptionPolicy::NonPreemptive {
                     if let Some(holder) = occupied[r_idx] {
                         let st = &states[holder.index()];
-                        if !st.done
-                            && st.stage == resource.stage.index()
-                            && st.remaining > 0
-                        {
+                        if !st.done && st.stage == resource.stage.index() && st.remaining > 0 {
                             running[r_idx] = Some(holder);
                             continue;
                         }
@@ -228,6 +229,7 @@ impl<'a> Simulator<'a> {
     ) {
         loop {
             let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // parallel mutation of `states` and `occupied`
             for i in 0..states.len() {
                 let job = JobId::new(i);
                 if !states[i].done && states[i].ready_at <= time && states[i].remaining == 0 {
@@ -328,8 +330,14 @@ mod tests {
         let outcome = Simulator::new(&jobs).run(&priorities);
         assert_eq!(outcome.delay(jid(0)), Time::new(15));
         assert_eq!(outcome.completion(jid(0)), Time::new(18));
-        assert_eq!(outcome.stage_completion(jid(0), StageId::new(0)), Time::new(7));
-        assert_eq!(outcome.stage_completion(jid(0), StageId::new(1)), Time::new(12));
+        assert_eq!(
+            outcome.stage_completion(jid(0), StageId::new(0)),
+            Time::new(7)
+        );
+        assert_eq!(
+            outcome.stage_completion(jid(0), StageId::new(1)),
+            Time::new(12)
+        );
         assert_eq!(outcome.executed_time(jid(0)), Time::new(15));
         assert!(outcome.all_deadlines_met());
     }
@@ -469,7 +477,10 @@ mod tests {
         let priorities = PriorityMap::from_global_order(&jobs, &[jid(0)]);
         let outcome = Simulator::new(&jobs).run(&priorities);
         assert_eq!(outcome.completion(jid(0)), Time::new(5));
-        assert_eq!(outcome.stage_completion(jid(0), StageId::new(0)), Time::ZERO);
+        assert_eq!(
+            outcome.stage_completion(jid(0), StageId::new(0)),
+            Time::ZERO
+        );
     }
 
     #[test]
@@ -500,7 +511,10 @@ mod tests {
         }
         // Work conservation: every job executes exactly its demand.
         for i in 0..3 {
-            assert_eq!(outcome.executed_time(jid(i)), jobs.job(jid(i)).total_processing());
+            assert_eq!(
+                outcome.executed_time(jid(i)),
+                jobs.job(jid(i)).total_processing()
+            );
         }
     }
 

@@ -139,10 +139,8 @@ mod tests {
     #[test]
     fn global_order_applies_to_every_stage() {
         let jobs = two_stage_three_jobs();
-        let map = PriorityMap::from_global_order(
-            &jobs,
-            &[JobId::new(2), JobId::new(0), JobId::new(1)],
-        );
+        let map =
+            PriorityMap::from_global_order(&jobs, &[JobId::new(2), JobId::new(0), JobId::new(1)]);
         assert_eq!(map.stage_count(), 2);
         assert_eq!(map.job_count(), 3);
         for stage in 0..2 {

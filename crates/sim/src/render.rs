@@ -40,7 +40,7 @@ use crate::SimulationOutcome;
 pub fn render_gantt(jobs: &JobSet, outcome: &SimulationOutcome, tick_width: u64) -> String {
     assert!(tick_width > 0, "tick width must be positive");
     let makespan = outcome.makespan();
-    let columns = (makespan.as_ticks() + tick_width - 1) / tick_width;
+    let columns = makespan.as_ticks().div_ceil(tick_width);
     let resources: Vec<ResourceRef> = jobs.pipeline().resource_refs().collect();
 
     let mut output = String::new();
@@ -54,7 +54,7 @@ pub fn render_gantt(jobs: &JobSet, outcome: &SimulationOutcome, tick_width: u64)
         let mut row = vec!['.'; columns as usize];
         for slice in outcome.trace().iter().filter(|s| s.resource == resource) {
             let start = slice.start.as_ticks() / tick_width;
-            let end = (slice.end.as_ticks() + tick_width - 1) / tick_width;
+            let end = slice.end.as_ticks().div_ceil(tick_width);
             for cell in row.iter_mut().take(end as usize).skip(start as usize) {
                 // Single-character job label: digits for the first ten
                 // jobs, letters afterwards.
@@ -79,8 +79,11 @@ mod tests {
 
     fn two_stage_jobs() -> JobSet {
         let mut b = JobSetBuilder::new();
-        b.stage("net", 1, PreemptionPolicy::Preemptive)
-            .stage("cpu", 2, PreemptionPolicy::Preemptive);
+        b.stage("net", 1, PreemptionPolicy::Preemptive).stage(
+            "cpu",
+            2,
+            PreemptionPolicy::Preemptive,
+        );
         b.job()
             .deadline(Time::new(30))
             .stage_time(Time::new(2), 0)
@@ -99,8 +102,7 @@ mod tests {
     #[test]
     fn gantt_covers_every_resource_and_job() {
         let jobs = two_stage_jobs();
-        let priorities =
-            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
         let outcome = Simulator::new(&jobs).run(&priorities);
         let chart = render_gantt(&jobs, &outcome, 1);
         // One header line plus one line per resource (1 + 2).
@@ -115,8 +117,7 @@ mod tests {
     #[test]
     fn coarser_ticks_shorten_the_rows() {
         let jobs = two_stage_jobs();
-        let priorities =
-            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
         let outcome = Simulator::new(&jobs).run(&priorities);
         let fine = render_gantt(&jobs, &outcome, 1);
         let coarse = render_gantt(&jobs, &outcome, 4);
@@ -127,8 +128,7 @@ mod tests {
     #[should_panic(expected = "tick width")]
     fn zero_tick_width_panics() {
         let jobs = two_stage_jobs();
-        let priorities =
-            PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
+        let priorities = PriorityMap::from_global_order(&jobs, &[JobId::new(0), JobId::new(1)]);
         let outcome = Simulator::new(&jobs).run(&priorities);
         let _ = render_gantt(&jobs, &outcome, 0);
     }

@@ -1,8 +1,8 @@
 //! Edge-computing workload generator (§VI-A of the paper).
 
 use msmr_model::{
-    HeavinessProfile, JobBuilder, JobSet, JobSetBuilder, PreemptionPolicy, ResourceId,
-    ResourceRef, StageId, Time,
+    HeavinessProfile, JobBuilder, JobSet, JobSetBuilder, PreemptionPolicy, ResourceId, ResourceRef,
+    StageId, Time,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -117,7 +117,9 @@ impl EdgeWorkloadConfig {
             });
         }
         if self.servers == 0 {
-            return Err(WorkloadError::ZeroCount { parameter: "servers" });
+            return Err(WorkloadError::ZeroCount {
+                parameter: "servers",
+            });
         }
         if self.jobs == 0 {
             return Err(WorkloadError::ZeroCount { parameter: "jobs" });
@@ -240,8 +242,13 @@ impl EdgeWorkloadGenerator {
         builder
             .stage("uplink", cfg.access_points, PreemptionPolicy::NonPreemptive)
             .stage("server", cfg.servers, PreemptionPolicy::Preemptive)
-            .stage("downlink", cfg.access_points, PreemptionPolicy::NonPreemptive);
+            .stage(
+                "downlink",
+                cfg.access_points,
+                PreemptionPolicy::NonPreemptive,
+            );
 
+        #[allow(clippy::needless_range_loop)] // `job_idx` indexes the per-stage heavy flags
         for job_idx in 0..n {
             // 2. Target heaviness per stage, then a deadline compatible
             //    with the *heavy* targets and the published per-stage time
@@ -269,8 +276,7 @@ impl EdgeWorkloadGenerator {
             let mut deadline_hi = cfg.deadline_range.1;
             for stage in 0..3 {
                 if heavy[stage][job_idx] {
-                    let cap =
-                        (cfg.stage_range(stage).1 as f64 / targets[stage]).floor() as u64;
+                    let cap = (cfg.stage_range(stage).1 as f64 / targets[stage]).floor() as u64;
                     deadline_hi = deadline_hi.min(cap.max(1));
                 }
             }
@@ -281,8 +287,7 @@ impl EdgeWorkloadGenerator {
             let mut processing = [0u64; 3];
             for stage in 0..3 {
                 let range = cfg.stage_range(stage);
-                let p = ((targets[stage] * deadline as f64).round() as u64)
-                    .clamp(range.0, range.1);
+                let p = ((targets[stage] * deadline as f64).round() as u64).clamp(range.0, range.1);
                 heaviness[stage] = p as f64 / deadline as f64;
                 processing[stage] = p;
             }
@@ -362,12 +367,7 @@ impl EdgeWorkloadGenerator {
     /// keeps every affected load vector at or below `γ` is selected; if no
     /// sampled candidate fits, the globally least-loaded resource is used
     /// (the caller then shrinks the job to respect `γ`).
-    fn place<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        loads: &[&Vec<f64>],
-        added: &[f64],
-    ) -> usize {
+    fn place<R: Rng + ?Sized>(&self, rng: &mut R, loads: &[&Vec<f64>], added: &[f64]) -> usize {
         let count = loads[0].len();
         let combined = |index: usize| -> f64 { loads.iter().map(|l| l[index]).sum() };
         let fits = |index: usize| -> bool {
@@ -440,10 +440,22 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_bad_values() {
-        assert!(EdgeWorkloadConfig::default().with_jobs(0).validate().is_err());
-        assert!(EdgeWorkloadConfig::default().with_beta(0.0).validate().is_err());
-        assert!(EdgeWorkloadConfig::default().with_beta(0.8).validate().is_err());
-        assert!(EdgeWorkloadConfig::default().with_gamma(-0.5).validate().is_err());
+        assert!(EdgeWorkloadConfig::default()
+            .with_jobs(0)
+            .validate()
+            .is_err());
+        assert!(EdgeWorkloadConfig::default()
+            .with_beta(0.0)
+            .validate()
+            .is_err());
+        assert!(EdgeWorkloadConfig::default()
+            .with_beta(0.8)
+            .validate()
+            .is_err());
+        assert!(EdgeWorkloadConfig::default()
+            .with_gamma(-0.5)
+            .validate()
+            .is_err());
         assert!(EdgeWorkloadConfig::default()
             .with_heavy_ratios([0.1, 1.5, 0.1])
             .validate()
@@ -452,8 +464,10 @@ mod tests {
             .with_infrastructure(0, 5)
             .validate()
             .is_err());
-        let mut cfg = EdgeWorkloadConfig::default();
-        cfg.offload_range = (10, 2);
+        let cfg = EdgeWorkloadConfig {
+            offload_range: (10, 2),
+            ..EdgeWorkloadConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(EdgeWorkloadGenerator::new(cfg).is_err());
     }
@@ -503,7 +517,7 @@ mod tests {
             // heaviness target remains achievable within the per-stage
             // time ranges.
             let d = job.deadline().as_millis();
-            assert!(d >= 1 && d <= 10_000);
+            assert!((1..=10_000).contains(&d));
         }
     }
 

@@ -51,14 +51,24 @@ impl fmt::Display for WorkloadError {
             WorkloadError::InvalidRatio { parameter, value } => {
                 write!(f, "parameter `{parameter}` must lie in [0, 1], got {value}")
             }
-            WorkloadError::InvalidRange { parameter, min, max } => {
+            WorkloadError::InvalidRange {
+                parameter,
+                min,
+                max,
+            } => {
                 write!(f, "range `{parameter}` has min {min} above max {max}")
             }
             WorkloadError::InvalidBeta { value } => {
-                write!(f, "heaviness threshold beta must lie in (0, 0.5], got {value}")
+                write!(
+                    f,
+                    "heaviness threshold beta must lie in (0, 0.5], got {value}"
+                )
             }
             WorkloadError::InvalidGamma { value } => {
-                write!(f, "taskset heaviness bound gamma must be positive, got {value}")
+                write!(
+                    f,
+                    "taskset heaviness bound gamma must be positive, got {value}"
+                )
             }
         }
     }
@@ -85,8 +95,12 @@ mod tests {
             max: 2,
         };
         assert!(err.to_string().contains("offload"));
-        assert!(WorkloadError::InvalidBeta { value: 0.9 }.to_string().contains("0.9"));
-        assert!(WorkloadError::InvalidGamma { value: -1.0 }.to_string().contains("-1"));
+        assert!(WorkloadError::InvalidBeta { value: 0.9 }
+            .to_string()
+            .contains("0.9"));
+        assert!(WorkloadError::InvalidGamma { value: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 
     #[test]

@@ -156,7 +156,9 @@ impl RandomMsmrGenerator {
             }
             let factor = rng.gen_range(cfg.deadline_factor.0..=cfg.deadline_factor.1);
             let deadline = ((total as f64) * factor).ceil().max(1.0) as u64;
-            job = job.arrival(Time::new(arrival)).deadline(Time::new(deadline));
+            job = job
+                .arrival(Time::new(arrival))
+                .deadline(Time::new(deadline));
             for (p, r) in stages {
                 job = job.stage_time(Time::new(p), r);
             }
@@ -179,20 +181,31 @@ mod tests {
 
     #[test]
     fn validation_rejects_inconsistent_configs() {
-        let mut cfg = RandomMsmrConfig::default();
-        cfg.stages = (0, 3);
+        let defaults = RandomMsmrConfig::default;
+        let cfg = RandomMsmrConfig {
+            stages: (0, 3),
+            ..defaults()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = RandomMsmrConfig::default();
-        cfg.jobs = (5, 2);
+        let cfg = RandomMsmrConfig {
+            jobs: (5, 2),
+            ..defaults()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = RandomMsmrConfig::default();
-        cfg.processing = (0, 5);
+        let cfg = RandomMsmrConfig {
+            processing: (0, 5),
+            ..defaults()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = RandomMsmrConfig::default();
-        cfg.deadline_factor = (0.0, 1.0);
+        let cfg = RandomMsmrConfig {
+            deadline_factor: (0.0, 1.0),
+            ..defaults()
+        };
         assert!(RandomMsmrGenerator::new(cfg).is_err());
-        let mut cfg = RandomMsmrConfig::default();
-        cfg.arrivals = (10, 2);
+        let cfg = RandomMsmrConfig {
+            arrivals: (10, 2),
+            ..defaults()
+        };
         assert!(cfg.validate().is_err());
         assert!(RandomMsmrConfig::default().validate().is_ok());
     }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_gamma(0.9);
     let generator = EdgeWorkloadGenerator::new(config)?;
     let jobs = generator.generate_seeded(11);
-    println!("generated an overloaded edge system with {} jobs\n", jobs.len());
+    println!(
+        "generated an overloaded edge system with {} jobs\n",
+        jobs.len()
+    );
 
     // OPDCA as an admission controller.
     let opdca = Opdca::new(EVALUATION_BOUND).admission_control(&jobs);

@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // report the observed end-to-end delays.
     match Opdca::new(EVALUATION_BOUND).assign(&jobs) {
         Ok(result) => {
-            let priorities =
-                PriorityMap::from_global_order(&jobs, result.ordering().as_slice());
+            let priorities = PriorityMap::from_global_order(&jobs, result.ordering().as_slice());
             let outcome = Simulator::new(&jobs).run(&priorities);
             let worst = jobs
                 .job_ids()

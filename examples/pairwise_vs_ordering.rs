@@ -17,10 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .stage("S2", 2, PreemptionPolicy::Preemptive)
         .stage("S3", 2, PreemptionPolicy::Preemptive);
     let rows: [([u64; 3], [usize; 3], u64); 4] = [
-        ([5, 7, 15], [0, 1, 1], 60),  // J1
-        ([7, 9, 17], [1, 1, 1], 55),  // J2
-        ([6, 8, 30], [0, 0, 0], 55),  // J3
-        ([2, 4, 3], [1, 0, 0], 50),   // J4
+        ([5, 7, 15], [0, 1, 1], 60), // J1
+        ([7, 9, 17], [1, 1, 1], 55), // J2
+        ([6, 8, 30], [0, 0, 0], 55), // J3
+        ([2, 4, 3], [1, 0, 0], 50),  // J4
     ];
     for (times, mapping, deadline) in rows {
         builder

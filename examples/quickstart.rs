@@ -1,12 +1,12 @@
-//! Quickstart: build a small multi-stage multi-resource job set, compute an
-//! optimal priority ordering with OPDCA and inspect the resulting delay
-//! bounds.
+//! Quickstart: build a small multi-stage multi-resource job set, evaluate
+//! it with the unified `SolverRegistry`, then execute the OPDCA ordering
+//! witness on the discrete-event simulator.
 //!
 //! Run with `cargo run -p msmr-experiments --example quickstart`.
 
 use msmr_dca::{Analysis, DelayBoundKind};
 use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
-use msmr_sched::Opdca;
+use msmr_sched::{Budget, SolverRegistry, Witness};
 use msmr_sim::{render_gantt, PriorityMap, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,23 +39,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jobs = builder.build()?;
     println!("{jobs}");
 
-    // Compute an optimal priority ordering with the edge-computing bound
-    // (preemptive servers, non-preemptive downlink -- paper Eq. 10).
-    let result = Opdca::new(DelayBoundKind::EdgeHybrid).assign(&jobs)?;
-    println!("priority ordering (highest first): {}", result.ordering());
-    println!("S_DCA invocations: {}", result.sdca_calls());
+    // Evaluate all five paper approaches through the registry with the
+    // edge-computing bound (preemptive servers, non-preemptive downlink --
+    // paper Eq. 10). One shared analysis serves every solver, and OPT is
+    // implied whenever DMR or OPDCA already accepts.
+    let registry = SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid);
+    let verdicts = registry.evaluate(&jobs, Budget::default());
+    println!("verdicts:");
+    for verdict in &verdicts {
+        println!("  {verdict}");
+    }
+
+    // Pull the OPDCA ordering witness and its per-job delay bounds out of
+    // the unified report.
+    let opdca = verdicts
+        .iter()
+        .find(|v| v.solver == "OPDCA")
+        .expect("OPDCA is part of the paper suite");
+    let Some(Witness::Ordering(ordering)) = &opdca.witness else {
+        println!("no feasible priority ordering exists");
+        return Ok(());
+    };
+    let delays = opdca
+        .delays
+        .as_ref()
+        .expect("accepted OPDCA reports delays");
+    println!("\npriority ordering (highest first): {ordering}");
+    println!("S_DCA invocations: {}", opdca.stats.sdca_calls);
     for job in jobs.jobs() {
         println!(
             "  {}: delay bound {} ms <= deadline {} ms",
             job.id(),
-            result.delay(job.id()),
+            delays[job.id().index()],
             job.deadline()
         );
     }
 
     // Cross-check the analytical bound against a discrete-event simulation
     // of the same priority ordering.
-    let priorities = PriorityMap::from_global_order(&jobs, result.ordering().as_slice());
+    let priorities = PriorityMap::from_global_order(&jobs, ordering.as_slice());
     let outcome = Simulator::new(&jobs).run(&priorities);
     let analysis = Analysis::new(&jobs);
     println!("simulated end-to-end delays:");
@@ -64,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bound = analysis.delay_bound(
             DelayBoundKind::EdgeHybrid,
             job.id(),
-            &result.ordering().interference_sets(job.id()),
+            &ordering.interference_sets(job.id()),
         );
         println!(
             "  {}: simulated {} ms, analytical bound {} ms",
@@ -74,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(simulated <= bound, "simulation exceeded the DCA bound");
     }
-    println!("all deadlines met in simulation: {}", outcome.all_deadlines_met());
+    println!(
+        "all deadlines met in simulation: {}",
+        outcome.all_deadlines_met()
+    );
 
     // A coarse Gantt chart of the simulated schedule (one column = 20 ms).
     println!("\n{}", render_gantt(&jobs, &outcome, 20));

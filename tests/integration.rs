@@ -41,7 +41,10 @@ fn opdca_orderings_hold_up_in_simulation() {
             );
         }
     }
-    assert!(accepted_cases > 0, "no test case was accepted; generator too heavy");
+    assert!(
+        accepted_cases > 0,
+        "no test case was accepted; generator too heavy"
+    );
 }
 
 #[test]
@@ -74,7 +77,9 @@ fn approach_dominance_holds_on_generated_workloads() {
     // OPT accepts every case OPDCA or DMR accepts (it is optimal for
     // problem P2, and both produce feasible pairwise assignments).
     let generator = EdgeWorkloadGenerator::new(
-        small_edge_config().with_beta(0.2).with_heavy_ratios([0.1, 0.1, 0.01]),
+        small_edge_config()
+            .with_beta(0.2)
+            .with_heavy_ratios([0.1, 0.1, 0.01]),
     )
     .unwrap();
     for seed in 0..10 {
@@ -135,10 +140,10 @@ fn exact_engines_agree_on_a_small_edge_instance() {
     for seed in 0..5 {
         let jobs = generator.generate_seeded(seed);
         let analysis = Analysis::new(&jobs);
-        let search = OptPairwise::new(DelayBoundKind::RefinedPreemptive)
-            .assign_with_analysis(&analysis);
-        let ilp = PairwiseIlp::new(DelayBoundKind::RefinedPreemptive)
-            .assign_with_analysis(&analysis);
+        let search =
+            OptPairwise::new(DelayBoundKind::RefinedPreemptive).assign_with_analysis(&analysis);
+        let ilp =
+            PairwiseIlp::new(DelayBoundKind::RefinedPreemptive).assign_with_analysis(&analysis);
         assert!(search.is_conclusive() && ilp.is_conclusive());
         assert_eq!(search.is_feasible(), ilp.is_feasible(), "seed {seed}");
     }
@@ -165,10 +170,8 @@ fn admission_controllers_accept_a_superset_relationship() {
 
 #[test]
 fn rejected_jobs_are_never_part_of_the_final_ordering() {
-    let generator = EdgeWorkloadGenerator::new(
-        small_edge_config().with_beta(0.25).with_gamma(0.9),
-    )
-    .unwrap();
+    let generator =
+        EdgeWorkloadGenerator::new(small_edge_config().with_beta(0.25).with_gamma(0.9)).unwrap();
     let jobs = generator.generate_seeded(2);
     let outcome = Opdca::new(EVALUATION_BOUND).admission_control(&jobs);
     for &job in &outcome.rejected {

@@ -18,29 +18,34 @@ fn jobset_and_order(
     preemption: PreemptionPolicy,
     arrivals: (u64, u64),
 ) -> impl Strategy<Value = (JobSet, Vec<JobId>)> {
-    (0u64..10_000, Just(preemption), Just(arrivals)).prop_flat_map(|(seed, preemption, arrivals)| {
-        let generator = RandomMsmrGenerator::new(RandomMsmrConfig {
-            jobs: (2, 7),
-            stages: (2, 4),
-            resources_per_stage: (1, 3),
-            processing: (1, 15),
-            arrivals,
-            deadline_factor: (1.0, 5.0),
-            preemption,
-        })
-        .expect("valid generator configuration");
-        let jobs = generator.generate_seeded(seed);
-        let n = jobs.len();
-        (Just(jobs), Just(()).prop_perturb(move |(), mut rng| {
-            let mut order: Vec<JobId> = (0..n).map(JobId::new).collect();
-            // Fisher-Yates with the proptest RNG for shrink-friendliness.
-            for i in (1..n).rev() {
-                let j = (rng.next_u64() as usize) % (i + 1);
-                order.swap(i, j);
-            }
-            order
-        }))
-    })
+    (0u64..10_000, Just(preemption), Just(arrivals)).prop_flat_map(
+        |(seed, preemption, arrivals)| {
+            let generator = RandomMsmrGenerator::new(RandomMsmrConfig {
+                jobs: (2, 7),
+                stages: (2, 4),
+                resources_per_stage: (1, 3),
+                processing: (1, 15),
+                arrivals,
+                deadline_factor: (1.0, 5.0),
+                preemption,
+            })
+            .expect("valid generator configuration");
+            let jobs = generator.generate_seeded(seed);
+            let n = jobs.len();
+            (
+                Just(jobs),
+                Just(()).prop_perturb(move |(), mut rng| {
+                    let mut order: Vec<JobId> = (0..n).map(JobId::new).collect();
+                    // Fisher-Yates with the proptest RNG for shrink-friendliness.
+                    for i in (1..n).rev() {
+                        let j = (rng.next_u64() as usize) % (i + 1);
+                        order.swap(i, j);
+                    }
+                    order
+                }),
+            )
+        },
+    )
 }
 
 proptest! {

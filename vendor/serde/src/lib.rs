@@ -1,0 +1,399 @@
+//! Minimal in-tree substitute for `serde`.
+//!
+//! The build container has no network access, so this crate provides the
+//! small serialization surface the workspace actually uses: a generic
+//! [`Value`] data model, [`Serialize`]/[`Deserialize`] traits implemented
+//! for the standard types appearing in workspace structs, and re-exported
+//! derive macros from the sibling `serde_derive` substitute. The JSON
+//! front-end lives in the vendored `serde_json`.
+//!
+//! The trait shapes are intentionally simpler than real serde (no visitor
+//! machinery); round-tripping through [`Value`] is exact for every type the
+//! workspace serializes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data model every serializable type converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (used for negative values).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Looks up a map entry by string key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// Error for a missing struct field.
+    #[must_use]
+    pub fn missing_field(field: &str) -> Self {
+        Error(format!("missing field `{field}`"))
+    }
+
+    /// Error for an unknown enum variant.
+    #[must_use]
+    pub fn unknown_variant(enum_name: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` of `{enum_name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value does not match the expected
+    /// shape.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by the derive macro: deserializes one named field, treating
+/// a missing key as [`Value::Null`] so `Option` fields default to `None`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the field is missing (for non-optional types)
+/// or has the wrong shape.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::deserialize(v),
+        None => T::deserialize(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+/// Helper used by the derive macro: fetches the `index`-th element of a
+/// sequence value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the value is not a sequence or too short.
+pub fn de_element(value: &Value, index: usize) -> Result<&Value, Error> {
+    match value {
+        Value::Seq(items) => items
+            .get(index)
+            .ok_or_else(|| Error::custom(format!("sequence too short (need index {index})"))),
+        _ => Err(Error::custom("expected a sequence")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("unsigned integer out of range")),
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::UInt(v) => {
+                        let v = i64::try_from(*v)
+                            .map_err(|_| Error::custom("integer out of range"))?;
+                        <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+                    }
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(v) => Ok(*v),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected a sequence")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected an array of length {N}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                Ok(($( $name::deserialize(de_element(value, $idx)?)?, )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((deserialize_key::<K>(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected a map")),
+        }
+    }
+}
+
+/// Deserializes a map key, retrying string keys as numbers: the JSON
+/// writer stringifies integer object keys (JSON keys must be strings), so
+/// the reverse direction must accept `"42"` where an integer key type is
+/// expected — mirroring real serde_json's key deserializer.
+fn deserialize_key<K: Deserialize>(key: &Value) -> Result<K, Error> {
+    match K::deserialize(key) {
+        Ok(parsed) => Ok(parsed),
+        Err(err) => {
+            if let Value::Str(text) = key {
+                if let Ok(number) = text.parse::<u64>() {
+                    return K::deserialize(&Value::UInt(number));
+                }
+                if let Ok(number) = text.parse::<i64>() {
+                    return K::deserialize(&Value::Int(number));
+                }
+            }
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&7u64.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&String::from("hi").serialize()).unwrap(),
+            "hi"
+        );
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&xs.serialize()).unwrap(), xs);
+        let pair = (2u64, 0.5f64);
+        assert_eq!(<(u64, f64)>::deserialize(&pair.serialize()).unwrap(), pair);
+        let arr = [0.1f64, 0.2, 0.3];
+        assert_eq!(<[f64; 3]>::deserialize(&arr.serialize()).unwrap(), arr);
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut map = BTreeMap::new();
+        map.insert(String::from("a"), 1u64);
+        map.insert(String::from("b"), 2u64);
+        let value = map.serialize();
+        assert_eq!(value.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(BTreeMap::<String, u64>::deserialize(&value).unwrap(), map);
+    }
+}

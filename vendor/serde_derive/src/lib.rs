@@ -1,0 +1,348 @@
+//! Minimal in-tree substitute for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the data
+//! shapes used in this workspace: structs with named fields, newtype and
+//! tuple structs, unit enums and enums with newtype variants. The input is
+//! parsed directly from the token stream (no `syn`/`quote`), which is
+//! sufficient because none of the derived types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, B, ...)` — number of fields.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { ... }` — `(variant, has_payload)` pairs.
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameters are not supported (none of the workspace types
+    // deriving serde are generic).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive: malformed struct body: {other:?}"),
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        }
+    } else {
+        panic!("serde_derive: unsupported item kind `{kind}`");
+    };
+
+    Item { name, shape }
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect ':' then skip the type up to the next top-level ','
+        // (tracking `<`/`>` depth; parens and brackets arrive as groups).
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts `(variant, has_payload)` pairs from an enum body. Only unit and
+/// newtype variants are supported.
+fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let mut payload = false;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            assert_eq!(
+                                count_tuple_fields(g.stream()),
+                                1,
+                                "serde_derive: only newtype enum variants are supported"
+                            );
+                            payload = true;
+                            i += 1;
+                        }
+                        Delimiter::Brace => {
+                            panic!("serde_derive: struct enum variants are not supported")
+                        }
+                        _ => {}
+                    }
+                }
+                variants.push((name, payload));
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "map.push((::serde::Value::Str(::std::string::String::from(\"{field}\")), \
+                     ::serde::Serialize::serialize(&self.{field})));\n"
+                ));
+            }
+            format!("let mut map = ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(map)")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut pushes = String::new();
+            for idx in 0..*n {
+                pushes.push_str(&format!(
+                    "seq.push(::serde::Serialize::serialize(&self.{idx}));\n"
+                ));
+            }
+            format!("let mut seq = ::std::vec::Vec::new();\n{pushes}::serde::Value::Seq(seq)")
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (variant, payload) in variants {
+                if *payload {
+                    arms.push_str(&format!(
+                        "{name}::{variant}(inner) => ::serde::Value::Map(vec![(\
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")), \
+                         ::serde::Serialize::serialize(inner))]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")),\n"
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::de_field(value, \"{field}\")?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut inits = String::new();
+            for idx in 0..*n {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::deserialize(::serde::de_element(value, {idx})?)?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name}(\n{inits}))")
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (variant, payload) in variants {
+                if *payload {
+                    payload_arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::deserialize(inner)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+                    ));
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, inner) = &entries[0];\n\
+                 let tag = match key {{\n\
+                 ::serde::Value::Str(s) => s.as_str(),\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\"enum tag must be a string\")),\n\
+                 }};\n\
+                 match tag {{\n{payload_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum representation for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
