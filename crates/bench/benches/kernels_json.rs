@@ -1,0 +1,29 @@
+//! Machine-readable kernel benchmarks: measures the analysis kernels,
+//! the OPT search, the fig4d admission controllers and the batch
+//! throughput, then writes `BENCH_kernels.json` at the workspace root so
+//! the performance trajectory is tracked commit over commit.
+//!
+//! Environment:
+//! * `MSMR_BENCH_FAST=1` — smoke-test proportions (CI uses the
+//!   `json_smoke` test instead, which calls the same harness).
+//! * `MSMR_BENCH_OUT=<path>` — override the output location.
+
+fn main() {
+    let fast = std::env::var_os("MSMR_BENCH_FAST").is_some();
+    let report = msmr_bench::run_kernel_report(fast);
+    println!(
+        "\nkernel benchmarks ({} mode):",
+        if fast { "fast" } else { "full" }
+    );
+    report.print_table();
+    // Fast-mode numbers are smoke signals, not trackable data: without an
+    // explicit MSMR_BENCH_OUT they must not clobber the tracked
+    // workspace-root report.
+    let path = if fast && std::env::var_os("MSMR_BENCH_OUT").is_none() {
+        std::env::temp_dir().join("BENCH_kernels.fast.json")
+    } else {
+        msmr_bench::default_report_path()
+    };
+    report.write_json(&path).expect("write BENCH_kernels.json");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,156 @@
+//! The JSON kernel-benchmark harness behind `BENCH_kernels.json`.
+
+use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_experiments::{admission_rejects, evaluation_budget, evaluation_registry, Approach};
+use msmr_model::{JobId, JobSet, JobSetBuilder, PreemptionPolicy, Time};
+
+use crate::report::BenchReport;
+use crate::{generate_case, paper_config, small_config, BENCH_SEED};
+
+/// The Observation V.1 instance (four jobs, feasible only pairwise).
+fn observation_v1() -> JobSet {
+    let mut b = JobSetBuilder::new();
+    b.stage("s1", 2, PreemptionPolicy::Preemptive)
+        .stage("s2", 2, PreemptionPolicy::Preemptive)
+        .stage("s3", 2, PreemptionPolicy::Preemptive);
+    let rows: [([u64; 3], [usize; 3], u64); 4] = [
+        ([5, 7, 15], [0, 1, 1], 60),
+        ([7, 9, 17], [1, 1, 1], 55),
+        ([6, 8, 30], [0, 0, 0], 55),
+        ([2, 4, 3], [1, 0, 0], 50),
+    ];
+    for (times, resources, deadline) in rows {
+        b.job()
+            .deadline(Time::new(deadline))
+            .stage_time(Time::new(times[0]), resources[0])
+            .stage_time(Time::new(times[1]), resources[1])
+            .stage_time(Time::new(times[2]), resources[2])
+            .add()
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Measures the kernel benches into a [`BenchReport`].
+///
+/// `fast` shrinks case sizes and sample counts to smoke-test proportions
+/// (used by CI and the `json_smoke` test); the numbers are then sanity
+/// signals only. The full run takes a few seconds and is what
+/// `cargo bench -p msmr-bench --bench kernels_json` records into
+/// `BENCH_kernels.json`.
+#[must_use]
+pub fn run_kernel_report(fast: bool) -> BenchReport {
+    let mut report = BenchReport::new(fast);
+    let (samples, kernel_iters) = if fast { (3, 200) } else { (10, 5_000) };
+
+    // --- delay-bound kernels on one representative case -----------------
+    let jobs = if fast {
+        generate_case(&small_config(16), BENCH_SEED)
+    } else {
+        generate_case(&paper_config(), BENCH_SEED)
+    };
+    report.time_ns("analysis_precompute", samples, 1, || Analysis::new(&jobs));
+
+    let analysis = Analysis::new(&jobs);
+    let order: Vec<JobId> = jobs.job_ids().collect();
+    let lowest = *order.last().expect("non-empty case");
+    let ctx = InterferenceSets::from_total_order(&order, lowest);
+    for (label, kind) in [
+        ("eq6", DelayBoundKind::RefinedPreemptive),
+        ("eq10", DelayBoundKind::EdgeHybrid),
+    ] {
+        report.time_ns(
+            &format!("delay_bound_naive/{label}"),
+            samples,
+            kernel_iters,
+            || analysis.delay_bound(kind, lowest, &ctx),
+        );
+        // The incremental op the search engines perform per move: undo one
+        // membership, redo it, read the delay.
+        let mut evaluator = analysis.evaluator(kind);
+        for &h in &order[..order.len() - 1] {
+            evaluator.add_higher(lowest, h);
+        }
+        let neighbour = order[0];
+        report.time_ns(
+            &format!("delay_bound_incremental/{label}"),
+            samples,
+            kernel_iters,
+            || {
+                evaluator.remove_higher(lowest, neighbour);
+                evaluator.add_higher(lowest, neighbour);
+                evaluator.delay(lowest)
+            },
+        );
+    }
+
+    // --- OPT branch-and-bound -------------------------------------------
+    use msmr_sched::{OptPairwise, PairwiseSearchConfig};
+    let v1 = observation_v1();
+    let v1_analysis = Analysis::new(&v1);
+    report.time_ns(
+        "opt_search/observation_v1",
+        samples,
+        if fast { 10 } else { 200 },
+        || OptPairwise::new(DelayBoundKind::RefinedPreemptive).assign_with_analysis(&v1_analysis),
+    );
+    let deep = generate_case(
+        &paper_config().with_jobs(20).with_infrastructure(4, 3),
+        BENCH_SEED,
+    );
+    let deep_analysis = Analysis::new(&deep);
+    let node_limit = if fast { 2_000 } else { 50_000 };
+    let deep_solver = OptPairwise::with_config(
+        DelayBoundKind::EdgeHybrid,
+        PairwiseSearchConfig {
+            node_limit,
+            ..PairwiseSearchConfig::default()
+        },
+    );
+    report.time_ns(
+        &format!("opt_search/edge20_{node_limit}_nodes"),
+        samples.min(5),
+        1,
+        || deep_solver.assign_with_stats(&deep_analysis),
+    );
+
+    // --- fig4d admission-controller kernels ------------------------------
+    let admission_jobs = if fast {
+        generate_case(&small_config(16).with_beta(0.2), BENCH_SEED)
+    } else {
+        generate_case(&paper_config().with_beta(0.2), BENCH_SEED)
+    };
+    for approach in [Approach::Opdca, Approach::Dmr, Approach::Dm] {
+        report.time_ns(&format!("admission/{approach}"), samples.min(5), 1, || {
+            admission_rejects(approach, &admission_jobs)
+        });
+    }
+
+    // --- batch throughput -------------------------------------------------
+    let (batch_size, batch_jobs, opt_limit) = if fast {
+        (4, 12, 5_000)
+    } else {
+        (16, 40, 50_000)
+    };
+    let batch: Vec<JobSet> = (0..batch_size)
+        .map(|i| generate_case(&small_config(batch_jobs), BENCH_SEED.wrapping_add(i as u64)))
+        .collect();
+    let registry = evaluation_registry();
+    let budget = evaluation_budget(opt_limit);
+    let threads = msmr_par::default_threads();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let verdicts = registry.evaluate_batch(&batch, budget, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(verdicts.len(), batch.len());
+        best = best.min(elapsed);
+    }
+    report.record(
+        "batch_throughput/cases_per_sec",
+        batch.len() as f64 / best.max(1e-12),
+        "cases/sec",
+    );
+
+    report
+}

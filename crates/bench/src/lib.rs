@@ -12,6 +12,12 @@
 
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
 
+mod kernels;
+pub mod report;
+
+pub use kernels::run_kernel_report;
+pub use report::{default_report_path, BenchRecord, BenchReport};
+
 /// Number of test cases used for the data tables printed by the figure
 /// benches (the standalone `fig4*` binaries default to the paper's 100).
 pub const BENCH_CASES: usize = 5;

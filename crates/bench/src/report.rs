@@ -1,0 +1,159 @@
+//! Machine-readable benchmark reporting (`BENCH_kernels.json`).
+//!
+//! The criterion-style benches print human-readable samples; this module
+//! measures the same kernels into a serializable [`BenchReport`] so the
+//! performance trajectory of the repository can be tracked commit over
+//! commit. The `kernels_json` bench target writes the report to
+//! `BENCH_kernels.json` at the workspace root (override with the
+//! `MSMR_BENCH_OUT` environment variable); a fast variant of the same
+//! harness runs as an ordinary `#[test]` in CI so the report cannot
+//! bit-rot.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One measured data point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark name, `group/parameter` style.
+    pub name: String,
+    /// Measured value (interpretation given by `unit`).
+    pub value: f64,
+    /// `"ns/op"` for kernels, `"cases/sec"` for throughput.
+    pub unit: String,
+}
+
+/// A collection of measurements with a stable JSON schema.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema identifier for downstream tooling.
+    pub schema: String,
+    /// `true` when the report was produced by the reduced CI smoke run
+    /// (numbers are then only sanity signals, not trackable).
+    pub fast: bool,
+    /// The measurements, in execution order.
+    pub results: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(fast: bool) -> Self {
+        BenchReport {
+            schema: "msmr-bench-kernels/1".to_string(),
+            fast,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `iters` executions of `routine` per sample, takes the best of
+    /// `samples` samples and records the per-iteration nanoseconds under
+    /// `name`. Returns the recorded value.
+    pub fn time_ns<T>(
+        &mut self,
+        name: &str,
+        samples: usize,
+        iters: usize,
+        mut routine: impl FnMut() -> T,
+    ) -> f64 {
+        let _ = black_box(routine()); // warm-up, not recorded
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters.max(1) {
+                let _ = black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+            best = best.min(elapsed);
+        }
+        self.record(name, best, "ns/op");
+        best
+    }
+
+    /// Appends an already-measured value.
+    pub fn record(&mut self, name: &str, value: f64, unit: &str) {
+        self.results.push(BenchRecord {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Looks a measurement up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&BenchRecord> {
+        self.results.iter().find(|record| record.name == name)
+    }
+
+    /// Serializes the report to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable table of the measurements.
+    pub fn print_table(&self) {
+        for record in &self.results {
+            println!(
+                "  {:<44} {:>14.1} {}",
+                record.name, record.value, record.unit
+            );
+        }
+    }
+}
+
+/// The default output location: `BENCH_kernels.json` at the workspace
+/// root, overridable with `MSMR_BENCH_OUT`.
+#[must_use]
+pub fn default_report_path() -> PathBuf {
+    if let Some(path) = std::env::var_os("MSMR_BENCH_OUT") {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernels.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes_round_trip() {
+        let mut report = BenchReport::new(true);
+        let measured = report.time_ns("noop", 3, 100, || 1 + 1);
+        assert!(measured >= 0.0);
+        report.record("throughput", 42.5, "cases/sec");
+        assert_eq!(report.get("throughput").unwrap().unit, "cases/sec");
+        assert!(report.get("missing").is_none());
+
+        let json = report.to_json();
+        assert!(json.contains("msmr-bench-kernels/1"));
+        let parsed: BenchReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn default_path_respects_the_env_override() {
+        // Can't mutate the environment safely in a parallel test run, so
+        // just check the default shape.
+        let path = default_report_path();
+        assert!(path.to_string_lossy().contains("BENCH_kernels.json"));
+    }
+}

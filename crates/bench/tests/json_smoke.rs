@@ -1,0 +1,46 @@
+//! CI smoke run of the JSON bench harness: the fast variant of
+//! `run_kernel_report` must produce a complete, parseable report, so the
+//! `BENCH_kernels.json` pipeline cannot bit-rot between releases.
+
+use msmr_bench::{run_kernel_report, BenchReport};
+
+#[test]
+fn fast_kernel_report_is_complete_and_parseable() {
+    let report = run_kernel_report(true);
+    assert!(report.fast);
+
+    for name in [
+        "analysis_precompute",
+        "delay_bound_naive/eq6",
+        "delay_bound_incremental/eq6",
+        "delay_bound_naive/eq10",
+        "delay_bound_incremental/eq10",
+        "opt_search/observation_v1",
+        "admission/OPDCA",
+        "admission/DMR",
+        "admission/DM",
+        "batch_throughput/cases_per_sec",
+    ] {
+        let record = report
+            .get(name)
+            .unwrap_or_else(|| panic!("missing record `{name}`"));
+        assert!(
+            record.value.is_finite() && record.value > 0.0,
+            "`{name}` has implausible value {}",
+            record.value
+        );
+    }
+
+    // Round-trips through the serialized form.
+    let json = report.to_json();
+    let parsed: BenchReport = serde_json::from_str(&json).expect("parseable report");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.schema, "msmr-bench-kernels/1");
+
+    // And writes to disk where asked.
+    let path = std::env::temp_dir().join("msmr_bench_smoke.json");
+    report.write_json(&path).expect("writable report");
+    let bytes = std::fs::read_to_string(&path).expect("readable report");
+    assert_eq!(bytes, json);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,6 +1,6 @@
 //! DCMP — the deadline-decomposition baseline of the evaluation (§VI-A).
 
-use msmr_model::{HeavinessProfile, JobId, JobSet, StageId, Time};
+use msmr_model::{JobId, JobSet, StageId, Time};
 use msmr_sim::{PriorityMap, SimulationOutcome, Simulator};
 
 /// The decomposition baseline: the end-to-end deadline of every job is
@@ -29,12 +29,27 @@ impl Dcmp {
     /// `D_i · Υ_{i,j} / Σ_j Υ_{i,j}` (indexed `[job][stage]`).
     #[must_use]
     pub fn virtual_deadlines(&self, jobs: &JobSet) -> Vec<Vec<Time>> {
+        // `Υ_{i,j}` only depends on the resource job `i` uses at stage
+        // `j`, so the per-resource heaviness sums are precomputed once
+        // (one `O(n·N)` pass) instead of rescanning the job set for every
+        // (job, stage) pair.
+        let upsilon_of: Vec<Vec<f64>> = jobs
+            .pipeline()
+            .stages()
+            .map(|(stage_id, stage)| {
+                let mut sums = vec![0.0f64; stage.resource_count()];
+                for job in jobs.jobs() {
+                    sums[job.resource(stage_id).index()] += job.heaviness(stage_id);
+                }
+                sums
+            })
+            .collect();
         jobs.job_ids()
             .map(|i| {
                 let upsilons: Vec<f64> = jobs
                     .pipeline()
                     .stage_ids()
-                    .map(|j| HeavinessProfile::upsilon(jobs, i, j))
+                    .map(|j| upsilon_of[j.index()][jobs.job(i).resource(j).index()])
                     .collect();
                 let total: f64 = upsilons.iter().sum();
                 let deadline = jobs.job(i).deadline().as_ticks() as f64;

@@ -3,9 +3,10 @@
 
 use std::collections::BTreeSet;
 
-use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
-use msmr_model::{JobId, JobSet, Time};
+use msmr_dca::{Analysis, DelayBoundKind, DelayEvaluator};
+use msmr_model::{JobId, JobSet};
 
+use crate::orientation::Orientation;
 use crate::{InfeasibleError, PairwiseAssignment};
 
 /// The deadline-monotonic pairwise baseline: every competing pair is
@@ -54,6 +55,17 @@ impl Dm {
     pub fn admission_control(&self, jobs: &JobSet) -> PairwiseAdmissionOutcome {
         let analysis = Analysis::new(jobs);
         admission_loop(&analysis, self.bound, false)
+    }
+
+    /// The DM assignment plus the per-job delays under it, both read off
+    /// one incremental evaluator pass (used by the `Solver` impl).
+    pub(crate) fn assignment_with_delays(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> (PairwiseAssignment, Vec<msmr_model::Time>) {
+        let active: BTreeSet<JobId> = analysis.jobs().job_ids().collect();
+        let (orientation, evaluator) = dm_orientation(analysis, &active, self.bound);
+        (orientation.to_assignment(), evaluator.delays())
     }
 }
 
@@ -107,10 +119,21 @@ impl Dmr {
         &self,
         analysis: &Analysis<'_>,
     ) -> Result<PairwiseAssignment, InfeasibleError> {
+        self.assign_with_delays(analysis)
+            .map(|(assignment, _)| assignment)
+    }
+
+    /// Like [`Dmr::assign_with_analysis`] but also returns the per-job
+    /// delays under the repaired assignment, read off the repair
+    /// evaluator (used by the `Solver` impl).
+    pub(crate) fn assign_with_delays(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> Result<(PairwiseAssignment, Vec<msmr_model::Time>), InfeasibleError> {
         let active: BTreeSet<JobId> = analysis.jobs().job_ids().collect();
-        let (assignment, unschedulable) = self.repair(analysis, &active);
+        let (orientation, evaluator, unschedulable) = self.repair_inner(analysis, &active);
         if unschedulable.is_empty() {
-            Ok(assignment)
+            Ok((orientation.to_assignment(), evaluator.delays()))
         } else {
             Err(InfeasibleError::new("DMR", unschedulable))
         }
@@ -125,35 +148,37 @@ impl Dmr {
         admission_loop(&analysis, self.bound, true)
     }
 
-    /// DM initialisation plus the repair phase of Algorithm 2, restricted
-    /// to the `active` jobs. Returns the resulting assignment and the jobs
-    /// that still miss their deadline.
-    pub(crate) fn repair(
+    /// The repair phase over the incremental evaluator: pair flips are
+    /// applied as `add_higher`/`add_lower` updates and undone in place
+    /// when the trial leaves the competitor infeasible, so every delay
+    /// probe is `O(1)` instead of a full `O(|H|·N)` re-evaluation of a
+    /// cloned assignment. The evaluator is returned so callers (the
+    /// admission loop) can read the final delays without recomputing.
+    fn repair_inner<'a>(
         &self,
-        analysis: &Analysis<'_>,
+        analysis: &'a Analysis<'_>,
         active: &BTreeSet<JobId>,
-    ) -> (PairwiseAssignment, Vec<JobId>) {
+    ) -> (Orientation, DelayEvaluator<'a>, Vec<JobId>) {
         let jobs = analysis.jobs();
-        let mut assignment = deadline_monotonic_assignment(jobs, active);
+        let (mut orientation, mut evaluator) = dm_orientation(analysis, active, self.bound);
         let mut unschedulable = Vec::new();
 
-        let active_vec: Vec<JobId> = active.iter().copied().collect();
-        for &job in &active_vec {
+        for &job in active {
             // Step 4: only repair jobs that currently miss their deadline.
-            let mut delta = delay_of(analysis, &assignment, active, job, self.bound);
+            let mut delta = evaluator.delay(job);
             if delta <= jobs.job(job).deadline() {
                 continue;
             }
 
             // Step 5-6: higher-priority competitors with positive slack,
             // most slack first.
-            let mut candidates: Vec<(JobId, i128)> = jobs
-                .competitors(job)
-                .into_iter()
-                .filter(|k| active.contains(k) && assignment.is_higher(*k, job))
+            let mut candidates: Vec<(JobId, i128)> = analysis
+                .tables()
+                .competitor_mask(job)
+                .iter()
+                .filter(|k| active.contains(k) && orientation.is_higher(*k, job))
                 .filter_map(|k| {
-                    let dk = delay_of(analysis, &assignment, active, k, self.bound);
-                    let slack = jobs.job(k).deadline().signed_diff(dk);
+                    let slack = evaluator.slack(k);
                     (slack > 0).then_some((k, slack))
                 })
                 .collect();
@@ -162,15 +187,21 @@ impl Dmr {
             // Step 7-9: reverse pair priorities while it stays feasible for
             // the other job, until this job fits.
             for (competitor, _) in candidates {
-                let mut trial = assignment.clone();
-                trial.set_higher(job, competitor);
-                let competitor_delay = delay_of(analysis, &trial, active, competitor, self.bound);
-                if competitor_delay <= jobs.job(competitor).deadline() {
-                    assignment = trial;
-                    delta = delay_of(analysis, &assignment, active, job, self.bound);
+                // Trial flip `competitor > job` → `job > competitor`
+                // (adding to one set displaces the old membership in the
+                // other, so two updates flip the pair).
+                evaluator.add_lower(job, competitor);
+                evaluator.add_higher(competitor, job);
+                if evaluator.delay(competitor) <= jobs.job(competitor).deadline() {
+                    orientation.set(job, competitor);
+                    delta = evaluator.delay(job);
                     if delta <= jobs.job(job).deadline() {
                         break;
                     }
+                } else {
+                    // Undo the flip.
+                    evaluator.add_higher(job, competitor);
+                    evaluator.add_lower(competitor, job);
                 }
             }
 
@@ -179,7 +210,7 @@ impl Dmr {
                 unschedulable.push(job);
             }
         }
-        (assignment, unschedulable)
+        (orientation, evaluator, unschedulable)
     }
 }
 
@@ -231,33 +262,39 @@ fn deadline_monotonic_assignment(jobs: &JobSet, active: &BTreeSet<JobId>) -> Pai
     assignment
 }
 
-/// Delay of one job under a pairwise assignment restricted to the active
-/// jobs.
-fn delay_of(
-    analysis: &Analysis<'_>,
-    assignment: &PairwiseAssignment,
+/// The DM relation over the `active` jobs as an orientation matrix plus an
+/// evaluator already tracking it: `J_i > J_k` iff `D_i ≤ D_k` (ties to the
+/// lower id).
+fn dm_orientation<'a>(
+    analysis: &'a Analysis<'_>,
     active: &BTreeSet<JobId>,
-    job: JobId,
     bound: DelayBoundKind,
-) -> Time {
-    let mut higher = Vec::new();
-    let mut lower = Vec::new();
-    for k in analysis.jobs().competitors(job) {
-        if !active.contains(&k) {
-            continue;
-        }
-        if assignment.is_higher(k, job) {
-            higher.push(k);
-        } else if assignment.is_higher(job, k) {
-            lower.push(k);
+) -> (Orientation, DelayEvaluator<'a>) {
+    let jobs = analysis.jobs();
+    let mut orientation = Orientation::new(jobs.len());
+    let mut evaluator = analysis.evaluator(bound);
+    let full = active.len() == jobs.len();
+    for &i in active {
+        for k in analysis.tables().competitor_mask(i).iter() {
+            if k > i && (full || active.contains(&k)) {
+                let (winner, loser) = if jobs.job(i).deadline() <= jobs.job(k).deadline() {
+                    (i, k)
+                } else {
+                    (k, i)
+                };
+                orientation.set(winner, loser);
+                evaluator.add_higher(loser, winner);
+                evaluator.add_lower(winner, loser);
+            }
         }
     }
-    analysis.delay_bound(bound, job, &InterferenceSets::new(higher, lower))
+    (orientation, evaluator)
 }
 
 /// Shared admission-controller loop: run DM (plus repair when `use_repair`)
 /// over the active jobs; if some job is still infeasible reject the one
-/// with the largest overshoot and restart.
+/// with the largest overshoot and restart. Delays are read off the
+/// incremental evaluator left behind by the assignment phase.
 fn admission_loop(
     analysis: &Analysis<'_>,
     bound: DelayBoundKind,
@@ -267,17 +304,49 @@ fn admission_loop(
     let mut active: BTreeSet<JobId> = jobs.job_ids().collect();
     let mut rejected = Vec::new();
 
+    if !use_repair {
+        // DM pair orientations do not depend on the active set, so the
+        // relation over a shrunk set is obtained by erasing the rejected
+        // job's pairs — no per-round rebuild.
+        let (mut orientation, mut evaluator) = dm_orientation(analysis, &active, bound);
+        loop {
+            let mut worst: Option<(JobId, i128)> = None;
+            for &job in &active {
+                let overshoot = -evaluator.slack(job);
+                if overshoot > 0 && worst.is_none_or(|(_, w)| overshoot > w) {
+                    worst = Some((job, overshoot));
+                }
+            }
+            match worst {
+                Some((job, _)) => {
+                    active.remove(&job);
+                    for &other in &active {
+                        evaluator.remove_higher(other, job);
+                        evaluator.remove_lower(other, job);
+                        orientation.clear(other, job);
+                    }
+                    rejected.push(job);
+                }
+                None => {
+                    let accepted: Vec<JobId> = active.iter().copied().collect();
+                    return PairwiseAdmissionOutcome {
+                        assignment: orientation.to_assignment(),
+                        accepted,
+                        rejected,
+                    };
+                }
+            }
+        }
+    }
+
+    // DMR restarts the repair phase from a fresh DM assignment after every
+    // rejection (Algorithm 2's admission semantics), so each round rebuilds.
     loop {
-        let assignment = if use_repair {
-            Dmr::new(bound).repair(analysis, &active).0
-        } else {
-            deadline_monotonic_assignment(jobs, &active)
-        };
+        let (orientation, evaluator, _) = Dmr::new(bound).repair_inner(analysis, &active);
         // Find the job with the largest deadline overshoot.
         let mut worst: Option<(JobId, i128)> = None;
         for &job in &active {
-            let delta = delay_of(analysis, &assignment, &active, job, bound);
-            let overshoot = delta.signed_diff(jobs.job(job).deadline());
+            let overshoot = -evaluator.slack(job);
             if overshoot > 0 && worst.is_none_or(|(_, w)| overshoot > w) {
                 worst = Some((job, overshoot));
             }
@@ -290,7 +359,7 @@ fn admission_loop(
             None => {
                 let accepted: Vec<JobId> = active.iter().copied().collect();
                 return PairwiseAdmissionOutcome {
-                    assignment,
+                    assignment: orientation.to_assignment(),
                     accepted,
                     rejected,
                 };
@@ -302,7 +371,8 @@ fn admission_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+    use msmr_dca::InterferenceSets;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
 
     fn jid(i: usize) -> JobId {
         JobId::new(i)

@@ -111,6 +111,7 @@ mod ilp_encoding;
 mod opdca;
 mod opt;
 mod ordering;
+mod orientation;
 mod pairwise;
 mod registry;
 mod sdca;

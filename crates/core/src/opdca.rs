@@ -1,6 +1,6 @@
 //! OPDCA — Algorithm 1: optimal priority assignment driven by `S_DCA`.
 
-use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_dca::{Analysis, DelayBoundKind};
 use msmr_model::{JobId, JobSet, Time};
 
 use crate::{InfeasibleError, PriorityOrdering, Sdca};
@@ -71,6 +71,14 @@ impl Opdca {
 
     /// Like [`Opdca::assign`] but reuses a precomputed [`Analysis`].
     ///
+    /// Probes are answered by an incremental
+    /// [`DelayEvaluator`](msmr_dca::DelayEvaluator) seeded with every
+    /// other job at higher priority: each `S_DCA` invocation is then an
+    /// `O(1)` read, and assigning one priority level updates the
+    /// remaining candidates in `O(n·N)` (one `remove_higher` plus one
+    /// `add_lower` per candidate) instead of rebuilding `O(n)`
+    /// interference sets per probe round.
+    ///
     /// # Errors
     ///
     /// Returns [`InfeasibleError`] when no priority ordering passes
@@ -80,6 +88,8 @@ impl Opdca {
         analysis: &Analysis<'_>,
     ) -> Result<OrderingResult, InfeasibleError> {
         let jobs = analysis.jobs();
+        let mut evaluator = analysis.evaluator(self.sdca.bound());
+        evaluator.seed_all_higher();
         let mut unassigned: Vec<JobId> = jobs.job_ids().collect();
         let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(jobs.len());
         let mut sdca_calls = 0usize;
@@ -87,13 +97,8 @@ impl Opdca {
         while !unassigned.is_empty() {
             let mut chosen: Option<usize> = None;
             for (idx, &candidate) in unassigned.iter().enumerate() {
-                let ctx = InterferenceSets::for_opa_probe(
-                    unassigned.iter().copied(),
-                    assigned_lowest_first.iter().copied(),
-                    candidate,
-                );
                 sdca_calls += 1;
-                if self.sdca.is_feasible(analysis, candidate, &ctx) {
+                if evaluator.fits(candidate) {
                     chosen = Some(idx);
                     break;
                 }
@@ -101,6 +106,13 @@ impl Opdca {
             match chosen {
                 Some(idx) => {
                     let job = unassigned.remove(idx);
+                    // `job` takes the current lowest priority level: it
+                    // moves from "assumed higher" to "assigned lower" for
+                    // every job still awaiting a level.
+                    for &target in &unassigned {
+                        evaluator.remove_higher(target, job);
+                        evaluator.add_lower(target, job);
+                    }
                     assigned_lowest_first.push(job);
                 }
                 None => {
@@ -111,7 +123,11 @@ impl Opdca {
 
         let order: Vec<JobId> = assigned_lowest_first.into_iter().rev().collect();
         let ordering = PriorityOrdering::new(order);
-        let delays = self.delays_under(analysis, &ordering);
+        // When a job received its level, its own sets were exactly its
+        // final interference sets (remaining jobs higher, earlier levels
+        // lower) and were never touched again — so the evaluator already
+        // holds every job's delay under the computed ordering.
+        let delays = evaluator.delays();
         Ok(OrderingResult {
             ordering,
             delays,
@@ -137,6 +153,8 @@ impl Opdca {
         analysis: &Analysis<'_>,
     ) -> OrderingAdmissionOutcome {
         let jobs = analysis.jobs();
+        let mut evaluator = analysis.evaluator(self.sdca.bound());
+        evaluator.seed_all_higher();
         let mut unassigned: Vec<JobId> = jobs.job_ids().collect();
         let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(jobs.len());
         let mut rejected: Vec<JobId> = Vec::new();
@@ -145,12 +163,7 @@ impl Opdca {
             let mut chosen: Option<usize> = None;
             let mut worst: Option<(usize, i128)> = None;
             for (idx, &candidate) in unassigned.iter().enumerate() {
-                let ctx = InterferenceSets::for_opa_probe(
-                    unassigned.iter().copied(),
-                    assigned_lowest_first.iter().copied(),
-                    candidate,
-                );
-                let slack = self.sdca.slack(analysis, candidate, &ctx);
+                let slack = evaluator.slack(candidate);
                 if slack >= 0 {
                     chosen = Some(idx);
                     break;
@@ -163,11 +176,21 @@ impl Opdca {
             match chosen {
                 Some(idx) => {
                     let job = unassigned.remove(idx);
+                    for &target in &unassigned {
+                        evaluator.remove_higher(target, job);
+                        evaluator.add_lower(target, job);
+                    }
                     assigned_lowest_first.push(job);
                 }
                 None => {
                     let (idx, _) = worst.expect("at least one unassigned job exists");
-                    rejected.push(unassigned.remove(idx));
+                    let job = unassigned.remove(idx);
+                    // A rejected job interferes with nobody: it leaves the
+                    // "assumed higher" sets and never enters a lower set.
+                    for &target in &unassigned {
+                        evaluator.remove_higher(target, job);
+                    }
+                    rejected.push(job);
                 }
             }
         }
@@ -180,22 +203,6 @@ impl Opdca {
             accepted,
             rejected,
         }
-    }
-
-    /// Delay bound of every job under a (possibly partial) ordering; jobs
-    /// outside the ordering get a zero-interference delay.
-    fn delays_under(&self, analysis: &Analysis<'_>, ordering: &PriorityOrdering) -> Vec<Time> {
-        analysis
-            .jobs()
-            .job_ids()
-            .map(|i| {
-                if ordering.priority_of(i).is_some() {
-                    self.sdca.delay(analysis, i, &ordering.interference_sets(i))
-                } else {
-                    self.sdca.delay(analysis, i, &InterferenceSets::default())
-                }
-            })
-            .collect()
     }
 }
 
@@ -275,6 +282,7 @@ impl OrderingAdmissionOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msmr_dca::InterferenceSets;
     use msmr_model::{JobSetBuilder, PreemptionPolicy};
 
     fn jid(i: usize) -> JobId {

@@ -3,9 +3,10 @@
 
 use std::time::{Duration, Instant};
 
-use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+use msmr_dca::{Analysis, DelayBoundKind, DelayEvaluator};
 use msmr_model::{JobId, JobSet, Time};
 
+use crate::orientation::Orientation;
 use crate::PairwiseAssignment;
 
 /// How many search nodes are explored between wall-clock deadline checks;
@@ -142,44 +143,53 @@ impl OptPairwise {
 
     /// Like [`OptPairwise::assign_with_analysis`], additionally reporting
     /// how many nodes the search explored and whether it was truncated.
+    ///
+    /// The search keeps a *single* mutable state — an incremental
+    /// [`DelayEvaluator`] plus a flat tri-state orientation matrix — and
+    /// undoes each pair decision on backtrack instead of cloning an
+    /// assignment per node. For job populations of `n ≤ 64` a search node
+    /// therefore performs zero heap allocations.
     #[must_use]
     pub fn assign_with_stats(
         &self,
         analysis: &Analysis<'_>,
     ) -> (PairwiseSearchOutcome, PairwiseSearchStats) {
         let jobs = analysis.jobs();
+        let evaluator = analysis.evaluator(self.bound);
 
         // Jobs with no interference at all must already be feasible on
-        // their own, otherwise nothing can help them.
+        // their own, otherwise nothing can help them. The isolated bounds
+        // double as the slack keys of the pair ordering below.
+        let mut alone: Vec<Time> = Vec::with_capacity(jobs.len());
         for i in jobs.job_ids() {
-            let alone = analysis.delay_bound(self.bound, i, &InterferenceSets::default());
-            if alone > jobs.job(i).deadline() {
+            let delay = evaluator.delay(i);
+            if delay > jobs.job(i).deadline() {
                 return (
                     PairwiseSearchOutcome::Infeasible,
                     PairwiseSearchStats::default(),
                 );
             }
+            alone.push(delay);
         }
 
         // Undirected competing pairs, most critical first (smallest slack
         // of either endpoint when the rest of the system is ignored).
         let mut pairs: Vec<(JobId, JobId)> = Vec::new();
         for i in jobs.job_ids() {
-            for k in jobs.competitors(i) {
+            for k in analysis.tables().competitor_mask(i).iter() {
                 if i < k {
                     pairs.push((i, k));
                 }
             }
         }
-        let slack = |job: JobId| -> i128 {
-            let alone = analysis.delay_bound(self.bound, job, &InterferenceSets::default());
-            jobs.job(job).deadline().signed_diff(alone)
-        };
-        pairs.sort_by_key(|&(a, b)| slack(a).min(slack(b)));
+        let slack =
+            |job: JobId| -> i128 { jobs.job(job).deadline().signed_diff(alone[job.index()]) };
+        pairs.sort_by_cached_key(|&(a, b)| slack(a).min(slack(b)));
 
         let mut search = PairSearch {
-            analysis,
-            bound: self.bound,
+            evaluator,
+            orientation: Orientation::new(jobs.len()),
+            jobs,
             pairs,
             node_limit: self.config.node_limit,
             deadline: self.config.time_limit.map(|limit| Instant::now() + limit),
@@ -187,8 +197,7 @@ impl OptPairwise {
             truncated: false,
             solution: None,
         };
-        let assignment = PairwiseAssignment::new();
-        search.explore(0, assignment);
+        search.explore(0);
 
         let stats = PairwiseSearchStats {
             nodes: search.nodes,
@@ -203,10 +212,13 @@ impl OptPairwise {
     }
 }
 
-/// Mutable state of one branch-and-bound run.
+/// Mutable state of one branch-and-bound run: one incremental evaluator
+/// and one orientation matrix, mutated on the way down and undone on
+/// backtrack.
 struct PairSearch<'a, 'j> {
-    analysis: &'a Analysis<'j>,
-    bound: DelayBoundKind,
+    evaluator: DelayEvaluator<'a>,
+    orientation: Orientation,
+    jobs: &'j JobSet,
     pairs: Vec<(JobId, JobId)>,
     node_limit: u64,
     deadline: Option<Instant>,
@@ -216,19 +228,9 @@ struct PairSearch<'a, 'j> {
 }
 
 impl PairSearch<'_, '_> {
-    /// Delay of `job` under the currently decided relations.
-    fn partial_delay(&self, assignment: &PairwiseAssignment, job: JobId) -> Time {
-        let ctx = assignment.interference_sets(self.analysis.jobs(), job);
-        self.analysis.delay_bound(self.bound, job, &ctx)
-    }
-
-    fn job_fits(&self, assignment: &PairwiseAssignment, job: JobId) -> bool {
-        self.partial_delay(assignment, job) <= self.analysis.jobs().job(job).deadline()
-    }
-
     /// Depth-first exploration over the pair list. Returns `true` when the
     /// search should stop (solution found or budget exhausted).
-    fn explore(&mut self, depth: usize, assignment: PairwiseAssignment) -> bool {
+    fn explore(&mut self, depth: usize) -> bool {
         if self.nodes >= self.node_limit {
             self.truncated = true;
             return true;
@@ -242,15 +244,14 @@ impl PairSearch<'_, '_> {
         self.nodes += 1;
 
         if depth == self.pairs.len() {
-            self.solution = Some(assignment);
+            self.solution = Some(self.orientation.to_assignment());
             return true;
         }
 
         let (a, b) = self.pairs[depth];
-        let jobs = self.analysis.jobs();
         // Deadline-monotonic direction first: it is the direction DM/DMR
         // would pick, which empirically succeeds most often.
-        let prefer_a_first = jobs.job(a).deadline() <= jobs.job(b).deadline();
+        let prefer_a_first = self.jobs.job(a).deadline() <= self.jobs.job(b).deadline();
         let orientations = if prefer_a_first {
             [(a, b), (b, a)]
         } else {
@@ -258,16 +259,18 @@ impl PairSearch<'_, '_> {
         };
 
         for (winner, loser) in orientations {
-            let mut next = assignment.clone();
-            next.set_higher(winner, loser);
+            self.orientation.set(winner, loser);
+            self.evaluator.add_higher(loser, winner);
+            self.evaluator.add_lower(winner, loser);
             // Monotonicity: the partial bounds of the two affected jobs are
             // lower bounds on their final delays, so pruning here is safe.
-            if self.job_fits(&next, winner)
-                && self.job_fits(&next, loser)
-                && self.explore(depth + 1, next)
+            if self.evaluator.fits(winner) && self.evaluator.fits(loser) && self.explore(depth + 1)
             {
                 return true;
             }
+            self.evaluator.remove_higher(loser, winner);
+            self.evaluator.remove_lower(winner, loser);
+            self.orientation.clear(winner, loser);
         }
         false
     }
@@ -276,6 +279,7 @@ impl PairSearch<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msmr_dca::InterferenceSets;
     use msmr_model::{JobSetBuilder, PreemptionPolicy};
 
     fn jid(i: usize) -> JobId {

@@ -1,0 +1,106 @@
+//! Flat tri-state orientation matrix shared by the undo-based engines.
+
+use msmr_model::JobId;
+
+use crate::PairwiseAssignment;
+
+/// Decided state of one ordered cell of the matrix.
+const UNDECIDED: u8 = 0;
+/// The row job outranks the column job.
+const HIGHER: u8 = 1;
+/// The column job outranks the row job.
+const LOWER: u8 = 2;
+
+/// A pairwise priority relation stored as a flat `n×n` tri-state byte
+/// matrix.
+///
+/// This is the mutable working representation used by the undo-based
+/// search engines (OPT's branch-and-bound, DMR's repair loop): setting,
+/// flipping and clearing a pair are plain byte writes with no allocation,
+/// unlike [`PairwiseAssignment`]'s double-entry `BTreeMap`, which exists
+/// for its stable serialized form and ergonomic queries. The matrix
+/// converts into a `PairwiseAssignment` once, when a final relation is
+/// extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Orientation {
+    n: usize,
+    cells: Vec<u8>,
+}
+
+impl Orientation {
+    /// Creates an undecided matrix for `n` jobs.
+    pub(crate) fn new(n: usize) -> Self {
+        Orientation {
+            n,
+            cells: vec![UNDECIDED; n * n],
+        }
+    }
+
+    /// Declares `winner > loser`, overwriting any previous decision.
+    pub(crate) fn set(&mut self, winner: JobId, loser: JobId) {
+        debug_assert_ne!(winner, loser, "a job cannot outrank itself");
+        self.cells[winner.index() * self.n + loser.index()] = HIGHER;
+        self.cells[loser.index() * self.n + winner.index()] = LOWER;
+    }
+
+    /// Returns the pair to the undecided state.
+    pub(crate) fn clear(&mut self, a: JobId, b: JobId) {
+        self.cells[a.index() * self.n + b.index()] = UNDECIDED;
+        self.cells[b.index() * self.n + a.index()] = UNDECIDED;
+    }
+
+    /// `true` iff the pair has been decided as `a > b`.
+    pub(crate) fn is_higher(&self, a: JobId, b: JobId) -> bool {
+        self.cells[a.index() * self.n + b.index()] == HIGHER
+    }
+
+    /// Converts the decided pairs into a [`PairwiseAssignment`].
+    pub(crate) fn to_assignment(&self) -> PairwiseAssignment {
+        let mut assignment = PairwiseAssignment::new();
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                match self.cells[a * self.n + b] {
+                    HIGHER => assignment.set_higher(JobId::new(a), JobId::new(b)),
+                    LOWER => assignment.set_higher(JobId::new(b), JobId::new(a)),
+                    _ => {}
+                }
+            }
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jid(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    #[test]
+    fn set_clear_and_query() {
+        let mut o = Orientation::new(3);
+        assert!(!o.is_higher(jid(0), jid(1)));
+        o.set(jid(0), jid(1));
+        assert!(o.is_higher(jid(0), jid(1)));
+        assert!(!o.is_higher(jid(1), jid(0)));
+        o.set(jid(1), jid(0));
+        assert!(o.is_higher(jid(1), jid(0)));
+        o.clear(jid(0), jid(1));
+        assert!(!o.is_higher(jid(0), jid(1)) && !o.is_higher(jid(1), jid(0)));
+    }
+
+    #[test]
+    fn converts_to_the_same_assignment_as_direct_construction() {
+        let mut o = Orientation::new(4);
+        o.set(jid(2), jid(0));
+        o.set(jid(0), jid(1));
+        o.set(jid(3), jid(2));
+        let mut expected = PairwiseAssignment::new();
+        expected.set_higher(jid(2), jid(0));
+        expected.set_higher(jid(0), jid(1));
+        expected.set_higher(jid(3), jid(2));
+        assert_eq!(o.to_assignment(), expected);
+    }
+}

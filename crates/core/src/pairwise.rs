@@ -112,16 +112,25 @@ impl PairwiseAssignment {
 
     /// End-to-end delay bound of every job under this assignment using the
     /// selected bound. Jobs are indexed by id.
+    ///
+    /// Evaluated through the incremental
+    /// [`DelayEvaluator`](msmr_dca::DelayEvaluator) (one `O(N)` update per
+    /// decided pair), which is bit-identical to evaluating
+    /// [`Analysis::delay_bound`] per job; [`PairwiseAssignment::is_feasible`]
+    /// keeps the naive reference evaluation for cross-checking.
     #[must_use]
     pub fn delays(&self, analysis: &Analysis<'_>, bound: DelayBoundKind) -> Vec<Time> {
-        analysis
-            .jobs()
-            .job_ids()
-            .map(|i| {
-                let ctx = self.interference_sets(analysis.jobs(), i);
-                analysis.delay_bound(bound, i, &ctx)
-            })
-            .collect()
+        let tables = analysis.tables();
+        let mut evaluator = analysis.evaluator(bound);
+        for (winner, loser) in self.iter() {
+            // Decided pairs of non-competing jobs are ignored, exactly as
+            // `interference_sets` restricts itself to `M_i`.
+            if tables.competitor_mask(loser).contains(winner) {
+                evaluator.add_higher(loser, winner);
+                evaluator.add_lower(winner, loser);
+            }
+        }
+        evaluator.delays()
     }
 
     /// Returns `true` if every job meets its deadline under this

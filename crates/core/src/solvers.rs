@@ -47,8 +47,7 @@ impl Solver for Dm {
         // independent of its position in a registry's evaluation order.
         let analysis = ctx.analysis();
         let (verdict, elapsed) = timed(|| {
-            let assignment = self.assign(ctx.jobs());
-            let delays = assignment.delays(analysis, self.bound());
+            let (assignment, delays) = self.assignment_with_delays(analysis);
             let unschedulable: Vec<_> = ctx
                 .jobs()
                 .job_ids()
@@ -100,18 +99,15 @@ impl Solver for Dmr {
 
     fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
         let analysis = ctx.analysis();
-        let (verdict, elapsed) = timed(|| match self.assign_with_analysis(analysis) {
-            Ok(assignment) => {
-                let delays = assignment.delays(analysis, self.bound());
-                Verdict {
-                    solver: DMR.to_string(),
-                    kind: VerdictKind::Accepted,
-                    witness: Some(Witness::Pairwise(assignment)),
-                    delays: Some(delays),
-                    unschedulable: Vec::new(),
-                    stats: SolverStats::default(),
-                }
-            }
+        let (verdict, elapsed) = timed(|| match self.assign_with_delays(analysis) {
+            Ok((assignment, delays)) => Verdict {
+                solver: DMR.to_string(),
+                kind: VerdictKind::Accepted,
+                witness: Some(Witness::Pairwise(assignment)),
+                delays: Some(delays),
+                unschedulable: Vec::new(),
+                stats: SolverStats::default(),
+            },
             Err(err) => Verdict {
                 solver: DMR.to_string(),
                 kind: VerdictKind::Rejected,

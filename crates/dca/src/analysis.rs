@@ -1,8 +1,10 @@
 //! Delay-bound evaluation over a precomputed interference table.
 
+use std::sync::OnceLock;
+
 use msmr_model::{JobId, JobSet, StageId, Time};
 
-use crate::{DelayBoundKind, InterferenceSets, PairInterference};
+use crate::{DelayBoundKind, InterferenceSets, PairInterference, PairTables};
 
 /// Precomputed delay composition analysis of one [`JobSet`].
 ///
@@ -14,28 +16,62 @@ use crate::{DelayBoundKind, InterferenceSets, PairInterference};
 ///
 /// See the crate-level documentation for the mapping between methods and
 /// paper equations.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Analysis<'a> {
     jobs: &'a JobSet,
-    pairs: Vec<PairInterference>,
+    /// The rich per-pair objects backing the reference bounds. Built
+    /// lazily: the incremental hot path ([`crate::DelayEvaluator`]) reads
+    /// only the flat `tables`, so callers that never touch a reference
+    /// bound skip this `O(n²)` allocation-heavy pass entirely.
+    pairs: OnceLock<Vec<PairInterference>>,
+    tables: PairTables,
+}
+
+impl Clone for Analysis<'_> {
+    fn clone(&self) -> Self {
+        let pairs = OnceLock::new();
+        if let Some(values) = self.pairs.get() {
+            let _ = pairs.set(values.clone());
+        }
+        Analysis {
+            jobs: self.jobs,
+            pairs,
+            tables: self.tables.clone(),
+        }
+    }
 }
 
 impl<'a> Analysis<'a> {
-    /// Precomputes the pairwise interference table of `jobs`.
+    /// Precomputes the pairwise interference tables of `jobs` (one flat
+    /// `O(n²·N)` pass; the per-pair [`PairInterference`] objects of the
+    /// reference paths are materialised on first use).
     #[must_use]
     pub fn new(jobs: &'a JobSet) -> Self {
-        let n = jobs.len();
-        let mut pairs = Vec::with_capacity(n * n);
-        for i in 0..n {
-            for k in 0..n {
-                pairs.push(PairInterference::compute(
-                    jobs,
-                    JobId::new(i),
-                    JobId::new(k),
-                ));
-            }
+        let tables = PairTables::build(jobs);
+        Analysis {
+            jobs,
+            pairs: OnceLock::new(),
+            tables,
         }
-        Analysis { jobs, pairs }
+    }
+
+    /// The lazily-built per-pair interference objects, indexed
+    /// `target·n + interferer`.
+    fn pair_table(&self) -> &[PairInterference] {
+        self.pairs.get_or_init(|| {
+            let n = self.jobs.len();
+            let mut pairs = Vec::with_capacity(n * n);
+            for i in 0..n {
+                for k in 0..n {
+                    pairs.push(PairInterference::compute(
+                        self.jobs,
+                        JobId::new(i),
+                        JobId::new(k),
+                    ));
+                }
+            }
+            pairs
+        })
     }
 
     /// The job set being analysed.
@@ -44,20 +80,46 @@ impl<'a> Analysis<'a> {
         self.jobs
     }
 
+    /// The flat struct-of-arrays projection of the pair table used by
+    /// [`DelayEvaluator`](crate::DelayEvaluator).
+    #[must_use]
+    pub fn tables(&self) -> &PairTables {
+        &self.tables
+    }
+
     /// Precomputed interference data of the ordered pair
     /// *(target, interferer)*.
     ///
+    /// Ids are range-checked in debug builds only (this lookup sits on the
+    /// reference evaluation hot path); out-of-range ids in release builds
+    /// either panic on the underlying slice index or — when
+    /// `target·n + interferer` happens to stay in bounds — return data of
+    /// a different pair. Use [`Analysis::try_pair`] when the ids are not
+    /// known to be valid.
+    ///
     /// # Panics
     ///
-    /// Panics if either id is out of range.
+    /// Panics in debug builds if either id is out of range.
     #[must_use]
     pub fn pair(&self, target: JobId, interferer: JobId) -> &PairInterference {
         let n = self.jobs.len();
-        assert!(
+        debug_assert!(
             target.index() < n && interferer.index() < n,
             "job id out of range"
         );
-        &self.pairs[target.index() * n + interferer.index()]
+        &self.pair_table()[target.index() * n + interferer.index()]
+    }
+
+    /// Checked variant of [`Analysis::pair`]: returns `None` when either
+    /// id is out of range for the analysed job set.
+    #[must_use]
+    pub fn try_pair(&self, target: JobId, interferer: JobId) -> Option<&PairInterference> {
+        let n = self.jobs.len();
+        if target.index() < n && interferer.index() < n {
+            Some(&self.pair_table()[target.index() * n + interferer.index()])
+        } else {
+            None
+        }
     }
 
     /// The higher-priority jobs of `ctx` that can actually interfere with
@@ -711,10 +773,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn pair_lookup_panics_on_bad_id() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn pair_lookup_panics_on_bad_id_in_debug_builds() {
         let jobs = example1();
         let analysis = Analysis::new(&jobs);
         let _ = analysis.pair(jid(0), jid(9));
+    }
+
+    #[test]
+    fn try_pair_checks_both_ids() {
+        let jobs = example1();
+        let analysis = Analysis::new(&jobs);
+        assert!(analysis.try_pair(jid(0), jid(3)).is_some());
+        assert!(analysis.try_pair(jid(0), jid(9)).is_none());
+        assert!(analysis.try_pair(jid(9), jid(0)).is_none());
+        assert_eq!(
+            analysis
+                .try_pair(jid(1), jid(2))
+                .map(|p| p.ep(StageId::new(0))),
+            Some(analysis.pair(jid(1), jid(2)).ep(StageId::new(0)))
+        );
     }
 }

@@ -1,0 +1,548 @@
+//! Incremental, allocation-free delay-bound evaluation.
+
+use msmr_model::{JobId, Time};
+
+use crate::{Analysis, DelayBoundKind, JobMask, PairTables};
+
+/// Incremental evaluator of one delay bound over *all* targets of a job
+/// set.
+///
+/// The reference entry points on [`Analysis`] recompute a bound from
+/// scratch in `O(|H_i|·N)`; search algorithms, however, move between
+/// *neighbouring* interference configurations — a branch-and-bound node
+/// orients one pair, Audsley's loop moves one job from "higher" to
+/// "lower", DMR's repair flips one pair. `DelayEvaluator` maintains, per
+/// target job,
+///
+/// * the running job-additive sum (one addition/subtraction per change),
+/// * the per-stage maxima of the stage-additive component together with
+///   their running sum, and
+/// * the per-stage blocking maxima of the bound's lower-priority term
+///   (where the bound has one),
+///
+/// so [`DelayEvaluator::add_higher`], [`DelayEvaluator::remove_higher`],
+/// [`DelayEvaluator::add_lower`] and [`DelayEvaluator::remove_lower`] cost
+/// `O(N)` and [`DelayEvaluator::delay`] is `O(1)`. Removing a job that
+/// holds a stage maximum triggers an exact recompute of that stage's
+/// maximum over the remaining members (the only `O(|H_i|)` path).
+///
+/// After construction no operation allocates (job populations above 64
+/// pre-size their [`JobMask`] spill words up front), which is what keeps
+/// the OPT branch-and-bound allocation-free per search node.
+///
+/// Membership is tracked in *effective* terms: jobs whose interference
+/// windows do not overlap the target are ignored by every operation,
+/// mirroring the `effective_higher`/`effective_lower` filters of the
+/// reference bounds. The aggregates are exact integer arithmetic over the
+/// same precomputed ticks the reference reads, so for every reachable
+/// state `evaluator.delay(i)` is bit-identical to
+/// [`Analysis::delay_bound`] with the corresponding
+/// [`InterferenceSets`](crate::InterferenceSets) — a property the test
+/// suite asserts for all seven [`DelayBoundKind`]s.
+///
+/// # Example
+///
+/// ```
+/// use msmr_dca::{Analysis, DelayBoundKind, InterferenceSets};
+/// use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+///
+/// # fn main() -> Result<(), msmr_model::ModelError> {
+/// let mut b = JobSetBuilder::new();
+/// b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+/// b.job().deadline(Time::new(20)).stage_time(Time::new(4), 0).add()?;
+/// b.job().deadline(Time::new(20)).stage_time(Time::new(9), 0).add()?;
+/// let jobs = b.build()?;
+/// let analysis = Analysis::new(&jobs);
+/// let kind = DelayBoundKind::RefinedPreemptive;
+///
+/// let mut eval = analysis.evaluator(kind);
+/// eval.add_higher(0.into(), 1.into());
+/// let ctx = InterferenceSets::new([1.into()], []);
+/// assert_eq!(eval.delay(0.into()), analysis.delay_bound(kind, 0.into(), &ctx));
+/// eval.remove_higher(0.into(), 1.into());
+/// assert_eq!(
+///     eval.delay(0.into()),
+///     analysis.delay_bound(kind, 0.into(), &InterferenceSets::default()),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayEvaluator<'a> {
+    tables: &'a PairTables,
+    kind: DelayBoundKind,
+    /// Job-additive scalar table of `kind`, indexed `target·n + k`.
+    job_additive: &'a [u64],
+    /// `true` when the stage-additive component reads raw processing
+    /// times (Eqs. 1 and 2) instead of shared-stage times.
+    raw_stage_values: bool,
+    /// Number of stage-additive stages (`N − 1`).
+    add_stages: usize,
+    /// Stages carrying a dynamic lower-priority blocking term.
+    block_stages: Vec<usize>,
+    /// `true` when the blocking term reads raw processing times (Eq. 2).
+    raw_block_values: bool,
+    /// Per-target constant: self term plus, for Eq. 5, the
+    /// content-independent blocking sum.
+    base: Vec<u64>,
+    /// Per-target running job-additive sum over `H_i`.
+    ja_sum: Vec<u64>,
+    /// Per-target, per-stage maxima of the stage-additive component,
+    /// indexed `target·(N−1) + j`; seeded with the target's own time.
+    stage_max: Vec<u64>,
+    /// Per-target running sum of `stage_max`.
+    stage_sum: Vec<u64>,
+    /// Per-target, per-blocking-stage maxima over `L_i`, indexed
+    /// `target·|block_stages| + b`.
+    block_max: Vec<u64>,
+    /// Per-target running sum of `block_max`.
+    block_sum: Vec<u64>,
+    /// Effective `H_i` per target.
+    higher: Vec<JobMask>,
+    /// Effective `L_i` per target.
+    lower: Vec<JobMask>,
+}
+
+/// Stage-additive value of interferer `k` against `target` at stage `j`.
+#[inline]
+fn stage_value(tables: &PairTables, raw: bool, target: usize, k: usize, stage: usize) -> u64 {
+    if raw {
+        tables.proc_at(k, stage)
+    } else {
+        tables.ep_at(target, k, stage)
+    }
+}
+
+/// The per-stage value row of interferer `k` against `target` (raw
+/// processing for Eqs. 1–2, shared-stage times otherwise).
+#[inline]
+fn stage_row(tables: &PairTables, raw: bool, target: usize, k: usize) -> &[u64] {
+    if raw {
+        &tables.proc[k * tables.stages..(k + 1) * tables.stages]
+    } else {
+        let base = (target * tables.n + k) * tables.stages;
+        &tables.ep[base..base + tables.stages]
+    }
+}
+
+impl<'a> DelayEvaluator<'a> {
+    /// Creates an evaluator for `kind` with empty interference sets for
+    /// every target (every delay starts at the job's isolated bound).
+    #[must_use]
+    pub fn new(tables: &'a PairTables, kind: DelayBoundKind) -> Self {
+        let n = tables.job_count();
+        let stages = tables.stage_count();
+        let add_stages = stages.saturating_sub(1);
+        let (block_stages, raw_block_values): (Vec<usize>, bool) = match kind {
+            DelayBoundKind::NonPreemptiveSingleResource => ((0..stages).collect(), true),
+            DelayBoundKind::NonPreemptiveMsmr => ((0..stages).collect(), false),
+            DelayBoundKind::EdgeHybrid => (vec![stages - 1], false),
+            _ => (Vec::new(), false),
+        };
+        let raw_stage_values = matches!(
+            kind,
+            DelayBoundKind::PreemptiveSingleResource | DelayBoundKind::NonPreemptiveSingleResource
+        );
+
+        let opa_block = (kind == DelayBoundKind::NonPreemptiveOpa).then(|| tables.opa_block());
+        let mut base = Vec::with_capacity(n);
+        let mut stage_max = Vec::with_capacity(n * add_stages);
+        let mut stage_sum = Vec::with_capacity(n);
+        for t in 0..n {
+            let mut b = tables.self_term(kind, t);
+            if let Some(opa_block) = opa_block {
+                b += opa_block[t];
+            }
+            base.push(b);
+            let mut sum = 0u64;
+            for j in 0..add_stages {
+                let seed = tables.proc_at(t, j);
+                stage_max.push(seed);
+                sum += seed;
+            }
+            stage_sum.push(sum);
+        }
+
+        DelayEvaluator {
+            tables,
+            kind,
+            job_additive: tables.job_additive(kind),
+            raw_stage_values,
+            add_stages,
+            block_max: vec![0; n * block_stages.len()],
+            block_sum: vec![0; n],
+            block_stages,
+            raw_block_values,
+            base,
+            ja_sum: vec![0; n],
+            stage_max,
+            stage_sum,
+            higher: (0..n).map(|_| JobMask::with_capacity(n)).collect(),
+            lower: (0..n).map(|_| JobMask::with_capacity(n)).collect(),
+        }
+    }
+
+    /// The bound kind this evaluator maintains.
+    #[must_use]
+    pub const fn kind(&self) -> DelayBoundKind {
+        self.kind
+    }
+
+    /// The effective higher-priority set of a target (interfering members
+    /// only).
+    #[must_use]
+    pub fn higher(&self, target: JobId) -> &JobMask {
+        &self.higher[target.index()]
+    }
+
+    /// The effective lower-priority set of a target.
+    #[must_use]
+    pub fn lower(&self, target: JobId) -> &JobMask {
+        &self.lower[target.index()]
+    }
+
+    /// Current delay bound `Δ_target` under the maintained sets — `O(1)`.
+    #[must_use]
+    pub fn delay(&self, target: JobId) -> Time {
+        let t = target.index();
+        Time::new(self.base[t] + self.ja_sum[t] + self.stage_sum[t] + self.block_sum[t])
+    }
+
+    /// `true` iff `Δ_target ≤ D_target`.
+    #[must_use]
+    pub fn fits(&self, target: JobId) -> bool {
+        self.delay(target).as_ticks() <= self.tables.deadline[target.index()]
+    }
+
+    /// Slack `D_target − Δ_target` (negative when the deadline is
+    /// missed).
+    #[must_use]
+    pub fn slack(&self, target: JobId) -> i128 {
+        i128::from(self.tables.deadline[target.index()]) - i128::from(self.delay(target).as_ticks())
+    }
+
+    /// Current delay bounds of every job, indexed by id.
+    #[must_use]
+    pub fn delays(&self) -> Vec<Time> {
+        (0..self.tables.job_count())
+            .map(|t| self.delay(JobId::new(t)))
+            .collect()
+    }
+
+    /// Adds `k` to `H_target`, removing it from `L_target` first if
+    /// present (mirroring
+    /// [`InterferenceSets::insert_higher`](crate::InterferenceSets::insert_higher)).
+    /// No-op for the target itself, for non-interfering jobs and for jobs
+    /// already in `H_target`.
+    pub fn add_higher(&mut self, target: JobId, k: JobId) {
+        let (t, ki) = (target.index(), k.index());
+        if t == ki || !self.tables.interferes[t].contains(k) {
+            return;
+        }
+        if self.lower[t].contains(k) {
+            self.remove_lower(target, k);
+        }
+        if !self.higher[t].insert(k) {
+            return;
+        }
+        self.ja_sum[t] += self.job_additive[t * self.tables.n + ki];
+        let row = stage_row(self.tables, self.raw_stage_values, t, ki);
+        let maxima =
+            &mut self.stage_max[t * self.add_stages..t * self.add_stages + self.add_stages];
+        for (slot, &v) in maxima.iter_mut().zip(row) {
+            if v > *slot {
+                self.stage_sum[t] += v - *slot;
+                *slot = v;
+            }
+        }
+    }
+
+    /// Removes `k` from `H_target`. No-op when `k` is not an effective
+    /// member.
+    pub fn remove_higher(&mut self, target: JobId, k: JobId) {
+        let (t, ki) = (target.index(), k.index());
+        if !self.higher[t].remove(k) {
+            return;
+        }
+        self.ja_sum[t] -= self.job_additive[t * self.tables.n + ki];
+        let row = stage_row(self.tables, self.raw_stage_values, t, ki);
+        for (j, &v) in row.iter().enumerate().take(self.add_stages) {
+            let slot = t * self.add_stages + j;
+            if v == self.stage_max[slot] {
+                // The removed job may have held this stage's maximum:
+                // recompute it exactly over the remaining members.
+                let mut max = self.tables.proc_at(t, j);
+                for kk in self.higher[t].iter() {
+                    max = max.max(stage_value(
+                        self.tables,
+                        self.raw_stage_values,
+                        t,
+                        kk.index(),
+                        j,
+                    ));
+                }
+                self.stage_sum[t] -= self.stage_max[slot] - max;
+                self.stage_max[slot] = max;
+            }
+        }
+    }
+
+    /// Adds `k` to `L_target`, removing it from `H_target` first if
+    /// present. No-op for the target itself, for non-interfering jobs and
+    /// for jobs already in `L_target`.
+    pub fn add_lower(&mut self, target: JobId, k: JobId) {
+        let (t, ki) = (target.index(), k.index());
+        if t == ki || !self.tables.interferes[t].contains(k) {
+            return;
+        }
+        if self.higher[t].contains(k) {
+            self.remove_higher(target, k);
+        }
+        if !self.lower[t].insert(k) {
+            return;
+        }
+        for (b, &j) in self.block_stages.iter().enumerate() {
+            let v = stage_value(self.tables, self.raw_block_values, t, ki, j);
+            let slot = t * self.block_stages.len() + b;
+            if v > self.block_max[slot] {
+                self.block_sum[t] += v - self.block_max[slot];
+                self.block_max[slot] = v;
+            }
+        }
+    }
+
+    /// Removes `k` from `L_target`. No-op when `k` is not an effective
+    /// member.
+    pub fn remove_lower(&mut self, target: JobId, k: JobId) {
+        let (t, ki) = (target.index(), k.index());
+        if !self.lower[t].remove(k) {
+            return;
+        }
+        for (b, &j) in self.block_stages.iter().enumerate() {
+            let v = stage_value(self.tables, self.raw_block_values, t, ki, j);
+            let slot = t * self.block_stages.len() + b;
+            if v == self.block_max[slot] {
+                let mut max = 0u64;
+                for kk in self.lower[t].iter() {
+                    max = max.max(stage_value(
+                        self.tables,
+                        self.raw_block_values,
+                        t,
+                        kk.index(),
+                        j,
+                    ));
+                }
+                self.block_sum[t] -= self.block_max[slot] - max;
+                self.block_max[slot] = max;
+            }
+        }
+    }
+
+    /// Seeds every target with *all* interfering jobs at higher priority —
+    /// the canonical start state of Audsley's algorithm (every other job
+    /// assumed higher) — in one fused pass per target, equivalent to but
+    /// cheaper than `n·(n−1)` individual [`DelayEvaluator::add_higher`]
+    /// calls. Lower sets are emptied.
+    pub fn seed_all_higher(&mut self) {
+        let tables = self.tables;
+        let n = tables.job_count();
+        for t in 0..n {
+            self.lower[t].clear();
+            self.higher[t].clone_from(&tables.interferes[t]);
+            let base = t * self.add_stages;
+            for j in 0..self.add_stages {
+                self.stage_max[base + j] = tables.proc_at(t, j);
+            }
+            let mut ja = 0u64;
+            for k in tables.interferes[t].iter() {
+                let ki = k.index();
+                ja += self.job_additive[t * n + ki];
+                let row = stage_row(tables, self.raw_stage_values, t, ki);
+                let maxima = &mut self.stage_max[base..base + self.add_stages];
+                for (slot, &v) in maxima.iter_mut().zip(row) {
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+            self.ja_sum[t] = ja;
+            self.stage_sum[t] = self.stage_max[base..base + self.add_stages].iter().sum();
+            self.block_sum[t] = 0;
+        }
+        self.block_max.fill(0);
+    }
+
+    /// Returns every target to empty interference sets without releasing
+    /// any storage.
+    pub fn reset(&mut self) {
+        let n = self.tables.job_count();
+        for t in 0..n {
+            self.ja_sum[t] = 0;
+            let mut sum = 0u64;
+            for j in 0..self.add_stages {
+                let seed = self.tables.proc_at(t, j);
+                self.stage_max[t * self.add_stages + j] = seed;
+                sum += seed;
+            }
+            self.stage_sum[t] = sum;
+            self.block_sum[t] = 0;
+            self.higher[t].clear();
+            self.lower[t].clear();
+        }
+        self.block_max.fill(0);
+    }
+}
+
+impl<'a> Analysis<'a> {
+    /// Creates an incremental [`DelayEvaluator`] for `kind` over this
+    /// analysis' precomputed tables, with empty interference sets for
+    /// every target.
+    #[must_use]
+    pub fn evaluator(&self, kind: DelayBoundKind) -> DelayEvaluator<'_> {
+        DelayEvaluator::new(self.tables(), kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InterferenceSets;
+    use msmr_model::{JobSet, JobSetBuilder, PreemptionPolicy};
+
+    fn jid(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    /// The Observation V.1 system (Figure 2(a) mapping).
+    fn observation_v1() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("s1", 2, PreemptionPolicy::Preemptive)
+            .stage("s2", 2, PreemptionPolicy::Preemptive)
+            .stage("s3", 2, PreemptionPolicy::Preemptive);
+        let rows: [([u64; 3], [usize; 3], u64); 4] = [
+            ([5, 7, 15], [0, 1, 1], 60),
+            ([7, 9, 17], [1, 1, 1], 55),
+            ([6, 8, 30], [0, 0, 0], 55),
+            ([2, 4, 3], [1, 0, 0], 50),
+        ];
+        for (times, resources, deadline) in rows {
+            b.job()
+                .deadline(Time::new(deadline))
+                .stage_time(Time::new(times[0]), resources[0])
+                .stage_time(Time::new(times[1]), resources[1])
+                .stage_time(Time::new(times[2]), resources[2])
+                .add()
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_on_total_orders_for_all_kinds() {
+        let jobs = observation_v1();
+        let analysis = Analysis::new(&jobs);
+        let order = [jid(2), jid(0), jid(1), jid(3)];
+        for kind in DelayBoundKind::all() {
+            let mut eval = analysis.evaluator(kind);
+            for (pos, &t) in order.iter().enumerate() {
+                for &h in &order[..pos] {
+                    eval.add_higher(t, h);
+                }
+                for &l in &order[pos + 1..] {
+                    eval.add_lower(t, l);
+                }
+            }
+            for &t in &order {
+                let ctx = InterferenceSets::from_total_order(&order, t);
+                assert_eq!(
+                    eval.delay(t),
+                    analysis.delay_bound(kind, t, &ctx),
+                    "{kind}: target {t}"
+                );
+                assert_eq!(
+                    eval.fits(t),
+                    analysis.meets_deadline(kind, t, &ctx),
+                    "{kind}: target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removal_restores_the_isolated_bound() {
+        let jobs = observation_v1();
+        let analysis = Analysis::new(&jobs);
+        for kind in DelayBoundKind::all() {
+            let mut eval = analysis.evaluator(kind);
+            let isolated: Vec<Time> = jobs.job_ids().map(|t| eval.delay(t)).collect();
+            for t in jobs.job_ids() {
+                for k in jobs.job_ids() {
+                    eval.add_higher(t, k);
+                }
+            }
+            for t in jobs.job_ids() {
+                for k in jobs.job_ids() {
+                    eval.remove_higher(t, k);
+                }
+            }
+            for t in jobs.job_ids() {
+                assert_eq!(eval.delay(t), isolated[t.index()], "{kind}");
+                assert!(eval.higher(t).is_empty() && eval.lower(t).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn add_higher_displaces_lower_membership() {
+        let jobs = observation_v1();
+        let analysis = Analysis::new(&jobs);
+        let kind = DelayBoundKind::EdgeHybrid;
+        let mut eval = analysis.evaluator(kind);
+        eval.add_lower(jid(0), jid(1));
+        eval.add_higher(jid(0), jid(1));
+        assert!(eval.higher(jid(0)).contains(jid(1)));
+        assert!(!eval.lower(jid(0)).contains(jid(1)));
+        let ctx = InterferenceSets::new([jid(1)], []);
+        assert_eq!(eval.delay(jid(0)), analysis.delay_bound(kind, jid(0), &ctx));
+        // And back again.
+        eval.add_lower(jid(0), jid(1));
+        let ctx = InterferenceSets::new([], [jid(1)]);
+        assert_eq!(eval.delay(jid(0)), analysis.delay_bound(kind, jid(0), &ctx));
+    }
+
+    #[test]
+    fn self_and_duplicate_operations_are_no_ops() {
+        let jobs = observation_v1();
+        let analysis = Analysis::new(&jobs);
+        let mut eval = analysis.evaluator(DelayBoundKind::RefinedPreemptive);
+        let before = eval.delay(jid(0));
+        eval.add_higher(jid(0), jid(0));
+        eval.remove_higher(jid(0), jid(2));
+        eval.remove_lower(jid(0), jid(2));
+        assert_eq!(eval.delay(jid(0)), before);
+        eval.add_higher(jid(0), jid(1));
+        let once = eval.delay(jid(0));
+        eval.add_higher(jid(0), jid(1));
+        assert_eq!(eval.delay(jid(0)), once);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let jobs = observation_v1();
+        let analysis = Analysis::new(&jobs);
+        let mut eval = analysis.evaluator(DelayBoundKind::NonPreemptiveMsmr);
+        let initial = eval.delays();
+        for t in jobs.job_ids() {
+            for k in jobs.job_ids() {
+                if k < t {
+                    eval.add_higher(t, k);
+                } else {
+                    eval.add_lower(t, k);
+                }
+            }
+        }
+        eval.reset();
+        assert_eq!(eval.delays(), initial);
+        assert_eq!(eval.kind(), DelayBoundKind::NonPreemptiveMsmr);
+    }
+}

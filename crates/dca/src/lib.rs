@@ -26,6 +26,40 @@
 //! `O(n²)` delay-bound evaluations performed by priority-assignment
 //! algorithms stay cheap.
 //!
+//! # Incremental evaluation architecture
+//!
+//! The [`Analysis`] methods above are the *reference* implementation:
+//! straightforward transcriptions of the paper's formulas, evaluated from
+//! scratch in `O(|H_i|·N)` per call. Search algorithms (the OPT
+//! branch-and-bound, Audsley's loop in OPDCA, DMR's repair phase) evaluate
+//! millions of *neighbouring* interference configurations, for which the
+//! crate provides an allocation-free incremental engine built from three
+//! pieces:
+//!
+//! * [`JobMask`] — a bitset over job ids whose first 64 bits live inline
+//!   (no heap for `n ≤ 64`; larger populations pre-size their spill words
+//!   once). Set membership, the `effective_higher`/`effective_lower`
+//!   window-overlap filters and iteration are word operations.
+//! * [`PairTables`] — a flat struct-of-arrays projection of the pair
+//!   table, built once inside [`Analysis::new`]: dense `ep_{k,j}` ticks
+//!   contiguous per (target, interferer), one precomputed job-additive
+//!   scalar per pair and bound family, per-target interference masks and
+//!   per-target constants (self terms, deadlines, the Eq. 5 blocking sum).
+//! * [`DelayEvaluator`] — maintains, per target, the running job-additive
+//!   sum and the per-stage maxima (plus blocking maxima where the bound
+//!   has a lower-priority term) under `add_higher`/`remove_higher`/
+//!   `add_lower`/`remove_lower` updates in `O(N)` each, with an exact
+//!   recompute fallback when a removed job held a stage maximum; reading a
+//!   delay is `O(1)`. All aggregates are exact integer sums over the same
+//!   precomputed ticks the reference reads, so evaluator delays are
+//!   bit-identical to [`Analysis::delay_bound`] for every reachable state
+//!   and all seven [`DelayBoundKind`]s (property-tested in
+//!   `tests/evaluator_equivalence.rs`).
+//!
+//! Callers that mutate priority relations (e.g. an undo-based search)
+//! apply the inverse operations on backtrack instead of cloning any
+//! state; `msmr-sched`'s OPT/OPDCA/DMR engines are all driven this way.
+//!
 //! # Example
 //!
 //! ```
@@ -63,9 +97,15 @@
 mod analysis;
 mod bounds;
 mod context;
+mod evaluator;
+mod mask;
 mod pair;
+mod tables;
 
 pub use analysis::Analysis;
 pub use bounds::DelayBoundKind;
 pub use context::InterferenceSets;
+pub use evaluator::DelayEvaluator;
+pub use mask::{JobMask, JobMaskIter};
 pub use pair::PairInterference;
+pub use tables::PairTables;

@@ -1,0 +1,352 @@
+//! Struct-of-arrays pair tables backing the incremental delay evaluator.
+
+use std::sync::OnceLock;
+
+use msmr_model::{JobId, JobSet, StageId};
+
+use crate::{DelayBoundKind, JobMask};
+
+/// Flat struct-of-arrays projection of the pairwise interference table.
+///
+/// [`Analysis`](crate::Analysis) stores one `PairInterference` value per
+/// ordered pair; that layout is convenient for the reference bounds but
+/// costs a pointer chase and a branch per pair in the hot evaluation
+/// loops. `PairTables` re-materialises the same data as dense arrays of
+/// raw ticks:
+///
+/// * `ep[(target·n + k)·N + j]` — the shared-stage processing time
+///   `ep_{k,j}` of interferer `k` against `target`, contiguous in the
+///   stage index so one incremental update touches one cache line,
+/// * `job_additive_*[target·n + k]` — the per-pair job-additive scalar of
+///   each bound family (Eqs. 1–6), folded down to a single addition per
+///   membership change,
+/// * `interferes[target]` — a [`JobMask`] with bit `k` set iff the pair
+///   `(target, k)` has overlapping interference windows, turning the
+///   `effective_higher`/`effective_lower` filters into single AND/test
+///   instructions,
+/// * per-target constants (self terms, deadlines and the Eq. 5 blocking
+///   sum, which does not depend on `H_i`/`L_i` at all).
+///
+/// All values are stored as raw `u64` ticks; every aggregate computed from
+/// them is an exact integer sum, so the incremental evaluator reproduces
+/// the reference bounds bit for bit.
+#[derive(Debug)]
+pub struct PairTables {
+    // NOTE: `Clone` is implemented manually because of the lazy
+    // `opa_block` cell.
+    /// Number of jobs `n`.
+    pub(crate) n: usize,
+    /// Number of pipeline stages `N`.
+    pub(crate) stages: usize,
+    /// Deadline of each job, indexed by id.
+    pub(crate) deadline: Vec<u64>,
+    /// Raw processing times `P_{k,j}`, indexed `k·N + j`.
+    pub(crate) proc: Vec<u64>,
+    /// Shared-stage times `ep_{k,j}` per ordered pair, indexed
+    /// `(target·n + k)·N + j`.
+    pub(crate) ep: Vec<u64>,
+    /// Eq. 1 job-additive scalar per pair: `t_{k,1}` plus `t_{k,2}` when
+    /// the interferer arrives strictly after the target.
+    pub(crate) ja_eq1: Vec<u64>,
+    /// Eq. 2 job-additive scalar per pair: `t_{k,1}`.
+    pub(crate) ja_eq2: Vec<u64>,
+    /// Eq. 3 job-additive scalar per pair: `2·m_{i,k}·et_{k,1}`.
+    pub(crate) ja_eq3: Vec<u64>,
+    /// Eq. 4/5 job-additive scalar per pair: `m_{i,k}·et_{k,1}`.
+    pub(crate) ja_eq45: Vec<u64>,
+    /// Eq. 6/10 job-additive scalar per pair:
+    /// `Σ_{x=1}^{w_{i,k}} et_{k,x}`.
+    pub(crate) ja_eq6: Vec<u64>,
+    /// `t_{i,1}` per target (self term of Eqs. 1, 2, 6 and 10).
+    pub(crate) self_max_proc: Vec<u64>,
+    /// `2·m_{i,i}·et_{i,1}` per target (self term of Eq. 3).
+    pub(crate) self_eq3: Vec<u64>,
+    /// `m_{i,i}·et_{i,1}` per target (self term of Eqs. 4 and 5).
+    pub(crate) self_eq45: Vec<u64>,
+    /// Eq. 5 blocking constant per target:
+    /// `Σ_j max_{k ∈ J∖J_i} ep_{k,j}` over interfering jobs. Built lazily
+    /// on the first Eq. 5 evaluator — no other bound reads it.
+    pub(crate) opa_block: OnceLock<Vec<u64>>,
+    /// Per-target interference mask: bit `k` ⇔ `k ≠ target` and the
+    /// windows of the pair overlap.
+    pub(crate) interferes: Vec<JobMask>,
+    /// Per-target competitor mask: bit `k` ⇔ `k ≠ target` and the pair
+    /// shares at least one resource (`M_i` of the paper).
+    pub(crate) competes: Vec<JobMask>,
+}
+
+impl Clone for PairTables {
+    fn clone(&self) -> Self {
+        let opa_block = OnceLock::new();
+        if let Some(values) = self.opa_block.get() {
+            let _ = opa_block.set(values.clone());
+        }
+        PairTables {
+            n: self.n,
+            stages: self.stages,
+            deadline: self.deadline.clone(),
+            proc: self.proc.clone(),
+            ep: self.ep.clone(),
+            ja_eq1: self.ja_eq1.clone(),
+            ja_eq2: self.ja_eq2.clone(),
+            ja_eq3: self.ja_eq3.clone(),
+            ja_eq45: self.ja_eq45.clone(),
+            ja_eq6: self.ja_eq6.clone(),
+            self_max_proc: self.self_max_proc.clone(),
+            self_eq3: self.self_eq3.clone(),
+            self_eq45: self.self_eq45.clone(),
+            opa_block,
+            interferes: self.interferes.clone(),
+            competes: self.competes.clone(),
+        }
+    }
+}
+
+impl PairTables {
+    /// Builds the flat tables directly from the job set in one
+    /// `O(n²·N log N)` pass, without materialising any per-pair
+    /// intermediate structures (two reusable scratch buffers serve every
+    /// pair). The values are defined to be identical to what the lazy
+    /// [`PairInterference`](crate::PairInterference) objects would yield —
+    /// the property suite cross-checks this bit for bit.
+    pub(crate) fn build(jobs: &JobSet) -> Self {
+        let n = jobs.len();
+        let stages = jobs.stage_count();
+        let mut tables = PairTables {
+            n,
+            stages,
+            deadline: Vec::with_capacity(n),
+            proc: Vec::with_capacity(n * stages),
+            ep: Vec::with_capacity(n * n * stages),
+            ja_eq1: Vec::with_capacity(n * n),
+            ja_eq2: Vec::with_capacity(n * n),
+            ja_eq3: Vec::with_capacity(n * n),
+            ja_eq45: Vec::with_capacity(n * n),
+            ja_eq6: Vec::with_capacity(n * n),
+            self_max_proc: Vec::with_capacity(n),
+            self_eq3: Vec::with_capacity(n),
+            self_eq45: Vec::with_capacity(n),
+            opa_block: OnceLock::new(),
+            interferes: Vec::with_capacity(n),
+            competes: Vec::with_capacity(n),
+        };
+
+        for job in jobs.jobs() {
+            tables.deadline.push(job.deadline().as_ticks());
+            for j in 0..stages {
+                tables.proc.push(job.processing(StageId::new(j)).as_ticks());
+            }
+        }
+
+        // Per-job quantities hoisted out of the n² pair loop
+        // (`nth_max_processing` sorts internally).
+        let max_proc: Vec<u64> = jobs.jobs().map(|j| j.max_processing().as_ticks()).collect();
+        let second_proc: Vec<u64> = jobs
+            .jobs()
+            .map(|j| j.nth_max_processing(2).as_ticks())
+            .collect();
+        let arrival: Vec<u64> = jobs.jobs().map(|j| j.arrival().as_ticks()).collect();
+        let abs_deadline: Vec<u64> = jobs
+            .jobs()
+            .map(|j| j.absolute_deadline().as_ticks())
+            .collect();
+
+        // Scratch buffer reused across all n² pairs (stack-backed for
+        // realistic stage counts).
+        let mut sorted: Vec<u64> = Vec::with_capacity(stages);
+
+        for target in jobs.job_ids() {
+            let target_job = jobs.job(target);
+            let t = target.index();
+            let target_resources = target_job.resources();
+            let mut mask = JobMask::with_capacity(n);
+            let mut competes = JobMask::with_capacity(n);
+            for k in jobs.job_ids() {
+                let ki = k.index();
+                let job_k = jobs.job(k);
+                if k != target && arrival[t] <= abs_deadline[ki] && arrival[ki] <= abs_deadline[t] {
+                    mask.insert(k);
+                }
+
+                // Shared stages, `ep_{k,j}` and the segment counts
+                // `m`/`u`/`v` of the pair, in one stage scan.
+                let k_resources = job_k.resources();
+                let k_proc = &tables.proc[ki * stages..ki * stages + stages];
+                let (mut et1, mut et2, mut total) = (0u64, 0u64, 0u64);
+                let (mut m, mut u, mut v) = (0u64, 0usize, 0usize);
+                let mut run = 0usize;
+                for j in 0..stages {
+                    let is_shared = k == target || target_resources[j] == k_resources[j];
+                    let ep = if is_shared { k_proc[j] } else { 0 };
+                    tables.ep.push(ep);
+                    total += ep;
+                    if ep > et1 {
+                        et2 = et1;
+                        et1 = ep;
+                    } else if ep > et2 {
+                        et2 = ep;
+                    }
+                    if is_shared {
+                        run += 1;
+                    } else if run > 0 {
+                        m += 1;
+                        if run == 1 {
+                            u += 1;
+                        } else {
+                            v += 1;
+                        }
+                        run = 0;
+                    }
+                }
+                if run > 0 {
+                    m += 1;
+                    if run == 1 {
+                        u += 1;
+                    } else {
+                        v += 1;
+                    }
+                }
+                if m > 0 && k != target {
+                    competes.insert(k);
+                }
+
+                let mut eq1 = max_proc[ki];
+                if arrival[ki] > arrival[t] {
+                    eq1 += second_proc[ki];
+                }
+                tables.ja_eq1.push(eq1);
+                tables.ja_eq2.push(max_proc[ki]);
+                tables.ja_eq3.push(2 * m * et1);
+                tables.ja_eq45.push(m * et1);
+                // `w = u + 2v` never exceeds the number of shared stages,
+                // so summing the `w` largest ep values over all stages
+                // (zeros for unshared ones) matches `Σ_{x≤w} et_{k,x}`.
+                // The common cases fall out of the scan above; only
+                // `3 ≤ w < N` (pipelines of four or more stages) needs an
+                // actual selection.
+                let w = u + 2 * v;
+                let ja_eq6 = match w {
+                    0 => 0,
+                    1 => et1,
+                    2 => et1 + et2,
+                    _ if w >= stages => total,
+                    _ => {
+                        let base = (t * n + ki) * stages;
+                        sorted.clear();
+                        sorted.extend_from_slice(&tables.ep[base..base + stages]);
+                        sorted.sort_unstable_by(|a, b| b.cmp(a));
+                        sorted.iter().take(w).sum()
+                    }
+                };
+                tables.ja_eq6.push(ja_eq6);
+            }
+
+            let self_et1 = max_proc[t];
+            tables.self_max_proc.push(self_et1);
+            // The self pair shares every stage: one segment (`m = 1`).
+            tables.self_eq3.push(2 * self_et1);
+            tables.self_eq45.push(self_et1);
+
+            tables.interferes.push(mask);
+            tables.competes.push(competes);
+        }
+        tables
+    }
+
+    /// The Eq. 5 blocking constants, `Σ_j max_{k ∈ J∖J_i, interfering}
+    /// ep_{k,j}` per target, computed on first use.
+    pub(crate) fn opa_block(&self) -> &[u64] {
+        self.opa_block.get_or_init(|| {
+            let mut blocks = Vec::with_capacity(self.n);
+            for t in 0..self.n {
+                let mut opa = 0u64;
+                let mut maxima = vec![0u64; self.stages];
+                for k in self.interferes[t].iter() {
+                    let base = (t * self.n + k.index()) * self.stages;
+                    let row = &self.ep[base..base + self.stages];
+                    for (slot, &v) in maxima.iter_mut().zip(row) {
+                        if v > *slot {
+                            *slot = v;
+                        }
+                    }
+                }
+                for v in maxima {
+                    opa += v;
+                }
+                blocks.push(opa);
+            }
+            blocks
+        })
+    }
+
+    /// Number of jobs the tables were built for.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pipeline stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages
+    }
+
+    /// The interference mask of a target: bit `k` is set iff `k ≠ target`
+    /// and the interference windows of the pair overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn interference_mask(&self, target: JobId) -> &JobMask {
+        &self.interferes[target.index()]
+    }
+
+    /// The competitor mask of a target: bit `k` is set iff `k ≠ target`
+    /// and the pair shares at least one resource somewhere in the
+    /// pipeline (the set `M_i`, identical to
+    /// [`JobSet::competitors`](msmr_model::JobSet::competitors) but with
+    /// no allocation).
+    #[must_use]
+    pub fn competitor_mask(&self, target: JobId) -> &JobMask {
+        &self.competes[target.index()]
+    }
+
+    /// `ep_{k,j}` of `interferer` against `target`, in raw ticks.
+    #[inline]
+    pub(crate) fn ep_at(&self, target: usize, k: usize, stage: usize) -> u64 {
+        self.ep[(target * self.n + k) * self.stages + stage]
+    }
+
+    /// `P_{k,j}` in raw ticks.
+    #[inline]
+    pub(crate) fn proc_at(&self, k: usize, stage: usize) -> u64 {
+        self.proc[k * self.stages + stage]
+    }
+
+    /// The job-additive scalar table of one bound kind.
+    pub(crate) fn job_additive(&self, kind: DelayBoundKind) -> &[u64] {
+        match kind {
+            DelayBoundKind::PreemptiveSingleResource => &self.ja_eq1,
+            DelayBoundKind::NonPreemptiveSingleResource => &self.ja_eq2,
+            DelayBoundKind::PreemptiveMsmr => &self.ja_eq3,
+            DelayBoundKind::NonPreemptiveMsmr | DelayBoundKind::NonPreemptiveOpa => &self.ja_eq45,
+            DelayBoundKind::RefinedPreemptive | DelayBoundKind::EdgeHybrid => &self.ja_eq6,
+        }
+    }
+
+    /// The per-target self term of one bound kind (the target's own
+    /// contribution to the job-additive component).
+    pub(crate) fn self_term(&self, kind: DelayBoundKind, target: usize) -> u64 {
+        match kind {
+            DelayBoundKind::PreemptiveSingleResource
+            | DelayBoundKind::NonPreemptiveSingleResource
+            | DelayBoundKind::RefinedPreemptive
+            | DelayBoundKind::EdgeHybrid => self.self_max_proc[target],
+            DelayBoundKind::PreemptiveMsmr => self.self_eq3[target],
+            DelayBoundKind::NonPreemptiveMsmr | DelayBoundKind::NonPreemptiveOpa => {
+                self.self_eq45[target]
+            }
+        }
+    }
+}

@@ -65,14 +65,45 @@ impl<'a> Simulator<'a> {
         );
         assert_eq!(priorities.job_count(), n, "priority map job count mismatch");
 
-        // Dense resource indexing.
+        // Dense resource indexing: `index_map[stage][resource] -> r_idx`.
         let resources: Vec<ResourceRef> = self.jobs.pipeline().resource_refs().collect();
-        let resource_index = |r: ResourceRef| -> usize {
-            resources
-                .iter()
-                .position(|&x| x == r)
-                .expect("resource of a validated job exists")
-        };
+        let mut index_map: Vec<Vec<usize>> = vec![Vec::new(); n_stages];
+        for (r_idx, r) in resources.iter().enumerate() {
+            let row = &mut index_map[r.stage.index()];
+            if row.len() <= r.resource.index() {
+                row.resize(r.resource.index() + 1, usize::MAX);
+            }
+            row[r.resource.index()] = r_idx;
+        }
+        // How many jobs map to each resource — used only to pre-size the
+        // ready lists below.
+        let mut jobs_at: Vec<usize> = vec![0; resources.len()];
+        for job in self.jobs.jobs() {
+            for j in 0..n_stages {
+                let stage = StageId::new(j);
+                jobs_at[index_map[j][job.resource(stage).index()]] += 1;
+            }
+        }
+        let policies: Vec<PreemptionPolicy> = resources
+            .iter()
+            .map(|r| self.jobs.pipeline().preemption(r.stage))
+            .collect();
+        // Zero-demand stages are rare; skip the fixed-point pass entirely
+        // when no job has one.
+        let has_zero_work = self
+            .jobs
+            .jobs()
+            .any(|job| job.processing_times().iter().any(|p| p.is_zero()));
+        // Future arrivals, sorted: a job's `ready_at` can only exceed the
+        // current time while it waits for its initial arrival, so the next
+        // arrival event is a monotone pointer into this list.
+        let mut arrival_queue: Vec<(u64, JobId)> = self
+            .jobs
+            .jobs()
+            .map(|j| (j.arrival().as_ticks(), j.id()))
+            .collect();
+        arrival_queue.sort_unstable_by_key(|&(arrival, id)| (arrival, id.index()));
+        let mut next_arrival = 0usize;
 
         let mut states: Vec<JobState> = self
             .jobs
@@ -102,30 +133,76 @@ impl<'a> Simulator<'a> {
             return SimulationOutcome::new(self.jobs, Vec::new(), Vec::new(), Vec::new());
         }
 
+        // Per-resource ready lists, maintained incrementally: a live job
+        // appears in exactly one list (the resource of its current stage)
+        // from the moment it becomes ready there. Dispatch then scans only
+        // genuinely ready jobs instead of every job mapped to a resource.
+        let mut ready: Vec<Vec<JobId>> = jobs_at
+            .iter()
+            .map(|&count| Vec::with_capacity(count))
+            .collect();
+        while next_arrival < arrival_queue.len() && arrival_queue[next_arrival].0 <= time {
+            let (_, job) = arrival_queue[next_arrival];
+            ready[index_map[0][self.jobs.job(job).resource(StageId::new(0)).index()]].push(job);
+            next_arrival += 1;
+        }
+        let mut done_count = 0usize;
+
+        let mut running: Vec<Option<JobId>> = vec![None; resources.len()];
         loop {
-            self.advance_zero_work(&mut states, &mut occupied, time, &resources, resource_index);
-            if states.iter().all(|s| s.done) {
+            if has_zero_work {
+                done_count += self.advance_zero_work(
+                    &mut states,
+                    &mut occupied,
+                    &mut ready,
+                    time,
+                    &index_map,
+                );
+            }
+            if done_count == n {
                 break;
             }
 
             // Select the running job of every resource.
-            let mut running: Vec<Option<JobId>> = vec![None; resources.len()];
-            for (r_idx, &resource) in resources.iter().enumerate() {
-                let policy = self.jobs.pipeline().preemption(resource.stage);
+            running.fill(None);
+            for (r_idx, ready_here) in ready.iter().enumerate() {
+                let policy = policies[r_idx];
                 if policy == PreemptionPolicy::NonPreemptive {
                     if let Some(holder) = occupied[r_idx] {
                         let st = &states[holder.index()];
-                        if !st.done && st.stage == resource.stage.index() && st.remaining > 0 {
+                        if !st.done
+                            && st.stage == resources[r_idx].stage.index()
+                            && st.remaining > 0
+                        {
                             running[r_idx] = Some(holder);
                             continue;
                         }
                         occupied[r_idx] = None;
                     }
                 }
-                let candidate = self
-                    .ready_candidates(&states, time, resource)
-                    .into_iter()
-                    .min_by_key(|&id| (priorities.priority(resource.stage, id), id.index()));
+                if ready_here.is_empty() {
+                    continue;
+                }
+                // Highest-priority ready job of this resource (ties to the
+                // lower id); an inline scan, so dispatch allocates nothing.
+                let stage = resources[r_idx].stage;
+                let mut candidate: Option<(u64, JobId)> = None;
+                for &id in ready_here {
+                    debug_assert!({
+                        let st = &states[id.index()];
+                        !st.done
+                            && st.ready_at <= time
+                            && st.remaining > 0
+                            && st.stage == stage.index()
+                    });
+                    let priority = priorities.priority(stage, id);
+                    if candidate.is_none_or(|(best, best_id)| {
+                        (priority, id.index()) < (best, best_id.index())
+                    }) {
+                        candidate = Some((priority, id));
+                    }
+                }
+                let candidate = candidate.map(|(_, id)| id);
                 running[r_idx] = candidate;
                 if policy == PreemptionPolicy::NonPreemptive {
                     occupied[r_idx] = candidate;
@@ -134,18 +211,12 @@ impl<'a> Simulator<'a> {
 
             // Next event: earliest running-job completion or future arrival.
             let mut next: Option<u64> = None;
-            for (r_idx, slot) in running.iter().enumerate() {
-                if let Some(job) = slot {
-                    let _ = r_idx;
-                    let finish = time + states[job.index()].remaining;
-                    next = Some(next.map_or(finish, |n: u64| n.min(finish)));
-                }
+            for slot in running.iter().flatten() {
+                let finish = time + states[slot.index()].remaining;
+                next = Some(next.map_or(finish, |n: u64| n.min(finish)));
             }
-            for (idx, st) in states.iter().enumerate() {
-                let _ = idx;
-                if !st.done && st.ready_at > time {
-                    next = Some(next.map_or(st.ready_at, |n: u64| n.min(st.ready_at)));
-                }
+            if let Some(&(arrival, _)) = arrival_queue.get(next_arrival) {
+                next = Some(next.map_or(arrival, |n: u64| n.min(arrival)));
             }
             let Some(next_time) = next else {
                 // No runnable work and no future events: everything left is
@@ -178,12 +249,27 @@ impl<'a> Simulator<'a> {
                 let Some(job) = *slot else { continue };
                 if states[job.index()].remaining == 0 {
                     occupied[r_idx] = None;
-                    self.complete_stage(&mut states[job.index()], job, next_time);
+                    if complete_stage(
+                        self.jobs,
+                        &mut states,
+                        &mut ready,
+                        &index_map,
+                        job,
+                        next_time,
+                    ) {
+                        done_count += 1;
+                    }
                 }
             }
 
             time = next_time;
-            if states.iter().all(|s| s.done) {
+            // Admit jobs whose arrival has been reached.
+            while next_arrival < arrival_queue.len() && arrival_queue[next_arrival].0 <= time {
+                let (_, job) = arrival_queue[next_arrival];
+                ready[index_map[0][self.jobs.job(job).resource(StageId::new(0)).index()]].push(job);
+                next_arrival += 1;
+            }
+            if done_count == n {
                 break;
             }
         }
@@ -196,53 +282,33 @@ impl<'a> Simulator<'a> {
         SimulationOutcome::new(self.jobs, completions, stage_completions, trace)
     }
 
-    /// Jobs ready to execute on `resource` at `time`.
-    fn ready_candidates(
-        &self,
-        states: &[JobState],
-        time: u64,
-        resource: ResourceRef,
-    ) -> Vec<JobId> {
-        self.jobs
-            .jobs()
-            .filter(|job| {
-                let st = &states[job.id().index()];
-                !st.done
-                    && st.ready_at <= time
-                    && st.remaining > 0
-                    && st.stage == resource.stage.index()
-                    && job.resource(resource.stage) == resource.resource
-            })
-            .map(|job| job.id())
-            .collect()
-    }
-
     /// Moves jobs through stages whose demand is zero (they complete
-    /// instantly once ready).
+    /// instantly once ready). Returns how many jobs left the pipeline.
     fn advance_zero_work(
         &self,
         states: &mut [JobState],
         occupied: &mut [Option<JobId>],
+        ready: &mut [Vec<JobId>],
         time: u64,
-        resources: &[ResourceRef],
-        resource_index: impl Fn(ResourceRef) -> usize,
-    ) {
+        index_map: &[Vec<usize>],
+    ) -> usize {
+        let mut finished = 0;
         loop {
             let mut progressed = false;
-            #[allow(clippy::needless_range_loop)] // parallel mutation of `states` and `occupied`
             for i in 0..states.len() {
                 let job = JobId::new(i);
                 if !states[i].done && states[i].ready_at <= time && states[i].remaining == 0 {
                     // Release the resource if this zero-work job was holding
                     // it (possible on non-preemptive stages).
                     let stage = StageId::new(states[i].stage);
-                    let r = ResourceRef::new(stage, self.jobs.job(job).resource(stage));
-                    let r_idx = resource_index(r);
+                    let resource = self.jobs.job(job).resource(stage);
+                    let r_idx = index_map[stage.index()][resource.index()];
                     if occupied[r_idx] == Some(job) {
                         occupied[r_idx] = None;
                     }
-                    let _ = &resources;
-                    self.complete_stage(&mut states[i], job, time);
+                    if complete_stage(self.jobs, states, ready, index_map, job, time) {
+                        finished += 1;
+                    }
                     progressed = true;
                 }
             }
@@ -250,24 +316,40 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
+        finished
     }
+}
 
-    /// Records the completion of the current stage of `job` at `time` and
-    /// advances it to the next stage (or out of the pipeline).
-    fn complete_stage(&self, state: &mut JobState, job: JobId, time: u64) {
-        state.stage_completions.push(time);
-        state.stage += 1;
-        if state.stage == self.jobs.stage_count() {
-            state.done = true;
-            state.completion = time;
-        } else {
-            state.ready_at = time;
-            state.remaining = self
-                .jobs
-                .job(job)
-                .processing(StageId::new(state.stage))
-                .as_ticks();
-        }
+/// Records the completion of the current stage of `job` at `time`,
+/// maintains the per-resource ready lists and advances the job to the next
+/// stage (or out of the pipeline). Returns `true` when the job left the
+/// pipeline.
+fn complete_stage(
+    jobs: &JobSet,
+    states: &mut [JobState],
+    ready: &mut [Vec<JobId>],
+    index_map: &[Vec<usize>],
+    job: JobId,
+    time: u64,
+) -> bool {
+    let state = &mut states[job.index()];
+    let stage = StageId::new(state.stage);
+    let r_idx = index_map[state.stage][jobs.job(job).resource(stage).index()];
+    if let Some(pos) = ready[r_idx].iter().position(|&x| x == job) {
+        ready[r_idx].swap_remove(pos);
+    }
+    state.stage_completions.push(time);
+    state.stage += 1;
+    if state.stage == jobs.stage_count() {
+        state.done = true;
+        state.completion = time;
+        true
+    } else {
+        state.ready_at = time;
+        let next_stage = StageId::new(state.stage);
+        state.remaining = jobs.job(job).processing(next_stage).as_ticks();
+        ready[index_map[state.stage][jobs.job(job).resource(next_stage).index()]].push(job);
+        false
     }
 }
 
