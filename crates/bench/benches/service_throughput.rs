@@ -1,0 +1,20 @@
+//! Standalone service benchmark: boots `msmr-served` on a Unix socket,
+//! replays an arrival trace through a real client connection and prints
+//! requests/sec plus p50/p99 admit latency, together with the
+//! incremental-extension vs full-rebuild table kernels. The same
+//! measurements are part of the `kernels_json` report, so they land in
+//! `BENCH_kernels.json` with the rest of the trajectory.
+//!
+//! Environment: `MSMR_BENCH_FAST=1` shrinks the trace to smoke-test
+//! proportions.
+
+fn main() {
+    let fast = std::env::var_os("MSMR_BENCH_FAST").is_some();
+    let mut report = msmr_bench::BenchReport::new(fast);
+    msmr_bench::append_service_benchmarks(&mut report, fast);
+    println!(
+        "\nservice throughput ({} mode):",
+        if fast { "fast" } else { "full" }
+    );
+    report.print_table();
+}

@@ -152,5 +152,8 @@ pub fn run_kernel_report(fast: bool) -> BenchReport {
         "cases/sec",
     );
 
+    // --- admission service ------------------------------------------------
+    crate::append_service_benchmarks(&mut report, fast);
+
     report
 }

@@ -14,9 +14,11 @@ use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
 
 mod kernels;
 pub mod report;
+mod service;
 
 pub use kernels::run_kernel_report;
-pub use report::{default_report_path, BenchRecord, BenchReport};
+pub use report::{default_report_path, BenchHistory, BenchRecord, BenchReport, BenchRun};
+pub use service::append_service_benchmarks;
 
 /// Number of test cases used for the data tables printed by the figure
 /// benches (the standalone `fig4*` binaries default to the paper's 100).

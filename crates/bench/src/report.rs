@@ -3,11 +3,13 @@
 //! The criterion-style benches print human-readable samples; this module
 //! measures the same kernels into a serializable [`BenchReport`] so the
 //! performance trajectory of the repository can be tracked commit over
-//! commit. The `kernels_json` bench target writes the report to
+//! commit. The `kernels_json` bench target **appends** each run — keyed
+//! by git SHA and timestamp — to the [`BenchHistory`] in
 //! `BENCH_kernels.json` at the workspace root (override with the
-//! `MSMR_BENCH_OUT` environment variable); a fast variant of the same
-//! harness runs as an ordinary `#[test]` in CI so the report cannot
-//! bit-rot.
+//! `MSMR_BENCH_OUT` environment variable) instead of clobbering previous
+//! measurements; legacy single-run v1 files are migrated in place. A fast
+//! variant of the same harness runs as an ordinary `#[test]` in CI so the
+//! report cannot bit-rot.
 
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -118,6 +120,152 @@ impl BenchReport {
     }
 }
 
+/// One recorded benchmark run of the history file: a [`BenchReport`]
+/// keyed by the git commit and wall-clock second it measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// `git rev-parse --short=12 HEAD` at measurement time (`"unknown"`
+    /// outside a git checkout; overridable with `MSMR_GIT_SHA`).
+    pub git_sha: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub unix_time: u64,
+    /// Whether the run used smoke-test proportions.
+    pub fast: bool,
+    /// The measurements, in execution order.
+    pub results: Vec<BenchRecord>,
+}
+
+/// The append-only measurement history stored in `BENCH_kernels.json`
+/// (schema v2). Every `kernels_json` run appends one [`BenchRun`], so the
+/// performance trajectory survives across commits instead of being
+/// overwritten.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchHistory {
+    /// Schema identifier for downstream tooling.
+    pub schema: String,
+    /// All recorded runs, oldest first.
+    pub runs: Vec<BenchRun>,
+}
+
+impl Default for BenchHistory {
+    fn default() -> Self {
+        BenchHistory {
+            schema: BenchHistory::SCHEMA.to_string(),
+            runs: Vec::new(),
+        }
+    }
+}
+
+impl BenchHistory {
+    /// The current history schema identifier.
+    pub const SCHEMA: &'static str = "msmr-bench-kernels/2";
+
+    /// Loads the history at `path`. A missing file yields an empty
+    /// history; a legacy v1 single-report file is migrated into a
+    /// one-run history (SHA `"pre-history"`, timestamp 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `InvalidData` error when the file exists but parses as
+    /// neither schema, and propagates other I/O errors.
+    pub fn load(path: &Path) -> std::io::Result<BenchHistory> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(BenchHistory::default())
+            }
+            Err(e) => return Err(e),
+        };
+        if let Ok(history) = serde_json::from_str::<BenchHistory>(&text) {
+            return Ok(history);
+        }
+        match serde_json::from_str::<BenchReport>(&text) {
+            Ok(legacy) => Ok(BenchHistory {
+                schema: BenchHistory::SCHEMA.to_string(),
+                runs: vec![BenchRun {
+                    git_sha: "pre-history".to_string(),
+                    unix_time: 0,
+                    fast: legacy.fast,
+                    results: legacy.results,
+                }],
+            }),
+            Err(e) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: neither v2 history nor v1 report: {e}", path.display()),
+            )),
+        }
+    }
+
+    /// Writes the history to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+
+    /// The most recent run, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&BenchRun> {
+        self.runs.last()
+    }
+}
+
+impl BenchReport {
+    /// Stamps this report into a history run keyed by the current git
+    /// SHA and wall clock.
+    #[must_use]
+    pub fn to_run(&self) -> BenchRun {
+        BenchRun {
+            git_sha: git_head_sha(),
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            fast: self.fast,
+            results: self.results.clone(),
+        }
+    }
+
+    /// Appends this report as one run to the history at `path` (creating
+    /// it, or migrating a legacy v1 file, as needed) and returns the
+    /// updated history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/write errors.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<BenchHistory> {
+        let mut history = BenchHistory::load(path)?;
+        history.schema = BenchHistory::SCHEMA.to_string();
+        history.runs.push(self.to_run());
+        history.write(path)?;
+        Ok(history)
+    }
+}
+
+/// The short SHA of the checked-out commit: `MSMR_GIT_SHA` when set,
+/// otherwise `git rev-parse`, otherwise `"unknown"`.
+fn git_head_sha() -> String {
+    if let Ok(sha) = std::env::var("MSMR_GIT_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// The default output location: `BENCH_kernels.json` at the workspace
 /// root, overridable with `MSMR_BENCH_OUT`.
 #[must_use]
@@ -147,6 +295,73 @@ mod tests {
         assert!(json.contains("msmr-bench-kernels/1"));
         let parsed: BenchReport = serde_json::from_str(&json).expect("round-trips");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn history_appends_runs_instead_of_clobbering() {
+        let path = std::env::temp_dir().join(format!(
+            "msmr_bench_history_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = BenchReport::new(true);
+        first.record("kernel/a", 1.0, "ns/op");
+        let history = first.append_to(&path).unwrap();
+        assert_eq!(history.runs.len(), 1);
+
+        let mut second = BenchReport::new(false);
+        second.record("kernel/a", 2.0, "ns/op");
+        let history = second.append_to(&path).unwrap();
+        assert_eq!(
+            history.runs.len(),
+            2,
+            "second run must append, not overwrite"
+        );
+        assert_eq!(history.schema, BenchHistory::SCHEMA);
+        assert!(history.runs[0].fast && !history.runs[1].fast);
+        assert!(history.latest().unwrap().unix_time >= history.runs[0].unix_time);
+        assert!(!history.latest().unwrap().git_sha.is_empty());
+
+        // Reload round-trips.
+        let reloaded = BenchHistory::load(&path).unwrap();
+        assert_eq!(reloaded, history);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v1_reports_migrate_into_the_history() {
+        let path = std::env::temp_dir().join(format!(
+            "msmr_bench_v1_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut legacy = BenchReport::new(false);
+        legacy.record("kernel/a", 3.5, "ns/op");
+        legacy.write_json(&path).unwrap();
+
+        let history = BenchHistory::load(&path).unwrap();
+        assert_eq!(history.runs.len(), 1);
+        assert_eq!(history.runs[0].git_sha, "pre-history");
+        assert_eq!(history.runs[0].results, legacy.results);
+
+        // Appending on top of a legacy file keeps the migrated run.
+        let mut fresh = BenchReport::new(true);
+        fresh.record("kernel/a", 3.0, "ns/op");
+        let history = fresh.append_to(&path).unwrap();
+        assert_eq!(history.runs.len(), 2);
+        assert_eq!(history.runs[0].git_sha, "pre-history");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_history_files_load_empty() {
+        let path = std::env::temp_dir().join("msmr_bench_definitely_missing.json");
+        let _ = std::fs::remove_file(&path);
+        let history = BenchHistory::load(&path).unwrap();
+        assert!(history.runs.is_empty());
+        assert_eq!(history.schema, BenchHistory::SCHEMA);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The `service_throughput` benchmark: boots the `msmr-serve` daemon on
+//! a Unix socket, replays an arrival trace through a real client
+//! connection and records requests/sec plus admit-latency percentiles —
+//! alongside the two table kernels (incremental extension vs full
+//! rebuild) that make per-arrival admission independent of how the
+//! session reached its size.
+
+use std::time::Instant;
+
+use msmr_dca::Analysis;
+use msmr_model::{JobId, JobSet};
+use msmr_serve::protocol::{Op, ShutdownOp};
+use msmr_serve::{percentile_us, Client, Endpoint, ServeOptions, Server, SessionConfig};
+
+use crate::report::BenchReport;
+use crate::{generate_case, small_config, BENCH_SEED};
+
+/// Appends the service measurements to `report`:
+///
+/// * `service/admit_requests_per_sec` — full round trips through the
+///   daemon (UDS, decider-only admits),
+/// * `service/admit_p50_us` / `service/admit_p99_us` — per-admit
+///   round-trip latency percentiles,
+/// * `service/admit_p50_us_young` / `service/admit_p50_us_old` — the
+///   same p50 over the first and last third of the trace, showing how
+///   latency behaves as the session ages,
+/// * `service/table_extend_ns` vs `service/table_rebuild_ns` — the
+///   incremental `extend_with_job` + rollback pair against the full
+///   `O(n²·N)` analysis rebuild at the final session size (the cache the
+///   session rides on).
+///
+/// # Panics
+///
+/// Panics when the daemon cannot be booted on a temp-dir socket (I/O
+/// errors are benchmark-fatal).
+pub fn append_service_benchmarks(report: &mut BenchReport, fast: bool) {
+    let jobs = if fast { 24 } else { 100 };
+    let trace = generate_case(&small_config(jobs), BENCH_SEED);
+
+    let socket = std::env::temp_dir().join(format!(
+        "msmr-bench-service-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let socket = socket.with_file_name(
+        socket
+            .file_name()
+            .expect("socket file name")
+            .to_string_lossy()
+            .replace(['(', ')'], ""),
+    );
+    let server = Server::start(ServeOptions {
+        tcp: None,
+        uds: Some(socket.clone()),
+        session: SessionConfig {
+            reserve: jobs,
+            ..SessionConfig::default()
+        },
+    })
+    .expect("boot the admission daemon on a unix socket");
+    let mut client = Client::connect(&Endpoint::Uds(socket)).expect("connect to the daemon");
+
+    let start = Instant::now();
+    let outcome = client
+        .replay_trace(&trace, false, |_, _, _| Ok(()))
+        .expect("replay the arrival trace");
+    let elapsed = start.elapsed().as_secs_f64();
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown the daemon");
+    server.join();
+
+    let latencies = &outcome.latencies_us;
+    report.record(
+        "service/admit_requests_per_sec",
+        latencies.len() as f64 / elapsed.max(1e-12),
+        "req/sec",
+    );
+    let third = (latencies.len() / 3).max(1);
+    report.record(
+        "service/admit_p50_us",
+        outcome.latency_percentile_us(0.50),
+        "us",
+    );
+    report.record(
+        "service/admit_p99_us",
+        outcome.latency_percentile_us(0.99),
+        "us",
+    );
+    report.record(
+        "service/admit_p50_us_young",
+        percentile_us(&latencies[..third], 0.50),
+        "us",
+    );
+    report.record(
+        "service/admit_p50_us_old",
+        percentile_us(&latencies[latencies.len() - third..], 0.50),
+        "us",
+    );
+
+    append_table_kernels(report, fast, &trace);
+}
+
+/// The cache kernels at full session size: one incremental arrival
+/// (extension + rollback, leaving the tables unchanged for the next
+/// iteration) against the full rebuild it replaces.
+fn append_table_kernels(report: &mut BenchReport, fast: bool, trace: &JobSet) {
+    let (samples, iters) = if fast { (3, 5) } else { (10, 50) };
+    let n = trace.len();
+    debug_assert!(n >= 2);
+    let ids: Vec<JobId> = trace.job_ids().collect();
+    let (base, _) = trace
+        .restrict_to(&ids[..n - 1])
+        .expect("prefix of the trace");
+    let mut tables = Analysis::new(&base).into_tables();
+    tables.reserve(n);
+    report.time_ns("service/table_extend_ns", samples, iters, || {
+        tables.extend_with_job(trace);
+        tables.remove_last_job();
+    });
+    report.time_ns("service/table_rebuild_ns", samples, iters, || {
+        Analysis::new(trace).into_tables()
+    });
+}

@@ -1,8 +1,10 @@
 //! CI smoke run of the JSON bench harness: the fast variant of
-//! `run_kernel_report` must produce a complete, parseable report, so the
+//! `run_kernel_report` must produce a complete, parseable report —
+//! including the admission-service section — and appending it to a
+//! history file must accumulate runs instead of clobbering them, so the
 //! `BENCH_kernels.json` pipeline cannot bit-rot between releases.
 
-use msmr_bench::{run_kernel_report, BenchReport};
+use msmr_bench::{run_kernel_report, BenchHistory, BenchReport};
 
 #[test]
 fn fast_kernel_report_is_complete_and_parseable() {
@@ -20,6 +22,13 @@ fn fast_kernel_report_is_complete_and_parseable() {
         "admission/DMR",
         "admission/DM",
         "batch_throughput/cases_per_sec",
+        "service/admit_requests_per_sec",
+        "service/admit_p50_us",
+        "service/admit_p99_us",
+        "service/admit_p50_us_young",
+        "service/admit_p50_us_old",
+        "service/table_extend_ns",
+        "service/table_rebuild_ns",
     ] {
         let record = report
             .get(name)
@@ -37,10 +46,16 @@ fn fast_kernel_report_is_complete_and_parseable() {
     assert_eq!(parsed, report);
     assert_eq!(parsed.schema, "msmr-bench-kernels/1");
 
-    // And writes to disk where asked.
-    let path = std::env::temp_dir().join("msmr_bench_smoke.json");
-    report.write_json(&path).expect("writable report");
-    let bytes = std::fs::read_to_string(&path).expect("readable report");
-    assert_eq!(bytes, json);
+    // Appending accumulates history instead of clobbering it.
+    let path = std::env::temp_dir().join(format!("msmr_bench_smoke_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let history = report.append_to(&path).expect("appendable report");
+    assert_eq!(history.runs.len(), 1);
+    let history = report.append_to(&path).expect("second append");
+    assert_eq!(history.runs.len(), 2);
+    assert_eq!(history.schema, BenchHistory::SCHEMA);
+    let reloaded = BenchHistory::load(&path).expect("reloadable history");
+    assert_eq!(reloaded, history);
+    assert_eq!(reloaded.latest().unwrap().results, report.results);
     let _ = std::fs::remove_file(&path);
 }

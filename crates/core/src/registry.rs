@@ -165,6 +165,20 @@ impl SolverRegistry {
     /// (e.g. to reuse an already-built analysis).
     #[must_use]
     pub fn evaluate_ctx(&self, ctx: &SolveCtx<'_>) -> Vec<Verdict> {
+        self.evaluate_streamed(ctx, |_| {})
+    }
+
+    /// Streaming form of [`SolverRegistry::evaluate_ctx`]: identical
+    /// verdicts in identical order (sequential evaluation, implication
+    /// shortcuts applied), but `sink` observes each verdict the moment its
+    /// solver finishes — a service can push DM's answer over the wire
+    /// while OPT is still searching, instead of waiting for the batch
+    /// barrier.
+    pub fn evaluate_streamed(
+        &self,
+        ctx: &SolveCtx<'_>,
+        mut sink: impl FnMut(&Verdict),
+    ) -> Vec<Verdict> {
         let mut verdicts: Vec<Verdict> = Vec::with_capacity(self.entries.len());
         let mut accepted: BTreeMap<&str, bool> = BTreeMap::new();
         for entry in &self.entries {
@@ -183,9 +197,26 @@ impl SolverRegistry {
                 None => entry.solver.solve(ctx),
             };
             accepted.insert(entry.solver.name(), verdict.is_accepted());
+            sink(&verdict);
             verdicts.push(verdict);
         }
         verdicts
+    }
+
+    /// Streaming form of [`SolverRegistry::evaluate_parallel`]: every
+    /// solver genuinely runs (no implication shortcuts), one task per
+    /// solver on the `msmr-par` pool, and `sink` observes each verdict as
+    /// its solver completes — in **completion** order, from worker
+    /// threads. The returned vector is still in registration order.
+    #[must_use]
+    pub fn evaluate_parallel_streamed(
+        &self,
+        jobs: &JobSet,
+        budget: Budget,
+        threads: usize,
+        sink: impl Fn(&Verdict) + Sync,
+    ) -> Vec<Verdict> {
+        self.evaluate_parallel_ctx(&SolveCtx::with_budget(jobs, budget), threads, sink)
     }
 
     /// Evaluates every registered solver on one job set concurrently
@@ -194,9 +225,27 @@ impl SolverRegistry {
     /// before the fan-out and shared read-only by the workers.
     #[must_use]
     pub fn evaluate_parallel(&self, jobs: &JobSet, budget: Budget, threads: usize) -> Vec<Verdict> {
-        let ctx = SolveCtx::with_budget(jobs, budget);
+        self.evaluate_parallel_streamed(jobs, budget, threads, |_| {})
+    }
+
+    /// Like [`SolverRegistry::evaluate_parallel_streamed`] with a
+    /// caller-provided context (e.g. to reuse an already-built analysis —
+    /// the cross-request caching path of an admission session). The
+    /// analysis is forced before the fan-out and shared read-only by the
+    /// workers; verdicts are returned in registration order.
+    #[must_use]
+    pub fn evaluate_parallel_ctx(
+        &self,
+        ctx: &SolveCtx<'_>,
+        threads: usize,
+        sink: impl Fn(&Verdict) + Sync,
+    ) -> Vec<Verdict> {
         let _ = ctx.analysis();
-        msmr_par::parallel_map(&self.entries, threads, |_, entry| entry.solver.solve(&ctx))
+        msmr_par::parallel_map(&self.entries, threads, |_, entry| {
+            let verdict = entry.solver.solve(ctx);
+            sink(&verdict);
+            verdict
+        })
     }
 
     /// Evaluates the whole registry over a batch of job sets, fanning the
@@ -384,6 +433,59 @@ mod tests {
             let b_kinds: Vec<_> = b.iter().map(|v| (v.solver.clone(), v.kind)).collect();
             assert_eq!(a_kinds, b_kinds);
         }
+    }
+
+    #[test]
+    fn streamed_evaluation_matches_and_streams_in_order() {
+        let registry = SolverRegistry::paper_suite(BOUND);
+        let jobs = light_jobs();
+        let ctx = SolveCtx::new(&jobs);
+        let mut streamed: Vec<(String, VerdictKind)> = Vec::new();
+        let verdicts = registry.evaluate_streamed(&ctx, |v| {
+            streamed.push((v.solver.clone(), v.kind));
+        });
+        let returned: Vec<(String, VerdictKind)> = verdicts
+            .iter()
+            .map(|v| (v.solver.clone(), v.kind))
+            .collect();
+        assert_eq!(streamed, returned);
+        assert_eq!(streamed.len(), 5);
+        // Shortcut verdicts are streamed too.
+        let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+        assert_eq!(opt.stats.implied_by.as_deref(), Some("DMR"));
+    }
+
+    #[test]
+    fn parallel_streamed_sees_every_solver_once() {
+        use std::sync::Mutex;
+        let registry = SolverRegistry::paper_suite(BOUND);
+        let jobs = light_jobs();
+        let seen = Mutex::new(Vec::new());
+        let verdicts = registry.evaluate_parallel_streamed(&jobs, Budget::default(), 4, |v| {
+            seen.lock().unwrap().push(v.solver.clone());
+        });
+        assert_eq!(verdicts.len(), 5);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let mut names: Vec<String> = registry.names().iter().map(ToString::to_string).collect();
+        names.sort();
+        assert_eq!(seen, names);
+        // No shortcuts on the parallel path.
+        let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+        assert!(opt.stats.implied_by.is_none());
+    }
+
+    #[test]
+    fn injected_analysis_is_reused_and_reclaimable() {
+        let jobs = light_jobs();
+        let analysis = msmr_dca::Analysis::new(&jobs);
+        let ctx = SolveCtx::with_analysis(analysis, Budget::default());
+        assert!(ctx.analysis_is_built());
+        let registry = SolverRegistry::paper_suite(BOUND);
+        let verdicts = registry.evaluate_ctx(&ctx);
+        assert_eq!(verdicts.len(), 5);
+        let reclaimed = ctx.into_analysis().expect("analysis was injected");
+        assert_eq!(reclaimed.tables().job_count(), jobs.len());
     }
 
     #[test]

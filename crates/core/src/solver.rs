@@ -91,6 +91,31 @@ impl<'a> SolveCtx<'a> {
         }
     }
 
+    /// Creates a context around an analysis the caller already owns —
+    /// the cross-request caching entry point: an admission session that
+    /// keeps its [`Analysis`] (and the pair tables inside it) warm across
+    /// queries injects it here instead of letting the context rebuild the
+    /// `O(n²·N)` pass per request.
+    #[must_use]
+    pub fn with_analysis(analysis: Analysis<'a>, budget: Budget) -> Self {
+        let jobs = analysis.jobs();
+        let lock = OnceLock::new();
+        let _ = lock.set(analysis);
+        SolveCtx {
+            jobs,
+            analysis: lock,
+            budget,
+        }
+    }
+
+    /// Consumes the context, handing back an injected or lazily-built
+    /// analysis (`None` when it was never built). Lets a session reclaim
+    /// its cached tables after the solvers ran.
+    #[must_use]
+    pub fn into_analysis(self) -> Option<Analysis<'a>> {
+        self.analysis.into_inner()
+    }
+
     /// The job set being solved.
     #[must_use]
     pub fn jobs(&self) -> &'a JobSet {

@@ -1,0 +1,178 @@
+//! Direct unit coverage of the registry's exact-dominance shortcut
+//! semantics (`DMR ⇒ OPT`, `OPDCA ⇒ OPT`) and the typed
+//! [`UnsupportedMode`] admission error. Both were previously exercised
+//! only indirectly through the 220-case conformance corpus; the admission
+//! service depends on them directly, so they get direct tests.
+
+use msmr_dca::DelayBoundKind;
+use msmr_model::{JobSet, JobSetBuilder, PreemptionPolicy, Time};
+use msmr_sched::{Budget, SolveCtx, Solver, SolverRegistry, UnsupportedMode, Verdict, VerdictKind};
+
+const BOUND: DelayBoundKind = DelayBoundKind::RefinedPreemptive;
+
+/// A system every heuristic accepts (two stages, generous deadlines).
+fn light_jobs() -> JobSet {
+    let mut b = JobSetBuilder::new();
+    b.stage("a", 2, PreemptionPolicy::Preemptive)
+        .stage("b", 2, PreemptionPolicy::Preemptive);
+    for i in 0..4u64 {
+        b.job()
+            .deadline(Time::new(200))
+            .stage_time(Time::new(5), (i % 2) as usize)
+            .stage_time(Time::new(10), (i % 2) as usize)
+            .add()
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A stub solver with a fixed name and verdict, for exercising the
+/// shortcut plumbing independently of the real engines.
+struct Fixed {
+    name: &'static str,
+    kind: VerdictKind,
+}
+
+impl Solver for Fixed {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn solve(&self, _ctx: &SolveCtx<'_>) -> Verdict {
+        let mut verdict = Verdict::new(self.name, self.kind);
+        // A sentinel the shortcut-synthesised verdicts must NOT carry:
+        // implied verdicts are synthesised, not produced by the solver.
+        verdict.stats.nodes_explored = 77;
+        verdict
+    }
+}
+
+#[test]
+fn dmr_acceptance_implies_opt_without_running_it() {
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let verdicts = registry.evaluate(&light_jobs(), Budget::default());
+    let dmr = verdicts.iter().find(|v| v.solver == "DMR").unwrap();
+    assert!(dmr.is_accepted());
+    let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+    assert!(opt.is_accepted());
+    assert_eq!(opt.stats.implied_by.as_deref(), Some("DMR"));
+    // Synthesised verdicts carry no witness and no search statistics.
+    assert!(opt.witness.is_none());
+    assert_eq!(opt.stats.nodes_explored, 0);
+    assert_eq!(opt.stats.sdca_calls, 0);
+    assert_eq!(opt.stats.elapsed_micros, 0);
+}
+
+#[test]
+fn opdca_acceptance_implies_opt_when_dmr_rejects() {
+    // Stub registry wired exactly like the paper suite's implications:
+    // DMR rejects, OPDCA accepts, so the OPT shortcut must fire from its
+    // *second* registered source.
+    let mut registry = SolverRegistry::new();
+    registry.register(Box::new(Fixed {
+        name: "DMR",
+        kind: VerdictKind::Rejected,
+    }));
+    registry.register(Box::new(Fixed {
+        name: "OPDCA",
+        kind: VerdictKind::Accepted,
+    }));
+    registry.register(Box::new(Fixed {
+        name: "OPT",
+        kind: VerdictKind::Rejected, // must never actually run
+    }));
+    registry.register_implication("DMR", "OPT");
+    registry.register_implication("OPDCA", "OPT");
+
+    let verdicts = registry.evaluate(&light_jobs(), Budget::default());
+    let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+    assert!(opt.is_accepted(), "OPDCA acceptance must imply OPT");
+    assert_eq!(opt.stats.implied_by.as_deref(), Some("OPDCA"));
+    assert_eq!(
+        opt.stats.nodes_explored, 0,
+        "a shortcut verdict is synthesised, the solver must not run"
+    );
+}
+
+#[test]
+fn rejected_sources_do_not_fire_the_shortcut() {
+    let mut registry = SolverRegistry::new();
+    registry.register(Box::new(Fixed {
+        name: "DMR",
+        kind: VerdictKind::Rejected,
+    }));
+    registry.register(Box::new(Fixed {
+        name: "OPT",
+        kind: VerdictKind::Accepted,
+    }));
+    registry.register_implication("DMR", "OPT");
+    let verdicts = registry.evaluate(&light_jobs(), Budget::default());
+    let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+    assert!(opt.stats.implied_by.is_none());
+    assert_eq!(opt.stats.nodes_explored, 77, "the real solver ran");
+}
+
+#[test]
+fn undecided_sources_do_not_fire_the_shortcut() {
+    // Only *accepted* verdicts are exact dominance witnesses.
+    let mut registry = SolverRegistry::new();
+    registry.register(Box::new(Fixed {
+        name: "DMR",
+        kind: VerdictKind::Undecided,
+    }));
+    registry.register(Box::new(Fixed {
+        name: "OPT",
+        kind: VerdictKind::Accepted,
+    }));
+    registry.register_implication("DMR", "OPT");
+    let verdicts = registry.evaluate(&light_jobs(), Budget::default());
+    let opt = verdicts.iter().find(|v| v.solver == "OPT").unwrap();
+    assert!(opt.stats.implied_by.is_none());
+}
+
+#[test]
+fn admission_on_exact_engines_returns_the_typed_error() {
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let jobs = light_jobs();
+    let ctx = SolveCtx::new(&jobs);
+    for name in ["OPT", "DCMP"] {
+        let solver = registry.solver(name).unwrap();
+        assert!(!solver.supports_admission());
+        let err = solver.admission_control(&ctx).unwrap_err();
+        assert_eq!(err, UnsupportedMode::new(name, "admission control"));
+        assert_eq!(err.solver, name);
+        assert_eq!(err.mode, "admission control");
+        assert_eq!(
+            err.to_string(),
+            format!("solver {name} does not support admission control")
+        );
+    }
+}
+
+#[test]
+fn unsupported_mode_round_trips_through_json() {
+    let err = UnsupportedMode::new("OPT", "admission control");
+    let json = serde_json::to_string(&err).unwrap();
+    let parsed: UnsupportedMode = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, err);
+}
+
+#[test]
+fn admission_on_the_controllers_succeeds() {
+    // The complement of the typed error: the three Fig. 4d controllers
+    // do support admission and accept the light system outright.
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let jobs = light_jobs();
+    let ctx = SolveCtx::new(&jobs);
+    for name in ["DM", "DMR", "OPDCA"] {
+        let solver = registry.solver(name).unwrap();
+        assert!(solver.supports_admission());
+        let verdict = solver.admission_control(&ctx).unwrap();
+        assert!(verdict.rejected.is_empty(), "{name}");
+        assert_eq!(verdict.accepted.len(), jobs.len(), "{name}");
+    }
+}

@@ -55,6 +55,70 @@ impl<'a> Analysis<'a> {
         }
     }
 
+    /// Re-assembles an analysis from already-built [`PairTables`] —
+    /// the cross-request caching entry point: a long-running admission
+    /// session keeps the tables alive (extending them per arrival via
+    /// [`PairTables::extend_with_job`]) and wraps them in a fresh
+    /// `Analysis` per query instead of paying [`Analysis::new`]'s
+    /// `O(n²·N)` pass again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables do not describe `jobs` (job or stage count
+    /// mismatch). The per-pair *values* are trusted; callers must pass the
+    /// job set the tables were built from (and extended with).
+    #[must_use]
+    pub fn from_tables(jobs: &'a JobSet, tables: PairTables) -> Self {
+        assert_eq!(
+            tables.job_count(),
+            jobs.len(),
+            "tables were built for a different number of jobs"
+        );
+        assert_eq!(
+            tables.stage_count(),
+            jobs.stage_count(),
+            "tables were built for a different pipeline"
+        );
+        Analysis {
+            jobs,
+            pairs: OnceLock::new(),
+            tables,
+        }
+    }
+
+    /// Releases the precomputed tables for reuse (the counterpart of
+    /// [`Analysis::from_tables`]).
+    #[must_use]
+    pub fn into_tables(self) -> PairTables {
+        self.tables
+    }
+
+    /// Extends the analysis with the one job that `jobs` appends to the
+    /// analysed set, reusing every already-computed pair: only the new
+    /// job's row and column of the pair tables are computed (`O(n·N)`
+    /// instead of the `O(n²·N)` rebuild of [`Analysis::new`]). The
+    /// returned analysis borrows the extended job set and is bit-identical
+    /// to `Analysis::new(jobs)` for every bound (property-tested).
+    ///
+    /// The lazily-built reference pair objects are discarded (their dense
+    /// `n×n` layout cannot be extended in place); they re-materialise on
+    /// the next reference-bound evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` does not extend the analysed set by exactly one
+    /// job or changes the pipeline.
+    #[must_use]
+    pub fn extend_with_job(self, jobs: &JobSet) -> Analysis<'_> {
+        let mut tables = self.tables;
+        tables.extend_with_job(jobs);
+        Analysis {
+            jobs,
+            pairs: OnceLock::new(),
+            tables,
+        }
+    }
+
     /// The lazily-built per-pair interference objects, indexed
     /// `target·n + interferer`.
     fn pair_table(&self) -> &[PairInterference] {
@@ -74,9 +138,10 @@ impl<'a> Analysis<'a> {
         })
     }
 
-    /// The job set being analysed.
+    /// The job set being analysed (with the full borrow lifetime, so the
+    /// reference can outlive the analysis value itself).
     #[must_use]
-    pub fn jobs(&self) -> &JobSet {
+    pub fn jobs(&self) -> &'a JobSet {
         self.jobs
     }
 

@@ -120,7 +120,7 @@ fn stage_row(tables: &PairTables, raw: bool, target: usize, k: usize) -> &[u64] 
     if raw {
         &tables.proc[k * tables.stages..(k + 1) * tables.stages]
     } else {
-        let base = (target * tables.n + k) * tables.stages;
+        let base = (target * tables.cap + k) * tables.stages;
         &tables.ep[base..base + tables.stages]
     }
 }
@@ -245,7 +245,7 @@ impl<'a> DelayEvaluator<'a> {
         if !self.higher[t].insert(k) {
             return;
         }
-        self.ja_sum[t] += self.job_additive[t * self.tables.n + ki];
+        self.ja_sum[t] += self.job_additive[t * self.tables.cap + ki];
         let row = stage_row(self.tables, self.raw_stage_values, t, ki);
         let maxima =
             &mut self.stage_max[t * self.add_stages..t * self.add_stages + self.add_stages];
@@ -264,7 +264,7 @@ impl<'a> DelayEvaluator<'a> {
         if !self.higher[t].remove(k) {
             return;
         }
-        self.ja_sum[t] -= self.job_additive[t * self.tables.n + ki];
+        self.ja_sum[t] -= self.job_additive[t * self.tables.cap + ki];
         let row = stage_row(self.tables, self.raw_stage_values, t, ki);
         for (j, &v) in row.iter().enumerate().take(self.add_stages) {
             let slot = t * self.add_stages + j;
@@ -356,7 +356,7 @@ impl<'a> DelayEvaluator<'a> {
             let mut ja = 0u64;
             for k in tables.interferes[t].iter() {
                 let ki = k.index();
-                ja += self.job_additive[t * n + ki];
+                ja += self.job_additive[t * tables.cap + ki];
                 let row = stage_row(tables, self.raw_stage_values, t, ki);
                 let maxima = &mut self.stage_max[base..base + self.add_stages];
                 for (slot, &v) in maxima.iter_mut().zip(row) {

@@ -60,6 +60,15 @@
 //! apply the inverse operations on backtrack instead of cloning any
 //! state; `msmr-sched`'s OPT/OPDCA/DMR engines are all driven this way.
 //!
+//! The tables also support **online extension** for admission-control
+//! services: [`PairTables::extend_with_job`] /
+//! [`Analysis::extend_with_job`] append one arriving job by computing
+//! only its new row and column (`O(n·N)` pairs, bit-identical to a full
+//! rebuild — property-tested in `tests/tables_extension.rs`), and
+//! [`PairTables::remove_last_job`] rolls a rejected arrival back. The
+//! `msmr-serve` sessions keep one set of tables warm across requests
+//! this way instead of re-running the `O(n²·N)` pass per arrival.
+//!
 //! # Example
 //!
 //! ```

@@ -14,28 +14,45 @@ use crate::{DelayBoundKind, JobMask};
 /// loops. `PairTables` re-materialises the same data as dense arrays of
 /// raw ticks:
 ///
-/// * `ep[(target·n + k)·N + j]` — the shared-stage processing time
+/// * `ep[(target·cap + k)·N + j]` — the shared-stage processing time
 ///   `ep_{k,j}` of interferer `k` against `target`, contiguous in the
 ///   stage index so one incremental update touches one cache line,
-/// * `job_additive_*[target·n + k]` — the per-pair job-additive scalar of
-///   each bound family (Eqs. 1–6), folded down to a single addition per
+/// * `job_additive_*[target·cap + k]` — the per-pair job-additive scalar
+///   of each bound family (Eqs. 1–6), folded down to a single addition per
 ///   membership change,
 /// * `interferes[target]` — a [`JobMask`] with bit `k` set iff the pair
 ///   `(target, k)` has overlapping interference windows, turning the
 ///   `effective_higher`/`effective_lower` filters into single AND/test
 ///   instructions,
 /// * per-target constants (self terms, deadlines and the Eq. 5 blocking
-///   sum, which does not depend on `H_i`/`L_i` at all).
+///   data, which does not depend on `H_i`/`L_i` at all).
 ///
 /// All values are stored as raw `u64` ticks; every aggregate computed from
 /// them is an exact integer sum, so the incremental evaluator reproduces
 /// the reference bounds bit for bit.
+///
+/// # Online extension
+///
+/// The pair-indexed arrays are strided by an allocation capacity `cap ≥ n`
+/// rather than by the live job count, so
+/// [`PairTables::extend_with_job`] appends one arriving job by writing its
+/// new row and column only — `O(n·N)` pair computations instead of the
+/// `O(n²·N)` full rebuild — which is what keeps per-arrival admission
+/// latency in a long-running `msmr-serve` session independent of how the
+/// tables were built. When the capacity is exhausted the arrays re-stride
+/// geometrically, so the copy cost stays amortized `O(n·N)` per arrival;
+/// [`PairTables::reserve`] pre-sizes a session once and removes even that.
+/// [`PairTables::remove_last_job`] undoes the most recent extension (the
+/// rollback path of a rejected admission).
 #[derive(Debug)]
 pub struct PairTables {
     // NOTE: `Clone` is implemented manually because of the lazy
     // `opa_block` cell.
-    /// Number of jobs `n`.
+    /// Number of live jobs `n`.
     pub(crate) n: usize,
+    /// Allocated stride of the pair-indexed arrays (`cap ≥ n`); entries
+    /// with either index in `n..cap` are dead storage.
+    pub(crate) cap: usize,
     /// Number of pipeline stages `N`.
     pub(crate) stages: usize,
     /// Deadline of each job, indexed by id.
@@ -43,7 +60,7 @@ pub struct PairTables {
     /// Raw processing times `P_{k,j}`, indexed `k·N + j`.
     pub(crate) proc: Vec<u64>,
     /// Shared-stage times `ep_{k,j}` per ordered pair, indexed
-    /// `(target·n + k)·N + j`.
+    /// `(target·cap + k)·N + j`.
     pub(crate) ep: Vec<u64>,
     /// Eq. 1 job-additive scalar per pair: `t_{k,1}` plus `t_{k,2}` when
     /// the interferer arrives strictly after the target.
@@ -63,16 +80,167 @@ pub struct PairTables {
     pub(crate) self_eq3: Vec<u64>,
     /// `m_{i,i}·et_{i,1}` per target (self term of Eqs. 4 and 5).
     pub(crate) self_eq45: Vec<u64>,
-    /// Eq. 5 blocking constant per target:
-    /// `Σ_j max_{k ∈ J∖J_i} ep_{k,j}` over interfering jobs. Built lazily
-    /// on the first Eq. 5 evaluator — no other bound reads it.
-    pub(crate) opa_block: OnceLock<Vec<u64>>,
+    /// Eq. 5 blocking data per target (`Σ_j max_{k ∈ J∖J_i} ep_{k,j}`
+    /// over interfering jobs, plus the per-stage maxima needed to update
+    /// that sum when a job arrives). Built lazily on the first Eq. 5
+    /// evaluator — no other bound reads it.
+    pub(crate) opa_block: OnceLock<OpaBlock>,
     /// Per-target interference mask: bit `k` ⇔ `k ≠ target` and the
     /// windows of the pair overlap.
     pub(crate) interferes: Vec<JobMask>,
     /// Per-target competitor mask: bit `k` ⇔ `k ≠ target` and the pair
     /// shares at least one resource (`M_i` of the paper).
     pub(crate) competes: Vec<JobMask>,
+}
+
+/// The lazily-built Eq. 5 blocking constants together with the per-stage
+/// maxima they are the sums of. Keeping the maxima makes
+/// [`PairTables::extend_with_job`] able to update the cache in `O(n·N)`
+/// (a new arrival can only *raise* a maximum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct OpaBlock {
+    /// Per-target, per-stage maxima `max_{k interfering} ep_{k,j}`,
+    /// indexed `target·N + j`.
+    pub(crate) maxima: Vec<u64>,
+    /// Per-target sum of `maxima` (the Eq. 5 blocking constant).
+    pub(crate) sum: Vec<u64>,
+}
+
+/// Per-job quantities hoisted out of the pair loops
+/// (`nth_max_processing` sorts internally).
+struct JobScalars {
+    max_proc: Vec<u64>,
+    second_proc: Vec<u64>,
+    arrival: Vec<u64>,
+    abs_deadline: Vec<u64>,
+}
+
+impl JobScalars {
+    fn hoist(jobs: &JobSet) -> Self {
+        JobScalars {
+            max_proc: jobs.jobs().map(|j| j.max_processing().as_ticks()).collect(),
+            second_proc: jobs
+                .jobs()
+                .map(|j| j.nth_max_processing(2).as_ticks())
+                .collect(),
+            arrival: jobs.jobs().map(|j| j.arrival().as_ticks()).collect(),
+            abs_deadline: jobs
+                .jobs()
+                .map(|j| j.absolute_deadline().as_ticks())
+                .collect(),
+        }
+    }
+}
+
+/// The scalar projection of one ordered pair *(target, k)*; the pair's
+/// `ep` row is written into the caller's scratch buffer.
+struct PairValues {
+    eq1: u64,
+    eq2: u64,
+    eq3: u64,
+    eq45: u64,
+    eq6: u64,
+    /// `k ≠ target` and the interference windows overlap.
+    interferes: bool,
+    /// `k ≠ target` and the pair shares at least one resource.
+    competes: bool,
+}
+
+/// Computes the `ep` row and job-additive scalars of the ordered pair
+/// *(target, k)* in one stage scan — the single source of truth shared by
+/// the full build and the incremental extension, which is what makes
+/// extension ≡ rebuild bit for bit.
+fn compute_pair(
+    jobs: &JobSet,
+    scalars: &JobScalars,
+    target: JobId,
+    k: JobId,
+    ep_row: &mut [u64],
+    sorted: &mut Vec<u64>,
+) -> PairValues {
+    let stages = jobs.stage_count();
+    let t = target.index();
+    let ki = k.index();
+    let target_resources = jobs.job(target).resources();
+    let job_k = jobs.job(k);
+    let k_resources = job_k.resources();
+
+    // Shared stages, `ep_{k,j}` and the segment counts `m`/`u`/`v` of the
+    // pair, in one stage scan.
+    let (mut et1, mut et2, mut total) = (0u64, 0u64, 0u64);
+    let (mut m, mut u, mut v) = (0u64, 0usize, 0usize);
+    let mut run = 0usize;
+    for j in 0..stages {
+        let is_shared = k == target || target_resources[j] == k_resources[j];
+        let ep = if is_shared {
+            job_k.processing(StageId::new(j)).as_ticks()
+        } else {
+            0
+        };
+        ep_row[j] = ep;
+        total += ep;
+        if ep > et1 {
+            et2 = et1;
+            et1 = ep;
+        } else if ep > et2 {
+            et2 = ep;
+        }
+        if is_shared {
+            run += 1;
+        } else if run > 0 {
+            m += 1;
+            if run == 1 {
+                u += 1;
+            } else {
+                v += 1;
+            }
+            run = 0;
+        }
+    }
+    if run > 0 {
+        m += 1;
+        if run == 1 {
+            u += 1;
+        } else {
+            v += 1;
+        }
+    }
+
+    let mut eq1 = scalars.max_proc[ki];
+    if scalars.arrival[ki] > scalars.arrival[t] {
+        eq1 += scalars.second_proc[ki];
+    }
+
+    // `w = u + 2v` never exceeds the number of shared stages, so summing
+    // the `w` largest ep values over all stages (zeros for unshared ones)
+    // matches `Σ_{x≤w} et_{k,x}`. The common cases fall out of the scan
+    // above; only `3 ≤ w < N` (pipelines of four or more stages) needs an
+    // actual selection.
+    let w = u + 2 * v;
+    let eq6 = match w {
+        0 => 0,
+        1 => et1,
+        2 => et1 + et2,
+        _ if w >= stages => total,
+        _ => {
+            sorted.clear();
+            sorted.extend_from_slice(ep_row);
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.iter().take(w).sum()
+        }
+    };
+
+    PairValues {
+        eq1,
+        eq2: scalars.max_proc[ki],
+        eq3: 2 * m * et1,
+        eq45: m * et1,
+        eq6,
+        interferes: k != target
+            && scalars.arrival[t] <= scalars.abs_deadline[ki]
+            && scalars.arrival[ki] <= scalars.abs_deadline[t],
+        competes: m > 0 && k != target,
+    }
 }
 
 impl Clone for PairTables {
@@ -83,6 +251,7 @@ impl Clone for PairTables {
         }
         PairTables {
             n: self.n,
+            cap: self.cap,
             stages: self.stages,
             deadline: self.deadline.clone(),
             proc: self.proc.clone(),
@@ -114,6 +283,7 @@ impl PairTables {
         let stages = jobs.stage_count();
         let mut tables = PairTables {
             n,
+            cap: n,
             stages,
             deadline: Vec::with_capacity(n),
             proc: Vec::with_capacity(n * stages),
@@ -138,110 +308,34 @@ impl PairTables {
             }
         }
 
-        // Per-job quantities hoisted out of the n² pair loop
-        // (`nth_max_processing` sorts internally).
-        let max_proc: Vec<u64> = jobs.jobs().map(|j| j.max_processing().as_ticks()).collect();
-        let second_proc: Vec<u64> = jobs
-            .jobs()
-            .map(|j| j.nth_max_processing(2).as_ticks())
-            .collect();
-        let arrival: Vec<u64> = jobs.jobs().map(|j| j.arrival().as_ticks()).collect();
-        let abs_deadline: Vec<u64> = jobs
-            .jobs()
-            .map(|j| j.absolute_deadline().as_ticks())
-            .collect();
+        let scalars = JobScalars::hoist(jobs);
 
-        // Scratch buffer reused across all n² pairs (stack-backed for
+        // Scratch buffers reused across all n² pairs (stack-backed for
         // realistic stage counts).
+        let mut ep_row = vec![0u64; stages];
         let mut sorted: Vec<u64> = Vec::with_capacity(stages);
 
         for target in jobs.job_ids() {
-            let target_job = jobs.job(target);
             let t = target.index();
-            let target_resources = target_job.resources();
             let mut mask = JobMask::with_capacity(n);
             let mut competes = JobMask::with_capacity(n);
             for k in jobs.job_ids() {
-                let ki = k.index();
-                let job_k = jobs.job(k);
-                if k != target && arrival[t] <= abs_deadline[ki] && arrival[ki] <= abs_deadline[t] {
+                let values = compute_pair(jobs, &scalars, target, k, &mut ep_row, &mut sorted);
+                tables.ep.extend_from_slice(&ep_row);
+                tables.ja_eq1.push(values.eq1);
+                tables.ja_eq2.push(values.eq2);
+                tables.ja_eq3.push(values.eq3);
+                tables.ja_eq45.push(values.eq45);
+                tables.ja_eq6.push(values.eq6);
+                if values.interferes {
                     mask.insert(k);
                 }
-
-                // Shared stages, `ep_{k,j}` and the segment counts
-                // `m`/`u`/`v` of the pair, in one stage scan.
-                let k_resources = job_k.resources();
-                let k_proc = &tables.proc[ki * stages..ki * stages + stages];
-                let (mut et1, mut et2, mut total) = (0u64, 0u64, 0u64);
-                let (mut m, mut u, mut v) = (0u64, 0usize, 0usize);
-                let mut run = 0usize;
-                for j in 0..stages {
-                    let is_shared = k == target || target_resources[j] == k_resources[j];
-                    let ep = if is_shared { k_proc[j] } else { 0 };
-                    tables.ep.push(ep);
-                    total += ep;
-                    if ep > et1 {
-                        et2 = et1;
-                        et1 = ep;
-                    } else if ep > et2 {
-                        et2 = ep;
-                    }
-                    if is_shared {
-                        run += 1;
-                    } else if run > 0 {
-                        m += 1;
-                        if run == 1 {
-                            u += 1;
-                        } else {
-                            v += 1;
-                        }
-                        run = 0;
-                    }
-                }
-                if run > 0 {
-                    m += 1;
-                    if run == 1 {
-                        u += 1;
-                    } else {
-                        v += 1;
-                    }
-                }
-                if m > 0 && k != target {
+                if values.competes {
                     competes.insert(k);
                 }
-
-                let mut eq1 = max_proc[ki];
-                if arrival[ki] > arrival[t] {
-                    eq1 += second_proc[ki];
-                }
-                tables.ja_eq1.push(eq1);
-                tables.ja_eq2.push(max_proc[ki]);
-                tables.ja_eq3.push(2 * m * et1);
-                tables.ja_eq45.push(m * et1);
-                // `w = u + 2v` never exceeds the number of shared stages,
-                // so summing the `w` largest ep values over all stages
-                // (zeros for unshared ones) matches `Σ_{x≤w} et_{k,x}`.
-                // The common cases fall out of the scan above; only
-                // `3 ≤ w < N` (pipelines of four or more stages) needs an
-                // actual selection.
-                let w = u + 2 * v;
-                let ja_eq6 = match w {
-                    0 => 0,
-                    1 => et1,
-                    2 => et1 + et2,
-                    _ if w >= stages => total,
-                    _ => {
-                        let base = (t * n + ki) * stages;
-                        sorted.clear();
-                        sorted.extend_from_slice(&tables.ep[base..base + stages]);
-                        sorted.sort_unstable_by(|a, b| b.cmp(a));
-                        sorted.iter().take(w).sum()
-                    }
-                };
-                tables.ja_eq6.push(ja_eq6);
             }
 
-            let self_et1 = max_proc[t];
+            let self_et1 = scalars.max_proc[t];
             tables.self_max_proc.push(self_et1);
             // The self pair shares every stage: one segment (`m = 1`).
             tables.self_eq3.push(2 * self_et1);
@@ -253,33 +347,223 @@ impl PairTables {
         tables
     }
 
+    /// Pre-sizes the pair-indexed arrays for up to `jobs` jobs, so that
+    /// many subsequent [`PairTables::extend_with_job`] calls re-stride
+    /// nothing. A no-op when the tables already have that capacity.
+    pub fn reserve(&mut self, jobs: usize) {
+        if jobs > self.cap {
+            self.grow(jobs);
+        }
+    }
+
+    /// Re-strides the pair-indexed arrays to a new capacity. Pure data
+    /// movement of the `n` live rows — no pair is recomputed.
+    fn grow(&mut self, new_cap: usize) {
+        debug_assert!(new_cap > self.cap);
+        let (n, cap, stages) = (self.n, self.cap, self.stages);
+        let restride = |old: &Vec<u64>, width: usize| -> Vec<u64> {
+            let mut grown = vec![0u64; new_cap * new_cap * width];
+            for t in 0..n {
+                // Within one target the k index is contiguous, so each
+                // target's live row moves as one block.
+                let src = t * cap * width;
+                let dst = t * new_cap * width;
+                grown[dst..dst + n * width].copy_from_slice(&old[src..src + n * width]);
+            }
+            grown
+        };
+        self.ep = restride(&self.ep, stages);
+        self.ja_eq1 = restride(&self.ja_eq1, 1);
+        self.ja_eq2 = restride(&self.ja_eq2, 1);
+        self.ja_eq3 = restride(&self.ja_eq3, 1);
+        self.ja_eq45 = restride(&self.ja_eq45, 1);
+        self.ja_eq6 = restride(&self.ja_eq6, 1);
+        self.cap = new_cap;
+    }
+
+    /// Extends the tables with the job that `jobs` appends to the set they
+    /// were built for: `jobs` must contain the original jobs unchanged
+    /// (same ids, same parameters, same pipeline) plus exactly one new job
+    /// at the highest id.
+    ///
+    /// Only the new job's row and column are computed — `O(n·N)` work
+    /// instead of the `O(n²·N)` full rebuild — and the result is
+    /// bit-identical to `PairTables::build(jobs)` (property-tested). An
+    /// already-built Eq. 5 blocking cache is updated incrementally rather
+    /// than discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` does not have exactly one job more than the
+    /// tables, or a different stage count.
+    pub fn extend_with_job(&mut self, jobs: &JobSet) {
+        let new = self.n;
+        assert_eq!(
+            jobs.len(),
+            new + 1,
+            "extend_with_job: job set must append exactly one job"
+        );
+        assert_eq!(
+            jobs.stage_count(),
+            self.stages,
+            "extend_with_job: pipeline stage count changed"
+        );
+        if new + 1 > self.cap {
+            // Geometric growth keeps the re-stride cost amortized O(n·N)
+            // per arrival.
+            self.grow((new + 1).max(self.cap * 2).max(8));
+        }
+        let cap = self.cap;
+        let stages = self.stages;
+        let new_id = JobId::new(new);
+        let new_job = jobs.job(new_id);
+
+        self.deadline.push(new_job.deadline().as_ticks());
+        for j in 0..stages {
+            self.proc
+                .push(new_job.processing(StageId::new(j)).as_ticks());
+        }
+
+        let scalars = JobScalars::hoist(jobs);
+        let mut ep_row = vec![0u64; stages];
+        let mut sorted: Vec<u64> = Vec::with_capacity(stages);
+
+        // New column: every existing target against the arriving job.
+        for t in 0..new {
+            let target = JobId::new(t);
+            let values = compute_pair(jobs, &scalars, target, new_id, &mut ep_row, &mut sorted);
+            let idx = t * cap + new;
+            self.ep[idx * stages..idx * stages + stages].copy_from_slice(&ep_row);
+            self.ja_eq1[idx] = values.eq1;
+            self.ja_eq2[idx] = values.eq2;
+            self.ja_eq3[idx] = values.eq3;
+            self.ja_eq45[idx] = values.eq45;
+            self.ja_eq6[idx] = values.eq6;
+            if values.interferes {
+                self.interferes[t].insert(new_id);
+            }
+            if values.competes {
+                self.competes[t].insert(new_id);
+            }
+        }
+
+        // New row: the arriving job as target against everyone (itself
+        // included).
+        let mut mask = JobMask::with_capacity(cap);
+        let mut competes = JobMask::with_capacity(cap);
+        for k in jobs.job_ids() {
+            let values = compute_pair(jobs, &scalars, new_id, k, &mut ep_row, &mut sorted);
+            let idx = new * cap + k.index();
+            self.ep[idx * stages..idx * stages + stages].copy_from_slice(&ep_row);
+            self.ja_eq1[idx] = values.eq1;
+            self.ja_eq2[idx] = values.eq2;
+            self.ja_eq3[idx] = values.eq3;
+            self.ja_eq45[idx] = values.eq45;
+            self.ja_eq6[idx] = values.eq6;
+            if values.interferes {
+                mask.insert(k);
+            }
+            if values.competes {
+                competes.insert(k);
+            }
+        }
+
+        let self_et1 = scalars.max_proc[new];
+        self.self_max_proc.push(self_et1);
+        self.self_eq3.push(2 * self_et1);
+        self.self_eq45.push(self_et1);
+        self.interferes.push(mask);
+        self.competes.push(competes);
+        self.n = new + 1;
+
+        // An arrival can only raise the Eq. 5 per-stage blocking maxima of
+        // the existing targets, so an already-built cache updates in
+        // O(n·N) instead of being rebuilt.
+        if let Some(block) = self.opa_block.get_mut() {
+            for t in 0..new {
+                if !self.interferes[t].contains(new_id) {
+                    continue;
+                }
+                for j in 0..stages {
+                    let v = self.ep[(t * cap + new) * stages + j];
+                    let slot = t * stages + j;
+                    if v > block.maxima[slot] {
+                        block.sum[t] += v - block.maxima[slot];
+                        block.maxima[slot] = v;
+                    }
+                }
+            }
+            let mut sum = 0u64;
+            for j in 0..stages {
+                let mut max = 0u64;
+                for k in self.interferes[new].iter() {
+                    max = max.max(self.ep[(new * cap + k.index()) * stages + j]);
+                }
+                block.maxima.push(max);
+                sum += max;
+            }
+            block.sum.push(sum);
+        }
+    }
+
+    /// Removes the job with the highest id — the rollback path of a
+    /// rejected admission, undoing the matching
+    /// [`PairTables::extend_with_job`]. `O(n)`; the dead row and column
+    /// stay allocated for the next arrival.
+    ///
+    /// The lazily-built Eq. 5 blocking cache is discarded (a removal can
+    /// lower a per-stage maximum, which cannot be undone incrementally);
+    /// it rebuilds on the next Eq. 5 evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are empty.
+    pub fn remove_last_job(&mut self) {
+        assert!(self.n > 0, "remove_last_job on empty tables");
+        let last = self.n - 1;
+        let last_id = JobId::new(last);
+        self.n = last;
+        self.deadline.pop();
+        self.proc.truncate(last * self.stages);
+        self.self_max_proc.pop();
+        self.self_eq3.pop();
+        self.self_eq45.pop();
+        self.interferes.pop();
+        self.competes.pop();
+        for t in 0..last {
+            self.interferes[t].remove(last_id);
+            self.competes[t].remove(last_id);
+        }
+        self.opa_block = OnceLock::new();
+    }
+
     /// The Eq. 5 blocking constants, `Σ_j max_{k ∈ J∖J_i, interfering}
     /// ep_{k,j}` per target, computed on first use.
     pub(crate) fn opa_block(&self) -> &[u64] {
-        self.opa_block.get_or_init(|| {
-            let mut blocks = Vec::with_capacity(self.n);
-            for t in 0..self.n {
-                let mut opa = 0u64;
-                let mut maxima = vec![0u64; self.stages];
-                for k in self.interferes[t].iter() {
-                    let base = (t * self.n + k.index()) * self.stages;
-                    let row = &self.ep[base..base + self.stages];
-                    for (slot, &v) in maxima.iter_mut().zip(row) {
-                        if v > *slot {
-                            *slot = v;
+        &self
+            .opa_block
+            .get_or_init(|| {
+                let mut maxima = vec![0u64; self.n * self.stages];
+                let mut sum = Vec::with_capacity(self.n);
+                for t in 0..self.n {
+                    let slots = &mut maxima[t * self.stages..(t + 1) * self.stages];
+                    for k in self.interferes[t].iter() {
+                        let base = (t * self.cap + k.index()) * self.stages;
+                        let row = &self.ep[base..base + self.stages];
+                        for (slot, &v) in slots.iter_mut().zip(row) {
+                            if v > *slot {
+                                *slot = v;
+                            }
                         }
                     }
+                    sum.push(slots.iter().sum());
                 }
-                for v in maxima {
-                    opa += v;
-                }
-                blocks.push(opa);
-            }
-            blocks
-        })
+                OpaBlock { maxima, sum }
+            })
+            .sum
     }
 
-    /// Number of jobs the tables were built for.
+    /// Number of jobs the tables currently describe.
     #[must_use]
     pub fn job_count(&self) -> usize {
         self.n
@@ -289,6 +573,13 @@ impl PairTables {
     #[must_use]
     pub fn stage_count(&self) -> usize {
         self.stages
+    }
+
+    /// Allocated job capacity of the pair-indexed arrays (grows on demand;
+    /// see [`PairTables::reserve`]).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The interference mask of a target: bit `k` is set iff `k ≠ target`
@@ -315,7 +606,7 @@ impl PairTables {
     /// `ep_{k,j}` of `interferer` against `target`, in raw ticks.
     #[inline]
     pub(crate) fn ep_at(&self, target: usize, k: usize, stage: usize) -> u64 {
-        self.ep[(target * self.n + k) * self.stages + stage]
+        self.ep[(target * self.cap + k) * self.stages + stage]
     }
 
     /// `P_{k,j}` in raw ticks.
@@ -324,7 +615,8 @@ impl PairTables {
         self.proc[k * self.stages + stage]
     }
 
-    /// The job-additive scalar table of one bound kind.
+    /// The job-additive scalar table of one bound kind (strided by
+    /// [`PairTables::capacity`], not by the job count).
     pub(crate) fn job_additive(&self, kind: DelayBoundKind) -> &[u64] {
         match kind {
             DelayBoundKind::PreemptiveSingleResource => &self.ja_eq1,

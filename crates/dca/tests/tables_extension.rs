@@ -1,0 +1,180 @@
+//! Property suite for incremental pair-table extension: growing an
+//! [`Analysis`]/[`PairTables`] one job at a time must be bit-identical to
+//! a full rebuild on the extended set — the primitive the `msmr-serve`
+//! admission-session cache rides on.
+
+use msmr_dca::{Analysis, DelayBoundKind, DelayEvaluator, InterferenceSets, PairTables};
+use msmr_model::{Job, JobId, JobSet, Pipeline, PreemptionPolicy, Time};
+use proptest::prelude::*;
+
+/// Random MSMR job sets: 2–4 stages, up to 3 resources per stage, 3–8
+/// jobs, staggered arrivals so some window pairs do not overlap.
+fn arbitrary_jobset() -> impl Strategy<Value = JobSet> {
+    (2usize..=4, 1usize..=3, 3usize..=8).prop_flat_map(|(stages, max_res, jobs)| {
+        let resources = prop::collection::vec(1usize..=max_res, stages);
+        resources.prop_flat_map(move |resources| {
+            let job = {
+                let resources = resources.clone();
+                (
+                    prop::collection::vec((1u64..=25, 0usize..3), resources.len()),
+                    50u64..=500,
+                    0u64..=120,
+                )
+                    .prop_map(move |(stage_specs, deadline, arrival)| {
+                        let mut builder = Job::builder()
+                            .deadline(Time::new(deadline))
+                            .arrival(Time::new(arrival));
+                        for (j, (p, r)) in stage_specs.into_iter().enumerate() {
+                            builder = builder.stage_time(Time::new(p), r % resources[j]);
+                        }
+                        builder
+                    })
+            };
+            (Just(resources), prop::collection::vec(job, jobs)).prop_map(|(resources, builders)| {
+                let pipeline = Pipeline::uniform(&resources, PreemptionPolicy::Preemptive).unwrap();
+                let jobs: Vec<Job> = builders
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| b.build(JobId::new(i)).unwrap())
+                    .collect();
+                JobSet::new(pipeline, jobs).unwrap()
+            })
+        })
+    })
+}
+
+/// The prefix job sets `jobs[..1], jobs[..2], …, jobs[..n]` of a set (a
+/// job-by-job arrival trace).
+fn prefixes(jobs: &JobSet) -> Vec<JobSet> {
+    let ids: Vec<JobId> = jobs.job_ids().collect();
+    (1..=ids.len())
+        .map(|m| jobs.restrict_to(&ids[..m]).unwrap().0)
+        .collect()
+}
+
+/// A total priority order of `n` jobs derived from sort keys.
+fn order_from_keys(n: usize, keys: &[u64]) -> Vec<JobId> {
+    let mut order: Vec<JobId> = (0..n).map(JobId::new).collect();
+    order.sort_by_key(|id| (keys[id.index() % keys.len()], id.index()));
+    order
+}
+
+/// Asserts that two pair tables describe the same system: identical
+/// masks, identical evaluator delays for every bound kind and every
+/// target under the given total order, and identical Eq. 5 blocking
+/// behaviour. This is a *behavioural* bit-for-bit check — it reads every
+/// table the evaluator reads (job-additive scalars, ep rows, self terms,
+/// deadlines, interference masks, blocking constants).
+fn assert_tables_equivalent(extended: &PairTables, rebuilt: &PairTables, order: &[JobId]) {
+    assert_eq!(extended.job_count(), rebuilt.job_count());
+    assert_eq!(extended.stage_count(), rebuilt.stage_count());
+    let n = rebuilt.job_count();
+    for t in 0..n {
+        let id = JobId::new(t);
+        assert_eq!(
+            extended.interference_mask(id),
+            rebuilt.interference_mask(id),
+            "interference mask of J{t}"
+        );
+        assert_eq!(
+            extended.competitor_mask(id),
+            rebuilt.competitor_mask(id),
+            "competitor mask of J{t}"
+        );
+    }
+    for kind in DelayBoundKind::all() {
+        let mut a = DelayEvaluator::new(extended, kind);
+        let mut b = DelayEvaluator::new(rebuilt, kind);
+        for (pos, &t) in order.iter().enumerate() {
+            for &h in &order[..pos] {
+                a.add_higher(t, h);
+                b.add_higher(t, h);
+            }
+            for &l in &order[pos + 1..] {
+                a.add_lower(t, l);
+                b.add_lower(t, l);
+            }
+        }
+        for &t in order {
+            assert_eq!(a.delay(t), b.delay(t), "{kind}: target {t}");
+            assert_eq!(a.fits(t), b.fits(t), "{kind}: target {t}");
+            assert_eq!(a.slack(t), b.slack(t), "{kind}: target {t}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Job-by-job extension from a single job up to the full set matches
+    /// a fresh build of every prefix, for every bound kind.
+    #[test]
+    fn extension_matches_full_rebuild(jobs in arbitrary_jobset(), keys in prop::collection::vec(0u64..1_000, 8)) {
+        let sets = prefixes(&jobs);
+        let mut analysis = Analysis::new(&sets[0]);
+        for m in 1..sets.len() {
+            analysis = analysis.extend_with_job(&sets[m]);
+            let rebuilt = Analysis::new(&sets[m]);
+            let order = order_from_keys(m + 1, &keys);
+            assert_tables_equivalent(analysis.tables(), rebuilt.tables(), &order);
+
+            // The reference bounds agree too (they read the extended
+            // analysis' lazily re-materialised pair objects).
+            let ctx = InterferenceSets::from_total_order(&order, order[m / 2]);
+            for kind in DelayBoundKind::all() {
+                prop_assert_eq!(
+                    analysis.delay_bound(kind, order[m / 2], &ctx),
+                    rebuilt.delay_bound(kind, order[m / 2], &ctx),
+                    "reference {} after {} extensions", kind, m
+                );
+            }
+        }
+    }
+
+    /// Extending tables whose Eq. 5 blocking cache is already built takes
+    /// the incremental-update path and still matches the rebuild.
+    #[test]
+    fn extension_updates_a_built_opa_cache(jobs in arbitrary_jobset(), keys in prop::collection::vec(0u64..1_000, 8)) {
+        let sets = prefixes(&jobs);
+        let n = sets.len();
+        let analysis = Analysis::new(&sets[n - 2]);
+        // Force the Eq. 5 blocking cache *before* the extension.
+        let _ = analysis.evaluator(DelayBoundKind::NonPreemptiveOpa);
+        let extended = analysis.extend_with_job(&sets[n - 1]);
+        let rebuilt = Analysis::new(&sets[n - 1]);
+        let order = order_from_keys(n, &keys);
+        assert_tables_equivalent(extended.tables(), rebuilt.tables(), &order);
+    }
+
+    /// `remove_last_job` rolls an extension back to the original tables
+    /// (the rejected-admission path).
+    #[test]
+    fn remove_last_job_rolls_back_an_extension(jobs in arbitrary_jobset(), keys in prop::collection::vec(0u64..1_000, 8)) {
+        let sets = prefixes(&jobs);
+        let n = sets.len();
+        let mut tables = Analysis::new(&sets[n - 2]).into_tables();
+        tables.extend_with_job(&sets[n - 1]);
+        tables.remove_last_job();
+        let original = Analysis::new(&sets[n - 2]);
+        let order = order_from_keys(n - 1, &keys);
+        assert_tables_equivalent(&tables, original.tables(), &order);
+    }
+
+    /// Pre-reserved capacity changes neither values nor behaviour, and
+    /// extensions within capacity never re-stride.
+    #[test]
+    fn reserve_is_value_neutral(jobs in arbitrary_jobset(), keys in prop::collection::vec(0u64..1_000, 8)) {
+        let sets = prefixes(&jobs);
+        let n = sets.len();
+        let mut tables = Analysis::new(&sets[0]).into_tables();
+        tables.reserve(64);
+        prop_assert_eq!(tables.capacity(), 64);
+        for set in &sets[1..] {
+            tables.extend_with_job(set);
+        }
+        prop_assert_eq!(tables.capacity(), 64);
+        let rebuilt = Analysis::new(&sets[n - 1]);
+        let order = order_from_keys(n, &keys);
+        assert_tables_equivalent(&tables, rebuilt.tables(), &order);
+    }
+}

@@ -1,0 +1,79 @@
+//! `serve` — the experiment CLI's entry point into the online
+//! admission-control service (the `msmr-serve` crate).
+//!
+//! A thin launcher so the service sits next to the `fig4*` binaries:
+//!
+//! ```text
+//! cargo run -p msmr-experiments --bin serve -- --uds /tmp/msmr.sock
+//! cargo run -p msmr-experiments --bin serve -- --tcp 127.0.0.1:7471 --decider DMR
+//! ```
+//!
+//! Accepts a subset of the daemon's flags and defaults to the paper's
+//! evaluation bound (Eq. 10). Use the full `msmr-served` / `msmr-admit`
+//! binaries of `msmr-serve` for the complete flag surface and the replay
+//! client.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use msmr_serve::{parse_bound, ServeOptions, Server, SessionConfig};
+
+fn usage() -> &'static str {
+    "usage: serve [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER] [--opt-nodes N]\n\nBoots the msmr-serve admission daemon (at least one of --tcp / --uds)."
+}
+
+fn main() -> ExitCode {
+    let mut options = ServeOptions {
+        tcp: None,
+        uds: None,
+        session: SessionConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed = match flag.as_str() {
+            "--tcp" => value("--tcp").map(|addr| options.tcp = Some(addr)),
+            "--uds" => value("--uds").map(|path| options.uds = Some(PathBuf::from(path))),
+            "--bound" => value("--bound").and_then(|name| {
+                parse_bound(&name)
+                    .map(|bound| options.session.bound = bound)
+                    .ok_or_else(|| format!("unknown bound `{name}`"))
+            }),
+            "--decider" => value("--decider").map(|name| options.session.decider = name),
+            "--opt-nodes" => value("--opt-nodes").and_then(|raw| {
+                raw.parse()
+                    .map(|nodes| options.session.node_limit = Some(nodes))
+                    .map_err(|_| "invalid --opt-nodes value".to_string())
+            }),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("serve: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("serve: listening on tcp://{addr}");
+    }
+    if let Some(path) = server.uds_path() {
+        println!("serve: listening on unix://{}", path.display());
+    }
+    server.join();
+    println!("serve: shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -71,6 +71,18 @@ impl JobSet {
         Ok(set)
     }
 
+    /// Re-validates a job set that did not come through the builder —
+    /// e.g. one deserialized from an untrusted wire payload, where serde
+    /// bypasses the [`JobSet::new`] invariants — returning a copy with
+    /// densely re-numbered ids.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ModelError`]s as [`JobSet::new`].
+    pub fn sanitized(&self) -> Result<JobSet, ModelError> {
+        JobSet::new(self.pipeline.clone(), self.jobs.clone())
+    }
+
     fn validate(&self) -> Result<(), ModelError> {
         let n_stages = self.pipeline.stage_count();
         for job in &self.jobs {
@@ -85,6 +97,15 @@ impl JobSet {
                     job: job.id(),
                     expected: n_stages,
                     actual: job.stage_count(),
+                });
+            }
+            // The builder always produces paired arrays, but a job set
+            // assembled another way (e.g. deserialized) can disagree.
+            if job.resources().len() != n_stages {
+                return Err(ModelError::StageCountMismatch {
+                    job: job.id(),
+                    expected: n_stages,
+                    actual: job.resources().len(),
                 });
             }
             for (j, &resource) in job.resources().iter().enumerate() {
@@ -254,6 +275,26 @@ impl JobSet {
         let set =
             JobSet::new(self.pipeline.clone(), kept).expect("removing a job preserves validity");
         (set, original)
+    }
+
+    /// Returns a copy of this job set with one more job appended at the
+    /// next dense id (which is also returned).
+    ///
+    /// This is the arrival primitive of online admission control: the
+    /// existing jobs keep their ids and parameters, so pair-level caches
+    /// built for this set (e.g. `msmr_dca::PairTables`) can be extended
+    /// instead of rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual per-job and pipeline-consistency
+    /// [`ModelError`]s if the new job is invalid for this pipeline.
+    pub fn with_job(&self, job: JobBuilder) -> Result<(JobSet, JobId), ModelError> {
+        let id = JobId::new(self.jobs.len());
+        let mut jobs = self.jobs.clone();
+        jobs.push(job.build(id)?);
+        let set = JobSet::new(self.pipeline.clone(), jobs)?;
+        Ok((set, id))
     }
 
     /// Returns a copy restricted to the given jobs (in the given order),
@@ -524,6 +565,47 @@ mod tests {
         assert_eq!(original, vec![JobId::new(2), JobId::new(0)]);
         assert_eq!(reduced.job(JobId::new(0)).deadline(), Time::new(70));
         assert!(set.restrict_to(&[JobId::new(9)]).is_err());
+    }
+
+    #[test]
+    fn with_job_appends_at_the_next_dense_id() {
+        let set = three_stage_set();
+        let (extended, id) = set
+            .with_job(
+                Job::builder()
+                    .deadline(Time::new(40))
+                    .stage_time(Time::new(1), 0)
+                    .stage_time(Time::new(2), 1)
+                    .stage_time(Time::new(3), 0),
+            )
+            .unwrap();
+        assert_eq!(id, JobId::new(3));
+        assert_eq!(extended.len(), 4);
+        assert_eq!(extended.job(id).deadline(), Time::new(40));
+        // The original jobs are untouched, in both sets.
+        for old in set.job_ids() {
+            assert_eq!(extended.job(old), set.job(old));
+        }
+        assert_eq!(set.len(), 3);
+        // Invalid jobs are rejected with the usual typed errors.
+        let err = set
+            .with_job(
+                Job::builder()
+                    .deadline(Time::new(40))
+                    .stage_time(Time::new(1), 0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::StageCountMismatch { .. }));
+        let err = set
+            .with_job(
+                Job::builder()
+                    .deadline(Time::new(40))
+                    .stage_time(Time::new(1), 9)
+                    .stage_time(Time::new(2), 0)
+                    .stage_time(Time::new(3), 0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownResource { .. }));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! `msmr-admit` — client for the admission daemon.
+//!
+//! ```text
+//! msmr-admit (--tcp ADDR | --uds PATH) <command>
+//!
+//! commands:
+//!   --status                    print the session status frame
+//!   --shutdown                  stop the daemon
+//!   --replay [--jobs N] [--seed S] [--beta F] [--evaluate] [--verify]
+//!             [--bound NAME] [--opt-nodes N]
+//! ```
+//!
+//! `--replay` generates an edge workload trace, feeds its jobs to the
+//! daemon one `admit` at a time in arrival order and prints a summary
+//! (admits, rejects, p50/p99 round-trip latency). With `--verify` every
+//! streamed verdict set is compared byte-for-byte (after zeroing the
+//! wall-clock `elapsed_micros` field) against an offline
+//! `SolverRegistry::evaluate` of the same job set; any mismatch makes the
+//! process exit non-zero — this is the CI smoke check.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use msmr_dca::DelayBoundKind;
+use msmr_model::JobSet;
+use msmr_sched::{Budget, SolverRegistry, Verdict};
+use msmr_serve::protocol::{Frame, JobSpec, Op, ShutdownOp, StatusOp};
+use msmr_serve::{parse_bound, Client, Endpoint};
+use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
+
+struct Options {
+    endpoint: Endpoint,
+    command: Command,
+}
+
+enum Command {
+    Status,
+    Shutdown,
+    Replay(ReplayOptions),
+}
+
+struct ReplayOptions {
+    jobs: usize,
+    seed: u64,
+    beta: Option<f64>,
+    evaluate: bool,
+    verify: bool,
+    bound: DelayBoundKind,
+    opt_nodes: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: msmr-admit (--tcp ADDR | --uds PATH) <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)"
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut endpoint = None;
+    let mut command = None;
+    let mut replay = ReplayOptions {
+        jobs: 100,
+        seed: 2024,
+        beta: None,
+        evaluate: false,
+        verify: false,
+        bound: DelayBoundKind::EdgeHybrid,
+        opt_nodes: 200_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?)),
+            "--uds" => endpoint = Some(Endpoint::Uds(PathBuf::from(value("--uds")?))),
+            "--status" => command = Some("status"),
+            "--shutdown" => command = Some("shutdown"),
+            "--replay" => command = Some("replay"),
+            "--jobs" => {
+                replay.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "invalid --jobs value".to_string())?;
+            }
+            "--seed" => {
+                replay.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--beta" => {
+                replay.beta = Some(
+                    value("--beta")?
+                        .parse()
+                        .map_err(|_| "invalid --beta value".to_string())?,
+                );
+            }
+            "--evaluate" => replay.evaluate = true,
+            "--verify" => replay.verify = true,
+            "--bound" => {
+                let name = value("--bound")?;
+                replay.bound =
+                    parse_bound(&name).ok_or_else(|| format!("unknown bound `{name}`"))?;
+            }
+            "--opt-nodes" => {
+                replay.opt_nodes = value("--opt-nodes")?
+                    .parse()
+                    .map_err(|_| "invalid --opt-nodes value".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let endpoint = endpoint.ok_or("one of --tcp / --uds is required")?;
+    let command = match command.ok_or("one of --status / --shutdown / --replay is required")? {
+        "status" => Command::Status,
+        "shutdown" => Command::Shutdown,
+        _ => Command::Replay(replay),
+    };
+    Ok(Options { endpoint, command })
+}
+
+/// The replay trace: a generated edge workload, with its jobs ordered by
+/// arrival time (ties by id).
+fn trace(options: &ReplayOptions) -> Result<JobSet, String> {
+    let mut config = EdgeWorkloadConfig::default()
+        .with_jobs(options.jobs)
+        .with_infrastructure(
+            (options.jobs / 4).clamp(2, 25),
+            (options.jobs / 5).clamp(2, 20),
+        );
+    if let Some(beta) = options.beta {
+        config = config.with_beta(beta);
+    }
+    let generator = EdgeWorkloadGenerator::new(config).map_err(|e| e.to_string())?;
+    Ok(generator.generate_seeded(options.seed))
+}
+
+/// Zeroes the one wall-clock field so two runs of the same evaluation
+/// serialize identically.
+fn normalized_json(verdict: &Verdict) -> String {
+    let mut verdict = verdict.clone();
+    verdict.stats.elapsed_micros = 0;
+    serde_json::to_string(&verdict).expect("verdicts serialize")
+}
+
+fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, String> {
+    let trace = trace(options)?;
+    let evaluate = options.evaluate || options.verify;
+    let registry = SolverRegistry::paper_suite(options.bound);
+    let budget = Budget::default().with_node_limit(options.opt_nodes);
+    let (empty, _) = trace.restrict_to(&[]).map_err(|e| e.to_string())?;
+    let mut mirror = empty;
+    let mut mismatches = 0usize;
+
+    let outcome = client
+        .replay_trace(&trace, evaluate, |arrival, id, frames| {
+            let spec = JobSpec::from_job(trace.job(id));
+            let (candidate, _) = mirror
+                .with_job(spec.to_builder())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut accepted = false;
+            if options.verify {
+                let streamed: Vec<String> = frames
+                    .iter()
+                    .filter_map(|frame| match &frame.frame {
+                        Frame::Verdict(v) => Some(normalized_json(&v.verdict)),
+                        _ => None,
+                    })
+                    .collect();
+                let offline: Vec<String> = registry
+                    .evaluate(&candidate, budget)
+                    .iter()
+                    .map(normalized_json)
+                    .collect();
+                if streamed != offline {
+                    mismatches += 1;
+                    eprintln!("verdict mismatch at arrival {arrival} (job {id})");
+                    for (s, o) in streamed.iter().zip(&offline) {
+                        if s != o {
+                            eprintln!("  streamed: {s}\n  offline:  {o}");
+                        }
+                    }
+                }
+            }
+            for frame in frames {
+                if let Frame::Admit(admit) = &frame.frame {
+                    accepted = admit.admitted;
+                }
+            }
+            if accepted {
+                mirror = candidate;
+            }
+            Ok(())
+        })
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "replayed {} arrivals: {} admitted, {} rejected; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
+        outcome.latencies_us.len(),
+        outcome.admitted,
+        outcome.rejected,
+        outcome.latency_percentile_us(0.50),
+        outcome.latency_percentile_us(0.99),
+        if options.verify {
+            format!("; verified against offline evaluate, {mismatches} mismatches")
+        } else {
+            String::new()
+        },
+    );
+    Ok(if mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("msmr-admit: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&options.endpoint) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("msmr-admit: connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match &options.command {
+        Command::Status => client
+            .request(Op::Status(StatusOp {}))
+            .map_err(|e| e.to_string())
+            .map(|frames| {
+                for frame in &frames {
+                    if let Frame::Status(status) = &frame.frame {
+                        println!(
+                            "{}",
+                            serde_json::to_string(status).expect("status serializes")
+                        );
+                    }
+                }
+                ExitCode::SUCCESS
+            }),
+        Command::Shutdown => client
+            .request(Op::Shutdown(ShutdownOp {}))
+            .map_err(|e| e.to_string())
+            .map(|_| {
+                println!("msmr-admit: daemon shutdown requested");
+                ExitCode::SUCCESS
+            }),
+        Command::Replay(replay_options) => replay(&mut client, replay_options),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("msmr-admit: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! `msmr-served` — the admission-control daemon.
+//!
+//! ```text
+//! msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]
+//!             [--opt-nodes N] [--reserve N] [--threads N]
+//! ```
+//!
+//! At least one of `--tcp` / `--uds` is required. The daemon prints one
+//! `listening on ...` line per bound endpoint and runs until a client
+//! sends the `shutdown` op.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use msmr_serve::{parse_bound, ServeOptions, Server, SessionConfig};
+
+fn usage() -> &'static str {
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n\n  --tcp ADDR       listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH       listen on a unix-domain socket path\n  --bound NAME     delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME   solver deciding admissions (default OPDCA)\n  --opt-nodes N    node budget of the exact engines (default 200000)\n  --reserve N      pre-size session tables for N jobs (default 0)\n  --threads N      worker threads for parallel submits (default 0 = all)"
+}
+
+fn parse_options() -> Result<ServeOptions, String> {
+    let mut options = ServeOptions {
+        tcp: None,
+        uds: None,
+        session: SessionConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tcp" => options.tcp = Some(value("--tcp")?),
+            "--uds" => options.uds = Some(PathBuf::from(value("--uds")?)),
+            "--bound" => {
+                let name = value("--bound")?;
+                options.session.bound =
+                    parse_bound(&name).ok_or_else(|| format!("unknown bound `{name}`"))?;
+            }
+            "--decider" => options.session.decider = value("--decider")?,
+            "--opt-nodes" => {
+                options.session.node_limit = Some(
+                    value("--opt-nodes")?
+                        .parse()
+                        .map_err(|_| "invalid --opt-nodes value".to_string())?,
+                );
+            }
+            "--reserve" => {
+                options.session.reserve = value("--reserve")?
+                    .parse()
+                    .map_err(|_| "invalid --reserve value".to_string())?;
+            }
+            "--threads" => {
+                options.session.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("msmr-served: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("msmr-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("msmr-served listening on tcp://{addr}");
+    }
+    if let Some(path) = server.uds_path() {
+        println!("msmr-served listening on unix://{}", path.display());
+    }
+    server.join();
+    println!("msmr-served: shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,223 @@
+//! A small blocking client for the admission protocol, shared by the
+//! `msmr-admit` binary, the end-to-end tests and the service benchmarks.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use msmr_model::{JobId, JobSet};
+
+use crate::protocol::{
+    read_response, write_request, AdmitOp, Frame, JobSpec, Op, Request, Response, SubmitOp,
+};
+
+/// Where to reach a daemon.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP address (e.g. `127.0.0.1:7471`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+/// A connected protocol client. Requests are correlated with
+/// automatically increasing ids; each call collects the response stream
+/// of one request up to (and including) its `Done` frame.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let (reader, writer): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                // Requests are single flushed lines; without NODELAY the
+                // Nagle/delayed-ACK interaction costs ~40 ms per turn.
+                stream.set_nodelay(true)?;
+                (Box::new(stream.try_clone()?), Box::new(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                let stream = UnixStream::connect(path)?;
+                (Box::new(stream.try_clone()?), Box::new(stream))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Uds(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one operation and invokes `on_frame` for every streamed
+    /// frame as it arrives, returning all frames (the terminating `Done`
+    /// included) once the stream ends.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, on malformed frames, and when the
+    /// connection closes before the `Done` frame.
+    pub fn request_streamed(
+        &mut self,
+        op: Op,
+        mut on_frame: impl FnMut(&Response),
+    ) -> io::Result<Vec<Response>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(&mut self.writer, &Request { id, op })?;
+        let mut frames = Vec::new();
+        loop {
+            let Some(response) = read_response(&mut self.reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-stream",
+                ));
+            };
+            if response.id != id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame for request {} while awaiting {}", response.id, id),
+                ));
+            }
+            on_frame(&response);
+            let done = matches!(response.frame, Frame::Done(_));
+            frames.push(response);
+            if done {
+                return Ok(frames);
+            }
+        }
+    }
+
+    /// [`Client::request_streamed`] without a per-frame callback.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request_streamed`].
+    pub fn request(&mut self, op: Op) -> io::Result<Vec<Response>> {
+        self.request_streamed(op, |_| {})
+    }
+
+    /// Replays an arrival trace against the daemon: opens the session
+    /// with the trace's pipeline (no jobs), then issues one `admit` per
+    /// job in arrival order (ties by id), measuring each round trip.
+    /// `on_arrival` observes every arrival's full frame stream (e.g. for
+    /// offline verdict verification) after the round trip completes.
+    ///
+    /// This is the one definition of "replay" shared by the `msmr-admit`
+    /// binary, the end-to-end suite and the `service_throughput` bench,
+    /// so they cannot drift apart in protocol or ordering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors, daemon `Error` frames (as
+    /// `io::ErrorKind::Other`), a missing admit frame, and errors from
+    /// `on_arrival`.
+    pub fn replay_trace(
+        &mut self,
+        trace: &JobSet,
+        evaluate: bool,
+        mut on_arrival: impl FnMut(usize, JobId, &[Response]) -> io::Result<()>,
+    ) -> io::Result<ReplayOutcome> {
+        let mut arrivals: Vec<JobId> = trace.job_ids().collect();
+        arrivals.sort_by_key(|&id| (trace.job(id).arrival(), id));
+        let (empty, _) = trace
+            .restrict_to(&[])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.request(Op::Submit(SubmitOp {
+            jobs: empty,
+            parallel: None,
+        }))?;
+
+        let mut outcome = ReplayOutcome {
+            admitted: 0,
+            rejected: 0,
+            latencies_us: Vec::with_capacity(arrivals.len()),
+        };
+        for (arrival, &id) in arrivals.iter().enumerate() {
+            let start = Instant::now();
+            let frames = self.request(Op::Admit(AdmitOp {
+                job: JobSpec::from_job(trace.job(id)),
+                evaluate: Some(evaluate),
+            }))?;
+            outcome
+                .latencies_us
+                .push(start.elapsed().as_nanos() as f64 / 1_000.0);
+            let mut accepted = None;
+            for frame in &frames {
+                match &frame.frame {
+                    Frame::Admit(admit) => accepted = Some(admit.admitted),
+                    Frame::Error(e) => {
+                        return Err(io::Error::other(format!(
+                            "arrival {arrival}: {}",
+                            e.message
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+            match accepted {
+                Some(true) => outcome.admitted += 1,
+                Some(false) => outcome.rejected += 1,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("arrival {arrival}: no admit frame"),
+                    ))
+                }
+            }
+            on_arrival(arrival, id, &frames)?;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Summary of one [`Client::replay_trace`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Arrivals the daemon admitted.
+    pub admitted: usize,
+    /// Arrivals the daemon rejected (and rolled back).
+    pub rejected: usize,
+    /// Per-arrival round-trip latency in microseconds, in arrival order.
+    pub latencies_us: Vec<f64>,
+}
+
+impl ReplayOutcome {
+    /// The `p`-quantile (0.0–1.0, nearest-rank) of the round-trip
+    /// latencies, in microseconds.
+    #[must_use]
+    pub fn latency_percentile_us(&self, p: f64) -> f64 {
+        percentile_us(&self.latencies_us, p)
+    }
+}
+
+/// Nearest-rank `p`-quantile (0.0–1.0) of latency samples in
+/// microseconds; the input need not be sorted.
+#[must_use]
+pub fn percentile_us(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}

@@ -1,0 +1,145 @@
+//! `msmr-serve` — an online admission-control service for MSMR real-time
+//! systems: stateful sessions, incremental cross-request caching and
+//! streaming verdicts over TCP / Unix-domain sockets.
+//!
+//! The paper's headline use case is *online admission control*: deciding
+//! at runtime whether a newly arriving job can join an already-admitted
+//! set (§VII). The static pipeline of this repository — build a
+//! [`msmr_model::JobSet`], run
+//! [`msmr_sched::SolverRegistry::evaluate`] — answers that question for
+//! one snapshot; this crate turns it into a long-running service:
+//!
+//! * [`AdmissionSession`] owns the admitted job set and keeps the
+//!   [`msmr_dca::Analysis`] pair tables **warm across requests**: an
+//!   `admit` extends them for the single arriving job
+//!   ([`msmr_dca::PairTables::extend_with_job`], `O(n·N)` new pairs)
+//!   instead of rebuilding all `O(n²)` pairs, and rolls back on
+//!   rejection. Admission latency therefore scales with the arrival, not
+//!   with how the session got to its current size.
+//! * [`Server`] is a std-only thread-per-connection acceptor over TCP
+//!   and Unix-domain sockets. Each connection holds one session; the
+//!   evaluation fans onto the solver suite and **streams one
+//!   [`protocol::Frame::Verdict`] per solver as it finishes** — DM's
+//!   answer is on the wire while OPT is still searching — rather than
+//!   waiting for the batch barrier.
+//! * Two binaries ship with the crate: `msmr-served` (the daemon) and
+//!   `msmr-admit` (a client with a `--replay` mode that feeds a generated
+//!   workload trace and can `--verify` the streamed verdicts against an
+//!   offline [`msmr_sched::SolverRegistry::evaluate`] mirror).
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON: each client line is one [`protocol::Request`]
+//! (`id` + operation), each daemon line one [`protocol::Response`]
+//! echoing that id. The operations are `submit` (open/replace the
+//! session with a job set — possibly empty, pipeline only), `admit` (one
+//! arriving job), `withdraw` (remove an admitted job by handle),
+//! `status` and `shutdown`. A request streams zero or more frames and is
+//! always terminated by exactly one `Done` frame, so clients can
+//! pipeline requests without framing ambiguity.
+//!
+//! A worked transcript (client lines marked `>`, daemon lines `<`,
+//! verdicts abbreviated). The session is opened with a pipeline-only
+//! submit, then a job is admitted with full-suite evaluation:
+//!
+//! ```text
+//! > {"id":1,"op":{"Submit":{"jobs":{"pipeline":{...},"jobs":[]},"parallel":null}}}
+//! < {"id":1,"frame":{"Done":{"frames":0}}}
+//! > {"id":2,"op":{"Admit":{"job":{"arrival":0,"deadline":60,"stages":[
+//!       {"time":5,"resource":0},{"time":7,"resource":1},{"time":15,"resource":1}]},
+//!       "evaluate":true}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"DM","kind":"Accepted",...}}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"DMR","kind":"Accepted",...}}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"OPDCA","kind":"Accepted",...}}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"OPT","kind":"Accepted",
+//!       "stats":{"implied_by":"DMR",...},...}}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"DCMP","kind":"Accepted",...}}}}
+//! < {"id":2,"frame":{"Admit":{"admitted":true,"job":1,"jobs":1,"decider":"OPDCA"}}}
+//! < {"id":2,"frame":{"Done":{"frames":6}}}
+//! > {"id":3,"op":{"Status":{}}}
+//! < {"id":3,"frame":{"Status":{"jobs":1,"stages":3,"admitted":[1],"admits":1,
+//!       "rejects":0,"solvers":["DM","DMR","OPDCA","OPT","DCMP"],"decider":"OPDCA"}}}
+//! < {"id":3,"frame":{"Done":{"frames":1}}}
+//! > {"id":4,"op":{"Shutdown":{}}}
+//! < {"id":4,"frame":{"Done":{"frames":0}}}
+//! ```
+//!
+//! The `admit` verdict stream is produced by sequential evaluation with
+//! the registry's implication shortcuts, so it is identical to offline
+//! `SolverRegistry::evaluate` on the same extended job set (the
+//! end-to-end suite asserts byte-identity of the serialized verdicts,
+//! with the wall-clock `elapsed_micros` field zeroed on both sides —
+//! everything else, including node counts and `S_DCA` call counters, must
+//! match exactly). A `submit` with `"parallel":true` instead fans the
+//! solvers over the `msmr-par` pool and streams in completion order (no
+//! shortcuts — every solver genuinely runs).
+//!
+//! # Library example
+//!
+//! ```
+//! use msmr_model::{JobSetBuilder, PreemptionPolicy};
+//! use msmr_serve::protocol::{JobSpec, StageDemand};
+//! use msmr_serve::{AdmissionSession, SessionConfig};
+//!
+//! let mut pipeline = JobSetBuilder::new();
+//! pipeline.stage("cpu", 2, PreemptionPolicy::Preemptive);
+//! let mut session = AdmissionSession::new(SessionConfig::default());
+//! session.submit(pipeline.build().unwrap(), false, |_| {});
+//! let outcome = session
+//!     .admit(
+//!         &JobSpec { arrival: 0, deadline: 50, stages: vec![StageDemand { time: 5, resource: 0 }] },
+//!         false,
+//!         |verdict| println!("{verdict}"),
+//!     )
+//!     .unwrap();
+//! assert!(outcome.admitted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{percentile_us, Client, Endpoint, ReplayOutcome};
+pub use server::{serve_connection, ServeOptions, Server};
+pub use session::{AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionStatus};
+
+use msmr_dca::DelayBoundKind;
+
+/// Parses a delay-bound name as accepted by the binaries' `--bound` flag:
+/// the paper's equation numbers (`eq1`, `eq2`, `eq3`, `eq4`, `eq5`,
+/// `eq6`, `eq10`) or the `DelayBoundKind` variant names.
+#[must_use]
+pub fn parse_bound(name: &str) -> Option<DelayBoundKind> {
+    match name {
+        "eq1" | "PreemptiveSingleResource" => Some(DelayBoundKind::PreemptiveSingleResource),
+        "eq2" | "NonPreemptiveSingleResource" => Some(DelayBoundKind::NonPreemptiveSingleResource),
+        "eq3" | "PreemptiveMsmr" => Some(DelayBoundKind::PreemptiveMsmr),
+        "eq4" | "NonPreemptiveMsmr" => Some(DelayBoundKind::NonPreemptiveMsmr),
+        "eq5" | "NonPreemptiveOpa" => Some(DelayBoundKind::NonPreemptiveOpa),
+        "eq6" | "RefinedPreemptive" => Some(DelayBoundKind::RefinedPreemptive),
+        "eq10" | "EdgeHybrid" => Some(DelayBoundKind::EdgeHybrid),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_names_parse() {
+        assert_eq!(parse_bound("eq10"), Some(DelayBoundKind::EdgeHybrid));
+        assert_eq!(
+            parse_bound("RefinedPreemptive"),
+            Some(DelayBoundKind::RefinedPreemptive)
+        );
+        assert_eq!(parse_bound("nope"), None);
+        for kind in DelayBoundKind::all() {
+            assert_eq!(parse_bound(&format!("{kind:?}")), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The newline-delimited JSON wire protocol of the admission service.
+//!
+//! Every line a client writes is one [`Request`]; every line the daemon
+//! writes back is one [`Response`] carrying the request's `id`. A request
+//! produces a *stream* of frames — one [`Frame::Verdict`] per solver as it
+//! finishes, then an operation-specific result frame — and is always
+//! terminated by exactly one [`Frame::Done`] (also after errors), so
+//! clients can multiplex without guessing. See the crate-level docs for a
+//! worked transcript.
+
+use std::io::{self, BufRead, Write};
+
+use msmr_model::{Job, JobBuilder, JobSet, StageId, Time};
+use msmr_sched::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// One client request: a correlation id chosen by the client plus the
+/// operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every response frame.
+    pub id: u64,
+    /// The requested operation.
+    pub op: Op,
+}
+
+/// The operations of the admission protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Open (or replace) the session with a full job set and evaluate it.
+    Submit(SubmitOp),
+    /// Admit one arriving job into the session's admitted set.
+    Admit(AdmitOp),
+    /// Remove a previously admitted job from the session.
+    Withdraw(WithdrawOp),
+    /// Report the session state.
+    Status(StatusOp),
+    /// Stop the daemon (all listeners).
+    Shutdown(ShutdownOp),
+}
+
+/// Payload of [`Op::Submit`]: the job set may be empty (pipeline only),
+/// which opens a session that grows purely through [`Op::Admit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitOp {
+    /// The pipeline and initial admitted jobs.
+    pub jobs: JobSet,
+    /// `true` fans the solvers out over the `msmr-par` pool and streams
+    /// verdicts in **completion** order (no implication shortcuts);
+    /// `false`/absent evaluates sequentially with shortcuts, streaming
+    /// each verdict as its solver finishes — byte-identical to
+    /// `SolverRegistry::evaluate`.
+    pub parallel: Option<bool>,
+}
+
+/// Payload of [`Op::Admit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmitOp {
+    /// The arriving job.
+    pub job: JobSpec,
+    /// `true`/absent streams the full solver suite on the extended set
+    /// (the admission decision is then read off the decider's streamed
+    /// verdict); `false` runs and streams only the decider — the
+    /// low-latency path.
+    pub evaluate: Option<bool>,
+}
+
+/// An arriving job, id-less: the session assigns the internal id and
+/// returns a stable external handle in the [`Frame::Admit`] frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Arrival time `A_i` in ticks.
+    pub arrival: u64,
+    /// Relative end-to-end deadline `D_i` in ticks.
+    pub deadline: u64,
+    /// Per-stage demand, in pipeline order (must match the session's
+    /// stage count).
+    pub stages: Vec<StageDemand>,
+}
+
+/// One stage's demand of a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDemand {
+    /// Processing time `P_{i,j}` in ticks.
+    pub time: u64,
+    /// Resource index at the stage.
+    pub resource: u64,
+}
+
+impl JobSpec {
+    /// Converts the spec into the model's job builder.
+    #[must_use]
+    pub fn to_builder(&self) -> JobBuilder {
+        let mut builder = JobBuilder::new()
+            .arrival(Time::new(self.arrival))
+            .deadline(Time::new(self.deadline));
+        for stage in &self.stages {
+            builder = builder.stage_time(Time::new(stage.time), stage.resource as usize);
+        }
+        builder
+    }
+
+    /// Builds the spec describing an existing job (replay traces).
+    #[must_use]
+    pub fn from_job(job: &Job) -> JobSpec {
+        JobSpec {
+            arrival: job.arrival().as_ticks(),
+            deadline: job.deadline().as_ticks(),
+            stages: (0..job.stage_count())
+                .map(|j| {
+                    let stage = StageId::new(j);
+                    StageDemand {
+                        time: job.processing(stage).as_ticks(),
+                        resource: job.resource(stage).index() as u64,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Payload of [`Op::Withdraw`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WithdrawOp {
+    /// External handle of the job to remove (from its admit frame, or the
+    /// status listing).
+    pub job: u64,
+}
+
+/// Payload of [`Op::Status`] (no fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusOp {}
+
+/// Payload of [`Op::Shutdown`] (no fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownOp {}
+
+/// One daemon response frame, tagged with the request's id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The correlation id of the request this frame answers.
+    pub id: u64,
+    /// The frame payload.
+    pub frame: Frame,
+}
+
+/// The frame kinds a request can stream back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// One solver's verdict, emitted the moment the solver finishes.
+    Verdict(VerdictFrame),
+    /// The admission decision of an [`Op::Admit`].
+    Admit(AdmitFrame),
+    /// The result of an [`Op::Withdraw`].
+    Withdraw(WithdrawFrame),
+    /// The session state answering an [`Op::Status`].
+    Status(StatusFrame),
+    /// A request-level failure (always followed by [`Frame::Done`]).
+    Error(ErrorFrame),
+    /// Terminates the frame stream of one request.
+    Done(DoneFrame),
+}
+
+/// Payload of [`Frame::Verdict`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictFrame {
+    /// The solver's unified verdict, exactly as the offline registry
+    /// produces it.
+    pub verdict: Verdict,
+}
+
+/// Payload of [`Frame::Admit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmitFrame {
+    /// Whether the arriving job was admitted.
+    pub admitted: bool,
+    /// Stable external handle of the admitted job (absent on rejection).
+    pub job: Option<u64>,
+    /// Session size after the decision.
+    pub jobs: u64,
+    /// Name of the solver whose verdict decided the admission.
+    pub decider: String,
+}
+
+/// Payload of [`Frame::Withdraw`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WithdrawFrame {
+    /// The withdrawn handle.
+    pub job: u64,
+    /// Session size after the withdrawal.
+    pub jobs: u64,
+}
+
+/// Payload of [`Frame::Status`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusFrame {
+    /// Number of currently admitted jobs.
+    pub jobs: u64,
+    /// Pipeline stage count (0 before the first submit).
+    pub stages: u64,
+    /// External handles of the admitted jobs, in internal id order.
+    pub admitted: Vec<u64>,
+    /// Jobs admitted over the session's lifetime.
+    pub admits: u64,
+    /// Jobs rejected over the session's lifetime.
+    pub rejects: u64,
+    /// Registered solver names, in evaluation order.
+    pub solvers: Vec<String>,
+    /// The solver whose verdict decides admissions.
+    pub decider: String,
+}
+
+/// Payload of [`Frame::Error`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorFrame {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+/// Payload of [`Frame::Done`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoneFrame {
+    /// Number of frames the request streamed before this one.
+    pub frames: u64,
+}
+
+/// Serializes one response as a single NDJSON line and flushes it, so the
+/// peer observes the frame immediately (the streaming property).
+///
+/// # Errors
+///
+/// Propagates I/O errors; serialization itself cannot fail for these
+/// types.
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let line = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Serializes one request as a single NDJSON line and flushes it.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<()> {
+    let line = serde_json::to_string(request)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads the next non-empty NDJSON line and parses it as a [`Response`].
+/// Returns `None` on a cleanly closed connection.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error on malformed frames, and propagates I/O
+/// errors.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Option<Response>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim())
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+    use msmr_sched::VerdictKind;
+
+    fn tiny_jobs() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(10))
+            .stage_time(Time::new(2), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = vec![
+            Request {
+                id: 1,
+                op: Op::Submit(SubmitOp {
+                    jobs: tiny_jobs(),
+                    parallel: Some(false),
+                }),
+            },
+            Request {
+                id: 2,
+                op: Op::Admit(AdmitOp {
+                    job: JobSpec {
+                        arrival: 3,
+                        deadline: 50,
+                        stages: vec![StageDemand {
+                            time: 4,
+                            resource: 0,
+                        }],
+                    },
+                    evaluate: None,
+                }),
+            },
+            Request {
+                id: 3,
+                op: Op::Withdraw(WithdrawOp { job: 7 }),
+            },
+            Request {
+                id: 4,
+                op: Op::Status(StatusOp {}),
+            },
+            Request {
+                id: 5,
+                op: Op::Shutdown(ShutdownOp {}),
+            },
+        ];
+        for request in requests {
+            let line = serde_json::to_string(&request).unwrap();
+            let parsed: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(parsed, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let responses = vec![
+            Response {
+                id: 1,
+                frame: Frame::Verdict(VerdictFrame {
+                    verdict: Verdict::new("DM", VerdictKind::Accepted),
+                }),
+            },
+            Response {
+                id: 1,
+                frame: Frame::Admit(AdmitFrame {
+                    admitted: true,
+                    job: Some(4),
+                    jobs: 9,
+                    decider: "OPDCA".to_string(),
+                }),
+            },
+            Response {
+                id: 2,
+                frame: Frame::Withdraw(WithdrawFrame { job: 4, jobs: 8 }),
+            },
+            Response {
+                id: 3,
+                frame: Frame::Status(StatusFrame {
+                    jobs: 8,
+                    stages: 3,
+                    admitted: vec![1, 2, 3],
+                    admits: 9,
+                    rejects: 1,
+                    solvers: vec!["DM".to_string()],
+                    decider: "OPDCA".to_string(),
+                }),
+            },
+            Response {
+                id: 4,
+                frame: Frame::Error(ErrorFrame {
+                    message: "no session".to_string(),
+                }),
+            },
+            Response {
+                id: 4,
+                frame: Frame::Done(DoneFrame { frames: 1 }),
+            },
+        ];
+        for response in responses {
+            let line = serde_json::to_string(&response).unwrap();
+            let parsed: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(parsed, response);
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_the_builder() {
+        let jobs = tiny_jobs();
+        let job = jobs.job(msmr_model::JobId::new(0));
+        let spec = JobSpec::from_job(job);
+        assert_eq!(spec.deadline, 10);
+        assert_eq!(spec.stages.len(), 1);
+        let (extended, id) = jobs.with_job(spec.to_builder()).unwrap();
+        let rebuilt = extended.job(id);
+        assert_eq!(rebuilt.deadline(), job.deadline());
+        assert_eq!(rebuilt.arrival(), job.arrival());
+        assert_eq!(rebuilt.processing_times(), job.processing_times());
+        assert_eq!(rebuilt.resources(), job.resources());
+    }
+
+    #[test]
+    fn line_codec_round_trips_and_skips_blank_lines() {
+        let response = Response {
+            id: 9,
+            frame: Frame::Done(DoneFrame { frames: 0 }),
+        };
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(b"\n  \n");
+        write_response(&mut buffer, &response).unwrap();
+        let mut reader = std::io::BufReader::new(buffer.as_slice());
+        let parsed = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(parsed, response);
+        assert!(read_response(&mut reader).unwrap().is_none());
+    }
+}

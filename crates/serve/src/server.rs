@@ -1,0 +1,579 @@
+//! The daemon: TCP and Unix-domain listeners, a std-only
+//! thread-per-connection acceptor, and the per-connection request loop
+//! that streams frames as they are produced.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{
+    write_response, AdmitFrame, DoneFrame, ErrorFrame, Frame, Op, Request, Response, StatusFrame,
+    VerdictFrame, WithdrawFrame,
+};
+use crate::session::{AdmissionSession, SessionConfig};
+
+/// How long an idle acceptor sleeps between shutdown-flag polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// TCP listen address (e.g. `127.0.0.1:7471`).
+    pub tcp: Option<String>,
+    /// Unix-domain socket path (removed and re-created on bind).
+    pub uds: Option<PathBuf>,
+    /// Per-connection session configuration.
+    pub session: SessionConfig,
+}
+
+/// A running daemon: bound listeners plus their acceptor threads.
+///
+/// Every accepted connection gets its own thread and its own
+/// [`AdmissionSession`]; session state lives for the connection lifetime.
+/// [`Server::stop`] (or a client's `shutdown` op) makes the acceptors
+/// exit; [`Server::join`] waits for them.
+pub struct Server {
+    shutdown: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the configured listeners and starts accepting. Returns once
+    /// every listener is bound (connectable), with the acceptors running
+    /// in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors; fails with `InvalidInput` when neither a
+    /// TCP address nor a socket path is configured.
+    pub fn start(options: ServeOptions) -> io::Result<Server> {
+        if options.tcp.is_none() && options.uds.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "configure at least one of --tcp / --uds",
+            ));
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        let mut uds_path = None;
+
+        if let Some(addr) = &options.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let flag = Arc::clone(&shutdown);
+            let session = options.session.clone();
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(
+                    || match listener.accept() {
+                        Ok((stream, _)) => Some(Ok(stream)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                    tcp_connection,
+                    &flag,
+                    session,
+                );
+            }));
+        }
+
+        #[cfg(unix)]
+        if let Some(path) = &options.uds {
+            // A stale socket file from a previous run refuses the bind.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            uds_path = Some(path.clone());
+            let flag = Arc::clone(&shutdown);
+            let session = options.session.clone();
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(
+                    || match listener.accept() {
+                        Ok((stream, _)) => Some(Ok(stream)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                    uds_connection,
+                    &flag,
+                    session,
+                );
+            }));
+        }
+        #[cfg(not(unix))]
+        if options.uds.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            ));
+        }
+
+        Ok(Server {
+            shutdown,
+            acceptors,
+            tcp_addr,
+            uds_path,
+        })
+    }
+
+    /// The bound TCP address, when a TCP listener is configured (useful
+    /// with port 0).
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound socket path, when a UDS listener is configured.
+    #[must_use]
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    /// The flag a `shutdown` op (or this method) raises to stop the
+    /// acceptors.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a shutdown was requested.
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits until the acceptors exit (i.e. until a shutdown is
+    /// requested), then removes a bound socket file.
+    pub fn join(self) {
+        for handle in self.acceptors {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Shared nonblocking accept loop: polls `accept`, spawns one detached
+/// connection thread per stream, exits when the shutdown flag rises.
+fn accept_loop<S: Send + 'static>(
+    accept: impl Fn() -> Option<io::Result<S>>,
+    handle: fn(S, SessionConfig, Arc<AtomicBool>),
+    shutdown: &Arc<AtomicBool>,
+    session: SessionConfig,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Some(Ok(stream)) => {
+                let config = session.clone();
+                let flag = Arc::clone(shutdown);
+                std::thread::spawn(move || handle(stream, config, flag));
+            }
+            Some(Err(_)) | None => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn tcp_connection(stream: TcpStream, config: SessionConfig, shutdown: Arc<AtomicBool>) {
+    // One flushed NDJSON frame per write: Nagle + delayed ACK would add
+    // tens of milliseconds to every streamed verdict.
+    let _ = stream.set_nodelay(true);
+    if let Ok(reader) = stream.try_clone() {
+        let _ = serve_connection(BufReader::new(reader), stream, config, &shutdown);
+    }
+}
+
+#[cfg(unix)]
+fn uds_connection(stream: UnixStream, config: SessionConfig, shutdown: Arc<AtomicBool>) {
+    if let Ok(reader) = stream.try_clone() {
+        let _ = serve_connection(BufReader::new(reader), stream, config, &shutdown);
+    }
+}
+
+/// Streams responses for one frame sequence, counting frames and trapping
+/// the first I/O error so verdict sinks (plain `FnMut(&Verdict)`) can
+/// write without a fallible signature.
+struct FrameSink<'a, W: Write> {
+    writer: &'a mut W,
+    id: u64,
+    frames: u64,
+    error: Option<io::Error>,
+}
+
+impl<'a, W: Write> FrameSink<'a, W> {
+    fn new(writer: &'a mut W, id: u64) -> Self {
+        FrameSink {
+            writer,
+            id,
+            frames: 0,
+            error: None,
+        }
+    }
+
+    fn send(&mut self, frame: Frame) {
+        if self.error.is_some() {
+            return;
+        }
+        let response = Response { id: self.id, frame };
+        match write_response(self.writer, &response) {
+            Ok(()) => self.frames += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Terminates the request's stream and surfaces any trapped error.
+    fn finish(mut self) -> io::Result<()> {
+        let frames = self.frames;
+        self.send(Frame::Done(DoneFrame { frames }));
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The per-connection request loop, generic over the transport so tests
+/// can drive it with in-memory buffers. Returns when the client closes
+/// the connection or a `shutdown` op is processed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport.
+pub fn serve_connection(
+    reader: impl BufRead,
+    mut writer: impl Write + Send,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut session = AdmissionSession::new(config);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(line.trim()) {
+            Ok(request) => request,
+            Err(e) => {
+                // Unparseable line: no id to correlate with, report on
+                // the reserved id 0.
+                let mut sink = FrameSink::new(&mut writer, 0);
+                sink.send(Frame::Error(ErrorFrame {
+                    message: format!("malformed request: {e}"),
+                }));
+                sink.finish()?;
+                continue;
+            }
+        };
+        let mut sink = FrameSink::new(&mut writer, request.id);
+        let mut stop = false;
+        match request.op {
+            Op::Submit(op) => {
+                // serde bypasses the JobSet builder invariants, so an
+                // untrusted payload must be re-validated (and its ids
+                // re-numbered) before any analysis touches it.
+                match op.jobs.sanitized() {
+                    Ok(jobs) => {
+                        let parallel = op.parallel.unwrap_or(false);
+                        session.submit(jobs, parallel, |verdict| {
+                            sink.send(Frame::Verdict(VerdictFrame {
+                                verdict: verdict.clone(),
+                            }));
+                        });
+                    }
+                    Err(e) => sink.send(Frame::Error(ErrorFrame {
+                        message: format!("invalid job set: {e}"),
+                    })),
+                }
+            }
+            Op::Admit(op) => {
+                let evaluate = op.evaluate.unwrap_or(true);
+                match session.admit(&op.job, evaluate, |verdict| {
+                    sink.send(Frame::Verdict(VerdictFrame {
+                        verdict: verdict.clone(),
+                    }));
+                }) {
+                    Ok(outcome) => sink.send(Frame::Admit(AdmitFrame {
+                        admitted: outcome.admitted,
+                        job: outcome.handle,
+                        jobs: outcome.jobs as u64,
+                        decider: session.config().decider.clone(),
+                    })),
+                    Err(e) => sink.send(Frame::Error(ErrorFrame {
+                        message: e.to_string(),
+                    })),
+                }
+            }
+            Op::Withdraw(op) => match session.withdraw(op.job) {
+                Ok(jobs) => sink.send(Frame::Withdraw(WithdrawFrame {
+                    job: op.job,
+                    jobs: jobs as u64,
+                })),
+                Err(e) => sink.send(Frame::Error(ErrorFrame {
+                    message: e.to_string(),
+                })),
+            },
+            Op::Status(_) => {
+                let status = session.status();
+                sink.send(Frame::Status(StatusFrame {
+                    jobs: status.jobs as u64,
+                    stages: status.stages as u64,
+                    admitted: status.admitted,
+                    admits: status.admits,
+                    rejects: status.rejects,
+                    solvers: status.solvers,
+                    decider: status.decider,
+                }));
+            }
+            Op::Shutdown(_) => {
+                shutdown.store(true, Ordering::SeqCst);
+                stop = true;
+            }
+        }
+        sink.finish()?;
+        if stop {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_response, AdmitOp, JobSpec, StageDemand, StatusOp, SubmitOp};
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+    use std::io::BufReader as StdBufReader;
+
+    fn pipeline_only() -> msmr_model::JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 1, PreemptionPolicy::Preemptive)
+            .stage("b", 1, PreemptionPolicy::Preemptive);
+        b.build().unwrap()
+    }
+
+    fn request_lines(requests: &[Request]) -> Vec<u8> {
+        let mut buffer = Vec::new();
+        for request in requests {
+            crate::protocol::write_request(&mut buffer, request).unwrap();
+        }
+        buffer
+    }
+
+    fn drive(requests: &[Request]) -> Vec<Response> {
+        let input = request_lines(requests);
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(
+            input.as_slice(),
+            &mut output,
+            crate::session::SessionConfig::default(),
+            &shutdown,
+        )
+        .unwrap();
+        let mut reader = StdBufReader::new(output.as_slice());
+        let mut responses = Vec::new();
+        while let Some(response) = read_response(&mut reader).unwrap() {
+            responses.push(response);
+        }
+        responses
+    }
+
+    #[test]
+    fn submit_admit_status_stream_correlated_frames() {
+        let responses = drive(&[
+            Request {
+                id: 11,
+                op: Op::Submit(SubmitOp {
+                    jobs: pipeline_only(),
+                    parallel: None,
+                }),
+            },
+            Request {
+                id: 12,
+                op: Op::Admit(AdmitOp {
+                    job: JobSpec {
+                        arrival: 0,
+                        deadline: 100,
+                        stages: vec![
+                            StageDemand {
+                                time: 3,
+                                resource: 0,
+                            },
+                            StageDemand {
+                                time: 4,
+                                resource: 0,
+                            },
+                        ],
+                    },
+                    evaluate: Some(true),
+                }),
+            },
+            Request {
+                id: 13,
+                op: Op::Status(StatusOp {}),
+            },
+        ]);
+        // Submit on an empty set: just Done.
+        assert_eq!(responses[0].id, 11);
+        assert!(matches!(
+            responses[0].frame,
+            Frame::Done(DoneFrame { frames: 0 })
+        ));
+        // Admit: five verdicts, the admit frame, then Done(6).
+        let admit: Vec<&Response> = responses.iter().filter(|r| r.id == 12).collect();
+        assert_eq!(admit.len(), 7);
+        assert!(admit[..5]
+            .iter()
+            .all(|r| matches!(r.frame, Frame::Verdict(_))));
+        let Frame::Admit(frame) = &admit[5].frame else {
+            panic!("expected admit frame, got {:?}", admit[5].frame);
+        };
+        assert!(frame.admitted);
+        assert_eq!(frame.jobs, 1);
+        assert!(matches!(
+            admit[6].frame,
+            Frame::Done(DoneFrame { frames: 6 })
+        ));
+        // Status.
+        let status: Vec<&Response> = responses.iter().filter(|r| r.id == 13).collect();
+        let Frame::Status(frame) = &status[0].frame else {
+            panic!("expected status frame");
+        };
+        assert_eq!(frame.jobs, 1);
+        assert_eq!(frame.admits, 1);
+        assert_eq!(frame.solvers.len(), 5);
+    }
+
+    #[test]
+    fn errors_are_frames_not_disconnects() {
+        let responses = drive(&[Request {
+            id: 7,
+            op: Op::Admit(AdmitOp {
+                job: JobSpec {
+                    arrival: 0,
+                    deadline: 10,
+                    stages: vec![StageDemand {
+                        time: 1,
+                        resource: 0,
+                    }],
+                },
+                evaluate: Some(false),
+            }),
+        }]);
+        assert_eq!(responses.len(), 2);
+        let Frame::Error(error) = &responses[0].frame else {
+            panic!("expected error frame");
+        };
+        assert!(error.message.contains("no session"));
+        assert!(matches!(responses[1].frame, Frame::Done(_)));
+    }
+
+    #[test]
+    fn invariant_violating_wire_job_sets_are_an_error_frame_not_a_panic() {
+        // serde lets a wire payload describe jobs whose per-stage arrays
+        // are shorter than the pipeline — something the builder can never
+        // produce. The connection must answer with an Error frame, not
+        // die inside the analysis.
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 1, PreemptionPolicy::Preemptive)
+            .stage("b", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(msmr_model::Time::new(50))
+            .stage_time(msmr_model::Time::new(3), 0)
+            .stage_time(msmr_model::Time::new(4), 0)
+            .add()
+            .unwrap();
+        let valid = Request {
+            id: 21,
+            op: Op::Submit(SubmitOp {
+                jobs: b.build().unwrap(),
+                parallel: None,
+            }),
+        };
+        let mut buffer = Vec::new();
+        crate::protocol::write_request(&mut buffer, &valid).unwrap();
+        let line = String::from_utf8(buffer).unwrap();
+        // Truncate the job's processing array from two stages to one.
+        let broken = line.replace("\"processing\":[3,4]", "\"processing\":[3]");
+        assert_ne!(line, broken, "payload surgery must hit the job arrays");
+
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(
+            broken.as_bytes(),
+            &mut output,
+            crate::session::SessionConfig::default(),
+            &shutdown,
+        )
+        .unwrap();
+        let mut reader = StdBufReader::new(output.as_slice());
+        let first = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(first.id, 21);
+        let Frame::Error(error) = &first.frame else {
+            panic!("expected error frame, got {:?}", first.frame);
+        };
+        assert!(
+            error.message.contains("invalid job set"),
+            "{}",
+            error.message
+        );
+        let done = read_response(&mut reader).unwrap().unwrap();
+        assert!(matches!(done.frame, Frame::Done(_)));
+    }
+
+    #[test]
+    fn malformed_lines_report_on_id_zero() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"this is not json\n");
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(
+            input.as_slice(),
+            &mut output,
+            crate::session::SessionConfig::default(),
+            &shutdown,
+        )
+        .unwrap();
+        let mut reader = StdBufReader::new(output.as_slice());
+        let first = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(first.id, 0);
+        assert!(matches!(first.frame, Frame::Error(_)));
+    }
+
+    #[test]
+    fn shutdown_raises_the_flag_and_ends_the_connection() {
+        let input = request_lines(&[
+            Request {
+                id: 1,
+                op: Op::Shutdown(crate::protocol::ShutdownOp {}),
+            },
+            Request {
+                id: 2,
+                op: Op::Status(StatusOp {}),
+            },
+        ]);
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(
+            input.as_slice(),
+            &mut output,
+            crate::session::SessionConfig::default(),
+            &shutdown,
+        )
+        .unwrap();
+        assert!(shutdown.load(Ordering::SeqCst));
+        let mut reader = StdBufReader::new(output.as_slice());
+        let first = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(first.id, 1);
+        assert!(matches!(first.frame, Frame::Done(_)));
+        // The status request after shutdown was never processed.
+        assert!(read_response(&mut reader).unwrap().is_none());
+    }
+}

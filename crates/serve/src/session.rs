@@ -1,0 +1,592 @@
+//! The stateful admission session: an admitted job set plus the warm
+//! interference tables that make per-arrival admission sublinear in the
+//! session's age.
+
+use std::fmt;
+
+use msmr_dca::{Analysis, DelayBoundKind, PairTables};
+use msmr_model::{JobId, JobSet, ModelError};
+use msmr_sched::{Budget, SolveCtx, SolverRegistry, Verdict};
+
+use crate::protocol::JobSpec;
+
+/// Configuration of one [`AdmissionSession`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The delay bound every solver of the suite applies (default: the
+    /// paper's evaluation bound, Eq. 10).
+    pub bound: DelayBoundKind,
+    /// Name of the registered solver whose verdict decides admissions
+    /// (default `"OPDCA"`; the exact engines are poor deciders — an
+    /// `Undecided` budget exhaustion would reject).
+    pub decider: String,
+    /// Node budget of the exact engines.
+    pub node_limit: Option<u64>,
+    /// Pre-sized job capacity of the pair tables: sessions expecting up to
+    /// this many jobs never re-stride on arrival (0 keeps pure on-demand
+    /// growth).
+    pub reserve: usize,
+    /// Worker threads for parallel submit evaluation (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            bound: DelayBoundKind::EdgeHybrid,
+            decider: "OPDCA".to_string(),
+            node_limit: Some(200_000),
+            reserve: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// Errors an admission-session operation can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// `admit`/`withdraw`/`status` before any `submit` opened a session.
+    NoSession,
+    /// The arriving job is invalid for the session's pipeline.
+    InvalidJob(String),
+    /// The configured decider is not a registered solver.
+    UnknownDecider(String),
+    /// `withdraw` named a handle that is not admitted.
+    UnknownHandle(u64),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoSession => write!(f, "no session: submit a job set first"),
+            SessionError::InvalidJob(reason) => write!(f, "invalid job: {reason}"),
+            SessionError::UnknownDecider(name) => {
+                write!(f, "decider `{name}` is not a registered solver")
+            }
+            SessionError::UnknownHandle(handle) => {
+                write!(f, "job handle {handle} is not admitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ModelError> for SessionError {
+    fn from(err: ModelError) -> Self {
+        SessionError::InvalidJob(err.to_string())
+    }
+}
+
+/// The outcome of one [`AdmissionSession::admit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitOutcome {
+    /// Whether the arriving job joined the admitted set.
+    pub admitted: bool,
+    /// Stable external handle of the job (present iff admitted).
+    pub handle: Option<u64>,
+    /// Session size after the decision.
+    pub jobs: usize,
+    /// The verdicts produced for the decision (full suite when
+    /// `evaluate`, otherwise just the decider's).
+    pub verdicts: Vec<Verdict>,
+}
+
+/// A point-in-time snapshot of the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Number of currently admitted jobs.
+    pub jobs: usize,
+    /// Pipeline stage count (0 before the first submit).
+    pub stages: usize,
+    /// External handles of the admitted jobs, in internal id order.
+    pub admitted: Vec<u64>,
+    /// Lifetime admit count.
+    pub admits: u64,
+    /// Lifetime reject count.
+    pub rejects: u64,
+    /// Registered solver names in evaluation order.
+    pub solvers: Vec<String>,
+    /// The deciding solver's name.
+    pub decider: String,
+}
+
+/// The admitted job set together with its warm caches.
+struct SessionState {
+    jobs: JobSet,
+    /// The shared pair tables, extended in place per arrival instead of
+    /// rebuilt (`Option` only so evaluation can temporarily take
+    /// ownership; always `Some` between operations).
+    tables: Option<PairTables>,
+    /// External handle of each admitted job, indexed by internal id.
+    handles: Vec<u64>,
+}
+
+/// A stateful online admission-control session (one per connection in the
+/// daemon; also usable directly as a library).
+///
+/// The session owns the admitted [`JobSet`] and keeps the
+/// [`msmr_dca::Analysis`] pair tables warm across requests: an
+/// [`AdmissionSession::admit`] extends them for the single arriving job
+/// via [`PairTables::extend_with_job`] — `O(n·N)` new pair computations —
+/// instead of rebuilding all `O(n²)` pairs, and rolls the extension back
+/// with [`PairTables::remove_last_job`] when the decider rejects. Every
+/// evaluation wraps the cached tables in a [`SolveCtx`] through
+/// [`Analysis::from_tables`]/[`SolveCtx::with_analysis`] and reclaims them
+/// afterwards, so no request ever pays the full `O(n²·N)` analysis pass
+/// except the initial `submit` (and a `withdraw`, which renumbers ids).
+///
+/// Decisions are made by the configured decider solver; with `evaluate`
+/// set, the full suite runs sequentially with implication shortcuts, so
+/// the produced verdicts are identical to offline
+/// [`SolverRegistry::evaluate`] on the same job set (the end-to-end suite
+/// asserts byte-identity modulo wall-clock timing fields).
+pub struct AdmissionSession {
+    config: SessionConfig,
+    registry: SolverRegistry,
+    state: Option<SessionState>,
+    admits: u64,
+    rejects: u64,
+    next_handle: u64,
+}
+
+impl AdmissionSession {
+    /// Creates a session over the paper suite for the configured bound.
+    #[must_use]
+    pub fn new(config: SessionConfig) -> Self {
+        let registry = SolverRegistry::paper_suite(config.bound);
+        AdmissionSession {
+            config,
+            registry,
+            state: None,
+            admits: 0,
+            rejects: 0,
+            next_handle: 1,
+        }
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    fn budget(&self) -> Budget {
+        match self.config.node_limit {
+            Some(limit) => Budget::default().with_node_limit(limit),
+            None => Budget::default(),
+        }
+    }
+
+    /// Opens (or replaces) the session with a full job set, evaluates the
+    /// suite on it and streams each verdict through `sink` as its solver
+    /// finishes. An empty job set (pipeline only) opens a session that
+    /// grows purely through [`AdmissionSession::admit`] and streams no
+    /// verdicts.
+    ///
+    /// With `parallel`, the solvers fan out over the `msmr-par` pool and
+    /// verdicts stream in completion order without implication shortcuts;
+    /// sequential evaluation streams in registration order and is
+    /// verdict-identical to [`SolverRegistry::evaluate`].
+    pub fn submit(
+        &mut self,
+        jobs: JobSet,
+        parallel: bool,
+        mut sink: impl FnMut(&Verdict) + Send,
+    ) -> Vec<Verdict> {
+        let mut tables = Analysis::new(&jobs).into_tables();
+        if self.config.reserve > tables.capacity() {
+            tables.reserve(self.config.reserve);
+        }
+        let verdicts = if jobs.is_empty() {
+            Vec::new()
+        } else {
+            // Both paths evaluate over the session's freshly built tables
+            // (no second O(n²·N) pass) and reclaim them afterwards.
+            let analysis = Analysis::from_tables(&jobs, tables);
+            let ctx = SolveCtx::with_analysis(analysis, self.budget());
+            let verdicts = if parallel {
+                let threads = if self.config.threads == 0 {
+                    msmr_par::default_threads()
+                } else {
+                    self.config.threads
+                };
+                // Completion-order streaming needs a Sync sink, so funnel
+                // the caller's FnMut through a mutex.
+                let shared = std::sync::Mutex::new(&mut sink);
+                self.registry
+                    .evaluate_parallel_ctx(&ctx, threads, |verdict| {
+                        (shared.lock().expect("sink poisoned"))(verdict);
+                    })
+            } else {
+                self.registry.evaluate_streamed(&ctx, &mut sink)
+            };
+            tables = ctx
+                .into_analysis()
+                .expect("analysis was injected")
+                .into_tables();
+            verdicts
+        };
+        let handles = (0..jobs.len())
+            .map(|_| {
+                let handle = self.next_handle;
+                self.next_handle += 1;
+                handle
+            })
+            .collect();
+        self.state = Some(SessionState {
+            jobs,
+            tables: Some(tables),
+            handles,
+        });
+        verdicts
+    }
+
+    /// Decides admission of one arriving job.
+    ///
+    /// The cached pair tables are extended with the job's row and column
+    /// (no rebuild); the decider — and, with `evaluate`, the whole suite —
+    /// runs on the extended set, each verdict streaming through `sink` as
+    /// it is produced. A rejection rolls the extension back, leaving the
+    /// admitted set untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoSession`] before the first submit,
+    /// [`SessionError::InvalidJob`] for specs that do not fit the
+    /// pipeline, [`SessionError::UnknownDecider`] when the configured
+    /// decider is not registered.
+    pub fn admit(
+        &mut self,
+        spec: &JobSpec,
+        evaluate: bool,
+        mut sink: impl FnMut(&Verdict),
+    ) -> Result<AdmitOutcome, SessionError> {
+        if self.registry.solver(&self.config.decider).is_none() {
+            return Err(SessionError::UnknownDecider(self.config.decider.clone()));
+        }
+        let state = self.state.as_mut().ok_or(SessionError::NoSession)?;
+        let (new_jobs, _) = state.jobs.with_job(spec.to_builder())?;
+        let mut tables = state.tables.take().expect("tables present");
+        tables.extend_with_job(&new_jobs);
+
+        let analysis = Analysis::from_tables(&new_jobs, tables);
+        let ctx = SolveCtx::with_analysis(analysis, self.budget());
+        let (verdicts, accepted) = if evaluate {
+            let verdicts = self.registry.evaluate_streamed(&ctx, &mut sink);
+            let accepted = verdicts
+                .iter()
+                .find(|v| v.solver == self.config.decider)
+                .expect("decider is registered")
+                .is_accepted();
+            (verdicts, accepted)
+        } else {
+            let verdict = self
+                .registry
+                .solver(&self.config.decider)
+                .expect("checked above")
+                .solve(&ctx);
+            sink(&verdict);
+            let accepted = verdict.is_accepted();
+            (vec![verdict], accepted)
+        };
+        let mut tables = ctx
+            .into_analysis()
+            .expect("analysis was injected")
+            .into_tables();
+
+        let state = self.state.as_mut().expect("session checked above");
+        let handle = if accepted {
+            self.admits += 1;
+            let handle = self.next_handle;
+            self.next_handle += 1;
+            state.jobs = new_jobs;
+            state.handles.push(handle);
+            Some(handle)
+        } else {
+            self.rejects += 1;
+            tables.remove_last_job();
+            None
+        };
+        let jobs = state.jobs.len();
+        state.tables = Some(tables);
+        Ok(AdmitOutcome {
+            admitted: accepted,
+            handle,
+            jobs,
+            verdicts,
+        })
+    }
+
+    /// Removes a previously admitted job by its external handle.
+    ///
+    /// Withdrawal renumbers the internal ids, so the pair tables are
+    /// rebuilt (`O(n²·N)`) — the one session operation that cannot reuse
+    /// the cache. Handles of the remaining jobs are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoSession`] before the first submit,
+    /// [`SessionError::UnknownHandle`] for unknown handles.
+    pub fn withdraw(&mut self, handle: u64) -> Result<usize, SessionError> {
+        let state = self.state.as_mut().ok_or(SessionError::NoSession)?;
+        let index = state
+            .handles
+            .iter()
+            .position(|&h| h == handle)
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        let (reduced, _) = state.jobs.without_job(JobId::new(index));
+        let mut tables = Analysis::new(&reduced).into_tables();
+        if self.config.reserve > tables.capacity() {
+            tables.reserve(self.config.reserve);
+        }
+        state.jobs = reduced;
+        state.handles.remove(index);
+        state.tables = Some(tables);
+        Ok(state.jobs.len())
+    }
+
+    /// The current session snapshot.
+    #[must_use]
+    pub fn status(&self) -> SessionStatus {
+        let (jobs, stages, admitted) = match &self.state {
+            Some(state) => (
+                state.jobs.len(),
+                state.jobs.stage_count(),
+                state.handles.clone(),
+            ),
+            None => (0, 0, Vec::new()),
+        };
+        SessionStatus {
+            jobs,
+            stages,
+            admitted,
+            admits: self.admits,
+            rejects: self.rejects,
+            solvers: self
+                .registry
+                .names()
+                .into_iter()
+                .map(ToString::to_string)
+                .collect(),
+            decider: self.config.decider.clone(),
+        }
+    }
+
+    /// The admitted job set, if a session is open (mainly for tests and
+    /// offline verification).
+    #[must_use]
+    pub fn jobs(&self) -> Option<&JobSet> {
+        self.state.as_ref().map(|state| &state.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::StageDemand;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+    use msmr_sched::Budget;
+
+    fn pipeline_only() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("up", 2, PreemptionPolicy::Preemptive)
+            .stage("srv", 2, PreemptionPolicy::Preemptive)
+            .stage("down", 2, PreemptionPolicy::Preemptive);
+        b.build().unwrap()
+    }
+
+    fn spec(times: [u64; 3], resource: u64, deadline: u64) -> JobSpec {
+        JobSpec {
+            arrival: 0,
+            deadline,
+            stages: times
+                .iter()
+                .map(|&time| StageDemand { time, resource })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn admit_streams_verdicts_identical_to_offline_evaluate() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let mut mirror = pipeline_only();
+        for i in 0..6u64 {
+            let spec = spec([3 + i, 7, 4], i % 2, 60);
+            let mut streamed = Vec::new();
+            let outcome = session
+                .admit(&spec, true, |v| streamed.push(v.clone()))
+                .unwrap();
+            assert_eq!(outcome.verdicts, streamed);
+
+            // Offline reference: a fresh registry evaluation of the
+            // candidate set, analysis built from scratch.
+            let (candidate, _) = mirror.with_job(spec.to_builder()).unwrap();
+            let registry = SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid);
+            let offline = registry.evaluate(&candidate, Budget::default().with_node_limit(200_000));
+            let normalize = |mut v: Verdict| {
+                v.stats.elapsed_micros = 0;
+                v
+            };
+            let streamed: Vec<Verdict> = streamed.into_iter().map(normalize).collect();
+            let offline: Vec<Verdict> = offline.into_iter().map(normalize).collect();
+            assert_eq!(streamed, offline, "arrival {i}");
+
+            if outcome.admitted {
+                mirror = candidate;
+            }
+        }
+        assert_eq!(session.jobs().unwrap().len(), mirror.len());
+    }
+
+    #[test]
+    fn rejection_rolls_the_session_back() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        // Two comfortable jobs...
+        for _ in 0..2 {
+            let outcome = session
+                .admit(&spec([5, 5, 5], 0, 200), false, |_| {})
+                .unwrap();
+            assert!(outcome.admitted);
+        }
+        // ...then an impossible one (deadline below its own processing).
+        let outcome = session
+            .admit(&spec([50, 50, 50], 0, 20), false, |_| {})
+            .unwrap();
+        assert!(!outcome.admitted);
+        assert_eq!(outcome.handle, None);
+        assert_eq!(outcome.jobs, 2);
+        let status = session.status();
+        assert_eq!(status.jobs, 2);
+        assert_eq!(status.admits, 2);
+        assert_eq!(status.rejects, 1);
+        // The rolled-back session keeps admitting correctly.
+        let outcome = session
+            .admit(&spec([4, 4, 4], 1, 200), false, |_| {})
+            .unwrap();
+        assert!(outcome.admitted);
+        assert_eq!(outcome.jobs, 3);
+    }
+
+    #[test]
+    fn withdraw_frees_capacity_and_keeps_handles_stable() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let h1 = session
+            .admit(&spec([5, 5, 5], 0, 200), false, |_| {})
+            .unwrap()
+            .handle
+            .unwrap();
+        let h2 = session
+            .admit(&spec([6, 6, 6], 1, 200), false, |_| {})
+            .unwrap()
+            .handle
+            .unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(session.withdraw(h1).unwrap(), 1);
+        let status = session.status();
+        assert_eq!(status.admitted, vec![h2]);
+        assert_eq!(
+            session.withdraw(h1).unwrap_err(),
+            SessionError::UnknownHandle(h1)
+        );
+        // The survivor's parameters are intact after the renumbering.
+        let jobs = session.jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs.job(JobId::new(0)).processing(0.into()), Time::new(6));
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        assert_eq!(
+            session
+                .admit(&spec([1, 1, 1], 0, 50), false, |_| {})
+                .unwrap_err(),
+            SessionError::NoSession
+        );
+        assert_eq!(session.withdraw(3).unwrap_err(), SessionError::NoSession);
+        session.submit(pipeline_only(), false, |_| {});
+        // Wrong stage count.
+        let bad = JobSpec {
+            arrival: 0,
+            deadline: 50,
+            stages: vec![StageDemand {
+                time: 1,
+                resource: 0,
+            }],
+        };
+        assert!(matches!(
+            session.admit(&bad, false, |_| {}).unwrap_err(),
+            SessionError::InvalidJob(_)
+        ));
+        // Unknown decider.
+        let mut session = AdmissionSession::new(SessionConfig {
+            decider: "NOPE".to_string(),
+            ..SessionConfig::default()
+        });
+        session.submit(pipeline_only(), false, |_| {});
+        assert_eq!(
+            session
+                .admit(&spec([1, 1, 1], 0, 50), false, |_| {})
+                .unwrap_err(),
+            SessionError::UnknownDecider("NOPE".to_string())
+        );
+    }
+
+    #[test]
+    fn parallel_submit_runs_every_solver() {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 2, PreemptionPolicy::Preemptive)
+            .stage("b", 2, PreemptionPolicy::Preemptive);
+        for i in 0..4u64 {
+            b.job()
+                .deadline(Time::new(200))
+                .stage_time(Time::new(5), (i % 2) as usize)
+                .stage_time(Time::new(10), (i % 2) as usize)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        let mut streamed = 0usize;
+        let verdicts = session.submit(jobs, true, |_| streamed += 1);
+        assert_eq!(verdicts.len(), 5);
+        assert_eq!(streamed, 5);
+        // No shortcuts on the parallel path.
+        assert!(verdicts.iter().all(|v| v.stats.implied_by.is_none()));
+        // The session is usable afterwards (tables cached).
+        let two_stage = JobSpec {
+            arrival: 0,
+            deadline: 100,
+            stages: vec![
+                StageDemand {
+                    time: 1,
+                    resource: 0,
+                },
+                StageDemand {
+                    time: 1,
+                    resource: 0,
+                },
+            ],
+        };
+        assert!(session.admit(&two_stage, false, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn reserve_pre_sizes_the_tables() {
+        let mut session = AdmissionSession::new(SessionConfig {
+            reserve: 32,
+            ..SessionConfig::default()
+        });
+        session.submit(pipeline_only(), false, |_| {});
+        for _ in 0..8 {
+            session
+                .admit(&spec([2, 2, 2], 0, 500), false, |_| {})
+                .unwrap();
+        }
+        assert_eq!(session.status().jobs, 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end suite: boots the daemon on a Unix socket, replays a
+//! 100-job arrival trace against the paper suite and asserts the
+//! streamed verdicts are byte-identical to offline
+//! `SolverRegistry::evaluate` on every arrival (serialized JSON compared
+//! with the wall-clock `elapsed_micros` field zeroed on both sides —
+//! node counts, `S_DCA` counters, witnesses and delays must match
+//! exactly).
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+
+use msmr_dca::DelayBoundKind;
+use msmr_sched::{Budget, SolverRegistry, Verdict};
+use msmr_serve::protocol::{
+    AdmitOp, Frame, JobSpec, Op, ShutdownOp, StatusOp, SubmitOp, WithdrawOp,
+};
+use msmr_serve::{Client, Endpoint, ServeOptions, Server, SessionConfig};
+use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
+
+const BOUND: DelayBoundKind = DelayBoundKind::EdgeHybrid;
+const OPT_NODES: u64 = 50_000;
+
+fn socket_path(tag: &str) -> PathBuf {
+    let unique = format!(
+        "msmr-e2e-{tag}-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    );
+    std::env::temp_dir().join(unique.replace(['(', ')'], ""))
+}
+
+fn start_server(tag: &str) -> (Server, PathBuf) {
+    let path = socket_path(tag);
+    let server = Server::start(ServeOptions {
+        tcp: None,
+        uds: Some(path.clone()),
+        session: SessionConfig {
+            bound: BOUND,
+            node_limit: Some(OPT_NODES),
+            ..SessionConfig::default()
+        },
+    })
+    .expect("daemon binds the socket");
+    (server, path)
+}
+
+fn normalized_json(verdict: &Verdict) -> String {
+    let mut verdict = verdict.clone();
+    verdict.stats.elapsed_micros = 0;
+    serde_json::to_string(&verdict).expect("verdicts serialize")
+}
+
+#[test]
+fn replayed_trace_verdicts_are_byte_identical_to_offline_evaluate() {
+    let (server, path) = start_server("replay");
+    let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+
+    // A 100-job paper-scale arrival trace, tight enough that the decider
+    // rejects part of it (so both the commit and the rollback path run).
+    let config = EdgeWorkloadConfig::default()
+        .with_jobs(100)
+        .with_beta(0.4)
+        .with_heavy_ratios([0.2, 0.2, 0.1])
+        .with_infrastructure(8, 5);
+    let trace = EdgeWorkloadGenerator::new(config)
+        .expect("valid workload config")
+        .generate_seeded(2024);
+
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let budget = Budget::default().with_node_limit(OPT_NODES);
+    let (empty, _) = trace.restrict_to(&[]).expect("pipeline-only job set");
+    let mut mirror = empty;
+
+    let outcome = client
+        .replay_trace(&trace, true, |arrival, id, frames| {
+            let spec = JobSpec::from_job(trace.job(id));
+            let mut streamed: Vec<Verdict> = Vec::new();
+            let mut decision = None;
+            for frame in frames {
+                match &frame.frame {
+                    Frame::Verdict(v) => streamed.push(v.verdict.clone()),
+                    Frame::Admit(a) => decision = Some(a.admitted),
+                    Frame::Error(e) => panic!("arrival {arrival}: daemon error: {}", e.message),
+                    Frame::Done(done) => assert_eq!(done.frames as usize, frames.len() - 1),
+                    other => panic!("arrival {arrival}: unexpected frame {other:?}"),
+                }
+            }
+            let accepted = decision.expect("admit frame present");
+
+            // Offline reference on an independently grown mirror set.
+            let (candidate, _) = mirror.with_job(spec.to_builder()).expect("valid job");
+            let offline = registry.evaluate(&candidate, budget);
+            let streamed_json: Vec<String> = streamed.iter().map(normalized_json).collect();
+            let offline_json: Vec<String> = offline.iter().map(normalized_json).collect();
+            assert_eq!(
+                streamed_json, offline_json,
+                "arrival {arrival}: streamed verdicts differ from offline evaluate"
+            );
+
+            // The daemon's decision must equal the offline decider's
+            // verdict.
+            let opdca = offline.iter().find(|v| v.solver == "OPDCA").unwrap();
+            assert_eq!(accepted, opdca.is_accepted(), "arrival {arrival}");
+            if accepted {
+                mirror = candidate;
+            }
+            Ok(())
+        })
+        .expect("replay the trace");
+    let (admitted, rejected) = (outcome.admitted, outcome.rejected);
+
+    assert_eq!(admitted + rejected, 100);
+    assert!(admitted > 0, "trace admitted nothing — not a useful replay");
+    assert!(
+        rejected > 0,
+        "trace rejected nothing — rollback path never ran"
+    );
+
+    // The daemon's view of the session agrees with the mirror.
+    let frames = client.request(Op::Status(StatusOp {})).expect("status");
+    let Some(Frame::Status(status)) = frames.first().map(|f| &f.frame) else {
+        panic!("expected status frame");
+    };
+    assert_eq!(status.jobs as usize, mirror.len());
+    assert_eq!(status.admits as usize, admitted);
+    assert_eq!(status.rejects as usize, rejected);
+
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn withdraw_reopens_capacity_over_the_wire() {
+    let (server, path) = start_server("withdraw");
+    let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+
+    let config = EdgeWorkloadConfig::default()
+        .with_jobs(12)
+        .with_infrastructure(3, 2);
+    let trace = EdgeWorkloadGenerator::new(config)
+        .expect("valid workload config")
+        .generate_seeded(7);
+    let (empty, _) = trace.restrict_to(&[]).expect("pipeline-only job set");
+    client
+        .request(Op::Submit(SubmitOp {
+            jobs: empty,
+            parallel: None,
+        }))
+        .expect("submit");
+
+    let mut handles = Vec::new();
+    for id in trace.job_ids() {
+        let frames = client
+            .request(Op::Admit(AdmitOp {
+                job: JobSpec::from_job(trace.job(id)),
+                evaluate: Some(false),
+            }))
+            .expect("admit");
+        for frame in &frames {
+            if let Frame::Admit(admit) = &frame.frame {
+                if let Some(handle) = admit.job {
+                    handles.push(handle);
+                }
+            }
+        }
+    }
+    assert!(!handles.is_empty());
+
+    let victim = handles[handles.len() / 2];
+    let frames = client
+        .request(Op::Withdraw(WithdrawOp { job: victim }))
+        .expect("withdraw");
+    let Some(Frame::Withdraw(withdraw)) = frames.first().map(|f| &f.frame) else {
+        panic!("expected withdraw frame, got {:?}", frames.first());
+    };
+    assert_eq!(withdraw.job, victim);
+    assert_eq!(withdraw.jobs as usize, handles.len() - 1);
+
+    // Withdrawing the same handle again is a frame-level error, not a
+    // disconnect.
+    let frames = client
+        .request(Op::Withdraw(WithdrawOp { job: victim }))
+        .expect("second withdraw round-trip");
+    assert!(matches!(
+        frames.first().map(|f| &f.frame),
+        Some(Frame::Error(_))
+    ));
+
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn parallel_submit_streams_all_solvers_over_the_wire() {
+    let (server, path) = start_server("parallel");
+    let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+
+    let config = EdgeWorkloadConfig::default()
+        .with_jobs(16)
+        .with_infrastructure(4, 3);
+    let jobs = EdgeWorkloadGenerator::new(config)
+        .expect("valid workload config")
+        .generate_seeded(11);
+
+    let frames = client
+        .request(Op::Submit(SubmitOp {
+            jobs,
+            parallel: Some(true),
+        }))
+        .expect("parallel submit");
+    let verdicts: Vec<&Frame> = frames
+        .iter()
+        .filter(|f| matches!(f.frame, Frame::Verdict(_)))
+        .map(|f| &f.frame)
+        .collect();
+    assert_eq!(verdicts.len(), 5, "one streamed verdict per solver");
+
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+}

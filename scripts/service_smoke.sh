@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Boots the admission daemon on a Unix socket, replays a workload trace
+# through the client with offline verdict verification, and shuts the
+# daemon down. Fails on non-zero exit (including any verdict mismatch).
+#
+# Usage: scripts/service_smoke.sh [jobs] [seed]
+set -euo pipefail
+
+JOBS="${1:-40}"
+SEED="${2:-7}"
+SOCK="${TMPDIR:-/tmp}/msmr-smoke-$$.sock"
+SERVED="target/release/msmr-served"
+ADMIT="target/release/msmr-admit"
+
+cargo build --release -p msmr-serve
+
+"$SERVED" --uds "$SOCK" &
+SERVED_PID=$!
+cleanup() {
+    kill "$SERVED_PID" 2>/dev/null || true
+    rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+# Wait for the daemon to bind.
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon did not bind $SOCK" >&2; exit 1; }
+
+"$ADMIT" --uds "$SOCK" --replay --jobs "$JOBS" --seed "$SEED" --verify
+"$ADMIT" --uds "$SOCK" --shutdown
+wait "$SERVED_PID"
+trap - EXIT
+rm -f "$SOCK"
+echo "service smoke: OK"
