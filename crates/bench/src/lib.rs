@@ -13,11 +13,18 @@
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
 
 mod kernels;
-pub mod report;
 mod service;
 
+/// Re-export of the `msmr-report` reporting schema (this crate's
+/// historical home for it), so existing `msmr_bench::report::…` paths
+/// keep working.
+pub use msmr_report as report;
+
 pub use kernels::run_kernel_report;
-pub use report::{default_report_path, BenchHistory, BenchRecord, BenchReport, BenchRun};
+pub use msmr_report::{
+    check_trend, default_report_path, BenchHistory, BenchRecord, BenchReport, BenchRun, Regression,
+    TrendConfig, TrendReport,
+};
 pub use service::append_service_benchmarks;
 
 /// Number of test cases used for the data tables printed by the figure

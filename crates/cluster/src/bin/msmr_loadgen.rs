@@ -1,0 +1,432 @@
+//! `msmr-loadgen` — a multi-client load generator for the cluster
+//! daemon.
+//!
+//! ```text
+//! msmr-loadgen (--tcp ADDR | --uds PATH) [--clients M] [--sessions K]
+//!              [--jobs N] [--seed S] [--evaluate] [--verify]
+//!              [--bound NAME] [--opt-nodes N] [--retries R] [--no-record]
+//! ```
+//!
+//! Drives `M` concurrent client connections over `K` named shared
+//! sessions (`loadgen-<seed>-<k>`): each session gets a seeded
+//! `msmr-workload` arrival trace of `N` jobs, and the session's clients
+//! split that trace round-robin, admitting concurrently. Typed overload
+//! responses are retried with backoff (and counted). The run reports
+//! aggregate requests/sec plus p50/p99 admit latency, and appends them
+//! to the `BENCH_kernels.json` run history (`MSMR_BENCH_OUT` overrides
+//! the path; `--no-record` skips the append).
+//!
+//! With `--verify`, every session's interleaved decision history is
+//! re-ordered by the admit frames' `seq` numbers and replayed through a
+//! library `AdmissionSession`; the streamed verdicts must match the
+//! serialized replay byte-for-byte (wall-clock fields zeroed). Any
+//! mismatch exits non-zero — this is the cluster CI smoke check.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use msmr_dca::DelayBoundKind;
+use msmr_model::JobSet;
+use msmr_report::{default_report_path, BenchReport};
+use msmr_serve::protocol::{AdmitOp, Frame, JobSpec, Op, SubmitOp};
+use msmr_serve::{
+    normalized_verdict_json, parse_bound, percentile_us, AdmissionSession, Client, Endpoint,
+    SessionConfig,
+};
+use msmr_workload::{arrival_order, EdgeWorkloadConfig, EdgeWorkloadGenerator};
+
+struct Options {
+    endpoint: Endpoint,
+    clients: usize,
+    sessions: usize,
+    jobs: usize,
+    seed: u64,
+    evaluate: bool,
+    verify: bool,
+    bound: DelayBoundKind,
+    opt_nodes: u64,
+    decider: String,
+    retries: usize,
+    record: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --no-record     do not append the results to the BENCH_kernels.json history"
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut endpoint = None;
+    let mut options = Options {
+        endpoint: Endpoint::Tcp(String::new()), // replaced below
+        clients: 4,
+        sessions: 2,
+        jobs: 40,
+        seed: 2024,
+        evaluate: false,
+        verify: false,
+        bound: DelayBoundKind::EdgeHybrid,
+        opt_nodes: 200_000,
+        decider: "OPDCA".to_string(),
+        retries: 100,
+        record: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parse_usize = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("invalid {name} value"))
+        };
+        match flag.as_str() {
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?)),
+            "--uds" => endpoint = Some(Endpoint::Uds(PathBuf::from(value("--uds")?))),
+            "--clients" => options.clients = parse_usize("--clients", value("--clients")?)?,
+            "--sessions" => options.sessions = parse_usize("--sessions", value("--sessions")?)?,
+            "--jobs" => options.jobs = parse_usize("--jobs", value("--jobs")?)?,
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--evaluate" => options.evaluate = true,
+            "--verify" => options.verify = true,
+            "--bound" => {
+                let name = value("--bound")?;
+                options.bound =
+                    parse_bound(&name).ok_or_else(|| format!("unknown bound `{name}`"))?;
+            }
+            "--opt-nodes" => {
+                options.opt_nodes = value("--opt-nodes")?
+                    .parse()
+                    .map_err(|_| "invalid --opt-nodes value".to_string())?;
+            }
+            "--decider" => options.decider = value("--decider")?,
+            "--retries" => options.retries = parse_usize("--retries", value("--retries")?)?,
+            "--no-record" => options.record = false,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    options.endpoint = endpoint.ok_or("one of --tcp / --uds is required")?;
+    options.clients = options.clients.max(1);
+    options.sessions = options.sessions.max(1).min(options.clients);
+    if options.jobs == 0 {
+        return Err("--jobs must be positive".to_string());
+    }
+    Ok(options)
+}
+
+fn session_name(seed: u64, k: usize) -> String {
+    format!("loadgen-{seed}-{k}")
+}
+
+/// One admit decision as observed by a client: enough to re-run the
+/// session history serially and compare verdicts.
+struct Decision {
+    seq: u64,
+    spec: JobSpec,
+    admitted: bool,
+    verdicts: Vec<String>,
+}
+
+#[derive(Default)]
+struct ClientStats {
+    latencies_us: Vec<f64>,
+    overload_retries: usize,
+    decisions: Vec<(usize, Decision)>, // (session index, decision)
+}
+
+/// Issues one admit, retrying on typed overload responses with linear
+/// backoff. Returns the decision or an error message.
+fn admit_with_retry(
+    client: &mut Client,
+    session: usize,
+    spec: &JobSpec,
+    options: &Options,
+    stats: &mut ClientStats,
+) -> Result<(), String> {
+    let evaluate = options.evaluate || options.verify;
+    for attempt in 0..=options.retries {
+        let start = Instant::now();
+        let frames = client
+            .request(Op::Admit(AdmitOp {
+                job: spec.clone(),
+                evaluate: Some(evaluate),
+            }))
+            .map_err(|e| e.to_string())?;
+        let elapsed_us = start.elapsed().as_nanos() as f64 / 1_000.0;
+
+        let mut overloaded = false;
+        let mut admit = None;
+        let mut verdicts = Vec::new();
+        for frame in &frames {
+            match &frame.frame {
+                Frame::Overload(_) => overloaded = true,
+                Frame::Admit(a) => admit = Some(a.clone()),
+                Frame::Verdict(v) => verdicts.push(normalized_verdict_json(&v.verdict)),
+                Frame::Error(e) => return Err(e.message.clone()),
+                _ => {}
+            }
+        }
+        if overloaded {
+            stats.overload_retries += 1;
+            std::thread::sleep(Duration::from_millis((attempt as u64 + 1).min(20)));
+            continue;
+        }
+        let admit = admit.ok_or("daemon sent no admit frame")?;
+        let seq = admit
+            .seq
+            .ok_or("daemon sent no decision seq (not a cluster daemon?)")?;
+        stats.latencies_us.push(elapsed_us);
+        stats.decisions.push((
+            session,
+            Decision {
+                seq,
+                spec: spec.clone(),
+                admitted: admit.admitted,
+                verdicts,
+            },
+        ));
+        return Ok(());
+    }
+    Err(format!(
+        "admit still overloaded after {} retries",
+        options.retries
+    ))
+}
+
+/// Serialized offline replay of one session's decision history: applies
+/// the decisions in `seq` order to a fresh library session and checks
+/// verdicts and outcomes byte-for-byte.
+fn verify_session(
+    name: &str,
+    trace: &JobSet,
+    mut decisions: Vec<Decision>,
+    options: &Options,
+) -> Result<(), String> {
+    decisions.sort_by_key(|d| d.seq);
+    for (i, decision) in decisions.iter().enumerate() {
+        if decision.seq != i as u64 + 1 {
+            return Err(format!(
+                "{name}: decision seqs are not contiguous at position {i} (got {})",
+                decision.seq
+            ));
+        }
+    }
+    let evaluate = options.evaluate || options.verify;
+    let mut mirror = AdmissionSession::new(SessionConfig {
+        bound: options.bound,
+        node_limit: Some(options.opt_nodes),
+        decider: options.decider.clone(),
+        ..SessionConfig::default()
+    });
+    let (pipeline, _) = trace.restrict_to(&[]).map_err(|e| e.to_string())?;
+    mirror.submit(pipeline, false, |_| {});
+    for (i, decision) in decisions.iter().enumerate() {
+        let mut offline = Vec::new();
+        let outcome = mirror
+            .admit(&decision.spec, evaluate, |v| {
+                offline.push(normalized_verdict_json(v));
+            })
+            .map_err(|e| format!("{name}: serialized replay failed at seq {}: {e}", i + 1))?;
+        if outcome.admitted != decision.admitted {
+            return Err(format!(
+                "{name}: seq {} decided {} online but {} in the serialized replay",
+                i + 1,
+                decision.admitted,
+                outcome.admitted
+            ));
+        }
+        if offline != decision.verdicts {
+            return Err(format!(
+                "{name}: seq {} verdicts differ from the serialized replay",
+                i + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    // One seeded trace per session.
+    let traces: Vec<JobSet> = (0..options.sessions)
+        .map(|k| {
+            let config = EdgeWorkloadConfig::default()
+                .with_jobs(options.jobs)
+                .with_infrastructure(
+                    (options.jobs / 4).clamp(2, 25),
+                    (options.jobs / 5).clamp(2, 20),
+                );
+            EdgeWorkloadGenerator::new(config)
+                .map_err(|e| e.to_string())
+                .map(|generator| generator.generate_seeded(options.seed + k as u64))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Setup pass: create every session and open it with its pipeline.
+    {
+        let mut setup = Client::connect(&options.endpoint).map_err(|e| e.to_string())?;
+        for (k, trace) in traces.iter().enumerate() {
+            let attach = setup
+                .attach(&session_name(options.seed, k), true)
+                .map_err(|e| e.to_string())?;
+            if !attach.created {
+                return Err(format!(
+                    "session `{}` already exists on the daemon — pick a fresh --seed",
+                    session_name(options.seed, k)
+                ));
+            }
+            let (pipeline, _) = trace.restrict_to(&[]).map_err(|e| e.to_string())?;
+            setup
+                .request(Op::Submit(SubmitOp {
+                    jobs: pipeline,
+                    parallel: None,
+                }))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    // The burst: M clients, client m drives session m % K and admits
+    // every (m / K)-th arrival of that session's trace (round-robin
+    // among the session's clients).
+    let failures = Arc::new(AtomicUsize::new(0));
+    let all_stats: Arc<Mutex<Vec<ClientStats>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for m in 0..options.clients {
+            let failures = Arc::clone(&failures);
+            let all_stats = Arc::clone(&all_stats);
+            let traces = &traces;
+            scope.spawn(move || {
+                let k = m % options.sessions;
+                let lane = m / options.sessions;
+                let lanes = (options.clients - k).div_ceil(options.sessions);
+                let mut stats = ClientStats::default();
+                let mut work = || -> Result<(), String> {
+                    let mut client =
+                        Client::connect(&options.endpoint).map_err(|e| e.to_string())?;
+                    client
+                        .attach(&session_name(options.seed, k), false)
+                        .map_err(|e| e.to_string())?;
+                    let trace = &traces[k];
+                    for (i, &id) in arrival_order(trace).iter().enumerate() {
+                        if i % lanes != lane {
+                            continue;
+                        }
+                        let spec = JobSpec::from_job(trace.job(id));
+                        admit_with_retry(&mut client, k, &spec, options, &mut stats)?;
+                    }
+                    Ok(())
+                };
+                if let Err(message) = work() {
+                    eprintln!("msmr-loadgen: client {m}: {message}");
+                    failures.fetch_add(1, Ordering::SeqCst);
+                }
+                all_stats.lock().expect("stats lock").push(stats);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    if failures.load(Ordering::SeqCst) > 0 {
+        return Err(format!(
+            "{} client(s) failed",
+            failures.load(Ordering::SeqCst)
+        ));
+    }
+
+    let stats = Arc::try_unwrap(all_stats)
+        .map_err(|_| "stats still shared")?
+        .into_inner()
+        .expect("stats lock");
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut overload_retries = 0usize;
+    let mut per_session: Vec<Vec<Decision>> = (0..options.sessions).map(|_| Vec::new()).collect();
+    for client_stats in stats {
+        latencies.extend_from_slice(&client_stats.latencies_us);
+        overload_retries += client_stats.overload_retries;
+        for (k, decision) in client_stats.decisions {
+            per_session[k].push(decision);
+        }
+    }
+    let requests = latencies.len();
+    let req_per_sec = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p50 = percentile_us(&latencies, 0.50);
+    let p99 = percentile_us(&latencies, 0.99);
+
+    let mut mismatches = 0usize;
+    if options.verify {
+        for (k, decisions) in per_session.into_iter().enumerate() {
+            if let Err(message) = verify_session(
+                &session_name(options.seed, k),
+                &traces[k],
+                decisions,
+                options,
+            ) {
+                eprintln!("msmr-loadgen: {message}");
+                mismatches += 1;
+            }
+        }
+    }
+
+    println!(
+        "loadgen: {} clients x {} sessions, {} admits in {:.2}s => {:.0} req/sec; \
+         admit latency p50 {:.0} µs, p99 {:.0} µs; {} overload retries{}",
+        options.clients,
+        options.sessions,
+        requests,
+        elapsed.as_secs_f64(),
+        req_per_sec,
+        p50,
+        p99,
+        overload_retries,
+        if options.verify {
+            format!("; serialized-replay verification: {mismatches} mismatched session(s)")
+        } else {
+            String::new()
+        },
+    );
+
+    if options.record {
+        let mut report = BenchReport::new(false);
+        report.record("loadgen/requests_per_sec", req_per_sec, "req/sec");
+        report.record("loadgen/admit_p50_us", p50, "us");
+        report.record("loadgen/admit_p99_us", p99, "us");
+        report.record("loadgen/overload_retries", overload_retries as f64, "count");
+        let path = default_report_path();
+        report.append_to(&path).map_err(|e| e.to_string())?;
+        println!("loadgen: appended run to {}", path.display());
+    }
+
+    Ok(if mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("msmr-loadgen: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("msmr-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! `msmr-served` — the admission-control daemon.
+//!
+//! ```text
+//! msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]
+//!             [--opt-nodes N] [--reserve N] [--threads N]
+//!             [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]
+//! ```
+//!
+//! At least one of `--tcp` / `--uds` is required. The daemon prints one
+//! `listening on ...` line per bound endpoint and runs until a client
+//! sends the `shutdown` op.
+//!
+//! By default each connection owns a private session (the classic
+//! `msmr-serve` mode). With `--cluster`, sessions are *named and
+//! shared*: clients `attach` to a session by name, solve work runs on a
+//! fixed worker pool behind a bounded queue (saturation is answered
+//! with the typed overload frame), and `--snapshot-dir` enables
+//! snapshot/restore persistence — sessions found there are restored,
+//! warm tables included, at startup.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use msmr_cluster::{ClusterConfig, ClusterEngine};
+use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
+
+fn usage() -> &'static str {
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR"
+}
+
+struct Options {
+    listen: Listen,
+    session: SessionConfig,
+    cluster: bool,
+    config: ClusterConfig,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        listen: Listen::default(),
+        session: SessionConfig::default(),
+        cluster: false,
+        config: ClusterConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tcp" => options.listen.tcp = Some(value("--tcp")?),
+            "--uds" => options.listen.uds = Some(PathBuf::from(value("--uds")?)),
+            "--bound" => {
+                let name = value("--bound")?;
+                options.session.bound =
+                    parse_bound(&name).ok_or_else(|| format!("unknown bound `{name}`"))?;
+            }
+            "--decider" => options.session.decider = value("--decider")?,
+            "--opt-nodes" => {
+                options.session.node_limit = Some(
+                    value("--opt-nodes")?
+                        .parse()
+                        .map_err(|_| "invalid --opt-nodes value".to_string())?,
+                );
+            }
+            "--reserve" => {
+                options.session.reserve = value("--reserve")?
+                    .parse()
+                    .map_err(|_| "invalid --reserve value".to_string())?;
+            }
+            "--threads" => {
+                options.session.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?;
+            }
+            "--cluster" => options.cluster = true,
+            "--shards" => {
+                options.config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "invalid --shards value".to_string())?;
+            }
+            "--workers" => {
+                options.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "invalid --workers value".to_string())?;
+            }
+            "--queue" => {
+                options.config.queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "invalid --queue value".to_string())?;
+            }
+            "--snapshot-dir" => {
+                options.config.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let mut options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("msmr-served: {message}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = if options.cluster {
+        options.config.session = options.session.clone();
+        match ClusterEngine::start(options.listen, options.config) {
+            Ok((server, engine)) => {
+                let restored = engine.store().len();
+                if restored > 0 {
+                    println!("msmr-served: restored {restored} session(s) from snapshots");
+                }
+                server
+            }
+            Err(e) => {
+                eprintln!("msmr-served: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match Server::start(ServeOptions {
+            tcp: options.listen.tcp,
+            uds: options.listen.uds,
+            session: options.session,
+        }) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("msmr-served: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("msmr-served listening on tcp://{addr}");
+    }
+    if let Some(path) = server.uds_path() {
+        println!("msmr-served listening on unix://{}", path.display());
+    }
+    server.join();
+    println!("msmr-served: shutdown complete");
+    ExitCode::SUCCESS
+}

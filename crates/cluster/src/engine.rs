@@ -1,0 +1,762 @@
+//! The cluster engine: request routing from thin connection loops onto
+//! the worker pool, plus the snapshot/restore surface.
+//!
+//! Connections do no solve work. Each solve request (`submit`, `admit`,
+//! `withdraw`) becomes one task on the bounded [`WorkerPool`]; the
+//! worker streams frames back over an in-process channel and the
+//! connection thread forwards them to the socket in order, so verdict
+//! streaming survives the hop. When the pool's queue is full the
+//! connection answers immediately with the typed
+//! [`Frame::Overload`] backpressure frame — the request has no effect
+//! and the client retries.
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+use msmr_par::{SubmitError, WorkerPool};
+use msmr_serve::protocol::{
+    AttachFrame, DetachFrame, ErrorFrame, Frame, Op, OverloadFrame, Request, RestoreFrame,
+    RestoredSession, SnapshotFrame, VerdictFrame, WithdrawFrame, PROTOCOL_VERSION,
+};
+use msmr_serve::{AdmissionSession, ConnHandler, FrameSink, Listen, Server, SessionConfig};
+
+use crate::snapshot::SnapshotStore;
+use crate::store::{SessionStore, SharedSession};
+
+/// Configuration of a [`ClusterEngine`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shards of the session store (default 8).
+    pub shards: usize,
+    /// Worker threads of the solve pool (0 = all cores).
+    pub workers: usize,
+    /// Bounded submission-queue capacity of the solve pool; a full
+    /// queue triggers the typed overload response (default 64).
+    pub queue: usize,
+    /// Snapshot directory; `None` disables the snapshot subsystem.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Configuration of every named session.
+    pub session: SessionConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 8,
+            workers: 0,
+            queue: 64,
+            snapshot_dir: None,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// The shared multi-tenant engine: the sharded session store, the
+/// worker pool and the snapshot store. One engine serves every
+/// connection of a cluster daemon.
+pub struct ClusterEngine {
+    store: SessionStore,
+    pool: WorkerPool,
+    snapshots: Option<SnapshotStore>,
+}
+
+impl ClusterEngine {
+    /// Builds the engine and — when a snapshot directory is configured —
+    /// restores every session found in it (warm tables included: each
+    /// restore replays the persisted job set through
+    /// `msmr_dca::Analysis::new`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-directory I/O errors and corrupt-snapshot
+    /// parse failures.
+    pub fn new(config: ClusterConfig) -> io::Result<Arc<ClusterEngine>> {
+        let workers = if config.workers == 0 {
+            msmr_par::default_threads()
+        } else {
+            config.workers
+        };
+        let snapshots = match &config.snapshot_dir {
+            Some(dir) => Some(SnapshotStore::open(dir)?),
+            None => None,
+        };
+        let engine = Arc::new(ClusterEngine {
+            store: SessionStore::new(config.shards, config.session.clone()),
+            pool: WorkerPool::new(workers, config.queue),
+            snapshots,
+        });
+        engine.restore_all()?;
+        Ok(engine)
+    }
+
+    /// The session store.
+    #[must_use]
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The worker pool (introspection: queue depth, capacity).
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Persists one named session.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when no snapshot directory is configured or the
+    /// session has no state yet, `NotFound` for unknown sessions, and
+    /// file I/O errors.
+    pub fn snapshot(&self, name: &str) -> io::Result<SnapshotFrame> {
+        let snapshots = self.snapshots.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "snapshots disabled: daemon started without --snapshot-dir",
+            )
+        })?;
+        let session = self.store.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("unknown session `{name}`"))
+        })?;
+        let (image, version) = session.image().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("session `{name}` has no state yet (submit first)"),
+            )
+        })?;
+        let jobs = image.jobs.len() as u64;
+        let path = snapshots.save(name, version, &image)?;
+        Ok(SnapshotFrame {
+            session: name.to_string(),
+            version,
+            jobs,
+            path: path.display().to_string(),
+        })
+    }
+
+    /// Persists every session that has state. Sessions still waiting
+    /// for their first submit are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first file I/O error.
+    pub fn snapshot_all(&self) -> io::Result<Vec<SnapshotFrame>> {
+        let mut frames = Vec::new();
+        if self.snapshots.is_none() {
+            return Ok(frames);
+        }
+        for name in self.store.names() {
+            match self.snapshot(&name) {
+                Ok(frame) => frames.push(frame),
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => {} // no state yet
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Restores one session from its snapshot, replaying the job set
+    /// through `Analysis::new` so the tables arrive warm.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` without a snapshot directory, `NotFound` without
+    /// a snapshot file, `InvalidData` for corrupt snapshots.
+    pub fn restore(&self, name: &str) -> io::Result<RestoredSession> {
+        let snapshots = self.snapshots.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "snapshots disabled: daemon started without --snapshot-dir",
+            )
+        })?;
+        let snapshot = snapshots.load(name)?;
+        let jobs = snapshot.image.jobs.len() as u64;
+        let session = AdmissionSession::from_image(self.store.template().clone(), snapshot.image)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.store
+            .install(name, session, snapshot.version)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(RestoredSession {
+            session: name.to_string(),
+            version: snapshot.version,
+            jobs,
+        })
+    }
+
+    /// Restores every snapshot in the directory (daemon startup, or the
+    /// `restore` op without a session name).
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first failing restore.
+    pub fn restore_all(&self) -> io::Result<Vec<RestoredSession>> {
+        let Some(snapshots) = self.snapshots.as_ref() else {
+            return Ok(Vec::new());
+        };
+        let mut restored = Vec::new();
+        for name in snapshots.list()? {
+            restored.push(self.restore(&name)?);
+        }
+        Ok(restored)
+    }
+
+    /// Boots a cluster daemon: binds `listen` and serves every accepted
+    /// connection through this engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction and bind errors.
+    pub fn start(
+        listen: Listen,
+        config: ClusterConfig,
+    ) -> io::Result<(Server, Arc<ClusterEngine>)> {
+        let engine = ClusterEngine::new(config)?;
+        let handler: ConnHandler = {
+            let engine = Arc::clone(&engine);
+            Arc::new(move |stream, shutdown| {
+                if let Ok((reader, writer)) = stream.into_split() {
+                    let _ =
+                        engine.serve_connection(std::io::BufReader::new(reader), writer, &shutdown);
+                }
+            })
+        };
+        let server = Server::start_with(listen, handler)?;
+        Ok((server, engine))
+    }
+
+    /// The per-connection request loop of cluster mode, generic over the
+    /// transport so tests can drive it with in-memory buffers. The
+    /// connection is a thin framing loop: it parses requests, forwards
+    /// solve work to the pool and relays the streamed frames. Returns
+    /// when the client closes the connection or a `shutdown` op is
+    /// processed (which also snapshots every session when a snapshot
+    /// directory is configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the transport.
+    pub fn serve_connection(
+        self: &Arc<Self>,
+        reader: impl BufRead,
+        mut writer: impl Write + Send,
+        shutdown: &AtomicBool,
+    ) -> io::Result<()> {
+        let mut attached: Option<Arc<SharedSession>> = None;
+        let mut result = Ok(());
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request: Request = match serde_json::from_str(line.trim()) {
+                Ok(request) => request,
+                Err(e) => {
+                    let mut sink = FrameSink::new(&mut writer, 0);
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: format!("malformed request: {e}"),
+                    }));
+                    sink.finish()?;
+                    continue;
+                }
+            };
+            let mut sink = FrameSink::new(&mut writer, request.id);
+            let mut stop = false;
+            match request.op {
+                Op::Attach(op) => {
+                    let create = op.create.unwrap_or(true);
+                    match self.store.attach(&op.session, create) {
+                        Ok(outcome) => {
+                            if let Some(previous) = attached.take() {
+                                previous.client_detached();
+                            }
+                            sink.send(Frame::Attach(AttachFrame {
+                                session: outcome.session.name().to_string(),
+                                created: outcome.created,
+                                version: outcome.session.version(),
+                                attached: outcome.session.attached(),
+                                jobs: outcome.session.jobs(),
+                                protocol: PROTOCOL_VERSION,
+                            }));
+                            attached = Some(outcome.session);
+                        }
+                        Err(e) => sink.send(error_frame(&e.to_string())),
+                    }
+                }
+                Op::Detach(_) => match attached.take() {
+                    Some(session) => {
+                        let remaining = session.client_detached();
+                        sink.send(Frame::Detach(DetachFrame {
+                            session: session.name().to_string(),
+                            attached: remaining,
+                        }));
+                    }
+                    None => sink.send(error_frame("not attached to a session")),
+                },
+                Op::Submit(op) => match &attached {
+                    Some(session) => {
+                        self.pooled(&mut sink, {
+                            let session = Arc::clone(session);
+                            move |tx| {
+                                // serde bypasses the JobSet builder
+                                // invariants, so wire payloads are
+                                // re-validated before analysis.
+                                match op.jobs.sanitized() {
+                                    Ok(jobs) => {
+                                        let parallel = op.parallel.unwrap_or(false);
+                                        session.submit(jobs, parallel, |verdict| {
+                                            let _ = tx.send(Frame::Verdict(VerdictFrame {
+                                                verdict: verdict.clone(),
+                                            }));
+                                        });
+                                    }
+                                    Err(e) => {
+                                        let _ =
+                                            tx.send(error_frame(&format!("invalid job set: {e}")));
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    None => sink.send(error_frame("not attached: send attach first")),
+                },
+                Op::Admit(op) => match &attached {
+                    Some(session) => {
+                        let decider = self.store.template().decider.clone();
+                        self.pooled(&mut sink, {
+                            let session = Arc::clone(session);
+                            move |tx| {
+                                let evaluate = op.evaluate.unwrap_or(true);
+                                let outcome = session.admit(&op.job, evaluate, |verdict| {
+                                    let _ = tx.send(Frame::Verdict(VerdictFrame {
+                                        verdict: verdict.clone(),
+                                    }));
+                                });
+                                let frame = match outcome {
+                                    Ok((outcome, seq)) => {
+                                        Frame::Admit(outcome.to_frame(&decider, Some(seq)))
+                                    }
+                                    Err(e) => error_frame(&e.to_string()),
+                                };
+                                let _ = tx.send(frame);
+                            }
+                        });
+                    }
+                    None => sink.send(error_frame("not attached: send attach first")),
+                },
+                Op::Withdraw(op) => match &attached {
+                    Some(session) => {
+                        self.pooled(&mut sink, {
+                            let session = Arc::clone(session);
+                            move |tx| {
+                                let frame = match session.withdraw(op.job) {
+                                    Ok(jobs) => Frame::Withdraw(WithdrawFrame {
+                                        job: op.job,
+                                        jobs: jobs as u64,
+                                    }),
+                                    Err(e) => error_frame(&e.to_string()),
+                                };
+                                let _ = tx.send(frame);
+                            }
+                        });
+                    }
+                    None => sink.send(error_frame("not attached: send attach first")),
+                },
+                Op::Status(_) => match &attached {
+                    Some(session) => {
+                        sink.send(Frame::Status(session.status().to_frame()));
+                    }
+                    None => sink.send(error_frame("not attached: send attach first")),
+                },
+                Op::Snapshot(op) => {
+                    let name = op
+                        .session
+                        .or_else(|| attached.as_ref().map(|s| s.name().to_string()));
+                    match name {
+                        Some(name) => match self.snapshot(&name) {
+                            Ok(frame) => sink.send(Frame::Snapshot(frame)),
+                            Err(e) => sink.send(error_frame(&e.to_string())),
+                        },
+                        None => sink.send(error_frame(
+                            "snapshot needs a session name or an attached session",
+                        )),
+                    }
+                }
+                Op::Restore(op) => {
+                    let restored = match op.session {
+                        Some(name) => self.restore(&name).map(|one| vec![one]),
+                        None => self.restore_all(),
+                    };
+                    match restored {
+                        Ok(sessions) => sink.send(Frame::Restore(RestoreFrame { sessions })),
+                        Err(e) => sink.send(error_frame(&e.to_string())),
+                    }
+                }
+                Op::Shutdown(_) => {
+                    if let Err(e) = self.snapshot_all() {
+                        sink.send(error_frame(&format!("shutdown snapshot failed: {e}")));
+                    }
+                    shutdown.store(true, Ordering::SeqCst);
+                    stop = true;
+                }
+            }
+            result = sink.finish();
+            if stop || result.is_err() {
+                break;
+            }
+        }
+        if let Some(session) = attached {
+            session.client_detached();
+        }
+        result
+    }
+
+    /// Runs `task` on the worker pool, relaying its streamed frames into
+    /// `sink` in order; answers with the typed overload frame when the
+    /// pool's bounded queue refuses the task, and with an error frame
+    /// when the task panics mid-solve (the pool contains the panic, its
+    /// worker survives, and the request must still terminate cleanly).
+    fn pooled<W: Write>(
+        &self,
+        sink: &mut FrameSink<'_, W>,
+        task: impl FnOnce(mpsc::Sender<Frame>) + Send + 'static,
+    ) {
+        let (tx, rx) = mpsc::channel::<Frame>();
+        let guarded = move || {
+            let failure_tx = tx.clone();
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || task(tx))).is_err() {
+                let _ = failure_tx.send(error_frame("internal error: the solve task panicked"));
+            }
+        };
+        match self.pool.try_submit(guarded) {
+            Ok(()) => {
+                for frame in rx {
+                    sink.send(frame);
+                }
+            }
+            Err(SubmitError::Saturated { queued, capacity }) => {
+                sink.send(Frame::Overload(OverloadFrame {
+                    queued: queued as u64,
+                    capacity: capacity as u64,
+                }));
+            }
+            Err(SubmitError::Terminated) => {
+                sink.send(error_frame("daemon is shutting down"));
+            }
+        }
+    }
+}
+
+fn error_frame(message: &str) -> Frame {
+    Frame::Error(ErrorFrame {
+        message: message.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_model::{JobSetBuilder, PreemptionPolicy};
+    use msmr_serve::protocol::{
+        read_response, write_request, AdmitOp, AttachOp, DetachOp, JobSpec, Response, StageDemand,
+        StatusOp, SubmitOp,
+    };
+
+    fn pipeline_only() -> msmr_model::JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 1, PreemptionPolicy::Preemptive)
+            .stage("b", 1, PreemptionPolicy::Preemptive);
+        b.build().unwrap()
+    }
+
+    fn drive(engine: &Arc<ClusterEngine>, requests: &[Request]) -> Vec<Response> {
+        let mut input = Vec::new();
+        for request in requests {
+            write_request(&mut input, request).unwrap();
+        }
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        engine
+            .serve_connection(input.as_slice(), &mut output, &shutdown)
+            .unwrap();
+        let mut reader = std::io::BufReader::new(output.as_slice());
+        let mut responses = Vec::new();
+        while let Some(response) = read_response(&mut reader).unwrap() {
+            responses.push(response);
+        }
+        responses
+    }
+
+    fn spec(time: u64, deadline: u64) -> JobSpec {
+        JobSpec {
+            arrival: 0,
+            deadline,
+            stages: vec![
+                StageDemand { time, resource: 0 },
+                StageDemand { time, resource: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn unattached_solve_ops_are_errors() {
+        let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+        let responses = drive(
+            &engine,
+            &[Request {
+                id: 1,
+                op: Op::Status(StatusOp {}),
+            }],
+        );
+        assert!(matches!(responses[0].frame, Frame::Error(_)));
+    }
+
+    #[test]
+    fn attach_submit_admit_status_flow() {
+        let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+        let responses = drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "t".to_string(),
+                        create: None,
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Submit(SubmitOp {
+                        jobs: pipeline_only(),
+                        parallel: None,
+                    }),
+                },
+                Request {
+                    id: 3,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(3, 100),
+                        evaluate: Some(false),
+                    }),
+                },
+                Request {
+                    id: 4,
+                    op: Op::Status(StatusOp {}),
+                },
+                Request {
+                    id: 5,
+                    op: Op::Detach(DetachOp {}),
+                },
+            ],
+        );
+        let Frame::Attach(attach) = &responses[0].frame else {
+            panic!("expected attach frame, got {:?}", responses[0].frame);
+        };
+        assert!(attach.created);
+        assert_eq!(attach.protocol, PROTOCOL_VERSION);
+        assert_eq!(attach.attached, 1);
+
+        let admit: Vec<&Response> = responses.iter().filter(|r| r.id == 3).collect();
+        let Frame::Admit(frame) = &admit[1].frame else {
+            panic!("expected admit frame, got {:?}", admit[1].frame);
+        };
+        assert!(frame.admitted);
+        assert_eq!(frame.seq, Some(1));
+
+        let status: Vec<&Response> = responses.iter().filter(|r| r.id == 4).collect();
+        let Frame::Status(frame) = &status[0].frame else {
+            panic!("expected status frame");
+        };
+        assert_eq!(frame.jobs, 1);
+
+        let Frame::Detach(frame) = &responses.iter().find(|r| r.id == 5).unwrap().frame else {
+            panic!("expected detach frame");
+        };
+        assert_eq!(frame.attached, 0);
+
+        // The session outlives the connection.
+        assert_eq!(engine.store().get("t").unwrap().jobs(), 1);
+    }
+
+    #[test]
+    fn two_connections_share_one_named_session() {
+        let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+        drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "shared".to_string(),
+                        create: Some(true),
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Submit(SubmitOp {
+                        jobs: pipeline_only(),
+                        parallel: None,
+                    }),
+                },
+                Request {
+                    id: 3,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(2, 200),
+                        evaluate: Some(false),
+                    }),
+                },
+            ],
+        );
+        // A second, later connection sees and extends the same state.
+        let responses = drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "shared".to_string(),
+                        create: Some(false),
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(2, 200),
+                        evaluate: Some(false),
+                    }),
+                },
+            ],
+        );
+        let Frame::Attach(attach) = &responses[0].frame else {
+            panic!("expected attach frame");
+        };
+        assert!(!attach.created);
+        assert_eq!(attach.jobs, 1);
+        let admit = responses
+            .iter()
+            .find_map(|r| match &r.frame {
+                Frame::Admit(f) => Some(f),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(admit.jobs, 2);
+        assert_eq!(
+            admit.seq,
+            Some(2),
+            "decision seq continues across connections"
+        );
+    }
+
+    #[test]
+    fn saturated_pool_answers_with_the_typed_overload_frame() {
+        // A pool whose single worker is parked and whose queue is full
+        // must refuse the admit with Frame::Overload, not an error.
+        let engine = ClusterEngine::new(ClusterConfig {
+            workers: 1,
+            queue: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        // Park the worker and fill the queue.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        engine
+            .pool()
+            .try_submit(move || {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            })
+            .unwrap();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        engine.pool().try_submit(|| {}).unwrap();
+
+        let responses = drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "s".to_string(),
+                        create: None,
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(1, 50),
+                        evaluate: Some(false),
+                    }),
+                },
+            ],
+        );
+        let overload = responses
+            .iter()
+            .find_map(|r| match &r.frame {
+                Frame::Overload(f) => Some(f),
+                _ => None,
+            })
+            .expect("typed overload frame");
+        assert_eq!(overload.capacity, 1);
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_through_the_engine() {
+        let dir = std::env::temp_dir().join(format!(
+            "msmr-cluster-engine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let dir = PathBuf::from(dir.to_string_lossy().replace(['(', ')'], ""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = ClusterConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ClusterConfig::default()
+        };
+        let engine = ClusterEngine::new(config.clone()).unwrap();
+        drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "persist".to_string(),
+                        create: None,
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Submit(SubmitOp {
+                        jobs: pipeline_only(),
+                        parallel: None,
+                    }),
+                },
+                Request {
+                    id: 3,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(4, 300),
+                        evaluate: Some(false),
+                    }),
+                },
+                Request {
+                    id: 4,
+                    op: Op::Snapshot(msmr_serve::protocol::SnapshotOp { session: None }),
+                },
+            ],
+        );
+        drop(engine);
+
+        // A "restarted" daemon restores the session at construction.
+        let engine = ClusterEngine::new(config).unwrap();
+        let session = engine.store().get("persist").expect("restored on boot");
+        assert_eq!(session.jobs(), 1);
+        assert_eq!(session.version(), 2); // submit + 1 admit
+        let status = session.status();
+        assert_eq!(status.admits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

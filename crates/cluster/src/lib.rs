@@ -1,0 +1,126 @@
+//! `msmr-cluster` — a sharded multi-tenant session engine for the MSMR
+//! admission service: **named shared sessions**, worker-pool execution
+//! with typed backpressure, and snapshot/restore.
+//!
+//! The `msmr-serve` crate pins one [`msmr_serve::AdmissionSession`] to
+//! one connection and one OS thread — fine for a single operator, a
+//! dead end for many clients watching one admitted job set. This crate
+//! decouples the two:
+//!
+//! * [`SessionStore`] — sessions are *named* and hashed (stable FNV-1a)
+//!   onto `N` shards, each shard a mutex-guarded slab of sessions. Any
+//!   number of connections [`attach`](msmr_serve::protocol::Op::Attach)
+//!   to the same name and admit into / observe the same admitted set.
+//!   Operations on one session serialize at that session's own mutex
+//!   (shard locks cover lookups only), so an interleaved multi-client
+//!   history is always equivalent to a serialized replay — the admit
+//!   frames carry a per-session decision sequence number (`seq`) that
+//!   makes the serialization order observable and verifiable.
+//! * [`msmr_par::WorkerPool`] — connections are thin framing loops;
+//!   every solve (`submit`, `admit`, `withdraw`) runs as one task on a
+//!   fixed-size worker pool behind a **bounded** queue. A full queue is
+//!   answered with the typed
+//!   [`Frame::Overload`](msmr_serve::protocol::Frame::Overload)
+//!   backpressure frame (the request has no effect; `msmr-admit` maps
+//!   it to exit code 75) instead of unbounded buffering or a dropped
+//!   connection.
+//! * [`SnapshotStore`] — `snapshot` persists a session's admitted job
+//!   set plus version counter as one JSON file; on restart (or an
+//!   explicit `restore` op) the daemon rebuilds the session and its
+//!   warm `PairTables` by replaying the job set through
+//!   `msmr_dca::Analysis::new`. A graceful `shutdown` snapshots every
+//!   session automatically.
+//!
+//! Two binaries ship with the crate: `msmr-served` (the daemon; classic
+//! per-connection mode by default, `--cluster` enables this engine with
+//! `--shards`/`--workers`/`--queue`/`--snapshot-dir`) and
+//! `msmr-loadgen` (drives M concurrent clients over K named sessions
+//! from seeded workload traces and reports aggregate req/sec and
+//! p50/p99 admit latency into the `BENCH_kernels.json` run history).
+//!
+//! # Worked transcript
+//!
+//! Protocol v2 (`>` client, `<` daemon; verdicts abbreviated). Two
+//! clients share the session `tenant-a`; the first snapshots it:
+//!
+//! ```text
+//! # client 1
+//! > {"id":1,"op":{"Attach":{"session":"tenant-a","create":true}}}
+//! < {"id":1,"frame":{"Attach":{"session":"tenant-a","created":true,"version":0,
+//!       "attached":1,"jobs":0,"protocol":2}}}
+//! > {"id":2,"op":{"Submit":{"jobs":{"pipeline":{...},"jobs":[]},"parallel":null}}}
+//! < {"id":2,"frame":{"Done":{"frames":0}}}
+//! > {"id":3,"op":{"Admit":{"job":{...},"evaluate":false}}}
+//! < {"id":3,"frame":{"Verdict":{"verdict":{"solver":"OPDCA","kind":"Accepted",...}}}}
+//! < {"id":3,"frame":{"Admit":{"admitted":true,"job":1,"jobs":1,"decider":"OPDCA","seq":1}}}
+//! < {"id":3,"frame":{"Done":{"frames":2}}}
+//!
+//! # client 2 (a different connection, possibly much later)
+//! > {"id":1,"op":{"Attach":{"session":"tenant-a","create":false}}}
+//! < {"id":1,"frame":{"Attach":{"session":"tenant-a","created":false,"version":2,
+//!       "attached":2,"jobs":1,"protocol":2}}}
+//! > {"id":2,"op":{"Admit":{"job":{...},"evaluate":false}}}
+//! < {"id":2,"frame":{"Verdict":{...}}}
+//! < {"id":2,"frame":{"Admit":{"admitted":true,"job":2,"jobs":2,"decider":"OPDCA","seq":2}}}
+//! < {"id":2,"frame":{"Done":{"frames":2}}}
+//!
+//! # client 1 persists the shared session (daemon runs with --snapshot-dir)
+//! > {"id":4,"op":{"Snapshot":{"session":null}}}
+//! < {"id":4,"frame":{"Snapshot":{"session":"tenant-a","version":3,"jobs":2,
+//!       "path":"/var/lib/msmr/tenant-a.json"}}}
+//! < {"id":4,"frame":{"Done":{"frames":1}}}
+//! ```
+//!
+//! After a daemon restart with the same `--snapshot-dir`, `tenant-a` is
+//! already there — same admitted jobs, same handles, warm tables — and a
+//! saturated daemon answers any solve op with
+//! `{"frame":{"Overload":{"queued":64,"capacity":64}}}` instead of
+//! queueing without bound.
+//!
+//! # Determinism
+//!
+//! Replaying a seeded arrival trace through the cluster — any shard or
+//! worker count — produces verdicts byte-identical to the
+//! single-connection `msmr-serve` daemon and to offline
+//! [`msmr_sched::SolverRegistry::evaluate`] (wall-clock fields zeroed):
+//! the pool only moves *where* a solve runs, the session mutex fixes the
+//! order, and the table extension path is the same
+//! `PairTables::extend_with_job` either way. The end-to-end suite pins
+//! all three down, and `msmr-loadgen --verify` re-checks the
+//! serialized-replay equivalence under real concurrency.
+//!
+//! # Library example
+//!
+//! ```
+//! use msmr_cluster::{ClusterConfig, ClusterEngine};
+//! use msmr_model::{JobSetBuilder, PreemptionPolicy};
+//! use msmr_serve::protocol::{JobSpec, StageDemand};
+//!
+//! let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+//! let session = engine.store().attach("tenant-a", true).unwrap().session;
+//! let mut pipeline = JobSetBuilder::new();
+//! pipeline.stage("cpu", 2, PreemptionPolicy::Preemptive);
+//! session.submit(pipeline.build().unwrap(), false, |_| {});
+//! let (outcome, seq) = session
+//!     .admit(
+//!         &JobSpec { arrival: 0, deadline: 50, stages: vec![StageDemand { time: 5, resource: 0 }] },
+//!         false,
+//!         |_| {},
+//!     )
+//!     .unwrap();
+//! assert!(outcome.admitted);
+//! assert_eq!(seq, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod snapshot;
+mod store;
+
+pub use engine::{ClusterConfig, ClusterEngine};
+pub use snapshot::{SessionSnapshot, SnapshotStore};
+pub use store::{
+    validate_session_name, AttachOutcome, SessionStore, SharedSession, StoreError, MAX_SESSION_NAME,
+};

@@ -1,0 +1,541 @@
+//! The sharded store of named shared sessions.
+//!
+//! Session names hash (FNV-1a, stable across platforms and daemon
+//! restarts) onto one of `N` shards; each shard is a mutex-guarded slab
+//! (a `Vec` of slots with a free list, plus a name → slot index) of
+//! [`SharedSession`]s. The shard lock covers only the *lookup* —
+//! attach/create/remove bookkeeping — never the solve work: every
+//! session is handed out as an `Arc` and guards its own state, so two
+//! clients of different sessions never contend, and two clients of the
+//! *same* session serialize exactly at that session's mutex (which is
+//! what makes interleaved multi-client histories equivalent to a
+//! serialized replay).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use msmr_model::JobSet;
+use msmr_sched::Verdict;
+use msmr_serve::protocol::JobSpec;
+use msmr_serve::{
+    AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionImage, SessionStatus,
+};
+
+/// Longest accepted session name (names double as snapshot file stems).
+pub const MAX_SESSION_NAME: usize = 64;
+
+/// Errors of the store's attach/lookup surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The session name is empty, too long, or contains characters
+    /// outside `[A-Za-z0-9_.-]`.
+    InvalidName(String),
+    /// Attach with `create: false` (or a snapshot request) named a
+    /// session that does not exist.
+    UnknownSession(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::InvalidName(name) => write!(
+                f,
+                "invalid session name `{name}`: need 1..={MAX_SESSION_NAME} chars from [A-Za-z0-9_.-]"
+            ),
+            StoreError::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Validates a session name: `[A-Za-z0-9_.-]`, 1–64 characters, at
+/// least one character that is not a dot (so the snapshot file stem is
+/// never `.` or `..`).
+pub fn validate_session_name(name: &str) -> Result<(), StoreError> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_SESSION_NAME
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        && name.chars().any(|c| c != '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::InvalidName(name.to_string()))
+    }
+}
+
+/// Stable 64-bit FNV-1a: the shard of a name must not depend on the
+/// process (std's `DefaultHasher` is randomly seeded).
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The mutable core of a [`SharedSession`]: the admission session plus
+/// the counters that order and version its history.
+struct SessionInner {
+    session: AdmissionSession,
+    /// Mutation version: bumps on submit, accepted admit, withdraw and
+    /// restore. Snapshots record it; stale-snapshot detection and cache
+    /// invalidation key off it.
+    version: u64,
+    /// Decision counter: bumps on *every* admit decision (accepted or
+    /// rejected). Its value is the `seq` of the decision's admit frame,
+    /// which totally orders the decisions of a session across clients.
+    decisions: u64,
+}
+
+/// One named session, shared by any number of attached connections.
+///
+/// All session operations lock the inner mutex for their full duration,
+/// so concurrent clients serialize per session and the observable
+/// history equals some serialized replay of the same operations — the
+/// property the cluster test suite pins down byte-for-byte.
+pub struct SharedSession {
+    name: String,
+    attached: AtomicU64,
+    inner: Mutex<SessionInner>,
+}
+
+impl SharedSession {
+    fn new(name: String, config: SessionConfig) -> SharedSession {
+        SharedSession {
+            name,
+            attached: AtomicU64::new(0),
+            inner: Mutex::new(SessionInner {
+                session: AdmissionSession::new(config),
+                version: 0,
+                decisions: 0,
+            }),
+        }
+    }
+
+    /// The session's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Connections currently attached.
+    #[must_use]
+    pub fn attached(&self) -> u64 {
+        self.attached.load(Ordering::SeqCst)
+    }
+
+    /// Records one more attached connection; returns the new count.
+    pub fn client_attached(&self) -> u64 {
+        self.attached.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Records a detached connection; returns the remaining count.
+    pub fn client_detached(&self) -> u64 {
+        let previous = self.attached.fetch_sub(1, Ordering::SeqCst);
+        previous.saturating_sub(1)
+    }
+
+    /// The current mutation version.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.lock().version
+    }
+
+    /// Currently admitted jobs (0 before the first submit).
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        let inner = self.lock();
+        inner.session.jobs().map_or(0, JobSet::len) as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
+        self.inner.lock().expect("session lock poisoned")
+    }
+
+    /// Opens (or replaces) the session with a full job set; see
+    /// [`AdmissionSession::submit`]. Bumps the version.
+    pub fn submit(
+        &self,
+        jobs: JobSet,
+        parallel: bool,
+        sink: impl FnMut(&Verdict) + Send,
+    ) -> Vec<Verdict> {
+        let mut inner = self.lock();
+        let verdicts = inner.session.submit(jobs, parallel, sink);
+        inner.version += 1;
+        verdicts
+    }
+
+    /// Decides admission of one arriving job; see
+    /// [`AdmissionSession::admit`]. Returns the outcome together with
+    /// the decision's sequence number; bumps the version on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from the underlying session (the
+    /// decision counter only advances for decided admissions).
+    pub fn admit(
+        &self,
+        spec: &JobSpec,
+        evaluate: bool,
+        sink: impl FnMut(&Verdict),
+    ) -> Result<(AdmitOutcome, u64), SessionError> {
+        let mut inner = self.lock();
+        let outcome = inner.session.admit(spec, evaluate, sink)?;
+        inner.decisions += 1;
+        if outcome.admitted {
+            inner.version += 1;
+        }
+        Ok((outcome, inner.decisions))
+    }
+
+    /// Removes an admitted job by handle; see
+    /// [`AdmissionSession::withdraw`]. Bumps the version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`].
+    pub fn withdraw(&self, handle: u64) -> Result<usize, SessionError> {
+        let mut inner = self.lock();
+        let jobs = inner.session.withdraw(handle)?;
+        inner.version += 1;
+        Ok(jobs)
+    }
+
+    /// The session's status snapshot.
+    #[must_use]
+    pub fn status(&self) -> SessionStatus {
+        self.lock().session.status()
+    }
+
+    /// The durable state plus the version it captures, for the snapshot
+    /// subsystem. `None` before the first submit.
+    #[must_use]
+    pub fn image(&self) -> Option<(SessionImage, u64)> {
+        let inner = self.lock();
+        inner.session.image().map(|image| (image, inner.version))
+    }
+
+    /// Replaces the session's state with one rebuilt from a snapshot
+    /// (the restore path; the decision counter restarts at 0).
+    pub fn install(&self, session: AdmissionSession, version: u64) {
+        let mut inner = self.lock();
+        inner.session = session;
+        inner.version = version;
+        inner.decisions = 0;
+    }
+}
+
+/// One shard: a slab of sessions plus the name index.
+#[derive(Default)]
+struct Shard {
+    slots: Vec<Option<Arc<SharedSession>>>,
+    free: Vec<usize>,
+    index: HashMap<String, usize>,
+}
+
+impl Shard {
+    fn insert(&mut self, session: Arc<SharedSession>) {
+        let name = session.name().to_string();
+        if let Some(&slot) = self.index.get(&name) {
+            self.slots[slot] = Some(session);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(session);
+                slot
+            }
+            None => {
+                self.slots.push(Some(session));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(name, slot);
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<SharedSession>> {
+        self.index
+            .get(name)
+            .and_then(|&slot| self.slots[slot].clone())
+    }
+
+    fn remove(&mut self, name: &str) -> Option<Arc<SharedSession>> {
+        let slot = self.index.remove(name)?;
+        self.free.push(slot);
+        self.slots[slot].take()
+    }
+}
+
+impl fmt::Debug for SharedSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSession")
+            .field("name", &self.name)
+            .field("attached", &self.attached())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of a [`SessionStore::attach`].
+#[derive(Debug)]
+pub struct AttachOutcome {
+    /// The attached session.
+    pub session: Arc<SharedSession>,
+    /// `true` when the attach created it.
+    pub created: bool,
+}
+
+/// The sharded map of named sessions. See the module docs for the
+/// locking discipline.
+pub struct SessionStore {
+    shards: Vec<Mutex<Shard>>,
+    template: SessionConfig,
+}
+
+impl SessionStore {
+    /// A store of `shards` shards (clamped to ≥ 1); new sessions are
+    /// configured from `template`.
+    #[must_use]
+    pub fn new(shards: usize, template: SessionConfig) -> SessionStore {
+        SessionStore {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            template,
+        }
+    }
+
+    /// The number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The session configuration new sessions are created with.
+    #[must_use]
+    pub fn template(&self) -> &SessionConfig {
+        &self.template
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<Shard> {
+        let index = (fnv1a(name) % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Looks a session up without creating it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<SharedSession>> {
+        self.shard(name)
+            .lock()
+            .expect("shard lock poisoned")
+            .get(name)
+    }
+
+    /// Attaches to `name`, creating the session when `create` is set.
+    /// The caller owns one attach count (released via
+    /// [`SharedSession::client_detached`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidName`] for malformed names,
+    /// [`StoreError::UnknownSession`] when the session does not exist
+    /// and `create` is `false`.
+    pub fn attach(&self, name: &str, create: bool) -> Result<AttachOutcome, StoreError> {
+        validate_session_name(name)?;
+        let mut shard = self.shard(name).lock().expect("shard lock poisoned");
+        if let Some(session) = shard.get(name) {
+            session.client_attached();
+            return Ok(AttachOutcome {
+                session,
+                created: false,
+            });
+        }
+        if !create {
+            return Err(StoreError::UnknownSession(name.to_string()));
+        }
+        let session = Arc::new(SharedSession::new(name.to_string(), self.template.clone()));
+        session.client_attached();
+        shard.insert(Arc::clone(&session));
+        Ok(AttachOutcome {
+            session,
+            created: true,
+        })
+    }
+
+    /// Inserts (or replaces) a session rebuilt from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidName`] for malformed names.
+    pub fn install(
+        &self,
+        name: &str,
+        session: AdmissionSession,
+        version: u64,
+    ) -> Result<Arc<SharedSession>, StoreError> {
+        validate_session_name(name)?;
+        let mut shard = self.shard(name).lock().expect("shard lock poisoned");
+        if let Some(existing) = shard.get(name) {
+            existing.install(session, version);
+            return Ok(existing);
+        }
+        let shared = Arc::new(SharedSession::new(name.to_string(), self.template.clone()));
+        shared.install(session, version);
+        shard.insert(Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    /// Removes a session from the store (its `Arc` stays alive for
+    /// already-attached connections).
+    pub fn remove(&self, name: &str) -> Option<Arc<SharedSession>> {
+        self.shard(name)
+            .lock()
+            .expect("shard lock poisoned")
+            .remove(name)
+    }
+
+    /// All session names, sorted (stable iteration for snapshot-all and
+    /// status listings).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("shard lock poisoned")
+                    .index
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The number of live sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard lock poisoned").index.len())
+            .sum()
+    }
+
+    /// `true` when no session exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_validated() {
+        for good in ["a", "tenant-1", "x_y.z", "A".repeat(64).as_str()] {
+            assert_eq!(validate_session_name(good), Ok(()), "{good}");
+        }
+        for bad in ["", ".", "..", "a/b", "a b", "ü", "A".repeat(65).as_str()] {
+            assert!(validate_session_name(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn attach_create_get_remove_round_trip() {
+        let store = SessionStore::new(4, SessionConfig::default());
+        assert!(store.is_empty());
+        assert_eq!(
+            store.attach("missing", false).unwrap_err(),
+            StoreError::UnknownSession("missing".to_string())
+        );
+
+        let first = store.attach("tenant-a", true).unwrap();
+        assert!(first.created);
+        assert_eq!(first.session.attached(), 1);
+
+        let second = store.attach("tenant-a", true).unwrap();
+        assert!(!second.created);
+        assert_eq!(second.session.attached(), 2);
+        assert!(Arc::ptr_eq(&first.session, &second.session));
+
+        store.attach("tenant-b", true).unwrap();
+        assert_eq!(store.names(), vec!["tenant-a", "tenant-b"]);
+        assert_eq!(store.len(), 2);
+
+        assert!(store.remove("tenant-a").is_some());
+        assert!(store.get("tenant-a").is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_removal() {
+        let store = SessionStore::new(1, SessionConfig::default());
+        for round in 0..3 {
+            for i in 0..8 {
+                store.attach(&format!("s{i}"), true).unwrap();
+            }
+            for i in 0..8 {
+                assert!(store.remove(&format!("s{i}")).is_some(), "round {round}");
+            }
+        }
+        let shard = store.shards[0].lock().unwrap();
+        assert!(
+            shard.slots.len() <= 8,
+            "free list must recycle slots, got {} slots",
+            shard.slots.len()
+        );
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_total() {
+        let a = SessionStore::new(7, SessionConfig::default());
+        let b = SessionStore::new(7, SessionConfig::default());
+        for i in 0..50 {
+            let name = format!("session-{i}");
+            // The same name lands on the same shard in both stores.
+            let sa = (fnv1a(&name) % 7) as usize;
+            let sb = (fnv1a(&name) % 7) as usize;
+            assert_eq!(sa, sb);
+            a.attach(&name, true).unwrap();
+            assert!(a.get(&name).is_some());
+            drop(b.attach(&name, true).unwrap());
+        }
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn decision_seq_totally_orders_admissions() {
+        use msmr_model::{JobSetBuilder, PreemptionPolicy};
+        use msmr_serve::protocol::StageDemand;
+        let store = SessionStore::new(2, SessionConfig::default());
+        let session = store.attach("seq", true).unwrap().session;
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 2, PreemptionPolicy::Preemptive);
+        session.submit(b.build().unwrap(), false, |_| {});
+        assert_eq!(session.version(), 1);
+        for expected in 1..=4u64 {
+            let spec = JobSpec {
+                arrival: 0,
+                deadline: 500,
+                stages: vec![StageDemand {
+                    time: 2,
+                    resource: 0,
+                }],
+            };
+            let (_, seq) = session.admit(&spec, false, |_| {}).unwrap();
+            assert_eq!(seq, expected);
+        }
+        assert_eq!(session.jobs(), 4);
+    }
+}

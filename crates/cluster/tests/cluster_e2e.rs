@@ -1,0 +1,379 @@
+//! End-to-end cluster suite over real Unix sockets:
+//!
+//! * replaying a seeded arrival trace through the cluster daemon (shards
+//!   and workers active) yields verdicts **byte-identical** to the
+//!   single-connection classic daemon and to offline
+//!   `SolverRegistry::evaluate` on every arrival;
+//! * two clients interleaving admits on one named session produce a
+//!   decision history whose verdicts are byte-identical to a serialized
+//!   replay ordered by the admit frames' `seq` numbers;
+//! * snapshot → daemon restart → restore round-trips over the wire.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use msmr_cluster::{ClusterConfig, ClusterEngine};
+use msmr_dca::DelayBoundKind;
+use msmr_model::JobSet;
+use msmr_sched::{Budget, SolverRegistry};
+use msmr_serve::protocol::{
+    AdmitOp, Frame, JobSpec, Op, ShutdownOp, SnapshotOp, StatusOp, SubmitOp,
+};
+use msmr_serve::{
+    normalized_verdict_json, AdmissionSession, Client, Endpoint, Listen, ServeOptions, Server,
+    SessionConfig,
+};
+use msmr_workload::{arrival_order, EdgeWorkloadConfig, EdgeWorkloadGenerator};
+
+const BOUND: DelayBoundKind = DelayBoundKind::EdgeHybrid;
+const OPT_NODES: u64 = 50_000;
+
+fn socket_path(tag: &str) -> PathBuf {
+    let unique = format!(
+        "msmr-cluster-e2e-{tag}-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    );
+    std::env::temp_dir().join(unique.replace(['(', ')'], ""))
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        bound: BOUND,
+        node_limit: Some(OPT_NODES),
+        ..SessionConfig::default()
+    }
+}
+
+fn start_cluster(tag: &str, config: ClusterConfig) -> (Server, PathBuf) {
+    let path = socket_path(tag);
+    let (server, _engine) = ClusterEngine::start(
+        Listen {
+            tcp: None,
+            uds: Some(path.clone()),
+        },
+        config,
+    )
+    .expect("cluster daemon binds the socket");
+    (server, path)
+}
+
+fn trace(jobs: usize, seed: u64) -> JobSet {
+    let config = EdgeWorkloadConfig::default()
+        .with_jobs(jobs)
+        .with_beta(0.4)
+        .with_heavy_ratios([0.2, 0.2, 0.1])
+        .with_infrastructure(6, 4);
+    EdgeWorkloadGenerator::new(config)
+        .expect("valid workload config")
+        .generate_seeded(seed)
+}
+
+/// Per-arrival observation of one replay: the admit decision plus the
+/// normalized verdict stream.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    admitted: bool,
+    verdicts: Vec<String>,
+}
+
+fn observe(frames: &[msmr_serve::protocol::Response]) -> Observation {
+    let mut admitted = None;
+    let mut verdicts = Vec::new();
+    for frame in frames {
+        match &frame.frame {
+            Frame::Verdict(v) => verdicts.push(normalized_verdict_json(&v.verdict)),
+            Frame::Admit(a) => admitted = Some(a.admitted),
+            Frame::Error(e) => panic!("daemon error: {}", e.message),
+            _ => {}
+        }
+    }
+    Observation {
+        admitted: admitted.expect("admit frame present"),
+        verdicts,
+    }
+}
+
+#[test]
+fn cluster_replay_is_byte_identical_to_classic_serve_and_offline() {
+    let trace = trace(40, 2024);
+
+    // Cluster daemon: several shards and workers active.
+    let (cluster_server, cluster_path) = start_cluster(
+        "replay",
+        ClusterConfig {
+            shards: 3,
+            workers: 2,
+            session: session_config(),
+            ..ClusterConfig::default()
+        },
+    );
+    let mut cluster_client = Client::connect(&Endpoint::Uds(cluster_path)).expect("connect");
+    let attach = cluster_client
+        .attach("replay-session", true)
+        .expect("attach");
+    assert!(attach.created);
+    let mut cluster_observations = Vec::new();
+    cluster_client
+        .replay_trace(&trace, true, |_, _, frames| {
+            cluster_observations.push(observe(frames));
+            Ok(())
+        })
+        .expect("cluster replay");
+
+    // Classic daemon: the same trace through a per-connection session.
+    let classic_path = socket_path("replay-classic");
+    let classic_server = Server::start(ServeOptions {
+        tcp: None,
+        uds: Some(classic_path.clone()),
+        session: session_config(),
+    })
+    .expect("classic daemon binds");
+    let mut classic_client = Client::connect(&Endpoint::Uds(classic_path)).expect("connect");
+    let mut classic_observations = Vec::new();
+    classic_client
+        .replay_trace(&trace, true, |_, _, frames| {
+            classic_observations.push(observe(frames));
+            Ok(())
+        })
+        .expect("classic replay");
+
+    assert_eq!(
+        cluster_observations, classic_observations,
+        "cluster and single-connection verdict streams must be byte-identical"
+    );
+
+    // Offline mirror: SolverRegistry::evaluate on every candidate set.
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let budget = Budget::default().with_node_limit(OPT_NODES);
+    let (mut mirror, _) = trace.restrict_to(&[]).expect("pipeline-only set");
+    for (arrival, &id) in arrival_order(&trace).iter().enumerate() {
+        let spec = JobSpec::from_job(trace.job(id));
+        let (candidate, _) = mirror.with_job(spec.to_builder()).expect("valid job");
+        let offline: Vec<String> = registry
+            .evaluate(&candidate, budget)
+            .iter()
+            .map(normalized_verdict_json)
+            .collect();
+        assert_eq!(
+            cluster_observations[arrival].verdicts, offline,
+            "arrival {arrival}: cluster verdicts differ from offline evaluate"
+        );
+        if cluster_observations[arrival].admitted {
+            mirror = candidate;
+        }
+    }
+    let admitted = cluster_observations.iter().filter(|o| o.admitted).count();
+    let rejected = cluster_observations.len() - admitted;
+    assert!(admitted > 0, "nothing admitted — not a useful replay");
+    assert!(rejected > 0, "nothing rejected — rollback path never ran");
+
+    cluster_client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    cluster_server.join();
+    classic_client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    classic_server.join();
+}
+
+#[test]
+fn interleaved_clients_match_the_serialized_replay() {
+    let trace = trace(24, 7);
+    let (server, path) = start_cluster(
+        "interleave",
+        ClusterConfig {
+            shards: 2,
+            workers: 2,
+            session: session_config(),
+            ..ClusterConfig::default()
+        },
+    );
+
+    // Setup: create the shared session and open it with the pipeline.
+    let mut setup = Client::connect(&Endpoint::Uds(path.clone())).expect("connect");
+    setup.attach("shared", true).expect("attach");
+    let (pipeline, _) = trace.restrict_to(&[]).expect("pipeline-only set");
+    setup
+        .request(Op::Submit(SubmitOp {
+            jobs: pipeline.clone(),
+            parallel: None,
+        }))
+        .expect("submit");
+
+    // Two clients interleave admits (even/odd arrivals) and statuses on
+    // the same named session.
+    let decisions: Mutex<Vec<(u64, JobSpec, Observation)>> = Mutex::new(Vec::new());
+    let status_probes = AtomicU64::new(0);
+    let order = arrival_order(&trace);
+    std::thread::scope(|scope| {
+        for lane in 0..2usize {
+            let decisions = &decisions;
+            let status_probes = &status_probes;
+            let order = &order;
+            let trace = &trace;
+            let path = path.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+                client.attach("shared", false).expect("attach existing");
+                for (i, &id) in order.iter().enumerate() {
+                    if i % 2 != lane {
+                        continue;
+                    }
+                    let spec = JobSpec::from_job(trace.job(id));
+                    let frames = client
+                        .request(Op::Admit(AdmitOp {
+                            job: spec.clone(),
+                            evaluate: Some(true),
+                        }))
+                        .expect("admit");
+                    let seq = frames
+                        .iter()
+                        .find_map(|f| match &f.frame {
+                            Frame::Admit(a) => Some(a.seq.expect("cluster admits carry seq")),
+                            _ => None,
+                        })
+                        .expect("admit frame");
+                    decisions
+                        .lock()
+                        .unwrap()
+                        .push((seq, spec, observe(&frames)));
+                    // Interleave a status probe to exercise concurrent
+                    // reads on the shared session.
+                    let frames = client.request(Op::Status(StatusOp {})).expect("status");
+                    if frames.iter().any(|f| matches!(f.frame, Frame::Status(_))) {
+                        status_probes.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(status_probes.load(Ordering::SeqCst) as usize, order.len());
+
+    // Serialized replay: apply the decisions in seq order to a fresh
+    // library session; verdicts must match byte-for-byte.
+    let mut decisions = decisions.into_inner().unwrap();
+    decisions.sort_by_key(|(seq, _, _)| *seq);
+    let seqs: Vec<u64> = decisions.iter().map(|(seq, _, _)| *seq).collect();
+    assert_eq!(
+        seqs,
+        (1..=order.len() as u64).collect::<Vec<_>>(),
+        "decision seqs must be a contiguous total order"
+    );
+
+    let mut mirror = AdmissionSession::new(session_config());
+    mirror.submit(pipeline, false, |_| {});
+    for (seq, spec, online) in &decisions {
+        let mut offline = Vec::new();
+        let outcome = mirror
+            .admit(spec, true, |v| offline.push(normalized_verdict_json(v)))
+            .expect("serialized replay admits");
+        assert_eq!(
+            outcome.admitted, online.admitted,
+            "seq {seq}: decision differs from serialized replay"
+        );
+        assert_eq!(
+            &online.verdicts, &offline,
+            "seq {seq}: verdicts differ from serialized replay"
+        );
+    }
+
+    // The daemon's session agrees with the serialized mirror.
+    let frames = setup.request(Op::Status(StatusOp {})).expect("status");
+    let status = frames
+        .iter()
+        .find_map(|f| match &f.frame {
+            Frame::Status(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("status frame");
+    assert_eq!(status.jobs as usize, mirror.jobs().unwrap().len());
+
+    setup
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn snapshot_survives_a_daemon_restart_over_the_wire() {
+    let trace = trace(10, 11);
+    let snapshot_dir = std::env::temp_dir().join(format!(
+        "msmr-cluster-e2e-snap-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let snapshot_dir = PathBuf::from(snapshot_dir.to_string_lossy().replace(['(', ')'], ""));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+
+    let config = ClusterConfig {
+        shards: 2,
+        workers: 2,
+        snapshot_dir: Some(snapshot_dir.clone()),
+        session: session_config(),
+        ..ClusterConfig::default()
+    };
+
+    // First daemon: build up a session, snapshot it explicitly, shut
+    // down (which snapshots again).
+    let (server, path) = start_cluster("snap-a", config.clone());
+    let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+    client.attach("durable", true).expect("attach");
+    let outcome = client
+        .replay_trace(&trace, false, |_, _, _| Ok(()))
+        .expect("replay");
+    let frames = client
+        .request(Op::Snapshot(SnapshotOp { session: None }))
+        .expect("snapshot");
+    let snapshot = frames
+        .iter()
+        .find_map(|f| match &f.frame {
+            Frame::Snapshot(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("snapshot frame");
+    assert_eq!(snapshot.session, "durable");
+    assert_eq!(snapshot.jobs as usize, outcome.admitted);
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+
+    // Second daemon on the same directory: the session is back — same
+    // jobs, warm tables — and keeps admitting.
+    let (server, path) = start_cluster("snap-b", config);
+    let mut client = Client::connect(&Endpoint::Uds(path)).expect("connect");
+    let attach = client.attach("durable", false).expect("attach restored");
+    assert!(!attach.created);
+    assert_eq!(attach.jobs as usize, outcome.admitted);
+    let frames = client.request(Op::Status(StatusOp {})).expect("status");
+    let status = frames
+        .iter()
+        .find_map(|f| match &f.frame {
+            Frame::Status(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("status frame");
+    assert_eq!(status.admits as usize, outcome.admitted);
+    assert_eq!(status.rejects as usize, outcome.rejected);
+
+    // A fresh admit still works on the restored warm tables.
+    let spec = JobSpec::from_job(trace.job(arrival_order(&trace)[0]));
+    let frames = client
+        .request(Op::Admit(AdmitOp {
+            job: spec,
+            evaluate: Some(false),
+        }))
+        .expect("admit after restore");
+    assert!(frames.iter().any(|f| matches!(f.frame, Frame::Admit(_))));
+
+    client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+}

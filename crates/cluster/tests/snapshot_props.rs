@@ -1,0 +1,109 @@
+//! Property suite for the snapshot subsystem: snapshotting a session,
+//! restoring it (JSON round trip included) and extending it must be
+//! indistinguishable — decision by decision, verdict byte for byte —
+//! from extending the session that was never snapshotted.
+
+use msmr_cluster::SnapshotStore;
+use msmr_serve::protocol::JobSpec;
+use msmr_serve::{normalized_verdict_json, AdmissionSession, SessionConfig, SessionImage};
+use msmr_workload::{arrival_order, EdgeWorkloadConfig, EdgeWorkloadGenerator};
+use proptest::prelude::*;
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        node_limit: Some(50_000),
+        ..SessionConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// snapshot → restore → extend ≡ never-snapshotted extension, for
+    /// random seeded traces, random split points and both decider-only
+    /// and full-suite admission.
+    #[test]
+    fn snapshot_restore_extend_equals_uninterrupted_extension(
+        seed in 0u64..500,
+        jobs in 4usize..10,
+        split_num in 1usize..8,
+        evaluate in proptest::bool::ANY,
+    ) {
+        let config = EdgeWorkloadConfig::default()
+            .with_jobs(jobs)
+            .with_infrastructure(3, 2);
+        let trace = EdgeWorkloadGenerator::new(config)
+            .expect("valid workload config")
+            .generate_seeded(seed);
+        let order = arrival_order(&trace);
+        let split = 1 + split_num % (jobs - 1);
+        let (pipeline, _) = trace.restrict_to(&[]).expect("pipeline-only set");
+
+        // The uninterrupted session admits the whole trace…
+        let mut uninterrupted = AdmissionSession::new(session_config());
+        uninterrupted.submit(pipeline.clone(), false, |_| {});
+        // …while the other one is snapshotted after `split` arrivals.
+        let mut snapshotted = AdmissionSession::new(session_config());
+        snapshotted.submit(pipeline, false, |_| {});
+
+        for &id in &order[..split] {
+            let spec = JobSpec::from_job(trace.job(id));
+            let a = uninterrupted.admit(&spec, evaluate, |_| {}).expect("admit");
+            let b = snapshotted.admit(&spec, evaluate, |_| {}).expect("admit");
+            prop_assert_eq!(a.admitted, b.admitted);
+        }
+
+        // Snapshot through the real file format, then restore.
+        let dir = std::env::temp_dir().join(format!(
+            "msmr-snap-prop-{}-{seed}-{jobs}-{split}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).expect("snapshot dir");
+        let image = snapshotted.image().expect("session open");
+        store.save("prop", 1, &image).expect("save");
+        drop(snapshotted); // the warm session is gone — only disk remains
+        let loaded = store.load("prop").expect("load");
+        prop_assert_eq!(&loaded.image, &image);
+        let mut restored =
+            AdmissionSession::from_image(session_config(), loaded.image).expect("restore");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(restored.status(), uninterrupted.status());
+
+        // Extending both with the rest of the trace is indistinguishable.
+        for (i, &id) in order[split..].iter().enumerate() {
+            let spec = JobSpec::from_job(trace.job(id));
+            let mut verdicts_a = Vec::new();
+            let a = uninterrupted
+                .admit(&spec, evaluate, |v| verdicts_a.push(normalized_verdict_json(v)))
+                .expect("admit");
+            let mut verdicts_b = Vec::new();
+            let b = restored
+                .admit(&spec, evaluate, |v| verdicts_b.push(normalized_verdict_json(v)))
+                .expect("admit");
+            prop_assert_eq!(a.admitted, b.admitted, "arrival {} decision", split + i);
+            prop_assert_eq!(a.handle, b.handle, "arrival {} handle", split + i);
+            prop_assert_eq!(verdicts_a, verdicts_b, "arrival {} verdicts", split + i);
+        }
+        prop_assert_eq!(restored.status(), uninterrupted.status());
+    }
+
+    /// The session image itself round-trips losslessly through JSON for
+    /// arbitrary admitted sets (the wire/disk format of snapshots).
+    #[test]
+    fn images_round_trip_through_json(seed in 0u64..500, jobs in 1usize..8) {
+        let config = EdgeWorkloadConfig::default()
+            .with_jobs(jobs)
+            .with_infrastructure(2, 2);
+        let trace = EdgeWorkloadGenerator::new(config)
+            .expect("valid workload config")
+            .generate_seeded(seed);
+        let mut session = AdmissionSession::new(session_config());
+        session.submit(trace, false, |_| {});
+        let image = session.image().expect("open session");
+        let json = serde_json::to_string(&image).expect("serialize");
+        let parsed: SessionImage = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(parsed, image);
+    }
+}

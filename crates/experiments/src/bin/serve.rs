@@ -1,33 +1,37 @@
 //! `serve` — the experiment CLI's entry point into the online
-//! admission-control service (the `msmr-serve` crate).
+//! admission-control service (the `msmr-serve` / `msmr-cluster`
+//! crates).
 //!
 //! A thin launcher so the service sits next to the `fig4*` binaries:
 //!
 //! ```text
 //! cargo run -p msmr-experiments --bin serve -- --uds /tmp/msmr.sock
 //! cargo run -p msmr-experiments --bin serve -- --tcp 127.0.0.1:7471 --decider DMR
+//! cargo run -p msmr-experiments --bin serve -- --uds /tmp/msmr.sock --cluster --shards 4
 //! ```
 //!
 //! Accepts a subset of the daemon's flags and defaults to the paper's
-//! evaluation bound (Eq. 10). Use the full `msmr-served` / `msmr-admit`
-//! binaries of `msmr-serve` for the complete flag surface and the replay
-//! client.
+//! evaluation bound (Eq. 10). With `--cluster` the daemon serves named
+//! shared sessions through the `msmr-cluster` engine instead of one
+//! private session per connection. Use the full `msmr-served` /
+//! `msmr-admit` / `msmr-loadgen` binaries for the complete flag surface
+//! and the replay clients.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use msmr_serve::{parse_bound, ServeOptions, Server, SessionConfig};
+use msmr_cluster::{ClusterConfig, ClusterEngine};
+use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
 
 fn usage() -> &'static str {
-    "usage: serve [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER] [--opt-nodes N]\n\nBoots the msmr-serve admission daemon (at least one of --tcp / --uds)."
+    "usage: serve [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER] [--opt-nodes N]\n             [--cluster] [--shards N] [--workers N] [--snapshot-dir DIR]\n\nBoots the msmr-serve admission daemon (at least one of --tcp / --uds);\n--cluster serves named shared sessions via the msmr-cluster engine."
 }
 
 fn main() -> ExitCode {
-    let mut options = ServeOptions {
-        tcp: None,
-        uds: None,
-        session: SessionConfig::default(),
-    };
+    let mut listen = Listen::default();
+    let mut session = SessionConfig::default();
+    let mut cluster = false;
+    let mut config = ClusterConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -35,19 +39,36 @@ fn main() -> ExitCode {
                 .ok_or_else(|| format!("missing value for {name}"))
         };
         let parsed = match flag.as_str() {
-            "--tcp" => value("--tcp").map(|addr| options.tcp = Some(addr)),
-            "--uds" => value("--uds").map(|path| options.uds = Some(PathBuf::from(path))),
+            "--tcp" => value("--tcp").map(|addr| listen.tcp = Some(addr)),
+            "--uds" => value("--uds").map(|path| listen.uds = Some(PathBuf::from(path))),
             "--bound" => value("--bound").and_then(|name| {
                 parse_bound(&name)
-                    .map(|bound| options.session.bound = bound)
+                    .map(|bound| session.bound = bound)
                     .ok_or_else(|| format!("unknown bound `{name}`"))
             }),
-            "--decider" => value("--decider").map(|name| options.session.decider = name),
+            "--decider" => value("--decider").map(|name| session.decider = name),
             "--opt-nodes" => value("--opt-nodes").and_then(|raw| {
                 raw.parse()
-                    .map(|nodes| options.session.node_limit = Some(nodes))
+                    .map(|nodes| session.node_limit = Some(nodes))
                     .map_err(|_| "invalid --opt-nodes value".to_string())
             }),
+            "--cluster" => {
+                cluster = true;
+                Ok(())
+            }
+            "--shards" => value("--shards").and_then(|raw| {
+                raw.parse()
+                    .map(|shards| config.shards = shards)
+                    .map_err(|_| "invalid --shards value".to_string())
+            }),
+            "--workers" => value("--workers").and_then(|raw| {
+                raw.parse()
+                    .map(|workers| config.workers = workers)
+                    .map_err(|_| "invalid --workers value".to_string())
+            }),
+            "--snapshot-dir" => {
+                value("--snapshot-dir").map(|dir| config.snapshot_dir = Some(PathBuf::from(dir)))
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -60,7 +81,17 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = match Server::start(options) {
+    let started = if cluster {
+        config.session = session;
+        ClusterEngine::start(listen, config).map(|(server, _engine)| server)
+    } else {
+        Server::start(ServeOptions {
+            tcp: listen.tcp,
+            uds: listen.uds,
+            session,
+        })
+    };
+    let server = match started {
         Ok(server) => server,
         Err(e) => {
             eprintln!("serve: {e}\n\n{}", usage());

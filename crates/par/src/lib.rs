@@ -2,14 +2,23 @@
 //!
 //! The batch-evaluation API of `msmr-sched` fans out independent job-set
 //! evaluations across CPU cores. The build container cannot fetch `rayon`,
-//! so this crate provides the one primitive the workspace needs — an
-//! order-preserving [`parallel_map`] over a slice — on top of
-//! `std::thread::scope` with atomic work stealing. The API is deliberately
-//! rayon-shaped so swapping the implementation for `rayon::par_iter` later
-//! is a one-file change.
+//! so this crate provides the two primitives the workspace needs:
+//!
+//! * an order-preserving [`parallel_map`] over a slice, on top of
+//!   `std::thread::scope` with atomic work stealing — deliberately
+//!   rayon-shaped so swapping in `rayon::par_iter` later is a one-file
+//!   change;
+//! * a long-lived [`WorkerPool`] executor with a bounded submission queue
+//!   and typed backpressure ([`SubmitError::Saturated`]), which the
+//!   `msmr-cluster` service layer uses to decouple connections from solve
+//!   work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,22 @@
+//! `msmr-report` — machine-readable benchmark reporting and trend
+//! checks, shared by the `msmr-bench` harnesses and the `msmr-loadgen`
+//! load generator.
+//!
+//! The [`report`] module defines the `BENCH_kernels.json` schema: a
+//! [`BenchReport`] of named measurements, appended run-by-run (keyed by
+//! git SHA + timestamp) into the [`BenchHistory`]. The [`trend`] module
+//! reads that history back and flags kernels that regressed beyond a
+//! tolerance — the `bench_trend` binary is the CI gate.
+//!
+//! This crate is deliberately solver-free (serde only), so anything in
+//! the workspace — benches, services, load generators — can record into
+//! the shared history without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod trend;
+
+pub use report::{default_report_path, BenchHistory, BenchRecord, BenchReport, BenchRun};
+pub use trend::{check_trend, Regression, TrendConfig, TrendReport};

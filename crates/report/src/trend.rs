@@ -1,0 +1,365 @@
+//! Regression trend checks over the `BENCH_kernels.json` run history.
+//!
+//! The history accumulates one [`BenchRun`] per `kernels_json` (or
+//! `msmr-loadgen`) invocation; this module compares the latest run
+//! against the best value each kernel achieved over the previous `N`
+//! runs and flags regressions beyond a configurable tolerance. The
+//! direction of "worse" follows the record's unit: `ns/op` and `us` are
+//! latency-like (higher is worse), `cases/sec` and `req/sec` are
+//! throughput-like (lower is worse); records with other units (e.g.
+//! counts) are skipped. Runs marked `fast` are CI smoke runs whose
+//! numbers are sanity signals only, so they are excluded by default.
+
+use std::collections::HashMap;
+
+use crate::report::{BenchHistory, BenchRun};
+
+/// Configuration of a [`check_trend`] pass.
+#[derive(Debug, Clone)]
+pub struct TrendConfig {
+    /// How many runs before the latest form the baseline window.
+    pub window: usize,
+    /// Allowed degradation, in percent, against the window's best value
+    /// before a kernel counts as regressed.
+    pub tolerance_pct: f64,
+    /// Include `fast` (CI smoke) runs. Off by default: their numbers
+    /// are measured at reduced proportions and are not trackable.
+    pub include_fast: bool,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            window: 5,
+            tolerance_pct: 25.0,
+            include_fast: false,
+        }
+    }
+}
+
+/// Whether a record's unit is comparable, and in which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Higher values are worse (`ns/op`, `us`).
+    LowerIsBetter,
+    /// Lower values are worse (`cases/sec`, `req/sec`).
+    HigherIsBetter,
+}
+
+fn direction(unit: &str) -> Option<Direction> {
+    match unit {
+        "ns/op" | "us" => Some(Direction::LowerIsBetter),
+        "cases/sec" | "req/sec" => Some(Direction::HigherIsBetter),
+        _ => None,
+    }
+}
+
+/// One kernel that regressed beyond the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The record name (`group/parameter` style).
+    pub name: String,
+    /// The record unit.
+    pub unit: String,
+    /// Best value over the baseline window.
+    pub baseline: f64,
+    /// The latest run's value.
+    pub latest: f64,
+    /// Degradation in percent (always ≥ 0; sign-normalized for the
+    /// unit's direction).
+    pub change_pct: f64,
+}
+
+/// The outcome of one trend check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Kernels compared (present in the latest run with a comparable
+    /// unit and at least one baseline value).
+    pub compared: usize,
+    /// Kernels that regressed beyond the tolerance.
+    pub regressions: Vec<Regression>,
+    /// Human-readable notes (skipped kernels, trivially-passing
+    /// checks).
+    pub notes: Vec<String>,
+}
+
+impl TrendReport {
+    /// `true` when no kernel regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares, for every kernel in the history, its **latest** recorded
+/// value against the best value over the up-to-`window` recordings
+/// before it. The comparison is per-kernel rather than per-run because
+/// the history mixes run *kinds* — `kernels_json` runs and
+/// `msmr-loadgen` runs record disjoint kernel sets — and the newest run
+/// of one kind must not hide regressions in the other. Kernels with
+/// fewer than two recordings pass with a note — a fresh repository must
+/// not fail its own CI.
+#[must_use]
+pub fn check_trend(history: &BenchHistory, config: &TrendConfig) -> TrendReport {
+    let eligible: Vec<&BenchRun> = history
+        .runs
+        .iter()
+        .filter(|run| config.include_fast || !run.fast)
+        .collect();
+    let mut report = TrendReport {
+        compared: 0,
+        regressions: Vec::new(),
+        notes: Vec::new(),
+    };
+    if eligible.is_empty() {
+        report
+            .notes
+            .push("no eligible runs in the history — nothing to compare".to_string());
+        return report;
+    }
+
+    // Every kernel's recordings, in run order (first occurrence fixes
+    // the reporting order).
+    let mut names: Vec<(String, String)> = Vec::new();
+    let mut series: HashMap<(String, String), Vec<f64>> = HashMap::new();
+    for run in &eligible {
+        for record in &run.results {
+            let key = (record.name.clone(), record.unit.clone());
+            series
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    names.push(key.clone());
+                    Vec::new()
+                })
+                .push(record.value);
+        }
+    }
+
+    for key in names {
+        let values = &series[&key];
+        let (name, unit) = key;
+        let Some(direction) = direction(&unit) else {
+            report
+                .notes
+                .push(format!("{name}: unit `{unit}` not compared"));
+            continue;
+        };
+        let latest = values[values.len() - 1];
+        if values.len() < 2 {
+            report
+                .notes
+                .push(format!("{name}: new kernel, no baseline yet"));
+            continue;
+        }
+        let window_start = (values.len() - 1).saturating_sub(config.window.max(1));
+        let window = &values[window_start..values.len() - 1];
+        let baseline = window
+            .iter()
+            .copied()
+            .reduce(|best, value| match direction {
+                Direction::LowerIsBetter => best.min(value),
+                Direction::HigherIsBetter => best.max(value),
+            })
+            .expect("window is non-empty");
+        report.compared += 1;
+        if baseline <= 0.0 || !baseline.is_finite() || !latest.is_finite() {
+            report
+                .notes
+                .push(format!("{name}: implausible values, skipped"));
+            continue;
+        }
+        let change_pct = match direction {
+            Direction::LowerIsBetter => (latest - baseline) / baseline * 100.0,
+            Direction::HigherIsBetter => (baseline - latest) / baseline * 100.0,
+        };
+        if change_pct > config.tolerance_pct {
+            report.regressions.push(Regression {
+                name,
+                unit,
+                baseline,
+                latest,
+                change_pct,
+            });
+        }
+    }
+    report
+        .regressions
+        .sort_by(|a, b| b.change_pct.total_cmp(&a.change_pct));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchRecord, BenchRun};
+
+    fn run(fast: bool, records: &[(&str, f64, &str)]) -> BenchRun {
+        BenchRun {
+            git_sha: "test".to_string(),
+            unix_time: 0,
+            fast,
+            results: records
+                .iter()
+                .map(|(name, value, unit)| BenchRecord {
+                    name: (*name).to_string(),
+                    value: *value,
+                    unit: (*unit).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    fn history(runs: Vec<BenchRun>) -> BenchHistory {
+        BenchHistory {
+            schema: BenchHistory::SCHEMA.to_string(),
+            runs,
+        }
+    }
+
+    #[test]
+    fn single_run_histories_pass_trivially() {
+        let h = history(vec![run(false, &[("k", 10.0, "ns/op")])]);
+        let report = check_trend(&h, &TrendConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.compared, 0);
+        assert!(!report.notes.is_empty());
+    }
+
+    #[test]
+    fn latency_regressions_beyond_tolerance_fail() {
+        let h = history(vec![
+            run(false, &[("k", 100.0, "ns/op")]),
+            run(false, &[("k", 131.0, "ns/op")]),
+        ]);
+        let report = check_trend(
+            &h,
+            &TrendConfig {
+                tolerance_pct: 30.0,
+                ..TrendConfig::default()
+            },
+        );
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].baseline, 100.0);
+        assert!((report.regressions[0].change_pct - 31.0).abs() < 1e-9);
+
+        // Inside the tolerance it passes.
+        let report = check_trend(
+            &h,
+            &TrendConfig {
+                tolerance_pct: 35.0,
+                ..TrendConfig::default()
+            },
+        );
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let h = history(vec![
+            run(false, &[("t", 1000.0, "cases/sec")]),
+            run(false, &[("t", 600.0, "cases/sec")]),
+        ]);
+        let report = check_trend(&h, &TrendConfig::default());
+        assert!(!report.passed());
+        assert!((report.regressions[0].change_pct - 40.0).abs() < 1e-9);
+
+        // A throughput *increase* is never a regression.
+        let h = history(vec![
+            run(false, &[("t", 1000.0, "cases/sec")]),
+            run(false, &[("t", 2000.0, "cases/sec")]),
+        ]);
+        assert!(check_trend(&h, &TrendConfig::default()).passed());
+    }
+
+    #[test]
+    fn baseline_is_the_best_of_the_window() {
+        // One noisy-slow run inside the window must not raise the bar.
+        let h = history(vec![
+            run(false, &[("k", 100.0, "ns/op")]),
+            run(false, &[("k", 180.0, "ns/op")]),
+            run(false, &[("k", 120.0, "ns/op")]),
+        ]);
+        let report = check_trend(
+            &h,
+            &TrendConfig {
+                tolerance_pct: 15.0,
+                ..TrendConfig::default()
+            },
+        );
+        assert!(!report.passed(), "vs best(100), +20% is a regression");
+
+        // With a window of 1 only the 180 run is the baseline.
+        let report = check_trend(
+            &h,
+            &TrendConfig {
+                window: 1,
+                tolerance_pct: 15.0,
+                ..TrendConfig::default()
+            },
+        );
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn fast_runs_are_excluded_by_default() {
+        let h = history(vec![
+            run(false, &[("k", 100.0, "ns/op")]),
+            run(true, &[("k", 500.0, "ns/op")]), // CI smoke noise
+        ]);
+        let report = check_trend(&h, &TrendConfig::default());
+        assert!(report.passed(), "a fast run must not be the latest");
+        let report = check_trend(
+            &h,
+            &TrendConfig {
+                include_fast: true,
+                ..TrendConfig::default()
+            },
+        );
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn new_kernels_and_unknown_units_are_notes_not_failures() {
+        let h = history(vec![
+            run(false, &[("old", 10.0, "ns/op")]),
+            run(
+                false,
+                &[
+                    ("old", 10.0, "ns/op"),
+                    ("fresh", 1.0, "ns/op"),
+                    ("counterish", 42.0, "count"),
+                ],
+            ),
+        ]);
+        let report = check_trend(&h, &TrendConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+        assert!(report.notes.iter().any(|n| n.contains("fresh")));
+        assert!(report.notes.iter().any(|n| n.contains("counterish")));
+    }
+
+    #[test]
+    fn the_committed_history_passes_its_own_check() {
+        // The repo's BENCH_kernels.json must stay green under the CI
+        // gate's tolerance (50% — see ci.yml: live-service latency
+        // percentiles swing 30-40% between shared runners), or the
+        // trend step would fail on an untouched tree.
+        let path = crate::report::default_report_path();
+        if let Ok(history) = BenchHistory::load(&path) {
+            let report = check_trend(
+                &history,
+                &TrendConfig {
+                    tolerance_pct: 50.0,
+                    ..TrendConfig::default()
+                },
+            );
+            assert!(
+                report.passed(),
+                "committed history regresses: {:?}",
+                report.regressions
+            );
+        }
+    }
+}

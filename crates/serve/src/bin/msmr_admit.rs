@@ -17,19 +17,41 @@
 //! wall-clock `elapsed_micros` field) against an offline
 //! `SolverRegistry::evaluate` of the same job set; any mismatch makes the
 //! process exit non-zero — this is the CI smoke check.
+//!
+//! With `--session NAME` the client first attaches to that named shared
+//! session (cluster daemons). A typed overload/backpressure response from
+//! the daemon exits with the distinct code 75 (`EX_TEMPFAIL`), so callers
+//! can tell "retry later" from a protocol failure (exit 1).
 
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use msmr_dca::DelayBoundKind;
 use msmr_model::JobSet;
-use msmr_sched::{Budget, SolverRegistry, Verdict};
+use msmr_sched::{Budget, SolverRegistry};
 use msmr_serve::protocol::{Frame, JobSpec, Op, ShutdownOp, StatusOp};
-use msmr_serve::{parse_bound, Client, Endpoint};
+use msmr_serve::{normalized_verdict_json, parse_bound, Client, Endpoint};
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
+
+/// Exit code for a typed overload/backpressure response (`EX_TEMPFAIL`:
+/// the daemon is healthy but saturated — retry later).
+const EXIT_OVERLOADED: u8 = 75;
+
+/// Maps a replay failure to the process exit code: typed backpressure
+/// (surfaced by the client as `WouldBlock`) gets its own code, every
+/// other failure is a generic error.
+fn replay_error_exit(kind: io::ErrorKind) -> u8 {
+    if kind == io::ErrorKind::WouldBlock {
+        EXIT_OVERLOADED
+    } else {
+        1
+    }
+}
 
 struct Options {
     endpoint: Endpoint,
+    session: Option<String>,
     command: Command,
 }
 
@@ -50,11 +72,12 @@ struct ReplayOptions {
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-admit (--tcp ADDR | --uds PATH) <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)"
+    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
 }
 
 fn parse_options() -> Result<Options, String> {
     let mut endpoint = None;
+    let mut session = None;
     let mut command = None;
     let mut replay = ReplayOptions {
         jobs: 100,
@@ -74,6 +97,7 @@ fn parse_options() -> Result<Options, String> {
         match flag.as_str() {
             "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?)),
             "--uds" => endpoint = Some(Endpoint::Uds(PathBuf::from(value("--uds")?))),
+            "--session" => session = Some(value("--session")?),
             "--status" => command = Some("status"),
             "--shutdown" => command = Some("shutdown"),
             "--replay" => command = Some("replay"),
@@ -119,7 +143,11 @@ fn parse_options() -> Result<Options, String> {
         "shutdown" => Command::Shutdown,
         _ => Command::Replay(replay),
     };
-    Ok(Options { endpoint, command })
+    Ok(Options {
+        endpoint,
+        session,
+        command,
+    })
 }
 
 /// The replay trace: a generated edge workload, with its jobs ordered by
@@ -138,14 +166,6 @@ fn trace(options: &ReplayOptions) -> Result<JobSet, String> {
     Ok(generator.generate_seeded(options.seed))
 }
 
-/// Zeroes the one wall-clock field so two runs of the same evaluation
-/// serialize identically.
-fn normalized_json(verdict: &Verdict) -> String {
-    let mut verdict = verdict.clone();
-    verdict.stats.elapsed_micros = 0;
-    serde_json::to_string(&verdict).expect("verdicts serialize")
-}
-
 fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, String> {
     let trace = trace(options)?;
     let evaluate = options.evaluate || options.verify;
@@ -155,47 +175,52 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
     let mut mirror = empty;
     let mut mismatches = 0usize;
 
-    let outcome = client
-        .replay_trace(&trace, evaluate, |arrival, id, frames| {
-            let spec = JobSpec::from_job(trace.job(id));
-            let (candidate, _) = mirror
-                .with_job(spec.to_builder())
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-            let mut accepted = false;
-            if options.verify {
-                let streamed: Vec<String> = frames
-                    .iter()
-                    .filter_map(|frame| match &frame.frame {
-                        Frame::Verdict(v) => Some(normalized_json(&v.verdict)),
-                        _ => None,
-                    })
-                    .collect();
-                let offline: Vec<String> = registry
-                    .evaluate(&candidate, budget)
-                    .iter()
-                    .map(normalized_json)
-                    .collect();
-                if streamed != offline {
-                    mismatches += 1;
-                    eprintln!("verdict mismatch at arrival {arrival} (job {id})");
-                    for (s, o) in streamed.iter().zip(&offline) {
-                        if s != o {
-                            eprintln!("  streamed: {s}\n  offline:  {o}");
-                        }
+    let replayed = client.replay_trace(&trace, evaluate, |arrival, id, frames| {
+        let spec = JobSpec::from_job(trace.job(id));
+        let (candidate, _) = mirror
+            .with_job(spec.to_builder())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut accepted = false;
+        if options.verify {
+            let streamed: Vec<String> = frames
+                .iter()
+                .filter_map(|frame| match &frame.frame {
+                    Frame::Verdict(v) => Some(normalized_verdict_json(&v.verdict)),
+                    _ => None,
+                })
+                .collect();
+            let offline: Vec<String> = registry
+                .evaluate(&candidate, budget)
+                .iter()
+                .map(normalized_verdict_json)
+                .collect();
+            if streamed != offline {
+                mismatches += 1;
+                eprintln!("verdict mismatch at arrival {arrival} (job {id})");
+                for (s, o) in streamed.iter().zip(&offline) {
+                    if s != o {
+                        eprintln!("  streamed: {s}\n  offline:  {o}");
                     }
                 }
             }
-            for frame in frames {
-                if let Frame::Admit(admit) = &frame.frame {
-                    accepted = admit.admitted;
-                }
+        }
+        for frame in frames {
+            if let Frame::Admit(admit) = &frame.frame {
+                accepted = admit.admitted;
             }
-            if accepted {
-                mirror = candidate;
-            }
-            Ok(())
-        })
-        .map_err(|e| e.to_string())?;
+        }
+        if accepted {
+            mirror = candidate;
+        }
+        Ok(())
+    });
+    let outcome = match replayed {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("msmr-admit: {e}");
+            return Ok(ExitCode::from(replay_error_exit(e.kind())));
+        }
+    };
 
     println!(
         "replayed {} arrivals: {} admitted, {} rejected; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
@@ -232,6 +257,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(session) = &options.session {
+        // Only a replay may create the session; status/shutdown against
+        // a mistyped name must error instead of silently creating (and
+        // later snapshotting) an empty junk session.
+        let create = matches!(options.command, Command::Replay(_));
+        match client.attach(session, create) {
+            Ok(attach) => eprintln!(
+                "msmr-admit: attached to session `{}` (v{}, {} jobs, {} clients)",
+                attach.session, attach.version, attach.jobs, attach.attached
+            ),
+            Err(e) => {
+                eprintln!("msmr-admit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = match &options.command {
         Command::Status => client
             .request(Op::Status(StatusOp {}))
@@ -262,5 +303,22 @@ fn main() -> ExitCode {
             eprintln!("msmr-admit: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_is_a_distinct_exit_code() {
+        assert_eq!(
+            replay_error_exit(io::ErrorKind::WouldBlock),
+            EXIT_OVERLOADED
+        );
+        assert_eq!(replay_error_exit(io::ErrorKind::Other), 1);
+        assert_eq!(replay_error_exit(io::ErrorKind::UnexpectedEof), 1);
+        assert_ne!(EXIT_OVERLOADED, 0);
+        assert_ne!(EXIT_OVERLOADED, 1);
     }
 }

@@ -11,7 +11,8 @@ use std::time::Instant;
 use msmr_model::{JobId, JobSet};
 
 use crate::protocol::{
-    read_response, write_request, AdmitOp, Frame, JobSpec, Op, Request, Response, SubmitOp,
+    read_response, write_request, AdmitOp, AttachFrame, AttachOp, Frame, JobSpec, Op, Request,
+    Response, SubmitOp,
 };
 
 /// Where to reach a daemon.
@@ -65,6 +66,48 @@ impl Client {
             writer,
             next_id: 1,
         })
+    }
+
+    /// A client over an arbitrary reader/writer pair — in-memory
+    /// transports for tests, or pre-connected streams.
+    #[must_use]
+    pub fn from_parts(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> Client {
+        Client {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(writer),
+            next_id: 1,
+        }
+    }
+
+    /// Attaches this connection to the named shared session (cluster
+    /// daemons; protocol v2), creating it when `create` is set.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, and daemon `Error` frames (e.g. a classic
+    /// non-cluster daemon, or an unknown session with `create: false`)
+    /// as `io::ErrorKind::Other`.
+    pub fn attach(&mut self, session: &str, create: bool) -> io::Result<AttachFrame> {
+        let frames = self.request(Op::Attach(AttachOp {
+            session: session.to_string(),
+            create: Some(create),
+        }))?;
+        for frame in frames {
+            match frame.frame {
+                Frame::Attach(attach) => return Ok(attach),
+                Frame::Error(e) => {
+                    return Err(io::Error::other(format!("attach failed: {}", e.message)))
+                }
+                _ => {}
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "daemon answered attach without an attach frame",
+        ))
     }
 
     /// Sends one operation and invokes `on_frame` for every streamed
@@ -128,7 +171,9 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport errors, daemon `Error` frames (as
-    /// `io::ErrorKind::Other`), a missing admit frame, and errors from
+    /// `io::ErrorKind::Other`), typed overload responses (as
+    /// `io::ErrorKind::WouldBlock`, so callers can map backpressure to a
+    /// distinct exit path), a missing admit frame, and errors from
     /// `on_arrival`.
     pub fn replay_trace(
         &mut self,
@@ -136,8 +181,7 @@ impl Client {
         evaluate: bool,
         mut on_arrival: impl FnMut(usize, JobId, &[Response]) -> io::Result<()>,
     ) -> io::Result<ReplayOutcome> {
-        let mut arrivals: Vec<JobId> = trace.job_ids().collect();
-        arrivals.sort_by_key(|&id| (trace.job(id).arrival(), id));
+        let arrivals = msmr_workload::arrival_order(trace);
         let (empty, _) = trace
             .restrict_to(&[])
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -169,6 +213,15 @@ impl Client {
                             "arrival {arrival}: {}",
                             e.message
                         )))
+                    }
+                    Frame::Overload(overload) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!(
+                                "arrival {arrival}: server overloaded ({}/{} tasks queued)",
+                                overload.queued, overload.capacity
+                            ),
+                        ))
                     }
                     _ => {}
                 }
@@ -220,4 +273,84 @@ pub fn percentile_us(samples: &[f64], p: f64) -> f64 {
     sorted.sort_by(f64::total_cmp);
     let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{write_response, DoneFrame, Frame, OverloadFrame, Response};
+    use msmr_model::{JobSetBuilder, PreemptionPolicy, Time};
+
+    fn one_job_trace() -> JobSet {
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 1, PreemptionPolicy::Preemptive);
+        b.job()
+            .deadline(Time::new(20))
+            .stage_time(Time::new(2), 0)
+            .add()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn canned(responses: &[Response]) -> Vec<u8> {
+        let mut buffer = Vec::new();
+        for response in responses {
+            write_response(&mut buffer, response).unwrap();
+        }
+        buffer
+    }
+
+    #[test]
+    fn overload_frames_surface_as_would_block() {
+        // The daemon answers the submit (id 1) normally, then refuses
+        // the admit (id 2) with the typed backpressure frame.
+        let input = canned(&[
+            Response {
+                id: 1,
+                frame: Frame::Done(DoneFrame { frames: 0 }),
+            },
+            Response {
+                id: 2,
+                frame: Frame::Overload(OverloadFrame {
+                    queued: 8,
+                    capacity: 8,
+                }),
+            },
+            Response {
+                id: 2,
+                frame: Frame::Done(DoneFrame { frames: 1 }),
+            },
+        ]);
+        let mut client = Client::from_parts(std::io::Cursor::new(input), Vec::new());
+        let err = client
+            .replay_trace(&one_job_trace(), false, |_, _, _| Ok(()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("overloaded"), "{err}");
+    }
+
+    #[test]
+    fn error_frames_stay_generic_failures() {
+        let input = canned(&[
+            Response {
+                id: 1,
+                frame: Frame::Done(DoneFrame { frames: 0 }),
+            },
+            Response {
+                id: 2,
+                frame: Frame::Error(crate::protocol::ErrorFrame {
+                    message: "no session".to_string(),
+                }),
+            },
+            Response {
+                id: 2,
+                frame: Frame::Done(DoneFrame { frames: 1 }),
+            },
+        ]);
+        let mut client = Client::from_parts(std::io::Cursor::new(input), Vec::new());
+        let err = client
+            .replay_trace(&one_job_trace(), false, |_, _, _| Ok(()))
+            .unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::WouldBlock);
+    }
 }

@@ -38,6 +38,15 @@
 //! always terminated by exactly one `Done` frame, so clients can
 //! pipeline requests without framing ambiguity.
 //!
+//! Protocol **v2** ([`protocol::PROTOCOL_VERSION`]) adds the cluster
+//! ops — `attach`/`detach` (named *shared* sessions addressable from any
+//! number of connections), `snapshot`/`restore` (persistence across
+//! daemon restarts) — and the typed `Overload` backpressure frame.
+//! Those ops are answered by daemons running the `msmr-cluster` engine
+//! (`msmr-served --cluster`); this crate's classic per-connection server
+//! answers them with an `Error` frame. See the `msmr-cluster` crate
+//! docs for a worked attach/snapshot transcript.
+//!
 //! A worked transcript (client lines marked `>`, daemon lines `<`,
 //! verdicts abbreviated). The session is opened with a pipeline-only
 //! submit, then a job is admitted with full-suite evaluation:
@@ -104,10 +113,28 @@ mod server;
 mod session;
 
 pub use client::{percentile_us, Client, Endpoint, ReplayOutcome};
-pub use server::{serve_connection, ServeOptions, Server};
-pub use session::{AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionStatus};
+pub use server::{
+    serve_connection, ConnHandler, ConnStream, FrameSink, Listen, ServeOptions, Server,
+};
+pub use session::{
+    AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionImage, SessionStatus,
+};
 
 use msmr_dca::DelayBoundKind;
+use msmr_sched::Verdict;
+
+/// Serializes a verdict with its one wall-clock field
+/// (`stats.elapsed_micros`) zeroed, so two runs of the same evaluation
+/// produce byte-identical JSON. This is the normal form every
+/// verification path of the workspace compares — `msmr-admit --verify`,
+/// the end-to-end suites and `msmr-loadgen` all use it, so they cannot
+/// drift on what "byte-identical" means.
+#[must_use]
+pub fn normalized_verdict_json(verdict: &Verdict) -> String {
+    let mut verdict = verdict.clone();
+    verdict.stats.elapsed_micros = 0;
+    serde_json::to_string(&verdict).expect("verdicts serialize")
+}
 
 /// Parses a delay-bound name as accepted by the binaries' `--bound` flag:
 /// the paper's equation numbers (`eq1`, `eq2`, `eq3`, `eq4`, `eq5`,

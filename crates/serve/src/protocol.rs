@@ -7,6 +7,24 @@
 //! terminated by exactly one [`Frame::Done`] (also after errors), so
 //! clients can multiplex without guessing. See the crate-level docs for a
 //! worked transcript.
+//!
+//! # Versioning
+//!
+//! [`PROTOCOL_VERSION`] is `2`. Version 1 carried the five original ops
+//! (`submit`, `admit`, `withdraw`, `status`, `shutdown`), whose request
+//! encodings are unchanged on the wire; version 2 adds the cluster ops
+//! ([`Op::Attach`], [`Op::Detach`], [`Op::Snapshot`], [`Op::Restore`])
+//! and new frames ([`Frame::Attach`] and friends, plus the typed
+//! [`Frame::Overload`] backpressure response), and the [`AdmitFrame`]
+//! gained an optional per-session decision sequence number `seq` — a
+//! positive number in cluster mode, serialized as `null` by the classic
+//! per-connection server. Clients must ignore unknown response fields
+//! (v1 readers of v2 frames) and treat a missing `seq` as `None` (v2
+//! readers of v1 frames; both directions are covered by tests).
+
+/// The wire-protocol version this build speaks. See the module docs for
+/// the v1 → v2 delta.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 use std::io::{self, BufRead, Write};
 
@@ -37,6 +55,18 @@ pub enum Op {
     Status(StatusOp),
     /// Stop the daemon (all listeners).
     Shutdown(ShutdownOp),
+    /// Attach this connection to a *named shared* session (cluster mode;
+    /// protocol v2).
+    Attach(AttachOp),
+    /// Detach from the currently attached named session (cluster mode;
+    /// protocol v2).
+    Detach(DetachOp),
+    /// Persist a named session's admitted job set to the snapshot
+    /// directory (cluster mode; protocol v2).
+    Snapshot(SnapshotOp),
+    /// Rebuild named sessions from the snapshot directory (cluster mode;
+    /// protocol v2).
+    Restore(RestoreOp),
 }
 
 /// Payload of [`Op::Submit`]: the job set may be empty (pipeline only),
@@ -135,6 +165,40 @@ pub struct StatusOp {}
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShutdownOp {}
 
+/// Payload of [`Op::Attach`]: names the shared session this connection
+/// wants to operate on. Session names are restricted to
+/// `[A-Za-z0-9_.-]`, at most 64 characters (they double as snapshot file
+/// stems).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttachOp {
+    /// The session name.
+    pub session: String,
+    /// `true`/absent creates the session when it does not exist yet;
+    /// `false` makes attaching to an unknown name an error.
+    pub create: Option<bool>,
+}
+
+/// Payload of [`Op::Detach`] (no fields; detaches from the session the
+/// connection is currently attached to).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetachOp {}
+
+/// Payload of [`Op::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotOp {
+    /// The session to persist; absent snapshots the session this
+    /// connection is attached to.
+    pub session: Option<String>,
+}
+
+/// Payload of [`Op::Restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreOp {
+    /// The session to restore from disk; absent restores every snapshot
+    /// found in the daemon's snapshot directory.
+    pub session: Option<String>,
+}
+
 /// One daemon response frame, tagged with the request's id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -159,6 +223,18 @@ pub enum Frame {
     Error(ErrorFrame),
     /// Terminates the frame stream of one request.
     Done(DoneFrame),
+    /// The result of an [`Op::Attach`] (protocol v2).
+    Attach(AttachFrame),
+    /// The result of an [`Op::Detach`] (protocol v2).
+    Detach(DetachFrame),
+    /// The result of an [`Op::Snapshot`] (protocol v2).
+    Snapshot(SnapshotFrame),
+    /// The result of an [`Op::Restore`] (protocol v2).
+    Restore(RestoreFrame),
+    /// Typed backpressure: the daemon's worker pool refused the request
+    /// because its bounded queue is full. The request had **no effect**;
+    /// the client should back off and retry (protocol v2).
+    Overload(OverloadFrame),
 }
 
 /// Payload of [`Frame::Verdict`].
@@ -180,6 +256,14 @@ pub struct AdmitFrame {
     pub jobs: u64,
     /// Name of the solver whose verdict decided the admission.
     pub decider: String,
+    /// Per-session decision sequence number (1-based, counts admissions
+    /// *and* rejections). Set in cluster mode, where several clients
+    /// share one session: sorting each client's observed decisions by
+    /// `seq` reconstructs the order the session actually processed them
+    /// in, so a serialized offline replay can verify the verdicts
+    /// byte-for-byte. `None` (serialized as `null`) in classic
+    /// per-connection mode; missing in v1 frames, which parse as `None`.
+    pub seq: Option<u64>,
 }
 
 /// Payload of [`Frame::Withdraw`].
@@ -222,6 +306,74 @@ pub struct ErrorFrame {
 pub struct DoneFrame {
     /// Number of frames the request streamed before this one.
     pub frames: u64,
+}
+
+/// Payload of [`Frame::Attach`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttachFrame {
+    /// The session name the connection is now attached to.
+    pub session: String,
+    /// `true` when the attach created the session.
+    pub created: bool,
+    /// The session's mutation version (bumps on submit, accepted admit,
+    /// withdraw and restore).
+    pub version: u64,
+    /// Connections attached to the session after this attach.
+    pub attached: u64,
+    /// Currently admitted jobs of the session.
+    pub jobs: u64,
+    /// The daemon's wire-protocol version ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
+}
+
+/// Payload of [`Frame::Detach`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetachFrame {
+    /// The session name the connection detached from.
+    pub session: String,
+    /// Connections still attached to the session.
+    pub attached: u64,
+}
+
+/// Payload of [`Frame::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFrame {
+    /// The snapshotted session.
+    pub session: String,
+    /// The session version the snapshot captured.
+    pub version: u64,
+    /// Jobs in the persisted admitted set.
+    pub jobs: u64,
+    /// Snapshot file path on the daemon's filesystem.
+    pub path: String,
+}
+
+/// One restored session of a [`Frame::Restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoredSession {
+    /// The session name.
+    pub session: String,
+    /// The restored mutation version.
+    pub version: u64,
+    /// Jobs in the restored admitted set.
+    pub jobs: u64,
+}
+
+/// Payload of [`Frame::Restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreFrame {
+    /// The sessions rebuilt from disk, in restore order.
+    pub sessions: Vec<RestoredSession>,
+}
+
+/// Payload of [`Frame::Overload`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadFrame {
+    /// Tasks waiting in the daemon's worker-pool queue when the request
+    /// was refused.
+    pub queued: u64,
+    /// The worker-pool queue capacity.
+    pub capacity: u64,
 }
 
 /// Serializes one response as a single NDJSON line and flushes it, so the
@@ -328,6 +480,27 @@ mod tests {
                 id: 5,
                 op: Op::Shutdown(ShutdownOp {}),
             },
+            Request {
+                id: 6,
+                op: Op::Attach(AttachOp {
+                    session: "tenant-a".to_string(),
+                    create: Some(true),
+                }),
+            },
+            Request {
+                id: 7,
+                op: Op::Detach(DetachOp {}),
+            },
+            Request {
+                id: 8,
+                op: Op::Snapshot(SnapshotOp {
+                    session: Some("tenant-a".to_string()),
+                }),
+            },
+            Request {
+                id: 9,
+                op: Op::Restore(RestoreOp { session: None }),
+            },
         ];
         for request in requests {
             let line = serde_json::to_string(&request).unwrap();
@@ -352,6 +525,7 @@ mod tests {
                     job: Some(4),
                     jobs: 9,
                     decider: "OPDCA".to_string(),
+                    seq: Some(10),
                 }),
             },
             Response {
@@ -380,12 +554,83 @@ mod tests {
                 id: 4,
                 frame: Frame::Done(DoneFrame { frames: 1 }),
             },
+            Response {
+                id: 5,
+                frame: Frame::Attach(AttachFrame {
+                    session: "tenant-a".to_string(),
+                    created: true,
+                    version: 3,
+                    attached: 2,
+                    jobs: 7,
+                    protocol: PROTOCOL_VERSION,
+                }),
+            },
+            Response {
+                id: 6,
+                frame: Frame::Detach(DetachFrame {
+                    session: "tenant-a".to_string(),
+                    attached: 1,
+                }),
+            },
+            Response {
+                id: 7,
+                frame: Frame::Snapshot(SnapshotFrame {
+                    session: "tenant-a".to_string(),
+                    version: 3,
+                    jobs: 7,
+                    path: "/tmp/snap/tenant-a.json".to_string(),
+                }),
+            },
+            Response {
+                id: 8,
+                frame: Frame::Restore(RestoreFrame {
+                    sessions: vec![RestoredSession {
+                        session: "tenant-a".to_string(),
+                        version: 3,
+                        jobs: 7,
+                    }],
+                }),
+            },
+            Response {
+                id: 9,
+                frame: Frame::Overload(OverloadFrame {
+                    queued: 64,
+                    capacity: 64,
+                }),
+            },
         ];
         for response in responses {
             let line = serde_json::to_string(&response).unwrap();
             let parsed: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(parsed, response);
         }
+    }
+
+    #[test]
+    fn v1_admit_frames_without_seq_still_parse() {
+        // A protocol-v1 daemon never writes `seq`; a v2 client must read
+        // its frames as `seq: None` instead of erroring.
+        let line =
+            r#"{"id":3,"frame":{"Admit":{"admitted":true,"job":2,"jobs":2,"decider":"OPDCA"}}}"#;
+        let parsed: Response = serde_json::from_str(line).unwrap();
+        let Frame::Admit(frame) = parsed.frame else {
+            panic!("expected admit frame");
+        };
+        assert_eq!(frame.seq, None);
+        assert_eq!(frame.job, Some(2));
+
+        // And the v2 classic server serializes that None as an explicit
+        // null (the vendored serde has no skip-if-none) — pinned here so
+        // the protocol docs stay honest about the wire bytes.
+        let frame = Frame::Admit(AdmitFrame {
+            admitted: true,
+            job: Some(2),
+            jobs: 2,
+            decider: "OPDCA".to_string(),
+            seq: None,
+        });
+        let line = serde_json::to_string(&frame).unwrap();
+        assert!(line.contains("\"seq\":null"), "{line}");
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The daemon: TCP and Unix-domain listeners, a std-only
 //! thread-per-connection acceptor, and the per-connection request loop
 //! that streams frames as they are produced.
+//!
+//! The acceptor is handler-generic: [`Server::start`] runs the classic
+//! one-session-per-connection loop ([`serve_connection`]), while
+//! [`Server::start_with`] plugs in any connection handler — the
+//! `msmr-cluster` crate uses it to route connections at a shared,
+//! sharded session store.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -13,15 +19,25 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{
-    write_response, AdmitFrame, DoneFrame, ErrorFrame, Frame, Op, Request, Response, StatusFrame,
-    VerdictFrame, WithdrawFrame,
+    write_response, DoneFrame, ErrorFrame, Frame, Op, Request, Response, VerdictFrame,
+    WithdrawFrame,
 };
 use crate::session::{AdmissionSession, SessionConfig};
 
 /// How long an idle acceptor sleeps between shutdown-flag polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
-/// Where the daemon listens.
+/// Where a daemon listens (transport only).
+#[derive(Debug, Clone, Default)]
+pub struct Listen {
+    /// TCP listen address (e.g. `127.0.0.1:7471`).
+    pub tcp: Option<String>,
+    /// Unix-domain socket path (removed and re-created on bind).
+    pub uds: Option<PathBuf>,
+}
+
+/// Where the daemon listens plus the per-connection session
+/// configuration of the classic (non-cluster) mode.
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// TCP listen address (e.g. `127.0.0.1:7471`).
@@ -32,10 +48,47 @@ pub struct ServeOptions {
     pub session: SessionConfig,
 }
 
+/// One accepted connection, transport-erased. Produced by the acceptor
+/// and consumed by a connection handler (see [`Server::start_with`]).
+pub enum ConnStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl ConnStream {
+    /// Splits the connection into an owned reader/writer pair (TCP gets
+    /// `TCP_NODELAY`, since every frame is one flushed line and Nagle +
+    /// delayed ACK would add tens of milliseconds per streamed verdict).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn into_split(self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            ConnStream::Tcp(stream) => {
+                let _ = stream.set_nodelay(true);
+                Ok((Box::new(stream.try_clone()?), Box::new(stream)))
+            }
+            #[cfg(unix)]
+            ConnStream::Uds(stream) => Ok((Box::new(stream.try_clone()?), Box::new(stream))),
+        }
+    }
+}
+
+/// A per-connection handler: receives the accepted stream and the
+/// daemon-wide shutdown flag (raise it to stop the acceptors). Runs on a
+/// dedicated thread per connection.
+pub type ConnHandler = Arc<dyn Fn(ConnStream, Arc<AtomicBool>) + Send + Sync + 'static>;
+
 /// A running daemon: bound listeners plus their acceptor threads.
 ///
-/// Every accepted connection gets its own thread and its own
-/// [`AdmissionSession`]; session state lives for the connection lifetime.
+/// With [`Server::start`], every accepted connection gets its own thread
+/// and its own [`AdmissionSession`]; session state lives for the
+/// connection lifetime. [`Server::start_with`] accepts the same
+/// transports but hands connections to a caller-supplied handler.
 /// [`Server::stop`] (or a client's `shutdown` op) makes the acceptors
 /// exit; [`Server::join`] waits for them.
 pub struct Server {
@@ -46,16 +99,39 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the configured listeners and starts accepting. Returns once
-    /// every listener is bound (connectable), with the acceptors running
-    /// in background threads.
+    /// Binds the configured listeners and starts accepting with the
+    /// classic one-session-per-connection loop. Returns once every
+    /// listener is bound (connectable), with the acceptors running in
+    /// background threads.
     ///
     /// # Errors
     ///
     /// Propagates bind errors; fails with `InvalidInput` when neither a
     /// TCP address nor a socket path is configured.
     pub fn start(options: ServeOptions) -> io::Result<Server> {
-        if options.tcp.is_none() && options.uds.is_none() {
+        let listen = Listen {
+            tcp: options.tcp,
+            uds: options.uds,
+        };
+        let session = options.session;
+        let handler: ConnHandler = Arc::new(move |stream: ConnStream, shutdown| {
+            if let Ok((reader, writer)) = stream.into_split() {
+                let _ =
+                    serve_connection(BufReader::new(reader), writer, session.clone(), &shutdown);
+            }
+        });
+        Server::start_with(listen, handler)
+    }
+
+    /// Binds the configured listeners and hands every accepted
+    /// connection to `handler` on a dedicated thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors; fails with `InvalidInput` when neither a
+    /// TCP address nor a socket path is configured.
+    pub fn start_with(listen: Listen, handler: ConnHandler) -> io::Result<Server> {
+        if listen.tcp.is_none() && listen.uds.is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "configure at least one of --tcp / --uds",
@@ -66,50 +142,48 @@ impl Server {
         let mut tcp_addr = None;
         let mut uds_path = None;
 
-        if let Some(addr) = &options.tcp {
+        if let Some(addr) = &listen.tcp {
             let listener = TcpListener::bind(addr)?;
             listener.set_nonblocking(true)?;
             tcp_addr = Some(listener.local_addr()?);
             let flag = Arc::clone(&shutdown);
-            let session = options.session.clone();
+            let handler = Arc::clone(&handler);
             acceptors.push(std::thread::spawn(move || {
                 accept_loop(
                     || match listener.accept() {
-                        Ok((stream, _)) => Some(Ok(stream)),
+                        Ok((stream, _)) => Some(Ok(ConnStream::Tcp(stream))),
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                         Err(e) => Some(Err(e)),
                     },
-                    tcp_connection,
+                    &handler,
                     &flag,
-                    session,
                 );
             }));
         }
 
         #[cfg(unix)]
-        if let Some(path) = &options.uds {
+        if let Some(path) = &listen.uds {
             // A stale socket file from a previous run refuses the bind.
             let _ = std::fs::remove_file(path);
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             uds_path = Some(path.clone());
             let flag = Arc::clone(&shutdown);
-            let session = options.session.clone();
+            let handler = Arc::clone(&handler);
             acceptors.push(std::thread::spawn(move || {
                 accept_loop(
                     || match listener.accept() {
-                        Ok((stream, _)) => Some(Ok(stream)),
+                        Ok((stream, _)) => Some(Ok(ConnStream::Uds(stream))),
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                         Err(e) => Some(Err(e)),
                     },
-                    uds_connection,
+                    &handler,
                     &flag,
-                    session,
                 );
             }));
         }
         #[cfg(not(unix))]
-        if options.uds.is_some() {
+        if listen.uds.is_some() {
             return Err(io::Error::new(
                 io::ErrorKind::Unsupported,
                 "unix-domain sockets are not available on this platform",
@@ -163,44 +237,28 @@ impl Server {
 
 /// Shared nonblocking accept loop: polls `accept`, spawns one detached
 /// connection thread per stream, exits when the shutdown flag rises.
-fn accept_loop<S: Send + 'static>(
-    accept: impl Fn() -> Option<io::Result<S>>,
-    handle: fn(S, SessionConfig, Arc<AtomicBool>),
+fn accept_loop(
+    accept: impl Fn() -> Option<io::Result<ConnStream>>,
+    handler: &ConnHandler,
     shutdown: &Arc<AtomicBool>,
-    session: SessionConfig,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match accept() {
             Some(Ok(stream)) => {
-                let config = session.clone();
+                let handler = Arc::clone(handler);
                 let flag = Arc::clone(shutdown);
-                std::thread::spawn(move || handle(stream, config, flag));
+                std::thread::spawn(move || handler(stream, flag));
             }
             Some(Err(_)) | None => std::thread::sleep(ACCEPT_POLL),
         }
     }
 }
 
-fn tcp_connection(stream: TcpStream, config: SessionConfig, shutdown: Arc<AtomicBool>) {
-    // One flushed NDJSON frame per write: Nagle + delayed ACK would add
-    // tens of milliseconds to every streamed verdict.
-    let _ = stream.set_nodelay(true);
-    if let Ok(reader) = stream.try_clone() {
-        let _ = serve_connection(BufReader::new(reader), stream, config, &shutdown);
-    }
-}
-
-#[cfg(unix)]
-fn uds_connection(stream: UnixStream, config: SessionConfig, shutdown: Arc<AtomicBool>) {
-    if let Ok(reader) = stream.try_clone() {
-        let _ = serve_connection(BufReader::new(reader), stream, config, &shutdown);
-    }
-}
-
 /// Streams responses for one frame sequence, counting frames and trapping
 /// the first I/O error so verdict sinks (plain `FnMut(&Verdict)`) can
-/// write without a fallible signature.
-struct FrameSink<'a, W: Write> {
+/// write without a fallible signature. Shared by the classic connection
+/// loop and the cluster connection loop of `msmr-cluster`.
+pub struct FrameSink<'a, W: Write> {
     writer: &'a mut W,
     id: u64,
     frames: u64,
@@ -208,7 +266,8 @@ struct FrameSink<'a, W: Write> {
 }
 
 impl<'a, W: Write> FrameSink<'a, W> {
-    fn new(writer: &'a mut W, id: u64) -> Self {
+    /// A sink for the frame stream answering request `id`.
+    pub fn new(writer: &'a mut W, id: u64) -> Self {
         FrameSink {
             writer,
             id,
@@ -217,7 +276,9 @@ impl<'a, W: Write> FrameSink<'a, W> {
         }
     }
 
-    fn send(&mut self, frame: Frame) {
+    /// Writes one frame; after a write error, further sends are dropped
+    /// and the error surfaces from [`FrameSink::finish`].
+    pub fn send(&mut self, frame: Frame) {
         if self.error.is_some() {
             return;
         }
@@ -228,8 +289,13 @@ impl<'a, W: Write> FrameSink<'a, W> {
         }
     }
 
-    /// Terminates the request's stream and surfaces any trapped error.
-    fn finish(mut self) -> io::Result<()> {
+    /// Terminates the request's stream with the `Done` frame and
+    /// surfaces any trapped error.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error any [`FrameSink::send`] hit.
+    pub fn finish(mut self) -> io::Result<()> {
         let frames = self.frames;
         self.send(Frame::Done(DoneFrame { frames }));
         match self.error {
@@ -299,12 +365,11 @@ pub fn serve_connection(
                         verdict: verdict.clone(),
                     }));
                 }) {
-                    Ok(outcome) => sink.send(Frame::Admit(AdmitFrame {
-                        admitted: outcome.admitted,
-                        job: outcome.handle,
-                        jobs: outcome.jobs as u64,
-                        decider: session.config().decider.clone(),
-                    })),
+                    Ok(outcome) => {
+                        sink.send(Frame::Admit(
+                            outcome.to_frame(&session.config().decider, None),
+                        ));
+                    }
                     Err(e) => sink.send(Frame::Error(ErrorFrame {
                         message: e.to_string(),
                     })),
@@ -320,20 +385,17 @@ pub fn serve_connection(
                 })),
             },
             Op::Status(_) => {
-                let status = session.status();
-                sink.send(Frame::Status(StatusFrame {
-                    jobs: status.jobs as u64,
-                    stages: status.stages as u64,
-                    admitted: status.admitted,
-                    admits: status.admits,
-                    rejects: status.rejects,
-                    solvers: status.solvers,
-                    decider: status.decider,
-                }));
+                sink.send(Frame::Status(session.status().to_frame()));
             }
             Op::Shutdown(_) => {
                 shutdown.store(true, Ordering::SeqCst);
                 stop = true;
+            }
+            Op::Attach(_) | Op::Detach(_) | Op::Snapshot(_) | Op::Restore(_) => {
+                sink.send(Frame::Error(ErrorFrame {
+                    message: "named shared sessions require the daemon's --cluster mode"
+                        .to_string(),
+                }));
             }
         }
         sink.finish()?;

@@ -7,8 +7,9 @@ use std::fmt;
 use msmr_dca::{Analysis, DelayBoundKind, PairTables};
 use msmr_model::{JobId, JobSet, ModelError};
 use msmr_sched::{Budget, SolveCtx, SolverRegistry, Verdict};
+use serde::{Deserialize, Serialize};
 
-use crate::protocol::JobSpec;
+use crate::protocol::{AdmitFrame, JobSpec, StatusFrame};
 
 /// Configuration of one [`AdmissionSession`].
 #[derive(Debug, Clone)]
@@ -92,6 +93,22 @@ pub struct AdmitOutcome {
     pub verdicts: Vec<Verdict>,
 }
 
+impl AdmitOutcome {
+    /// The wire frame reporting this decision — the one encoding shared
+    /// by the classic and the cluster connection loop (`seq` is the
+    /// cluster-mode decision sequence number, `None` in classic mode).
+    #[must_use]
+    pub fn to_frame(&self, decider: &str, seq: Option<u64>) -> AdmitFrame {
+        AdmitFrame {
+            admitted: self.admitted,
+            job: self.handle,
+            jobs: self.jobs as u64,
+            decider: decider.to_string(),
+            seq,
+        }
+    }
+}
+
 /// A point-in-time snapshot of the session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionStatus {
@@ -109,6 +126,23 @@ pub struct SessionStatus {
     pub solvers: Vec<String>,
     /// The deciding solver's name.
     pub decider: String,
+}
+
+impl SessionStatus {
+    /// The wire frame reporting this status — the one encoding shared
+    /// by the classic and the cluster connection loop.
+    #[must_use]
+    pub fn to_frame(&self) -> StatusFrame {
+        StatusFrame {
+            jobs: self.jobs as u64,
+            stages: self.stages as u64,
+            admitted: self.admitted.clone(),
+            admits: self.admits,
+            rejects: self.rejects,
+            solvers: self.solvers.clone(),
+            decider: self.decider.clone(),
+        }
+    }
 }
 
 /// The admitted job set together with its warm caches.
@@ -320,9 +354,15 @@ impl AdmissionSession {
 
     /// Removes a previously admitted job by its external handle.
     ///
-    /// Withdrawal renumbers the internal ids, so the pair tables are
-    /// rebuilt (`O(n²·N)`) — the one session operation that cannot reuse
-    /// the cache. Handles of the remaining jobs are unaffected.
+    /// Withdrawing any job but the last renumbers the internal ids, so
+    /// the pair tables are rebuilt (`O(n²·N)`) — the one session
+    /// operation that cannot reuse the cache. Withdrawing the **most
+    /// recently admitted** job takes a fast path instead: its row and
+    /// column are peeled off the cached tables with
+    /// [`PairTables::remove_last_job`] (`O(n·N)`, the exact inverse of
+    /// the admit-time extension), leaving tables bit-identical to a full
+    /// rebuild on the reduced set. Handles of the remaining jobs are
+    /// unaffected either way.
     ///
     /// # Errors
     ///
@@ -336,13 +376,22 @@ impl AdmissionSession {
             .position(|&h| h == handle)
             .ok_or(SessionError::UnknownHandle(handle))?;
         let (reduced, _) = state.jobs.without_job(JobId::new(index));
-        let mut tables = Analysis::new(&reduced).into_tables();
-        if self.config.reserve > tables.capacity() {
-            tables.reserve(self.config.reserve);
+        if index + 1 == state.handles.len() {
+            // The withdrawn job holds the highest internal id: no
+            // renumbering happens, so the cached tables roll back
+            // incrementally instead of being rebuilt.
+            let mut tables = state.tables.take().expect("tables present");
+            tables.remove_last_job();
+            state.tables = Some(tables);
+        } else {
+            let mut tables = Analysis::new(&reduced).into_tables();
+            if self.config.reserve > tables.capacity() {
+                tables.reserve(self.config.reserve);
+            }
+            state.tables = Some(tables);
         }
         state.jobs = reduced;
         state.handles.remove(index);
-        state.tables = Some(tables);
         Ok(state.jobs.len())
     }
 
@@ -379,6 +428,95 @@ impl AdmissionSession {
     pub fn jobs(&self) -> Option<&JobSet> {
         self.state.as_ref().map(|state| &state.jobs)
     }
+
+    /// The warm pair tables, if a session is open (tests and cache
+    /// introspection; never `None` between operations).
+    #[must_use]
+    pub fn tables(&self) -> Option<&PairTables> {
+        self.state.as_ref().and_then(|state| state.tables.as_ref())
+    }
+
+    /// Captures the session's durable state — the admitted job set, the
+    /// handle bookkeeping and the lifetime counters — as a serializable
+    /// [`SessionImage`]. The warm tables are deliberately *not* part of
+    /// the image: [`AdmissionSession::from_image`] rebuilds them through
+    /// [`Analysis::new`], which is both smaller on disk and immune to
+    /// cache-layout drift between daemon versions. Returns `None` before
+    /// the first submit.
+    #[must_use]
+    pub fn image(&self) -> Option<SessionImage> {
+        self.state.as_ref().map(|state| SessionImage {
+            jobs: state.jobs.clone(),
+            handles: state.handles.clone(),
+            next_handle: self.next_handle,
+            admits: self.admits,
+            rejects: self.rejects,
+        })
+    }
+
+    /// Rebuilds a session from a [`SessionImage`] (snapshot restore):
+    /// the job set is re-validated, the pair tables are replayed through
+    /// [`Analysis::new`] and arrive warm, and handle/counter bookkeeping
+    /// resumes where the image left off.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidJob`] when the image's job set violates the
+    /// model invariants (e.g. a hand-edited snapshot file) or its handle
+    /// list does not match the job count.
+    pub fn from_image(
+        config: SessionConfig,
+        image: SessionImage,
+    ) -> Result<AdmissionSession, SessionError> {
+        let jobs = image.jobs.sanitized()?;
+        if image.handles.len() != jobs.len() {
+            return Err(SessionError::InvalidJob(format!(
+                "snapshot lists {} handles for {} jobs",
+                image.handles.len(),
+                jobs.len()
+            )));
+        }
+        let min_next = image
+            .handles
+            .iter()
+            .max()
+            .map_or(1, |&max| max.saturating_add(1));
+        let mut tables = Analysis::new(&jobs).into_tables();
+        if config.reserve > tables.capacity() {
+            tables.reserve(config.reserve);
+        }
+        let registry = SolverRegistry::paper_suite(config.bound);
+        Ok(AdmissionSession {
+            config,
+            registry,
+            state: Some(SessionState {
+                jobs,
+                tables: Some(tables),
+                handles: image.handles,
+            }),
+            admits: image.admits,
+            rejects: image.rejects,
+            next_handle: image.next_handle.max(min_next),
+        })
+    }
+}
+
+/// The durable state of an [`AdmissionSession`], as persisted by the
+/// cluster snapshot subsystem: everything needed to resume admission
+/// control after a daemon restart *except* the warm caches, which
+/// [`AdmissionSession::from_image`] replays through [`Analysis::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionImage {
+    /// The admitted job set (pipeline included).
+    pub jobs: JobSet,
+    /// External handle of each admitted job, indexed by internal id.
+    pub handles: Vec<u64>,
+    /// The next handle the session will assign.
+    pub next_handle: u64,
+    /// Lifetime admit count.
+    pub admits: u64,
+    /// Lifetime reject count.
+    pub rejects: u64,
 }
 
 #[cfg(test)]
@@ -496,6 +634,125 @@ mod tests {
         let jobs = session.jobs().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs.job(JobId::new(0)).processing(0.into()), Time::new(6));
+    }
+
+    /// Behavioural bit-for-bit equality of two pair tables: identical
+    /// masks, and identical evaluator delay/fit/slack for every bound
+    /// kind under both id order and reversed id order (every value the
+    /// solvers can ever read).
+    fn assert_tables_identical(a: &PairTables, b: &PairTables) {
+        use msmr_dca::DelayEvaluator;
+        assert_eq!(a.job_count(), b.job_count());
+        assert_eq!(a.stage_count(), b.stage_count());
+        let n = a.job_count();
+        for t in 0..n {
+            let id = JobId::new(t);
+            assert_eq!(a.interference_mask(id), b.interference_mask(id));
+            assert_eq!(a.competitor_mask(id), b.competitor_mask(id));
+        }
+        let forward: Vec<JobId> = (0..n).map(JobId::new).collect();
+        let reversed: Vec<JobId> = (0..n).rev().map(JobId::new).collect();
+        for order in [forward, reversed] {
+            for kind in DelayBoundKind::all() {
+                let mut ea = DelayEvaluator::new(a, kind);
+                let mut eb = DelayEvaluator::new(b, kind);
+                for (pos, &t) in order.iter().enumerate() {
+                    for &h in &order[..pos] {
+                        ea.add_higher(t, h);
+                        eb.add_higher(t, h);
+                    }
+                    for &l in &order[pos + 1..] {
+                        ea.add_lower(t, l);
+                        eb.add_lower(t, l);
+                    }
+                }
+                for &t in &order {
+                    assert_eq!(ea.delay(t), eb.delay(t), "{kind}: target {t}");
+                    assert_eq!(ea.fits(t), eb.fits(t), "{kind}: target {t}");
+                    assert_eq!(ea.slack(t), eb.slack(t), "{kind}: target {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn withdrawing_the_last_admitted_job_skips_the_rebuild_bit_identically() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let mut handles = Vec::new();
+        for i in 0..5u64 {
+            let outcome = session
+                .admit(&spec([3 + i, 5, 2 + i], i % 2, 300), false, |_| {})
+                .unwrap();
+            handles.push(outcome.handle.expect("roomy deadline admits"));
+        }
+
+        // Fast path: the victim is the most recently admitted job.
+        let last = *handles.last().unwrap();
+        assert_eq!(session.withdraw(last).unwrap(), 4);
+        let rebuilt = Analysis::new(session.jobs().unwrap()).into_tables();
+        assert_tables_identical(session.tables().unwrap(), &rebuilt);
+
+        // The rolled-back session keeps admitting identically to a
+        // freshly rebuilt one.
+        let outcome = session
+            .admit(&spec([2, 2, 2], 1, 300), false, |_| {})
+            .unwrap();
+        assert!(outcome.admitted);
+        assert_eq!(outcome.jobs, 5);
+
+        // Slow path for comparison: a middle withdrawal renumbers and
+        // rebuilds, and still matches the from-scratch analysis.
+        assert_eq!(session.withdraw(handles[1]).unwrap(), 4);
+        let rebuilt = Analysis::new(session.jobs().unwrap()).into_tables();
+        assert_tables_identical(session.tables().unwrap(), &rebuilt);
+    }
+
+    #[test]
+    fn image_round_trips_and_resumes_admission() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        for i in 0..4u64 {
+            session
+                .admit(&spec([2 + i, 3, 4], i % 2, 200), false, |_| {})
+                .unwrap();
+        }
+        session
+            .admit(&spec([90, 90, 90], 0, 10), false, |_| {})
+            .unwrap(); // a reject, so the counters differ
+        let image = session.image().expect("session open");
+
+        // Through JSON, as the snapshot subsystem stores it.
+        let json = serde_json::to_string(&image).unwrap();
+        let parsed: SessionImage = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, image);
+
+        let mut restored = AdmissionSession::from_image(SessionConfig::default(), parsed).unwrap();
+        assert_eq!(restored.status(), session.status());
+        assert_tables_identical(restored.tables().unwrap(), session.tables().unwrap());
+
+        // Both sessions admit the next arrival identically, and the
+        // restored one hands out fresh handles.
+        let next = spec([3, 3, 3], 1, 250);
+        let a = session.admit(&next, false, |_| {}).unwrap();
+        let b = restored.admit(&next, false, |_| {}).unwrap();
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.handle, b.handle, "handle sequences stay aligned");
+    }
+
+    #[test]
+    fn corrupt_images_are_typed_errors() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        session
+            .admit(&spec([2, 2, 2], 0, 200), false, |_| {})
+            .unwrap();
+        let mut image = session.image().unwrap();
+        image.handles.push(99); // one handle too many
+        let Err(error) = AdmissionSession::from_image(SessionConfig::default(), image) else {
+            panic!("mismatched handle count must be rejected");
+        };
+        assert!(matches!(error, SessionError::InvalidJob(_)));
     }
 
     #[test]

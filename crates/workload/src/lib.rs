@@ -36,7 +36,9 @@
 mod edge;
 mod error;
 mod random;
+mod trace;
 
 pub use edge::{resource_heaviness, system_heaviness, EdgeWorkloadConfig, EdgeWorkloadGenerator};
 pub use error::WorkloadError;
 pub use random::{RandomMsmrConfig, RandomMsmrGenerator};
+pub use trace::arrival_order;

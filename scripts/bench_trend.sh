@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Trend gate over the BENCH_kernels.json run history: compares the
+# latest non-fast run against the best value each kernel achieved over
+# the previous N runs and fails when any kernel regressed beyond the
+# tolerance (see crates/report/src/trend.rs for the semantics).
+#
+# Usage: scripts/bench_trend.sh [--window N] [--tolerance PCT] [--file PATH] [--include-fast]
+set -euo pipefail
+
+cargo run --release -q -p msmr-report --bin bench_trend -- "$@"

@@ -12,7 +12,8 @@ SOCK="${TMPDIR:-/tmp}/msmr-smoke-$$.sock"
 SERVED="target/release/msmr-served"
 ADMIT="target/release/msmr-admit"
 
-cargo build --release -p msmr-serve
+# msmr-admit lives in msmr-serve; the msmr-served daemon in msmr-cluster.
+cargo build --release -p msmr-serve -p msmr-cluster
 
 "$SERVED" --uds "$SOCK" &
 SERVED_PID=$!
