@@ -152,8 +152,91 @@ pub fn run_kernel_report(fast: bool) -> BenchReport {
         "cases/sec",
     );
 
+    // --- online solver seam -------------------------------------------------
+    append_online_benchmarks(&mut report, fast, samples);
+
     // --- admission service ------------------------------------------------
     crate::append_service_benchmarks(&mut report, fast);
 
     report
+}
+
+/// Kernels of the stateful online solver seam: a warm session admit
+/// (extend + fast-forwarded decider + rollback) vs the cold re-solve it
+/// replaces (fresh `O(n²·N)` analysis + cold decider), and the general
+/// mid-set withdraw + re-admit cycle over the swap-removal path.
+fn append_online_benchmarks(report: &mut BenchReport, fast: bool, samples: usize) {
+    use msmr_sched::{Budget, SolveCtx, SolverRegistry};
+    use msmr_serve::protocol::{JobSpec, StageDemand};
+    use msmr_serve::{AdmissionSession, SessionConfig};
+
+    let jobs = if fast { 10 } else { 48 };
+    let iters = if fast { 5 } else { 100 };
+    let template = generate_case(&small_config(jobs.max(4)), BENCH_SEED.wrapping_add(17));
+    let stages = template.stage_count();
+    let spec_for = |seed: u64, deadline: u64| JobSpec {
+        arrival: 0,
+        deadline,
+        stages: (0..stages)
+            .map(|j| StageDemand {
+                time: 1 + (seed + j as u64) % 7,
+                resource: (seed + j as u64) % 2,
+            })
+            .collect(),
+    };
+
+    // A warm session of `jobs` admitted jobs (generous deadlines so the
+    // set stays feasible under any interleaving).
+    let (pipeline, _) = template.restrict_to(&[]).expect("pipeline-only set");
+    let mut session = AdmissionSession::new(SessionConfig::default());
+    session.submit(pipeline, false, |_| {});
+    let mut admitted: Vec<(u64, JobSpec)> = Vec::new();
+    for i in 0..jobs as u64 {
+        let spec = spec_for(i, 1_000_000);
+        let outcome = session
+            .admit(&spec, false, |_| {})
+            .expect("session is open");
+        let handle = outcome.handle.expect("generous deadline admits");
+        admitted.push((handle, spec));
+    }
+
+    // Warm admit: the arriving job is infeasible (deadline below its own
+    // processing), so the decider rejects and the session rolls back —
+    // every iteration sees the identical warm state.
+    let reject_spec = spec_for(3, 1);
+    report.time_ns("online_admit_warm", samples, iters, || {
+        let outcome = session
+            .admit(&reject_spec, false, |_| {})
+            .expect("session is open");
+        assert!(!outcome.admitted);
+    });
+
+    // Cold re-solve of the same decision: fresh analysis, cold decider.
+    let registry = SolverRegistry::paper_suite(msmr_dca::DelayBoundKind::EdgeHybrid);
+    let decider = registry.solver("OPDCA").expect("registered");
+    let budget = Budget::default().with_node_limit(200_000);
+    let base = session.jobs().expect("session is open").clone();
+    report.time_ns("online_admit_cold", samples, iters, || {
+        let (candidate, _) = base
+            .with_job(reject_spec.to_builder())
+            .expect("valid candidate");
+        let ctx = SolveCtx::with_budget(&candidate, budget);
+        let verdict = decider.solve(&ctx);
+        assert!(!verdict.is_accepted());
+    });
+
+    // General mid-set withdraw + re-admit: the swap-removal table patch
+    // plus the online decider on both sides (the job multiset is
+    // invariant across iterations).
+    report.time_ns("withdraw_mid", samples, iters, || {
+        let mid = admitted.len() / 2;
+        let (victim, spec) = admitted.swap_remove(mid);
+        session
+            .withdraw(victim, false, |_| {})
+            .expect("victim is admitted");
+        let outcome = session
+            .admit(&spec, false, |_| {})
+            .expect("session is open");
+        admitted.push((outcome.handle.expect("re-admit succeeds"), spec));
+    });
 }

@@ -22,6 +22,9 @@ fn fast_kernel_report_is_complete_and_parseable() {
         "admission/DMR",
         "admission/DM",
         "batch_throughput/cases_per_sec",
+        "online_admit_warm",
+        "online_admit_cold",
+        "withdraw_mid",
         "service/admit_requests_per_sec",
         "service/admit_p50_us",
         "service/admit_p99_us",

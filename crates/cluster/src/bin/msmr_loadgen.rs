@@ -31,10 +31,10 @@ use std::time::{Duration, Instant};
 use msmr_dca::DelayBoundKind;
 use msmr_model::JobSet;
 use msmr_report::{default_report_path, BenchReport};
-use msmr_serve::protocol::{AdmitOp, Frame, JobSpec, Op, SubmitOp};
+use msmr_serve::protocol::{AdmitOp, Frame, JobSpec, Op, SubmitOp, WithdrawOp};
 use msmr_serve::{
     normalized_verdict_json, parse_bound, percentile_us, AdmissionSession, Client, Endpoint,
-    SessionConfig,
+    MixRng, SessionConfig,
 };
 use msmr_workload::{arrival_order, EdgeWorkloadConfig, EdgeWorkloadGenerator};
 
@@ -51,10 +51,11 @@ struct Options {
     decider: String,
     retries: usize,
     record: bool,
+    withdraw_ratio: f64,
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --no-record     do not append the results to the BENCH_kernels.json history"
+    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --withdraw-ratio F  withdraw one of the client's admitted jobs after each admit with probability F\n  --no-record     do not append the results to the BENCH_kernels.json history"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -72,6 +73,7 @@ fn parse_options() -> Result<Options, String> {
         decider: "OPDCA".to_string(),
         retries: 100,
         record: true,
+        withdraw_ratio: 0.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -108,6 +110,13 @@ fn parse_options() -> Result<Options, String> {
             }
             "--decider" => options.decider = value("--decider")?,
             "--retries" => options.retries = parse_usize("--retries", value("--retries")?)?,
+            "--withdraw-ratio" => {
+                options.withdraw_ratio = value("--withdraw-ratio")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("invalid --withdraw-ratio value (need 0.0..=1.0)")?;
+            }
             "--no-record" => options.record = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -129,12 +138,17 @@ fn session_name(seed: u64, k: usize) -> String {
     format!("loadgen-{seed}-{k}")
 }
 
-/// One admit decision as observed by a client: enough to re-run the
-/// session history serially and compare verdicts.
+/// One decider decision — an admission or a withdrawal — as observed by
+/// a client: enough to re-run the session history serially and compare
+/// verdicts.
+enum DecisionOp {
+    Admit { spec: JobSpec, admitted: bool },
+    Withdraw { handle: u64 },
+}
+
 struct Decision {
     seq: u64,
-    spec: JobSpec,
-    admitted: bool,
+    op: DecisionOp,
     verdicts: Vec<String>,
 }
 
@@ -146,14 +160,15 @@ struct ClientStats {
 }
 
 /// Issues one admit, retrying on typed overload responses with linear
-/// backoff. Returns the decision or an error message.
+/// backoff. Returns the admitted handle (None on rejection) or an error
+/// message.
 fn admit_with_retry(
     client: &mut Client,
     session: usize,
     spec: &JobSpec,
     options: &Options,
     stats: &mut ClientStats,
-) -> Result<(), String> {
+) -> Result<Option<u64>, String> {
     let evaluate = options.evaluate || options.verify;
     for attempt in 0..=options.retries {
         let start = Instant::now();
@@ -187,19 +202,82 @@ fn admit_with_retry(
             .seq
             .ok_or("daemon sent no decision seq (not a cluster daemon?)")?;
         stats.latencies_us.push(elapsed_us);
+        let handle = admit.admitted.then_some(admit.job).flatten();
         stats.decisions.push((
             session,
             Decision {
                 seq,
-                spec: spec.clone(),
-                admitted: admit.admitted,
+                op: DecisionOp::Admit {
+                    spec: spec.clone(),
+                    admitted: admit.admitted,
+                },
+                verdicts,
+            },
+        ));
+        return Ok(handle);
+    }
+    Err(format!(
+        "admit still overloaded after {} retries",
+        options.retries
+    ))
+}
+
+/// Issues one withdraw, retrying on typed overload responses — the
+/// general mid-set withdraw of the online seam under multi-client load.
+fn withdraw_with_retry(
+    client: &mut Client,
+    session: usize,
+    handle: u64,
+    options: &Options,
+    stats: &mut ClientStats,
+) -> Result<(), String> {
+    let evaluate = options.evaluate || options.verify;
+    for attempt in 0..=options.retries {
+        let start = Instant::now();
+        let frames = client
+            .request(Op::Withdraw(WithdrawOp {
+                job: handle,
+                evaluate: Some(evaluate),
+            }))
+            .map_err(|e| e.to_string())?;
+        let elapsed_us = start.elapsed().as_nanos() as f64 / 1_000.0;
+
+        let mut overloaded = false;
+        let mut withdraw = None;
+        let mut verdicts = Vec::new();
+        for frame in &frames {
+            match &frame.frame {
+                Frame::Overload(_) => overloaded = true,
+                Frame::Withdraw(w) => withdraw = Some(w.clone()),
+                Frame::Verdict(v) => verdicts.push(normalized_verdict_json(&v.verdict)),
+                Frame::Error(e) => return Err(e.message.clone()),
+                _ => {}
+            }
+        }
+        if overloaded {
+            stats.overload_retries += 1;
+            std::thread::sleep(Duration::from_millis((attempt as u64 + 1).min(20)));
+            continue;
+        }
+        let withdraw = withdraw.ok_or("daemon sent no withdraw frame")?;
+        let seq = withdraw
+            .seq
+            .ok_or("daemon sent no decision seq (not a cluster daemon?)")?;
+        // Withdraw round trips count toward throughput and the latency
+        // percentiles like any other decider decision.
+        stats.latencies_us.push(elapsed_us);
+        stats.decisions.push((
+            session,
+            Decision {
+                seq,
+                op: DecisionOp::Withdraw { handle },
                 verdicts,
             },
         ));
         return Ok(());
     }
     Err(format!(
-        "admit still overloaded after {} retries",
+        "withdraw still overloaded after {} retries",
         options.retries
     ))
 }
@@ -233,18 +311,33 @@ fn verify_session(
     mirror.submit(pipeline, false, |_| {});
     for (i, decision) in decisions.iter().enumerate() {
         let mut offline = Vec::new();
-        let outcome = mirror
-            .admit(&decision.spec, evaluate, |v| {
-                offline.push(normalized_verdict_json(v));
-            })
-            .map_err(|e| format!("{name}: serialized replay failed at seq {}: {e}", i + 1))?;
-        if outcome.admitted != decision.admitted {
-            return Err(format!(
-                "{name}: seq {} decided {} online but {} in the serialized replay",
-                i + 1,
-                decision.admitted,
-                outcome.admitted
-            ));
+        match &decision.op {
+            DecisionOp::Admit { spec, admitted } => {
+                let outcome = mirror
+                    .admit(spec, evaluate, |v| {
+                        offline.push(normalized_verdict_json(v));
+                    })
+                    .map_err(|e| {
+                        format!("{name}: serialized replay failed at seq {}: {e}", i + 1)
+                    })?;
+                if outcome.admitted != *admitted {
+                    return Err(format!(
+                        "{name}: seq {} decided {} online but {} in the serialized replay",
+                        i + 1,
+                        admitted,
+                        outcome.admitted
+                    ));
+                }
+            }
+            DecisionOp::Withdraw { handle } => {
+                mirror
+                    .withdraw(*handle, evaluate, |v| {
+                        offline.push(normalized_verdict_json(v));
+                    })
+                    .map_err(|e| {
+                        format!("{name}: serialized replay failed at seq {}: {e}", i + 1)
+                    })?;
+            }
         }
         if offline != decision.verdicts {
             return Err(format!(
@@ -318,12 +411,26 @@ fn run(options: &Options) -> Result<ExitCode, String> {
                         .attach(&session_name(options.seed, k), false)
                         .map_err(|e| e.to_string())?;
                     let trace = &traces[k];
+                    // The withdraw draw is deterministic per client, and a
+                    // client only ever withdraws handles it admitted, so
+                    // concurrent clients cannot race on a victim.
+                    let mut rng = MixRng::new(options.seed ^ (m as u64).wrapping_mul(0x9e37));
+                    let mut my_handles: Vec<u64> = Vec::new();
                     for (i, &id) in arrival_order(trace).iter().enumerate() {
                         if i % lanes != lane {
                             continue;
                         }
                         let spec = JobSpec::from_job(trace.job(id));
-                        admit_with_retry(&mut client, k, &spec, options, &mut stats)?;
+                        if let Some(handle) =
+                            admit_with_retry(&mut client, k, &spec, options, &mut stats)?
+                        {
+                            my_handles.push(handle);
+                        }
+                        if !my_handles.is_empty() && rng.next_f64() < options.withdraw_ratio {
+                            let victim = my_handles
+                                .swap_remove((rng.next_u64() % my_handles.len() as u64) as usize);
+                            withdraw_with_retry(&mut client, k, victim, options, &mut stats)?;
+                        }
                     }
                     Ok(())
                 };
@@ -358,6 +465,13 @@ fn run(options: &Options) -> Result<ExitCode, String> {
             per_session[k].push(decision);
         }
     }
+    let withdraws = per_session
+        .iter()
+        .flatten()
+        .filter(|d| matches!(d.op, DecisionOp::Withdraw { .. }))
+        .count();
+    // `latencies` holds one sample per round trip — admits *and*
+    // withdraws — so the recorded req/sec matches the wall time spent.
     let requests = latencies.len();
     let req_per_sec = requests as f64 / elapsed.as_secs_f64().max(1e-9);
     let p50 = percentile_us(&latencies, 0.50);
@@ -379,11 +493,12 @@ fn run(options: &Options) -> Result<ExitCode, String> {
     }
 
     println!(
-        "loadgen: {} clients x {} sessions, {} admits in {:.2}s => {:.0} req/sec; \
-         admit latency p50 {:.0} µs, p99 {:.0} µs; {} overload retries{}",
+        "loadgen: {} clients x {} sessions, {} requests ({} withdraws) in {:.2}s => {:.0} req/sec; \
+         latency p50 {:.0} µs, p99 {:.0} µs; {} overload retries{}",
         options.clients,
         options.sessions,
         requests,
+        withdraws,
         elapsed.as_secs_f64(),
         req_per_sec,
         p50,

@@ -4,6 +4,7 @@
 //! msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]
 //!             [--opt-nodes N] [--reserve N] [--threads N]
 //!             [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]
+//!             [--session-ttl SECS]
 //! ```
 //!
 //! At least one of `--tcp` / `--uds` is required. The daemon prints one
@@ -16,7 +17,10 @@
 //! fixed worker pool behind a bounded queue (saturation is answered
 //! with the typed overload frame), and `--snapshot-dir` enables
 //! snapshot/restore persistence — sessions found there are restored,
-//! warm tables included, at startup.
+//! warm tables included, at startup. `--session-ttl SECS` evicts
+//! (snapshot-then-drop) named sessions that have no attached connection
+//! and have been idle past the TTL, so the session store stops growing
+//! without bound.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,7 +29,7 @@ use msmr_cluster::{ClusterConfig, ClusterEngine};
 use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
 
 fn usage() -> &'static str {
-    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR"
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)"
 }
 
 struct Options {
@@ -92,6 +96,15 @@ fn parse_options() -> Result<Options, String> {
             }
             "--snapshot-dir" => {
                 options.config.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?));
+            }
+            "--session-ttl" => {
+                let secs: u64 = value("--session-ttl")?
+                    .parse()
+                    .map_err(|_| "invalid --session-ttl value (seconds)".to_string())?;
+                if secs == 0 {
+                    return Err("--session-ttl must be positive".to_string());
+                }
+                options.config.session_ttl = Some(std::time::Duration::from_secs(secs));
             }
             "--help" | "-h" => {
                 println!("{}", usage());

@@ -14,6 +14,7 @@ use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use msmr_par::{SubmitError, WorkerPool};
 use msmr_serve::protocol::{
@@ -37,6 +38,11 @@ pub struct ClusterConfig {
     pub queue: usize,
     /// Snapshot directory; `None` disables the snapshot subsystem.
     pub snapshot_dir: Option<PathBuf>,
+    /// Evict (snapshot, then drop) named sessions that have no attached
+    /// connection and have been idle this long; `None` keeps sessions
+    /// forever (the store then only grows). The daemon's reaper thread
+    /// checks at a quarter of the TTL.
+    pub session_ttl: Option<Duration>,
     /// Configuration of every named session.
     pub session: SessionConfig,
 }
@@ -48,6 +54,7 @@ impl Default for ClusterConfig {
             workers: 0,
             queue: 64,
             snapshot_dir: None,
+            session_ttl: None,
             session: SessionConfig::default(),
         }
     }
@@ -60,6 +67,7 @@ pub struct ClusterEngine {
     store: SessionStore,
     pool: WorkerPool,
     snapshots: Option<SnapshotStore>,
+    session_ttl: Option<Duration>,
 }
 
 impl ClusterEngine {
@@ -73,6 +81,16 @@ impl ClusterEngine {
     /// Propagates snapshot-directory I/O errors and corrupt-snapshot
     /// parse failures.
     pub fn new(config: ClusterConfig) -> io::Result<Arc<ClusterEngine>> {
+        ClusterEngine::with_store_clock(config, None)
+    }
+
+    /// Like [`ClusterEngine::new`] with an injected session-store
+    /// [`Clock`](crate::Clock) — how the TTL-eviction tests drive
+    /// idleness deterministically.
+    pub fn with_store_clock(
+        config: ClusterConfig,
+        clock: Option<Arc<dyn crate::Clock>>,
+    ) -> io::Result<Arc<ClusterEngine>> {
         let workers = if config.workers == 0 {
             msmr_par::default_threads()
         } else {
@@ -82,13 +100,63 @@ impl ClusterEngine {
             Some(dir) => Some(SnapshotStore::open(dir)?),
             None => None,
         };
+        let store = match clock {
+            Some(clock) => SessionStore::with_clock(config.shards, config.session.clone(), clock),
+            None => SessionStore::new(config.shards, config.session.clone()),
+        };
         let engine = Arc::new(ClusterEngine {
-            store: SessionStore::new(config.shards, config.session.clone()),
+            store,
             pool: WorkerPool::new(workers, config.queue),
             snapshots,
+            session_ttl: config.session_ttl,
         });
         engine.restore_all()?;
         Ok(engine)
+    }
+
+    /// The configured idle-session TTL, if any.
+    #[must_use]
+    pub fn session_ttl(&self) -> Option<Duration> {
+        self.session_ttl
+    }
+
+    /// One eviction sweep: every detached session idle past the
+    /// configured TTL is **snapshotted first** (when a snapshot
+    /// directory is configured and the session has state) and only then
+    /// dropped from the store — and the drop re-checks idleness under
+    /// the shard lock, so a client that re-attached mid-sweep keeps its
+    /// live session (the just-written snapshot is then merely a routine
+    /// persist, overwritten by the next one). No-op without a TTL.
+    ///
+    /// Returns the evicted session names — a session whose snapshot
+    /// fails is still evicted (dropping state beats leaking it forever)
+    /// — together with the first snapshot I/O error, so the operator
+    /// sees both which sessions went away and that their state may not
+    /// all be on disk.
+    pub fn evict_idle(&self) -> (Vec<String>, Option<io::Error>) {
+        let Some(ttl) = self.session_ttl else {
+            return (Vec::new(), None);
+        };
+        let ttl_millis = u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX);
+        let mut names = Vec::new();
+        let mut first_error = None;
+        for session in self.store.idle_candidates(ttl_millis) {
+            if let Some(snapshots) = &self.snapshots {
+                if let Some((image, version)) = session.image() {
+                    if let Err(e) = snapshots.save(session.name(), version, &image) {
+                        first_error.get_or_insert(e);
+                    }
+                }
+            }
+            if self
+                .store
+                .remove_if_idle(session.name(), ttl_millis)
+                .is_some()
+            {
+                names.push(session.name().to_string());
+            }
+        }
+        (names, first_error)
     }
 
     /// The session store.
@@ -202,6 +270,41 @@ impl ClusterEngine {
         Ok(restored)
     }
 
+    /// Attaches to a named session, **resurrecting evicted state
+    /// first**: when the name is unknown to the store but a snapshot
+    /// exists (a TTL-evicted or pre-restart session), the snapshot is
+    /// restored — warm tables and decider state included — before the
+    /// attach, so eviction is transparent to returning clients and a
+    /// fresh namesake can never shadow (and later overwrite) persisted
+    /// state. Only a truly unknown name falls through to creation.
+    ///
+    /// # Errors
+    ///
+    /// Store errors (invalid name, unknown session with `create: false`)
+    /// and corrupt-snapshot restore failures, as display strings for the
+    /// wire's error frame.
+    pub fn attach_session(
+        &self,
+        name: &str,
+        create: bool,
+    ) -> Result<crate::store::AttachOutcome, String> {
+        match self.store.attach(name, false) {
+            Ok(outcome) => Ok(outcome),
+            Err(crate::store::StoreError::UnknownSession(_)) => {
+                let has_snapshot = self
+                    .snapshots
+                    .as_ref()
+                    .is_some_and(|snapshots| snapshots.path_for(name).exists());
+                if has_snapshot {
+                    self.restore(name).map_err(|e| e.to_string())?;
+                    return self.store.attach(name, false).map_err(|e| e.to_string());
+                }
+                self.store.attach(name, create).map_err(|e| e.to_string())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
     /// Boots a cluster daemon: binds `listen` and serves every accepted
     /// connection through this engine.
     ///
@@ -223,6 +326,29 @@ impl ClusterEngine {
             })
         };
         let server = Server::start_with(listen, handler)?;
+        if let Some(ttl) = engine.session_ttl() {
+            // The reaper sweeps at a quarter of the TTL (≥ 100 ms) and
+            // exits with the acceptors.
+            let engine = Arc::clone(&engine);
+            let shutdown = server.shutdown_handle();
+            let period = (ttl / 4).max(Duration::from_millis(100));
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(period);
+                    let (evicted, error) = engine.evict_idle();
+                    if !evicted.is_empty() {
+                        eprintln!(
+                            "msmr-served: evicted {} idle session(s): {}",
+                            evicted.len(),
+                            evicted.join(", ")
+                        );
+                    }
+                    if let Some(e) = error {
+                        eprintln!("msmr-served: idle-session snapshot failed: {e}");
+                    }
+                }
+            });
+        }
         Ok((server, engine))
     }
 
@@ -266,7 +392,7 @@ impl ClusterEngine {
             match request.op {
                 Op::Attach(op) => {
                     let create = op.create.unwrap_or(true);
-                    match self.store.attach(&op.session, create) {
+                    match self.attach_session(&op.session, create) {
                         Ok(outcome) => {
                             if let Some(previous) = attached.take() {
                                 previous.client_detached();
@@ -350,10 +476,17 @@ impl ClusterEngine {
                         self.pooled(&mut sink, {
                             let session = Arc::clone(session);
                             move |tx| {
-                                let frame = match session.withdraw(op.job) {
-                                    Ok(jobs) => Frame::Withdraw(WithdrawFrame {
+                                let evaluate = op.evaluate.unwrap_or(false);
+                                let outcome = session.withdraw(op.job, evaluate, |verdict| {
+                                    let _ = tx.send(Frame::Verdict(VerdictFrame {
+                                        verdict: verdict.clone(),
+                                    }));
+                                });
+                                let frame = match outcome {
+                                    Ok((outcome, seq)) => Frame::Withdraw(WithdrawFrame {
                                         job: op.job,
-                                        jobs: jobs as u64,
+                                        jobs: outcome.jobs as u64,
+                                        seq: Some(seq),
                                     }),
                                     Err(e) => error_frame(&e.to_string()),
                                 };

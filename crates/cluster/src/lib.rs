@@ -122,5 +122,6 @@ mod store;
 pub use engine::{ClusterConfig, ClusterEngine};
 pub use snapshot::{SessionSnapshot, SnapshotStore};
 pub use store::{
-    validate_session_name, AttachOutcome, SessionStore, SharedSession, StoreError, MAX_SESSION_NAME,
+    validate_session_name, AttachOutcome, Clock, SessionStore, SharedSession, StoreError,
+    SystemClock, MAX_SESSION_NAME,
 };

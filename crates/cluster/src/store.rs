@@ -15,13 +15,43 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use msmr_model::JobSet;
 use msmr_sched::Verdict;
 use msmr_serve::protocol::JobSpec;
 use msmr_serve::{
     AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionImage, SessionStatus,
+    WithdrawOutcome,
 };
+
+/// An injectable monotonic time source, so idle-session eviction is unit
+/// testable with a fake clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds of monotonic time since an arbitrary fixed epoch.
+    fn now_millis(&self) -> u64;
+}
+
+/// The production [`Clock`]: monotonic milliseconds since the clock was
+/// created.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
 
 /// Longest accepted session name (names double as snapshot file stems).
 pub const MAX_SESSION_NAME: usize = 64;
@@ -102,20 +132,38 @@ struct SessionInner {
 pub struct SharedSession {
     name: String,
     attached: AtomicU64,
+    /// Monotonic clock reading of the last session operation (attach,
+    /// submit, admit, withdraw, status) — what TTL eviction keys off.
+    touched: AtomicU64,
+    clock: Arc<dyn Clock>,
     inner: Mutex<SessionInner>,
 }
 
 impl SharedSession {
-    fn new(name: String, config: SessionConfig) -> SharedSession {
+    fn new(name: String, config: SessionConfig, clock: Arc<dyn Clock>) -> SharedSession {
         SharedSession {
             name,
             attached: AtomicU64::new(0),
+            touched: AtomicU64::new(clock.now_millis()),
+            clock,
             inner: Mutex::new(SessionInner {
                 session: AdmissionSession::new(config),
                 version: 0,
                 decisions: 0,
             }),
         }
+    }
+
+    /// Records activity now (called by every session operation).
+    pub fn touch(&self) {
+        self.touched
+            .store(self.clock.now_millis(), Ordering::SeqCst);
+    }
+
+    /// Milliseconds this session has been idle at clock reading `now`.
+    #[must_use]
+    pub fn idle_millis(&self, now: u64) -> u64 {
+        now.saturating_sub(self.touched.load(Ordering::SeqCst))
     }
 
     /// The session's name.
@@ -132,6 +180,7 @@ impl SharedSession {
 
     /// Records one more attached connection; returns the new count.
     pub fn client_attached(&self) -> u64 {
+        self.touch();
         self.attached.fetch_add(1, Ordering::SeqCst) + 1
     }
 
@@ -166,6 +215,7 @@ impl SharedSession {
         parallel: bool,
         sink: impl FnMut(&Verdict) + Send,
     ) -> Vec<Verdict> {
+        self.touch();
         let mut inner = self.lock();
         let verdicts = inner.session.submit(jobs, parallel, sink);
         inner.version += 1;
@@ -186,6 +236,7 @@ impl SharedSession {
         evaluate: bool,
         sink: impl FnMut(&Verdict),
     ) -> Result<(AdmitOutcome, u64), SessionError> {
+        self.touch();
         let mut inner = self.lock();
         let outcome = inner.session.admit(spec, evaluate, sink)?;
         inner.decisions += 1;
@@ -195,22 +246,35 @@ impl SharedSession {
         Ok((outcome, inner.decisions))
     }
 
-    /// Removes an admitted job by handle; see
-    /// [`AdmissionSession::withdraw`]. Bumps the version.
+    /// Removes an admitted job by handle and re-decides the reduced set
+    /// through the online seam; see [`AdmissionSession::withdraw`].
+    /// Withdrawals are decider decisions too, so they advance the same
+    /// `seq` counter as admissions (interleaved multi-client histories of
+    /// both op kinds re-order into one serialized replay) and bump the
+    /// version.
     ///
     /// # Errors
     ///
-    /// Propagates [`SessionError`].
-    pub fn withdraw(&self, handle: u64) -> Result<usize, SessionError> {
+    /// Propagates [`SessionError`] (the decision counter only advances
+    /// for applied withdrawals).
+    pub fn withdraw(
+        &self,
+        handle: u64,
+        evaluate: bool,
+        sink: impl FnMut(&Verdict),
+    ) -> Result<(WithdrawOutcome, u64), SessionError> {
+        self.touch();
         let mut inner = self.lock();
-        let jobs = inner.session.withdraw(handle)?;
+        let outcome = inner.session.withdraw(handle, evaluate, sink)?;
+        inner.decisions += 1;
         inner.version += 1;
-        Ok(jobs)
+        Ok((outcome, inner.decisions))
     }
 
     /// The session's status snapshot.
     #[must_use]
     pub fn status(&self) -> SessionStatus {
+        self.touch();
         self.lock().session.status()
     }
 
@@ -225,6 +289,7 @@ impl SharedSession {
     /// Replaces the session's state with one rebuilt from a snapshot
     /// (the restore path; the decision counter restarts at 0).
     pub fn install(&self, session: AdmissionSession, version: u64) {
+        self.touch();
         let mut inner = self.lock();
         inner.session = session;
         inner.version = version;
@@ -296,6 +361,7 @@ pub struct AttachOutcome {
 pub struct SessionStore {
     shards: Vec<Mutex<Shard>>,
     template: SessionConfig,
+    clock: Arc<dyn Clock>,
 }
 
 impl SessionStore {
@@ -303,12 +369,87 @@ impl SessionStore {
     /// configured from `template`.
     #[must_use]
     pub fn new(shards: usize, template: SessionConfig) -> SessionStore {
+        SessionStore::with_clock(shards, template, Arc::new(SystemClock::default()))
+    }
+
+    /// Like [`SessionStore::new`] with an injected [`Clock`] — how the
+    /// TTL-eviction tests drive idleness with a fake clock.
+    #[must_use]
+    pub fn with_clock(
+        shards: usize,
+        template: SessionConfig,
+        clock: Arc<dyn Clock>,
+    ) -> SessionStore {
         SessionStore {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             template,
+            clock,
         }
+    }
+
+    /// The store's time source (shared with every session it creates).
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The sessions currently eligible for idle eviction — **no attached
+    /// connection** and idle for at least `ttl_millis` — *without*
+    /// removing them. First phase of the eviction protocol: the caller
+    /// persists each candidate, then calls
+    /// [`SessionStore::remove_if_idle`], which re-checks eligibility
+    /// under the shard lock — so a client that attached in between keeps
+    /// its live session instead of resurrecting a stale snapshot or
+    /// shadowing a yet-unwritten one.
+    pub fn idle_candidates(&self, ttl_millis: u64) -> Vec<Arc<SharedSession>> {
+        let now = self.clock.now_millis();
+        let mut candidates = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            candidates.extend(shard.index.values().filter_map(|&slot| {
+                let session = shard.slots[slot].as_ref()?;
+                (session.attached() == 0 && session.idle_millis(now) >= ttl_millis)
+                    .then(|| Arc::clone(session))
+            }));
+        }
+        candidates.sort_by(|a, b| a.name().cmp(b.name()));
+        candidates
+    }
+
+    /// Second phase of the eviction protocol: removes `name` only if it
+    /// is *still* detached and idle past the TTL (checked and removed
+    /// atomically under the shard lock). Returns the removed session, or
+    /// `None` when it no longer qualifies (a client came back) or does
+    /// not exist.
+    pub fn remove_if_idle(&self, name: &str, ttl_millis: u64) -> Option<Arc<SharedSession>> {
+        let now = self.clock.now_millis();
+        let mut shard = self.shard(name).lock().expect("shard lock poisoned");
+        let still_idle = {
+            let session = shard
+                .index
+                .get(name)
+                .and_then(|&slot| shard.slots[slot].as_ref())?;
+            session.attached() == 0 && session.idle_millis(now) >= ttl_millis
+        };
+        still_idle.then(|| shard.remove(name)).flatten()
+    }
+
+    /// Removes and returns every session that has **no attached
+    /// connection** and has been idle for at least `ttl_millis` — the
+    /// unbounded-growth valve of long-running daemons. Sessions with
+    /// attached clients are never evicted (their `Arc` would keep
+    /// operating on a ghost while new attaches create a divergent
+    /// namesake). Callers that persist evictees must use the two-phase
+    /// [`SessionStore::idle_candidates`] / [`SessionStore::remove_if_idle`]
+    /// protocol instead, so the snapshot lands *before* the name is
+    /// released.
+    pub fn evict_idle(&self, ttl_millis: u64) -> Vec<Arc<SharedSession>> {
+        self.idle_candidates(ttl_millis)
+            .into_iter()
+            .filter(|session| self.remove_if_idle(session.name(), ttl_millis).is_some())
+            .collect()
     }
 
     /// The number of shards.
@@ -359,7 +500,11 @@ impl SessionStore {
         if !create {
             return Err(StoreError::UnknownSession(name.to_string()));
         }
-        let session = Arc::new(SharedSession::new(name.to_string(), self.template.clone()));
+        let session = Arc::new(SharedSession::new(
+            name.to_string(),
+            self.template.clone(),
+            Arc::clone(&self.clock),
+        ));
         session.client_attached();
         shard.insert(Arc::clone(&session));
         Ok(AttachOutcome {
@@ -385,7 +530,11 @@ impl SessionStore {
             existing.install(session, version);
             return Ok(existing);
         }
-        let shared = Arc::new(SharedSession::new(name.to_string(), self.template.clone()));
+        let shared = Arc::new(SharedSession::new(
+            name.to_string(),
+            self.template.clone(),
+            Arc::clone(&self.clock),
+        ));
         shared.install(session, version);
         shard.insert(Arc::clone(&shared));
         Ok(shared)
@@ -512,6 +661,83 @@ mod tests {
             drop(b.attach(&name, true).unwrap());
         }
         assert_eq!(a.len(), 50);
+    }
+
+    /// A fake clock whose reading the test advances by hand.
+    struct FakeClock(AtomicU64);
+
+    impl Clock for FakeClock {
+        fn now_millis(&self) -> u64 {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn idle_sessions_evict_only_when_detached_and_past_ttl() {
+        let clock = Arc::new(FakeClock(AtomicU64::new(0)));
+        let store =
+            SessionStore::with_clock(2, SessionConfig::default(), Arc::clone(&clock) as Arc<_>);
+        let idle = store.attach("idle", true).unwrap().session;
+        let busy = store.attach("busy", true).unwrap().session;
+        let held = store.attach("held", true).unwrap().session;
+        idle.client_detached();
+        busy.client_detached();
+        // `held` keeps one attached client and must survive any TTL.
+
+        clock.0.store(10_000, Ordering::SeqCst);
+        // `busy` saw activity just now.
+        busy.touch();
+        let evicted = store.evict_idle(5_000);
+        assert_eq!(
+            evicted.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["idle"]
+        );
+        assert!(store.get("idle").is_none());
+        assert!(store.get("busy").is_some());
+        assert!(store.get("held").is_some());
+
+        // Once `busy` goes idle past the TTL it is evicted too; `held`
+        // still is not.
+        clock.0.store(20_000, Ordering::SeqCst);
+        let evicted = store.evict_idle(5_000);
+        assert_eq!(
+            evicted.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["busy"]
+        );
+        assert_eq!(store.len(), 1);
+        drop(held);
+
+        // A re-attach after eviction creates a fresh session (at the
+        // *store* level; the cluster engine's attach restores snapshots
+        // first).
+        let outcome = store.attach("idle", true).unwrap();
+        assert!(outcome.created);
+    }
+
+    #[test]
+    fn two_phase_eviction_spares_sessions_that_come_back_mid_sweep() {
+        let clock = Arc::new(FakeClock(AtomicU64::new(0)));
+        let store =
+            SessionStore::with_clock(1, SessionConfig::default(), Arc::clone(&clock) as Arc<_>);
+        let session = store.attach("s", true).unwrap().session;
+        session.client_detached();
+        clock.0.store(10_000, Ordering::SeqCst);
+
+        let candidates = store.idle_candidates(5_000);
+        assert_eq!(candidates.len(), 1);
+        // Between the candidate scan (snapshot phase) and the removal, a
+        // client re-attaches: the removal must refuse.
+        session.client_attached();
+        assert!(store.remove_if_idle("s", 5_000).is_none());
+        assert!(store.get("s").is_some(), "live session survives the sweep");
+
+        // Detached but freshly touched: also spared.
+        session.client_detached();
+        assert!(store.remove_if_idle("s", 5_000).is_none());
+        // Genuinely idle again: removed.
+        clock.0.store(20_000, Ordering::SeqCst);
+        assert!(store.remove_if_idle("s", 5_000).is_some());
+        assert!(store.get("s").is_none());
     }
 
     #[test]

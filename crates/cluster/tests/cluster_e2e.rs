@@ -181,6 +181,149 @@ fn cluster_replay_is_byte_identical_to_classic_serve_and_offline() {
     classic_server.join();
 }
 
+/// Frozen-oracle conformance for the online withdraw seam: a mixed
+/// admit/withdraw/re-admit history through the cluster daemon must
+/// reproduce the exact verdict sequence of (a) the same history through
+/// the classic per-connection daemon and (b) a cold offline replay that
+/// rebuilds nothing incrementally — `SolverRegistry::evaluate` on every
+/// candidate/reduced set, with the mirror applying the same swap-removal
+/// the sessions use.
+#[test]
+fn mixed_withdraw_replay_matches_cold_replay_on_cluster_and_classic() {
+    use msmr_serve::ReplayedOp;
+    let trace = trace(26, 515);
+    const RATIO: f64 = 0.4;
+    const MIX_SEED: u64 = 99;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Event {
+        op: ReplayedOp,
+        admitted: Option<bool>,
+        handle: Option<u64>,
+        verdicts: Vec<String>,
+    }
+
+    let run = |mut client: Client| -> Vec<Event> {
+        let mut events = Vec::new();
+        client
+            .replay_trace_mixed(&trace, true, RATIO, MIX_SEED, |op, frames| {
+                let mut admitted = None;
+                let mut handle = None;
+                let mut verdicts = Vec::new();
+                for frame in frames {
+                    match &frame.frame {
+                        Frame::Verdict(v) => verdicts.push(normalized_verdict_json(&v.verdict)),
+                        Frame::Admit(a) => {
+                            admitted = Some(a.admitted);
+                            handle = a.job;
+                        }
+                        Frame::Error(e) => panic!("daemon error: {}", e.message),
+                        _ => {}
+                    }
+                }
+                events.push(Event {
+                    op,
+                    admitted,
+                    handle,
+                    verdicts,
+                });
+                Ok(())
+            })
+            .expect("mixed replay");
+        events
+    };
+
+    let (cluster_server, cluster_path) = start_cluster(
+        "mixed",
+        ClusterConfig {
+            shards: 2,
+            workers: 2,
+            session: session_config(),
+            ..ClusterConfig::default()
+        },
+    );
+    let mut cluster_client =
+        Client::connect(&Endpoint::Uds(cluster_path.clone())).expect("connect");
+    cluster_client.attach("mixed", true).expect("attach");
+    let cluster_events = run(cluster_client);
+
+    let classic_path = socket_path("mixed-classic");
+    let classic_server = Server::start(ServeOptions {
+        tcp: None,
+        uds: Some(classic_path.clone()),
+        session: session_config(),
+    })
+    .expect("classic daemon binds");
+    let classic_events =
+        run(Client::connect(&Endpoint::Uds(classic_path.clone())).expect("connect"));
+
+    assert_eq!(
+        cluster_events, classic_events,
+        "cluster and classic mixed replays must be byte-identical"
+    );
+    let withdraws = cluster_events
+        .iter()
+        .filter(|e| matches!(e.op, ReplayedOp::Withdraw { .. }))
+        .count();
+    assert!(withdraws > 3, "mix produced too few withdrawals to matter");
+
+    // Cold oracle: no warm tables, no warm decider state — a fresh
+    // offline evaluation of every set the history visits, with the same
+    // swap-removal id discipline.
+    let registry = SolverRegistry::paper_suite(BOUND);
+    let budget = Budget::default().with_node_limit(OPT_NODES);
+    let (mut mirror, _) = trace.restrict_to(&[]).expect("pipeline-only set");
+    let mut mirror_handles: Vec<u64> = Vec::new();
+    for (step, event) in cluster_events.iter().enumerate() {
+        match event.op {
+            ReplayedOp::Admit { id, .. } => {
+                let spec = JobSpec::from_job(trace.job(id));
+                let (candidate, _) = mirror.with_job(spec.to_builder()).expect("valid job");
+                let offline: Vec<String> = registry
+                    .evaluate(&candidate, budget)
+                    .iter()
+                    .map(normalized_verdict_json)
+                    .collect();
+                assert_eq!(event.verdicts, offline, "step {step}: admit verdicts");
+                if event.admitted == Some(true) {
+                    mirror = candidate;
+                    mirror_handles.push(event.handle.expect("admitted handle"));
+                }
+            }
+            ReplayedOp::Withdraw { handle } => {
+                let index = mirror_handles
+                    .iter()
+                    .position(|&h| h == handle)
+                    .expect("withdrawn handle known");
+                let (reduced, _) = mirror.swap_remove_job(msmr_model::JobId::new(index));
+                mirror_handles.swap_remove(index);
+                let offline: Vec<String> = if reduced.is_empty() {
+                    Vec::new()
+                } else {
+                    registry
+                        .evaluate(&reduced, budget)
+                        .iter()
+                        .map(normalized_verdict_json)
+                        .collect()
+                };
+                assert_eq!(event.verdicts, offline, "step {step}: withdraw verdicts");
+                mirror = reduced;
+            }
+        }
+    }
+
+    let mut shutdown_client = Client::connect(&Endpoint::Uds(cluster_path)).expect("connect");
+    shutdown_client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    cluster_server.join();
+    let mut shutdown_client = Client::connect(&Endpoint::Uds(classic_path)).expect("connect");
+    shutdown_client
+        .request(Op::Shutdown(ShutdownOp {}))
+        .expect("shutdown");
+    classic_server.join();
+}
+
 #[test]
 fn interleaved_clients_match_the_serialized_replay() {
     let trace = trace(24, 7);

@@ -1,0 +1,131 @@
+//! Idle-session TTL eviction, driven end-to-end through the engine with
+//! a fake clock: detached sessions idle past the TTL are snapshotted and
+//! dropped; attached or recently active sessions survive; evicted state
+//! comes back (warm) through a restore.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use msmr_cluster::{Clock, ClusterConfig, ClusterEngine};
+use msmr_model::{JobSetBuilder, PreemptionPolicy};
+use msmr_serve::protocol::{JobSpec, StageDemand};
+
+struct FakeClock(AtomicU64);
+
+impl Clock for FakeClock {
+    fn now_millis(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "msmr-ttl-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let dir = PathBuf::from(dir.to_string_lossy().replace(['(', ')'], ""));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pipeline_only() -> msmr_model::JobSet {
+    let mut b = JobSetBuilder::new();
+    b.stage("cpu", 2, PreemptionPolicy::Preemptive);
+    b.build().unwrap()
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        arrival: 0,
+        deadline: 400,
+        stages: vec![StageDemand {
+            time: 3,
+            resource: 0,
+        }],
+    }
+}
+
+#[test]
+fn idle_sessions_are_snapshotted_then_dropped_and_restorable() {
+    let dir = temp_dir("evict");
+    let clock = Arc::new(FakeClock(AtomicU64::new(0)));
+    let engine = ClusterEngine::with_store_clock(
+        ClusterConfig {
+            snapshot_dir: Some(dir.clone()),
+            session_ttl: Some(Duration::from_secs(30)),
+            ..ClusterConfig::default()
+        },
+        Some(Arc::clone(&clock) as Arc<dyn Clock>),
+    )
+    .unwrap();
+
+    // A session with state whose client detaches, and one that stays
+    // attached.
+    let idle = engine.store().attach("idle", true).unwrap().session;
+    idle.submit(pipeline_only(), false, |_| {});
+    idle.admit(&spec(), false, |_| {}).unwrap();
+    idle.client_detached();
+    let held = engine.store().attach("held", true).unwrap().session;
+    held.submit(pipeline_only(), false, |_| {});
+
+    // Under the TTL nothing happens.
+    clock.0.store(10_000, Ordering::SeqCst);
+    {
+        let (evicted, error) = engine.evict_idle();
+        assert!(evicted.is_empty());
+        assert!(error.is_none());
+    }
+
+    // Past the TTL the detached session is snapshotted and dropped; the
+    // attached one survives no matter how idle it is.
+    clock.0.store(60_000, Ordering::SeqCst);
+    let (evicted, error) = engine.evict_idle();
+    assert_eq!(evicted, vec!["idle".to_string()]);
+    assert!(error.is_none());
+    assert!(engine.store().get("idle").is_none());
+    assert!(engine.store().get("held").is_some());
+    assert!(dir.join("idle.json").exists(), "eviction snapshots first");
+
+    // A returning client's attach resurrects the evicted state from its
+    // snapshot instead of shadowing it with a fresh empty namesake.
+    let outcome = engine.attach_session("idle", true).unwrap();
+    assert!(!outcome.created, "attach must restore, not create");
+    assert_eq!(outcome.session.jobs(), 1);
+    outcome.session.client_detached();
+    engine.store().remove("idle");
+
+    // The explicit restore path agrees.
+    let restored = engine.restore("idle").unwrap();
+    assert_eq!(restored.jobs, 1);
+    assert_eq!(engine.store().get("idle").unwrap().jobs(), 1);
+
+    // Sweeping with a fresh restore: just-installed sessions are not
+    // instantly re-evicted (install touches the clock).
+    let (evicted, error) = engine.evict_idle();
+    assert!(evicted.is_empty());
+    assert!(error.is_none());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_without_ttl_is_a_no_op() {
+    let clock = Arc::new(FakeClock(AtomicU64::new(0)));
+    let engine = ClusterEngine::with_store_clock(
+        ClusterConfig::default(),
+        Some(Arc::clone(&clock) as Arc<dyn Clock>),
+    )
+    .unwrap();
+    let session = engine.store().attach("s", true).unwrap().session;
+    session.client_detached();
+    clock.0.store(u64::MAX / 2, Ordering::SeqCst);
+    {
+        let (evicted, error) = engine.evict_idle();
+        assert!(evicted.is_empty());
+        assert!(error.is_none());
+    }
+    assert!(engine.store().get("s").is_some());
+}

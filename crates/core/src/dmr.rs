@@ -6,6 +6,7 @@ use std::collections::BTreeSet;
 use msmr_dca::{Analysis, DelayBoundKind, DelayEvaluator};
 use msmr_model::{JobId, JobSet};
 
+use crate::online::RepairState;
 use crate::orientation::Orientation;
 use crate::{InfeasibleError, PairwiseAssignment};
 
@@ -130,13 +131,33 @@ impl Dmr {
         &self,
         analysis: &Analysis<'_>,
     ) -> Result<(PairwiseAssignment, Vec<msmr_model::Time>), InfeasibleError> {
+        self.assign_traced(analysis).0
+    }
+
+    /// Like [`Dmr::assign_with_delays`] but also returns the recorded
+    /// repair trace — the [`RepairState`] the online seam persists
+    /// between decisions. Recording is free (the flips are collected as
+    /// they are applied), so the cold path simply discards it.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn assign_traced(
+        &self,
+        analysis: &Analysis<'_>,
+    ) -> (
+        Result<(PairwiseAssignment, Vec<msmr_model::Time>), InfeasibleError>,
+        RepairState,
+    ) {
         let active: BTreeSet<JobId> = analysis.jobs().job_ids().collect();
-        let (orientation, evaluator, unschedulable) = self.repair_inner(analysis, &active);
-        if unschedulable.is_empty() {
+        let (orientation, evaluator, unschedulable, flips) = self.repair_inner(analysis, &active);
+        let trace = RepairState {
+            jobs: analysis.jobs().len() as u64,
+            flips,
+        };
+        let result = if unschedulable.is_empty() {
             Ok((orientation.to_assignment(), evaluator.delays()))
         } else {
             Err(InfeasibleError::new("DMR", unschedulable))
-        }
+        };
+        (result, trace)
     }
 
     /// Runs DMR as an admission controller (§VI-B): when a job remains
@@ -154,14 +175,21 @@ impl Dmr {
     /// probe is `O(1)` instead of a full `O(|H|·N)` re-evaluation of a
     /// cloned assignment. The evaluator is returned so callers (the
     /// admission loop) can read the final delays without recomputing.
+    #[allow(clippy::type_complexity)]
     fn repair_inner<'a>(
         &self,
         analysis: &'a Analysis<'_>,
         active: &BTreeSet<JobId>,
-    ) -> (Orientation, DelayEvaluator<'a>, Vec<JobId>) {
+    ) -> (
+        Orientation,
+        DelayEvaluator<'a>,
+        Vec<JobId>,
+        Vec<(JobId, JobId)>,
+    ) {
         let jobs = analysis.jobs();
         let (mut orientation, mut evaluator) = dm_orientation(analysis, active, self.bound);
         let mut unschedulable = Vec::new();
+        let mut flips: Vec<(JobId, JobId)> = Vec::new();
 
         for &job in active {
             // Step 4: only repair jobs that currently miss their deadline.
@@ -194,6 +222,7 @@ impl Dmr {
                 evaluator.add_higher(competitor, job);
                 if evaluator.delay(competitor) <= jobs.job(competitor).deadline() {
                     orientation.set(job, competitor);
+                    flips.push((job, competitor));
                     delta = evaluator.delay(job);
                     if delta <= jobs.job(job).deadline() {
                         break;
@@ -210,7 +239,7 @@ impl Dmr {
                 unschedulable.push(job);
             }
         }
-        (orientation, evaluator, unschedulable)
+        (orientation, evaluator, unschedulable, flips)
     }
 }
 
@@ -342,7 +371,7 @@ fn admission_loop(
     // DMR restarts the repair phase from a fresh DM assignment after every
     // rejection (Algorithm 2's admission semantics), so each round rebuilds.
     loop {
-        let (orientation, evaluator, _) = Dmr::new(bound).repair_inner(analysis, &active);
+        let (orientation, evaluator, _, _) = Dmr::new(bound).repair_inner(analysis, &active);
         // Find the job with the largest deadline overshoot.
         let mut worst: Option<(JobId, i128)> = None;
         for &job in &active {

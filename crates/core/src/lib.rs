@@ -108,6 +108,7 @@ mod dcmp;
 mod dmr;
 mod error;
 mod ilp_encoding;
+mod online;
 mod opdca;
 mod opt;
 mod ordering;
@@ -122,6 +123,9 @@ pub use dcmp::{Dcmp, DcmpOutcome};
 pub use dmr::{Dm, Dmr, PairwiseAdmissionOutcome};
 pub use error::InfeasibleError;
 pub use ilp_encoding::PairwiseIlp;
+pub use online::{
+    AudsleyState, DeciderState, OnlineEvent, OnlineSolver, OnlineSuiteState, RepairState,
+};
 pub use opdca::{Opdca, OrderingAdmissionOutcome, OrderingResult};
 pub use opt::{OptPairwise, PairwiseSearchConfig, PairwiseSearchOutcome, PairwiseSearchStats};
 pub use ordering::PriorityOrdering;

@@ -1,0 +1,316 @@
+//! The stateful online solver seam: warm cross-admit decider state.
+//!
+//! The one-shot [`Solver`](crate::Solver) seam forces every admission
+//! decision to re-run its whole decision procedure from scratch, even when
+//! the serving layer already keeps the interference tables warm and the
+//! job set changed by exactly one arrival or departure. [`OnlineSolver`]
+//! is the *stateful* counterpart: a solver that persists what it decided —
+//! its [`DeciderState`] — and, on the next admit or withdraw, re-decides
+//! only the suffix of that decision the changed job can perturb.
+//!
+//! Three rules keep the seam honest:
+//!
+//! 1. **Byte-identity.** A warm verdict must equal the cold
+//!    [`Solver::solve`](crate::Solver::solve) verdict on the same job set
+//!    bit for bit once wall-clock provenance fields
+//!    ([`SolverStats::elapsed_micros`](crate::SolverStats) and
+//!    [`SolverStats::cold_fallback`](crate::SolverStats)) are zeroed —
+//!    including work counters like `sdca_calls`. Warm paths that skip
+//!    probes must therefore *account* for the probes the cold run would
+//!    have spent, and may only skip a probe whose outcome is provable
+//!    (the delay bounds are monotone in the assumed-higher set, so adding
+//!    an arrival can never turn a failed Audsley probe into a pass).
+//! 2. **States are advisory.** Every state is serializable (sessions
+//!    snapshot it, restores come back warm) and shape-validated before
+//!    use; a state that does not describe the current job set is ignored
+//!    and the solver decides cold. Semantically-wrong-but-well-shaped
+//!    states are trusted, like the pair-table values themselves.
+//! 3. **Capability, not obligation.** [`Solver::online`](crate::Solver)
+//!    is an optional hook; solvers without it keep working through the
+//!    registry's cold adapter, which marks its verdicts with the
+//!    `cold_fallback` stat.
+
+use msmr_model::JobId;
+use serde::{Deserialize, Serialize};
+
+use crate::solver::{SolveCtx, Verdict};
+
+/// The event an online decide answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineEvent {
+    /// The context's job set extends the previous one by exactly one job
+    /// at the highest id (the arrival primitive,
+    /// [`JobSet::with_job`](msmr_model::JobSet::with_job)).
+    Admit,
+    /// The context's job set lost one job by swap-removal
+    /// ([`JobSet::swap_remove_job`](msmr_model::JobSet::swap_remove_job)):
+    /// the victim's slot id and, when a job moved into it, that job's old
+    /// (highest) id.
+    Withdraw {
+        /// The vacated slot — the withdrawn job's id in the previous set.
+        removed: JobId,
+        /// The old id of the job now answering at `removed`; `None` when
+        /// the victim already held the highest id.
+        moved: Option<JobId>,
+    },
+}
+
+/// The serializable warm state of one online solver, as persisted between
+/// decisions (and across daemon restarts via session snapshots).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum DeciderState {
+    /// No usable history: the next decide runs cold (and records a fresh
+    /// state). This is both the blank-start state and the invalidation
+    /// marker for solvers that missed an operation.
+    #[default]
+    Stateless,
+    /// OPDCA's Audsley level trace ([`AudsleyState`]).
+    Audsley(AudsleyState),
+    /// DMR's repair trace ([`RepairState`]).
+    Repair(RepairState),
+}
+
+/// The recorded walk of one OPDCA Audsley loop: which job took each
+/// priority level (lowest first) and how many `S_DCA` probes the cold loop
+/// spent at that level. An [`OnlineSolver::admit`] fast-forwards this
+/// trace — a level whose recorded winner still passes is re-used with one
+/// probe instead of `probes[level]`, while the *reported* `sdca_calls`
+/// still charges the cold count, keeping warm verdicts byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AudsleyState {
+    /// The job assigned at each level, in assignment order (lowest
+    /// priority first).
+    pub winners: Vec<JobId>,
+    /// `S_DCA` probes the cold loop spends at each level; one trailing
+    /// entry for the failing level when `rejected`.
+    pub probes: Vec<u64>,
+    /// `true` when the trace ends in a level no candidate passed.
+    pub rejected: bool,
+}
+
+impl AudsleyState {
+    /// `true` when the trace is shape-consistent with a job set of `jobs`
+    /// jobs: winners are unique in-range ids, the probe list matches the
+    /// level count, every probe count is achievable, and an accepted
+    /// trace covers the whole set. Malformed traces (e.g. a hand-edited
+    /// snapshot) fail this and the decider falls back to a cold run.
+    #[must_use]
+    pub fn describes(&self, jobs: usize) -> bool {
+        let levels = self.winners.len();
+        if self.probes.len() != levels + usize::from(self.rejected) {
+            return false;
+        }
+        if self.rejected {
+            if levels >= jobs {
+                return false;
+            }
+        } else if levels != jobs {
+            return false;
+        }
+        let mut seen = vec![false; jobs];
+        for (level, &winner) in self.winners.iter().enumerate() {
+            if winner.index() >= jobs || seen[winner.index()] {
+                return false;
+            }
+            seen[winner.index()] = true;
+            // At level `level` there are `jobs - level` candidates.
+            let candidates = (jobs - level) as u64;
+            if self.probes[level] < 1 || self.probes[level] > candidates {
+                return false;
+            }
+        }
+        if self.rejected {
+            let candidates = (jobs - levels) as u64;
+            if self.probes[levels] != candidates {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The recorded walk of one DMR run: the pair flips the repair phase
+/// applied, in application order. DMR's repair decisions are globally
+/// coupled (each flip moves the slack every later step sorts by), so the
+/// warm path re-runs the repair — its probes are `O(1)` on the warm
+/// evaluator and the expensive part, the interference tables, is what the
+/// serving layer keeps warm — and the trace is persisted for
+/// introspection and conformance pinning.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairState {
+    /// Number of jobs the trace describes.
+    pub jobs: u64,
+    /// Accepted repair flips `(job, competitor)` — after the flip the
+    /// *job* outranks the competitor — in application order.
+    pub flips: Vec<(JobId, JobId)>,
+}
+
+/// The stateful counterpart of [`Solver`](crate::Solver): decides the
+/// same questions, but persists a [`DeciderState`] between calls so that
+/// an admit or withdraw re-decides only what the changed job can perturb.
+///
+/// # Contract
+///
+/// * `admit`/`withdraw` accept **any** state, including
+///   [`DeciderState::Stateless`] and states of the wrong shape; an
+///   unusable state simply makes the call decide cold. On return the
+///   state always describes the context's job set.
+/// * A warm verdict is byte-identical to the cold
+///   [`Solver::solve`](crate::Solver::solve) on the same context once the
+///   wall-clock provenance fields are zeroed (work counters included).
+/// * Callers that *reject* the decided set (admission rollback) must
+///   restore the previous state themselves — states are cheap `O(n)`
+///   clones.
+pub trait OnlineSolver: Send + Sync {
+    /// Cold-starts the decider on the context's job set, returning the
+    /// recorded state subsequent calls fast-forward from. The default
+    /// runs [`OnlineSolver::admit`] on a blank state and discards the
+    /// verdict.
+    fn begin(&self, ctx: &SolveCtx<'_>) -> DeciderState {
+        let mut state = DeciderState::Stateless;
+        let _ = self.admit(&mut state, ctx);
+        state
+    }
+
+    /// Decides the context's job set, fast-forwarding from `state` when
+    /// it describes the set *without* the highest-id job (the arrival).
+    fn admit(&self, state: &mut DeciderState, ctx: &SolveCtx<'_>) -> Verdict;
+
+    /// Decides the context's job set after a swap-removal, fast-forwarding
+    /// from `state` when it describes the set *before* the removal.
+    /// `removed`/`moved` mirror [`OnlineEvent::Withdraw`].
+    fn withdraw(
+        &self,
+        state: &mut DeciderState,
+        ctx: &SolveCtx<'_>,
+        removed: JobId,
+        moved: Option<JobId>,
+    ) -> Verdict;
+}
+
+/// The warm decider states of a whole registry, keyed by solver name —
+/// what an admission session carries between requests and serializes into
+/// its snapshot image.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSuiteState {
+    /// Per-solver states. Absent name ⇒ [`DeciderState::Stateless`].
+    pub states: std::collections::BTreeMap<String, DeciderState>,
+}
+
+impl OnlineSuiteState {
+    /// An empty suite state (every solver decides cold on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineSuiteState::default()
+    }
+
+    /// The mutable state slot of one solver, created as
+    /// [`DeciderState::Stateless`] on first access.
+    pub fn state_mut(&mut self, solver: &str) -> &mut DeciderState {
+        self.states.entry(solver.to_string()).or_default()
+    }
+
+    /// Drops one solver's state (it missed an operation and must decide
+    /// cold next time).
+    pub fn invalidate(&mut self, solver: &str) {
+        self.states.remove(solver);
+    }
+
+    /// Drops every state except `keep`'s — the bookkeeping of a
+    /// single-decider operation that bypassed the rest of the suite.
+    pub fn invalidate_except(&mut self, keep: &str) {
+        self.states.retain(|name, _| name == keep);
+    }
+
+    /// Number of solvers holding a non-default state entry.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when no solver holds state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audsley_shape_validation() {
+        let accepted = AudsleyState {
+            winners: vec![JobId::new(2), JobId::new(0), JobId::new(1)],
+            probes: vec![3, 1, 1],
+            rejected: false,
+        };
+        assert!(accepted.describes(3));
+        assert!(!accepted.describes(4), "accepted traces cover the set");
+
+        let rejected = AudsleyState {
+            winners: vec![JobId::new(1)],
+            probes: vec![2, 3],
+            rejected: true,
+        };
+        assert!(rejected.describes(4));
+        assert!(!rejected.describes(1));
+
+        // Duplicate winners, out-of-range ids, impossible probe counts.
+        let dup = AudsleyState {
+            winners: vec![JobId::new(0), JobId::new(0)],
+            probes: vec![1, 1],
+            rejected: false,
+        };
+        assert!(!dup.describes(2));
+        let out = AudsleyState {
+            winners: vec![JobId::new(9)],
+            probes: vec![1],
+            rejected: false,
+        };
+        assert!(!out.describes(1));
+        let greedy = AudsleyState {
+            winners: vec![JobId::new(0), JobId::new(1)],
+            probes: vec![5, 1],
+            rejected: false,
+        };
+        assert!(!greedy.describes(2));
+    }
+
+    #[test]
+    fn suite_state_slots_and_invalidation() {
+        let mut suite = OnlineSuiteState::new();
+        assert!(suite.is_empty());
+        *suite.state_mut("OPDCA") = DeciderState::Audsley(AudsleyState::default());
+        *suite.state_mut("DMR") = DeciderState::Repair(RepairState::default());
+        assert_eq!(suite.len(), 2);
+        suite.invalidate("DMR");
+        assert!(!suite.states.contains_key("DMR"));
+        *suite.state_mut("DMR") = DeciderState::Repair(RepairState::default());
+        suite.invalidate_except("OPDCA");
+        assert_eq!(suite.len(), 1);
+        assert!(matches!(
+            suite.states.get("OPDCA"),
+            Some(DeciderState::Audsley(_))
+        ));
+    }
+
+    #[test]
+    fn states_round_trip_through_json() {
+        let mut suite = OnlineSuiteState::new();
+        *suite.state_mut("OPDCA") = DeciderState::Audsley(AudsleyState {
+            winners: vec![JobId::new(1), JobId::new(0)],
+            probes: vec![2, 1],
+            rejected: false,
+        });
+        *suite.state_mut("DMR") = DeciderState::Repair(RepairState {
+            jobs: 2,
+            flips: vec![(JobId::new(0), JobId::new(1))],
+        });
+        *suite.state_mut("DM") = DeciderState::Stateless;
+        let json = serde_json::to_string(&suite).unwrap();
+        let parsed: OnlineSuiteState = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, suite);
+    }
+}

@@ -1,8 +1,9 @@
 //! OPDCA — Algorithm 1: optimal priority assignment driven by `S_DCA`.
 
-use msmr_dca::{Analysis, DelayBoundKind};
+use msmr_dca::{Analysis, DelayBoundKind, DelayEvaluator};
 use msmr_model::{JobId, JobSet, Time};
 
+use crate::online::AudsleyState;
 use crate::{InfeasibleError, PriorityOrdering, Sdca};
 
 /// OPDCA (Algorithm 1 of the paper): Audsley's optimal priority assignment
@@ -87,52 +88,175 @@ impl Opdca {
         &self,
         analysis: &Analysis<'_>,
     ) -> Result<OrderingResult, InfeasibleError> {
+        self.decide_traced(analysis, AudsleyResume::Cold).result
+    }
+
+    /// The Audsley loop with trace recording and optional warm resumption
+    /// — the engine behind both [`Opdca::assign_with_analysis`] (cold) and
+    /// the [`OnlineSolver`](crate::OnlineSolver) impl (warm).
+    ///
+    /// The fast-forward is sound *and counter-exact* by monotonicity: the
+    /// maintained bounds only grow when the assumed-higher set grows, so
+    /// on an arrival every candidate the old trace probed **before** a
+    /// level's winner still fails — those probes are charged to
+    /// `sdca_calls` without being performed — and only the winner itself
+    /// is re-probed. The first level whose winner no longer passes is
+    /// where the arrival perturbs the assignment; the loop re-decides
+    /// from exactly that point. On a (swap-removal) departure bounds
+    /// shrink instead, so a previously failed probe is *not* provably
+    /// still failing; only levels whose winner was probed first (and is
+    /// still first in the reduced candidate order) are provably stable,
+    /// and the loop re-decides from the first level that is not.
+    pub(crate) fn decide_traced(
+        &self,
+        analysis: &Analysis<'_>,
+        resume: AudsleyResume<'_>,
+    ) -> TracedOrdering {
         let jobs = analysis.jobs();
+        let n = jobs.len();
         let mut evaluator = analysis.evaluator(self.sdca.bound());
         evaluator.seed_all_higher();
         let mut unassigned: Vec<JobId> = jobs.job_ids().collect();
-        let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(jobs.len());
-        let mut sdca_calls = 0usize;
+        let mut assigned_lowest_first: Vec<JobId> = Vec::with_capacity(n);
+        let mut probes: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut sdca_calls: u64 = 0;
+        // Set when an admit fast-forward diverges mid-level: the cold loop
+        // resumes probing at this `unassigned` index with this many probes
+        // already charged to the level.
+        let mut resume_probe: Option<(usize, u64)> = None;
 
-        while !unassigned.is_empty() {
-            let mut chosen: Option<usize> = None;
-            for (idx, &candidate) in unassigned.iter().enumerate() {
-                sdca_calls += 1;
-                if evaluator.fits(candidate) {
-                    chosen = Some(idx);
-                    break;
-                }
+        fn assign(
+            evaluator: &mut DelayEvaluator<'_>,
+            unassigned: &mut Vec<JobId>,
+            idx: usize,
+        ) -> JobId {
+            let job = unassigned.remove(idx);
+            // `job` takes the current lowest priority level: it moves from
+            // "assumed higher" to "assigned lower" for every job still
+            // awaiting a level.
+            for &target in unassigned.iter() {
+                evaluator.remove_higher(target, job);
+                evaluator.add_lower(target, job);
             }
-            match chosen {
-                Some(idx) => {
-                    let job = unassigned.remove(idx);
-                    // `job` takes the current lowest priority level: it
-                    // moves from "assumed higher" to "assigned lower" for
-                    // every job still awaiting a level.
-                    for &target in &unassigned {
-                        evaluator.remove_higher(target, job);
-                        evaluator.add_lower(target, job);
-                    }
-                    assigned_lowest_first.push(job);
-                }
-                None => {
-                    return Err(InfeasibleError::new("OPDCA", unassigned));
-                }
-            }
+            job
         }
 
-        let order: Vec<JobId> = assigned_lowest_first.into_iter().rev().collect();
+        match resume {
+            AudsleyResume::Admit(previous) if n > 0 && previous.describes(n - 1) => {
+                for level in 0..previous.winners.len() {
+                    let winner = previous.winners[level];
+                    let charged = previous.probes[level];
+                    sdca_calls += charged;
+                    let idx = unassigned
+                        .binary_search(&winner)
+                        .expect("validated trace winners are unassigned");
+                    if evaluator.fits(winner) {
+                        assign(&mut evaluator, &mut unassigned, idx);
+                        assigned_lowest_first.push(winner);
+                        probes.push(charged);
+                    } else {
+                        // The arrival pushed the old winner over its
+                        // deadline; candidates before it provably still
+                        // fail, so the cold loop resumes right after it.
+                        resume_probe = Some((idx + 1, charged));
+                        break;
+                    }
+                }
+                if resume_probe.is_none() && previous.rejected {
+                    // The previously failing level: every old candidate
+                    // still fails (their bounds only grew); only the
+                    // arrival itself — last in id order — is new.
+                    let charged = previous.probes[previous.winners.len()];
+                    sdca_calls += charged;
+                    resume_probe = Some((unassigned.len() - 1, charged));
+                }
+            }
+            AudsleyResume::Withdraw {
+                previous,
+                removed,
+                moved,
+            } if previous.describes(n + 1) => {
+                for level in 0..previous.winners.len() {
+                    let recorded = previous.winners[level];
+                    if recorded == removed || previous.probes[level] != 1 {
+                        break;
+                    }
+                    let winner = if Some(recorded) == moved {
+                        removed
+                    } else {
+                        recorded
+                    };
+                    if unassigned.first() != Some(&winner) {
+                        break;
+                    }
+                    // Probed first before, still probed first now, and its
+                    // bound can only have shrunk: for an honest trace it
+                    // always wins again. The probe is still performed for
+                    // real (states are advisory — a stale snapshot must
+                    // degrade to the cold loop, not derail it), and on the
+                    // failure only a stale trace can produce, the cold
+                    // loop takes over mid-level with this probe charged —
+                    // exactly what a cold run would have spent.
+                    sdca_calls += 1;
+                    if !evaluator.fits(winner) {
+                        resume_probe = Some((1, 1));
+                        break;
+                    }
+                    assign(&mut evaluator, &mut unassigned, 0);
+                    assigned_lowest_first.push(winner);
+                    probes.push(1);
+                }
+            }
+            // Cold, or a state that does not describe this job set.
+            _ => {}
+        }
+
+        // The cold Audsley loop over whatever is still undecided.
+        'levels: while !unassigned.is_empty() {
+            let (mut idx, mut level_probes) = resume_probe.take().unwrap_or((0, 0));
+            while idx < unassigned.len() {
+                let candidate = unassigned[idx];
+                sdca_calls += 1;
+                level_probes += 1;
+                if evaluator.fits(candidate) {
+                    assign(&mut evaluator, &mut unassigned, idx);
+                    assigned_lowest_first.push(candidate);
+                    probes.push(level_probes);
+                    continue 'levels;
+                }
+                idx += 1;
+            }
+            // No candidate can take the current lowest level.
+            probes.push(level_probes);
+            return TracedOrdering {
+                result: Err(InfeasibleError::new("OPDCA", unassigned)),
+                trace: AudsleyState {
+                    winners: assigned_lowest_first,
+                    probes,
+                    rejected: true,
+                },
+            };
+        }
+
+        let order: Vec<JobId> = assigned_lowest_first.iter().rev().copied().collect();
         let ordering = PriorityOrdering::new(order);
         // When a job received its level, its own sets were exactly its
         // final interference sets (remaining jobs higher, earlier levels
         // lower) and were never touched again — so the evaluator already
         // holds every job's delay under the computed ordering.
         let delays = evaluator.delays();
-        Ok(OrderingResult {
-            ordering,
-            delays,
-            sdca_calls,
-        })
+        TracedOrdering {
+            result: Ok(OrderingResult {
+                ordering,
+                delays,
+                sdca_calls: sdca_calls as usize,
+            }),
+            trace: AudsleyState {
+                winners: assigned_lowest_first,
+                probes,
+                rejected: false,
+            },
+        }
     }
 
     /// Runs OPDCA as an admission controller (§VI-B): whenever no job fits
@@ -210,6 +334,30 @@ impl Default for Opdca {
     fn default() -> Self {
         Opdca::new(DelayBoundKind::RefinedPreemptive)
     }
+}
+
+/// How [`Opdca::decide_traced`] resumes from a previous Audsley trace.
+pub(crate) enum AudsleyResume<'a> {
+    /// No usable history: run the loop cold.
+    Cold,
+    /// The job set extends the trace's set by one job at the highest id.
+    Admit(&'a AudsleyState),
+    /// The trace's set lost `removed` by swap-removal; `moved` is the old
+    /// id of the job now answering at `removed`.
+    Withdraw {
+        previous: &'a AudsleyState,
+        removed: JobId,
+        moved: Option<JobId>,
+    },
+}
+
+/// An Audsley decision together with the trace that produced it.
+pub(crate) struct TracedOrdering {
+    /// The decision, exactly as [`Opdca::assign_with_analysis`] reports
+    /// it.
+    pub(crate) result: Result<OrderingResult, InfeasibleError>,
+    /// The recorded walk, for the next warm decide.
+    pub(crate) trace: AudsleyState,
 }
 
 /// Successful output of [`Opdca::assign`].

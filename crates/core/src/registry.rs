@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use msmr_dca::DelayBoundKind;
 use msmr_model::JobSet;
 
+use crate::online::{OnlineEvent, OnlineSuiteState};
 use crate::solver::{Budget, SolveCtx, Solver, SolverStats, Verdict, VerdictKind};
 use crate::solvers::{DMR, OPDCA, OPT, OPT_ILP};
 use crate::{Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseIlp};
@@ -177,6 +178,29 @@ impl SolverRegistry {
     pub fn evaluate_streamed(
         &self,
         ctx: &SolveCtx<'_>,
+        sink: impl FnMut(&Verdict),
+    ) -> Vec<Verdict> {
+        self.evaluate_each(
+            |solver, shortcut| match shortcut {
+                Some(source) => Self::implied_verdict(solver.name(), source),
+                None => solver.solve(ctx),
+            },
+            sink,
+        )
+    }
+
+    /// The one sequential evaluation loop behind both the offline
+    /// ([`SolverRegistry::evaluate_streamed`]) and the online
+    /// ([`SolverRegistry::evaluate_online`]) paths: registration order,
+    /// implication-shortcut detection, acceptance tracking and streaming.
+    /// Sharing it (and [`SolverRegistry::implied_verdict`]) is what makes
+    /// the two paths structurally unable to drift apart — the
+    /// byte-identity contract of the online seam depends on it.
+    /// `decide` is handed each solver together with the shortcut source
+    /// that fired for it, if any.
+    fn evaluate_each(
+        &self,
+        mut decide: impl FnMut(&dyn Solver, Option<&str>) -> Verdict,
         mut sink: impl FnMut(&Verdict),
     ) -> Vec<Verdict> {
         let mut verdicts: Vec<Verdict> = Vec::with_capacity(self.entries.len());
@@ -186,21 +210,24 @@ impl SolverRegistry {
                 .implied_by
                 .iter()
                 .find(|source| accepted.get(source.as_str()).copied().unwrap_or(false));
-            let verdict = match shortcut {
-                Some(source) => Verdict {
-                    stats: SolverStats {
-                        implied_by: Some(source.clone()),
-                        ..SolverStats::default()
-                    },
-                    ..Verdict::new(entry.solver.name(), VerdictKind::Accepted)
-                },
-                None => entry.solver.solve(ctx),
-            };
+            let verdict = decide(entry.solver.as_ref(), shortcut.map(String::as_str));
             accepted.insert(entry.solver.name(), verdict.is_accepted());
             sink(&verdict);
             verdicts.push(verdict);
         }
         verdicts
+    }
+
+    /// The verdict synthesized for a solver skipped by an exact
+    /// implication shortcut.
+    fn implied_verdict(solver: &str, source: &str) -> Verdict {
+        Verdict {
+            stats: SolverStats {
+                implied_by: Some(source.to_string()),
+                ..SolverStats::default()
+            },
+            ..Verdict::new(solver, VerdictKind::Accepted)
+        }
     }
 
     /// Streaming form of [`SolverRegistry::evaluate_parallel`]: every
@@ -246,6 +273,91 @@ impl SolverRegistry {
             sink(&verdict);
             verdict
         })
+    }
+
+    /// A blank warm-state container for this registry's online solvers —
+    /// what a long-running admission session carries between requests
+    /// (and serializes into its snapshot image). Every solver starts
+    /// [`Stateless`](crate::DeciderState::Stateless): its first online
+    /// decision runs cold and records the trace the next one
+    /// fast-forwards from.
+    #[must_use]
+    pub fn online_suite(&self) -> OnlineSuiteState {
+        OnlineSuiteState::new()
+    }
+
+    /// The stateful counterpart of [`SolverRegistry::evaluate_streamed`]:
+    /// identical verdicts in identical order — sequential evaluation,
+    /// implication shortcuts applied, every verdict byte-identical to the
+    /// cold path once the wall-clock provenance fields are zeroed — but
+    /// each solver with an [`OnlineSolver`](crate::OnlineSolver) seam
+    /// fast-forwards from (and updates) its [`OnlineSuiteState`] slot
+    /// instead of re-deciding from scratch. Solvers without the seam are
+    /// served by the cold adapter, which re-solves on the (warm) context
+    /// and marks the verdict with the `cold_fallback` stat; solvers
+    /// skipped by a shortcut get their state invalidated (they did not
+    /// observe the event and must decide cold next time).
+    pub fn evaluate_online(
+        &self,
+        state: &mut OnlineSuiteState,
+        ctx: &SolveCtx<'_>,
+        event: OnlineEvent,
+        sink: impl FnMut(&Verdict),
+    ) -> Vec<Verdict> {
+        self.evaluate_each(
+            |solver, shortcut| match shortcut {
+                Some(source) => {
+                    state.invalidate(solver.name());
+                    Self::implied_verdict(solver.name(), source)
+                }
+                None => Self::solve_online(solver, state, ctx, event),
+            },
+            sink,
+        )
+    }
+
+    /// Runs a *single* registered solver through the online seam — the
+    /// low-latency decider-only path of an admission session. Every other
+    /// solver's state is invalidated (it did not observe the event).
+    /// Returns `None` for unregistered names.
+    pub fn decide_online(
+        &self,
+        name: &str,
+        state: &mut OnlineSuiteState,
+        ctx: &SolveCtx<'_>,
+        event: OnlineEvent,
+    ) -> Option<Verdict> {
+        let solver = self.solver(name)?;
+        state.invalidate_except(name);
+        Some(Self::solve_online(solver, state, ctx, event))
+    }
+
+    /// One solver through the online seam: the warm path when the solver
+    /// has one, the cold adapter (re-solve + `cold_fallback` stat)
+    /// otherwise.
+    fn solve_online(
+        solver: &dyn Solver,
+        state: &mut OnlineSuiteState,
+        ctx: &SolveCtx<'_>,
+        event: OnlineEvent,
+    ) -> Verdict {
+        match solver.online() {
+            Some(online) => {
+                let slot = state.state_mut(solver.name());
+                match event {
+                    OnlineEvent::Admit => online.admit(slot, ctx),
+                    OnlineEvent::Withdraw { removed, moved } => {
+                        online.withdraw(slot, ctx, removed, moved)
+                    }
+                }
+            }
+            None => {
+                state.invalidate(solver.name());
+                let mut verdict = solver.solve(ctx);
+                verdict.stats.cold_fallback = Some(true);
+                verdict
+            }
+        }
     }
 
     /// Evaluates the whole registry over a batch of job sets, fanning the

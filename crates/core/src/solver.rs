@@ -207,6 +207,14 @@ pub struct SolverStats {
     /// instead of running the solver, the name of the solver whose
     /// acceptance implied it.
     pub implied_by: Option<String>,
+    /// `Some(true)` when an *online* evaluation could not use a warm
+    /// [`OnlineSolver`](crate::OnlineSolver) path and the registry's cold
+    /// adapter re-solved from scratch instead. Like `elapsed_micros` this
+    /// is execution provenance, not part of the decision: verification
+    /// paths clear it before byte-comparing verdicts. Optional so that
+    /// verdict frames from daemons predating the online seam (which never
+    /// emit the field) still parse — missing reads as `None`.
+    pub cold_fallback: Option<bool>,
 }
 
 /// The unified, serializable result of one [`Solver::solve`] call.
@@ -359,6 +367,14 @@ pub trait Solver: Send + Sync {
     fn admission_control(&self, ctx: &SolveCtx<'_>) -> Result<AdmissionVerdict, UnsupportedMode> {
         let _ = ctx;
         Err(UnsupportedMode::new(self.name(), "admission control"))
+    }
+
+    /// The solver's stateful online seam, when it has one (see
+    /// [`OnlineSolver`](crate::OnlineSolver)). Solvers without it are
+    /// served by the registry's cold adapter, which re-solves and marks
+    /// the verdict with [`SolverStats::cold_fallback`].
+    fn online(&self) -> Option<&dyn crate::OnlineSolver> {
+        None
     }
 }
 

@@ -6,13 +6,17 @@
 //! where the engine supports limits.
 
 use msmr_dca::DelayBoundKind;
+use msmr_model::{JobId, Time};
 
+use crate::online::{DeciderState, OnlineSolver};
+use crate::opdca::AudsleyResume;
 use crate::solver::{
     timed, AdmissionVerdict, SolveCtx, Solver, SolverStats, UnsupportedMode, Verdict, VerdictKind,
     Witness,
 };
 use crate::{
-    Dcmp, Dm, Dmr, Opdca, OptPairwise, PairwiseIlp, PairwiseSearchConfig, PairwiseSearchOutcome,
+    Dcmp, Dm, Dmr, InfeasibleError, Opdca, OptPairwise, PairwiseAssignment, PairwiseIlp,
+    PairwiseSearchConfig, PairwiseSearchOutcome,
 };
 
 /// Canonical registry/CLI name of the deadline-monotonic baseline.
@@ -39,6 +43,10 @@ impl Solver for Dm {
 
     fn supports_admission(&self) -> bool {
         true
+    }
+
+    fn online(&self) -> Option<&dyn OnlineSolver> {
+        Some(self)
     }
 
     fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
@@ -97,26 +105,13 @@ impl Solver for Dmr {
         true
     }
 
+    fn online(&self) -> Option<&dyn OnlineSolver> {
+        Some(self)
+    }
+
     fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
         let analysis = ctx.analysis();
-        let (verdict, elapsed) = timed(|| match self.assign_with_delays(analysis) {
-            Ok((assignment, delays)) => Verdict {
-                solver: DMR.to_string(),
-                kind: VerdictKind::Accepted,
-                witness: Some(Witness::Pairwise(assignment)),
-                delays: Some(delays),
-                unschedulable: Vec::new(),
-                stats: SolverStats::default(),
-            },
-            Err(err) => Verdict {
-                solver: DMR.to_string(),
-                kind: VerdictKind::Rejected,
-                witness: None,
-                delays: None,
-                unschedulable: err.unschedulable,
-                stats: SolverStats::default(),
-            },
-        });
+        let (verdict, elapsed) = timed(|| dmr_verdict(self.assign_with_delays(analysis)));
         with_elapsed(verdict, elapsed)
     }
 
@@ -146,29 +141,13 @@ impl Solver for Opdca {
         true
     }
 
+    fn online(&self) -> Option<&dyn OnlineSolver> {
+        Some(self)
+    }
+
     fn solve(&self, ctx: &SolveCtx<'_>) -> Verdict {
         let analysis = ctx.analysis();
-        let (verdict, elapsed) = timed(|| match self.assign_with_analysis(analysis) {
-            Ok(result) => Verdict {
-                solver: OPDCA.to_string(),
-                kind: VerdictKind::Accepted,
-                delays: Some(result.delays().to_vec()),
-                stats: SolverStats {
-                    sdca_calls: result.sdca_calls() as u64,
-                    ..SolverStats::default()
-                },
-                witness: Some(Witness::Ordering(result.into_ordering())),
-                unschedulable: Vec::new(),
-            },
-            Err(err) => Verdict {
-                solver: OPDCA.to_string(),
-                kind: VerdictKind::Rejected,
-                witness: None,
-                delays: None,
-                unschedulable: err.unschedulable,
-                stats: SolverStats::default(),
-            },
-        });
+        let (verdict, elapsed) = timed(|| opdca_verdict(self.assign_with_analysis(analysis)));
         with_elapsed(verdict, elapsed)
     }
 
@@ -260,6 +239,153 @@ impl Solver for Dcmp {
             stats: SolverStats::default(),
         };
         with_elapsed(verdict, elapsed)
+    }
+}
+
+/// Warm per-solver paths of the online seam. DM is the trivial stateless
+/// case (its assignment depends only on deadlines, so the warm decide is
+/// the cold decide over the already-warm tables); DMR re-runs its repair
+/// (each step's candidate ranking reads the slack every earlier flip
+/// moved, so the steps are globally coupled — the `O(1)` evaluator probes
+/// on warm tables are the warm win) and persists the flip trace; OPDCA
+/// fast-forwards its persisted Audsley trace and re-decides only the
+/// suffix the arriving or departing job can perturb (see
+/// [`Opdca::decide_traced`]).
+impl OnlineSolver for Dm {
+    fn admit(&self, state: &mut DeciderState, ctx: &SolveCtx<'_>) -> Verdict {
+        *state = DeciderState::Stateless;
+        Solver::solve(self, ctx)
+    }
+
+    fn withdraw(
+        &self,
+        state: &mut DeciderState,
+        ctx: &SolveCtx<'_>,
+        _removed: JobId,
+        _moved: Option<JobId>,
+    ) -> Verdict {
+        *state = DeciderState::Stateless;
+        Solver::solve(self, ctx)
+    }
+}
+
+impl OnlineSolver for Dmr {
+    fn admit(&self, state: &mut DeciderState, ctx: &SolveCtx<'_>) -> Verdict {
+        self.redecide(state, ctx)
+    }
+
+    fn withdraw(
+        &self,
+        state: &mut DeciderState,
+        ctx: &SolveCtx<'_>,
+        _removed: JobId,
+        _moved: Option<JobId>,
+    ) -> Verdict {
+        self.redecide(state, ctx)
+    }
+}
+
+impl Dmr {
+    fn redecide(&self, state: &mut DeciderState, ctx: &SolveCtx<'_>) -> Verdict {
+        let analysis = ctx.analysis();
+        let (verdict, elapsed) = timed(|| {
+            let (result, trace) = self.assign_traced(analysis);
+            *state = DeciderState::Repair(trace);
+            dmr_verdict(result)
+        });
+        with_elapsed(verdict, elapsed)
+    }
+}
+
+impl OnlineSolver for Opdca {
+    fn admit(&self, state: &mut DeciderState, ctx: &SolveCtx<'_>) -> Verdict {
+        let analysis = ctx.analysis();
+        let previous = std::mem::replace(state, DeciderState::Stateless);
+        let (verdict, elapsed) = timed(|| {
+            let resume = match &previous {
+                DeciderState::Audsley(trace) => AudsleyResume::Admit(trace),
+                _ => AudsleyResume::Cold,
+            };
+            let outcome = self.decide_traced(analysis, resume);
+            *state = DeciderState::Audsley(outcome.trace);
+            opdca_verdict(outcome.result)
+        });
+        with_elapsed(verdict, elapsed)
+    }
+
+    fn withdraw(
+        &self,
+        state: &mut DeciderState,
+        ctx: &SolveCtx<'_>,
+        removed: JobId,
+        moved: Option<JobId>,
+    ) -> Verdict {
+        let analysis = ctx.analysis();
+        let previous = std::mem::replace(state, DeciderState::Stateless);
+        let (verdict, elapsed) = timed(|| {
+            let resume = match &previous {
+                DeciderState::Audsley(trace) => AudsleyResume::Withdraw {
+                    previous: trace,
+                    removed,
+                    moved,
+                },
+                _ => AudsleyResume::Cold,
+            };
+            let outcome = self.decide_traced(analysis, resume);
+            *state = DeciderState::Audsley(outcome.trace);
+            opdca_verdict(outcome.result)
+        });
+        with_elapsed(verdict, elapsed)
+    }
+}
+
+/// Translates an OPDCA outcome into the unified verdict — the one
+/// assembly shared by the cold [`Solver::solve`] and the warm
+/// [`OnlineSolver`] paths, so they cannot drift.
+fn opdca_verdict(result: Result<crate::OrderingResult, InfeasibleError>) -> Verdict {
+    match result {
+        Ok(result) => Verdict {
+            solver: OPDCA.to_string(),
+            kind: VerdictKind::Accepted,
+            delays: Some(result.delays().to_vec()),
+            stats: SolverStats {
+                sdca_calls: result.sdca_calls() as u64,
+                ..SolverStats::default()
+            },
+            witness: Some(Witness::Ordering(result.into_ordering())),
+            unschedulable: Vec::new(),
+        },
+        Err(err) => Verdict {
+            solver: OPDCA.to_string(),
+            kind: VerdictKind::Rejected,
+            witness: None,
+            delays: None,
+            unschedulable: err.unschedulable,
+            stats: SolverStats::default(),
+        },
+    }
+}
+
+/// Translates a DMR outcome into the unified verdict (shared by the cold
+/// and warm paths).
+fn dmr_verdict(result: Result<(PairwiseAssignment, Vec<Time>), InfeasibleError>) -> Verdict {
+    match result {
+        Ok((assignment, delays)) => Verdict {
+            solver: DMR.to_string(),
+            kind: VerdictKind::Accepted,
+            witness: Some(Witness::Pairwise(assignment)),
+            delays: Some(delays),
+            unschedulable: Vec::new(),
+            stats: SolverStats::default(),
+        },
+        Err(err) => Verdict {
+            solver: DMR.to_string(),
+            kind: VerdictKind::Rejected,
+            witness: None,
+            delays: None,
+            unschedulable: err.unschedulable,
+            stats: SolverStats::default(),
+        },
     }
 }
 

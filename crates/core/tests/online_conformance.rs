@@ -1,0 +1,309 @@
+//! Conformance suite for the stateful online solver seam: every warm
+//! verdict must be **byte-identical** to the cold
+//! `SolverRegistry::evaluate` on the same job set once the wall-clock
+//! provenance fields (`elapsed_micros`, `cold_fallback`) are zeroed —
+//! witnesses, delays and the `sdca_calls` / `nodes_explored` work
+//! counters included.
+//!
+//! The suite drives random admit/withdraw histories through
+//! `evaluate_online` over incrementally maintained `PairTables`
+//! (extension + general swap-removal) while a mirror rebuilds everything
+//! from scratch each step, so it covers the Audsley fast-forward, its
+//! divergence and rejection paths, the swap-removal id remap, and the
+//! cold adapter in one sweep.
+
+use msmr_dca::{Analysis, DelayBoundKind, PairTables};
+use msmr_model::{Job, JobId, JobSet, Pipeline, PreemptionPolicy, Time};
+use msmr_sched::{Budget, DeciderState, OnlineEvent, SolveCtx, SolverRegistry, Verdict};
+use proptest::prelude::*;
+
+/// Zeroes the execution-provenance fields every verification path of the
+/// workspace ignores when byte-comparing verdicts.
+fn normalized(verdict: &Verdict) -> Verdict {
+    let mut verdict = verdict.clone();
+    verdict.stats.elapsed_micros = 0;
+    verdict.stats.cold_fallback = None;
+    verdict
+}
+
+fn normalized_all(verdicts: &[Verdict]) -> Vec<Verdict> {
+    verdicts.iter().map(normalized).collect()
+}
+
+/// A deterministic xorshift so the mixed histories are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        self.0 = self.0.wrapping_add(1);
+        x
+    }
+}
+
+/// A pool of job templates with mixed deadlines so histories contain both
+/// admissions and rejections.
+fn template(pipeline: &Pipeline, rng: &mut Rng) -> Job {
+    let stages = pipeline.stage_count();
+    let mut builder = Job::builder()
+        .arrival(Time::new(rng.next() % 40))
+        .deadline(Time::new(20 + rng.next() % 160));
+    for j in 0..stages {
+        let resources = pipeline
+            .stage(msmr_model::StageId::new(j))
+            .expect("stage exists")
+            .resource_count();
+        builder = builder.stage_time(
+            Time::new(1 + rng.next() % 12),
+            (rng.next() % resources as u64) as usize,
+        );
+    }
+    builder.build(JobId::new(0)).unwrap()
+}
+
+fn pipeline(stages: usize, resources: usize) -> Pipeline {
+    Pipeline::uniform(&vec![resources; stages], PreemptionPolicy::Preemptive).unwrap()
+}
+
+fn with_job(jobs: &JobSet, job: &Job) -> JobSet {
+    let mut builder = Job::builder()
+        .arrival(job.arrival())
+        .deadline(job.deadline());
+    for j in 0..job.stage_count() {
+        let stage = msmr_model::StageId::new(j);
+        builder = builder.stage_time(job.processing(stage), job.resource(stage).index());
+    }
+    jobs.with_job(builder).unwrap().0
+}
+
+/// Drives one random admit/withdraw history through the warm online seam
+/// (incremental tables + suite state) and checks, at every step, that the
+/// streamed verdicts equal a cold `evaluate` of the same set.
+fn run_history(seed: u64, bound: DelayBoundKind, ops: usize) {
+    let registry = SolverRegistry::paper_suite(bound);
+    let budget = Budget::default().with_node_limit(200_000);
+    let mut rng = Rng(seed);
+    let pipe = pipeline(2 + (seed as usize % 2), 1 + (seed as usize % 2));
+
+    let mut jobs = JobSet::new(pipe.clone(), Vec::new()).unwrap();
+    let mut tables: Option<PairTables> = None;
+    let mut state = registry.online_suite();
+
+    for step in 0..ops {
+        let withdraw = jobs.len() > 1 && rng.next().is_multiple_of(3);
+        let (candidate, event) = if withdraw {
+            let victim = JobId::new((rng.next() % jobs.len() as u64) as usize);
+            let (reduced, moved) = jobs.swap_remove_job(victim);
+            let mut t = tables.take().unwrap();
+            t.remove_job(victim);
+            tables = Some(t);
+            (
+                reduced,
+                OnlineEvent::Withdraw {
+                    removed: victim,
+                    moved,
+                },
+            )
+        } else {
+            let job = template(&pipe, &mut rng);
+            let extended = with_job(&jobs, &job);
+            let t = match tables.take() {
+                Some(mut t) => {
+                    t.extend_with_job(&extended);
+                    t
+                }
+                None => Analysis::new(&extended).into_tables(),
+            };
+            // Exercise the cache-update path now and then.
+            if step % 4 == 1 {
+                let _ = t.opa_like_touch();
+            }
+            tables = Some(t);
+            (extended, OnlineEvent::Admit)
+        };
+
+        let analysis = Analysis::from_tables(&candidate, tables.take().unwrap());
+        let ctx = SolveCtx::with_analysis(analysis, budget);
+        let mut streamed = Vec::new();
+        let warm = registry.evaluate_online(&mut state, &ctx, event, |v| streamed.push(v.clone()));
+        tables = Some(ctx.into_analysis().unwrap().into_tables());
+
+        assert_eq!(normalized_all(&warm), normalized_all(&streamed));
+        let cold = registry.evaluate(&candidate, budget);
+        assert_eq!(
+            normalized_all(&warm),
+            normalized_all(&cold),
+            "seed {seed}, step {step}, {} jobs, event {event:?}",
+            candidate.len()
+        );
+        jobs = candidate;
+    }
+}
+
+/// `PairTables` has no public Eq.5 hook; evaluating the OPA bound builds
+/// the lazy cache, which is what we want to exercise across
+/// extend/remove.
+trait OpaTouch {
+    fn opa_like_touch(&self) -> usize;
+}
+
+impl OpaTouch for PairTables {
+    fn opa_like_touch(&self) -> usize {
+        msmr_dca::DelayEvaluator::new(self, DelayBoundKind::NonPreemptiveOpa)
+            .delays()
+            .len()
+    }
+}
+
+#[test]
+fn mixed_histories_match_cold_evaluate_edge_hybrid() {
+    for seed in 0..6 {
+        run_history(seed, DelayBoundKind::EdgeHybrid, 14);
+    }
+}
+
+#[test]
+fn mixed_histories_match_cold_evaluate_refined_preemptive() {
+    for seed in 6..10 {
+        run_history(seed, DelayBoundKind::RefinedPreemptive, 14);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized sweep over seeds and history lengths.
+    #[test]
+    fn warm_histories_are_cold_identical(seed in 0u64..10_000, ops in 4usize..12) {
+        run_history(seed, DelayBoundKind::EdgeHybrid, ops);
+    }
+}
+
+/// The decider-only path: warm single-solver decisions match a cold
+/// solve of the same solver, and bypassed solvers are invalidated (their
+/// next full evaluation still matches cold).
+#[test]
+fn decider_only_path_invalidates_bystanders() {
+    let bound = DelayBoundKind::EdgeHybrid;
+    let registry = SolverRegistry::paper_suite(bound);
+    let budget = Budget::default().with_node_limit(200_000);
+    let mut rng = Rng(42);
+    let pipe = pipeline(3, 2);
+
+    let mut jobs = JobSet::new(pipe.clone(), Vec::new()).unwrap();
+    let mut tables: Option<PairTables> = None;
+    let mut state = registry.online_suite();
+
+    for step in 0..10 {
+        let job = template(&pipe, &mut rng);
+        let candidate = with_job(&jobs, &job);
+        let mut t = match tables.take() {
+            Some(mut t) => {
+                t.extend_with_job(&candidate);
+                t
+            }
+            None => Analysis::new(&candidate).into_tables(),
+        };
+        if step % 2 == 0 {
+            // Decider-only admit.
+            let analysis = Analysis::from_tables(&candidate, t);
+            let ctx = SolveCtx::with_analysis(analysis, budget);
+            let warm = registry
+                .decide_online("OPDCA", &mut state, &ctx, OnlineEvent::Admit)
+                .unwrap();
+            t = ctx.into_analysis().unwrap().into_tables();
+            let cold = registry
+                .solver("OPDCA")
+                .unwrap()
+                .solve(&SolveCtx::with_budget(&candidate, budget));
+            assert_eq!(normalized(&warm), normalized(&cold), "step {step}");
+            // Only the decider keeps state.
+            assert!(state.states.keys().eq(["OPDCA"]));
+        } else {
+            // Full-suite admit right after a decider-only one: bystander
+            // solvers decide cold (their states were invalidated) and the
+            // whole stream still matches offline evaluate.
+            let analysis = Analysis::from_tables(&candidate, t);
+            let ctx = SolveCtx::with_analysis(analysis, budget);
+            let warm = registry.evaluate_online(&mut state, &ctx, OnlineEvent::Admit, |_| {});
+            t = ctx.into_analysis().unwrap().into_tables();
+            let cold = registry.evaluate(&candidate, budget);
+            assert_eq!(normalized_all(&warm), normalized_all(&cold), "step {step}");
+        }
+        tables = Some(t);
+        jobs = candidate;
+    }
+}
+
+/// Unknown decider names are `None`, and the cold adapter marks verdicts.
+#[test]
+fn adapter_marks_cold_fallback() {
+    let bound = DelayBoundKind::EdgeHybrid;
+    let registry = SolverRegistry::paper_suite(bound);
+    let mut rng = Rng(7);
+    let pipe = pipeline(2, 1);
+    let jobs = with_job(&JobSet::new(pipe.clone(), Vec::new()).unwrap(), &{
+        let mut j = template(&pipe, &mut rng);
+        // Make it trivially schedulable alone.
+        j = Job::builder()
+            .arrival(j.arrival())
+            .deadline(Time::new(10_000))
+            .stage_time(Time::new(1), 0)
+            .stage_time(Time::new(1), 0)
+            .build(JobId::new(0))
+            .unwrap();
+        j
+    });
+    let mut state = registry.online_suite();
+    let ctx = SolveCtx::new(&jobs);
+    assert!(registry
+        .decide_online("NOPE", &mut state, &ctx, OnlineEvent::Admit)
+        .is_none());
+
+    // DCMP has no online seam: the adapter runs and flags the verdict.
+    let verdict = registry
+        .decide_online("DCMP", &mut state, &ctx, OnlineEvent::Admit)
+        .unwrap();
+    assert_eq!(verdict.stats.cold_fallback, Some(true));
+    assert!(state.is_empty(), "the adapter keeps no state");
+
+    // OPDCA's warm path never sets the flag.
+    let verdict = registry
+        .decide_online("OPDCA", &mut state, &ctx, OnlineEvent::Admit)
+        .unwrap();
+    assert!(verdict.stats.cold_fallback.is_none());
+    assert!(matches!(
+        state.states.get("OPDCA"),
+        Some(DeciderState::Audsley(_))
+    ));
+}
+
+/// A malformed (hand-edited) state must not poison the decision: the
+/// solver falls back to a cold decide and the verdict still matches.
+#[test]
+fn malformed_states_degrade_to_cold() {
+    let bound = DelayBoundKind::EdgeHybrid;
+    let registry = SolverRegistry::paper_suite(bound);
+    let budget = Budget::default().with_node_limit(200_000);
+    let mut rng = Rng(11);
+    let pipe = pipeline(3, 2);
+    let mut jobs = JobSet::new(pipe.clone(), Vec::new()).unwrap();
+    for _ in 0..4 {
+        jobs = with_job(&jobs, &template(&pipe, &mut rng));
+    }
+    let candidate = with_job(&jobs, &template(&pipe, &mut rng));
+
+    let mut state = registry.online_suite();
+    *state.state_mut("OPDCA") = DeciderState::Audsley(msmr_sched::AudsleyState {
+        winners: vec![JobId::new(0), JobId::new(0)],
+        probes: vec![1, 1],
+        rejected: false,
+    });
+    let ctx = SolveCtx::with_budget(&candidate, budget);
+    let warm = registry.evaluate_online(&mut state, &ctx, OnlineEvent::Admit, |_| {});
+    let cold = registry.evaluate(&candidate, budget);
+    assert_eq!(normalized_all(&warm), normalized_all(&cold));
+}

@@ -25,6 +25,7 @@ fn sample_verdict() -> Verdict {
             nodes_explored: 345,
             elapsed_micros: 6789,
             implied_by: None,
+            cold_fallback: Some(true),
         },
     }
 }
@@ -33,6 +34,7 @@ fn sample_verdict() -> Verdict {
 fn verdict_round_trips_through_json() {
     let verdict = sample_verdict();
     let json = serde_json::to_string(&verdict).expect("serializable");
+    assert!(json.contains("\"cold_fallback\":true"));
     let back: Verdict = serde_json::from_str(&json).expect("deserializable");
     assert_eq!(back, verdict);
 }
@@ -94,6 +96,17 @@ fn solver_stats_defaults_round_trip() {
     assert!(json.contains("\"implied_by\":null"));
     let back: SolverStats = serde_json::from_str(&json).expect("deserializable");
     assert_eq!(back, stats);
+}
+
+#[test]
+fn stats_from_daemons_predating_the_online_seam_still_parse() {
+    // Verdict frames written before `cold_fallback` existed carry no such
+    // key; newer readers must parse it as `None` instead of erroring
+    // (the protocol's missing-optional-field rule).
+    let legacy = r#"{"sdca_calls":3,"nodes_explored":0,"elapsed_micros":42,"implied_by":null}"#;
+    let back: SolverStats = serde_json::from_str(legacy).expect("legacy stats parse");
+    assert_eq!(back.cold_fallback, None);
+    assert_eq!(back.sdca_calls, 3);
 }
 
 #[test]

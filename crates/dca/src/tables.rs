@@ -506,6 +506,101 @@ impl PairTables {
         }
     }
 
+    /// Removes *any* job by swap-removal, mirroring
+    /// [`JobSet::swap_remove_job`](msmr_model::JobSet::swap_remove_job):
+    /// the highest-id job's row, column, masks and per-target scalars move
+    /// into the victim's slot, every other job keeps its id, and the freed
+    /// last slot stays allocated as dead storage for the next arrival.
+    /// `O(n·N)` data movement with **zero pair recomputation** — the
+    /// general-withdraw counterpart of [`PairTables::extend_with_job`],
+    /// replacing the `O(n²·N)` full rebuild a mid-set departure used to
+    /// cost. Pair values depend only on the two jobs' parameters (never on
+    /// their ids), so the result is bit-identical to
+    /// `PairTables::build(reduced)` on the swap-removed job set
+    /// (property-tested).
+    ///
+    /// The lazily-built Eq. 5 blocking cache is discarded (a removal can
+    /// lower a per-stage maximum, which cannot be undone incrementally);
+    /// it rebuilds on the next Eq. 5 evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn remove_job(&mut self, removed: JobId) {
+        let r = removed.index();
+        assert!(r < self.n, "remove_job: job id out of range");
+        let last = self.n - 1;
+        if r != last {
+            let (cap, stages) = (self.cap, self.stages);
+            let last_id = JobId::new(last);
+            // Per-job scalars of the moved job.
+            self.deadline[r] = self.deadline[last];
+            let (head, tail) = self.proc.split_at_mut(last * stages);
+            head[r * stages..(r + 1) * stages].copy_from_slice(&tail[..stages]);
+            self.self_max_proc[r] = self.self_max_proc[last];
+            self.self_eq3[r] = self.self_eq3[last];
+            self.self_eq45[r] = self.self_eq45[last];
+
+            // Column r of every surviving target takes column `last` (the
+            // moved job as interferer), and row r takes row `last` (the
+            // moved job as target) — with the diagonal mapped onto the
+            // moved job's own self pair.
+            let move_pairs = |table: &mut Vec<u64>, width: usize| {
+                for t in 0..last {
+                    if t == r {
+                        continue;
+                    }
+                    let src = (t * cap + last) * width;
+                    let dst = (t * cap + r) * width;
+                    table.copy_within(src..src + width, dst);
+                }
+                for k in 0..last {
+                    let from = if k == r { last } else { k };
+                    let src = (last * cap + from) * width;
+                    let dst = (r * cap + k) * width;
+                    table.copy_within(src..src + width, dst);
+                }
+            };
+            move_pairs(&mut self.ep, stages);
+            move_pairs(&mut self.ja_eq1, 1);
+            move_pairs(&mut self.ja_eq2, 1);
+            move_pairs(&mut self.ja_eq3, 1);
+            move_pairs(&mut self.ja_eq45, 1);
+            move_pairs(&mut self.ja_eq6, 1);
+
+            // Masks: the moved job's own masks land in slot r (minus the
+            // victim's bit); every other target renames bit `last` → `r`.
+            let rename = |mask: &mut JobMask| {
+                mask.remove(removed);
+                if mask.remove(last_id) {
+                    mask.insert(removed);
+                }
+            };
+            self.interferes.swap(r, last);
+            self.competes.swap(r, last);
+            for t in 0..last {
+                rename(&mut self.interferes[t]);
+                rename(&mut self.competes[t]);
+            }
+        }
+        self.n = last;
+        self.deadline.pop();
+        self.proc.truncate(last * self.stages);
+        self.self_max_proc.pop();
+        self.self_eq3.pop();
+        self.self_eq45.pop();
+        self.interferes.pop();
+        self.competes.pop();
+        if r == last {
+            let last_id = JobId::new(last);
+            for t in 0..last {
+                self.interferes[t].remove(last_id);
+                self.competes[t].remove(last_id);
+            }
+        }
+        self.opa_block = OnceLock::new();
+    }
+
     /// Removes the job with the highest id — the rollback path of a
     /// rejected admission, undoing the matching
     /// [`PairTables::extend_with_job`]. `O(n)`; the dead row and column
@@ -520,21 +615,7 @@ impl PairTables {
     /// Panics if the tables are empty.
     pub fn remove_last_job(&mut self) {
         assert!(self.n > 0, "remove_last_job on empty tables");
-        let last = self.n - 1;
-        let last_id = JobId::new(last);
-        self.n = last;
-        self.deadline.pop();
-        self.proc.truncate(last * self.stages);
-        self.self_max_proc.pop();
-        self.self_eq3.pop();
-        self.self_eq45.pop();
-        self.interferes.pop();
-        self.competes.pop();
-        for t in 0..last {
-            self.interferes[t].remove(last_id);
-            self.competes[t].remove(last_id);
-        }
-        self.opa_block = OnceLock::new();
+        self.remove_job(JobId::new(self.n - 1));
     }
 
     /// The Eq. 5 blocking constants, `Σ_j max_{k ∈ J∖J_i, interfering}

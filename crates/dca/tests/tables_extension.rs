@@ -160,6 +160,54 @@ proptest! {
         assert_tables_equivalent(&tables, original.tables(), &order);
     }
 
+    /// General swap-removal of *any* job is bit-identical to a rebuild on
+    /// the swap-removed set — the `O(n·N)` mid-set withdraw path of the
+    /// online solver seam.
+    #[test]
+    fn remove_job_matches_rebuild_on_the_swap_removed_set(
+        jobs in arbitrary_jobset(),
+        victim_key in 0usize..64,
+        keys in prop::collection::vec(0u64..1_000, 8),
+    ) {
+        let n = jobs.len();
+        let victim = JobId::new(victim_key % n);
+        let mut tables = Analysis::new(&jobs).into_tables();
+        tables.remove_job(victim);
+        let (reduced, moved) = jobs.swap_remove_job(victim);
+        if victim.index() + 1 < n {
+            prop_assert_eq!(moved, Some(JobId::new(n - 1)));
+        }
+        let rebuilt = Analysis::new(&reduced);
+        let order = order_from_keys(n - 1, &keys);
+        assert_tables_equivalent(&tables, rebuilt.tables(), &order);
+    }
+
+    /// Repeated removals down to a single job stay rebuild-identical at
+    /// every step, with a built Eq. 5 cache discarded and rebuilt along
+    /// the way.
+    #[test]
+    fn repeated_removals_stay_rebuild_identical(
+        jobs in arbitrary_jobset(),
+        victims in prop::collection::vec(0usize..64, 4),
+        keys in prop::collection::vec(0u64..1_000, 8),
+    ) {
+        let mut current = jobs;
+        let mut tables = Analysis::new(&current).into_tables();
+        for &pick in &victims {
+            if current.len() <= 1 {
+                break;
+            }
+            // Force the Eq. 5 cache so removal exercises its discard.
+            let _ = DelayEvaluator::new(&tables, DelayBoundKind::NonPreemptiveOpa);
+            let victim = JobId::new(pick % current.len());
+            tables.remove_job(victim);
+            current = current.swap_remove_job(victim).0;
+            let rebuilt = Analysis::new(&current);
+            let order = order_from_keys(current.len(), &keys);
+            assert_tables_equivalent(&tables, rebuilt.tables(), &order);
+        }
+    }
+
     /// Pre-reserved capacity changes neither values nor behaviour, and
     /// extensions within capacity never re-stride.
     #[test]

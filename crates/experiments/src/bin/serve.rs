@@ -24,7 +24,7 @@ use msmr_cluster::{ClusterConfig, ClusterEngine};
 use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
 
 fn usage() -> &'static str {
-    "usage: serve [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER] [--opt-nodes N]\n             [--cluster] [--shards N] [--workers N] [--snapshot-dir DIR]\n\nBoots the msmr-serve admission daemon (at least one of --tcp / --uds);\n--cluster serves named shared sessions via the msmr-cluster engine."
+    "usage: serve [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER] [--opt-nodes N]\n             [--cluster] [--shards N] [--workers N] [--snapshot-dir DIR] [--session-ttl SECS]\n\nBoots the msmr-serve admission daemon (at least one of --tcp / --uds);\n--cluster serves named shared sessions via the msmr-cluster engine."
 }
 
 fn main() -> ExitCode {
@@ -69,6 +69,15 @@ fn main() -> ExitCode {
             "--snapshot-dir" => {
                 value("--snapshot-dir").map(|dir| config.snapshot_dir = Some(PathBuf::from(dir)))
             }
+            "--session-ttl" => value("--session-ttl").and_then(|raw| {
+                raw.parse::<u64>()
+                    .ok()
+                    .filter(|&secs| secs > 0)
+                    .map(|secs| {
+                        config.session_ttl = Some(std::time::Duration::from_secs(secs));
+                    })
+                    .ok_or_else(|| "invalid --session-ttl value (positive seconds)".to_string())
+            }),
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;

@@ -277,6 +277,34 @@ impl JobSet {
         (set, original)
     }
 
+    /// Returns a copy of this job set with the job `removed` deleted by
+    /// **swap-removal**: the job holding the highest id moves into the
+    /// vacated slot (taking over `removed`'s id) and every other job keeps
+    /// its id. Also returns the *original* id of the moved job (`None`
+    /// when `removed` already held the highest id, in which case nothing
+    /// moves).
+    ///
+    /// This is the departure primitive of online admission control: unlike
+    /// [`JobSet::without_job`], which renumbers every job after the
+    /// victim, swap-removal disturbs exactly one id, so pair-level caches
+    /// built for this set (e.g. `msmr_dca::PairTables::remove_job`) can be
+    /// patched in `O(n·N)` instead of rebuilt in `O(n²·N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed` is out of range.
+    #[must_use]
+    pub fn swap_remove_job(&self, removed: JobId) -> (JobSet, Option<JobId>) {
+        assert!(removed.index() < self.jobs.len(), "job id out of range");
+        let last = self.jobs.len() - 1;
+        let moved = (removed.index() < last).then(|| JobId::new(last));
+        let mut jobs = self.jobs.clone();
+        jobs.swap_remove(removed.index());
+        let set =
+            JobSet::new(self.pipeline.clone(), jobs).expect("removing a job preserves validity");
+        (set, moved)
+    }
+
     /// Returns a copy of this job set with one more job appended at the
     /// next dense id (which is also returned).
     ///
@@ -555,6 +583,30 @@ mod tests {
         assert_eq!(original, vec![JobId::new(0), JobId::new(2)]);
         // The remaining jobs keep their parameters but get dense ids.
         assert_eq!(reduced.job(JobId::new(1)).deadline(), Time::new(70));
+    }
+
+    #[test]
+    fn swap_remove_moves_only_the_last_job() {
+        let set = three_stage_set();
+        let (reduced, moved) = set.swap_remove_job(JobId::new(0));
+        assert_eq!(moved, Some(JobId::new(2)));
+        assert_eq!(reduced.len(), 2);
+        // J1 keeps its id; the old J2 now answers at id 0.
+        assert_eq!(reduced.job(JobId::new(1)), set.job(JobId::new(1)));
+        assert_eq!(
+            reduced.job(JobId::new(0)).deadline(),
+            set.job(JobId::new(2)).deadline()
+        );
+        assert_eq!(
+            reduced.job(JobId::new(0)).processing_times(),
+            set.job(JobId::new(2)).processing_times()
+        );
+        // Removing the highest id moves nothing.
+        let (reduced, moved) = set.swap_remove_job(JobId::new(2));
+        assert_eq!(moved, None);
+        for old in reduced.job_ids() {
+            assert_eq!(reduced.job(old), set.job(old));
+        }
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //!   --status                    print the session status frame
 //!   --shutdown                  stop the daemon
 //!   --replay [--jobs N] [--seed S] [--beta F] [--evaluate] [--verify]
-//!             [--bound NAME] [--opt-nodes N]
+//!             [--bound NAME] [--opt-nodes N] [--withdraw-ratio F]
 //! ```
 //!
 //! `--replay` generates an edge workload trace, feeds its jobs to the
 //! daemon one `admit` at a time in arrival order and prints a summary
-//! (admits, rejects, p50/p99 round-trip latency). With `--verify` every
-//! streamed verdict set is compared byte-for-byte (after zeroing the
-//! wall-clock `elapsed_micros` field) against an offline
+//! (admits, rejects, p50/p99 round-trip latency). With
+//! `--withdraw-ratio F`, after each admitted arrival a random admitted
+//! handle is withdrawn with probability `F` (deterministic in the seed),
+//! exercising the general `O(n·N)` mid-set withdraw of the online seam.
+//! With `--verify` every streamed verdict set — admits *and* withdrawals
+//! — is compared byte-for-byte (after zeroing the execution-provenance
+//! fields `elapsed_micros` and `cold_fallback`) against an offline
 //! `SolverRegistry::evaluate` of the same job set; any mismatch makes the
 //! process exit non-zero — this is the CI smoke check.
 //!
@@ -28,10 +32,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use msmr_dca::DelayBoundKind;
-use msmr_model::JobSet;
+use msmr_model::{JobId, JobSet};
 use msmr_sched::{Budget, SolverRegistry};
 use msmr_serve::protocol::{Frame, JobSpec, Op, ShutdownOp, StatusOp};
-use msmr_serve::{normalized_verdict_json, parse_bound, Client, Endpoint};
+use msmr_serve::{normalized_verdict_json, parse_bound, Client, Endpoint, ReplayedOp};
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
 
 /// Exit code for a typed overload/backpressure response (`EX_TEMPFAIL`:
@@ -69,10 +73,11 @@ struct ReplayOptions {
     verify: bool,
     bound: DelayBoundKind,
     opt_nodes: u64,
+    withdraw_ratio: f64,
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
+    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --withdraw-ratio F  withdraw a random admitted job after each admit with probability F\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -87,6 +92,7 @@ fn parse_options() -> Result<Options, String> {
         verify: false,
         bound: DelayBoundKind::EdgeHybrid,
         opt_nodes: 200_000,
+        withdraw_ratio: 0.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -130,6 +136,13 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "invalid --opt-nodes value".to_string())?;
             }
+            "--withdraw-ratio" => {
+                replay.withdraw_ratio = value("--withdraw-ratio")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("invalid --withdraw-ratio value (need 0.0..=1.0)")?;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -172,16 +185,14 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
     let registry = SolverRegistry::paper_suite(options.bound);
     let budget = Budget::default().with_node_limit(options.opt_nodes);
     let (empty, _) = trace.restrict_to(&[]).map_err(|e| e.to_string())?;
+    // The offline mirror applies the same ops with the same swap-removal
+    // semantics the session uses, tracking handle → internal-id order.
     let mut mirror = empty;
+    let mut mirror_handles: Vec<u64> = Vec::new();
     let mut mismatches = 0usize;
 
-    let replayed = client.replay_trace(&trace, evaluate, |arrival, id, frames| {
-        let spec = JobSpec::from_job(trace.job(id));
-        let (candidate, _) = mirror
-            .with_job(spec.to_builder())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut accepted = false;
-        if options.verify {
+    let mut compare =
+        |label: String, frames: &[msmr_serve::protocol::Response], offline: Vec<String>| {
             let streamed: Vec<String> = frames
                 .iter()
                 .filter_map(|frame| match &frame.frame {
@@ -189,31 +200,85 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
                     _ => None,
                 })
                 .collect();
-            let offline: Vec<String> = registry
-                .evaluate(&candidate, budget)
-                .iter()
-                .map(normalized_verdict_json)
-                .collect();
             if streamed != offline {
                 mismatches += 1;
-                eprintln!("verdict mismatch at arrival {arrival} (job {id})");
+                eprintln!("verdict mismatch at {label}");
                 for (s, o) in streamed.iter().zip(&offline) {
                     if s != o {
                         eprintln!("  streamed: {s}\n  offline:  {o}");
                     }
                 }
+                if streamed.len() != offline.len() {
+                    eprintln!(
+                        "  streamed {} verdicts, offline {}",
+                        streamed.len(),
+                        offline.len()
+                    );
+                }
             }
-        }
-        for frame in frames {
-            if let Frame::Admit(admit) = &frame.frame {
-                accepted = admit.admitted;
+        };
+
+    let replayed = client.replay_trace_mixed(
+        &trace,
+        evaluate,
+        options.withdraw_ratio,
+        options.seed,
+        |op, frames| match op {
+            ReplayedOp::Admit { arrival, id } => {
+                let spec = JobSpec::from_job(trace.job(id));
+                let (candidate, _) = mirror.with_job(spec.to_builder()).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                if options.verify {
+                    let offline: Vec<String> = registry
+                        .evaluate(&candidate, budget)
+                        .iter()
+                        .map(normalized_verdict_json)
+                        .collect();
+                    compare(format!("arrival {arrival} (job {id})"), frames, offline);
+                }
+                for frame in frames {
+                    if let Frame::Admit(admit) = &frame.frame {
+                        if admit.admitted {
+                            mirror = candidate.clone();
+                            if let Some(handle) = admit.job {
+                                mirror_handles.push(handle);
+                            }
+                        }
+                    }
+                }
+                Ok(())
             }
-        }
-        if accepted {
-            mirror = candidate;
-        }
-        Ok(())
-    });
+            ReplayedOp::Withdraw { handle } => {
+                let index = mirror_handles
+                    .iter()
+                    .position(|&h| h == handle)
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("withdrawn handle {handle} unknown to the mirror"),
+                        )
+                    })?;
+                let (reduced, _) = mirror.swap_remove_job(JobId::new(index));
+                mirror_handles.swap_remove(index);
+                if options.verify {
+                    // An emptied session streams no verdicts.
+                    let offline: Vec<String> = if reduced.is_empty() {
+                        Vec::new()
+                    } else {
+                        registry
+                            .evaluate(&reduced, budget)
+                            .iter()
+                            .map(normalized_verdict_json)
+                            .collect()
+                    };
+                    compare(format!("withdraw of handle {handle}"), frames, offline);
+                }
+                mirror = reduced;
+                Ok(())
+            }
+        },
+    );
     let outcome = match replayed {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -223,10 +288,11 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
     };
 
     println!(
-        "replayed {} arrivals: {} admitted, {} rejected; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
+        "replayed {} arrivals: {} admitted, {} rejected, {} withdrawn; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
         outcome.latencies_us.len(),
         outcome.admitted,
         outcome.rejected,
+        outcome.withdrawn,
         outcome.latency_percentile_us(0.50),
         outcome.latency_percentile_us(0.99),
         if options.verify {

@@ -12,8 +12,54 @@ use msmr_model::{JobId, JobSet};
 
 use crate::protocol::{
     read_response, write_request, AdmitOp, AttachFrame, AttachOp, Frame, JobSpec, Op, Request,
-    Response, SubmitOp,
+    Response, SubmitOp, WithdrawOp,
 };
+
+/// A deterministic splitmix64 used to pick withdraw points in mixed
+/// replays — seeded, so every run of the same trace issues the same op
+/// sequence (what lets `--verify` compare against an offline mirror).
+#[derive(Debug, Clone)]
+pub struct MixRng(u64);
+
+impl MixRng {
+    /// Creates the generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> MixRng {
+        MixRng(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One operation of a mixed replay, as reported to the caller's
+/// per-event hook together with the full frame stream it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayedOp {
+    /// Arrival `arrival` of the trace (trace job `id`) was admitted.
+    Admit {
+        /// Position in arrival order.
+        arrival: usize,
+        /// The trace job fed to the daemon.
+        id: JobId,
+    },
+    /// A previously admitted job was withdrawn by handle.
+    Withdraw {
+        /// The withdrawn external handle.
+        handle: u64,
+    },
+}
 
 /// Where to reach a daemon.
 #[derive(Debug, Clone)]
@@ -181,6 +227,31 @@ impl Client {
         evaluate: bool,
         mut on_arrival: impl FnMut(usize, JobId, &[Response]) -> io::Result<()>,
     ) -> io::Result<ReplayOutcome> {
+        self.replay_trace_mixed(trace, evaluate, 0.0, 0, |op, frames| match op {
+            ReplayedOp::Admit { arrival, id } => on_arrival(arrival, id, frames),
+            ReplayedOp::Withdraw { .. } => Ok(()),
+        })
+    }
+
+    /// [`Client::replay_trace`] with a withdraw mix: after every admitted
+    /// arrival, with probability `withdraw_ratio` (deterministic in
+    /// `mix_seed`) one currently admitted handle is withdrawn — exercising
+    /// the general mid-set withdraw path of the online seam under the
+    /// same shared replay definition. `on_event` observes every
+    /// operation's full frame stream after its round trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::replay_trace`]; withdraw round trips report errors
+    /// and overloads the same way.
+    pub fn replay_trace_mixed(
+        &mut self,
+        trace: &JobSet,
+        evaluate: bool,
+        withdraw_ratio: f64,
+        mix_seed: u64,
+        mut on_event: impl FnMut(ReplayedOp, &[Response]) -> io::Result<()>,
+    ) -> io::Result<ReplayOutcome> {
         let arrivals = msmr_workload::arrival_order(trace);
         let (empty, _) = trace
             .restrict_to(&[])
@@ -190,9 +261,12 @@ impl Client {
             parallel: None,
         }))?;
 
+        let mut rng = MixRng::new(mix_seed);
+        let mut handles: Vec<u64> = Vec::new();
         let mut outcome = ReplayOutcome {
             admitted: 0,
             rejected: 0,
+            withdrawn: 0,
             latencies_us: Vec::with_capacity(arrivals.len()),
         };
         for (arrival, &id) in arrivals.iter().enumerate() {
@@ -207,7 +281,12 @@ impl Client {
             let mut accepted = None;
             for frame in &frames {
                 match &frame.frame {
-                    Frame::Admit(admit) => accepted = Some(admit.admitted),
+                    Frame::Admit(admit) => {
+                        accepted = Some(admit.admitted);
+                        if let Some(handle) = admit.job {
+                            handles.push(handle);
+                        }
+                    }
                     Frame::Error(e) => {
                         return Err(io::Error::other(format!(
                             "arrival {arrival}: {}",
@@ -236,7 +315,39 @@ impl Client {
                     ))
                 }
             }
-            on_arrival(arrival, id, &frames)?;
+            on_event(ReplayedOp::Admit { arrival, id }, &frames)?;
+
+            // The withdraw mix: drawn per arrival so the op sequence is a
+            // pure function of (trace, ratio, seed).
+            if !handles.is_empty() && rng.next_f64() < withdraw_ratio {
+                let victim = handles.swap_remove((rng.next_u64() % handles.len() as u64) as usize);
+                let frames = self.request(Op::Withdraw(WithdrawOp {
+                    job: victim,
+                    evaluate: Some(evaluate),
+                }))?;
+                for frame in &frames {
+                    match &frame.frame {
+                        Frame::Error(e) => {
+                            return Err(io::Error::other(format!(
+                                "withdraw {victim}: {}",
+                                e.message
+                            )))
+                        }
+                        Frame::Overload(overload) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "withdraw {victim}: server overloaded ({}/{} tasks queued)",
+                                    overload.queued, overload.capacity
+                                ),
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+                outcome.withdrawn += 1;
+                on_event(ReplayedOp::Withdraw { handle: victim }, &frames)?;
+            }
         }
         Ok(outcome)
     }
@@ -249,6 +360,8 @@ pub struct ReplayOutcome {
     pub admitted: usize,
     /// Arrivals the daemon rejected (and rolled back).
     pub rejected: usize,
+    /// Jobs withdrawn by the mixed replay's withdraw draw.
+    pub withdrawn: usize,
     /// Per-arrival round-trip latency in microseconds, in arrival order.
     pub latencies_us: Vec<f64>,
 }

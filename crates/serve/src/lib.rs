@@ -14,8 +14,21 @@
 //!   `admit` extends them for the single arriving job
 //!   ([`msmr_dca::PairTables::extend_with_job`], `O(n·N)` new pairs)
 //!   instead of rebuilding all `O(n²)` pairs, and rolls back on
-//!   rejection. Admission latency therefore scales with the arrival, not
-//!   with how the session got to its current size.
+//!   rejection; a `withdraw` swap-removes *any* victim's row and column
+//!   ([`msmr_dca::PairTables::remove_job`], also `O(n·N)`) instead of
+//!   rebuilding. Admission latency therefore scales with the arrival,
+//!   not with how the session got to its current size.
+//! * The session also keeps the **decider state** warm: `admit` and
+//!   `withdraw` route through the stateful
+//!   [`msmr_sched::OnlineSolver`] seam
+//!   ([`msmr_sched::SolverRegistry::evaluate_online`]), so OPDCA
+//!   fast-forwards its persisted Audsley trace and re-decides only the
+//!   suffix the arriving or departing job can perturb; solvers without
+//!   an online seam are re-solved by the cold adapter, whose verdicts
+//!   carry the `cold_fallback` stat. Warm verdicts are byte-identical to
+//!   a cold [`msmr_sched::SolverRegistry::evaluate`] once the
+//!   execution-provenance fields (`elapsed_micros`, `cold_fallback`) are
+//!   zeroed — see [`normalized_verdict_json`].
 //! * [`Server`] is a std-only thread-per-connection acceptor over TCP
 //!   and Unix-domain sockets. Each connection holds one session; the
 //!   evaluation fans onto the solver suite and **streams one
@@ -62,15 +75,32 @@
 //! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"OPDCA","kind":"Accepted",...}}}}
 //! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"OPT","kind":"Accepted",
 //!       "stats":{"implied_by":"DMR",...},...}}}}
-//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"DCMP","kind":"Accepted",...}}}}
+//! < {"id":2,"frame":{"Verdict":{"verdict":{"solver":"DCMP","kind":"Accepted",
+//!       "stats":{"cold_fallback":true,...},...}}}}
 //! < {"id":2,"frame":{"Admit":{"admitted":true,"job":1,"jobs":1,"decider":"OPDCA"}}}
 //! < {"id":2,"frame":{"Done":{"frames":6}}}
 //! > {"id":3,"op":{"Status":{}}}
 //! < {"id":3,"frame":{"Status":{"jobs":1,"stages":3,"admitted":[1],"admits":1,
 //!       "rejects":0,"solvers":["DM","DMR","OPDCA","OPT","DCMP"],"decider":"OPDCA"}}}
 //! < {"id":3,"frame":{"Done":{"frames":1}}}
-//! > {"id":4,"op":{"Shutdown":{}}}
-//! < {"id":4,"frame":{"Done":{"frames":0}}}
+//! ```
+//!
+//! The DM/DMR/OPDCA verdicts come from their **warm** online paths
+//! (OPDCA fast-forwarded its previous Audsley trace); DCMP has no online
+//! seam, so the cold adapter re-solved it and flagged the verdict with
+//! `"cold_fallback":true` — provenance only, zeroed by every
+//! byte-comparison. A warm `withdraw` (here: decider-only, no
+//! `"evaluate"`; two more jobs were admitted in between) swap-removes
+//! the victim from the cached tables in `O(n·N)` and streams the
+//! decider's verdict for the *reduced* set before its result frame:
+//!
+//! ```text
+//! > {"id":6,"op":{"Withdraw":{"job":1,"evaluate":null}}}
+//! < {"id":6,"frame":{"Verdict":{"verdict":{"solver":"OPDCA","kind":"Accepted",...}}}}
+//! < {"id":6,"frame":{"Withdraw":{"job":1,"jobs":2,"seq":null}}}
+//! < {"id":6,"frame":{"Done":{"frames":2}}}
+//! > {"id":7,"op":{"Shutdown":{}}}
+//! < {"id":7,"frame":{"Done":{"frames":0}}}
 //! ```
 //!
 //! The `admit` verdict stream is produced by sequential evaluation with
@@ -112,27 +142,30 @@ pub mod protocol;
 mod server;
 mod session;
 
-pub use client::{percentile_us, Client, Endpoint, ReplayOutcome};
+pub use client::{percentile_us, Client, Endpoint, MixRng, ReplayOutcome, ReplayedOp};
 pub use server::{
     serve_connection, ConnHandler, ConnStream, FrameSink, Listen, ServeOptions, Server,
 };
 pub use session::{
     AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionImage, SessionStatus,
+    WithdrawOutcome,
 };
 
 use msmr_dca::DelayBoundKind;
 use msmr_sched::Verdict;
 
-/// Serializes a verdict with its one wall-clock field
-/// (`stats.elapsed_micros`) zeroed, so two runs of the same evaluation
-/// produce byte-identical JSON. This is the normal form every
-/// verification path of the workspace compares — `msmr-admit --verify`,
-/// the end-to-end suites and `msmr-loadgen` all use it, so they cannot
-/// drift on what "byte-identical" means.
+/// Serializes a verdict with its execution-provenance fields — the
+/// wall-clock `stats.elapsed_micros` and the online-seam
+/// `stats.cold_fallback` marker — zeroed, so two runs of the same
+/// evaluation (warm or cold) produce byte-identical JSON. This is the
+/// normal form every verification path of the workspace compares —
+/// `msmr-admit --verify`, the end-to-end suites and `msmr-loadgen` all
+/// use it, so they cannot drift on what "byte-identical" means.
 #[must_use]
 pub fn normalized_verdict_json(verdict: &Verdict) -> String {
     let mut verdict = verdict.clone();
     verdict.stats.elapsed_micros = 0;
+    verdict.stats.cold_fallback = None;
     serde_json::to_string(&verdict).expect("verdicts serialize")
 }
 

@@ -10,21 +10,26 @@
 //!
 //! # Versioning
 //!
-//! [`PROTOCOL_VERSION`] is `2`. Version 1 carried the five original ops
+//! [`PROTOCOL_VERSION`] is `3`. Version 1 carried the five original ops
 //! (`submit`, `admit`, `withdraw`, `status`, `shutdown`), whose request
-//! encodings are unchanged on the wire; version 2 adds the cluster ops
+//! encodings are unchanged on the wire; version 2 added the cluster ops
 //! ([`Op::Attach`], [`Op::Detach`], [`Op::Snapshot`], [`Op::Restore`])
 //! and new frames ([`Frame::Attach`] and friends, plus the typed
 //! [`Frame::Overload`] backpressure response), and the [`AdmitFrame`]
 //! gained an optional per-session decision sequence number `seq` — a
 //! positive number in cluster mode, serialized as `null` by the classic
-//! per-connection server. Clients must ignore unknown response fields
-//! (v1 readers of v2 frames) and treat a missing `seq` as `None` (v2
-//! readers of v1 frames; both directions are covered by tests).
+//! per-connection server. Version 3 routes `withdraw` through the
+//! stateful online solver seam: a withdrawal now streams
+//! [`Frame::Verdict`]s for the reduced set before its [`WithdrawFrame`],
+//! [`WithdrawOp`] gained the optional `evaluate` flag (full suite vs
+//! decider only) and [`WithdrawFrame`] gained the shared decision `seq`.
+//! Clients must ignore unknown response fields (older readers of newer
+//! frames) and treat missing optional fields as `None` (newer readers of
+//! older frames; both directions are covered by tests).
 
 /// The wire-protocol version this build speaks. See the module docs for
-/// the v1 → v2 delta.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// the v1 → v2 → v3 deltas.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 use std::io::{self, BufRead, Write};
 
@@ -155,6 +160,14 @@ pub struct WithdrawOp {
     /// External handle of the job to remove (from its admit frame, or the
     /// status listing).
     pub job: u64,
+    /// `true` streams the full solver suite on the reduced set (one
+    /// [`Frame::Verdict`] per solver, implication shortcuts applied);
+    /// `false`/absent streams only the decider's verdict — the
+    /// low-latency path. Either way the verdicts come from the warm
+    /// online seam and are byte-identical to a cold offline evaluation of
+    /// the reduced set (wall-clock provenance fields zeroed). Absent in
+    /// v1 requests, which parse as `None`.
+    pub evaluate: Option<bool>,
 }
 
 /// Payload of [`Op::Status`] (no fields).
@@ -273,6 +286,13 @@ pub struct WithdrawFrame {
     pub job: u64,
     /// Session size after the withdrawal.
     pub jobs: u64,
+    /// Per-session decision sequence number (1-based, shared with the
+    /// admit counter: withdrawals are decider decisions too since the
+    /// online seam re-decides the reduced set). Set in cluster mode so
+    /// interleaved multi-client histories — admits *and* withdrawals —
+    /// can be re-ordered into the serialized replay the verifier checks;
+    /// `None` in classic per-connection mode, missing in v1 frames.
+    pub seq: Option<u64>,
 }
 
 /// Payload of [`Frame::Status`].
@@ -470,7 +490,10 @@ mod tests {
             },
             Request {
                 id: 3,
-                op: Op::Withdraw(WithdrawOp { job: 7 }),
+                op: Op::Withdraw(WithdrawOp {
+                    job: 7,
+                    evaluate: Some(true),
+                }),
             },
             Request {
                 id: 4,
@@ -530,7 +553,11 @@ mod tests {
             },
             Response {
                 id: 2,
-                frame: Frame::Withdraw(WithdrawFrame { job: 4, jobs: 8 }),
+                frame: Frame::Withdraw(WithdrawFrame {
+                    job: 4,
+                    jobs: 8,
+                    seq: Some(11),
+                }),
             },
             Response {
                 id: 3,
@@ -631,6 +658,27 @@ mod tests {
         });
         let line = serde_json::to_string(&frame).unwrap();
         assert!(line.contains("\"seq\":null"), "{line}");
+    }
+
+    #[test]
+    fn v2_withdraw_encodings_still_parse() {
+        // A pre-v3 client sends withdraw without `evaluate`; a pre-v3
+        // daemon answers without `seq`. Both must parse as `None`.
+        let line = r#"{"id":5,"op":{"Withdraw":{"job":9}}}"#;
+        let parsed: Request = serde_json::from_str(line).unwrap();
+        let Op::Withdraw(op) = parsed.op else {
+            panic!("expected withdraw op");
+        };
+        assert_eq!(op.job, 9);
+        assert_eq!(op.evaluate, None);
+
+        let line = r#"{"id":5,"frame":{"Withdraw":{"job":9,"jobs":3}}}"#;
+        let parsed: Response = serde_json::from_str(line).unwrap();
+        let Frame::Withdraw(frame) = parsed.frame else {
+            panic!("expected withdraw frame");
+        };
+        assert_eq!(frame.seq, None);
+        assert_eq!(frame.jobs, 3);
     }
 
     #[test]

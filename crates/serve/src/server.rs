@@ -217,6 +217,13 @@ impl Server {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
+    /// A handle on the shutdown flag, for daemon-side background threads
+    /// (e.g. the cluster TTL reaper) that must exit with the acceptors.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
     /// `true` once a shutdown was requested.
     #[must_use]
     pub fn is_stopping(&self) -> bool {
@@ -375,15 +382,23 @@ pub fn serve_connection(
                     })),
                 }
             }
-            Op::Withdraw(op) => match session.withdraw(op.job) {
-                Ok(jobs) => sink.send(Frame::Withdraw(WithdrawFrame {
-                    job: op.job,
-                    jobs: jobs as u64,
-                })),
-                Err(e) => sink.send(Frame::Error(ErrorFrame {
-                    message: e.to_string(),
-                })),
-            },
+            Op::Withdraw(op) => {
+                let evaluate = op.evaluate.unwrap_or(false);
+                match session.withdraw(op.job, evaluate, |verdict| {
+                    sink.send(Frame::Verdict(VerdictFrame {
+                        verdict: verdict.clone(),
+                    }));
+                }) {
+                    Ok(outcome) => sink.send(Frame::Withdraw(WithdrawFrame {
+                        job: op.job,
+                        jobs: outcome.jobs as u64,
+                        seq: None,
+                    })),
+                    Err(e) => sink.send(Frame::Error(ErrorFrame {
+                        message: e.to_string(),
+                    })),
+                }
+            }
             Op::Status(_) => {
                 sink.send(Frame::Status(session.status().to_frame()));
             }

@@ -6,7 +6,7 @@ use std::fmt;
 
 use msmr_dca::{Analysis, DelayBoundKind, PairTables};
 use msmr_model::{JobId, JobSet, ModelError};
-use msmr_sched::{Budget, SolveCtx, SolverRegistry, Verdict};
+use msmr_sched::{Budget, OnlineEvent, OnlineSuiteState, SolveCtx, SolverRegistry, Verdict};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::{AdmitFrame, JobSpec, StatusFrame};
@@ -77,6 +77,17 @@ impl From<ModelError> for SessionError {
     fn from(err: ModelError) -> Self {
         SessionError::InvalidJob(err.to_string())
     }
+}
+
+/// The outcome of one [`AdmissionSession::withdraw`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithdrawOutcome {
+    /// Session size after the withdrawal.
+    pub jobs: usize,
+    /// The verdicts produced for the reduced set through the online seam
+    /// (full suite when `evaluate`, otherwise just the decider's; empty
+    /// when the withdrawal emptied the session).
+    pub verdicts: Vec<Verdict>,
 }
 
 /// The outcome of one [`AdmissionSession::admit`].
@@ -164,21 +175,35 @@ struct SessionState {
 /// [`AdmissionSession::admit`] extends them for the single arriving job
 /// via [`PairTables::extend_with_job`] — `O(n·N)` new pair computations —
 /// instead of rebuilding all `O(n²)` pairs, and rolls the extension back
-/// with [`PairTables::remove_last_job`] when the decider rejects. Every
-/// evaluation wraps the cached tables in a [`SolveCtx`] through
+/// with [`PairTables::remove_last_job`] when the decider rejects; an
+/// [`AdmissionSession::withdraw`] swap-removes the victim's row and
+/// column with [`PairTables::remove_job`] (`O(n·N)` for *any* victim).
+/// Every evaluation wraps the cached tables in a [`SolveCtx`] through
 /// [`Analysis::from_tables`]/[`SolveCtx::with_analysis`] and reclaims them
 /// afterwards, so no request ever pays the full `O(n²·N)` analysis pass
-/// except the initial `submit` (and a `withdraw`, which renumbers ids).
+/// except the initial `submit`.
 ///
 /// Decisions are made by the configured decider solver; with `evaluate`
 /// set, the full suite runs sequentially with implication shortcuts, so
 /// the produced verdicts are identical to offline
 /// [`SolverRegistry::evaluate`] on the same job set (the end-to-end suite
-/// asserts byte-identity modulo wall-clock timing fields).
+/// asserts byte-identity modulo wall-clock provenance fields).
+///
+/// Beyond the tables, the session keeps the *decider state* warm: every
+/// `admit`/`withdraw` routes through the registry's stateful
+/// [`OnlineSolver`](msmr_sched::OnlineSolver) seam
+/// ([`SolverRegistry::evaluate_online`] /
+/// [`SolverRegistry::decide_online`]), so OPDCA fast-forwards its
+/// persisted Audsley trace instead of re-running the whole loop, solvers
+/// without an online seam are re-solved by the cold adapter (marked with
+/// the `cold_fallback` stat), and a rejected admission rolls the state
+/// back together with the tables. The state is part of
+/// [`SessionImage`], so snapshot restores come back warm end to end.
 pub struct AdmissionSession {
     config: SessionConfig,
     registry: SolverRegistry,
     state: Option<SessionState>,
+    online: OnlineSuiteState,
     admits: u64,
     rejects: u64,
     next_handle: u64,
@@ -189,10 +214,12 @@ impl AdmissionSession {
     #[must_use]
     pub fn new(config: SessionConfig) -> Self {
         let registry = SolverRegistry::paper_suite(config.bound);
+        let online = registry.online_suite();
         AdmissionSession {
             config,
             registry,
             state: None,
+            online,
             admits: 0,
             rejects: 0,
             next_handle: 1,
@@ -228,6 +255,10 @@ impl AdmissionSession {
         parallel: bool,
         mut sink: impl FnMut(&Verdict) + Send,
     ) -> Vec<Verdict> {
+        // A submit replaces the job set wholesale: no decider trace can
+        // survive it (the first admit afterwards decides cold and
+        // re-records).
+        self.online = self.registry.online_suite();
         let mut tables = Analysis::new(&jobs).into_tables();
         if self.config.reserve > tables.capacity() {
             tables.reserve(self.config.reserve);
@@ -248,12 +279,32 @@ impl AdmissionSession {
                 // Completion-order streaming needs a Sync sink, so funnel
                 // the caller's FnMut through a mutex.
                 let shared = std::sync::Mutex::new(&mut sink);
-                self.registry
+                let verdicts = self
+                    .registry
                     .evaluate_parallel_ctx(&ctx, threads, |verdict| {
                         (shared.lock().expect("sink poisoned"))(verdict);
-                    })
+                    });
+                // The parallel fan-out bypasses the online seam, so the
+                // decider's trace is recorded separately
+                // ([`msmr_sched::OnlineSolver::begin`]) and the very
+                // first admit still fast-forwards.
+                if let Some(online) = self
+                    .registry
+                    .solver(&self.config.decider)
+                    .and_then(msmr_sched::Solver::online)
+                {
+                    *self.online.state_mut(&self.config.decider) = online.begin(&ctx);
+                }
+                verdicts
             } else {
-                self.registry.evaluate_streamed(&ctx, &mut sink)
+                // Sequential submits evaluate through the online seam on
+                // the just-reset (blank) states: every solver decides
+                // cold exactly once — verdict-identical to
+                // `evaluate_streamed` — and records the trace the first
+                // admit fast-forwards from, with no duplicate decider
+                // run.
+                self.registry
+                    .evaluate_online(&mut self.online, &ctx, OnlineEvent::Admit, &mut sink)
             };
             tables = ctx
                 .into_analysis()
@@ -304,10 +355,18 @@ impl AdmissionSession {
         let mut tables = state.tables.take().expect("tables present");
         tables.extend_with_job(&new_jobs);
 
+        // Decider states describe the *admitted* set; keep a copy so a
+        // rejection can roll the warm state back with the tables.
+        let saved_online = self.online.clone();
         let analysis = Analysis::from_tables(&new_jobs, tables);
         let ctx = SolveCtx::with_analysis(analysis, self.budget());
         let (verdicts, accepted) = if evaluate {
-            let verdicts = self.registry.evaluate_streamed(&ctx, &mut sink);
+            let verdicts = self.registry.evaluate_online(
+                &mut self.online,
+                &ctx,
+                OnlineEvent::Admit,
+                &mut sink,
+            );
             let accepted = verdicts
                 .iter()
                 .find(|v| v.solver == self.config.decider)
@@ -317,9 +376,13 @@ impl AdmissionSession {
         } else {
             let verdict = self
                 .registry
-                .solver(&self.config.decider)
-                .expect("checked above")
-                .solve(&ctx);
+                .decide_online(
+                    &self.config.decider,
+                    &mut self.online,
+                    &ctx,
+                    OnlineEvent::Admit,
+                )
+                .expect("checked above");
             sink(&verdict);
             let accepted = verdict.is_accepted();
             (vec![verdict], accepted)
@@ -340,6 +403,7 @@ impl AdmissionSession {
         } else {
             self.rejects += 1;
             tables.remove_last_job();
+            self.online = saved_online;
             None
         };
         let jobs = state.jobs.len();
@@ -352,47 +416,83 @@ impl AdmissionSession {
         })
     }
 
-    /// Removes a previously admitted job by its external handle.
+    /// Removes a previously admitted job by its external handle and
+    /// re-decides the reduced set through the online seam, streaming each
+    /// verdict through `sink` as it is produced (the decider alone, or —
+    /// with `evaluate` — the full suite with implication shortcuts,
+    /// byte-identical to a cold [`SolverRegistry::evaluate`] of the
+    /// reduced set modulo wall-clock provenance fields).
     ///
-    /// Withdrawing any job but the last renumbers the internal ids, so
-    /// the pair tables are rebuilt (`O(n²·N)`) — the one session
-    /// operation that cannot reuse the cache. Withdrawing the **most
-    /// recently admitted** job takes a fast path instead: its row and
-    /// column are peeled off the cached tables with
-    /// [`PairTables::remove_last_job`] (`O(n·N)`, the exact inverse of
-    /// the admit-time extension), leaving tables bit-identical to a full
-    /// rebuild on the reduced set. Handles of the remaining jobs are
-    /// unaffected either way.
+    /// The victim leaves by **swap-removal**
+    /// ([`msmr_model::JobSet::swap_remove_job`] mirrored by
+    /// [`PairTables::remove_job`]): the most recently admitted job moves
+    /// into the victim's internal slot and the cached tables are patched
+    /// in `O(n·N)` — no withdrawal pays the `O(n²·N)` rebuild any more.
+    /// External handles are stable throughout (only internal ids move);
+    /// the decider state is remapped across the swap and OPDCA
+    /// fast-forwards the levels the departure provably cannot perturb.
     ///
     /// # Errors
     ///
     /// [`SessionError::NoSession`] before the first submit,
-    /// [`SessionError::UnknownHandle`] for unknown handles.
-    pub fn withdraw(&mut self, handle: u64) -> Result<usize, SessionError> {
+    /// [`SessionError::UnknownHandle`] for unknown handles,
+    /// [`SessionError::UnknownDecider`] when the configured decider is
+    /// not registered.
+    pub fn withdraw(
+        &mut self,
+        handle: u64,
+        evaluate: bool,
+        mut sink: impl FnMut(&Verdict),
+    ) -> Result<WithdrawOutcome, SessionError> {
+        if self.registry.solver(&self.config.decider).is_none() {
+            return Err(SessionError::UnknownDecider(self.config.decider.clone()));
+        }
         let state = self.state.as_mut().ok_or(SessionError::NoSession)?;
         let index = state
             .handles
             .iter()
             .position(|&h| h == handle)
             .ok_or(SessionError::UnknownHandle(handle))?;
-        let (reduced, _) = state.jobs.without_job(JobId::new(index));
-        if index + 1 == state.handles.len() {
-            // The withdrawn job holds the highest internal id: no
-            // renumbering happens, so the cached tables roll back
-            // incrementally instead of being rebuilt.
-            let mut tables = state.tables.take().expect("tables present");
-            tables.remove_last_job();
-            state.tables = Some(tables);
+        let removed = JobId::new(index);
+        let (reduced, moved) = state.jobs.swap_remove_job(removed);
+        let mut tables = state.tables.take().expect("tables present");
+        tables.remove_job(removed);
+
+        let verdicts = if reduced.is_empty() {
+            // An emptied session streams no verdicts (mirroring the
+            // empty-submit case) and has nothing to keep warm.
+            self.online = self.registry.online_suite();
+            Vec::new()
         } else {
-            let mut tables = Analysis::new(&reduced).into_tables();
-            if self.config.reserve > tables.capacity() {
-                tables.reserve(self.config.reserve);
-            }
-            state.tables = Some(tables);
-        }
+            let event = OnlineEvent::Withdraw { removed, moved };
+            let analysis = Analysis::from_tables(&reduced, tables);
+            let ctx = SolveCtx::with_analysis(analysis, self.budget());
+            let verdicts = if evaluate {
+                self.registry
+                    .evaluate_online(&mut self.online, &ctx, event, &mut sink)
+            } else {
+                let verdict = self
+                    .registry
+                    .decide_online(&self.config.decider, &mut self.online, &ctx, event)
+                    .expect("checked above");
+                sink(&verdict);
+                vec![verdict]
+            };
+            tables = ctx
+                .into_analysis()
+                .expect("analysis was injected")
+                .into_tables();
+            verdicts
+        };
+
+        let state = self.state.as_mut().expect("session checked above");
         state.jobs = reduced;
-        state.handles.remove(index);
-        Ok(state.jobs.len())
+        state.handles.swap_remove(index);
+        state.tables = Some(tables);
+        Ok(WithdrawOutcome {
+            jobs: state.jobs.len(),
+            verdicts,
+        })
     }
 
     /// The current session snapshot.
@@ -436,6 +536,14 @@ impl AdmissionSession {
         self.state.as_ref().and_then(|state| state.tables.as_ref())
     }
 
+    /// The warm per-solver decider states of the online seam
+    /// (introspection; updated by every `admit`/`withdraw`, reset by
+    /// `submit`).
+    #[must_use]
+    pub fn online_state(&self) -> &OnlineSuiteState {
+        &self.online
+    }
+
     /// Captures the session's durable state — the admitted job set, the
     /// handle bookkeeping and the lifetime counters — as a serializable
     /// [`SessionImage`]. The warm tables are deliberately *not* part of
@@ -451,6 +559,7 @@ impl AdmissionSession {
             next_handle: self.next_handle,
             admits: self.admits,
             rejects: self.rejects,
+            online: Some(self.online.clone()),
         })
     }
 
@@ -486,6 +595,11 @@ impl AdmissionSession {
             tables.reserve(config.reserve);
         }
         let registry = SolverRegistry::paper_suite(config.bound);
+        // The persisted decider states come back warm; shape-invalid
+        // states (hand-edited snapshots) are rejected lazily by the
+        // solvers themselves, which then decide cold. Old snapshots
+        // without the field restore with a blank suite state.
+        let online = image.online.unwrap_or_else(|| registry.online_suite());
         Ok(AdmissionSession {
             config,
             registry,
@@ -494,6 +608,7 @@ impl AdmissionSession {
                 tables: Some(tables),
                 handles: image.handles,
             }),
+            online,
             admits: image.admits,
             rejects: image.rejects,
             next_handle: image.next_handle.max(min_next),
@@ -517,6 +632,11 @@ pub struct SessionImage {
     pub admits: u64,
     /// Lifetime reject count.
     pub rejects: u64,
+    /// The warm per-solver decider states of the online seam, so a
+    /// restore fast-forwards instead of deciding cold. `None` in
+    /// snapshots written before the online seam existed (they restore
+    /// with a blank state).
+    pub online: Option<OnlineSuiteState>,
 }
 
 #[cfg(test)]
@@ -565,6 +685,7 @@ mod tests {
             let offline = registry.evaluate(&candidate, Budget::default().with_node_limit(200_000));
             let normalize = |mut v: Verdict| {
                 v.stats.elapsed_micros = 0;
+                v.stats.cold_fallback = None;
                 v
             };
             let streamed: Vec<Verdict> = streamed.into_iter().map(normalize).collect();
@@ -623,11 +744,11 @@ mod tests {
             .handle
             .unwrap();
         assert_ne!(h1, h2);
-        assert_eq!(session.withdraw(h1).unwrap(), 1);
+        assert_eq!(session.withdraw(h1, false, |_| {}).unwrap().jobs, 1);
         let status = session.status();
         assert_eq!(status.admitted, vec![h2]);
         assert_eq!(
-            session.withdraw(h1).unwrap_err(),
+            session.withdraw(h1, false, |_| {}).unwrap_err(),
             SessionError::UnknownHandle(h1)
         );
         // The survivor's parameters are intact after the renumbering.
@@ -689,7 +810,7 @@ mod tests {
 
         // Fast path: the victim is the most recently admitted job.
         let last = *handles.last().unwrap();
-        assert_eq!(session.withdraw(last).unwrap(), 4);
+        assert_eq!(session.withdraw(last, false, |_| {}).unwrap().jobs, 4);
         let rebuilt = Analysis::new(session.jobs().unwrap()).into_tables();
         assert_tables_identical(session.tables().unwrap(), &rebuilt);
 
@@ -703,7 +824,7 @@ mod tests {
 
         // Slow path for comparison: a middle withdrawal renumbers and
         // rebuilds, and still matches the from-scratch analysis.
-        assert_eq!(session.withdraw(handles[1]).unwrap(), 4);
+        assert_eq!(session.withdraw(handles[1], false, |_| {}).unwrap().jobs, 4);
         let rebuilt = Analysis::new(session.jobs().unwrap()).into_tables();
         assert_tables_identical(session.tables().unwrap(), &rebuilt);
     }
@@ -741,6 +862,114 @@ mod tests {
     }
 
     #[test]
+    fn image_carries_the_warm_decider_state_through_restore() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        for i in 0..4u64 {
+            session
+                .admit(&spec([2 + i, 3, 4], i % 2, 300), true, |_| {})
+                .unwrap();
+        }
+        let h = session.status().admitted[1];
+        session.withdraw(h, true, |_| {}).unwrap();
+        assert!(
+            !session.online_state().is_empty(),
+            "online ops must leave decider state behind"
+        );
+
+        let image = session.image().unwrap();
+        let json = serde_json::to_string(&image).unwrap();
+        let parsed: SessionImage = serde_json::from_str(&json).unwrap();
+        let mut restored = AdmissionSession::from_image(SessionConfig::default(), parsed).unwrap();
+        assert_eq!(restored.online_state(), session.online_state());
+
+        // The restored session fast-forwards from the persisted state and
+        // still produces byte-identical verdicts on the next ops.
+        let next = spec([3, 3, 3], 1, 250);
+        let mut warm = Vec::new();
+        let mut cold = Vec::new();
+        let a = restored
+            .admit(&next, true, |v| warm.push(v.clone()))
+            .unwrap();
+        let b = session
+            .admit(&next, true, |v| cold.push(v.clone()))
+            .unwrap();
+        assert_eq!(a.admitted, b.admitted);
+        let normalize = |v: &Verdict| {
+            let mut v = v.clone();
+            v.stats.elapsed_micros = 0;
+            v.stats.cold_fallback = None;
+            v
+        };
+        assert_eq!(
+            warm.iter().map(normalize).collect::<Vec<_>>(),
+            cold.iter().map(normalize).collect::<Vec<_>>()
+        );
+
+        // Pre-online snapshots (no `online` field) restore with a blank
+        // state and still work.
+        let mut legacy = session.image().unwrap();
+        legacy.online = None;
+        let mut restored = AdmissionSession::from_image(SessionConfig::default(), legacy).unwrap();
+        assert!(restored.online_state().is_empty());
+        assert!(restored
+            .admit(&spec([2, 2, 2], 0, 300), false, |_| {})
+            .is_ok());
+    }
+
+    #[test]
+    fn withdraw_streams_verdicts_identical_to_cold_evaluate_of_the_reduced_set() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let mut handles = Vec::new();
+        for i in 0..6u64 {
+            let outcome = session
+                .admit(&spec([3 + i, 5, 2], i % 2, 400), false, |_| {})
+                .unwrap();
+            handles.push(outcome.handle.expect("roomy deadline admits"));
+        }
+        // Mid-set victim: the general swap-removal path.
+        let victim = handles[2];
+        let mut streamed = Vec::new();
+        let outcome = session
+            .withdraw(victim, true, |v| streamed.push(v.clone()))
+            .unwrap();
+        assert_eq!(outcome.jobs, 5);
+        assert_eq!(outcome.verdicts, streamed);
+
+        let registry = SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid);
+        let offline = registry.evaluate(
+            session.jobs().unwrap(),
+            Budget::default().with_node_limit(200_000),
+        );
+        let normalize = |v: &Verdict| {
+            let mut v = v.clone();
+            v.stats.elapsed_micros = 0;
+            v.stats.cold_fallback = None;
+            v
+        };
+        assert_eq!(
+            streamed.iter().map(normalize).collect::<Vec<_>>(),
+            offline.iter().map(normalize).collect::<Vec<_>>()
+        );
+
+        // The warm tables equal a from-scratch rebuild of the swap-removed
+        // set.
+        let rebuilt = Analysis::new(session.jobs().unwrap()).into_tables();
+        assert_tables_identical(session.tables().unwrap(), &rebuilt);
+
+        // Withdrawing down to empty streams nothing and resets state.
+        for &h in handles.iter().filter(|&&h| h != victim) {
+            let outcome = session.withdraw(h, true, |_| {}).unwrap();
+            if outcome.jobs == 0 {
+                assert!(outcome.verdicts.is_empty());
+            }
+        }
+        assert_eq!(session.status().jobs, 0);
+        assert!(session.online_state().is_empty());
+    }
+
+    #[test]
     fn corrupt_images_are_typed_errors() {
         let mut session = AdmissionSession::new(SessionConfig::default());
         session.submit(pipeline_only(), false, |_| {});
@@ -764,7 +993,10 @@ mod tests {
                 .unwrap_err(),
             SessionError::NoSession
         );
-        assert_eq!(session.withdraw(3).unwrap_err(), SessionError::NoSession);
+        assert_eq!(
+            session.withdraw(3, false, |_| {}).unwrap_err(),
+            SessionError::NoSession
+        );
         session.submit(pipeline_only(), false, |_| {});
         // Wrong stage count.
         let bad = JobSpec {
@@ -790,6 +1022,52 @@ mod tests {
                 .admit(&spec([1, 1, 1], 0, 50), false, |_| {})
                 .unwrap_err(),
             SessionError::UnknownDecider("NOPE".to_string())
+        );
+    }
+
+    #[test]
+    fn submit_warm_starts_the_decider_and_the_first_admit_matches_cold() {
+        let mut b = JobSetBuilder::new();
+        b.stage("a", 2, PreemptionPolicy::Preemptive)
+            .stage("b", 2, PreemptionPolicy::Preemptive)
+            .stage("c", 2, PreemptionPolicy::Preemptive);
+        for i in 0..5u64 {
+            b.job()
+                .deadline(Time::new(300))
+                .stage_time(Time::new(3 + i), (i % 2) as usize)
+                .stage_time(Time::new(4), ((i + 1) % 2) as usize)
+                .stage_time(Time::new(2), (i % 2) as usize)
+                .add()
+                .unwrap();
+        }
+        let jobs = b.build().unwrap();
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(jobs.clone(), false, |_| {});
+        // `OnlineSolver::begin` recorded the decider's trace at submit.
+        assert!(matches!(
+            session.online_state().states.get("OPDCA"),
+            Some(msmr_sched::DeciderState::Audsley(_))
+        ));
+
+        // The first admit fast-forwards from that trace and is still
+        // byte-identical to a cold offline evaluation.
+        let next = spec([2, 2, 2], 1, 250);
+        let mut streamed = Vec::new();
+        session
+            .admit(&next, true, |v| streamed.push(v.clone()))
+            .unwrap();
+        let (candidate, _) = jobs.with_job(next.to_builder()).unwrap();
+        let registry = SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid);
+        let offline = registry.evaluate(&candidate, Budget::default().with_node_limit(200_000));
+        let normalize = |v: &Verdict| {
+            let mut v = v.clone();
+            v.stats.elapsed_micros = 0;
+            v.stats.cold_fallback = None;
+            v
+        };
+        assert_eq!(
+            streamed.iter().map(normalize).collect::<Vec<_>>(),
+            offline.iter().map(normalize).collect::<Vec<_>>()
         );
     }
 

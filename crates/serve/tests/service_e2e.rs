@@ -48,6 +48,7 @@ fn start_server(tag: &str) -> (Server, PathBuf) {
 fn normalized_json(verdict: &Verdict) -> String {
     let mut verdict = verdict.clone();
     verdict.stats.elapsed_micros = 0;
+    verdict.stats.cold_fallback = None;
     serde_json::to_string(&verdict).expect("verdicts serialize")
 }
 
@@ -171,18 +172,35 @@ fn withdraw_reopens_capacity_over_the_wire() {
 
     let victim = handles[handles.len() / 2];
     let frames = client
-        .request(Op::Withdraw(WithdrawOp { job: victim }))
+        .request(Op::Withdraw(WithdrawOp {
+            job: victim,
+            evaluate: None,
+        }))
         .expect("withdraw");
-    let Some(Frame::Withdraw(withdraw)) = frames.first().map(|f| &f.frame) else {
-        panic!("expected withdraw frame, got {:?}", frames.first());
+    // The online seam streams the decider's verdict for the reduced set
+    // before the withdraw frame.
+    let Some(Frame::Verdict(verdict)) = frames.first().map(|f| &f.frame) else {
+        panic!("expected a decider verdict frame, got {:?}", frames.first());
     };
+    assert_eq!(verdict.verdict.solver, "OPDCA");
+    let withdraw = frames
+        .iter()
+        .find_map(|f| match &f.frame {
+            Frame::Withdraw(w) => Some(w),
+            _ => None,
+        })
+        .expect("withdraw frame present");
     assert_eq!(withdraw.job, victim);
     assert_eq!(withdraw.jobs as usize, handles.len() - 1);
+    assert_eq!(withdraw.seq, None, "classic mode carries no decision seq");
 
     // Withdrawing the same handle again is a frame-level error, not a
     // disconnect.
     let frames = client
-        .request(Op::Withdraw(WithdrawOp { job: victim }))
+        .request(Op::Withdraw(WithdrawOp {
+            job: victim,
+            evaluate: None,
+        }))
         .expect("second withdraw round-trip");
     assert!(matches!(
         frames.first().map(|f| &f.frame),

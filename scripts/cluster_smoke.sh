@@ -36,11 +36,14 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "daemon did not bind $SOCK" >&2; exit 1; }
 
-# A concurrent burst over shared sessions, verified against a
-# serialized offline replay; results go to a scratch history file so CI
-# runs do not pollute the committed BENCH_kernels.json.
+# A concurrent burst over shared sessions — with a withdraw mix, so the
+# general O(n·N) mid-set withdraw of the online seam runs under
+# multi-client load — verified against a serialized offline replay;
+# results go to a scratch history file so CI runs do not pollute the
+# committed BENCH_kernels.json.
 MSMR_BENCH_OUT="$BENCH_OUT" "$LOADGEN" --uds "$SOCK" \
-    --clients "$CLIENTS" --sessions "$SESSIONS" --jobs "$JOBS" --seed "$SEED" --verify
+    --clients "$CLIENTS" --sessions "$SESSIONS" --jobs "$JOBS" --seed "$SEED" \
+    --withdraw-ratio 0.3 --verify
 
 # The loadgen run landed in the (scratch) append-only history.
 grep -q "loadgen/requests_per_sec" "$BENCH_OUT" || {

@@ -30,7 +30,10 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "daemon did not bind $SOCK" >&2; exit 1; }
 
-"$ADMIT" --uds "$SOCK" --replay --jobs "$JOBS" --seed "$SEED" --verify
+# A withdraw mix exercises the general O(n·N) mid-set withdraw of the
+# online seam; --verify byte-checks every admit *and* withdraw verdict
+# stream against offline evaluate.
+"$ADMIT" --uds "$SOCK" --replay --jobs "$JOBS" --seed "$SEED" --withdraw-ratio 0.25 --verify
 "$ADMIT" --uds "$SOCK" --shutdown
 wait "$SERVED_PID"
 trap - EXIT
