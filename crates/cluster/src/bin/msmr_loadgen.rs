@@ -5,6 +5,7 @@
 //! msmr-loadgen (--tcp ADDR | --uds PATH) [--clients M] [--sessions K]
 //!              [--jobs N] [--seed S] [--evaluate] [--verify]
 //!              [--bound NAME] [--opt-nodes N] [--retries R] [--no-record]
+//!              [--check-stats]
 //! ```
 //!
 //! Drives `M` concurrent client connections over `K` named shared
@@ -21,6 +22,16 @@
 //! library `AdmissionSession`; the streamed verdicts must match the
 //! serialized replay byte-for-byte (wall-clock fields zeroed). Any
 //! mismatch exits non-zero — this is the cluster CI smoke check.
+//!
+//! The summary reports overloads (typed backpressure responses, each
+//! retried with backoff) separately from hard errors, and its latency
+//! percentiles are nearest-rank over the full per-round-trip sample
+//! set. With `--check-stats` the run ends by querying the daemon's v4
+//! `stats` op and asserting the daemon-side admit / reject / withdraw /
+//! overload counters exactly equal the client-side tallies — exact
+//! because every overload bounces before touching a session and every
+//! decided round trip lands in precisely one counter (run it against a
+//! freshly started daemon, otherwise earlier traffic is counted too).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,7 +42,7 @@ use std::time::{Duration, Instant};
 use msmr_dca::DelayBoundKind;
 use msmr_model::JobSet;
 use msmr_report::{default_report_path, BenchReport};
-use msmr_serve::protocol::{AdmitOp, Frame, JobSpec, Op, SubmitOp, WithdrawOp};
+use msmr_serve::protocol::{AdmitOp, Frame, JobSpec, Op, StatsOp, SubmitOp, WithdrawOp};
 use msmr_serve::{
     normalized_verdict_json, parse_bound, percentile_us, AdmissionSession, Client, Endpoint,
     MixRng, SessionConfig,
@@ -52,10 +63,11 @@ struct Options {
     retries: usize,
     record: bool,
     withdraw_ratio: f64,
+    check_stats: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --withdraw-ratio F  withdraw one of the client's admitted jobs after each admit with probability F\n  --no-record     do not append the results to the BENCH_kernels.json history"
+    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --withdraw-ratio F  withdraw one of the client's admitted jobs after each admit with probability F\n  --check-stats   assert the daemon's stats counters equal this run's tallies (fresh daemon)\n  --no-record     do not append the results to the BENCH_kernels.json history"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -74,6 +86,7 @@ fn parse_options() -> Result<Options, String> {
         retries: 100,
         record: true,
         withdraw_ratio: 0.0,
+        check_stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -117,6 +130,7 @@ fn parse_options() -> Result<Options, String> {
                     .filter(|r| (0.0..=1.0).contains(r))
                     .ok_or("invalid --withdraw-ratio value (need 0.0..=1.0)")?;
             }
+            "--check-stats" => options.check_stats = true,
             "--no-record" => options.record = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -349,6 +363,54 @@ fn verify_session(
     Ok(())
 }
 
+/// `--check-stats`: queries the daemon's v4 `stats` op and asserts its
+/// admit / reject / withdraw / overload counters (and the setup pass's
+/// submit counter) exactly equal this run's client-side tallies. Only
+/// exact against a freshly started daemon — the counters are
+/// daemon-lifetime aggregates.
+fn check_daemon_stats(
+    options: &Options,
+    admitted: u64,
+    rejected: u64,
+    withdraws: u64,
+    overloads: u64,
+) -> Result<(), String> {
+    let mut client = Client::connect(&options.endpoint).map_err(|e| e.to_string())?;
+    let frames = client
+        .request(Op::Stats(StatsOp {}))
+        .map_err(|e| e.to_string())?;
+    let stats = frames
+        .iter()
+        .find_map(|frame| match &frame.frame {
+            Frame::Stats(f) => Some(f.stats.clone()),
+            _ => None,
+        })
+        .ok_or("daemon answered the stats op with no stats frame")?;
+    let expected = [
+        ("admits", stats.counters.admits, admitted),
+        ("rejects", stats.counters.rejects, rejected),
+        ("withdraws", stats.counters.withdraws, withdraws),
+        ("overloads", stats.counters.overloads, overloads),
+        ("submits", stats.counters.submits, options.sessions as u64),
+    ];
+    let mismatched: Vec<String> = expected
+        .iter()
+        .filter(|(_, daemon, local)| daemon != local)
+        .map(|(name, daemon, local)| format!("{name}: daemon {daemon} != loadgen {local}"))
+        .collect();
+    if !mismatched.is_empty() {
+        return Err(format!(
+            "daemon stats diverge from the run's tallies ({}); was the daemon freshly started?",
+            mismatched.join(", ")
+        ));
+    }
+    println!(
+        "loadgen: check-stats OK — daemon counters match exactly \
+         ({admitted} admits, {rejected} rejects, {withdraws} withdraws, {overloads} overloads)"
+    );
+    Ok(())
+}
+
 fn run(options: &Options) -> Result<ExitCode, String> {
     // One seeded trace per session.
     let traces: Vec<JobSet> = (0..options.sessions)
@@ -470,6 +532,24 @@ fn run(options: &Options) -> Result<ExitCode, String> {
         .flatten()
         .filter(|d| matches!(d.op, DecisionOp::Withdraw { .. }))
         .count();
+    let admitted = per_session
+        .iter()
+        .flatten()
+        .filter(|d| matches!(d.op, DecisionOp::Admit { admitted: true, .. }))
+        .count();
+    let rejected = per_session
+        .iter()
+        .flatten()
+        .filter(|d| {
+            matches!(
+                d.op,
+                DecisionOp::Admit {
+                    admitted: false,
+                    ..
+                }
+            )
+        })
+        .count();
     // `latencies` holds one sample per round trip — admits *and*
     // withdraws — so the recorded req/sec matches the wall time spent.
     let requests = latencies.len();
@@ -492,12 +572,17 @@ fn run(options: &Options) -> Result<ExitCode, String> {
         }
     }
 
+    // Overloads are reported on their own: each is a typed backpressure
+    // response that was retried and eventually decided, not a failure —
+    // hard errors abort the run above instead of landing here.
     println!(
-        "loadgen: {} clients x {} sessions, {} requests ({} withdraws) in {:.2}s => {:.0} req/sec; \
-         latency p50 {:.0} µs, p99 {:.0} µs; {} overload retries{}",
+        "loadgen: {} clients x {} sessions, {} requests ({} admitted, {} rejected, {} withdraws) \
+         in {:.2}s => {:.0} req/sec; latency p50 {:.0} µs, p99 {:.0} µs; overloads: {} (retried, 0 errors){}",
         options.clients,
         options.sessions,
         requests,
+        admitted,
+        rejected,
         withdraws,
         elapsed.as_secs_f64(),
         req_per_sec,
@@ -510,6 +595,16 @@ fn run(options: &Options) -> Result<ExitCode, String> {
             String::new()
         },
     );
+
+    if options.check_stats {
+        check_daemon_stats(
+            options,
+            admitted as u64,
+            rejected as u64,
+            withdraws as u64,
+            overload_retries as u64,
+        )?;
+    }
 
     if options.record {
         let mut report = BenchReport::new(false);

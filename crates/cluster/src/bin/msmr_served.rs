@@ -4,7 +4,7 @@
 //! msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]
 //!             [--opt-nodes N] [--reserve N] [--threads N]
 //!             [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]
-//!             [--session-ttl SECS]
+//!             [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]
 //! ```
 //!
 //! At least one of `--tcp` / `--uds` is required. The daemon prints one
@@ -21,15 +21,26 @@
 //! (snapshot-then-drop) named sessions that have no attached connection
 //! and have been idle past the TTL, so the session store stops growing
 //! without bound.
+//!
+//! Observability (both modes): the daemon always answers the protocol's
+//! v4 `stats` op with a live [`msmr_stats::StatsSnapshot`].
+//! `--stats-addr ADDR` additionally binds a side-channel listener that
+//! writes one JSON snapshot line per connection (what `msmr-top`
+//! polls), so stats stay reachable while the main endpoint is saturated.
+//! `--trace-out PATH` streams one Chrome trace-event span per solver
+//! verdict into PATH (load it in `about:tracing` / Perfetto); the array
+//! is closed on clean shutdown and remains loadable after a crash.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use msmr_cluster::{ClusterConfig, ClusterEngine};
 use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
+use msmr_stats::{serve_stats, StatsRegistry, StatsSnapshot, TraceWriter};
 
 fn usage() -> &'static str {
-    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)"
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)\n\nobservability:\n  --stats-addr ADDR  serve one-line JSON stats snapshots on a TCP side channel\n  --trace-out PATH   write one Chrome trace-event span per solver verdict to PATH"
 }
 
 struct Options {
@@ -37,6 +48,8 @@ struct Options {
     session: SessionConfig,
     cluster: bool,
     config: ClusterConfig,
+    stats_addr: Option<String>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -45,6 +58,8 @@ fn parse_options() -> Result<Options, String> {
         session: SessionConfig::default(),
         cluster: false,
         config: ClusterConfig::default(),
+        stats_addr: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -106,6 +121,8 @@ fn parse_options() -> Result<Options, String> {
                 }
                 options.config.session_ttl = Some(std::time::Duration::from_secs(secs));
             }
+            "--stats-addr" => options.stats_addr = Some(value("--stats-addr")?),
+            "--trace-out" => options.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -124,7 +141,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = if options.cluster {
+    // One daemon-wide registry: every session — classic per-connection
+    // or cluster-shared — feeds it, the v4 `stats` op and the side
+    // channel read it, and the trace writer hangs off it.
+    let stats = Arc::new(StatsRegistry::new());
+    if let Some(path) = &options.trace_out {
+        match TraceWriter::create(path) {
+            Ok(writer) => {
+                stats.set_trace_writer(writer);
+                println!("msmr-served tracing to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!(
+                    "msmr-served: cannot create --trace-out {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    options.session.stats = Some(Arc::clone(&stats));
+    let (server, engine) = if options.cluster {
         options.config.session = options.session.clone();
         match ClusterEngine::start(options.listen, options.config) {
             Ok((server, engine)) => {
@@ -132,7 +169,7 @@ fn main() -> ExitCode {
                 if restored > 0 {
                     println!("msmr-served: restored {restored} session(s) from snapshots");
                 }
-                server
+                (server, Some(engine))
             }
             Err(e) => {
                 eprintln!("msmr-served: {e}");
@@ -145,7 +182,7 @@ fn main() -> ExitCode {
             uds: options.listen.uds,
             session: options.session,
         }) {
-            Ok(server) => server,
+            Ok(server) => (server, None),
             Err(e) => {
                 eprintln!("msmr-served: {e}");
                 return ExitCode::FAILURE;
@@ -158,7 +195,34 @@ fn main() -> ExitCode {
     if let Some(path) = server.uds_path() {
         println!("msmr-served listening on unix://{}", path.display());
     }
+    if let Some(addr) = &options.stats_addr {
+        // Cluster snapshots carry the engine gauges (queue depth,
+        // shards, session rows); classic mode serves the registry's
+        // counters and rings directly.
+        let provider: Arc<dyn Fn() -> StatsSnapshot + Send + Sync> = match &engine {
+            Some(engine) => {
+                let engine = Arc::clone(engine);
+                Arc::new(move || engine.stats_snapshot())
+            }
+            None => {
+                let stats = Arc::clone(&stats);
+                Arc::new(move || stats.snapshot())
+            }
+        };
+        match serve_stats(addr, provider, server.shutdown_handle()) {
+            Ok((bound, _listener)) => println!("msmr-served stats on tcp://{bound}"),
+            Err(e) => {
+                eprintln!("msmr-served: cannot bind --stats-addr {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     server.join();
+    if options.trace_out.is_some() {
+        if let Err(e) = stats.close_trace() {
+            eprintln!("msmr-served: closing the trace failed: {e}");
+        }
+    }
     println!("msmr-served: shutdown complete");
     ExitCode::SUCCESS
 }

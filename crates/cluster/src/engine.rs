@@ -19,9 +19,10 @@ use std::time::Duration;
 use msmr_par::{SubmitError, WorkerPool};
 use msmr_serve::protocol::{
     AttachFrame, DetachFrame, ErrorFrame, Frame, Op, OverloadFrame, Request, RestoreFrame,
-    RestoredSession, SnapshotFrame, VerdictFrame, WithdrawFrame, PROTOCOL_VERSION,
+    RestoredSession, SnapshotFrame, StatsFrame, VerdictFrame, WithdrawFrame, PROTOCOL_VERSION,
 };
 use msmr_serve::{AdmissionSession, ConnHandler, FrameSink, Listen, Server, SessionConfig};
+use msmr_stats::{SessionRow, StatsRegistry, StatsSnapshot};
 
 use crate::snapshot::SnapshotStore;
 use crate::store::{SessionStore, SharedSession};
@@ -68,6 +69,10 @@ pub struct ClusterEngine {
     pool: WorkerPool,
     snapshots: Option<SnapshotStore>,
     session_ttl: Option<Duration>,
+    /// The daemon-wide stats registry. Every named session's config
+    /// carries a handle to it, so session ops and solver verdicts from
+    /// any shard land in one aggregate.
+    stats: Arc<StatsRegistry>,
 }
 
 impl ClusterEngine {
@@ -88,7 +93,7 @@ impl ClusterEngine {
     /// [`Clock`](crate::Clock) — how the TTL-eviction tests drive
     /// idleness deterministically.
     pub fn with_store_clock(
-        config: ClusterConfig,
+        mut config: ClusterConfig,
         clock: Option<Arc<dyn crate::Clock>>,
     ) -> io::Result<Arc<ClusterEngine>> {
         let workers = if config.workers == 0 {
@@ -100,6 +105,18 @@ impl ClusterEngine {
             Some(dir) => Some(SnapshotStore::open(dir)?),
             None => None,
         };
+        // Every named session shares the daemon-wide registry: use the
+        // caller's (the daemon injects one so its `--stats-addr` side
+        // channel and `--trace-out` writer see the same aggregate), or
+        // create a fresh one.
+        let stats = match &config.session.stats {
+            Some(stats) => Arc::clone(stats),
+            None => {
+                let stats = Arc::new(StatsRegistry::new());
+                config.session.stats = Some(Arc::clone(&stats));
+                stats
+            }
+        };
         let store = match clock {
             Some(clock) => SessionStore::with_clock(config.shards, config.session.clone(), clock),
             None => SessionStore::new(config.shards, config.session.clone()),
@@ -109,6 +126,7 @@ impl ClusterEngine {
             pool: WorkerPool::new(workers, config.queue),
             snapshots,
             session_ttl: config.session_ttl,
+            stats,
         });
         engine.restore_all()?;
         Ok(engine)
@@ -143,8 +161,11 @@ impl ClusterEngine {
         for session in self.store.idle_candidates(ttl_millis) {
             if let Some(snapshots) = &self.snapshots {
                 if let Some((image, version)) = session.image() {
-                    if let Err(e) = snapshots.save(session.name(), version, &image) {
-                        first_error.get_or_insert(e);
+                    match snapshots.save(session.name(), version, &image) {
+                        Ok(_) => self.stats.record_snapshot_write(),
+                        Err(e) => {
+                            first_error.get_or_insert(e);
+                        }
                     }
                 }
             }
@@ -153,6 +174,7 @@ impl ClusterEngine {
                 .remove_if_idle(session.name(), ttl_millis)
                 .is_some()
             {
+                self.stats.record_eviction();
                 names.push(session.name().to_string());
             }
         }
@@ -169,6 +191,42 @@ impl ClusterEngine {
     #[must_use]
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The daemon-wide stats registry (shared with every session).
+    #[must_use]
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    /// One live stats snapshot with the engine-level gauges and
+    /// per-session rows filled in: the registry knows counters, latency
+    /// rings and per-solver rows, while session/shard/queue occupancy
+    /// lives here. Feeds both the protocol's `stats` op and the
+    /// `--stats-addr` side channel.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snapshot = self.stats.snapshot();
+        snapshot.gauges.live_sessions = self.store.len() as u64;
+        snapshot.gauges.sessions_per_shard = self.store.shard_lens();
+        snapshot.gauges.queue_depth = self.pool.queued() as u64;
+        snapshot.gauges.queue_capacity = self.pool.capacity() as u64;
+        snapshot.gauges.workers = self.pool.workers() as u64;
+        snapshot.sessions = self
+            .store
+            .names()
+            .into_iter()
+            .filter_map(|name| {
+                let session = self.store.get(&name)?;
+                Some(SessionRow {
+                    jobs: session.jobs(),
+                    version: session.version(),
+                    attached: session.attached(),
+                    name,
+                })
+            })
+            .collect();
+        snapshot
     }
 
     /// Persists one named session.
@@ -196,6 +254,7 @@ impl ClusterEngine {
         })?;
         let jobs = image.jobs.len() as u64;
         let path = snapshots.save(name, version, &image)?;
+        self.stats.record_snapshot_write();
         Ok(SnapshotFrame {
             session: name.to_string(),
             version,
@@ -371,6 +430,15 @@ impl ClusterEngine {
     ) -> io::Result<()> {
         let mut attached: Option<Arc<SharedSession>> = None;
         let mut result = Ok(());
+        self.stats.client_attached();
+        // Decrement on every exit path (early `?` included).
+        struct ConnGuard(Arc<StatsRegistry>);
+        impl Drop for ConnGuard {
+            fn drop(&mut self) {
+                self.0.client_detached();
+            }
+        }
+        let _conn = ConnGuard(Arc::clone(&self.stats));
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -526,6 +594,11 @@ impl ClusterEngine {
                         Err(e) => sink.send(error_frame(&e.to_string())),
                     }
                 }
+                Op::Stats(_) => {
+                    sink.send(Frame::Stats(StatsFrame {
+                        stats: self.stats_snapshot(),
+                    }));
+                }
                 Op::Shutdown(_) => {
                     if let Err(e) = self.snapshot_all() {
                         sink.send(error_frame(&format!("shutdown snapshot failed: {e}")));
@@ -569,6 +642,7 @@ impl ClusterEngine {
                 }
             }
             Err(SubmitError::Saturated { queued, capacity }) => {
+                self.stats.record_overload();
                 sink.send(Frame::Overload(OverloadFrame {
                     queued: queued as u64,
                     capacity: capacity as u64,
@@ -833,6 +907,191 @@ mod tests {
             .expect("typed overload frame");
         assert_eq!(overload.capacity, 1);
         gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn cluster_stats_op_reports_engine_gauges_and_session_rows() {
+        let engine = ClusterEngine::new(ClusterConfig {
+            shards: 4,
+            workers: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let responses = drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "observed".to_string(),
+                        create: None,
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Submit(SubmitOp {
+                        jobs: pipeline_only(),
+                        parallel: None,
+                    }),
+                },
+                Request {
+                    id: 3,
+                    op: Op::Admit(AdmitOp {
+                        job: spec(3, 100),
+                        evaluate: Some(false),
+                    }),
+                },
+                Request {
+                    id: 4,
+                    op: Op::Stats(msmr_serve::protocol::StatsOp {}),
+                },
+            ],
+        );
+        let stats = responses
+            .iter()
+            .find_map(|r| match &r.frame {
+                Frame::Stats(f) => Some(&f.stats),
+                _ => None,
+            })
+            .expect("stats frame");
+        assert_eq!(stats.counters.admits, 1);
+        assert_eq!(stats.counters.submits, 1);
+        assert_eq!(stats.counters.overloads, 0);
+        assert_eq!(stats.ops["admit"].samples, 1);
+        assert_eq!(stats.gauges.live_sessions, 1);
+        assert_eq!(stats.gauges.sessions_per_shard.len(), 4);
+        assert_eq!(stats.gauges.sessions_per_shard.iter().sum::<u64>(), 1);
+        assert_eq!(stats.gauges.queue_capacity, 64);
+        assert_eq!(stats.gauges.workers, 1);
+        assert_eq!(stats.gauges.attached_clients, 1, "the polling connection");
+        assert_eq!(stats.sessions.len(), 1);
+        assert_eq!(stats.sessions[0].name, "observed");
+        assert_eq!(stats.sessions[0].jobs, 1);
+        assert_eq!(stats.sessions[0].version, 2); // submit + admit
+
+        // The snapshot was taken mid-connection; afterwards the guard
+        // detached it.
+        assert_eq!(engine.stats().snapshot().gauges.attached_clients, 0);
+    }
+
+    #[test]
+    fn saturated_burst_leaves_an_exact_overload_delta() {
+        // One parked worker + a full queue of one: every solve request
+        // of the burst must bounce, and the registry must count each
+        // bounce exactly once.
+        let engine = ClusterEngine::new(ClusterConfig {
+            workers: 1,
+            queue: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        engine
+            .pool()
+            .try_submit(move || {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            })
+            .unwrap();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        engine.pool().try_submit(|| {}).unwrap();
+        assert_eq!(engine.stats().snapshot().counters.overloads, 0);
+
+        let mut requests = vec![Request {
+            id: 1,
+            op: Op::Attach(AttachOp {
+                session: "burst".to_string(),
+                create: None,
+            }),
+        }];
+        for id in 2..=4 {
+            requests.push(Request {
+                id,
+                op: Op::Admit(AdmitOp {
+                    job: spec(1, 50),
+                    evaluate: Some(false),
+                }),
+            });
+        }
+        let responses = drive(&engine, &requests);
+        let overloads = responses
+            .iter()
+            .filter(|r| matches!(r.frame, Frame::Overload(_)))
+            .count();
+        assert_eq!(overloads, 3, "all three burst admits bounced");
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.counters.overloads, 3);
+        assert_eq!(snapshot.counters.admits, 0, "no admit went through");
+        assert_eq!(snapshot.gauges.queue_depth, 1, "the parked filler task");
+        gate_tx.send(()).unwrap();
+    }
+
+    /// A fake clock whose reading the test advances by hand (mirror of
+    /// the store tests' clock — each test module owns its own).
+    struct FakeClock(std::sync::atomic::AtomicU64);
+
+    impl crate::Clock for FakeClock {
+        fn now_millis(&self) -> u64 {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn ttl_reaper_sweep_leaves_exact_eviction_and_snapshot_deltas() {
+        let dir = std::env::temp_dir().join(format!(
+            "msmr-cluster-stats-ttl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let dir = PathBuf::from(dir.to_string_lossy().replace(['(', ')'], ""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let clock = Arc::new(FakeClock(std::sync::atomic::AtomicU64::new(0)));
+        let engine = ClusterEngine::with_store_clock(
+            ClusterConfig {
+                snapshot_dir: Some(dir.clone()),
+                session_ttl: Some(Duration::from_secs(5)),
+                ..ClusterConfig::default()
+            },
+            Some(Arc::clone(&clock) as Arc<dyn crate::Clock>),
+        )
+        .unwrap();
+        // Two sessions with state, detached; one session that keeps a
+        // client attached and must survive.
+        for name in ["reap-a", "reap-b", "keep"] {
+            let session = engine.store().attach(name, true).unwrap().session;
+            session.submit(pipeline_only(), false, |_| {});
+            session.admit(&spec(2, 100), false, |_| {}).unwrap();
+            if name != "keep" {
+                session.client_detached();
+            }
+        }
+        let before = engine.stats().snapshot();
+        assert_eq!(before.counters.evictions, 0);
+        assert_eq!(before.counters.snapshot_writes, 0);
+
+        clock.0.store(10_000, Ordering::SeqCst);
+        let (evicted, error) = engine.evict_idle();
+        assert!(error.is_none());
+        assert_eq!(evicted, vec!["reap-a", "reap-b"]);
+
+        // Exactly one eviction and one snapshot write per reaped
+        // session; the attached session contributed neither.
+        let after = engine.stats().snapshot();
+        assert_eq!(after.counters.evictions, 2);
+        assert_eq!(after.counters.snapshot_writes, 2);
+        assert_eq!(engine.stats_snapshot().gauges.live_sessions, 1);
+
+        // An idempotent second sweep adds nothing.
+        let (evicted, _) = engine.evict_idle();
+        assert!(evicted.is_empty());
+        assert_eq!(engine.stats().snapshot().counters.evictions, 2);
+        assert_eq!(engine.stats().snapshot().counters.snapshot_writes, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

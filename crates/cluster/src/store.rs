@@ -570,6 +570,18 @@ impl SessionStore {
         names
     }
 
+    /// Live sessions per shard, in shard order — the observability
+    /// surface behind the `sessions_per_shard` stats gauge (a skewed
+    /// distribution means the FNV shard hash is fighting the tenant
+    /// naming scheme).
+    #[must_use]
+    pub fn shard_lens(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard lock poisoned").index.len() as u64)
+            .collect()
+    }
+
     /// The number of live sessions.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -26,10 +26,17 @@ struct Entry {
     implied_by: Vec<String>,
 }
 
+/// A verdict observer installed with [`SolverRegistry::set_verdict_hook`].
+type VerdictHook = Box<dyn Fn(&Verdict) + Send + Sync>;
+
 /// An ordered collection of named solvers with implication shortcuts.
 #[derive(Default)]
 pub struct SolverRegistry {
     entries: Vec<Entry>,
+    /// Observability tap: called with every verdict any evaluation path
+    /// of this registry produces (see
+    /// [`SolverRegistry::set_verdict_hook`]).
+    verdict_hook: Option<VerdictHook>,
 }
 
 impl SolverRegistry {
@@ -123,6 +130,24 @@ impl SolverRegistry {
         self
     }
 
+    /// Installs an observability hook called with **every** verdict this
+    /// registry produces — sequential, parallel (from worker threads,
+    /// hence the `Sync` bound) and online paths alike, implied verdicts
+    /// included. The hook observes verdicts by reference and cannot
+    /// mutate them, so instrumentation can never perturb the
+    /// byte-identity contract between warm and cold evaluation. One hook
+    /// per registry; installing again replaces the previous one.
+    pub fn set_verdict_hook(&mut self, hook: impl Fn(&Verdict) + Send + Sync + 'static) {
+        self.verdict_hook = Some(Box::new(hook));
+    }
+
+    /// Fires the verdict hook, when installed.
+    fn observe(&self, verdict: &Verdict) {
+        if let Some(hook) = &self.verdict_hook {
+            hook(verdict);
+        }
+    }
+
     fn position(&self, name: &str) -> Option<usize> {
         self.entries.iter().position(|e| e.solver.name() == name)
     }
@@ -212,6 +237,7 @@ impl SolverRegistry {
                 .find(|source| accepted.get(source.as_str()).copied().unwrap_or(false));
             let verdict = decide(entry.solver.as_ref(), shortcut.map(String::as_str));
             accepted.insert(entry.solver.name(), verdict.is_accepted());
+            self.observe(&verdict);
             sink(&verdict);
             verdicts.push(verdict);
         }
@@ -270,6 +296,7 @@ impl SolverRegistry {
         let _ = ctx.analysis();
         msmr_par::parallel_map(&self.entries, threads, |_, entry| {
             let verdict = entry.solver.solve(ctx);
+            self.observe(&verdict);
             sink(&verdict);
             verdict
         })
@@ -329,7 +356,9 @@ impl SolverRegistry {
     ) -> Option<Verdict> {
         let solver = self.solver(name)?;
         state.invalidate_except(name);
-        Some(Self::solve_online(solver, state, ctx, event))
+        let verdict = Self::solve_online(solver, state, ctx, event);
+        self.observe(&verdict);
+        Some(verdict)
     }
 
     /// One solver through the online seam: the warm path when the solver
@@ -622,5 +651,49 @@ mod tests {
         registry.register(Box::new(Dm::new(BOUND)));
         registry.register(Box::new(Dmr::new(BOUND)));
         registry.register_implication("DMR", "DM");
+    }
+
+    #[test]
+    fn verdict_hook_observes_every_path_without_changing_verdicts() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let jobs = light_jobs();
+        let plain = SolverRegistry::paper_suite(BOUND);
+        let baseline = plain.evaluate(&jobs, Budget::default());
+
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut hooked = SolverRegistry::paper_suite(BOUND);
+        let counter = Arc::clone(&seen);
+        hooked.set_verdict_hook(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+
+        // Sequential (implied verdicts included) ...
+        let verdicts = hooked.evaluate(&jobs, Budget::default());
+        assert_eq!(seen.load(Ordering::SeqCst), hooked.len());
+        // ... with byte-identical results to the uninstrumented run.
+        for (a, b) in verdicts.iter().zip(&baseline) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.stats.elapsed_micros = 0;
+            b.stats.elapsed_micros = 0;
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+
+        // Parallel path (hook fires from worker threads).
+        seen.store(0, Ordering::SeqCst);
+        let _ = hooked.evaluate_parallel(&jobs, Budget::default(), 2);
+        assert_eq!(seen.load(Ordering::SeqCst), hooked.len());
+
+        // Online paths: full suite and single-decider.
+        seen.store(0, Ordering::SeqCst);
+        let mut state = hooked.online_suite();
+        let ctx = SolveCtx::with_budget(&jobs, Budget::default());
+        let _ = hooked.evaluate_online(&mut state, &ctx, OnlineEvent::Admit, |_| {});
+        assert_eq!(seen.load(Ordering::SeqCst), hooked.len());
+        seen.store(0, Ordering::SeqCst);
+        let _ = hooked.decide_online(OPDCA, &mut state, &ctx, OnlineEvent::Admit);
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
     }
 }

@@ -5,9 +5,10 @@
 //!
 //! commands:
 //!   --status                    print the session status frame
+//!   --stats                     print the daemon's live stats snapshot (protocol v4)
 //!   --shutdown                  stop the daemon
 //!   --replay [--jobs N] [--seed S] [--beta F] [--evaluate] [--verify]
-//!             [--bound NAME] [--opt-nodes N] [--withdraw-ratio F]
+//!             [--bound NAME] [--opt-nodes N] [--withdraw-ratio F] [--json]
 //! ```
 //!
 //! `--replay` generates an edge workload trace, feeds its jobs to the
@@ -22,10 +23,16 @@
 //! `SolverRegistry::evaluate` of the same job set; any mismatch makes the
 //! process exit non-zero — this is the CI smoke check.
 //!
+//! With `--json` the replay summary is printed as one machine-readable
+//! JSON line instead of prose — counts (admitted / rejected / withdrawn /
+//! overloads / verify mismatches) plus nearest-rank p50/p99 admit
+//! latency computed through the shared [`msmr_stats::LatencyRing`].
+//!
 //! With `--session NAME` the client first attaches to that named shared
 //! session (cluster daemons). A typed overload/backpressure response from
 //! the daemon exits with the distinct code 75 (`EX_TEMPFAIL`), so callers
-//! can tell "retry later" from a protocol failure (exit 1).
+//! can tell "retry later" from a protocol failure (exit 1); with `--json`
+//! the abort still emits a summary line whose `overloads` count is 1.
 
 use std::io;
 use std::path::PathBuf;
@@ -34,9 +41,10 @@ use std::process::ExitCode;
 use msmr_dca::DelayBoundKind;
 use msmr_model::{JobId, JobSet};
 use msmr_sched::{Budget, SolverRegistry};
-use msmr_serve::protocol::{Frame, JobSpec, Op, ShutdownOp, StatusOp};
+use msmr_serve::protocol::{Frame, JobSpec, Op, ShutdownOp, StatsOp, StatusOp};
 use msmr_serve::{normalized_verdict_json, parse_bound, Client, Endpoint, ReplayedOp};
 use msmr_workload::{EdgeWorkloadConfig, EdgeWorkloadGenerator};
+use serde::Serialize;
 
 /// Exit code for a typed overload/backpressure response (`EX_TEMPFAIL`:
 /// the daemon is healthy but saturated — retry later).
@@ -61,6 +69,7 @@ struct Options {
 
 enum Command {
     Status,
+    Stats,
     Shutdown,
     Replay(ReplayOptions),
 }
@@ -74,10 +83,58 @@ struct ReplayOptions {
     bound: DelayBoundKind,
     opt_nodes: u64,
     withdraw_ratio: f64,
+    json: bool,
+}
+
+/// The `--replay --json` machine-readable run summary, one JSON line.
+/// The percentiles are nearest-rank over the full latency sample set,
+/// computed through the same [`msmr_stats::LatencyRing`] the daemon's
+/// stats registry uses, so client- and daemon-side numbers share one
+/// definition.
+#[derive(Debug, Serialize)]
+struct ReplaySummary {
+    /// Arrivals sent (each one `admit` round-trip).
+    requests: u64,
+    /// Arrivals the daemon admitted.
+    admitted: u64,
+    /// Arrivals the daemon rejected (and rolled back).
+    rejected: u64,
+    /// Jobs withdrawn by the mixed replay's withdraw draw.
+    withdrawn: u64,
+    /// Typed backpressure responses. The classic client aborts on the
+    /// first one, so this is 0 (clean run) or 1 (aborted overloaded).
+    overloads: u64,
+    /// `--verify` mismatches against the offline evaluate mirror.
+    verify_mismatches: u64,
+    /// Nearest-rank median admit round-trip, microseconds.
+    admit_p50_us: f64,
+    /// Nearest-rank 99th-percentile admit round-trip, microseconds.
+    admit_p99_us: f64,
+}
+
+impl ReplaySummary {
+    /// Builds the summary, routing the latency samples through a
+    /// [`msmr_stats::LatencyRing`] sized to hold the full set.
+    fn new(latencies_us: &[f64], admitted: u64, rejected: u64, withdrawn: u64) -> Self {
+        let ring = msmr_stats::LatencyRing::new(latencies_us.len().max(1));
+        for &latency in latencies_us {
+            ring.record(latency.round() as u64);
+        }
+        ReplaySummary {
+            requests: latencies_us.len() as u64,
+            admitted,
+            rejected,
+            withdrawn,
+            overloads: 0,
+            verify_mismatches: 0,
+            admit_p50_us: ring.percentile_us(0.50),
+            admit_p99_us: ring.percentile_us(0.99),
+        }
+    }
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --withdraw-ratio F  withdraw a random admitted job after each admit with probability F\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
+    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --stats         print the daemon's live stats snapshot as JSON (protocol v4)\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --withdraw-ratio F  withdraw a random admitted job after each admit with probability F\n  --json          print the run summary as one machine-readable JSON line\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -93,6 +150,7 @@ fn parse_options() -> Result<Options, String> {
         bound: DelayBoundKind::EdgeHybrid,
         opt_nodes: 200_000,
         withdraw_ratio: 0.0,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -105,8 +163,10 @@ fn parse_options() -> Result<Options, String> {
             "--uds" => endpoint = Some(Endpoint::Uds(PathBuf::from(value("--uds")?))),
             "--session" => session = Some(value("--session")?),
             "--status" => command = Some("status"),
+            "--stats" => command = Some("stats"),
             "--shutdown" => command = Some("shutdown"),
             "--replay" => command = Some("replay"),
+            "--json" => replay.json = true,
             "--jobs" => {
                 replay.jobs = value("--jobs")?
                     .parse()
@@ -151,11 +211,13 @@ fn parse_options() -> Result<Options, String> {
         }
     }
     let endpoint = endpoint.ok_or("one of --tcp / --uds is required")?;
-    let command = match command.ok_or("one of --status / --shutdown / --replay is required")? {
-        "status" => Command::Status,
-        "shutdown" => Command::Shutdown,
-        _ => Command::Replay(replay),
-    };
+    let command =
+        match command.ok_or("one of --status / --stats / --shutdown / --replay is required")? {
+            "status" => Command::Status,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            _ => Command::Replay(replay),
+        };
     Ok(Options {
         endpoint,
         session,
@@ -283,24 +345,49 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("msmr-admit: {e}");
+            if options.json {
+                // Machine consumers still get a summary line; the one
+                // typed-backpressure response that aborted the run is
+                // the overload count.
+                let mut summary = ReplaySummary::new(&[], 0, 0, 0);
+                summary.overloads = u64::from(e.kind() == io::ErrorKind::WouldBlock);
+                println!(
+                    "{}",
+                    serde_json::to_string(&summary).expect("summary serializes")
+                );
+            }
             return Ok(ExitCode::from(replay_error_exit(e.kind())));
         }
     };
 
-    println!(
-        "replayed {} arrivals: {} admitted, {} rejected, {} withdrawn; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
-        outcome.latencies_us.len(),
-        outcome.admitted,
-        outcome.rejected,
-        outcome.withdrawn,
-        outcome.latency_percentile_us(0.50),
-        outcome.latency_percentile_us(0.99),
-        if options.verify {
-            format!("; verified against offline evaluate, {mismatches} mismatches")
-        } else {
-            String::new()
-        },
-    );
+    if options.json {
+        let mut summary = ReplaySummary::new(
+            &outcome.latencies_us,
+            outcome.admitted as u64,
+            outcome.rejected as u64,
+            outcome.withdrawn as u64,
+        );
+        summary.verify_mismatches = mismatches as u64;
+        println!(
+            "{}",
+            serde_json::to_string(&summary).expect("summary serializes")
+        );
+    } else {
+        println!(
+            "replayed {} arrivals: {} admitted, {} rejected, {} withdrawn; admit latency p50 {:.0} µs, p99 {:.0} µs{}",
+            outcome.latencies_us.len(),
+            outcome.admitted,
+            outcome.rejected,
+            outcome.withdrawn,
+            outcome.latency_percentile_us(0.50),
+            outcome.latency_percentile_us(0.99),
+            if options.verify {
+                format!("; verified against offline evaluate, {mismatches} mismatches")
+            } else {
+                String::new()
+            },
+        );
+    }
     Ok(if mismatches == 0 {
         ExitCode::SUCCESS
     } else {
@@ -354,6 +441,21 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }),
+        Command::Stats => client
+            .request(Op::Stats(StatsOp {}))
+            .map_err(|e| e.to_string())
+            .and_then(|frames| {
+                for frame in &frames {
+                    if let Frame::Stats(stats) = &frame.frame {
+                        println!(
+                            "{}",
+                            serde_json::to_string(&stats.stats).expect("stats serialize")
+                        );
+                        return Ok(ExitCode::SUCCESS);
+                    }
+                }
+                Err("daemon answered the stats op with no stats frame".to_string())
+            }),
         Command::Shutdown => client
             .request(Op::Shutdown(ShutdownOp {}))
             .map_err(|e| e.to_string())
@@ -375,6 +477,20 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_summary_uses_nearest_rank_percentiles() {
+        let latencies: Vec<f64> = (1..=100).map(f64::from).collect();
+        let mut summary = ReplaySummary::new(&latencies, 80, 20, 7);
+        summary.verify_mismatches = 0;
+        assert_eq!(summary.requests, 100);
+        assert_eq!(summary.admit_p50_us, 50.0);
+        assert_eq!(summary.admit_p99_us, 99.0);
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(json.contains("\"admitted\":80"), "{json}");
+        assert!(json.contains("\"overloads\":0"), "{json}");
+        assert!(json.contains("\"admit_p99_us\":99.0"), "{json}");
+    }
 
     #[test]
     fn overload_is_a_distinct_exit_code() {

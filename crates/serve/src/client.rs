@@ -376,16 +376,15 @@ impl ReplayOutcome {
 }
 
 /// Nearest-rank `p`-quantile (0.0–1.0) of latency samples in
-/// microseconds; the input need not be sorted.
+/// microseconds; the input need not be sorted. Delegates to
+/// [`msmr_stats::nearest_rank`], the workspace's single percentile
+/// definition (`rank = ⌈p·n⌉`, 1-based, on the full sample set) — the
+/// previous `round((n−1)·p)` index arithmetic drifted off the textbook
+/// rank on small sample sets (e.g. it reported the median of four
+/// samples as the third, not the second).
 #[must_use]
 pub fn percentile_us(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    msmr_stats::nearest_rank(samples, p)
 }
 
 #[cfg(test)]

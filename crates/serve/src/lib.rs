@@ -58,7 +58,9 @@
 //! Those ops are answered by daemons running the `msmr-cluster` engine
 //! (`msmr-served --cluster`); this crate's classic per-connection server
 //! answers them with an `Error` frame. See the `msmr-cluster` crate
-//! docs for a worked attach/snapshot transcript.
+//! docs for a worked attach/snapshot transcript, and the [`protocol`]
+//! module docs for the full v1 → v4 version history (v4 adds the
+//! `stats` observability op, answered by both server modes).
 //!
 //! A worked transcript (client lines marked `>`, daemon lines `<`,
 //! verdicts abbreviated). The session is opened with a pipeline-only
@@ -189,6 +191,51 @@ pub fn parse_bound(name: &str) -> Option<DelayBoundKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msmr_sched::{SolverStats, VerdictKind};
+
+    #[test]
+    fn normalized_verdict_json_zeroes_exactly_the_provenance_fields() {
+        let mut verdict = Verdict {
+            solver: "OPDCA".to_string(),
+            kind: VerdictKind::Accepted,
+            witness: None,
+            delays: Some(vec![]),
+            unschedulable: vec![],
+            stats: SolverStats {
+                sdca_calls: 17,
+                nodes_explored: 5,
+                elapsed_micros: 12_345,
+                implied_by: None,
+                cold_fallback: Some(true),
+            },
+        };
+        let normalized = normalized_verdict_json(&verdict);
+        // The two execution-provenance fields are zeroed in the output…
+        assert!(normalized.contains("\"elapsed_micros\":0"), "{normalized}");
+        assert!(
+            normalized.contains("\"cold_fallback\":null"),
+            "{normalized}"
+        );
+        // …while the decision-relevant stats survive untouched.
+        assert!(normalized.contains("\"sdca_calls\":17"), "{normalized}");
+        assert!(normalized.contains("\"nodes_explored\":5"), "{normalized}");
+        // A warm verdict differing only in provenance normalizes to the
+        // same bytes — this is the byte-identity contract every
+        // verification path relies on.
+        let warm = {
+            let mut warm = verdict.clone();
+            warm.stats.elapsed_micros = 7;
+            warm.stats.cold_fallback = None;
+            warm
+        };
+        assert_eq!(normalized, normalized_verdict_json(&warm));
+        // The input verdict itself is untouched.
+        assert_eq!(verdict.stats.elapsed_micros, 12_345);
+        // Implication provenance is *not* zeroed: an implied verdict is a
+        // genuinely different decision path and must not compare equal.
+        verdict.stats.implied_by = Some("DMR".to_string());
+        assert_ne!(normalized, normalized_verdict_json(&verdict));
+    }
 
     #[test]
     fn bound_names_parse() {

@@ -10,26 +10,40 @@
 //!
 //! # Versioning
 //!
-//! [`PROTOCOL_VERSION`] is `3`. Version 1 carried the five original ops
-//! (`submit`, `admit`, `withdraw`, `status`, `shutdown`), whose request
-//! encodings are unchanged on the wire; version 2 added the cluster ops
-//! ([`Op::Attach`], [`Op::Detach`], [`Op::Snapshot`], [`Op::Restore`])
-//! and new frames ([`Frame::Attach`] and friends, plus the typed
-//! [`Frame::Overload`] backpressure response), and the [`AdmitFrame`]
-//! gained an optional per-session decision sequence number `seq` — a
-//! positive number in cluster mode, serialized as `null` by the classic
-//! per-connection server. Version 3 routes `withdraw` through the
-//! stateful online solver seam: a withdrawal now streams
-//! [`Frame::Verdict`]s for the reduced set before its [`WithdrawFrame`],
-//! [`WithdrawOp`] gained the optional `evaluate` flag (full suite vs
-//! decider only) and [`WithdrawFrame`] gained the shared decision `seq`.
+//! [`PROTOCOL_VERSION`] is `4`. The version history:
+//!
+//! * **v1** carried the five original ops (`submit`, `admit`,
+//!   `withdraw`, `status`, `shutdown`), whose request encodings are
+//!   unchanged on the wire to this day.
+//! * **v2** added the cluster ops ([`Op::Attach`], [`Op::Detach`],
+//!   [`Op::Snapshot`], [`Op::Restore`]) and new frames
+//!   ([`Frame::Attach`] and friends, plus the typed [`Frame::Overload`]
+//!   backpressure response), and the [`AdmitFrame`] gained an optional
+//!   per-session decision sequence number `seq` — a positive number in
+//!   cluster mode, serialized as `null` by the classic per-connection
+//!   server.
+//! * **v3** routed `withdraw` through the stateful online solver seam:
+//!   a withdrawal now streams [`Frame::Verdict`]s for the reduced set
+//!   before its [`WithdrawFrame`], [`WithdrawOp`] gained the optional
+//!   `evaluate` flag (full suite vs decider only) and [`WithdrawFrame`]
+//!   gained the shared decision `seq`.
+//! * **v4** added the observability op [`Op::Stats`], answered with a
+//!   [`Frame::Stats`] carrying a full
+//!   [`msmr_stats::StatsSnapshot`] — daemon-wide monotonic counters,
+//!   gauges, per-op latency percentiles, the per-solver work table and
+//!   (cluster mode) per-session rows. Both the classic and the cluster
+//!   server answer it; every older op is byte-unchanged. The same
+//!   snapshot is also served out-of-band by the daemon's
+//!   `--stats-addr` side channel, so scrapers need not compete with
+//!   admission traffic.
+//!
 //! Clients must ignore unknown response fields (older readers of newer
 //! frames) and treat missing optional fields as `None` (newer readers of
 //! older frames; both directions are covered by tests).
 
 /// The wire-protocol version this build speaks. See the module docs for
-/// the v1 → v2 → v3 deltas.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// the v1 → v2 → v3 → v4 deltas.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 use std::io::{self, BufRead, Write};
 
@@ -72,6 +86,9 @@ pub enum Op {
     /// Rebuild named sessions from the snapshot directory (cluster mode;
     /// protocol v2).
     Restore(RestoreOp),
+    /// Report the daemon's live stats snapshot (protocol v4; answered by
+    /// both the classic and the cluster server).
+    Stats(StatsOp),
 }
 
 /// Payload of [`Op::Submit`]: the job set may be empty (pipeline only),
@@ -212,6 +229,10 @@ pub struct RestoreOp {
     pub session: Option<String>,
 }
 
+/// Payload of [`Op::Stats`] (no fields; the answer is daemon-wide).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsOp {}
+
 /// One daemon response frame, tagged with the request's id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -248,6 +269,8 @@ pub enum Frame {
     /// because its bounded queue is full. The request had **no effect**;
     /// the client should back off and retry (protocol v2).
     Overload(OverloadFrame),
+    /// The daemon's live stats answering an [`Op::Stats`] (protocol v4).
+    Stats(StatsFrame),
 }
 
 /// Payload of [`Frame::Verdict`].
@@ -396,6 +419,13 @@ pub struct OverloadFrame {
     pub capacity: u64,
 }
 
+/// Payload of [`Frame::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsFrame {
+    /// The daemon-wide live stats at answer time.
+    pub stats: msmr_stats::StatsSnapshot,
+}
+
 /// Serializes one response as a single NDJSON line and flushes it, so the
 /// peer observes the frame immediately (the streaming property).
 ///
@@ -524,6 +554,10 @@ mod tests {
                 id: 9,
                 op: Op::Restore(RestoreOp { session: None }),
             },
+            Request {
+                id: 10,
+                op: Op::Stats(StatsOp {}),
+            },
         ];
         for request in requests {
             let line = serde_json::to_string(&request).unwrap();
@@ -625,6 +659,25 @@ mod tests {
                     capacity: 64,
                 }),
             },
+            Response {
+                id: 10,
+                frame: Frame::Stats(StatsFrame {
+                    stats: {
+                        let mut stats = msmr_stats::StatsSnapshot::default();
+                        stats.counters.admits = 12;
+                        stats.gauges.sessions_per_shard = vec![1, 0, 2];
+                        stats.ops.insert(
+                            "admit".to_string(),
+                            msmr_stats::OpLatency {
+                                samples: 12,
+                                p50_us: 51.0,
+                                p99_us: 130.0,
+                            },
+                        );
+                        stats
+                    },
+                }),
+            },
         ];
         for response in responses {
             let line = serde_json::to_string(&response).unwrap();
@@ -679,6 +732,45 @@ mod tests {
         };
         assert_eq!(frame.seq, None);
         assert_eq!(frame.jobs, 3);
+    }
+
+    #[test]
+    fn v3_encodings_are_byte_unchanged_under_v4() {
+        // v4 adds the `stats` op and frame and nothing else: a v3
+        // request/response pair must serialize to the exact bytes a v3
+        // build produced. Pinned on the hot admit path.
+        let request = Request {
+            id: 2,
+            op: Op::Admit(AdmitOp {
+                job: JobSpec {
+                    arrival: 3,
+                    deadline: 50,
+                    stages: vec![StageDemand {
+                        time: 4,
+                        resource: 0,
+                    }],
+                },
+                evaluate: Some(false),
+            }),
+        };
+        assert_eq!(
+            serde_json::to_string(&request).unwrap(),
+            r#"{"id":2,"op":{"Admit":{"job":{"arrival":3,"deadline":50,"stages":[{"time":4,"resource":0}]},"evaluate":false}}}"#
+        );
+        let response = Response {
+            id: 2,
+            frame: Frame::Admit(AdmitFrame {
+                admitted: true,
+                job: Some(4),
+                jobs: 9,
+                decider: "OPDCA".to_string(),
+                seq: Some(10),
+            }),
+        };
+        assert_eq!(
+            serde_json::to_string(&response).unwrap(),
+            r#"{"id":2,"frame":{"Admit":{"admitted":true,"job":4,"jobs":9,"decider":"OPDCA","seq":10}}}"#
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{
-    write_response, DoneFrame, ErrorFrame, Frame, Op, Request, Response, VerdictFrame,
+    write_response, DoneFrame, ErrorFrame, Frame, Op, Request, Response, StatsFrame, VerdictFrame,
     WithdrawFrame,
 };
 use crate::session::{AdmissionSession, SessionConfig};
@@ -325,6 +325,23 @@ pub fn serve_connection(
     config: SessionConfig,
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
+    // Track the attached-clients gauge for the lifetime of this
+    // connection; the guard decrements on every exit path.
+    struct AttachedGuard(Option<Arc<msmr_stats::StatsRegistry>>);
+    impl Drop for AttachedGuard {
+        fn drop(&mut self) {
+            if let Some(stats) = &self.0 {
+                stats.client_detached();
+            }
+        }
+    }
+    let _attached = {
+        let stats = config.stats.clone();
+        if let Some(stats) = &stats {
+            stats.client_attached();
+        }
+        AttachedGuard(stats)
+    };
     let mut session = AdmissionSession::new(config);
     for line in reader.lines() {
         let line = line?;
@@ -405,6 +422,14 @@ pub fn serve_connection(
             Op::Shutdown(_) => {
                 shutdown.store(true, Ordering::SeqCst);
                 stop = true;
+            }
+            Op::Stats(_) => {
+                let stats = session
+                    .config()
+                    .stats
+                    .as_ref()
+                    .map_or_else(Default::default, |s| s.snapshot());
+                sink.send(Frame::Stats(StatsFrame { stats }));
             }
             Op::Attach(_) | Op::Detach(_) | Op::Snapshot(_) | Op::Restore(_) => {
                 sink.send(Frame::Error(ErrorFrame {
@@ -622,6 +647,74 @@ mod tests {
         let first = read_response(&mut reader).unwrap().unwrap();
         assert_eq!(first.id, 0);
         assert!(matches!(first.frame, Frame::Error(_)));
+    }
+
+    #[test]
+    fn stats_op_snapshots_the_shared_registry_and_tracks_attachment() {
+        let stats = Arc::new(msmr_stats::StatsRegistry::new());
+        let config = crate::session::SessionConfig {
+            stats: Some(Arc::clone(&stats)),
+            ..Default::default()
+        };
+        let input = request_lines(&[
+            Request {
+                id: 1,
+                op: Op::Submit(SubmitOp {
+                    jobs: pipeline_only(),
+                    parallel: None,
+                }),
+            },
+            Request {
+                id: 2,
+                op: Op::Admit(AdmitOp {
+                    job: JobSpec {
+                        arrival: 0,
+                        deadline: 100,
+                        stages: vec![
+                            StageDemand {
+                                time: 3,
+                                resource: 0,
+                            },
+                            StageDemand {
+                                time: 4,
+                                resource: 0,
+                            },
+                        ],
+                    },
+                    evaluate: Some(true),
+                }),
+            },
+            Request {
+                id: 3,
+                op: Op::Stats(crate::protocol::StatsOp {}),
+            },
+        ]);
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(input.as_slice(), &mut output, config, &shutdown).unwrap();
+        let mut reader = StdBufReader::new(output.as_slice());
+        let mut snapshot = None;
+        while let Some(response) = read_response(&mut reader).unwrap() {
+            if let Frame::Stats(frame) = response.frame {
+                assert_eq!(response.id, 3);
+                snapshot = Some(frame.stats);
+            }
+        }
+        let snapshot = snapshot.expect("stats op must answer with a stats frame");
+        assert_eq!(snapshot.counters.admits, 1);
+        assert_eq!(snapshot.ops["admit"].samples, 1);
+        // Five paper-suite solvers each produced one verdict, each
+        // classified as exactly one of warm / cold / implied.
+        assert_eq!(
+            snapshot.counters.warm_decides
+                + snapshot.counters.cold_decides
+                + snapshot.counters.implied_decides,
+            5
+        );
+        // The in-flight snapshot saw this connection attached; after the
+        // connection loop returned, the guard detached it.
+        assert_eq!(snapshot.gauges.attached_clients, 1);
+        assert_eq!(stats.snapshot().gauges.attached_clients, 0);
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! session's age.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 use msmr_dca::{Analysis, DelayBoundKind, PairTables};
 use msmr_model::{JobId, JobSet, ModelError};
 use msmr_sched::{Budget, OnlineEvent, OnlineSuiteState, SolveCtx, SolverRegistry, Verdict};
+use msmr_stats::StatsRegistry;
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::{AdmitFrame, JobSpec, StatusFrame};
@@ -29,6 +32,11 @@ pub struct SessionConfig {
     pub reserve: usize,
     /// Worker threads for parallel submit evaluation (0 = all cores).
     pub threads: usize,
+    /// Live-metrics sink shared by every session built from this config
+    /// (daemon-wide). Sessions record op counters/latencies into it and
+    /// install its verdict observer on their solver registry; `None`
+    /// (the default) runs without instrumentation.
+    pub stats: Option<Arc<StatsRegistry>>,
 }
 
 impl Default for SessionConfig {
@@ -39,6 +47,7 @@ impl Default for SessionConfig {
             node_limit: Some(200_000),
             reserve: 0,
             threads: 0,
+            stats: None,
         }
     }
 }
@@ -213,7 +222,7 @@ impl AdmissionSession {
     /// Creates a session over the paper suite for the configured bound.
     #[must_use]
     pub fn new(config: SessionConfig) -> Self {
-        let registry = SolverRegistry::paper_suite(config.bound);
+        let registry = Self::build_registry(&config);
         let online = registry.online_suite();
         AdmissionSession {
             config,
@@ -230,6 +239,19 @@ impl AdmissionSession {
     #[must_use]
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The paper suite for the configured bound, with the stats
+    /// registry's verdict observer installed when instrumentation is on
+    /// — every solver verdict any path of this session produces then
+    /// lands in the per-solver work table (and trace export) for free.
+    fn build_registry(config: &SessionConfig) -> SolverRegistry {
+        let mut registry = SolverRegistry::paper_suite(config.bound);
+        if let Some(stats) = &config.stats {
+            let stats = Arc::clone(stats);
+            registry.set_verdict_hook(move |verdict| stats.observe_verdict(verdict));
+        }
+        registry
     }
 
     fn budget(&self) -> Budget {
@@ -255,6 +277,7 @@ impl AdmissionSession {
         parallel: bool,
         mut sink: impl FnMut(&Verdict) + Send,
     ) -> Vec<Verdict> {
+        let started = Instant::now();
         // A submit replaces the job set wholesale: no decider trace can
         // survive it (the first admit afterwards decides cold and
         // re-records).
@@ -324,6 +347,9 @@ impl AdmissionSession {
             tables: Some(tables),
             handles,
         });
+        if let Some(stats) = &self.config.stats {
+            stats.record_submit(started.elapsed().as_micros() as u64);
+        }
         verdicts
     }
 
@@ -347,6 +373,7 @@ impl AdmissionSession {
         evaluate: bool,
         mut sink: impl FnMut(&Verdict),
     ) -> Result<AdmitOutcome, SessionError> {
+        let started = Instant::now();
         if self.registry.solver(&self.config.decider).is_none() {
             return Err(SessionError::UnknownDecider(self.config.decider.clone()));
         }
@@ -408,6 +435,9 @@ impl AdmissionSession {
         };
         let jobs = state.jobs.len();
         state.tables = Some(tables);
+        if let Some(stats) = &self.config.stats {
+            stats.record_admit(accepted, started.elapsed().as_micros() as u64);
+        }
         Ok(AdmitOutcome {
             admitted: accepted,
             handle,
@@ -444,6 +474,7 @@ impl AdmissionSession {
         evaluate: bool,
         mut sink: impl FnMut(&Verdict),
     ) -> Result<WithdrawOutcome, SessionError> {
+        let started = Instant::now();
         if self.registry.solver(&self.config.decider).is_none() {
             return Err(SessionError::UnknownDecider(self.config.decider.clone()));
         }
@@ -489,6 +520,9 @@ impl AdmissionSession {
         state.jobs = reduced;
         state.handles.swap_remove(index);
         state.tables = Some(tables);
+        if let Some(stats) = &self.config.stats {
+            stats.record_withdraw(started.elapsed().as_micros() as u64);
+        }
         Ok(WithdrawOutcome {
             jobs: state.jobs.len(),
             verdicts,
@@ -594,7 +628,7 @@ impl AdmissionSession {
         if config.reserve > tables.capacity() {
             tables.reserve(config.reserve);
         }
-        let registry = SolverRegistry::paper_suite(config.bound);
+        let registry = Self::build_registry(&config);
         // The persisted decider states come back warm; shape-invalid
         // states (hand-edited snapshots) are rejected lazily by the
         // solvers themselves, which then decide cold. Old snapshots

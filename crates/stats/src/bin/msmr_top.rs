@@ -1,0 +1,331 @@
+//! `msmr-top` — a std-only terminal dashboard over the stats side
+//! channel, in the spirit of `scxtop`.
+//!
+//! Default mode polls a `--stats-addr` listener and redraws a compact
+//! dashboard: counters, warm/cold ratio, per-op p50/p99, a worker
+//! queue-depth sparkline across polls, and per-solver / per-session
+//! tables. Two scripting modes double as the CI validators:
+//!
+//! * `--once` prints one raw JSON snapshot (optionally asserting
+//!   `--min-admits N`), so shell scripts can check the side channel
+//!   without a JSON tool dependency.
+//! * `--check-trace FILE` validates a `--trace-out` file as
+//!   trace-event JSON (optionally asserting `--expect-spans N`).
+//!
+//! ```text
+//! msmr-top --addr 127.0.0.1:9099 [--interval-ms 1000] [--iterations 0]
+//! msmr-top --addr 127.0.0.1:9099 --once [--min-admits 1]
+//! msmr-top --check-trace replay.trace [--expect-spans 120]
+//! ```
+
+use std::process::ExitCode;
+
+use msmr_stats::{fetch_stats_json, validate_trace, StatsSnapshot};
+
+/// Glyphs of the queue-depth sparkline, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Polls of queue depth kept for the sparkline.
+const SPARK_WINDOW: usize = 32;
+
+#[derive(Debug)]
+struct Options {
+    addr: Option<String>,
+    interval_ms: u64,
+    /// 0 = poll until interrupted.
+    iterations: u64,
+    once: bool,
+    min_admits: Option<u64>,
+    check_trace: Option<String>,
+    expect_spans: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            interval_ms: 1000,
+            iterations: 0,
+            once: false,
+            min_admits: None,
+            check_trace: None,
+            expect_spans: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = Some(value("--addr")?),
+            "--interval-ms" => {
+                options.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms needs an integer".to_string())?;
+            }
+            "--iterations" => {
+                options.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|_| "--iterations needs an integer".to_string())?;
+            }
+            "--once" => options.once = true,
+            "--min-admits" => {
+                options.min_admits = Some(
+                    value("--min-admits")?
+                        .parse()
+                        .map_err(|_| "--min-admits needs an integer".to_string())?,
+                );
+            }
+            "--check-trace" => options.check_trace = Some(value("--check-trace")?),
+            "--expect-spans" => {
+                options.expect_spans = Some(
+                    value("--expect-spans")?
+                        .parse()
+                        .map_err(|_| "--expect-spans needs an integer".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if options.check_trace.is_none() && options.addr.is_none() {
+        return Err("--addr HOST:PORT is required (or use --check-trace)".to_string());
+    }
+    Ok(options)
+}
+
+/// Renders a fixed-width sparkline of the depth history, newest last.
+fn sparkline(depths: &[u64]) -> String {
+    let max = depths.iter().copied().max().unwrap_or(0).max(1);
+    depths
+        .iter()
+        .map(|&d| {
+            SPARKS[(d as usize * (SPARKS.len() - 1))
+                .div_ceil(max as usize)
+                .min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders one dashboard frame (no ANSI control codes — the caller
+/// prepends the clear sequence in loop mode, tests read it plain).
+fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
+    let c = &snapshot.counters;
+    let g = &snapshot.gauges;
+    let mut out = String::new();
+    out.push_str("msmr-top — admission daemon live stats\n\n");
+    out.push_str(&format!(
+        "admits {:>8}   rejects {:>6}   withdraws {:>6}   submits {:>4}   overloads {:>4}\n",
+        c.admits, c.rejects, c.withdraws, c.submits, c.overloads
+    ));
+    out.push_str(&format!(
+        "evictions {:>5}   snapshots {:>4}   trace spans {:>6}\n",
+        c.evictions, c.snapshot_writes, c.trace_spans
+    ));
+    let ratio = snapshot
+        .warm_ratio()
+        .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", r * 100.0));
+    out.push_str(&format!(
+        "decides: warm {} / cold {} / implied {}   warm ratio {}\n",
+        c.warm_decides, c.cold_decides, c.implied_decides, ratio
+    ));
+    out.push_str(&format!(
+        "clients {}   sessions {}   shards {:?}\n",
+        g.attached_clients, g.live_sessions, g.sessions_per_shard
+    ));
+    out.push_str(&format!(
+        "queue {:>3}/{} ({} workers)  {}\n",
+        g.queue_depth,
+        g.queue_capacity,
+        g.workers,
+        sparkline(depths)
+    ));
+    out.push_str("\nop        samples      p50 µs      p99 µs\n");
+    for (name, lat) in &snapshot.ops {
+        out.push_str(&format!(
+            "{name:<10}{:>7}  {:>10.1}  {:>10.1}\n",
+            lat.samples, lat.p50_us, lat.p99_us
+        ));
+    }
+    if !snapshot.solvers.is_empty() {
+        out.push_str(
+            "\nsolver    verdicts  accepted      warm      cold   implied       sdca      nodes\n",
+        );
+        for (name, row) in &snapshot.solvers {
+            out.push_str(&format!(
+                "{name:<10}{:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}\n",
+                row.verdicts,
+                row.accepted,
+                row.warm,
+                row.cold,
+                row.implied,
+                row.sdca_calls,
+                row.nodes_explored
+            ));
+        }
+    }
+    if !snapshot.sessions.is_empty() {
+        out.push_str("\nsession                          jobs   version  attached\n");
+        for row in &snapshot.sessions {
+            out.push_str(&format!(
+                "{:<30}{:>7}  {:>8}  {:>8}\n",
+                row.name, row.jobs, row.version, row.attached
+            ));
+        }
+    }
+    out
+}
+
+fn check_trace(path: &str, expect_spans: Option<u64>) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spans = validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(expected) = expect_spans {
+        if spans != expected {
+            return Err(format!("{path}: expected {expected} spans, found {spans}"));
+        }
+    }
+    Ok(spans)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    if let Some(path) = &options.check_trace {
+        let spans = check_trace(path, options.expect_spans)?;
+        println!("trace OK: {spans} spans");
+        return Ok(());
+    }
+    let addr = options.addr.as_deref().expect("addr checked by the parser");
+    if options.once {
+        let json = fetch_stats_json(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let snapshot: StatsSnapshot =
+            serde_json::from_str(&json).map_err(|e| format!("{addr}: bad snapshot: {e}"))?;
+        if let Some(min) = options.min_admits {
+            if snapshot.counters.admits < min {
+                return Err(format!(
+                    "{addr}: admits {} below required {min}",
+                    snapshot.counters.admits
+                ));
+            }
+        }
+        println!("{json}");
+        return Ok(());
+    }
+    let mut depths: Vec<u64> = Vec::new();
+    let mut iteration = 0u64;
+    loop {
+        let json = fetch_stats_json(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let snapshot: StatsSnapshot =
+            serde_json::from_str(&json).map_err(|e| format!("{addr}: bad snapshot: {e}"))?;
+        depths.push(snapshot.gauges.queue_depth);
+        if depths.len() > SPARK_WINDOW {
+            depths.remove(0);
+        }
+        // Clear + home, then one full frame.
+        print!("\x1b[2J\x1b[H{}", render(&snapshot, &depths));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        iteration += 1;
+        if options.iterations != 0 && iteration >= options.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                eprintln!(
+                    "usage: msmr-top --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
+                     \x20      msmr-top --addr HOST:PORT --once [--min-admits N]\n\
+                     \x20      msmr-top --check-trace FILE [--expect-spans N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("msmr-top: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("msmr-top: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_stats::{OpLatency, SessionRow, SolverRow};
+
+    #[test]
+    fn sparkline_scales_to_the_window_maximum() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[0, 4, 8]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn render_includes_every_table() {
+        let mut snapshot = StatsSnapshot::default();
+        snapshot.counters.admits = 12;
+        snapshot.counters.warm_decides = 9;
+        snapshot.counters.cold_decides = 3;
+        snapshot.gauges.queue_depth = 2;
+        snapshot.gauges.queue_capacity = 64;
+        snapshot.ops.insert(
+            "admit".into(),
+            OpLatency {
+                samples: 12,
+                p50_us: 51.0,
+                p99_us: 130.0,
+            },
+        );
+        snapshot.solvers.insert(
+            "OPDCA".into(),
+            SolverRow {
+                verdicts: 12,
+                accepted: 11,
+                warm: 12,
+                sdca_calls: 300,
+                ..SolverRow::default()
+            },
+        );
+        snapshot.sessions.push(SessionRow {
+            name: "loadgen-7-0".into(),
+            jobs: 8,
+            version: 14,
+            attached: 2,
+        });
+        let frame = render(&snapshot, &[0, 1, 2]);
+        assert!(frame.contains("admits       12"));
+        assert!(frame.contains("75.0%"));
+        assert!(frame.contains("OPDCA"));
+        assert!(frame.contains("loadgen-7-0"));
+        assert!(frame.contains("queue   2/64"));
+    }
+
+    #[test]
+    fn parser_rejects_missing_addr_and_unknown_flags() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        let options =
+            parse_args(&["--addr".into(), "127.0.0.1:9".into(), "--once".into()]).unwrap();
+        assert!(options.once);
+        let options = parse_args(&["--check-trace".into(), "x.trace".into()]).unwrap();
+        assert_eq!(options.check_trace.as_deref(), Some("x.trace"));
+    }
+}

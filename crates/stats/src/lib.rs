@@ -1,0 +1,54 @@
+//! `msmr-stats` — live observability for the admission daemons.
+//!
+//! The daemons of this workspace (`msmr-served` classic and `--cluster`)
+//! serve online admission traffic, but until this crate the only
+//! visibility was post-hoc `BENCH_kernels.json` entries. `msmr-stats`
+//! is the missing live layer, modeled on sched_ext's `scx_stats` +
+//! `scxtop` split: a small serializable metrics model, a lock-cheap
+//! registry every layer feeds, and tooling on top.
+//!
+//! * [`StatsRegistry`] — atomics-only monotonic counters (admits,
+//!   rejects, withdraws, warm vs `cold_fallback` decides, overloads,
+//!   evictions, snapshot writes), an attached-clients gauge, and
+//!   fixed-size [`LatencyRing`]s per op yielding p50/p99. The serve
+//!   session layer, the cluster engine/store/worker-pool and the solver
+//!   registry (through its verdict hook) all feed the same instance;
+//!   recording a sample is a handful of relaxed atomic ops, so the hot
+//!   admission path never takes a lock for a counter.
+//! * [`StatsSnapshot`] — the serde-serializable point-in-time view
+//!   ([`model`]): counters, gauges (live sessions per shard, worker
+//!   queue depth), per-op latency percentiles, a per-solver work table
+//!   aggregated from [`msmr_sched::SolverStats`], and per-session rows.
+//!   It travels two ways: as the protocol-v4 `stats` op answered by both
+//!   daemons, and over the [`listener`] side channel (`--stats-addr`) so
+//!   scraping never competes with admission traffic.
+//! * [`TraceWriter`] — per-solve span export as Chrome trace-event JSON
+//!   (`--trace-out`): one complete `"X"` event per solver per decision,
+//!   sequence-ordered, args carrying the full `SolverStats`, so an
+//!   entire replay opens in a trace viewer.
+//! * `msmr-top` — a std-only terminal dashboard over the side channel:
+//!   periodic redraw, per-session and per-solver tables, warm/cold
+//!   ratio and a queue-depth sparkline. Its `--once` / `--check-trace`
+//!   modes double as the JSON validators the CI smoke scripts use.
+//!
+//! Instrumentation is provenance-only by construction: nothing in this
+//! crate touches a [`msmr_sched::Verdict`], so the byte-identity
+//! contract between warm and cold evaluation is unaffected (pinned by
+//! `msmr_serve::normalized_verdict_json` and its unit test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod listener;
+pub mod model;
+pub mod percentile;
+pub mod registry;
+pub mod ring;
+pub mod trace;
+
+pub use listener::{fetch_stats_json, serve_stats};
+pub use model::{OpLatency, SessionRow, SolverRow, StatsCounters, StatsGauges, StatsSnapshot};
+pub use percentile::nearest_rank;
+pub use registry::StatsRegistry;
+pub use ring::LatencyRing;
+pub use trace::{validate_trace, TraceWriter};

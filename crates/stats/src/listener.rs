@@ -1,0 +1,115 @@
+//! The `--stats-addr` side channel.
+//!
+//! A tiny TCP listener that serves one JSON [`StatsSnapshot`] line per
+//! connection and closes. It runs on its own thread with its own
+//! socket, so scraping (dashboards, CI asserts, `watch`-style polling)
+//! never competes with admission traffic for the daemon's accept loop
+//! or worker pool. The accept loop is nonblocking with a short poll,
+//! keyed off the same shutdown flag as the main server, mirroring the
+//! daemon's acceptor.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::model::StatsSnapshot;
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves one snapshot line per
+/// connection until `shutdown` is raised. Returns the bound address
+/// (useful with port 0) and the listener thread's join handle.
+///
+/// `provider` is called once per connection; the daemons pass a closure
+/// that layers their gauges over `StatsRegistry::snapshot`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the address cannot be bound.
+pub fn serve_stats(
+    addr: &str,
+    provider: Arc<dyn Fn() -> StatsSnapshot + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let snapshot = provider();
+                    if let Ok(json) = serde_json::to_string(&snapshot) {
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.write_all(json.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+/// Fetches one snapshot from a side-channel listener as raw JSON.
+///
+/// # Errors
+///
+/// Returns the connection error, or `InvalidData` when the listener
+/// sent no line.
+pub fn fetch_stats_json(addr: &str) -> io::Result<String> {
+    use std::io::BufRead;
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream).read_line(&mut line)?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "stats listener sent no snapshot",
+        ));
+    }
+    Ok(line.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::StatsRegistry;
+
+    #[test]
+    fn side_channel_serves_snapshots_until_shutdown() {
+        let stats = Arc::new(StatsRegistry::new());
+        stats.record_admit(true, 42);
+        let provider = {
+            let stats = Arc::clone(&stats);
+            Arc::new(move || {
+                let mut snapshot = stats.snapshot();
+                snapshot.gauges.queue_depth = 5;
+                snapshot
+            }) as Arc<dyn Fn() -> StatsSnapshot + Send + Sync>
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (addr, handle) =
+            serve_stats("127.0.0.1:0", provider, Arc::clone(&shutdown)).expect("listener binds");
+
+        for _ in 0..2 {
+            let json = fetch_stats_json(&addr.to_string()).expect("snapshot fetches");
+            let snapshot: StatsSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+            assert_eq!(snapshot.counters.admits, 1);
+            assert_eq!(snapshot.gauges.queue_depth, 5);
+        }
+
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().expect("listener thread joins");
+        assert!(fetch_stats_json(&addr.to_string()).is_err());
+    }
+}

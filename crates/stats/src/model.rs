@@ -1,0 +1,194 @@
+//! The serde-serializable metrics model.
+//!
+//! [`StatsSnapshot`] is the single point-in-time view both stats
+//! surfaces serve — the protocol-v4 `stats` op and the `--stats-addr`
+//! side channel — and what `msmr-top` renders. Counters are monotonic
+//! since daemon boot; gauges are sampled at snapshot time by whichever
+//! layer owns them (the cluster engine fills per-shard session counts
+//! and worker-queue depth, the classic server leaves them at their
+//! defaults); latency percentiles come from the fixed-size rings.
+//!
+//! Every type here (de)serializes through the vendored serde, so maps
+//! are `BTreeMap` (deterministic key order on the wire) and optional
+//! fields round-trip as explicit `null`s like the rest of the protocol.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic event counters since daemon boot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsCounters {
+    /// Accepted admissions.
+    pub admits: u64,
+    /// Rejected admissions.
+    pub rejects: u64,
+    /// Successful withdrawals.
+    pub withdraws: u64,
+    /// Session (re)submissions.
+    pub submits: u64,
+    /// Solver verdicts produced by a warm path (no provenance marker).
+    pub warm_decides: u64,
+    /// Solver verdicts produced by the cold `cold_fallback` adapter.
+    pub cold_decides: u64,
+    /// Solver verdicts synthesized through an implication shortcut.
+    pub implied_decides: u64,
+    /// Requests refused with a typed `Overload` frame.
+    pub overloads: u64,
+    /// Sessions evicted by the TTL reaper.
+    pub evictions: u64,
+    /// Session snapshots written to the snapshot store.
+    pub snapshot_writes: u64,
+    /// Spans exported to the trace-event writer.
+    pub trace_spans: u64,
+}
+
+/// Point-in-time gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsGauges {
+    /// Clients currently attached (connections with a live session).
+    pub attached_clients: u64,
+    /// Live sessions across all shards.
+    pub live_sessions: u64,
+    /// Live sessions per store shard (empty for the classic server).
+    pub sessions_per_shard: Vec<u64>,
+    /// Tasks waiting in the worker-pool queue.
+    pub queue_depth: u64,
+    /// Worker-pool queue capacity (0 = inline execution, no pool).
+    pub queue_capacity: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+}
+
+/// Latency summary for one op, from its fixed-size ring.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Samples ever recorded (monotonic, not capped by the ring).
+    pub samples: u64,
+    /// Nearest-rank p50 over the ring window, microseconds.
+    pub p50_us: f64,
+    /// Nearest-rank p99 over the ring window, microseconds.
+    pub p99_us: f64,
+}
+
+/// Aggregated per-solver work counters, fed from
+/// [`msmr_sched::SolverStats`] by the registry's verdict hook.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverRow {
+    /// Verdicts produced by this solver.
+    pub verdicts: u64,
+    /// Verdicts that accepted the job set.
+    pub accepted: u64,
+    /// Warm verdicts (neither cold fallback nor implied).
+    pub warm: u64,
+    /// Cold-adapter verdicts (`cold_fallback` provenance).
+    pub cold: u64,
+    /// Verdicts synthesized through an implication shortcut.
+    pub implied: u64,
+    /// Total `S_DCA` schedulability-test calls charged.
+    pub sdca_calls: u64,
+    /// Total search nodes explored.
+    pub nodes_explored: u64,
+}
+
+/// One live session, as the cluster store sees it at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionRow {
+    /// Session name.
+    pub name: String,
+    /// Admitted jobs currently in the session.
+    pub jobs: u64,
+    /// Mutation version (increments on submit/admit/withdraw).
+    pub version: u64,
+    /// Clients currently attached to this session.
+    pub attached: u64,
+}
+
+/// The complete serializable stats view served over both channels.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Monotonic counters since boot.
+    pub counters: StatsCounters,
+    /// Gauges sampled at snapshot time.
+    pub gauges: StatsGauges,
+    /// Per-op latency summaries, keyed by op name
+    /// (`admit`/`withdraw`/`submit`).
+    pub ops: BTreeMap<String, OpLatency>,
+    /// Per-solver work table, keyed by solver name.
+    pub solvers: BTreeMap<String, SolverRow>,
+    /// Live sessions (cluster daemons only; sorted by name).
+    pub sessions: Vec<SessionRow>,
+}
+
+impl StatsSnapshot {
+    /// Warm share of all solver verdicts, `None` before any verdict.
+    #[must_use]
+    pub fn warm_ratio(&self) -> Option<f64> {
+        let c = &self.counters;
+        let total = c.warm_decides + c.cold_decides + c.implied_decides;
+        (total > 0).then(|| c.warm_decides as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut snapshot = StatsSnapshot {
+            counters: StatsCounters {
+                admits: 3,
+                rejects: 1,
+                cold_decides: 2,
+                warm_decides: 6,
+                ..StatsCounters::default()
+            },
+            gauges: StatsGauges {
+                attached_clients: 2,
+                live_sessions: 4,
+                sessions_per_shard: vec![1, 0, 2, 1],
+                queue_depth: 3,
+                queue_capacity: 64,
+                workers: 2,
+            },
+            ..StatsSnapshot::default()
+        };
+        snapshot.ops.insert(
+            "admit".into(),
+            OpLatency {
+                samples: 4,
+                p50_us: 51.0,
+                p99_us: 130.0,
+            },
+        );
+        snapshot.solvers.insert(
+            "OPDCA".into(),
+            SolverRow {
+                verdicts: 8,
+                accepted: 7,
+                warm: 8,
+                sdca_calls: 120,
+                ..SolverRow::default()
+            },
+        );
+        snapshot.sessions.push(SessionRow {
+            name: "loadgen-7-0".into(),
+            jobs: 12,
+            version: 19,
+            attached: 2,
+        });
+        let json = serde_json::to_string(&snapshot).expect("snapshots serialize");
+        let parsed: StatsSnapshot = serde_json::from_str(&json).expect("snapshots parse");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn warm_ratio_handles_the_empty_and_mixed_cases() {
+        let mut snapshot = StatsSnapshot::default();
+        assert_eq!(snapshot.warm_ratio(), None);
+        snapshot.counters.warm_decides = 3;
+        snapshot.counters.cold_decides = 1;
+        assert_eq!(snapshot.warm_ratio(), Some(0.75));
+    }
+}

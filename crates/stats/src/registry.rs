@@ -1,0 +1,303 @@
+//! The lock-cheap [`StatsRegistry`] every layer feeds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use msmr_sched::Verdict;
+
+use crate::model::{OpLatency, SolverRow, StatsCounters, StatsSnapshot};
+use crate::ring::LatencyRing;
+use crate::trace::TraceWriter;
+
+/// Shared live-metrics sink for one daemon.
+///
+/// Counter and latency recording is atomics-only (relaxed ordering —
+/// the counters are independent monotonic tallies, not a synchronized
+/// protocol), so instrumenting the admission hot path costs a handful
+/// of uncontended atomic ops. The only locks are the per-solver
+/// aggregation table (taken once per verdict, never per probe) and the
+/// optional trace writer.
+///
+/// The registry is deliberately ignorant of gauges it does not own:
+/// [`StatsRegistry::snapshot`] fills counters, the attached-clients
+/// gauge, per-op percentiles and the solver table; the cluster engine
+/// layers per-shard session counts, queue depth and per-session rows on
+/// top before serving the snapshot.
+#[derive(Default)]
+pub struct StatsRegistry {
+    admits: AtomicU64,
+    rejects: AtomicU64,
+    withdraws: AtomicU64,
+    submits: AtomicU64,
+    warm_decides: AtomicU64,
+    cold_decides: AtomicU64,
+    implied_decides: AtomicU64,
+    overloads: AtomicU64,
+    evictions: AtomicU64,
+    snapshot_writes: AtomicU64,
+    attached: AtomicU64,
+    admit_ring: LatencyRing,
+    withdraw_ring: LatencyRing,
+    submit_ring: LatencyRing,
+    solvers: Mutex<BTreeMap<String, SolverRow>>,
+    trace: Mutex<Option<TraceWriter>>,
+}
+
+impl std::fmt::Debug for StatsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsRegistry")
+            .field("admits", &self.admits.load(Ordering::Relaxed))
+            .field("rejects", &self.rejects.load(Ordering::Relaxed))
+            .field("withdraws", &self.withdraws.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry with default-size latency rings.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Records an admission decision and its latency.
+    pub fn record_admit(&self, admitted: bool, micros: u64) {
+        if admitted {
+            self.admits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.admit_ring.record(micros);
+    }
+
+    /// Records a successful withdrawal and its latency.
+    pub fn record_withdraw(&self, micros: u64) {
+        self.withdraws.fetch_add(1, Ordering::Relaxed);
+        self.withdraw_ring.record(micros);
+    }
+
+    /// Records a session (re)submission and its latency.
+    pub fn record_submit(&self, micros: u64) {
+        self.submits.fetch_add(1, Ordering::Relaxed);
+        self.submit_ring.record(micros);
+    }
+
+    /// Records a request refused with a typed `Overload` frame.
+    pub fn record_overload(&self) {
+        self.overloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a TTL eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session snapshot written to the snapshot store.
+    pub fn record_snapshot_write(&self) {
+        self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the attached-clients gauge.
+    pub fn client_attached(&self) {
+        self.attached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the attached-clients gauge (saturating).
+    pub fn client_detached(&self) {
+        let _ = self
+            .attached
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current attached-clients gauge.
+    #[must_use]
+    pub fn attached(&self) -> u64 {
+        self.attached.load(Ordering::Relaxed)
+    }
+
+    /// Observes one solver verdict: classifies it warm / cold-fallback
+    /// / implied, aggregates its work counters into the per-solver
+    /// table and forwards a span to the trace writer when one is
+    /// attached. This is the closure body behind
+    /// `SolverRegistry::set_verdict_hook` — it reads the verdict and
+    /// never mutates it, so byte-identity between instrumented and
+    /// plain evaluation holds by construction.
+    pub fn observe_verdict(&self, verdict: &Verdict) {
+        let implied = verdict.stats.implied_by.is_some();
+        let cold = verdict.stats.cold_fallback.is_some();
+        if implied {
+            self.implied_decides.fetch_add(1, Ordering::Relaxed);
+        } else if cold {
+            self.cold_decides.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.warm_decides.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut solvers = self.solvers.lock().expect("solver table lock");
+            let row = solvers.entry(verdict.solver.clone()).or_default();
+            row.verdicts += 1;
+            row.accepted += u64::from(verdict.is_accepted());
+            row.implied += u64::from(implied);
+            row.cold += u64::from(cold && !implied);
+            row.warm += u64::from(!cold && !implied);
+            row.sdca_calls += verdict.stats.sdca_calls;
+            row.nodes_explored += verdict.stats.nodes_explored;
+        }
+        let trace = self.trace.lock().expect("trace writer lock");
+        if let Some(writer) = trace.as_ref() {
+            writer.record_span(verdict);
+        }
+    }
+
+    /// Attaches a trace writer; subsequent verdicts export spans.
+    pub fn set_trace_writer(&self, writer: TraceWriter) {
+        *self.trace.lock().expect("trace writer lock") = Some(writer);
+    }
+
+    /// Closes the attached trace writer's JSON array, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the closing write fails.
+    pub fn close_trace(&self) -> std::io::Result<()> {
+        match self.trace.lock().expect("trace writer lock").as_ref() {
+            Some(writer) => writer.finish(),
+            None => Ok(()),
+        }
+    }
+
+    /// Point-in-time snapshot of everything the registry owns. Gauges
+    /// the registry cannot see (per-shard sessions, queue depth) stay
+    /// at their defaults for the owning layer to fill.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let trace_spans = self
+            .trace
+            .lock()
+            .expect("trace writer lock")
+            .as_ref()
+            .map_or(0, TraceWriter::spans);
+        let mut snapshot = StatsSnapshot {
+            counters: StatsCounters {
+                admits: self.admits.load(Ordering::Relaxed),
+                rejects: self.rejects.load(Ordering::Relaxed),
+                withdraws: self.withdraws.load(Ordering::Relaxed),
+                submits: self.submits.load(Ordering::Relaxed),
+                warm_decides: self.warm_decides.load(Ordering::Relaxed),
+                cold_decides: self.cold_decides.load(Ordering::Relaxed),
+                implied_decides: self.implied_decides.load(Ordering::Relaxed),
+                overloads: self.overloads.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+                snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+                trace_spans,
+            },
+            ..StatsSnapshot::default()
+        };
+        snapshot.gauges.attached_clients = self.attached();
+        for (name, ring) in [
+            ("admit", &self.admit_ring),
+            ("withdraw", &self.withdraw_ring),
+            ("submit", &self.submit_ring),
+        ] {
+            snapshot.ops.insert(
+                name.to_string(),
+                OpLatency {
+                    samples: ring.recorded(),
+                    p50_us: ring.percentile_us(0.50),
+                    p99_us: ring.percentile_us(0.99),
+                },
+            );
+        }
+        snapshot.solvers = self.solvers.lock().expect("solver table lock").clone();
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_sched::{Budget, DelayBoundKind, SolverRegistry};
+
+    fn verdicts() -> Vec<Verdict> {
+        let mut builder = msmr_model::JobSetBuilder::new();
+        builder.stage("cpu", 1, msmr_model::PreemptionPolicy::Preemptive);
+        let jobs = builder.build().expect("pipeline-only job set builds");
+        SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid).evaluate(&jobs, Budget::default())
+    }
+
+    #[test]
+    fn counters_and_rings_land_in_the_snapshot() {
+        let stats = StatsRegistry::new();
+        stats.record_admit(true, 50);
+        stats.record_admit(true, 70);
+        stats.record_admit(false, 90);
+        stats.record_withdraw(110);
+        stats.record_submit(500);
+        stats.record_overload();
+        stats.record_eviction();
+        stats.record_snapshot_write();
+        stats.client_attached();
+        stats.client_attached();
+        stats.client_detached();
+
+        let snapshot = stats.snapshot();
+        assert_eq!(snapshot.counters.admits, 2);
+        assert_eq!(snapshot.counters.rejects, 1);
+        assert_eq!(snapshot.counters.withdraws, 1);
+        assert_eq!(snapshot.counters.submits, 1);
+        assert_eq!(snapshot.counters.overloads, 1);
+        assert_eq!(snapshot.counters.evictions, 1);
+        assert_eq!(snapshot.counters.snapshot_writes, 1);
+        assert_eq!(snapshot.gauges.attached_clients, 1);
+        let admit = &snapshot.ops["admit"];
+        assert_eq!(admit.samples, 3);
+        assert_eq!(admit.p50_us, 70.0);
+        assert_eq!(admit.p99_us, 90.0);
+        assert_eq!(snapshot.ops["withdraw"].samples, 1);
+        assert_eq!(snapshot.ops["submit"].samples, 1);
+    }
+
+    #[test]
+    fn verdicts_classify_into_warm_cold_and_implied() {
+        let stats = StatsRegistry::new();
+        let mut warm = verdicts();
+        // Normalize provenance so the classification under test is the
+        // one this test injects, not whatever shortcuts fired.
+        for verdict in &mut warm {
+            verdict.stats.implied_by = None;
+            verdict.stats.cold_fallback = None;
+        }
+        for verdict in &warm {
+            stats.observe_verdict(verdict);
+        }
+        let mut cold = warm.remove(0);
+        cold.stats.cold_fallback = Some(true);
+        stats.observe_verdict(&cold);
+        let mut implied = warm.remove(0);
+        implied.stats.implied_by = Some("DMR".into());
+        stats.observe_verdict(&implied);
+
+        let snapshot = stats.snapshot();
+        let counters = &snapshot.counters;
+        assert_eq!(
+            counters.warm_decides + counters.cold_decides + counters.implied_decides,
+            7
+        );
+        assert_eq!(counters.cold_decides, 1);
+        assert_eq!(counters.implied_decides, 1);
+        let row = &snapshot.solvers[&cold.solver];
+        assert_eq!(row.cold, 1);
+        assert!(row.verdicts >= 2);
+        assert_eq!(snapshot.warm_ratio(), Some(5.0 / 7.0));
+    }
+
+    #[test]
+    fn detach_gauge_saturates_at_zero() {
+        let stats = StatsRegistry::new();
+        stats.client_detached();
+        assert_eq!(stats.attached(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fixed-size, lock-free latency rings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::percentile::nearest_rank;
+
+/// Default number of slots per ring: enough for the percentile window
+/// of a sustained burst while keeping the snapshot copy cheap.
+pub const DEFAULT_RING_SLOTS: usize = 1024;
+
+/// A fixed-size ring of latency samples (microseconds) writable from
+/// any number of threads without a lock.
+///
+/// Writers claim a slot with one `fetch_add` on the write cursor and
+/// store the sample with one relaxed atomic store; once the ring wraps,
+/// the oldest samples are overwritten, so percentiles reflect a sliding
+/// window of the most recent [`LatencyRing::capacity`] samples while
+/// [`LatencyRing::recorded`] keeps the monotonic total. Readers take a
+/// point-in-time copy; a torn read during a concurrent wrap can at worst
+/// observe a mix of the newest and the about-to-be-evicted sample —
+/// both real latencies — never a made-up value.
+#[derive(Debug)]
+pub struct LatencyRing {
+    slots: Vec<AtomicU64>,
+    next: AtomicU64,
+}
+
+impl Default for LatencyRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_SLOTS)
+    }
+}
+
+impl LatencyRing {
+    /// Creates a ring with `slots` sample slots (minimum 1).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        LatencyRing {
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Monotonic count of samples ever recorded (not capped by the
+    /// ring size).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&self, micros: u64) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        self.slots[slot].store(micros, Ordering::Relaxed);
+    }
+
+    /// Copies the currently live samples (at most
+    /// [`LatencyRing::capacity`], the most recent ones once wrapped).
+    #[must_use]
+    pub fn samples(&self) -> Vec<f64> {
+        let filled = (self.recorded() as usize).min(self.slots.len());
+        self.slots[..filled]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed) as f64)
+            .collect()
+    }
+
+    /// Nearest-rank percentile over the live window, `0.0` when empty.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        nearest_rank(&self.samples(), p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_reports_zero() {
+        let ring = LatencyRing::new(8);
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(ring.percentile_us(0.99), 0.0);
+        assert!(ring.samples().is_empty());
+    }
+
+    #[test]
+    fn partial_fill_only_reads_written_slots() {
+        let ring = LatencyRing::new(8);
+        ring.record(10);
+        ring.record(30);
+        ring.record(20);
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.samples().len(), 3);
+        assert_eq!(ring.percentile_us(0.5), 20.0);
+        assert_eq!(ring.percentile_us(1.0), 30.0);
+    }
+
+    #[test]
+    fn wrapping_keeps_the_most_recent_window() {
+        let ring = LatencyRing::new(4);
+        for v in 1..=10u64 {
+            ring.record(v);
+        }
+        assert_eq!(ring.recorded(), 10);
+        let mut samples = ring.samples();
+        samples.sort_by(f64::total_cmp);
+        assert_eq!(samples, vec![7.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_count() {
+        let ring = std::sync::Arc::new(LatencyRing::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        ring.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 400);
+        assert_eq!(ring.samples().len(), 64);
+    }
+}

@@ -1,0 +1,242 @@
+//! Chrome trace-event export: one span per solver per decision.
+//!
+//! The writer produces the trace viewer's *JSON array format*: a single
+//! array of complete (`"ph":"X"`) duration events, one per verdict,
+//! with the solver name as the event name, the verdict's own
+//! `elapsed_micros` as the duration and the full
+//! [`msmr_sched::SolverStats`] in `args`. Events are appended in
+//! sequence order (the per-writer `seq` in `args` equals the file
+//! order), so an entire replay opens in `chrome://tracing` / Perfetto
+//! as a timeline of solver work.
+//!
+//! The array is closed by [`TraceWriter::finish`] (the daemons call it
+//! after their accept loops join). Trace viewers accept a missing
+//! closing bracket for traces cut short — [`validate_trace`] applies
+//! the same leniency so tooling can check a file from a daemon that was
+//! killed mid-write.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use msmr_sched::Verdict;
+
+struct TraceInner {
+    writer: BufWriter<File>,
+    seq: u64,
+    closed: bool,
+}
+
+/// An append-only Chrome trace-event JSON writer.
+///
+/// Thread-safe: spans from concurrent decisions serialize through one
+/// mutex, which also makes the assigned `seq` equal the file order.
+pub struct TraceWriter {
+    inner: Mutex<TraceInner>,
+    start: Instant,
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter").finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter {
+    /// Creates (truncating) the trace file and writes the array opener.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be
+    /// created or written.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        writer.write_all(b"[")?;
+        writer.flush()?;
+        Ok(TraceWriter {
+            inner: Mutex::new(TraceInner {
+                writer,
+                seq: 0,
+                closed: false,
+            }),
+            start: Instant::now(),
+        })
+    }
+
+    /// Appends one complete span for a verdict. Returns the span's
+    /// sequence number (0-based, equals its index in the file).
+    pub fn record_span(&self, verdict: &Verdict) -> u64 {
+        let ts = self.start.elapsed().as_micros() as u64;
+        let stats = serde_json::to_string(&verdict.stats).expect("solver stats serialize");
+        let name = serde_json::to_string(&verdict.solver).expect("solver names serialize");
+        let mut inner = self.inner.lock().expect("trace writer lock");
+        if inner.closed {
+            return inner.seq;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        let comma = if seq == 0 { "" } else { "," };
+        let event = format!(
+            "{comma}\n{{\"name\":{name},\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":{ts},\"dur\":{dur},\"args\":{{\"seq\":{seq},\
+             \"accepted\":{accepted},\"stats\":{stats}}}}}",
+            dur = verdict.stats.elapsed_micros,
+            accepted = verdict.is_accepted(),
+        );
+        // A failed write must not panic the decision path; the span is
+        // simply lost and the validator will still parse the rest.
+        let _ = inner.writer.write_all(event.as_bytes());
+        let _ = inner.writer.flush();
+        seq
+    }
+
+    /// Spans written so far.
+    #[must_use]
+    pub fn spans(&self) -> u64 {
+        self.inner.lock().expect("trace writer lock").seq
+    }
+
+    /// Closes the JSON array and flushes. Idempotent; spans recorded
+    /// after the close are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the closing write fails.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("trace writer lock");
+        if inner.closed {
+            return Ok(());
+        }
+        inner.closed = true;
+        inner.writer.write_all(b"\n]\n")?;
+        inner.writer.flush()
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Validates trace-event JSON and returns the number of spans.
+///
+/// Accepts both a properly closed array and one cut short mid-write
+/// (the trace viewers' documented leniency): a trailing comma is
+/// dropped and the closing bracket appended before parsing. Every
+/// element must be a complete `"X"` event with a name and an
+/// unsigned `ts`/`dur`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element (or the JSON
+/// parse error) when the text is not a valid trace.
+pub fn validate_trace(text: &str) -> Result<u64, String> {
+    let mut trimmed = text.trim().to_string();
+    if !trimmed.starts_with('[') {
+        return Err("trace is not a JSON array".into());
+    }
+    if !trimmed.ends_with(']') {
+        trimmed = trimmed.trim_end_matches(',').to_string();
+        trimmed.push(']');
+    }
+    let value: serde::Value = serde_json::from_str(&trimmed).map_err(|e| e.to_string())?;
+    let serde::Value::Seq(events) = value else {
+        return Err("trace is not a JSON array".into());
+    };
+    for (index, event) in events.iter().enumerate() {
+        let ph = event.get("ph").and_then(|v| match v {
+            serde::Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        });
+        if ph != Some("X") {
+            return Err(format!("event {index} is not a complete (ph=X) span"));
+        }
+        if !matches!(event.get("name"), Some(serde::Value::Str(_))) {
+            return Err(format!("event {index} has no name"));
+        }
+        for field in ["ts", "dur"] {
+            if !matches!(event.get(field), Some(serde::Value::UInt(_))) {
+                return Err(format!("event {index} has no unsigned `{field}`"));
+            }
+        }
+    }
+    Ok(events.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msmr_sched::{Budget, DelayBoundKind, SolverRegistry};
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("msmr-stats-{}-{}.trace", std::process::id(), tag))
+    }
+
+    fn sample_verdicts() -> Vec<Verdict> {
+        let mut builder = msmr_model::JobSetBuilder::new();
+        builder.stage("cpu", 1, msmr_model::PreemptionPolicy::Preemptive);
+        let jobs = builder.build().expect("pipeline-only job set builds");
+        SolverRegistry::paper_suite(DelayBoundKind::EdgeHybrid).evaluate(&jobs, Budget::default())
+    }
+
+    #[test]
+    fn spans_export_as_valid_seq_ordered_trace_events() {
+        let path = temp_path("roundtrip");
+        let writer = TraceWriter::create(&path).expect("trace file creates");
+        let verdicts = sample_verdicts();
+        for verdict in &verdicts {
+            writer.record_span(verdict);
+        }
+        assert_eq!(writer.spans(), verdicts.len() as u64);
+        writer.finish().expect("trace closes");
+        let text = std::fs::read_to_string(&path).expect("trace reads");
+        assert_eq!(validate_trace(&text), Ok(verdicts.len() as u64));
+        // One span per solver per decision, in sequence order.
+        let value: serde::Value = serde_json::from_str(&text).expect("closed trace parses");
+        let serde::Value::Seq(events) = value else {
+            panic!("expected an array")
+        };
+        for (index, (event, verdict)) in events.iter().zip(&verdicts).enumerate() {
+            assert_eq!(
+                event.get("name"),
+                Some(&serde::Value::Str(verdict.solver.clone()))
+            );
+            let args = event.get("args").expect("span has args");
+            assert_eq!(args.get("seq"), Some(&serde::Value::UInt(index as u64)));
+            assert!(args
+                .get("stats")
+                .and_then(|s| s.get("sdca_calls"))
+                .is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_traces_still_validate() {
+        let path = temp_path("truncated");
+        let writer = TraceWriter::create(&path).expect("trace file creates");
+        let verdicts = sample_verdicts();
+        for verdict in &verdicts {
+            writer.record_span(verdict);
+        }
+        // No finish(): simulate a daemon killed mid-write by reading
+        // the unterminated array.
+        let text = std::fs::read_to_string(&path).expect("trace reads");
+        assert!(!text.trim_end().ends_with(']'));
+        assert_eq!(validate_trace(&text), Ok(verdicts.len() as u64));
+        writer.finish().expect("trace closes");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(validate_trace("{}").is_err());
+        assert!(validate_trace("[{\"ph\":\"B\",\"name\":\"x\"}]").is_err());
+        assert!(validate_trace("[{\"ph\":\"X\",\"ts\":1,\"dur\":2}]").is_err());
+        assert_eq!(validate_trace("[]"), Ok(0));
+    }
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Boots the admission daemon in --cluster mode on a Unix socket, runs a
-# short multi-client msmr-loadgen burst over shared named sessions with
-# serialized-replay verification, exercises the snapshot op through
-# msmr-admit, and shuts the daemon down. Fails on any non-zero exit
-# (including verdict mismatches in the loadgen verification).
+# Boots the admission daemon in --cluster mode on a Unix socket (with the
+# stats side channel and trace-event export on), runs a short
+# multi-client msmr-loadgen burst over shared named sessions with
+# serialized-replay verification and daemon-counter cross-checking,
+# queries the live stats channel mid-burst through msmr-top, exercises
+# the snapshot op through msmr-admit, shuts the daemon down and
+# validates the written trace. Fails on any non-zero exit (including
+# verdict mismatches in the loadgen verification).
 #
 # Usage: scripts/cluster_smoke.sh [clients] [sessions] [jobs] [seed]
 set -euo pipefail
@@ -15,39 +18,74 @@ SEED="${4:-7}"
 SOCK="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$.sock"
 SNAPDIR="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-snapshots"
 BENCH_OUT="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-bench.json"
+TRACE_OUT="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$.trace"
+SERVED_LOG="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-served.log"
 SERVED="target/release/msmr-served"
 ADMIT="target/release/msmr-admit"
 LOADGEN="target/release/msmr-loadgen"
+TOP="target/release/msmr-top"
 
-cargo build --release -p msmr-serve -p msmr-cluster
+cargo build --release -p msmr-serve -p msmr-cluster -p msmr-stats
 
-"$SERVED" --uds "$SOCK" --cluster --shards 4 --workers 2 --snapshot-dir "$SNAPDIR" &
+"$SERVED" --uds "$SOCK" --cluster --shards 4 --workers 2 --snapshot-dir "$SNAPDIR" \
+    --stats-addr 127.0.0.1:0 --trace-out "$TRACE_OUT" >"$SERVED_LOG" &
 SERVED_PID=$!
 cleanup() {
     kill "$SERVED_PID" 2>/dev/null || true
-    rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT"
+    rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG"
 }
 trap cleanup EXIT
 
-# Wait for the daemon to bind.
+# Wait for the daemon to bind both the socket and the stats channel
+# (the stats line carries the ephemeral port picked for 127.0.0.1:0).
 for _ in $(seq 1 100); do
-    [ -S "$SOCK" ] && break
+    [ -S "$SOCK" ] && grep -q "stats on tcp://" "$SERVED_LOG" && break
     sleep 0.1
 done
 [ -S "$SOCK" ] || { echo "daemon did not bind $SOCK" >&2; exit 1; }
+STATS_ADDR="$(sed -n 's|.*stats on tcp://||p' "$SERVED_LOG" | head -n 1)"
+[ -n "$STATS_ADDR" ] || { echo "daemon did not report a stats address" >&2; exit 1; }
 
 # A concurrent burst over shared sessions — with a withdraw mix, so the
 # general O(n·N) mid-set withdraw of the online seam runs under
-# multi-client load — verified against a serialized offline replay;
-# results go to a scratch history file so CI runs do not pollute the
-# committed BENCH_kernels.json.
+# multi-client load — verified against a serialized offline replay, and
+# cross-checked against the daemon's own stats counters (the daemon is
+# fresh, so loadgen's admit/reject/withdraw/overload tallies must match
+# it exactly); results go to a scratch history file so CI runs do not
+# pollute the committed BENCH_kernels.json.
 MSMR_BENCH_OUT="$BENCH_OUT" "$LOADGEN" --uds "$SOCK" \
     --clients "$CLIENTS" --sessions "$SESSIONS" --jobs "$JOBS" --seed "$SEED" \
-    --withdraw-ratio 0.3 --verify
+    --withdraw-ratio 0.3 --verify --check-stats &
+LOADGEN_PID=$!
+
+# Mid-burst, the side channel must serve a valid JSON snapshot with a
+# non-zero admit counter (msmr-top --once parses and asserts it; retry
+# while the burst's first admits are still in flight).
+STATS_OK=""
+for _ in $(seq 1 100); do
+    if "$TOP" --addr "$STATS_ADDR" --once --min-admits 1 >/dev/null 2>&1; then
+        STATS_OK=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$STATS_OK" ] || {
+    echo "stats side channel did not serve a snapshot with admits >= 1 mid-burst" >&2
+    exit 1
+}
+
+wait "$LOADGEN_PID"
 
 # The loadgen run landed in the (scratch) append-only history.
 grep -q "loadgen/requests_per_sec" "$BENCH_OUT" || {
     echo "loadgen did not record into the bench history" >&2
+    exit 1
+}
+
+# Post-burst, the same snapshot is also served in-band through the v4
+# stats op (one JSON line with the counter fields).
+"$ADMIT" --uds "$SOCK" --stats | grep -q '"admits":' || {
+    echo "the stats op did not answer with counters" >&2
     exit 1
 }
 
@@ -61,6 +99,11 @@ ls "$SNAPDIR"/loadgen-"$SEED"-*.json >/dev/null || {
     echo "shutdown did not snapshot the sessions" >&2
     exit 1
 }
+
+# The daemon closed a valid Chrome trace-event file: one complete span
+# per solver verdict, parseable by msmr-top's validator.
+"$TOP" --check-trace "$TRACE_OUT"
+
 trap - EXIT
-rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT"
+rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG"
 echo "cluster smoke: OK"

@@ -271,6 +271,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+// Identity impls so `Value` itself can be (de)serialized — tooling that
+// inspects arbitrary JSON (trace validators, dashboards) parses into the
+// data model directly.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize).collect())
