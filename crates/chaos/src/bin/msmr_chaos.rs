@@ -1,0 +1,115 @@
+//! `msmr-chaos` — seeded fault-injection harness for the admission
+//! daemon.
+//!
+//! ```text
+//! msmr-chaos --all [--seed N]
+//! msmr-chaos --scenario NAME [--seed N]
+//! msmr-chaos --list
+//! ```
+//!
+//! Each scenario injects one fault family (see `crates/chaos/README.md`
+//! for the full matrix) and asserts the recovery invariants. Scenarios
+//! are pure functions of the seed; on failure the seed is printed so
+//! the run reproduces exactly. `kill-restart` spawns a real
+//! `msmr-served`, located next to this binary or via `MSMR_SERVED_BIN`.
+
+use std::process::ExitCode;
+
+use msmr_chaos::scenarios;
+
+type Scenario = fn(u64) -> Result<Vec<String>, String>;
+
+const SCENARIOS: &[(&str, Scenario)] = &[
+    ("kill-restart", scenarios::kill_restart),
+    ("torn-snapshot", scenarios::torn_snapshot),
+    ("overload-storm", scenarios::overload_storm),
+    ("frame-chaos", scenarios::frame_chaos),
+    ("clock-skew", scenarios::clock_skew),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = SCENARIOS.iter().map(|(name, _)| *name).collect();
+    format!(
+        "usage: msmr-chaos (--all | --scenario NAME | --list) [--seed N]\n\
+         scenarios: {}",
+        names.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut seed = 7u64;
+    let mut selected: Vec<&'static str> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => selected = SCENARIOS.iter().map(|(name, _)| *name).collect(),
+            "--list" => {
+                for (name, _) in SCENARIOS {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--scenario" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("msmr-chaos: --scenario needs a name\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match SCENARIOS.iter().find(|(known, _)| known == name) {
+                    Some((known, _)) => selected.push(known),
+                    None => {
+                        eprintln!("msmr-chaos: unknown scenario `{name}`\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(value) => seed = value,
+                    None => {
+                        eprintln!("msmr-chaos: --seed needs an integer\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("msmr-chaos: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    for name in selected {
+        let scenario = SCENARIOS
+            .iter()
+            .find(|(known, _)| *known == name)
+            .map(|(_, f)| *f)
+            .expect("selected scenarios are validated");
+        println!("chaos: running {name} (seed {seed})");
+        match scenario(seed) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("chaos:   {line}");
+                }
+                println!("chaos: {name} PASSED");
+            }
+            Err(e) => {
+                eprintln!("chaos: {name} FAILED: {e}");
+                eprintln!("chaos: seed was {seed}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

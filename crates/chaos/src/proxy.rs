@@ -1,0 +1,226 @@
+//! A byte-level TCP proxy that injects faults into the client→server
+//! NDJSON stream: seeded delays, duplicated lines, adjacent-line
+//! reorders and corrupted copies. The server→client direction is
+//! relayed verbatim, so every fault the daemon survives is observable
+//! as a normal response frame.
+//!
+//! Faults are *additive*: a corrupted line is sent as a corrupted copy
+//! **followed by** the original, and a reordered line is held for one
+//! line and then released. No request is ever dropped, so a scenario
+//! can still drive the session to a known end state and account for
+//! every injected fault exactly (corrupt copies → `Error` frames on id
+//! 0, duplicates → `deduped: true` acks, reorders → `SeqGap` errors).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use msmr_serve::MixRng;
+
+/// Per-line fault probabilities (0.0–1.0) plus the warmup prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability of sending a corrupted copy before the line.
+    pub corrupt: f64,
+    /// Probability of sending the line twice.
+    pub duplicate: f64,
+    /// Probability of holding the line until after its successor
+    /// (an adjacent swap; held lines flush at EOF).
+    pub reorder: f64,
+    /// Probability of sleeping before forwarding the line.
+    pub delay: f64,
+    /// Upper bound of an injected delay.
+    pub max_delay_ms: u64,
+    /// Lines at the start of every connection forwarded untouched.
+    /// Attach and submit are not seq-protected — duplicating a submit
+    /// would wipe the session — so scenarios shield them here.
+    pub warmup: usize,
+}
+
+/// Counts of the faults a proxy actually injected, across connections.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Corrupted copies sent.
+    pub corrupted: AtomicU64,
+    /// Lines sent twice.
+    pub duplicated: AtomicU64,
+    /// Adjacent swaps performed.
+    pub reordered: AtomicU64,
+    /// Delays injected.
+    pub delayed: AtomicU64,
+}
+
+impl ProxyStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The proxy: accepts on an ephemeral port and relays every connection
+/// to `upstream` through [`FaultPlan`]-driven mutation. [`Drop`] stops
+/// the accept loop.
+pub struct ChaosProxy {
+    addr: String,
+    stats: Arc<ProxyStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts the accept loop. Each accepted
+    /// connection gets its own deterministic RNG stream derived from
+    /// `seed` and the connection index, so a scenario's fault pattern
+    /// is a pure function of its seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures as display strings.
+    pub fn start(upstream: &str, seed: u64, plan: FaultPlan) -> Result<ChaosProxy, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let stats = Arc::new(ProxyStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        {
+            let upstream = upstream.to_string();
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                let mut conns: u64 = 0;
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            conns += 1;
+                            let conn_seed = seed.wrapping_add(conns);
+                            let upstream = upstream.clone();
+                            let stats = Arc::clone(&stats);
+                            std::thread::spawn(move || {
+                                let _ = relay(client, &upstream, conn_seed, plan, &stats);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        Ok(ChaosProxy {
+            addr,
+            stats,
+            shutdown,
+        })
+    }
+
+    /// The proxy's listen address (`host:port`).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The injected-fault counters.
+    #[must_use]
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Draws a probability decision from the RNG.
+fn roll(rng: &mut MixRng, probability: f64) -> bool {
+    // 53 bits of the draw give a uniform f64 in [0, 1).
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    unit < probability
+}
+
+/// Relays one client connection, mutating the client→server lines.
+fn relay(
+    client: TcpStream,
+    upstream: &str,
+    seed: u64,
+    plan: FaultPlan,
+    stats: &ProxyStats,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    server.set_nodelay(true)?;
+    client.set_nodelay(true)?;
+
+    // Server→client: verbatim copy; propagate the server's EOF so the
+    // client's read loop terminates.
+    let mut server_read = server.try_clone()?;
+    let client_write = client.try_clone()?;
+    std::thread::spawn(move || {
+        let mut client_write = client_write;
+        let _ = std::io::copy(&mut server_read, &mut client_write);
+        let _ = client_write.shutdown(Shutdown::Write);
+    });
+
+    // Client→server: line-at-a-time with fault injection.
+    let mut rng = MixRng::new(seed);
+    let mut reader = BufReader::new(client);
+    let mut server = server;
+    let mut held: Option<Vec<u8>> = None;
+    let mut line = Vec::new();
+    let mut index: usize = 0;
+    loop {
+        line.clear();
+        if reader.read_until(b'\n', &mut line)? == 0 {
+            break;
+        }
+        let in_warmup = index < plan.warmup;
+        index += 1;
+        if in_warmup {
+            server.write_all(&line)?;
+            server.flush()?;
+            continue;
+        }
+        if roll(&mut rng, plan.delay) {
+            ProxyStats::bump(&stats.delayed);
+            let millis = 1 + rng.next_u64() % plan.max_delay_ms.max(1);
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        if roll(&mut rng, plan.corrupt) {
+            // A corrupted *copy*: the first half of the line's bytes
+            // followed by invalid UTF-8 — enough to defeat both the
+            // JSON parser and lossless UTF-8 decoding. The original
+            // still follows, so the op is delayed, not lost.
+            ProxyStats::bump(&stats.corrupted);
+            let mut garbled = line[..line.len() / 2].to_vec();
+            garbled.extend_from_slice(b"\xff\xfe{\n");
+            server.write_all(&garbled)?;
+        }
+        if roll(&mut rng, plan.reorder) && held.is_none() {
+            // Hold this line; it is released right after its successor.
+            ProxyStats::bump(&stats.reordered);
+            held = Some(line.clone());
+            continue;
+        }
+        server.write_all(&line)?;
+        if roll(&mut rng, plan.duplicate) {
+            ProxyStats::bump(&stats.duplicated);
+            server.write_all(&line)?;
+        }
+        if let Some(previous) = held.take() {
+            server.write_all(&previous)?;
+        }
+        server.flush()?;
+    }
+    // EOF from the client: flush any held line, then forward the EOF so
+    // the daemon finishes the connection and its responses drain back.
+    if let Some(previous) = held.take() {
+        server.write_all(&previous)?;
+    }
+    server.flush()?;
+    server.shutdown(Shutdown::Write)?;
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! The chaos scenarios as integration tests, pinned to fixed seeds so
+//! every run injects the same fault schedule. `kill-restart` needs the
+//! real `msmr-served` binary, which `cargo test` does not build for
+//! other crates — it skips (loudly) when the binary is absent and runs
+//! in full from `scripts/chaos_smoke.sh`, which builds it first.
+
+use msmr_chaos::{harness, scenarios};
+
+#[test]
+fn torn_snapshot_boot_fails_soft() {
+    let log = scenarios::torn_snapshot(11).expect("torn-snapshot scenario");
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn overload_storm_exhausts_typed_and_recovers() {
+    let log = scenarios::overload_storm(12).expect("overload-storm scenario");
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn frame_chaos_converges_to_exactly_once() {
+    let log = scenarios::frame_chaos(13).expect("frame-chaos scenario");
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn clock_skew_never_reaps_early() {
+    let log = scenarios::clock_skew(14).expect("clock-skew scenario");
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn kill_restart_resumes_when_daemon_binary_present() {
+    match harness::served_binary() {
+        Err(why) => eprintln!("skipping kill-restart: {why}"),
+        Ok(_) => {
+            let log = scenarios::kill_restart(15).expect("kill-restart scenario");
+            assert!(!log.is_empty());
+        }
+    }
+}

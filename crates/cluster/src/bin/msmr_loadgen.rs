@@ -64,10 +64,11 @@ struct Options {
     record: bool,
     withdraw_ratio: f64,
     check_stats: bool,
+    chaos_seed: Option<u64>,
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --withdraw-ratio F  withdraw one of the client's admitted jobs after each admit with probability F\n  --check-stats   assert the daemon's stats counters equal this run's tallies (fresh daemon)\n  --no-record     do not append the results to the BENCH_kernels.json history"
+    "usage: msmr-loadgen (--tcp ADDR | --uds PATH) [options]\n\n  --clients M     concurrent client connections (default 4)\n  --sessions K    named shared sessions the clients spread over (default 2)\n  --jobs N        arrival-trace length per session (default 40)\n  --seed S        workload seed (default 2024)\n  --evaluate      stream the full solver suite per admit\n  --verify        verify verdicts against a serialized offline replay (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --decider NAME  deciding solver, must match the daemon's (default OPDCA)\n  --retries R     max retries per admit on typed overload responses (default 100)\n  --withdraw-ratio F  withdraw one of the client's admitted jobs after each admit with probability F\n  --check-stats   assert the daemon's stats counters equal this run's tallies (fresh daemon)\n  --chaos-seed S  record the chaos-schedule seed of the harness driving this run;\n                  printed on any failure so the exact fault schedule can be replayed\n  --no-record     do not append the results to the BENCH_kernels.json history"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -87,6 +88,7 @@ fn parse_options() -> Result<Options, String> {
         record: true,
         withdraw_ratio: 0.0,
         check_stats: false,
+        chaos_seed: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -131,6 +133,13 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or("invalid --withdraw-ratio value (need 0.0..=1.0)")?;
             }
             "--check-stats" => options.check_stats = true,
+            "--chaos-seed" => {
+                options.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|_| "invalid --chaos-seed value".to_string())?,
+                );
+            }
             "--no-record" => options.record = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -190,6 +199,7 @@ fn admit_with_retry(
             .request(Op::Admit(AdmitOp {
                 job: spec.clone(),
                 evaluate: Some(evaluate),
+                seq: None,
             }))
             .map_err(|e| e.to_string())?;
         let elapsed_us = start.elapsed().as_nanos() as f64 / 1_000.0;
@@ -252,6 +262,7 @@ fn withdraw_with_retry(
             .request(Op::Withdraw(WithdrawOp {
                 job: handle,
                 evaluate: Some(evaluate),
+                seq: None,
             }))
             .map_err(|e| e.to_string())?;
         let elapsed_us = start.elapsed().as_nanos() as f64 / 1_000.0;
@@ -411,7 +422,9 @@ fn check_daemon_stats(
     Ok(())
 }
 
-fn run(options: &Options) -> Result<ExitCode, String> {
+/// Runs the load; `Ok(true)` means the run completed but verification
+/// found mismatches (a failure for the exit code's purposes).
+fn run(options: &Options) -> Result<bool, String> {
     // One seeded trace per session.
     let traces: Vec<JobSet> = (0..options.sessions)
         .map(|k| {
@@ -617,11 +630,7 @@ fn run(options: &Options) -> Result<ExitCode, String> {
         println!("loadgen: appended run to {}", path.display());
     }
 
-    Ok(if mismatches == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Ok(mismatches != 0)
 }
 
 fn main() -> ExitCode {
@@ -632,11 +641,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&options) {
-        Ok(code) => code,
+    let failed = match run(&options) {
+        Ok(failed) => failed,
         Err(message) => {
             eprintln!("msmr-loadgen: {message}");
-            ExitCode::FAILURE
+            true
         }
+    };
+    if failed {
+        // Any failure under a chaos harness prints the fault-schedule
+        // seed, so the exact interleaving that broke is one flag away.
+        if let Some(seed) = options.chaos_seed {
+            eprintln!("msmr-loadgen: chaos seed was {seed}");
+        }
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }

@@ -5,11 +5,18 @@
 //!             [--opt-nodes N] [--reserve N] [--threads N]
 //!             [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]
 //!             [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]
+//!             [--pidfile PATH]
 //! ```
 //!
 //! At least one of `--tcp` / `--uds` is required. The daemon prints one
 //! `listening on ...` line per bound endpoint and runs until a client
-//! sends the `shutdown` op.
+//! sends the `shutdown` op or the process receives `SIGTERM` — the
+//! signal triggers the same graceful path (cluster sessions are
+//! snapshotted first when a snapshot directory is configured), so
+//! scripts can kill-and-wait deterministically. `--pidfile PATH` writes
+//! the daemon's pid after the endpoints are bound and removes the file
+//! on clean shutdown, giving scripts both the pid to signal and a
+//! ready/down marker to poll.
 //!
 //! By default each connection owns a private session (the classic
 //! `msmr-serve` mode). With `--cluster`, sessions are *named and
@@ -40,7 +47,7 @@ use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
 use msmr_stats::{serve_stats, StatsRegistry, StatsSnapshot, TraceWriter};
 
 fn usage() -> &'static str {
-    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)\n\nobservability:\n  --stats-addr ADDR  serve one-line JSON stats snapshots on a TCP side channel\n  --trace-out PATH   write one Chrome trace-event span per solver verdict to PATH"
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)\n\nobservability:\n  --stats-addr ADDR  serve one-line JSON stats snapshots on a TCP side channel\n  --trace-out PATH   write one Chrome trace-event span per solver verdict to PATH\n\nlifecycle:\n  --pidfile PATH     write the daemon pid to PATH once bound; SIGTERM shuts the\n                     daemon down gracefully (snapshots first in cluster mode)\n                     and removes the file"
 }
 
 struct Options {
@@ -50,7 +57,32 @@ struct Options {
     config: ClusterConfig,
     stats_addr: Option<String>,
     trace_out: Option<PathBuf>,
+    pidfile: Option<PathBuf>,
 }
+
+/// Raised by the `SIGTERM` handler; the lifecycle thread polls it.
+static SIGTERM_RECEIVED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Installs a `SIGTERM` handler that raises [`SIGTERM_RECEIVED`]. Raw
+/// `signal(2)` FFI: the handler only stores into an atomic, which is
+/// async-signal-safe, and the daemon needs no libc binding for anything
+/// else.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_RECEIVED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 fn parse_options() -> Result<Options, String> {
     let mut options = Options {
@@ -60,6 +92,7 @@ fn parse_options() -> Result<Options, String> {
         config: ClusterConfig::default(),
         stats_addr: None,
         trace_out: None,
+        pidfile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -123,6 +156,7 @@ fn parse_options() -> Result<Options, String> {
             }
             "--stats-addr" => options.stats_addr = Some(value("--stats-addr")?),
             "--trace-out" => options.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--pidfile" => options.pidfile = Some(PathBuf::from(value("--pidfile")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -195,6 +229,39 @@ fn main() -> ExitCode {
     if let Some(path) = server.uds_path() {
         println!("msmr-served listening on unix://{}", path.display());
     }
+    // Lifecycle plumbing for scripts: the pidfile appears only after
+    // every endpoint is bound, and SIGTERM takes the same graceful path
+    // as the protocol's `shutdown` op.
+    install_sigterm_handler();
+    if let Some(path) = &options.pidfile {
+        if let Err(e) = std::fs::write(path, format!("{}\n", std::process::id())) {
+            eprintln!(
+                "msmr-served: cannot write --pidfile {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    {
+        let shutdown = server.shutdown_handle();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !shutdown.load(Ordering::SeqCst) {
+                if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+                    eprintln!("msmr-served: SIGTERM received, shutting down");
+                    if let Some(engine) = &engine {
+                        if let Err(e) = engine.snapshot_all() {
+                            eprintln!("msmr-served: shutdown snapshot failed: {e}");
+                        }
+                    }
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+    }
     if let Some(addr) = &options.stats_addr {
         // Cluster snapshots carry the engine gauges (queue depth,
         // shards, session rows); classic mode serves the registry's
@@ -222,6 +289,9 @@ fn main() -> ExitCode {
         if let Err(e) = stats.close_trace() {
             eprintln!("msmr-served: closing the trace failed: {e}");
         }
+    }
+    if let Some(path) = &options.pidfile {
+        let _ = std::fs::remove_file(path);
     }
     println!("msmr-served: shutdown complete");
     ExitCode::SUCCESS

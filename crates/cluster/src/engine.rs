@@ -315,16 +315,41 @@ impl ClusterEngine {
     /// Restores every snapshot in the directory (daemon startup, or the
     /// `restore` op without a session name).
     ///
+    /// Boot fails **soft** on corrupt entries: a snapshot that does not
+    /// parse (torn by a crash mid-write outside the atomic rename path,
+    /// truncated by a full disk, hand-edited) is quarantined — renamed
+    /// to `.corrupt`, logged, counted in the `snapshot_quarantined`
+    /// stats counter — and the remaining sessions are still restored,
+    /// so one bad file cannot hold every healthy tenant hostage.
+    ///
     /// # Errors
     ///
-    /// Stops at (and propagates) the first failing restore.
+    /// Propagates directory-read failures and non-`InvalidData` I/O
+    /// errors (a vanished directory is an operator problem; a corrupt
+    /// file is not).
     pub fn restore_all(&self) -> io::Result<Vec<RestoredSession>> {
         let Some(snapshots) = self.snapshots.as_ref() else {
             return Ok(Vec::new());
         };
         let mut restored = Vec::new();
         for name in snapshots.list()? {
-            restored.push(self.restore(&name)?);
+            match self.restore(&name) {
+                Ok(session) => restored.push(session),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    let quarantined = snapshots.quarantine(&name);
+                    self.stats.record_snapshot_quarantine();
+                    match quarantined {
+                        Ok(path) => eprintln!(
+                            "msmr-served: quarantined corrupt snapshot `{name}` -> {}: {e}",
+                            path.display()
+                        ),
+                        Err(rename) => eprintln!(
+                            "msmr-served: corrupt snapshot `{name}` ({e}); quarantine failed: {rename}"
+                        ),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(restored)
     }
@@ -424,7 +449,7 @@ impl ClusterEngine {
     /// Propagates I/O errors from the transport.
     pub fn serve_connection(
         self: &Arc<Self>,
-        reader: impl BufRead,
+        mut reader: impl BufRead,
         mut writer: impl Write + Send,
         shutdown: &AtomicBool,
     ) -> io::Result<()> {
@@ -439,12 +464,22 @@ impl ClusterEngine {
             }
         }
         let _conn = ConnGuard(Arc::clone(&self.stats));
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
+        // Reads raw bytes, not `lines()`: a line of binary junk must
+        // degrade to the malformed-request error frame, whereas
+        // `lines()` would surface invalid UTF-8 as an `InvalidData`
+        // I/O error and tear the connection down.
+        let mut buffer = Vec::new();
+        loop {
+            buffer.clear();
+            if reader.read_until(b'\n', &mut buffer)? == 0 {
+                break;
+            }
+            let line = String::from_utf8_lossy(&buffer);
+            let line = line.trim();
+            if line.is_empty() {
                 continue;
             }
-            let request: Request = match serde_json::from_str(line.trim()) {
+            let request: Request = match serde_json::from_str(line) {
                 Ok(request) => request,
                 Err(e) => {
                     let mut sink = FrameSink::new(&mut writer, 0);
@@ -472,6 +507,7 @@ impl ClusterEngine {
                                 attached: outcome.session.attached(),
                                 jobs: outcome.session.jobs(),
                                 protocol: PROTOCOL_VERSION,
+                                decisions: Some(outcome.session.decisions()),
                             }));
                             attached = Some(outcome.session);
                         }
@@ -522,14 +558,14 @@ impl ClusterEngine {
                             let session = Arc::clone(session);
                             move |tx| {
                                 let evaluate = op.evaluate.unwrap_or(true);
-                                let outcome = session.admit(&op.job, evaluate, |verdict| {
+                                let outcome = session.admit(&op.job, evaluate, op.seq, |verdict| {
                                     let _ = tx.send(Frame::Verdict(VerdictFrame {
                                         verdict: verdict.clone(),
                                     }));
                                 });
                                 let frame = match outcome {
-                                    Ok((outcome, seq)) => {
-                                        Frame::Admit(outcome.to_frame(&decider, Some(seq)))
+                                    Ok((outcome, seq, deduped)) => {
+                                        Frame::Admit(outcome.to_frame(&decider, Some(seq), deduped))
                                     }
                                     Err(e) => error_frame(&e.to_string()),
                                 };
@@ -545,16 +581,18 @@ impl ClusterEngine {
                             let session = Arc::clone(session);
                             move |tx| {
                                 let evaluate = op.evaluate.unwrap_or(false);
-                                let outcome = session.withdraw(op.job, evaluate, |verdict| {
-                                    let _ = tx.send(Frame::Verdict(VerdictFrame {
-                                        verdict: verdict.clone(),
-                                    }));
-                                });
+                                let outcome =
+                                    session.withdraw(op.job, evaluate, op.seq, |verdict| {
+                                        let _ = tx.send(Frame::Verdict(VerdictFrame {
+                                            verdict: verdict.clone(),
+                                        }));
+                                    });
                                 let frame = match outcome {
-                                    Ok((outcome, seq)) => Frame::Withdraw(WithdrawFrame {
+                                    Ok((outcome, seq, deduped)) => Frame::Withdraw(WithdrawFrame {
                                         job: op.job,
                                         jobs: outcome.jobs as u64,
                                         seq: Some(seq),
+                                        deduped: deduped.then_some(true),
                                     }),
                                     Err(e) => error_frame(&e.to_string()),
                                 };
@@ -744,6 +782,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(3, 100),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
                 Request {
@@ -810,6 +849,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(2, 200),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
             ],
@@ -830,6 +870,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(2, 200),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
             ],
@@ -894,6 +935,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(1, 50),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
             ],
@@ -939,6 +981,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(3, 100),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
                 Request {
@@ -1013,6 +1056,7 @@ mod tests {
                 op: Op::Admit(AdmitOp {
                     job: spec(1, 50),
                     evaluate: Some(false),
+                    seq: None,
                 }),
             });
         }
@@ -1064,7 +1108,7 @@ mod tests {
         for name in ["reap-a", "reap-b", "keep"] {
             let session = engine.store().attach(name, true).unwrap().session;
             session.submit(pipeline_only(), false, |_| {});
-            session.admit(&spec(2, 100), false, |_| {}).unwrap();
+            session.admit(&spec(2, 100), false, None, |_| {}).unwrap();
             if name != "keep" {
                 session.client_detached();
             }
@@ -1131,6 +1175,7 @@ mod tests {
                     op: Op::Admit(AdmitOp {
                         job: spec(4, 300),
                         evaluate: Some(false),
+                        seq: None,
                     }),
                 },
                 Request {
@@ -1150,5 +1195,174 @@ mod tests {
         assert_eq!(status.admits, 1);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_quarantines_torn_snapshots_and_serves_the_rest() {
+        let dir = std::env::temp_dir().join(format!(
+            "msmr-cluster-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let dir = PathBuf::from(dir.to_string_lossy().replace(['(', ')'], ""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = ClusterConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ClusterConfig::default()
+        };
+        let engine = ClusterEngine::new(config.clone()).unwrap();
+        for name in ["healthy", "torn"] {
+            let session = engine.store().attach(name, true).unwrap().session;
+            session.submit(pipeline_only(), false, |_| {});
+            session.admit(&spec(2, 100), false, None, |_| {}).unwrap();
+        }
+        engine.snapshot_all().unwrap();
+        drop(engine);
+
+        // Tear one snapshot mid-file, as a crash outside the atomic
+        // rename path (or a full disk) would.
+        let torn_path = dir.join("torn.json");
+        let full = std::fs::read(&torn_path).unwrap();
+        std::fs::write(&torn_path, &full[..full.len() / 2]).unwrap();
+
+        // Boot fails soft: the torn file is quarantined and counted,
+        // the healthy session is served.
+        let engine = ClusterEngine::new(config).unwrap();
+        let session = engine.store().get("healthy").expect("healthy restored");
+        assert_eq!(session.jobs(), 1);
+        assert!(engine.store().get("torn").is_none());
+        assert!(dir.join("torn.json.corrupt").exists());
+        assert!(!torn_path.exists());
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.counters.snapshot_quarantined, 1);
+        assert_eq!(snapshot.gauges.live_sessions, 1);
+
+        // The next boot no longer sees the quarantined file at all.
+        drop(engine);
+        let engine = ClusterEngine::new(ClusterConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        assert_eq!(engine.stats_snapshot().counters.snapshot_quarantined, 0);
+        assert_eq!(engine.stats_snapshot().gauges.live_sessions, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_seq_admits_apply_exactly_once() {
+        let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+        let admit = |id: u64| Request {
+            id,
+            op: Op::Admit(AdmitOp {
+                job: spec(3, 100),
+                evaluate: Some(false),
+                seq: Some(1),
+            }),
+        };
+        let responses = drive(
+            &engine,
+            &[
+                Request {
+                    id: 1,
+                    op: Op::Attach(AttachOp {
+                        session: "dedupe".to_string(),
+                        create: None,
+                    }),
+                },
+                Request {
+                    id: 2,
+                    op: Op::Submit(SubmitOp {
+                        jobs: pipeline_only(),
+                        parallel: None,
+                    }),
+                },
+                // The same seq-1 admit three times, as a client retrying
+                // over a duplicating link would send it.
+                admit(3),
+                admit(4),
+                admit(5),
+            ],
+        );
+        let admits: Vec<_> = responses
+            .iter()
+            .filter_map(|r| match &r.frame {
+                Frame::Admit(f) => Some((r.id, f)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admits.len(), 3, "every duplicate is acked");
+        let (_, first) = admits[0];
+        assert!(first.admitted);
+        assert_eq!(first.seq, Some(1));
+        assert_eq!(first.deduped, None, "the first application is not a replay");
+        for (id, frame) in &admits[1..] {
+            assert_eq!(frame.deduped, Some(true), "request {id} is a dedupe ack");
+            assert_eq!(frame.seq, Some(1));
+            assert_eq!(frame.admitted, first.admitted);
+            assert_eq!(frame.job, first.job, "same handle re-acked");
+            assert_eq!(frame.jobs, first.jobs, "no extra job was applied");
+        }
+        // Exactly-once application: decided counters equal unique ops,
+        // duplicates land in their own counter.
+        let session = engine.store().get("dedupe").unwrap();
+        assert_eq!(session.jobs(), 1);
+        assert_eq!(session.decisions(), 1);
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.counters.admits, 1, "one unique admit decided");
+        assert_eq!(snapshot.counters.deduped_ops, 2, "two replays deduped");
+    }
+
+    #[test]
+    fn garbage_and_truncated_frames_never_kill_the_cluster_connection() {
+        let engine = ClusterEngine::new(ClusterConfig::default()).unwrap();
+        let mut input: Vec<u8> = Vec::new();
+        let garbage: [&[u8]; 5] = [
+            b"this is not json",
+            b"{\"id\":7,\"op\":{\"Attach\":{\"session\":\"x\"", // truncated mid-frame
+            b"\x00\xff\xfe binary junk \x01\x02",
+            b"{\"id\":8}",
+            b"[1,2,3]",
+        ];
+        for line in garbage {
+            input.extend_from_slice(line);
+            input.push(b'\n');
+        }
+        write_request(
+            &mut input,
+            &Request {
+                id: 99,
+                op: Op::Attach(AttachOp {
+                    session: "survivor".to_string(),
+                    create: None,
+                }),
+            },
+        )
+        .unwrap();
+
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        engine
+            .serve_connection(input.as_slice(), &mut output, &shutdown)
+            .expect("garbage must not become a transport error");
+        let mut reader = std::io::BufReader::new(output.as_slice());
+        let mut responses = Vec::new();
+        while let Some(response) = read_response(&mut reader).unwrap() {
+            responses.push(response);
+        }
+        let errors: Vec<_> = responses
+            .iter()
+            .filter(|r| matches!(r.frame, Frame::Error(_)))
+            .collect();
+        assert_eq!(errors.len(), garbage.len(), "one typed error per bad line");
+        assert!(
+            errors.iter().all(|r| r.id == 0),
+            "unparsable lines lack ids"
+        );
+        // The connection survived all of it and still serves requests.
+        let attach = responses.iter().find(|r| r.id == 99).unwrap();
+        assert!(matches!(attach.frame, Frame::Attach(_)));
     }
 }

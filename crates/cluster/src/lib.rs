@@ -29,7 +29,15 @@
 //!   explicit `restore` op) the daemon rebuilds the session and its
 //!   warm `PairTables` by replaying the job set through
 //!   `msmr_dca::Analysis::new`. A graceful `shutdown` snapshots every
-//!   session automatically.
+//!   session automatically. Boot fails **soft** on corrupt snapshot
+//!   files: a torn `SessionImage` is quarantined (renamed to
+//!   `.corrupt`, counted in `snapshot_quarantined`) and the remaining
+//!   sessions are still served.
+//! * **Idempotent resume** — clients MAY stamp `admit`/`withdraw` ops
+//!   with the expected decision `seq`; a replayed op (a retry after a
+//!   lost ack) is verified against the session's decision log and
+//!   re-acked with `deduped: true` instead of being applied twice. See
+//!   the seq-idempotency rule in [`msmr_serve::protocol`].
 //!
 //! Two binaries ship with the crate: `msmr-served` (the daemon; classic
 //! per-connection mode by default, `--cluster` enables this engine with
@@ -101,15 +109,17 @@
 //! let mut pipeline = JobSetBuilder::new();
 //! pipeline.stage("cpu", 2, PreemptionPolicy::Preemptive);
 //! session.submit(pipeline.build().unwrap(), false, |_| {});
-//! let (outcome, seq) = session
+//! let (outcome, seq, deduped) = session
 //!     .admit(
 //!         &JobSpec { arrival: 0, deadline: 50, stages: vec![StageDemand { time: 5, resource: 0 }] },
 //!         false,
+//!         None,
 //!         |_| {},
 //!     )
 //!     .unwrap();
 //! assert!(outcome.admitted);
 //! assert_eq!(seq, 1);
+//! assert!(!deduped);
 //! ```
 
 #![forbid(unsafe_code)]

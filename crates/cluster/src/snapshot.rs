@@ -118,6 +118,21 @@ impl SnapshotStore {
         Ok(snapshot)
     }
 
+    /// Quarantines a corrupt snapshot: renames `{session}.json` to
+    /// `{session}.json.corrupt` so it stops matching [`SnapshotStore::list`]
+    /// (and [`SnapshotStore::path_for`]) but stays on disk for forensics.
+    /// Returns the quarantine path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rename failure.
+    pub fn quarantine(&self, session: &str) -> io::Result<PathBuf> {
+        let path = self.path_for(session);
+        let target = self.dir.join(format!("{session}.json.corrupt"));
+        std::fs::rename(&path, &target)?;
+        Ok(target)
+    }
+
     /// The names of every session with a snapshot on disk, sorted.
     /// Non-snapshot files (wrong extension, invalid session names, temp
     /// files) are skipped.
@@ -215,6 +230,24 @@ mod tests {
             store.load("missing").unwrap_err().kind(),
             io::ErrorKind::NotFound
         );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn quarantine_hides_the_file_from_listing_but_keeps_it_on_disk() {
+        let store = SnapshotStore::open(temp_dir("quarantine")).unwrap();
+        let image = image_with_jobs(1);
+        store.save("healthy", 1, &image).unwrap();
+        std::fs::write(store.path_for("torn"), "{\"schema\":\"msmr-clu").unwrap();
+        assert_eq!(store.list().unwrap(), vec!["healthy", "torn"]);
+
+        let target = store.quarantine("torn").unwrap();
+        assert!(target.exists(), "quarantined file is kept for forensics");
+        assert!(target.to_string_lossy().ends_with("torn.json.corrupt"));
+        assert!(!store.path_for("torn").exists());
+        assert_eq!(store.list().unwrap(), vec!["healthy"]);
+        // Quarantining a missing snapshot is an error, not a silent ok.
+        assert!(store.quarantine("torn").is_err());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

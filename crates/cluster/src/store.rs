@@ -110,17 +110,17 @@ fn fnv1a(name: &str) -> u64 {
 }
 
 /// The mutable core of a [`SharedSession`]: the admission session plus
-/// the counters that order and version its history.
+/// the version counter. The decision `seq` counter lives *inside*
+/// [`AdmissionSession`] (together with its bounded decision log), so it
+/// is captured by snapshots and survives restores — the property the
+/// v5 seq-idempotency rule needs to dedupe replayed ops after a daemon
+/// restart.
 struct SessionInner {
     session: AdmissionSession,
     /// Mutation version: bumps on submit, accepted admit, withdraw and
     /// restore. Snapshots record it; stale-snapshot detection and cache
     /// invalidation key off it.
     version: u64,
-    /// Decision counter: bumps on *every* admit decision (accepted or
-    /// rejected). Its value is the `seq` of the decision's admit frame,
-    /// which totally orders the decisions of a session across clients.
-    decisions: u64,
 }
 
 /// One named session, shared by any number of attached connections.
@@ -149,7 +149,6 @@ impl SharedSession {
             inner: Mutex::new(SessionInner {
                 session: AdmissionSession::new(config),
                 version: 0,
-                decisions: 0,
             }),
         }
     }
@@ -223,35 +222,38 @@ impl SharedSession {
     }
 
     /// Decides admission of one arriving job; see
-    /// [`AdmissionSession::admit`]. Returns the outcome together with
-    /// the decision's sequence number; bumps the version on acceptance.
+    /// [`AdmissionSession::admit_seq`]. Returns the outcome, the
+    /// decision's sequence number, and whether the op was a deduped
+    /// seq-replay (acked without re-applying — the version does not
+    /// bump). Bumps the version on freshly applied acceptance.
     ///
     /// # Errors
     ///
-    /// Propagates [`SessionError`] from the underlying session (the
-    /// decision counter only advances for decided admissions).
+    /// Propagates [`SessionError`] from the underlying session,
+    /// including the seq-validation errors of the v5 idempotency rule
+    /// (the decision counter only advances for decided admissions).
     pub fn admit(
         &self,
         spec: &JobSpec,
         evaluate: bool,
+        seq: Option<u64>,
         sink: impl FnMut(&Verdict),
-    ) -> Result<(AdmitOutcome, u64), SessionError> {
+    ) -> Result<(AdmitOutcome, u64, bool), SessionError> {
         self.touch();
         let mut inner = self.lock();
-        let outcome = inner.session.admit(spec, evaluate, sink)?;
-        inner.decisions += 1;
-        if outcome.admitted {
+        let (outcome, seq, deduped) = inner.session.admit_seq(spec, evaluate, seq, sink)?;
+        if outcome.admitted && !deduped {
             inner.version += 1;
         }
-        Ok((outcome, inner.decisions))
+        Ok((outcome, seq, deduped))
     }
 
     /// Removes an admitted job by handle and re-decides the reduced set
-    /// through the online seam; see [`AdmissionSession::withdraw`].
+    /// through the online seam; see [`AdmissionSession::withdraw_seq`].
     /// Withdrawals are decider decisions too, so they advance the same
     /// `seq` counter as admissions (interleaved multi-client histories of
     /// both op kinds re-order into one serialized replay) and bump the
-    /// version.
+    /// version (unless the op was a deduped seq-replay).
     ///
     /// # Errors
     ///
@@ -261,14 +263,23 @@ impl SharedSession {
         &self,
         handle: u64,
         evaluate: bool,
+        seq: Option<u64>,
         sink: impl FnMut(&Verdict),
-    ) -> Result<(WithdrawOutcome, u64), SessionError> {
+    ) -> Result<(WithdrawOutcome, u64, bool), SessionError> {
         self.touch();
         let mut inner = self.lock();
-        let outcome = inner.session.withdraw(handle, evaluate, sink)?;
-        inner.decisions += 1;
-        inner.version += 1;
-        Ok((outcome, inner.decisions))
+        let (outcome, seq, deduped) = inner.session.withdraw_seq(handle, evaluate, seq, sink)?;
+        if !deduped {
+            inner.version += 1;
+        }
+        Ok((outcome, seq, deduped))
+    }
+
+    /// The session's decision counter — the seq horizon a resuming
+    /// client re-issues its journal against (reported by attach frames).
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.lock().session.decisions()
     }
 
     /// The session's status snapshot.
@@ -287,13 +298,14 @@ impl SharedSession {
     }
 
     /// Replaces the session's state with one rebuilt from a snapshot
-    /// (the restore path; the decision counter restarts at 0).
+    /// (the restore path). The decision counter is part of the restored
+    /// session — it continues from the snapshotted value, so seqs stay
+    /// monotonic across restarts and replayed ops dedupe correctly.
     pub fn install(&self, session: AdmissionSession, version: u64) {
         self.touch();
         let mut inner = self.lock();
         inner.session = session;
         inner.version = version;
-        inner.decisions = 0;
     }
 }
 
@@ -771,9 +783,45 @@ mod tests {
                     resource: 0,
                 }],
             };
-            let (_, seq) = session.admit(&spec, false, |_| {}).unwrap();
+            let (_, seq, deduped) = session.admit(&spec, false, None, |_| {}).unwrap();
             assert_eq!(seq, expected);
+            assert!(!deduped, "no seq asserted, nothing to dedupe");
         }
         assert_eq!(session.jobs(), 4);
+        assert_eq!(session.decisions(), 4);
+    }
+
+    #[test]
+    fn seq_replays_dedupe_without_bumping_the_version() {
+        use msmr_model::{JobSetBuilder, PreemptionPolicy};
+        use msmr_serve::protocol::StageDemand;
+        let store = SessionStore::new(1, SessionConfig::default());
+        let session = store.attach("dedupe", true).unwrap().session;
+        let mut b = JobSetBuilder::new();
+        b.stage("cpu", 2, PreemptionPolicy::Preemptive);
+        session.submit(b.build().unwrap(), false, |_| {});
+        let spec = JobSpec {
+            arrival: 0,
+            deadline: 500,
+            stages: vec![StageDemand {
+                time: 2,
+                resource: 0,
+            }],
+        };
+        let (first, seq, deduped) = session.admit(&spec, false, Some(1), |_| {}).unwrap();
+        assert!(first.admitted && !deduped);
+        assert_eq!(seq, 1);
+        let version = session.version();
+
+        // The same op re-issued (a resuming client's journal replay):
+        // acked with the recorded outcome, nothing re-applied.
+        let (replay, seq, deduped) = session.admit(&spec, false, Some(1), |_| {}).unwrap();
+        assert!(deduped, "replayed seq must dedupe");
+        assert_eq!(seq, 1);
+        assert_eq!(replay.admitted, first.admitted);
+        assert_eq!(replay.handle, first.handle);
+        assert_eq!(session.version(), version, "dedupe must not bump version");
+        assert_eq!(session.jobs(), 1, "the job was applied exactly once");
+        assert_eq!(session.decisions(), 1);
     }
 }

@@ -372,6 +372,7 @@ fn interleaved_clients_match_the_serialized_replay() {
                         .request(Op::Admit(AdmitOp {
                             job: spec.clone(),
                             evaluate: Some(true),
+                            seq: None,
                         }))
                         .expect("admit");
                     let seq = frames
@@ -510,6 +511,7 @@ fn snapshot_survives_a_daemon_restart_over_the_wire() {
         .request(Op::Admit(AdmitOp {
             job: spec,
             evaluate: Some(false),
+            seq: None,
         }))
         .expect("admit after restore");
     assert!(frames.iter().any(|f| matches!(f.frame, Frame::Admit(_))));

@@ -66,7 +66,7 @@ fn idle_sessions_are_snapshotted_then_dropped_and_restorable() {
     // attached.
     let idle = engine.store().attach("idle", true).unwrap().session;
     idle.submit(pipeline_only(), false, |_| {});
-    idle.admit(&spec(), false, |_| {}).unwrap();
+    idle.admit(&spec(), false, None, |_| {}).unwrap();
     idle.client_detached();
     let held = engine.store().attach("held", true).unwrap().session;
     held.submit(pipeline_only(), false, |_| {});

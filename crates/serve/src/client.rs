@@ -6,13 +6,13 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use msmr_model::{JobId, JobSet};
 
 use crate::protocol::{
-    read_response, write_request, AdmitOp, AttachFrame, AttachOp, Frame, JobSpec, Op, Request,
-    Response, SubmitOp, WithdrawOp,
+    read_response, write_request, AdmitFrame, AdmitOp, AttachFrame, AttachOp, Frame, JobSpec, Op,
+    Request, Response, SnapshotOp, SubmitOp, WithdrawFrame, WithdrawOp,
 };
 
 /// A deterministic splitmix64 used to pick withdraw points in mixed
@@ -274,6 +274,7 @@ impl Client {
             let frames = self.request(Op::Admit(AdmitOp {
                 job: JobSpec::from_job(trace.job(id)),
                 evaluate: Some(evaluate),
+                seq: None,
             }))?;
             outcome
                 .latencies_us
@@ -324,6 +325,7 @@ impl Client {
                 let frames = self.request(Op::Withdraw(WithdrawOp {
                     job: victim,
                     evaluate: Some(evaluate),
+                    seq: None,
                 }))?;
                 for frame in &frames {
                     match &frame.frame {
@@ -385,6 +387,460 @@ impl ReplayOutcome {
 #[must_use]
 pub fn percentile_us(samples: &[f64], p: f64) -> f64 {
     msmr_stats::nearest_rank(samples, p)
+}
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// `Overload` refusals and reconnecting after connection loss.
+///
+/// Delays are `base_delay · 2^(attempt−1)`, capped at `max_delay`, then
+/// scaled by a jitter factor in `[0.5, 1.0)` drawn from a seeded
+/// [`MixRng`] — so a chaos run's retry timing is a pure function of the
+/// seed, like everything else in a replay.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts before giving up with [`RetryError::Exhausted`]
+    /// (the first attempt counts; 1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound every delay is capped at (pre-jitter).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based), jittered
+    /// from `rng`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, rng: &mut MixRng) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32);
+        let uncapped = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(self.max_delay);
+        uncapped.mul_f64(0.5 + 0.5 * rng.next_f64())
+    }
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Debug)]
+pub enum RetryError {
+    /// Every attempt failed with a retryable error (overload or
+    /// connection loss); `last` is the final attempt's failure.
+    Exhausted {
+        /// Attempts made (= the policy's `max_attempts`).
+        attempts: u32,
+        /// The last retryable failure.
+        last: io::Error,
+    },
+    /// The daemon answered with a typed `Error` frame or the response
+    /// was structurally invalid — retrying cannot help.
+    Fatal(io::Error),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            RetryError::Fatal(e) => write!(f, "fatal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Resume-side counters a chaos harness asserts on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Attempts repeated after a retryable failure.
+    pub retries: u64,
+    /// Connections re-established after loss.
+    pub reconnects: u64,
+    /// Acks carrying `deduped: true` — journaled ops the daemon had
+    /// already applied and acknowledged without re-applying.
+    pub deduped_acks: u64,
+}
+
+/// One journaled (not yet checkpointed) operation, replayable verbatim.
+#[derive(Debug, Clone)]
+enum PendingPayload {
+    Admit { job: JobSpec, evaluate: bool },
+    Withdraw { job: u64, evaluate: bool },
+}
+
+#[derive(Debug, Clone)]
+struct PendingOp {
+    seq: u64,
+    payload: PendingPayload,
+}
+
+impl PendingOp {
+    fn to_op(&self) -> Op {
+        match &self.payload {
+            PendingPayload::Admit { job, evaluate } => Op::Admit(AdmitOp {
+                job: job.clone(),
+                evaluate: Some(*evaluate),
+                seq: Some(self.seq),
+            }),
+            PendingPayload::Withdraw { job, evaluate } => Op::Withdraw(WithdrawOp {
+                job: *job,
+                evaluate: Some(*evaluate),
+                seq: Some(self.seq),
+            }),
+        }
+    }
+}
+
+/// How one attempt of one op failed, for the retry loop's triage.
+enum IssueError {
+    /// Transport failure — reconnect and retry.
+    Io(io::Error),
+    /// Typed `Overload` refusal — back off and retry on the same
+    /// connection.
+    Overload(io::Error),
+    /// Typed daemon error or malformed response — do not retry.
+    Fatal(io::Error),
+}
+
+/// A crash-tolerant session client: every admit/withdraw carries a
+/// client-assigned decision `seq` (the v5 seq-idempotency rule) and is
+/// journaled until a checkpoint, so the client can survive daemon
+/// restarts and connection loss by reconnecting, re-attaching and
+/// re-issuing the journal — the daemon's seq-dedupe turns the replay
+/// into exactly-once application.
+///
+/// Overload refusals and connection loss are retried under a
+/// [`RetryPolicy`]; typed daemon errors surface as
+/// [`RetryError::Fatal`]. [`ResumingClient::checkpoint`] persists the
+/// session server-side and prunes the journal up to the acked horizon.
+///
+/// Requires a cluster-mode daemon (classic mode refuses seq-carrying
+/// ops with a typed error).
+pub struct ResumingClient {
+    endpoint: Endpoint,
+    session: String,
+    policy: RetryPolicy,
+    rng: MixRng,
+    client: Option<Client>,
+    pipeline: Option<JobSet>,
+    next_seq: u64,
+    journal: Vec<PendingOp>,
+    stats: ResumeStats,
+    observed: Vec<ObservedOp>,
+}
+
+/// The full response stream one applied (or dedupe-acked) op produced,
+/// tagged with its decision seq — what a verifying harness replays
+/// offline. Reconnect-time journal replays are observed too, so the
+/// log's *last* entry per seq reflects the application that survived.
+#[derive(Debug, Clone)]
+pub struct ObservedOp {
+    /// The op's decision seq.
+    pub seq: u64,
+    /// Every response frame of the successful attempt.
+    pub frames: Vec<Response>,
+}
+
+impl ResumingClient {
+    /// A client for `session` on `endpoint`; connection is lazy (the
+    /// first op connects). `retry_seed` drives the backoff jitter.
+    #[must_use]
+    pub fn new(
+        endpoint: Endpoint,
+        session: &str,
+        policy: RetryPolicy,
+        retry_seed: u64,
+    ) -> ResumingClient {
+        ResumingClient {
+            endpoint,
+            session: session.to_string(),
+            policy,
+            rng: MixRng::new(retry_seed),
+            client: None,
+            pipeline: None,
+            next_seq: 1,
+            journal: Vec::new(),
+            stats: ResumeStats::default(),
+            observed: Vec::new(),
+        }
+    }
+
+    /// Drains the observation log: every successful op's response
+    /// frames in the order the daemon acked them, reconnect replays
+    /// included.
+    pub fn drain_observed(&mut self) -> Vec<ObservedOp> {
+        std::mem::take(&mut self.observed)
+    }
+
+    /// Re-points the client at a new endpoint (a restarted daemon on a
+    /// fresh port, a failover address). The live connection is dropped;
+    /// the next op reconnects, re-attaches and replays the journal
+    /// there.
+    pub fn set_endpoint(&mut self, endpoint: Endpoint) {
+        self.endpoint = endpoint;
+        self.client = None;
+    }
+
+    /// The resume counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ResumeStats {
+        self.stats
+    }
+
+    /// Ops journaled and not yet checkpointed.
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Sets the pipeline the session is (re)created with: whenever a
+    /// reconnect finds the session did not survive (attach reports
+    /// `created`), this job set is re-submitted before the journal is
+    /// replayed.
+    pub fn set_pipeline(&mut self, jobs: JobSet) {
+        self.pipeline = Some(jobs);
+    }
+
+    /// Admits a job under the next decision seq, retrying through
+    /// overloads and reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Exhausted`] when the policy gives up,
+    /// [`RetryError::Fatal`] on typed daemon errors.
+    pub fn admit(&mut self, job: &JobSpec, evaluate: bool) -> Result<AdmitFrame, RetryError> {
+        let op = PendingOp {
+            seq: self.next_seq,
+            payload: PendingPayload::Admit {
+                job: job.clone(),
+                evaluate,
+            },
+        };
+        self.journal.push(op.clone());
+        let frames = self.issue_with_retry(&op)?;
+        self.observed.push(ObservedOp {
+            seq: op.seq,
+            frames: frames.clone(),
+        });
+        let frame = frames
+            .iter()
+            .find_map(|r| match &r.frame {
+                Frame::Admit(frame) => Some(frame.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                RetryError::Fatal(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "daemon answered admit without an admit frame",
+                ))
+            })?;
+        if frame.deduped == Some(true) {
+            self.stats.deduped_acks += 1;
+        }
+        self.next_seq += 1;
+        Ok(frame)
+    }
+
+    /// Withdraws an admitted handle under the next decision seq,
+    /// retrying through overloads and reconnects.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResumingClient::admit`].
+    pub fn withdraw(&mut self, job: u64, evaluate: bool) -> Result<WithdrawFrame, RetryError> {
+        let op = PendingOp {
+            seq: self.next_seq,
+            payload: PendingPayload::Withdraw { job, evaluate },
+        };
+        self.journal.push(op.clone());
+        let frames = self.issue_with_retry(&op)?;
+        self.observed.push(ObservedOp {
+            seq: op.seq,
+            frames: frames.clone(),
+        });
+        let frame = frames
+            .iter()
+            .find_map(|r| match &r.frame {
+                Frame::Withdraw(frame) => Some(frame.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                RetryError::Fatal(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "daemon answered withdraw without a withdraw frame",
+                ))
+            })?;
+        if frame.deduped == Some(true) {
+            self.stats.deduped_acks += 1;
+        }
+        self.next_seq += 1;
+        Ok(frame)
+    }
+
+    /// Snapshots the session server-side and prunes the journal: ops
+    /// acked before a successful checkpoint are durable on the daemon's
+    /// disk and never need re-issuing.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResumingClient::admit`].
+    pub fn checkpoint(&mut self) -> Result<(), RetryError> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+                self.stats.retries += 1;
+            }
+            let result = (|| -> Result<(), IssueError> {
+                self.ensure_connected().map_err(IssueError::Io)?;
+                let client = self.client.as_mut().expect("connected above");
+                let frames = client
+                    .request(Op::Snapshot(SnapshotOp {
+                        session: Some(self.session.clone()),
+                    }))
+                    .map_err(IssueError::Io)?;
+                triage_frames(&frames)
+            })();
+            match result {
+                Ok(()) => {
+                    self.journal.clear();
+                    return Ok(());
+                }
+                Err(IssueError::Io(e)) => {
+                    self.client = None;
+                    last = Some(e);
+                }
+                Err(IssueError::Overload(e)) => last = Some(e),
+                Err(IssueError::Fatal(e)) => return Err(RetryError::Fatal(e)),
+            }
+        }
+        Err(RetryError::Exhausted {
+            attempts: self.policy.max_attempts,
+            last: last.unwrap_or_else(|| io::Error::other("no attempt ran")),
+        })
+    }
+
+    fn issue_with_retry(&mut self, op: &PendingOp) -> Result<Vec<Response>, RetryError> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+                self.stats.retries += 1;
+            }
+            match self.try_issue(op) {
+                Ok(frames) => return Ok(frames),
+                Err(IssueError::Io(e)) => {
+                    self.client = None;
+                    last = Some(e);
+                }
+                Err(IssueError::Overload(e)) => last = Some(e),
+                Err(IssueError::Fatal(e)) => return Err(RetryError::Fatal(e)),
+            }
+        }
+        Err(RetryError::Exhausted {
+            attempts: self.policy.max_attempts,
+            last: last.unwrap_or_else(|| io::Error::other("no attempt ran")),
+        })
+    }
+
+    fn try_issue(&mut self, op: &PendingOp) -> Result<Vec<Response>, IssueError> {
+        self.ensure_connected().map_err(IssueError::Io)?;
+        let client = self.client.as_mut().expect("connected above");
+        let frames = client.request(op.to_op()).map_err(IssueError::Io)?;
+        triage_frames(&frames)?;
+        Ok(frames)
+    }
+
+    /// Connects, attaches and resyncs when no live connection exists:
+    /// re-submits the pipeline if the session had to be re-created, then
+    /// replays every journaled op older than the one about to be issued
+    /// — the daemon's seq-dedupe acks already-applied entries without
+    /// re-applying them.
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let had_session = self.next_seq > 1;
+        let mut client = Client::connect(&self.endpoint)?;
+        let attach = client.attach(&self.session, true)?;
+        if had_session {
+            self.stats.reconnects += 1;
+        }
+        if attach.created {
+            if let Some(jobs) = &self.pipeline {
+                let frames = client.request(Op::Submit(SubmitOp {
+                    jobs: jobs.clone(),
+                    parallel: None,
+                }))?;
+                if let Err(IssueError::Fatal(e) | IssueError::Io(e) | IssueError::Overload(e)) =
+                    triage_frames(&frames)
+                {
+                    return Err(e);
+                }
+            }
+        }
+        // Replay the journal up to (not including) next_seq — the op
+        // currently being issued is journaled too and follows normally.
+        for entry in &self.journal {
+            if entry.seq >= self.next_seq {
+                continue;
+            }
+            let frames = client.request(entry.to_op())?;
+            match triage_frames(&frames) {
+                Ok(()) => {}
+                Err(IssueError::Fatal(e) | IssueError::Io(e) | IssueError::Overload(e)) => {
+                    return Err(e)
+                }
+            }
+            let deduped = frames.iter().any(|r| match &r.frame {
+                Frame::Admit(f) => f.deduped == Some(true),
+                Frame::Withdraw(f) => f.deduped == Some(true),
+                _ => false,
+            });
+            if deduped {
+                self.stats.deduped_acks += 1;
+            }
+            self.observed.push(ObservedOp {
+                seq: entry.seq,
+                frames,
+            });
+        }
+        self.client = Some(client);
+        Ok(())
+    }
+}
+
+/// Classifies one response stream for the retry loop.
+fn triage_frames(frames: &[Response]) -> Result<(), IssueError> {
+    for frame in frames {
+        match &frame.frame {
+            Frame::Error(e) => {
+                return Err(IssueError::Fatal(io::Error::other(e.message.clone())));
+            }
+            Frame::Overload(overload) => {
+                return Err(IssueError::Overload(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "server overloaded ({}/{} tasks queued)",
+                        overload.queued, overload.capacity
+                    ),
+                )));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -464,5 +920,44 @@ mod tests {
             .replay_trace(&one_job_trace(), false, |_, _, _| Ok(()))
             .unwrap_err();
         assert_ne!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn retry_delays_are_capped_exponential_and_seed_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        };
+        let mut a = MixRng::new(7);
+        let mut b = MixRng::new(7);
+        for attempt in 1..=12 {
+            let da = policy.delay(attempt, &mut a);
+            let db = policy.delay(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same jitter");
+            // Jitter scales the capped exponential into [0.5, 1.0).
+            let uncapped = Duration::from_millis(1 << (attempt - 1).min(7));
+            let ceiling = uncapped.min(Duration::from_millis(100));
+            assert!(da >= ceiling.mul_f64(0.5), "attempt {attempt}: {da:?}");
+            assert!(da < ceiling, "attempt {attempt}: {da:?} vs {ceiling:?}");
+        }
+        let mut c = MixRng::new(8);
+        assert_ne!(
+            policy.delay(3, &mut MixRng::new(7)),
+            policy.delay(3, &mut c),
+            "different seeds draw different jitter"
+        );
+    }
+
+    #[test]
+    fn retry_errors_render_their_triage() {
+        let exhausted = RetryError::Exhausted {
+            attempts: 8,
+            last: io::Error::new(io::ErrorKind::WouldBlock, "server overloaded"),
+        };
+        assert!(exhausted.to_string().contains("8 attempts"));
+        assert!(exhausted.to_string().contains("overloaded"));
+        let fatal = RetryError::Fatal(io::Error::other("seq conflict"));
+        assert!(fatal.to_string().starts_with("fatal:"));
     }
 }

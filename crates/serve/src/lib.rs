@@ -59,8 +59,10 @@
 //! (`msmr-served --cluster`); this crate's classic per-connection server
 //! answers them with an `Error` frame. See the `msmr-cluster` crate
 //! docs for a worked attach/snapshot transcript, and the [`protocol`]
-//! module docs for the full v1 → v4 version history (v4 adds the
-//! `stats` observability op, answered by both server modes).
+//! module docs for the full v1 → v5 version history (v4 adds the
+//! `stats` observability op, answered by both server modes; v5 adds the
+//! seq-idempotency rule for crash-safe resume, served by cluster mode
+//! and driven client-side by [`client::ResumingClient`]).
 //!
 //! A worked transcript (client lines marked `>`, daemon lines `<`,
 //! verdicts abbreviated). The session is opened with a pipeline-only
@@ -99,7 +101,7 @@
 //! ```text
 //! > {"id":6,"op":{"Withdraw":{"job":1,"evaluate":null}}}
 //! < {"id":6,"frame":{"Verdict":{"verdict":{"solver":"OPDCA","kind":"Accepted",...}}}}
-//! < {"id":6,"frame":{"Withdraw":{"job":1,"jobs":2,"seq":null}}}
+//! < {"id":6,"frame":{"Withdraw":{"job":1,"jobs":2,"seq":null,"deduped":null}}}
 //! < {"id":6,"frame":{"Done":{"frames":2}}}
 //! > {"id":7,"op":{"Shutdown":{}}}
 //! < {"id":7,"frame":{"Done":{"frames":0}}}
@@ -144,13 +146,16 @@ pub mod protocol;
 mod server;
 mod session;
 
-pub use client::{percentile_us, Client, Endpoint, MixRng, ReplayOutcome, ReplayedOp};
+pub use client::{
+    percentile_us, Client, Endpoint, MixRng, ObservedOp, ReplayOutcome, ReplayedOp, ResumeStats,
+    ResumingClient, RetryError, RetryPolicy,
+};
 pub use server::{
     serve_connection, ConnHandler, ConnStream, FrameSink, Listen, ServeOptions, Server,
 };
 pub use session::{
-    AdmissionSession, AdmitOutcome, SessionConfig, SessionError, SessionImage, SessionStatus,
-    WithdrawOutcome,
+    AdmissionSession, AdmitOutcome, DecisionRecord, SessionConfig, SessionError, SessionImage,
+    SessionStatus, WithdrawOutcome, DECISION_LOG_CAP,
 };
 
 use msmr_dca::DelayBoundKind;

@@ -10,7 +10,7 @@
 //!
 //! # Versioning
 //!
-//! [`PROTOCOL_VERSION`] is `4`. The version history:
+//! [`PROTOCOL_VERSION`] is `5`. The version history:
 //!
 //! * **v1** carried the five original ops (`submit`, `admit`,
 //!   `withdraw`, `status`, `shutdown`), whose request encodings are
@@ -36,14 +36,46 @@
 //!   snapshot is also served out-of-band by the daemon's
 //!   `--stats-addr` side channel, so scrapers need not compete with
 //!   admission traffic.
+//! * **v5** made the decision `seq` writable by clients for
+//!   **seq-idempotent resume**: [`AdmitOp`] and [`WithdrawOp`] gained an
+//!   optional `seq` the client asserts for the decision it expects this
+//!   op to be, [`AdmitFrame`]/[`WithdrawFrame`] gained an optional
+//!   `deduped` marker, and [`AttachFrame`] gained the session's current
+//!   `decisions` counter so a resuming client learns the daemon's seq
+//!   horizon. Every older op and frame is byte-unchanged.
+//!
+//! # The seq-idempotency rule (v5)
+//!
+//! A cluster session numbers its decisions 1, 2, 3, … (admit accepts,
+//! admit rejects and withdrawals all count; the counter survives
+//! snapshot restore). A client MAY assert a `seq` on an admit/withdraw
+//! op, claiming "this op is decision number `seq`":
+//!
+//! * `seq == decisions + 1` — the op is new; the session applies it and
+//!   the result frame echoes the seq.
+//! * `seq <= decisions` — the op is a **replay** (a retry after a lost
+//!   ack, a duplicated frame, a resume after reconnect). If the
+//!   session's bounded decision log records the same op (kind +
+//!   payload fingerprint) under that seq, the recorded outcome is
+//!   re-acked with `deduped: true` and **nothing is re-applied** — a
+//!   duplicated admit can never double-admit. A *different* op under a
+//!   consumed seq, or a seq older than the log retains, is a typed
+//!   error.
+//! * `seq > decisions + 1` — a typed gap error (the client skipped
+//!   ahead).
+//!
+//! Ops without a `seq` always apply (the pre-v5 behaviour). The classic
+//! per-connection server does not support the rule (its sessions die
+//! with the connection, so there is nothing to resume) and answers
+//! seq-carrying ops with a typed error.
 //!
 //! Clients must ignore unknown response fields (older readers of newer
 //! frames) and treat missing optional fields as `None` (newer readers of
 //! older frames; both directions are covered by tests).
 
 /// The wire-protocol version this build speaks. See the module docs for
-/// the v1 → v2 → v3 → v4 deltas.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// the v1 → v2 → v3 → v4 → v5 deltas.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 use std::io::{self, BufRead, Write};
 
@@ -115,6 +147,10 @@ pub struct AdmitOp {
     /// verdict); `false` runs and streams only the decider — the
     /// low-latency path.
     pub evaluate: Option<bool>,
+    /// Client-asserted decision sequence number for seq-idempotent
+    /// resume (protocol v5; cluster mode only — see the module docs for
+    /// the rule). Absent opts out: the op always applies.
+    pub seq: Option<u64>,
 }
 
 /// An arriving job, id-less: the session assigns the internal id and
@@ -185,6 +221,9 @@ pub struct WithdrawOp {
     /// the reduced set (wall-clock provenance fields zeroed). Absent in
     /// v1 requests, which parse as `None`.
     pub evaluate: Option<bool>,
+    /// Client-asserted decision sequence number for seq-idempotent
+    /// resume (protocol v5; cluster mode only). Absent opts out.
+    pub seq: Option<u64>,
 }
 
 /// Payload of [`Op::Status`] (no fields).
@@ -300,6 +339,11 @@ pub struct AdmitFrame {
     /// byte-for-byte. `None` (serialized as `null`) in classic
     /// per-connection mode; missing in v1 frames, which parse as `None`.
     pub seq: Option<u64>,
+    /// `Some(true)` when this frame acks a seq-idempotent **replay**:
+    /// the decision was already made, nothing was re-applied, and the
+    /// frame reports the recorded outcome (protocol v5). `None` on
+    /// every freshly applied decision and in pre-v5 frames.
+    pub deduped: Option<bool>,
 }
 
 /// Payload of [`Frame::Withdraw`].
@@ -316,6 +360,9 @@ pub struct WithdrawFrame {
     /// can be re-ordered into the serialized replay the verifier checks;
     /// `None` in classic per-connection mode, missing in v1 frames.
     pub seq: Option<u64>,
+    /// `Some(true)` when this frame acks a seq-idempotent replay of an
+    /// already-applied withdrawal (protocol v5; see [`AdmitFrame`]).
+    pub deduped: Option<bool>,
 }
 
 /// Payload of [`Frame::Status`].
@@ -367,6 +414,10 @@ pub struct AttachFrame {
     pub jobs: u64,
     /// The daemon's wire-protocol version ([`PROTOCOL_VERSION`]).
     pub protocol: u32,
+    /// The session's decision counter at attach time (protocol v5,
+    /// cluster mode): the seq horizon a resuming client re-issues its
+    /// unacked ops against. `None` in pre-v5 frames.
+    pub decisions: Option<u64>,
 }
 
 /// Payload of [`Frame::Detach`].
@@ -516,6 +567,7 @@ mod tests {
                         }],
                     },
                     evaluate: None,
+                    seq: Some(4),
                 }),
             },
             Request {
@@ -523,6 +575,7 @@ mod tests {
                 op: Op::Withdraw(WithdrawOp {
                     job: 7,
                     evaluate: Some(true),
+                    seq: None,
                 }),
             },
             Request {
@@ -583,6 +636,7 @@ mod tests {
                     jobs: 9,
                     decider: "OPDCA".to_string(),
                     seq: Some(10),
+                    deduped: Some(true),
                 }),
             },
             Response {
@@ -591,6 +645,7 @@ mod tests {
                     job: 4,
                     jobs: 8,
                     seq: Some(11),
+                    deduped: None,
                 }),
             },
             Response {
@@ -624,6 +679,7 @@ mod tests {
                     attached: 2,
                     jobs: 7,
                     protocol: PROTOCOL_VERSION,
+                    decisions: Some(12),
                 }),
             },
             Response {
@@ -708,9 +764,11 @@ mod tests {
             jobs: 2,
             decider: "OPDCA".to_string(),
             seq: None,
+            deduped: None,
         });
         let line = serde_json::to_string(&frame).unwrap();
         assert!(line.contains("\"seq\":null"), "{line}");
+        assert!(line.contains("\"deduped\":null"), "{line}");
     }
 
     #[test]
@@ -731,14 +789,15 @@ mod tests {
             panic!("expected withdraw frame");
         };
         assert_eq!(frame.seq, None);
+        assert_eq!(frame.deduped, None);
         assert_eq!(frame.jobs, 3);
     }
 
     #[test]
-    fn v3_encodings_are_byte_unchanged_under_v4() {
-        // v4 adds the `stats` op and frame and nothing else: a v3
-        // request/response pair must serialize to the exact bytes a v3
-        // build produced. Pinned on the hot admit path.
+    fn v5_encodings_are_byte_pinned_on_the_hot_admit_path() {
+        // The v5 wire bytes for the hot admit path, pinned exactly: the
+        // new optional fields ride at the end of their structs and the
+        // vendored serde writes `None` as an explicit null.
         let request = Request {
             id: 2,
             op: Op::Admit(AdmitOp {
@@ -751,11 +810,12 @@ mod tests {
                     }],
                 },
                 evaluate: Some(false),
+                seq: None,
             }),
         };
         assert_eq!(
             serde_json::to_string(&request).unwrap(),
-            r#"{"id":2,"op":{"Admit":{"job":{"arrival":3,"deadline":50,"stages":[{"time":4,"resource":0}]},"evaluate":false}}}"#
+            r#"{"id":2,"op":{"Admit":{"job":{"arrival":3,"deadline":50,"stages":[{"time":4,"resource":0}]},"evaluate":false,"seq":null}}}"#
         );
         let response = Response {
             id: 2,
@@ -765,12 +825,43 @@ mod tests {
                 jobs: 9,
                 decider: "OPDCA".to_string(),
                 seq: Some(10),
+                deduped: None,
             }),
         };
         assert_eq!(
             serde_json::to_string(&response).unwrap(),
-            r#"{"id":2,"frame":{"Admit":{"admitted":true,"job":4,"jobs":9,"decider":"OPDCA","seq":10}}}"#
+            r#"{"id":2,"frame":{"Admit":{"admitted":true,"job":4,"jobs":9,"decider":"OPDCA","seq":10,"deduped":null}}}"#
         );
+    }
+
+    #[test]
+    fn v4_encodings_still_parse_under_v5() {
+        // Bytes a v4 peer produced (no `seq` on ops, no `deduped` on
+        // decision frames, no `decisions` on attach) must parse with the
+        // new fields as `None`.
+        let line = r#"{"id":2,"op":{"Admit":{"job":{"arrival":3,"deadline":50,"stages":[{"time":4,"resource":0}]},"evaluate":false}}}"#;
+        let parsed: Request = serde_json::from_str(line).unwrap();
+        let Op::Admit(op) = parsed.op else {
+            panic!("expected admit op");
+        };
+        assert_eq!(op.seq, None);
+        assert_eq!(op.evaluate, Some(false));
+
+        let line = r#"{"id":2,"frame":{"Admit":{"admitted":true,"job":4,"jobs":9,"decider":"OPDCA","seq":10}}}"#;
+        let parsed: Response = serde_json::from_str(line).unwrap();
+        let Frame::Admit(frame) = parsed.frame else {
+            panic!("expected admit frame");
+        };
+        assert_eq!(frame.seq, Some(10));
+        assert_eq!(frame.deduped, None);
+
+        let line = r#"{"id":1,"frame":{"Attach":{"session":"t","created":true,"version":0,"attached":1,"jobs":0,"protocol":4}}}"#;
+        let parsed: Response = serde_json::from_str(line).unwrap();
+        let Frame::Attach(frame) = parsed.frame else {
+            panic!("expected attach frame");
+        };
+        assert_eq!(frame.protocol, 4);
+        assert_eq!(frame.decisions, None);
     }
 
     #[test]

@@ -320,7 +320,7 @@ impl<'a, W: Write> FrameSink<'a, W> {
 ///
 /// Propagates I/O errors from the transport.
 pub fn serve_connection(
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write + Send,
     config: SessionConfig,
     shutdown: &AtomicBool,
@@ -343,12 +343,21 @@ pub fn serve_connection(
         AttachedGuard(stats)
     };
     let mut session = AdmissionSession::new(config);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut buffer = Vec::new();
+    loop {
+        buffer.clear();
+        if reader.read_until(b'\n', &mut buffer)? == 0 {
+            break;
+        }
+        // Lossy conversion instead of `lines()`: a line of binary junk
+        // must degrade to a parse failure answered with an Error frame,
+        // not an InvalidData error that tears the connection down.
+        let line = String::from_utf8_lossy(&buffer);
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
-        let request: Request = match serde_json::from_str(line.trim()) {
+        let request: Request = match serde_json::from_str(line) {
             Ok(request) => request,
             Err(e) => {
                 // Unparseable line: no id to correlate with, report on
@@ -383,6 +392,17 @@ pub fn serve_connection(
                 }
             }
             Op::Admit(op) => {
+                if op.seq.is_some() {
+                    // Classic per-connection sessions have no decision
+                    // log to dedupe against; refusing (instead of
+                    // silently applying) keeps the seq-idempotency
+                    // contract honest for resuming clients.
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: "idempotent seq requires the daemon's --cluster mode".to_string(),
+                    }));
+                    sink.finish()?;
+                    continue;
+                }
                 let evaluate = op.evaluate.unwrap_or(true);
                 match session.admit(&op.job, evaluate, |verdict| {
                     sink.send(Frame::Verdict(VerdictFrame {
@@ -390,9 +410,11 @@ pub fn serve_connection(
                     }));
                 }) {
                     Ok(outcome) => {
-                        sink.send(Frame::Admit(
-                            outcome.to_frame(&session.config().decider, None),
-                        ));
+                        sink.send(Frame::Admit(outcome.to_frame(
+                            &session.config().decider,
+                            None,
+                            false,
+                        )));
                     }
                     Err(e) => sink.send(Frame::Error(ErrorFrame {
                         message: e.to_string(),
@@ -400,6 +422,13 @@ pub fn serve_connection(
                 }
             }
             Op::Withdraw(op) => {
+                if op.seq.is_some() {
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: "idempotent seq requires the daemon's --cluster mode".to_string(),
+                    }));
+                    sink.finish()?;
+                    continue;
+                }
                 let evaluate = op.evaluate.unwrap_or(false);
                 match session.withdraw(op.job, evaluate, |verdict| {
                     sink.send(Frame::Verdict(VerdictFrame {
@@ -410,6 +439,7 @@ pub fn serve_connection(
                         job: op.job,
                         jobs: outcome.jobs as u64,
                         seq: None,
+                        deduped: None,
                     })),
                     Err(e) => sink.send(Frame::Error(ErrorFrame {
                         message: e.to_string(),
@@ -515,6 +545,7 @@ mod tests {
                         ],
                     },
                     evaluate: Some(true),
+                    seq: None,
                 }),
             },
             Request {
@@ -567,6 +598,7 @@ mod tests {
                     }],
                 },
                 evaluate: Some(false),
+                seq: None,
             }),
         }]);
         assert_eq!(responses.len(), 2);
@@ -650,6 +682,131 @@ mod tests {
     }
 
     #[test]
+    fn garbage_and_truncated_frames_never_kill_the_connection() {
+        // A fuzz-ish sweep over the malformed-frame space: truncated
+        // JSON, wrong-typed fields, binary junk, overlong ids, partial
+        // protocol structures. Every line must be answered with a typed
+        // Error frame on id 0 (no correlatable id parses out of any of
+        // them) and the connection must keep serving — proven by the
+        // healthy Status op at the end answering normally.
+        let garbage: &[&[u8]] = &[
+            b"{\"id\":1,\"op\":{\"Admit\"",
+            b"{\"id\":\"one\",\"op\":{\"Status\":{}}}",
+            b"\x00\xff\xfe binary junk \x01\x02",
+            b"{}",
+            b"[1,2,3]",
+            b"{\"id\":2,\"op\":{\"NoSuchOp\":{}}}",
+            b"{\"id\":3,\"op\":{\"Withdraw\":{\"job\":\"not-a-number\"}}}",
+            b"{\"id\":4,\"op\":{\"Admit\":{\"job\":{\"arrival\":-1}}}}",
+            b"\"just a string\"",
+        ];
+        let mut input = Vec::new();
+        for line in garbage {
+            input.extend_from_slice(line);
+            input.push(b'\n');
+        }
+        crate::protocol::write_request(
+            &mut input,
+            &Request {
+                id: 99,
+                op: Op::Status(StatusOp {}),
+            },
+        )
+        .unwrap();
+        let mut output = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        serve_connection(
+            input.as_slice(),
+            &mut output,
+            crate::session::SessionConfig::default(),
+            &shutdown,
+        )
+        .unwrap();
+        let mut reader = StdBufReader::new(output.as_slice());
+        let mut errors = 0;
+        let mut status_answered = false;
+        while let Some(response) = read_response(&mut reader).unwrap() {
+            match response.frame {
+                Frame::Error(_) => {
+                    assert_eq!(response.id, 0, "malformed lines report on id 0");
+                    errors += 1;
+                }
+                Frame::Status(_) => {
+                    assert_eq!(response.id, 99);
+                    status_answered = true;
+                }
+                Frame::Done(_) => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(errors, garbage.len());
+        assert!(status_answered, "the connection must survive the garbage");
+    }
+
+    #[test]
+    fn classic_mode_answers_seq_carrying_ops_with_a_typed_error() {
+        let responses = drive(&[
+            Request {
+                id: 1,
+                op: Op::Submit(SubmitOp {
+                    jobs: pipeline_only(),
+                    parallel: None,
+                }),
+            },
+            Request {
+                id: 2,
+                op: Op::Admit(AdmitOp {
+                    job: JobSpec {
+                        arrival: 0,
+                        deadline: 100,
+                        stages: vec![
+                            StageDemand {
+                                time: 3,
+                                resource: 0,
+                            },
+                            StageDemand {
+                                time: 4,
+                                resource: 0,
+                            },
+                        ],
+                    },
+                    evaluate: Some(false),
+                    seq: Some(1),
+                }),
+            },
+            Request {
+                id: 3,
+                op: Op::Withdraw(crate::protocol::WithdrawOp {
+                    job: 1,
+                    evaluate: None,
+                    seq: Some(2),
+                }),
+            },
+            Request {
+                id: 4,
+                op: Op::Status(StatusOp {}),
+            },
+        ]);
+        for id in [2, 3] {
+            let frames: Vec<&Response> = responses.iter().filter(|r| r.id == id).collect();
+            let Frame::Error(error) = &frames[0].frame else {
+                panic!(
+                    "expected error frame for id {id}, got {:?}",
+                    frames[0].frame
+                );
+            };
+            assert!(error.message.contains("--cluster"), "{}", error.message);
+        }
+        // Nothing was applied and the connection stayed healthy.
+        let status: Vec<&Response> = responses.iter().filter(|r| r.id == 4).collect();
+        let Frame::Status(frame) = &status[0].frame else {
+            panic!("expected status frame");
+        };
+        assert_eq!(frame.jobs, 0);
+        assert_eq!(frame.admits, 0);
+    }
+
+    #[test]
     fn stats_op_snapshots_the_shared_registry_and_tracks_attachment() {
         let stats = Arc::new(msmr_stats::StatsRegistry::new());
         let config = crate::session::SessionConfig {
@@ -682,6 +839,7 @@ mod tests {
                         ],
                     },
                     evaluate: Some(true),
+                    seq: None,
                 }),
             },
             Request {

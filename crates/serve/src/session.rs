@@ -63,6 +63,22 @@ pub enum SessionError {
     UnknownDecider(String),
     /// `withdraw` named a handle that is not admitted.
     UnknownHandle(u64),
+    /// A seq-carrying op skipped ahead of the session's decision
+    /// counter: the client lost an ack it never had, or is talking to
+    /// the wrong session.
+    SeqGap {
+        /// The seq the session would assign next.
+        expected: u64,
+        /// The seq the op claimed.
+        got: u64,
+    },
+    /// A replayed seq named a decision whose recorded op fingerprint
+    /// differs — the client is re-issuing a *different* op under an
+    /// already-consumed seq, which idempotent resume must refuse.
+    SeqConflict(u64),
+    /// A replayed seq is older than the bounded decision log retains,
+    /// so its op can no longer be verified for idempotent replay.
+    SeqRetired(u64),
 }
 
 impl fmt::Display for SessionError {
@@ -75,6 +91,21 @@ impl fmt::Display for SessionError {
             }
             SessionError::UnknownHandle(handle) => {
                 write!(f, "job handle {handle} is not admitted")
+            }
+            SessionError::SeqGap { expected, got } => {
+                write!(
+                    f,
+                    "seq gap: op claims seq {got} but the session expects {expected}"
+                )
+            }
+            SessionError::SeqConflict(seq) => {
+                write!(f, "seq conflict: seq {seq} was decided for a different op")
+            }
+            SessionError::SeqRetired(seq) => {
+                write!(
+                    f,
+                    "seq {seq} predates the retained decision log; re-attach and resync"
+                )
             }
         }
     }
@@ -116,17 +147,63 @@ pub struct AdmitOutcome {
 impl AdmitOutcome {
     /// The wire frame reporting this decision — the one encoding shared
     /// by the classic and the cluster connection loop (`seq` is the
-    /// cluster-mode decision sequence number, `None` in classic mode).
+    /// cluster-mode decision sequence number, `None` in classic mode;
+    /// `deduped` marks a seq-idempotent replay ack that re-applied
+    /// nothing).
     #[must_use]
-    pub fn to_frame(&self, decider: &str, seq: Option<u64>) -> AdmitFrame {
+    pub fn to_frame(&self, decider: &str, seq: Option<u64>, deduped: bool) -> AdmitFrame {
         AdmitFrame {
             admitted: self.admitted,
             job: self.handle,
             jobs: self.jobs as u64,
             decider: decider.to_string(),
             seq,
+            deduped: deduped.then_some(true),
         }
     }
+}
+
+/// Decisions the bounded per-session log retains for seq-idempotent
+/// replay verification; older seqs answer with
+/// [`SessionError::SeqRetired`].
+pub const DECISION_LOG_CAP: usize = 256;
+
+/// One entry of the session's bounded decision log: enough to recognize
+/// a replayed op by fingerprint and re-ack its outcome without
+/// re-applying it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// The decision's sequence number (1-based, total order).
+    pub seq: u64,
+    /// FNV-1a fingerprint of the op payload (kind-tagged: an admit and
+    /// a withdraw can never collide).
+    pub fingerprint: u64,
+    /// `true` for an admit decision, `false` for a withdraw.
+    pub admit: bool,
+    /// The admit decision (`true` for every withdraw record).
+    pub admitted: bool,
+    /// The handle assigned by an accepting admit.
+    pub handle: Option<u64>,
+    /// Session size right after the decision.
+    pub jobs: u64,
+}
+
+fn fnv1a_tagged(tag: u8, bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(tag);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn admit_fingerprint(spec: &JobSpec) -> u64 {
+    let json = serde_json::to_string(spec).expect("job specs serialize");
+    fnv1a_tagged(1, json.as_bytes())
+}
+
+fn withdraw_fingerprint(handle: u64) -> u64 {
+    fnv1a_tagged(2, &handle.to_le_bytes())
 }
 
 /// A point-in-time snapshot of the session.
@@ -216,6 +293,14 @@ pub struct AdmissionSession {
     admits: u64,
     rejects: u64,
     next_handle: u64,
+    /// Total decisions made (admit accepts + rejects + withdraws): the
+    /// per-session `seq` the cluster frames expose, owned here so it
+    /// survives snapshot restore and seq-idempotent resume works across
+    /// daemon crashes.
+    decisions: u64,
+    /// Bounded log of recent decisions for seq-idempotent replay
+    /// (newest last, capped at [`DECISION_LOG_CAP`]).
+    decision_log: Vec<DecisionRecord>,
 }
 
 impl AdmissionSession {
@@ -232,7 +317,55 @@ impl AdmissionSession {
             admits: 0,
             rejects: 0,
             next_handle: 1,
+            decisions: 0,
+            decision_log: Vec::new(),
         }
+    }
+
+    /// Total decisions made (the seq of the most recent one; the next
+    /// decision gets `decisions() + 1`).
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn record_decision(&mut self, record: DecisionRecord) {
+        self.decision_log.push(record);
+        if self.decision_log.len() > DECISION_LOG_CAP {
+            let excess = self.decision_log.len() - DECISION_LOG_CAP;
+            self.decision_log.drain(..excess);
+        }
+    }
+
+    /// Validates a client-asserted decision seq against the session's
+    /// counter. `Ok(None)` means the op is new and must be applied;
+    /// `Ok(Some(record))` means it is a verified replay of that
+    /// decision.
+    fn check_seq(
+        &self,
+        seq: u64,
+        fingerprint: u64,
+        admit: bool,
+    ) -> Result<Option<&DecisionRecord>, SessionError> {
+        let next = self.decisions + 1;
+        if seq == next {
+            return Ok(None);
+        }
+        if seq > next {
+            return Err(SessionError::SeqGap {
+                expected: next,
+                got: seq,
+            });
+        }
+        let record = self
+            .decision_log
+            .iter()
+            .find(|r| r.seq == seq)
+            .ok_or(SessionError::SeqRetired(seq))?;
+        if record.admit != admit || record.fingerprint != fingerprint {
+            return Err(SessionError::SeqConflict(seq));
+        }
+        Ok(Some(record))
     }
 
     /// The session's configuration.
@@ -280,7 +413,9 @@ impl AdmissionSession {
         let started = Instant::now();
         // A submit replaces the job set wholesale: no decider trace can
         // survive it (the first admit afterwards decides cold and
-        // re-records).
+        // re-records), and the decision log's records describe dead
+        // state (the counter itself stays monotonic).
+        self.decision_log.clear();
         self.online = self.registry.online_suite();
         let mut tables = Analysis::new(&jobs).into_tables();
         if self.config.reserve > tables.capacity() {
@@ -435,6 +570,15 @@ impl AdmissionSession {
         };
         let jobs = state.jobs.len();
         state.tables = Some(tables);
+        self.decisions += 1;
+        self.record_decision(DecisionRecord {
+            seq: self.decisions,
+            fingerprint: admit_fingerprint(spec),
+            admit: true,
+            admitted: accepted,
+            handle,
+            jobs: jobs as u64,
+        });
         if let Some(stats) = &self.config.stats {
             stats.record_admit(accepted, started.elapsed().as_micros() as u64);
         }
@@ -444,6 +588,49 @@ impl AdmissionSession {
             jobs,
             verdicts,
         })
+    }
+
+    /// [`AdmissionSession::admit`] with seq-idempotent replay handling:
+    /// `seq` is the client-asserted decision sequence number of this op
+    /// (`None` opts out and always applies).
+    ///
+    /// When `seq` equals the next decision seq, the op is applied
+    /// normally. When it names an *already-made* decision whose
+    /// recorded fingerprint matches this op, nothing is re-applied: the
+    /// recorded outcome is re-acked (empty verdict stream) with
+    /// `deduped = true` — a duplicated or retried admit is acked but
+    /// never double-admitted. Returns `(outcome, seq, deduped)`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`AdmissionSession::admit`] reports, plus
+    /// [`SessionError::SeqGap`] for seqs from the future,
+    /// [`SessionError::SeqConflict`] for replayed seqs whose op differs
+    /// from the recorded decision, and [`SessionError::SeqRetired`] for
+    /// seqs older than the bounded decision log.
+    pub fn admit_seq(
+        &mut self,
+        spec: &JobSpec,
+        evaluate: bool,
+        seq: Option<u64>,
+        sink: impl FnMut(&Verdict),
+    ) -> Result<(AdmitOutcome, u64, bool), SessionError> {
+        if let Some(seq) = seq {
+            if let Some(record) = self.check_seq(seq, admit_fingerprint(spec), true)? {
+                let outcome = AdmitOutcome {
+                    admitted: record.admitted,
+                    handle: record.handle,
+                    jobs: record.jobs as usize,
+                    verdicts: Vec::new(),
+                };
+                if let Some(stats) = &self.config.stats {
+                    stats.record_dedup();
+                }
+                return Ok((outcome, seq, true));
+            }
+        }
+        let outcome = self.admit(spec, evaluate, sink)?;
+        Ok((outcome, self.decisions, false))
     }
 
     /// Removes a previously admitted job by its external handle and
@@ -520,13 +707,54 @@ impl AdmissionSession {
         state.jobs = reduced;
         state.handles.swap_remove(index);
         state.tables = Some(tables);
+        let jobs = state.jobs.len();
+        self.decisions += 1;
+        self.record_decision(DecisionRecord {
+            seq: self.decisions,
+            fingerprint: withdraw_fingerprint(handle),
+            admit: false,
+            admitted: true,
+            handle: Some(handle),
+            jobs: jobs as u64,
+        });
         if let Some(stats) = &self.config.stats {
             stats.record_withdraw(started.elapsed().as_micros() as u64);
         }
-        Ok(WithdrawOutcome {
-            jobs: state.jobs.len(),
-            verdicts,
-        })
+        Ok(WithdrawOutcome { jobs, verdicts })
+    }
+
+    /// [`AdmissionSession::withdraw`] with seq-idempotent replay
+    /// handling — the withdraw counterpart of
+    /// [`AdmissionSession::admit_seq`]: a replayed withdraw whose seq
+    /// names the recorded decision for the same handle is re-acked
+    /// without re-applying (so a duplicated withdraw cannot evict a
+    /// second victim). Returns `(outcome, seq, deduped)`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`AdmissionSession::withdraw`] reports, plus the seq
+    /// errors of [`AdmissionSession::admit_seq`].
+    pub fn withdraw_seq(
+        &mut self,
+        handle: u64,
+        evaluate: bool,
+        seq: Option<u64>,
+        sink: impl FnMut(&Verdict),
+    ) -> Result<(WithdrawOutcome, u64, bool), SessionError> {
+        if let Some(seq) = seq {
+            if let Some(record) = self.check_seq(seq, withdraw_fingerprint(handle), false)? {
+                let outcome = WithdrawOutcome {
+                    jobs: record.jobs as usize,
+                    verdicts: Vec::new(),
+                };
+                if let Some(stats) = &self.config.stats {
+                    stats.record_dedup();
+                }
+                return Ok((outcome, seq, true));
+            }
+        }
+        let outcome = self.withdraw(handle, evaluate, sink)?;
+        Ok((outcome, self.decisions, false))
     }
 
     /// The current session snapshot.
@@ -594,6 +822,8 @@ impl AdmissionSession {
             admits: self.admits,
             rejects: self.rejects,
             online: Some(self.online.clone()),
+            decisions: Some(self.decisions),
+            decision_log: Some(self.decision_log.clone()),
         })
     }
 
@@ -646,6 +876,12 @@ impl AdmissionSession {
             admits: image.admits,
             rejects: image.rejects,
             next_handle: image.next_handle.max(min_next),
+            // Pre-seq snapshots restore with a fresh counter (seq 1 is
+            // the first post-restore decision, as before) and an empty
+            // log; current snapshots resume exactly where they stopped,
+            // which is what makes cross-restart idempotent resume work.
+            decisions: image.decisions.unwrap_or(0),
+            decision_log: image.decision_log.unwrap_or_default(),
         })
     }
 }
@@ -671,6 +907,14 @@ pub struct SessionImage {
     /// snapshots written before the online seam existed (they restore
     /// with a blank state).
     pub online: Option<OnlineSuiteState>,
+    /// The decision counter at snapshot time, so post-restore seqs
+    /// continue the pre-crash sequence (`None` in older snapshots,
+    /// which restart at 0 as they always did).
+    pub decisions: Option<u64>,
+    /// The bounded decision log at snapshot time, so replayed ops from
+    /// resuming clients still dedupe across a restart (`None` in older
+    /// snapshots).
+    pub decision_log: Option<Vec<DecisionRecord>>,
 }
 
 #[cfg(test)]
@@ -1142,6 +1386,128 @@ mod tests {
             ],
         };
         assert!(session.admit(&two_stage, false, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn seq_idempotent_replay_applies_exactly_once() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let good = spec([3, 3, 3], 0, 200);
+
+        // A fresh op with the next seq applies normally.
+        let (first, seq, deduped) = session.admit_seq(&good, false, Some(1), |_| {}).unwrap();
+        assert!(first.admitted);
+        assert_eq!((seq, deduped), (1, false));
+        assert_eq!(session.decisions(), 1);
+
+        // The duplicated op is acked from the log, not re-applied: the
+        // session still holds one job and streams no verdicts.
+        let mut streamed = 0;
+        let (replay, seq, deduped) = session
+            .admit_seq(&good, false, Some(1), |_| streamed += 1)
+            .unwrap();
+        assert_eq!((seq, deduped, streamed), (1, true, 0));
+        assert_eq!(replay.admitted, first.admitted);
+        assert_eq!(replay.handle, first.handle);
+        assert_eq!(replay.jobs, 1);
+        assert_eq!(session.decisions(), 1);
+        assert_eq!(session.status().jobs, 1);
+
+        // A *different* op replayed under a consumed seq is a typed
+        // conflict; a seq from the future is a typed gap.
+        let other = spec([4, 4, 4], 1, 200);
+        assert_eq!(
+            session
+                .admit_seq(&other, false, Some(1), |_| {})
+                .unwrap_err(),
+            SessionError::SeqConflict(1)
+        );
+        assert_eq!(
+            session
+                .admit_seq(&other, false, Some(5), |_| {})
+                .unwrap_err(),
+            SessionError::SeqGap {
+                expected: 2,
+                got: 5
+            }
+        );
+
+        // Withdraw replays dedupe the same way (and cannot evict a
+        // second victim).
+        let handle = first.handle.unwrap();
+        let (w, seq, deduped) = session
+            .withdraw_seq(handle, false, Some(2), |_| {})
+            .unwrap();
+        assert_eq!((w.jobs, seq, deduped), (0, 2, false));
+        let (w, seq, deduped) = session
+            .withdraw_seq(handle, false, Some(2), |_| {})
+            .unwrap();
+        assert_eq!((w.jobs, seq, deduped), (0, 2, true));
+        // An admit replayed under the withdraw's seq conflicts.
+        assert_eq!(
+            session
+                .admit_seq(&good, false, Some(2), |_| {})
+                .unwrap_err(),
+            SessionError::SeqConflict(2)
+        );
+        // Without a seq the op always applies (opt-out path).
+        let (_, seq, deduped) = session.admit_seq(&good, false, None, |_| {}).unwrap();
+        assert_eq!((seq, deduped), (3, false));
+    }
+
+    #[test]
+    fn decision_seq_and_log_survive_the_image_round_trip() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let good = spec([3, 3, 3], 0, 200);
+        let (outcome, _, _) = session.admit_seq(&good, false, Some(1), |_| {}).unwrap();
+        assert!(outcome.admitted);
+
+        let image = session.image().unwrap();
+        let json = serde_json::to_string(&image).unwrap();
+        let parsed: SessionImage = serde_json::from_str(&json).unwrap();
+        let mut restored = AdmissionSession::from_image(SessionConfig::default(), parsed).unwrap();
+
+        // The restored session continues the seq and still dedupes the
+        // pre-restart decision — the crash-resume property.
+        assert_eq!(restored.decisions(), 1);
+        let (replay, seq, deduped) = restored.admit_seq(&good, false, Some(1), |_| {}).unwrap();
+        assert_eq!((seq, deduped), (1, true));
+        assert_eq!(replay.handle, outcome.handle);
+        let (fresh, seq, deduped) = restored
+            .admit_seq(&spec([2, 2, 2], 1, 200), false, Some(2), |_| {})
+            .unwrap();
+        assert!(fresh.admitted);
+        assert_eq!((seq, deduped), (2, false));
+
+        // Legacy images without the fields restore with a fresh counter.
+        let mut legacy = session.image().unwrap();
+        legacy.decisions = None;
+        legacy.decision_log = None;
+        let restored = AdmissionSession::from_image(SessionConfig::default(), legacy).unwrap();
+        assert_eq!(restored.decisions(), 0);
+    }
+
+    #[test]
+    fn decision_log_is_bounded_and_retired_seqs_are_typed() {
+        let mut session = AdmissionSession::new(SessionConfig::default());
+        session.submit(pipeline_only(), false, |_| {});
+        let good = spec([1, 1, 1], 0, 10_000);
+        let handle = session.admit(&good, false, |_| {}).unwrap().handle.unwrap();
+        // Churn the log far past its cap with withdraw/admit pairs of
+        // the same job (session size stays tiny, decisions grow).
+        let mut h = handle;
+        for _ in 0..DECISION_LOG_CAP {
+            session.withdraw(h, false, |_| {}).unwrap();
+            h = session.admit(&good, false, |_| {}).unwrap().handle.unwrap();
+        }
+        assert!(session.decisions() > DECISION_LOG_CAP as u64);
+        assert_eq!(
+            session
+                .admit_seq(&good, false, Some(1), |_| {})
+                .unwrap_err(),
+            SessionError::SeqRetired(1)
+        );
     }
 
     #[test]

@@ -158,6 +158,7 @@ fn withdraw_reopens_capacity_over_the_wire() {
             .request(Op::Admit(AdmitOp {
                 job: JobSpec::from_job(trace.job(id)),
                 evaluate: Some(false),
+                seq: None,
             }))
             .expect("admit");
         for frame in &frames {
@@ -175,6 +176,7 @@ fn withdraw_reopens_capacity_over_the_wire() {
         .request(Op::Withdraw(WithdrawOp {
             job: victim,
             evaluate: None,
+            seq: None,
         }))
         .expect("withdraw");
     // The online seam streams the decider's verdict for the reduced set
@@ -200,6 +202,7 @@ fn withdraw_reopens_capacity_over_the_wire() {
         .request(Op::Withdraw(WithdrawOp {
             job: victim,
             evaluate: None,
+            seq: None,
         }))
         .expect("second withdraw round-trip");
     assert!(matches!(

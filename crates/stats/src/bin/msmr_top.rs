@@ -126,8 +126,8 @@ fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
         c.admits, c.rejects, c.withdraws, c.submits, c.overloads
     ));
     out.push_str(&format!(
-        "evictions {:>5}   snapshots {:>4}   trace spans {:>6}\n",
-        c.evictions, c.snapshot_writes, c.trace_spans
+        "evictions {:>5}   snapshots {:>4}   quarantined {:>3}   deduped {:>5}   trace spans {:>6}\n",
+        c.evictions, c.snapshot_writes, c.snapshot_quarantined, c.deduped_ops, c.trace_spans
     ));
     let ratio = snapshot
         .warm_ratio()
@@ -284,6 +284,8 @@ mod tests {
         snapshot.counters.admits = 12;
         snapshot.counters.warm_decides = 9;
         snapshot.counters.cold_decides = 3;
+        snapshot.counters.snapshot_quarantined = 1;
+        snapshot.counters.deduped_ops = 4;
         snapshot.gauges.queue_depth = 2;
         snapshot.gauges.queue_capacity = 64;
         snapshot.ops.insert(
@@ -312,6 +314,8 @@ mod tests {
         });
         let frame = render(&snapshot, &[0, 1, 2]);
         assert!(frame.contains("admits       12"));
+        assert!(frame.contains("quarantined   1"));
+        assert!(frame.contains("deduped     4"));
         assert!(frame.contains("75.0%"));
         assert!(frame.contains("OPDCA"));
         assert!(frame.contains("loadgen-7-0"));

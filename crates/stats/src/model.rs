@@ -41,6 +41,13 @@ pub struct StatsCounters {
     pub snapshot_writes: u64,
     /// Spans exported to the trace-event writer.
     pub trace_spans: u64,
+    /// Corrupt snapshot files quarantined (renamed to `.corrupt`)
+    /// instead of aborting daemon boot.
+    pub snapshot_quarantined: u64,
+    /// Replayed admit/withdraw ops acknowledged by seq-dedupe without
+    /// being re-applied (the client resumed after a reconnect and
+    /// re-issued an op the session had already decided).
+    pub deduped_ops: u64,
 }
 
 /// Point-in-time gauges.

@@ -36,6 +36,8 @@ pub struct StatsRegistry {
     overloads: AtomicU64,
     evictions: AtomicU64,
     snapshot_writes: AtomicU64,
+    snapshot_quarantined: AtomicU64,
+    deduped_ops: AtomicU64,
     attached: AtomicU64,
     admit_ring: LatencyRing,
     withdraw_ring: LatencyRing,
@@ -96,6 +98,17 @@ impl StatsRegistry {
     /// Records a session snapshot written to the snapshot store.
     pub fn record_snapshot_write(&self) {
         self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a corrupt snapshot file quarantined at restore time.
+    pub fn record_snapshot_quarantine(&self) {
+        self.snapshot_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a replayed op acknowledged by seq-dedupe without being
+    /// re-applied.
+    pub fn record_dedup(&self) {
+        self.deduped_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Raises the attached-clients gauge.
@@ -193,6 +206,8 @@ impl StatsRegistry {
                 evictions: self.evictions.load(Ordering::Relaxed),
                 snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
                 trace_spans,
+                snapshot_quarantined: self.snapshot_quarantined.load(Ordering::Relaxed),
+                deduped_ops: self.deduped_ops.load(Ordering::Relaxed),
             },
             ..StatsSnapshot::default()
         };
@@ -239,6 +254,9 @@ mod tests {
         stats.record_overload();
         stats.record_eviction();
         stats.record_snapshot_write();
+        stats.record_snapshot_quarantine();
+        stats.record_dedup();
+        stats.record_dedup();
         stats.client_attached();
         stats.client_attached();
         stats.client_detached();
@@ -251,6 +269,8 @@ mod tests {
         assert_eq!(snapshot.counters.overloads, 1);
         assert_eq!(snapshot.counters.evictions, 1);
         assert_eq!(snapshot.counters.snapshot_writes, 1);
+        assert_eq!(snapshot.counters.snapshot_quarantined, 1);
+        assert_eq!(snapshot.counters.deduped_ops, 2);
         assert_eq!(snapshot.gauges.attached_clients, 1);
         let admit = &snapshot.ops["admit"];
         assert_eq!(admit.samples, 3);

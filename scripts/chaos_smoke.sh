@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the full msmr-chaos fault-injection suite against release
+# binaries (SIGKILL/restart resume, torn-snapshot quarantine, overload
+# storms, byte-level frame chaos, clock skew), then boots a daemon on a
+# poisoned snapshot directory to assert the fail-soft path end to end
+# from the outside: the boot survives, msmr-top's live snapshot shows
+# the quarantine counter, and SIGTERM shuts down cleanly (exit 0,
+# pidfile removed). Fails on any non-zero exit; every chaos scenario
+# prints its seed on failure so runs reproduce exactly.
+#
+# Usage: scripts/chaos_smoke.sh [seed]
+set -euo pipefail
+
+SEED="${1:-7}"
+SNAPDIR="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-snapshots"
+PIDFILE="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$.pid"
+SERVED_LOG="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-served.log"
+SERVED="target/release/msmr-served"
+CHAOS="target/release/msmr-chaos"
+TOP="target/release/msmr-top"
+
+cargo build --release -p msmr-cluster -p msmr-chaos -p msmr-stats
+
+# The full scenario suite, seeded for reproducibility.
+MSMR_SERVED_BIN="$SERVED" "$CHAOS" --all --seed "$SEED"
+
+# Fail-soft boot, observable from the outside: poison the snapshot dir
+# with a torn file, then boot a daemon on it.
+mkdir -p "$SNAPDIR"
+printf '{"session":"broken"' > "$SNAPDIR/broken.json"
+"$SERVED" --cluster --tcp 127.0.0.1:0 --snapshot-dir "$SNAPDIR" \
+    --stats-addr 127.0.0.1:0 --pidfile "$PIDFILE" >"$SERVED_LOG" 2>&1 &
+SERVED_PID=$!
+cleanup() {
+    kill "$SERVED_PID" 2>/dev/null || true
+    rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG"
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+    grep -q "stats on tcp://" "$SERVED_LOG" && [ -f "$PIDFILE" ] && break
+    sleep 0.1
+done
+STATS_ADDR="$(sed -n 's|.*stats on tcp://||p' "$SERVED_LOG" | head -n 1)"
+[ -n "$STATS_ADDR" ] || { echo "daemon did not report a stats address" >&2; exit 1; }
+
+# The daemon must have quarantined the torn file (not died on it)...
+[ -f "$SNAPDIR/broken.json.corrupt" ] || {
+    echo "torn snapshot was not quarantined to .json.corrupt" >&2
+    exit 1
+}
+grep -q "quarantined corrupt snapshot" "$SERVED_LOG" || {
+    echo "daemon did not log the quarantine" >&2
+    exit 1
+}
+# ...and say so on the live stats channel.
+"$TOP" --addr "$STATS_ADDR" --once | grep -q '"snapshot_quarantined":1' || {
+    echo "msmr-top does not show the quarantine counter" >&2
+    exit 1
+}
+
+# Graceful SIGTERM: exit 0, pidfile removed.
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+[ ! -e "$PIDFILE" ] || { echo "pidfile survived the SIGTERM shutdown" >&2; exit 1; }
+
+trap - EXIT
+rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG"
+echo "chaos smoke: OK"
