@@ -179,6 +179,11 @@ struct Decision {
 struct ClientStats {
     latencies_us: Vec<f64>,
     overload_retries: usize,
+    /// Decision frames acked with `deduped: true` (seq-replays the
+    /// daemon recognized instead of re-applying). This client never
+    /// asserts seqs, so any nonzero count is daemon-side dedupe
+    /// observed through a retry path.
+    deduped: usize,
     decisions: Vec<(usize, Decision)>, // (session index, decision)
 }
 
@@ -225,6 +230,7 @@ fn admit_with_retry(
         let seq = admit
             .seq
             .ok_or("daemon sent no decision seq (not a cluster daemon?)")?;
+        stats.deduped += usize::from(admit.deduped == Some(true));
         stats.latencies_us.push(elapsed_us);
         let handle = admit.admitted.then_some(admit.job).flatten();
         stats.decisions.push((
@@ -288,6 +294,7 @@ fn withdraw_with_retry(
         let seq = withdraw
             .seq
             .ok_or("daemon sent no decision seq (not a cluster daemon?)")?;
+        stats.deduped += usize::from(withdraw.deduped == Some(true));
         // Withdraw round trips count toward throughput and the latency
         // percentiles like any other decider decision.
         stats.latencies_us.push(elapsed_us);
@@ -385,10 +392,11 @@ fn check_daemon_stats(
     rejected: u64,
     withdraws: u64,
     overloads: u64,
+    deduped: u64,
 ) -> Result<(), String> {
     let mut client = Client::connect(&options.endpoint).map_err(|e| e.to_string())?;
     let frames = client
-        .request(Op::Stats(StatsOp {}))
+        .request(Op::Stats(StatsOp { session: None }))
         .map_err(|e| e.to_string())?;
     let stats = frames
         .iter()
@@ -403,6 +411,7 @@ fn check_daemon_stats(
         ("withdraws", stats.counters.withdraws, withdraws),
         ("overloads", stats.counters.overloads, overloads),
         ("submits", stats.counters.submits, options.sessions as u64),
+        ("deduped_ops", stats.counters.deduped_ops, deduped),
     ];
     let mismatched: Vec<String> = expected
         .iter()
@@ -532,10 +541,12 @@ fn run(options: &Options) -> Result<bool, String> {
         .expect("stats lock");
     let mut latencies: Vec<f64> = Vec::new();
     let mut overload_retries = 0usize;
+    let mut deduped = 0usize;
     let mut per_session: Vec<Vec<Decision>> = (0..options.sessions).map(|_| Vec::new()).collect();
     for client_stats in stats {
         latencies.extend_from_slice(&client_stats.latencies_us);
         overload_retries += client_stats.overload_retries;
+        deduped += client_stats.deduped;
         for (k, decision) in client_stats.decisions {
             per_session[k].push(decision);
         }
@@ -616,14 +627,32 @@ fn run(options: &Options) -> Result<bool, String> {
             rejected as u64,
             withdraws as u64,
             overload_retries as u64,
+            deduped as u64,
         )?;
     }
 
     if options.record {
+        // The log-bucket histogram over the same samples: its p50/p99
+        // estimates land in BENCH_kernels.json as their own series, so
+        // `check_trend` gates drift of the coarse distribution too.
+        let histo = msmr_stats::LatencyHisto::new();
+        for &latency in &latencies {
+            histo.record(latency.round() as u64);
+        }
         let mut report = BenchReport::new(false);
         report.record("loadgen/requests_per_sec", req_per_sec, "req/sec");
         report.record("loadgen/admit_p50_us", p50, "us");
         report.record("loadgen/admit_p99_us", p99, "us");
+        report.record(
+            "loadgen/admit_histo_p50_us",
+            histo.percentile_us(0.50),
+            "us",
+        );
+        report.record(
+            "loadgen/admit_histo_p99_us",
+            histo.percentile_us(0.99),
+            "us",
+        );
         report.record("loadgen/overload_retries", overload_retries as f64, "count");
         let path = default_report_path();
         report.append_to(&path).map_err(|e| e.to_string())?;

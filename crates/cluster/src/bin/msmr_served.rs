@@ -34,9 +34,12 @@
 //! `--stats-addr ADDR` additionally binds a side-channel listener that
 //! writes one JSON snapshot line per connection (what `msmr-top`
 //! polls), so stats stay reachable while the main endpoint is saturated.
-//! `--trace-out PATH` streams one Chrome trace-event span per solver
-//! verdict into PATH (load it in `about:tracing` / Perfetto); the array
-//! is closed on clean shutdown and remains loadable after a crash.
+//! `--trace-out PATH` streams Chrome trace events into PATH (load it in
+//! `about:tracing` / Perfetto): one span per solver verdict on a stable
+//! per-solver lane, plus counter tracks sampled four times a second
+//! (worker-queue depth, attached clients, live sessions) so load lines
+//! up with the solver work it caused. The array is closed on clean
+//! shutdown and remains loadable after a crash.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -262,21 +265,40 @@ fn main() -> ExitCode {
             }
         });
     }
+    // Cluster snapshots carry the engine gauges (queue depth, shards,
+    // session rows); classic mode serves the registry's counters and
+    // rings directly.
+    let provider: Arc<dyn Fn() -> StatsSnapshot + Send + Sync> = match &engine {
+        Some(engine) => {
+            let engine = Arc::clone(engine);
+            Arc::new(move || engine.stats_snapshot())
+        }
+        None => {
+            let stats = Arc::clone(&stats);
+            Arc::new(move || stats.snapshot())
+        }
+    };
+    if options.trace_out.is_some() {
+        // Periodic gauge samples into the trace: Perfetto renders each
+        // as its own counter track next to the solver lanes, so load
+        // (queue depth, clients, sessions) lines up with the spans it
+        // caused. Four samples a second keeps traces small.
+        let shutdown = server.shutdown_handle();
+        let stats = Arc::clone(&stats);
+        let provider = Arc::clone(&provider);
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !shutdown.load(Ordering::SeqCst) {
+                let snapshot = provider();
+                stats.trace_counter("queue depth", snapshot.gauges.queue_depth);
+                stats.trace_counter("attached clients", snapshot.gauges.attached_clients);
+                stats.trace_counter("live sessions", snapshot.gauges.live_sessions);
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+        });
+    }
     if let Some(addr) = &options.stats_addr {
-        // Cluster snapshots carry the engine gauges (queue depth,
-        // shards, session rows); classic mode serves the registry's
-        // counters and rings directly.
-        let provider: Arc<dyn Fn() -> StatsSnapshot + Send + Sync> = match &engine {
-            Some(engine) => {
-                let engine = Arc::clone(engine);
-                Arc::new(move || engine.stats_snapshot())
-            }
-            None => {
-                let stats = Arc::clone(&stats);
-                Arc::new(move || stats.snapshot())
-            }
-        };
-        match serve_stats(addr, provider, server.shutdown_handle()) {
+        match serve_stats(addr, Arc::clone(&provider), server.shutdown_handle()) {
             Ok((bound, _listener)) => println!("msmr-served stats on tcp://{bound}"),
             Err(e) => {
                 eprintln!("msmr-served: cannot bind --stats-addr {addr}: {e}");

@@ -19,7 +19,8 @@ use std::time::Duration;
 use msmr_par::{SubmitError, WorkerPool};
 use msmr_serve::protocol::{
     AttachFrame, DetachFrame, ErrorFrame, Frame, Op, OverloadFrame, Request, RestoreFrame,
-    RestoredSession, SnapshotFrame, StatsFrame, VerdictFrame, WithdrawFrame, PROTOCOL_VERSION,
+    RestoredSession, SessionStatsFrame, SnapshotFrame, StatsFrame, VerdictFrame, WithdrawFrame,
+    PROTOCOL_VERSION,
 };
 use msmr_serve::{AdmissionSession, ConnHandler, FrameSink, Listen, Server, SessionConfig};
 use msmr_stats::{SessionRow, StatsRegistry, StatsSnapshot};
@@ -227,6 +228,43 @@ impl ClusterEngine {
             })
             .collect();
         snapshot
+    }
+
+    /// One named session's stats breakdown, answering the `stats` op's
+    /// `session` argument. Every read goes through the non-touching
+    /// accessors ([`SharedSession::peek`], `version()`, `attached()`,
+    /// `idle_millis()`) so observation never refreshes the session's
+    /// TTL idleness — `msmr-top` polling a dying session must not keep
+    /// it alive. `None` for unknown names.
+    #[must_use]
+    pub fn session_stats(&self, name: &str) -> Option<SessionStatsFrame> {
+        let session = self.store.get(name)?;
+        let now = self.store.clock().now_millis();
+        let idle_millis = session.idle_millis(now);
+        let version = session.version();
+        let attached = session.attached();
+        Some(session.peek(|inner| {
+            let (admits, rejects, withdraws, warm_decides, cold_decides) =
+                inner.counter_breakdown();
+            let (table_jobs, table_capacity) = inner
+                .tables()
+                .map_or((0, 0), |t| (t.job_count() as u64, t.capacity() as u64));
+            SessionStatsFrame {
+                session: name.to_string(),
+                jobs: inner.jobs().map_or(0, |jobs| jobs.len() as u64),
+                version,
+                attached,
+                admits,
+                rejects,
+                withdraws,
+                warm_decides,
+                cold_decides,
+                decisions: inner.decisions(),
+                table_jobs,
+                table_capacity,
+                idle_millis,
+            }
+        }))
     }
 
     /// Persists one named session.
@@ -632,11 +670,15 @@ impl ClusterEngine {
                         Err(e) => sink.send(error_frame(&e.to_string())),
                     }
                 }
-                Op::Stats(_) => {
-                    sink.send(Frame::Stats(StatsFrame {
+                Op::Stats(op) => match op.session {
+                    None => sink.send(Frame::Stats(StatsFrame {
                         stats: self.stats_snapshot(),
-                    }));
-                }
+                    })),
+                    Some(name) => match self.session_stats(&name) {
+                        Some(frame) => sink.send(Frame::SessionStats(frame)),
+                        None => sink.send(error_frame(&format!("unknown session `{name}`"))),
+                    },
+                },
                 Op::Shutdown(_) => {
                     if let Err(e) = self.snapshot_all() {
                         sink.send(error_frame(&format!("shutdown snapshot failed: {e}")));
@@ -986,7 +1028,7 @@ mod tests {
                 },
                 Request {
                     id: 4,
-                    op: Op::Stats(msmr_serve::protocol::StatsOp {}),
+                    op: Op::Stats(msmr_serve::protocol::StatsOp { session: None }),
                 },
             ],
         );
@@ -1015,6 +1057,89 @@ mod tests {
         // The snapshot was taken mid-connection; afterwards the guard
         // detached it.
         assert_eq!(engine.stats().snapshot().gauges.attached_clients, 0);
+    }
+
+    #[test]
+    fn named_stats_op_reports_a_session_breakdown_without_touching_ttl() {
+        let clock = Arc::new(FakeClock(std::sync::atomic::AtomicU64::new(0)));
+        let engine = ClusterEngine::with_store_clock(
+            ClusterConfig {
+                workers: 1,
+                ..ClusterConfig::default()
+            },
+            Some(Arc::clone(&clock) as Arc<dyn crate::Clock>),
+        )
+        .unwrap();
+        // History: submit, two accepted admits, one reject, one
+        // withdraw — four decisions.
+        let session = engine.store().attach("observed", true).unwrap().session;
+        session.submit(pipeline_only(), false, |_| {});
+        let (first, _, _) = session.admit(&spec(2, 100), false, None, |_| {}).unwrap();
+        assert!(first.admitted);
+        let (second, _, _) = session.admit(&spec(3, 100), false, None, |_| {}).unwrap();
+        assert!(second.admitted);
+        let (rejected, _, _) = session.admit(&spec(50, 1), false, None, |_| {}).unwrap();
+        assert!(!rejected.admitted);
+        session
+            .withdraw(first.handle.unwrap(), false, None, |_| {})
+            .unwrap();
+        session.client_detached();
+
+        // Observe twice after 7s of idleness, plus one unknown name. If
+        // observation touched the idleness clock, the second read would
+        // report idle_millis 0.
+        clock.0.store(7_000, Ordering::SeqCst);
+        let named = |id: u64, name: &str| Request {
+            id,
+            op: Op::Stats(msmr_serve::protocol::StatsOp {
+                session: Some(name.to_string()),
+            }),
+        };
+        let responses = drive(
+            &engine,
+            &[
+                named(1, "observed"),
+                named(2, "observed"),
+                named(3, "missing"),
+            ],
+        );
+        let breakdown = |id: u64| {
+            responses
+                .iter()
+                .find_map(|r| match &r.frame {
+                    Frame::SessionStats(f) if r.id == id => Some(f),
+                    _ => None,
+                })
+                .expect("session stats frame")
+        };
+        let frame = breakdown(1);
+        assert_eq!(frame.session, "observed");
+        assert_eq!(frame.jobs, 1);
+        assert_eq!(frame.version, 4); // submit + 2 admits + withdraw
+        assert_eq!(frame.attached, 0);
+        assert_eq!(frame.admits, 2);
+        assert_eq!(frame.rejects, 1);
+        assert_eq!(frame.withdraws, 1);
+        assert_eq!(frame.decisions, 4);
+        assert_eq!(
+            frame.warm_decides + frame.cold_decides,
+            4,
+            "every decision classifies its decider verdict"
+        );
+        assert_eq!(frame.table_jobs, 1);
+        assert!(frame.table_capacity >= frame.table_jobs);
+        assert_eq!(frame.idle_millis, 7_000);
+        assert_eq!(
+            breakdown(2).idle_millis,
+            7_000,
+            "observation must not touch the TTL idleness clock"
+        );
+        assert!(
+            responses
+                .iter()
+                .any(|r| r.id == 3 && matches!(&r.frame, Frame::Error(_))),
+            "unknown names answer with a typed error"
+        );
     }
 
     #[test]

@@ -289,6 +289,15 @@ impl SharedSession {
         self.lock().session.status()
     }
 
+    /// Runs a read-only closure over the locked session **without
+    /// touching the idleness clock** — the observability read path
+    /// (per-session stats breakdowns): observing a session must never
+    /// keep it alive past its TTL, unlike [`SharedSession::status`],
+    /// which is client activity and does touch.
+    pub fn peek<R>(&self, f: impl FnOnce(&AdmissionSession) -> R) -> R {
+        f(&self.lock().session)
+    }
+
     /// The durable state plus the version it captures, for the snapshot
     /// subsystem. `None` before the first submit.
     #[must_use]

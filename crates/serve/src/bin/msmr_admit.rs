@@ -110,15 +110,34 @@ struct ReplaySummary {
     admit_p50_us: f64,
     /// Nearest-rank 99th-percentile admit round-trip, microseconds.
     admit_p99_us: f64,
+    /// Ops the daemon acked through seq-dedupe instead of re-applying
+    /// (`deduped: true` on the decision frame). Always 0 for this
+    /// client — it never asserts seqs — but counted from the frames so
+    /// scripted consumers see the same field the cluster loadgen
+    /// reports.
+    deduped_ops: u64,
+    /// Log-bucket counts over the same latency samples (see
+    /// `msmr_stats::bucket_bounds`), trimmed after the last non-empty
+    /// bucket.
+    admit_histo_buckets: Vec<u64>,
+    /// Histogram-estimated p50 (bucket upper edge), microseconds.
+    admit_histo_p50_us: f64,
+    /// Histogram-estimated p99 (bucket upper edge), microseconds.
+    admit_histo_p99_us: f64,
 }
 
 impl ReplaySummary {
     /// Builds the summary, routing the latency samples through a
-    /// [`msmr_stats::LatencyRing`] sized to hold the full set.
+    /// [`msmr_stats::LatencyRing`] sized to hold the full set, plus the
+    /// same log-bucket [`msmr_stats::LatencyHisto`] the daemon's stats
+    /// registry keeps — so client- and daemon-side numbers share both
+    /// definitions.
     fn new(latencies_us: &[f64], admitted: u64, rejected: u64, withdrawn: u64) -> Self {
         let ring = msmr_stats::LatencyRing::new(latencies_us.len().max(1));
+        let histo = msmr_stats::LatencyHisto::new();
         for &latency in latencies_us {
             ring.record(latency.round() as u64);
+            histo.record(latency.round() as u64);
         }
         ReplaySummary {
             requests: latencies_us.len() as u64,
@@ -129,12 +148,16 @@ impl ReplaySummary {
             verify_mismatches: 0,
             admit_p50_us: ring.percentile_us(0.50),
             admit_p99_us: ring.percentile_us(0.99),
+            deduped_ops: 0,
+            admit_histo_buckets: histo.counts(),
+            admit_histo_p50_us: histo.percentile_us(0.50),
+            admit_histo_p99_us: histo.percentile_us(0.99),
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --stats         print the daemon's live stats snapshot as JSON (protocol v4)\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --withdraw-ratio F  withdraw a random admitted job after each admit with probability F\n  --json          print the run summary as one machine-readable JSON line\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
+    "usage: msmr-admit (--tcp ADDR | --uds PATH) [--session NAME] <command>\n\ncommands:\n  --status        print the session status frame\n  --stats         print the daemon's live stats snapshot as JSON (protocol v4);\n                  with --session NAME, print that session's breakdown instead\n                  (cluster daemons; reads without refreshing the session's TTL)\n  --shutdown      stop the daemon\n  --replay        feed a generated workload trace, one admit per arrival\n\noptions:\n  --session NAME  attach to a named shared session first (cluster daemons)\n\nreplay options:\n  --jobs N        trace length (default 100)\n  --seed S        workload seed (default 2024)\n  --beta F        workload heaviness parameter\n  --evaluate      stream the full solver suite per admit\n  --verify        compare streamed verdicts against offline evaluate (implies --evaluate)\n  --bound NAME    delay bound, must match the daemon's (default eq10)\n  --opt-nodes N   exact-engine node budget, must match the daemon's (default 200000)\n  --withdraw-ratio F  withdraw a random admitted job after each admit with probability F\n  --json          print the run summary as one machine-readable JSON line\n\nexit codes: 0 ok, 1 error, 75 daemon overloaded (typed backpressure; retry later)"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -280,6 +303,7 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
             }
         };
 
+    let mut deduped_ops: u64 = 0;
     let replayed = client.replay_trace_mixed(
         &trace,
         evaluate,
@@ -301,6 +325,7 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
                 }
                 for frame in frames {
                     if let Frame::Admit(admit) = &frame.frame {
+                        deduped_ops += u64::from(admit.deduped == Some(true));
                         if admit.admitted {
                             mirror = candidate.clone();
                             if let Some(handle) = admit.job {
@@ -312,6 +337,11 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
                 Ok(())
             }
             ReplayedOp::Withdraw { handle } => {
+                for frame in frames.iter() {
+                    if let Frame::Withdraw(withdraw) = &frame.frame {
+                        deduped_ops += u64::from(withdraw.deduped == Some(true));
+                    }
+                }
                 let index = mirror_handles
                     .iter()
                     .position(|&h| h == handle)
@@ -368,6 +398,7 @@ fn replay(client: &mut Client, options: &ReplayOptions) -> Result<ExitCode, Stri
             outcome.withdrawn as u64,
         );
         summary.verify_mismatches = mismatches as u64;
+        summary.deduped_ops = deduped_ops;
         println!(
             "{}",
             serde_json::to_string(&summary).expect("summary serializes")
@@ -410,7 +441,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(session) = &options.session {
+    // `--stats --session NAME` deliberately does NOT attach: it sends
+    // the name inside the stats op instead, and the daemon's read path
+    // never touches the session's TTL idleness — polling a dying
+    // session must not keep it alive (an attach would).
+    let stats_session = matches!(options.command, Command::Stats)
+        .then(|| options.session.clone())
+        .flatten();
+    if let Some(session) = options.session.as_ref().filter(|_| stats_session.is_none()) {
         // Only a replay may create the session; status/shutdown against
         // a mistyped name must error instead of silently creating (and
         // later snapshotting) an empty junk session.
@@ -442,16 +480,29 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }),
         Command::Stats => client
-            .request(Op::Stats(StatsOp {}))
+            .request(Op::Stats(StatsOp {
+                session: stats_session,
+            }))
             .map_err(|e| e.to_string())
             .and_then(|frames| {
                 for frame in &frames {
-                    if let Frame::Stats(stats) = &frame.frame {
-                        println!(
-                            "{}",
-                            serde_json::to_string(&stats.stats).expect("stats serialize")
-                        );
-                        return Ok(ExitCode::SUCCESS);
+                    match &frame.frame {
+                        Frame::Stats(stats) => {
+                            println!(
+                                "{}",
+                                serde_json::to_string(&stats.stats).expect("stats serialize")
+                            );
+                            return Ok(ExitCode::SUCCESS);
+                        }
+                        Frame::SessionStats(stats) => {
+                            println!(
+                                "{}",
+                                serde_json::to_string(stats).expect("session stats serialize")
+                            );
+                            return Ok(ExitCode::SUCCESS);
+                        }
+                        Frame::Error(e) => return Err(e.message.clone()),
+                        _ => {}
                     }
                 }
                 Err("daemon answered the stats op with no stats frame".to_string())
@@ -486,10 +537,20 @@ mod tests {
         assert_eq!(summary.requests, 100);
         assert_eq!(summary.admit_p50_us, 50.0);
         assert_eq!(summary.admit_p99_us, 99.0);
+        // Histogram over 1..=100 µs: buckets [1,2) .. [64,128) hold
+        // rank 50 in [32,64) (edge 63) and rank 99 in [64,128) (127).
+        assert_eq!(summary.admit_histo_p50_us, 63.0);
+        assert_eq!(summary.admit_histo_p99_us, 127.0);
+        assert_eq!(
+            summary.admit_histo_buckets.iter().sum::<u64>(),
+            summary.requests
+        );
         let json = serde_json::to_string(&summary).unwrap();
         assert!(json.contains("\"admitted\":80"), "{json}");
         assert!(json.contains("\"overloads\":0"), "{json}");
         assert!(json.contains("\"admit_p99_us\":99.0"), "{json}");
+        assert!(json.contains("\"deduped_ops\":0"), "{json}");
+        assert!(json.contains("\"admit_histo_p99_us\":127.0"), "{json}");
     }
 
     #[test]

@@ -43,6 +43,14 @@
 //!   `deduped` marker, and [`AttachFrame`] gained the session's current
 //!   `decisions` counter so a resuming client learns the daemon's seq
 //!   horizon. Every older op and frame is byte-unchanged.
+//! * **v5 (late addition, no version bump)**: [`StatsOp`] gained an
+//!   optional `session` argument. Absent, the op and its
+//!   [`Frame::Stats`] answer are byte-identical to v4; naming a session
+//!   asks the cluster daemon for that session's breakdown, answered
+//!   with the new [`Frame::SessionStats`]. Old clients never send the
+//!   field and never see the new frame, and new daemons parse old
+//!   `{"Stats":{}}` encodings as `session: None`, so the wire version
+//!   stays 5.
 //!
 //! # The seq-idempotency rule (v5)
 //!
@@ -268,9 +276,18 @@ pub struct RestoreOp {
     pub session: Option<String>,
 }
 
-/// Payload of [`Op::Stats`] (no fields; the answer is daemon-wide).
+/// Payload of [`Op::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StatsOp {}
+pub struct StatsOp {
+    /// Absent asks for the daemon-wide [`Frame::Stats`] snapshot (the
+    /// v4 behaviour, byte-unchanged on the wire). A name asks the
+    /// cluster daemon for that *named session's* breakdown instead,
+    /// answered with a [`Frame::SessionStats`]; the read never counts
+    /// as session activity, so a TTL-idle session is not kept alive by
+    /// being observed. The classic server answers the named form with
+    /// a typed error (it has no named sessions).
+    pub session: Option<String>,
+}
 
 /// One daemon response frame, tagged with the request's id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -310,6 +327,10 @@ pub enum Frame {
     Overload(OverloadFrame),
     /// The daemon's live stats answering an [`Op::Stats`] (protocol v4).
     Stats(StatsFrame),
+    /// One named session's stats breakdown, answering an [`Op::Stats`]
+    /// that carried a `session` name (cluster mode; still protocol v5 —
+    /// the frame is only ever sent to clients that asked for it).
+    SessionStats(SessionStatsFrame),
 }
 
 /// Payload of [`Frame::Verdict`].
@@ -477,6 +498,45 @@ pub struct StatsFrame {
     pub stats: msmr_stats::StatsSnapshot,
 }
 
+/// Payload of [`Frame::SessionStats`]: one named session's breakdown,
+/// answering an [`Op::Stats`] with a `session` name. The cluster daemon
+/// reads every field without touching the session's TTL idleness clock,
+/// so observation never keeps a dying session alive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatsFrame {
+    /// The session's name, echoed back.
+    pub session: String,
+    /// Admitted jobs currently in the session.
+    pub jobs: u64,
+    /// Mutation version (increments on submit/admit/withdraw).
+    pub version: u64,
+    /// Clients currently attached.
+    pub attached: u64,
+    /// Lifetime accepted admissions (survives snapshot restore).
+    pub admits: u64,
+    /// Lifetime rejected admissions (survives snapshot restore).
+    pub rejects: u64,
+    /// Successful withdrawals since the session was (re)built in this
+    /// daemon process (withdrawals are not persisted separately in
+    /// snapshots; the count restarts at 0 after a restore).
+    pub withdraws: u64,
+    /// Decider verdicts served warm (no cold-fallback provenance)
+    /// since the session was (re)built in this process.
+    pub warm_decides: u64,
+    /// Decider verdicts that fell back to the cold adapter since the
+    /// session was (re)built in this process.
+    pub cold_decides: u64,
+    /// The session's decision counter — its seq horizon: the seq of the
+    /// last admit/withdraw decision (survives snapshot restore).
+    pub decisions: u64,
+    /// Jobs currently held in the session's pair tables.
+    pub table_jobs: u64,
+    /// Pair-table capacity (jobs it can hold before regrowing).
+    pub table_capacity: u64,
+    /// Milliseconds since the session last saw real activity.
+    pub idle_millis: u64,
+}
+
 /// Serializes one response as a single NDJSON line and flushes it, so the
 /// peer observes the frame immediately (the streaming property).
 ///
@@ -609,7 +669,13 @@ mod tests {
             },
             Request {
                 id: 10,
-                op: Op::Stats(StatsOp {}),
+                op: Op::Stats(StatsOp { session: None }),
+            },
+            Request {
+                id: 11,
+                op: Op::Stats(StatsOp {
+                    session: Some("tenant-a".to_string()),
+                }),
             },
         ];
         for request in requests {
@@ -728,10 +794,31 @@ mod tests {
                                 samples: 12,
                                 p50_us: 51.0,
                                 p99_us: 130.0,
+                                histo_buckets: vec![0, 0, 0, 0, 0, 0, 9, 3],
+                                histo_p50_us: 63.0,
+                                histo_p99_us: 127.0,
                             },
                         );
                         stats
                     },
+                }),
+            },
+            Response {
+                id: 11,
+                frame: Frame::SessionStats(SessionStatsFrame {
+                    session: "tenant-a".to_string(),
+                    jobs: 7,
+                    version: 3,
+                    attached: 2,
+                    admits: 9,
+                    rejects: 1,
+                    withdraws: 2,
+                    warm_decides: 8,
+                    cold_decides: 2,
+                    decisions: 12,
+                    table_jobs: 7,
+                    table_capacity: 16,
+                    idle_millis: 450,
                 }),
             },
         ];
@@ -862,6 +949,20 @@ mod tests {
         };
         assert_eq!(frame.protocol, 4);
         assert_eq!(frame.decisions, None);
+    }
+
+    #[test]
+    fn fieldless_stats_encodings_still_parse() {
+        // Before the `session` argument existed, every client encoded
+        // the stats op as an empty struct. Those bytes must keep
+        // parsing — as the daemon-wide form — which is why the field
+        // did not bump the wire version.
+        let line = r#"{"id":10,"op":{"Stats":{}}}"#;
+        let parsed: Request = serde_json::from_str(line).unwrap();
+        let Op::Stats(op) = parsed.op else {
+            panic!("expected stats op");
+        };
+        assert_eq!(op.session, None);
     }
 
     #[test]

@@ -453,13 +453,23 @@ pub fn serve_connection(
                 shutdown.store(true, Ordering::SeqCst);
                 stop = true;
             }
-            Op::Stats(_) => {
-                let stats = session
-                    .config()
-                    .stats
-                    .as_ref()
-                    .map_or_else(Default::default, |s| s.snapshot());
-                sink.send(Frame::Stats(StatsFrame { stats }));
+            Op::Stats(op) => {
+                if op.session.is_some() {
+                    // Per-session breakdowns are a named-session
+                    // feature; the classic server only has this one
+                    // anonymous per-connection session.
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: "named shared sessions require the daemon's --cluster mode"
+                            .to_string(),
+                    }));
+                } else {
+                    let stats = session
+                        .config()
+                        .stats
+                        .as_ref()
+                        .map_or_else(Default::default, |s| s.snapshot());
+                    sink.send(Frame::Stats(StatsFrame { stats }));
+                }
             }
             Op::Attach(_) | Op::Detach(_) | Op::Snapshot(_) | Op::Restore(_) => {
                 sink.send(Frame::Error(ErrorFrame {
@@ -844,7 +854,7 @@ mod tests {
             },
             Request {
                 id: 3,
-                op: Op::Stats(crate::protocol::StatsOp {}),
+                op: Op::Stats(crate::protocol::StatsOp { session: None }),
             },
         ]);
         let mut output = Vec::new();

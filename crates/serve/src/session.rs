@@ -292,6 +292,17 @@ pub struct AdmissionSession {
     online: OnlineSuiteState,
     admits: u64,
     rejects: u64,
+    /// Successful withdrawals. Unlike `admits`/`rejects` this is not
+    /// part of [`SessionImage`] (snapshots predate it), so it counts
+    /// since the session was (re)built in this process.
+    withdraws: u64,
+    /// Decider verdicts served warm in this process (no cold-fallback
+    /// provenance marker) — the per-session half of the daemon-wide
+    /// warm/cold split.
+    warm_decides: u64,
+    /// Decider verdicts that fell back to the cold adapter in this
+    /// process.
+    cold_decides: u64,
     next_handle: u64,
     /// Total decisions made (admit accepts + rejects + withdraws): the
     /// per-session `seq` the cluster frames expose, owned here so it
@@ -316,6 +327,9 @@ impl AdmissionSession {
             online,
             admits: 0,
             rejects: 0,
+            withdraws: 0,
+            warm_decides: 0,
+            cold_decides: 0,
             next_handle: 1,
             decisions: 0,
             decision_log: Vec::new(),
@@ -327,6 +341,38 @@ impl AdmissionSession {
     #[must_use]
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Tallies the decider's verdict of one decision into the
+    /// per-session warm/cold split. A decision that streamed no
+    /// verdicts (withdrawing the last job empties the session) counts
+    /// as neither.
+    fn observe_decider(&mut self, verdicts: &[Verdict]) {
+        let Some(verdict) = verdicts.iter().find(|v| v.solver == self.config.decider) else {
+            return;
+        };
+        if verdict.stats.cold_fallback.is_some() {
+            self.cold_decides += 1;
+        } else {
+            self.warm_decides += 1;
+        }
+    }
+
+    /// The per-session observability counters
+    /// `(admits, rejects, withdraws, warm_decides, cold_decides)` —
+    /// what the cluster daemon's per-session stats breakdown reports.
+    /// `admits`/`rejects` are lifetime (they survive snapshot restore);
+    /// the other three count since the session was (re)built in this
+    /// process.
+    #[must_use]
+    pub fn counter_breakdown(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.admits,
+            self.rejects,
+            self.withdraws,
+            self.warm_decides,
+            self.cold_decides,
+        )
     }
 
     fn record_decision(&mut self, record: DecisionRecord) {
@@ -570,6 +616,7 @@ impl AdmissionSession {
         };
         let jobs = state.jobs.len();
         state.tables = Some(tables);
+        self.observe_decider(&verdicts);
         self.decisions += 1;
         self.record_decision(DecisionRecord {
             seq: self.decisions,
@@ -708,6 +755,8 @@ impl AdmissionSession {
         state.handles.swap_remove(index);
         state.tables = Some(tables);
         let jobs = state.jobs.len();
+        self.withdraws += 1;
+        self.observe_decider(&verdicts);
         self.decisions += 1;
         self.record_decision(DecisionRecord {
             seq: self.decisions,
@@ -875,6 +924,12 @@ impl AdmissionSession {
             online,
             admits: image.admits,
             rejects: image.rejects,
+            // Withdrawals and the warm/cold split are process-local
+            // observability counters, not durable state — they restart
+            // at 0 (the frame docs say so).
+            withdraws: 0,
+            warm_decides: 0,
+            cold_decides: 0,
             next_handle: image.next_handle.max(min_next),
             // Pre-seq snapshots restore with a fresh counter (seq 1 is
             // the first post-restore decision, as before) and an empty

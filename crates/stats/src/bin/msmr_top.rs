@@ -4,29 +4,43 @@
 //! Default mode polls a `--stats-addr` listener and redraws a compact
 //! dashboard: counters, warm/cold ratio, per-op p50/p99, a worker
 //! queue-depth sparkline across polls, and per-solver / per-session
-//! tables. Two scripting modes double as the CI validators:
+//! tables. `--tui` switches to a full-screen mode on the terminal's
+//! alternate screen (plain ANSI, no terminal library): the same
+//! counters plus log-bucket latency **distribution sparklines** per
+//! op, per-shard session occupancy bars and a per-solver latency
+//! table. Two scripting modes double as the CI validators:
 //!
 //! * `--once` prints one raw JSON snapshot (optionally asserting
-//!   `--min-admits N`), so shell scripts can check the side channel
-//!   without a JSON tool dependency.
+//!   `--min-admits N`; when asserted, the per-op histograms must also
+//!   be populated and agree with the ring p99 within one log bucket),
+//!   so shell scripts can check the side channel without a JSON tool
+//!   dependency. Its output is raw snapshot JSON — byte-stable for CI
+//!   regardless of the dashboard modes.
 //! * `--check-trace FILE` validates a `--trace-out` file as
-//!   trace-event JSON (optionally asserting `--expect-spans N`).
+//!   trace-event JSON (optionally asserting `--expect-spans N` exact
+//!   span and `--expect-counters N` minimum counter-sample tallies).
 //!
 //! ```text
-//! msmr-top --addr 127.0.0.1:9099 [--interval-ms 1000] [--iterations 0]
+//! msmr-top --addr 127.0.0.1:9099 [--interval-ms 1000] [--iterations 0] [--tui]
 //! msmr-top --addr 127.0.0.1:9099 --once [--min-admits 1]
-//! msmr-top --check-trace replay.trace [--expect-spans 120]
+//! msmr-top --check-trace replay.trace [--expect-spans 120] [--expect-counters 3]
 //! ```
 
 use std::process::ExitCode;
 
-use msmr_stats::{fetch_stats_json, validate_trace, StatsSnapshot};
+use msmr_stats::ring::DEFAULT_RING_SLOTS;
+use msmr_stats::{
+    bucket_bounds, bucket_index, fetch_stats_json, validate_trace, StatsSnapshot, TraceSummary,
+};
 
 /// Glyphs of the queue-depth sparkline, lowest to highest.
 const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
 /// Polls of queue depth kept for the sparkline.
 const SPARK_WINDOW: usize = 32;
+
+/// Widest per-shard occupancy bar in the TUI.
+const SHARD_BAR_WIDTH: usize = 30;
 
 #[derive(Debug)]
 struct Options {
@@ -35,9 +49,11 @@ struct Options {
     /// 0 = poll until interrupted.
     iterations: u64,
     once: bool,
+    tui: bool,
     min_admits: Option<u64>,
     check_trace: Option<String>,
     expect_spans: Option<u64>,
+    expect_counters: Option<u64>,
 }
 
 impl Default for Options {
@@ -47,9 +63,11 @@ impl Default for Options {
             interval_ms: 1000,
             iterations: 0,
             once: false,
+            tui: false,
             min_admits: None,
             check_trace: None,
             expect_spans: None,
+            expect_counters: None,
         }
     }
 }
@@ -76,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--iterations needs an integer".to_string())?;
             }
             "--once" => options.once = true,
+            "--tui" => options.tui = true,
             "--min-admits" => {
                 options.min_admits = Some(
                     value("--min-admits")?
@@ -89,6 +108,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     value("--expect-spans")?
                         .parse()
                         .map_err(|_| "--expect-spans needs an integer".to_string())?,
+                );
+            }
+            "--expect-counters" => {
+                options.expect_counters = Some(
+                    value("--expect-counters")?
+                        .parse()
+                        .map_err(|_| "--expect-counters needs an integer".to_string())?,
                 );
             }
             "--help" | "-h" => return Err("help".to_string()),
@@ -114,13 +140,11 @@ fn sparkline(depths: &[u64]) -> String {
         .collect()
 }
 
-/// Renders one dashboard frame (no ANSI control codes — the caller
-/// prepends the clear sequence in loop mode, tests read it plain).
-fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
+/// The counters / gauges header both dashboard modes share.
+fn render_header(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
     let c = &snapshot.counters;
     let g = &snapshot.gauges;
     let mut out = String::new();
-    out.push_str("msmr-top — admission daemon live stats\n\n");
     out.push_str(&format!(
         "admits {:>8}   rejects {:>6}   withdraws {:>6}   submits {:>4}   overloads {:>4}\n",
         c.admits, c.rejects, c.withdraws, c.submits, c.overloads
@@ -147,6 +171,15 @@ fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
         g.workers,
         sparkline(depths)
     ));
+    out
+}
+
+/// Renders one dashboard frame (no ANSI control codes — the caller
+/// prepends the clear sequence in loop mode, tests read it plain).
+fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
+    let mut out = String::new();
+    out.push_str("msmr-top — admission daemon live stats\n\n");
+    out.push_str(&render_header(snapshot, depths));
     out.push_str("\nop        samples      p50 µs      p99 µs\n");
     for (name, lat) in &snapshot.ops {
         out.push_str(&format!(
@@ -183,28 +216,187 @@ fn render(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
     out
 }
 
-fn check_trace(path: &str, expect_spans: Option<u64>) -> Result<u64, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let spans = validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
-    if let Some(expected) = expect_spans {
-        if spans != expected {
-            return Err(format!("{path}: expected {expected} spans, found {spans}"));
+/// Sparkline over the non-empty span of a log-bucket histogram plus a
+/// human `[lower µs, upper µs)` range label; `None` when no samples.
+fn histo_sparkline(buckets: &[u64]) -> Option<(String, String)> {
+    let first = buckets.iter().position(|&c| c > 0)?;
+    let last = buckets.iter().rposition(|&c| c > 0)?;
+    let glyphs = sparkline(&buckets[first..=last]);
+    let (lower, _) = bucket_bounds(first);
+    let (_, upper) = bucket_bounds(last);
+    Some((glyphs, format!("[{lower}µs, {upper}µs)")))
+}
+
+/// Renders one full-screen TUI frame (plain text; the TUI loop owns
+/// the alternate-screen and cursor-addressing control codes).
+fn render_tui(snapshot: &StatsSnapshot, depths: &[u64]) -> String {
+    let mut out = String::new();
+    out.push_str("msmr-top — admission daemon live stats (tui)\n\n");
+    out.push_str(&render_header(snapshot, depths));
+
+    out.push_str("\nlatency distributions (log-bucket, since boot)\n");
+    out.push_str("op        samples   ring p50/p99 µs   histo p50/p99 µs  distribution\n");
+    for (name, lat) in &snapshot.ops {
+        let (glyphs, range) = histo_sparkline(&lat.histo_buckets)
+            .unwrap_or_else(|| ("".to_string(), "no samples".to_string()));
+        out.push_str(&format!(
+            "{name:<10}{:>7}  {:>7.1}/{:<8.1} {:>7.1}/{:<8.1} {} {}\n",
+            lat.samples, lat.p50_us, lat.p99_us, lat.histo_p50_us, lat.histo_p99_us, glyphs, range
+        ));
+    }
+
+    if !snapshot.gauges.sessions_per_shard.is_empty() {
+        out.push_str("\nshard occupancy\n");
+        let max = snapshot
+            .gauges
+            .sessions_per_shard
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for (shard, &count) in snapshot.gauges.sessions_per_shard.iter().enumerate() {
+            let width = ((count as usize * SHARD_BAR_WIDTH) / max as usize).min(SHARD_BAR_WIDTH);
+            out.push_str(&format!(
+                "shard {shard:<3} {:<width$} {count}\n",
+                "█".repeat(width),
+                width = SHARD_BAR_WIDTH
+            ));
         }
     }
-    Ok(spans)
+
+    if !snapshot.solvers.is_empty() {
+        out.push_str("\nsolver      verdicts   accept%     warm%    mean µs\n");
+        for (name, row) in &snapshot.solvers {
+            let verdicts = row.verdicts.max(1) as f64;
+            out.push_str(&format!(
+                "{name:<10}{:>10}  {:>7.1}%  {:>7.1}%  {:>9.1}\n",
+                row.verdicts,
+                row.accepted as f64 / verdicts * 100.0,
+                row.warm as f64 / verdicts * 100.0,
+                row.elapsed_micros as f64 / verdicts,
+            ));
+        }
+    }
+
+    if !snapshot.sessions.is_empty() {
+        out.push_str("\nsession                          jobs   version  attached\n");
+        for row in &snapshot.sessions {
+            out.push_str(&format!(
+                "{:<30}{:>7}  {:>8}  {:>8}\n",
+                row.name, row.jobs, row.version, row.attached
+            ));
+        }
+    }
+    out
+}
+
+/// The `--once --min-admits` histogram cross-check: every op that
+/// recorded samples must carry a populated histogram whose total
+/// matches the sample count, and — while the ring window still holds
+/// every sample — a histogram p99 estimate in the same (±1) log bucket
+/// as the ring p99.
+fn verify_histograms(snapshot: &StatsSnapshot) -> Result<(), String> {
+    for (name, lat) in &snapshot.ops {
+        if lat.samples == 0 {
+            continue;
+        }
+        let total: u64 = lat.histo_buckets.iter().sum();
+        if total != lat.samples {
+            return Err(format!(
+                "op `{name}`: histogram holds {total} samples but the ring recorded {}",
+                lat.samples
+            ));
+        }
+        if lat.samples <= DEFAULT_RING_SLOTS as u64 {
+            let ring_bucket = bucket_index(lat.p99_us as u64);
+            let histo_bucket = bucket_index(lat.histo_p99_us as u64);
+            if ring_bucket.abs_diff(histo_bucket) > 1 {
+                return Err(format!(
+                    "op `{name}`: histogram p99 {:.1}µs (bucket {histo_bucket}) disagrees with \
+                     ring p99 {:.1}µs (bucket {ring_bucket}) by more than one bucket",
+                    lat.histo_p99_us, lat.p99_us
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_trace(
+    path: &str,
+    expect_spans: Option<u64>,
+    expect_counters: Option<u64>,
+) -> Result<TraceSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(expected) = expect_spans {
+        if summary.spans != expected {
+            return Err(format!(
+                "{path}: expected {expected} spans, found {}",
+                summary.spans
+            ));
+        }
+    }
+    if let Some(expected) = expect_counters {
+        if summary.counters < expected {
+            return Err(format!(
+                "{path}: expected at least {expected} counter samples, found {}",
+                summary.counters
+            ));
+        }
+        if summary.lanes == 0 {
+            return Err(format!(
+                "{path}: counter samples present but no named solver lanes"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+/// RAII guard for the terminal's alternate screen: enters on
+/// construction, restores (and re-shows the cursor) on drop, so every
+/// exit path — including errors — leaves the terminal usable.
+struct AltScreen;
+
+impl AltScreen {
+    fn enter() -> Self {
+        print!("\x1b[?1049h\x1b[?25l");
+        let _ = flush();
+        AltScreen
+    }
+}
+
+impl Drop for AltScreen {
+    fn drop(&mut self) {
+        print!("\x1b[?1049l\x1b[?25h");
+        let _ = flush();
+    }
+}
+
+fn flush() -> std::io::Result<()> {
+    use std::io::Write;
+    std::io::stdout().flush()
+}
+
+fn fetch_snapshot(addr: &str) -> Result<(String, StatsSnapshot), String> {
+    let json = fetch_stats_json(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let snapshot = serde_json::from_str(&json).map_err(|e| format!("{addr}: bad snapshot: {e}"))?;
+    Ok((json, snapshot))
 }
 
 fn run(options: &Options) -> Result<(), String> {
     if let Some(path) = &options.check_trace {
-        let spans = check_trace(path, options.expect_spans)?;
-        println!("trace OK: {spans} spans");
+        let summary = check_trace(path, options.expect_spans, options.expect_counters)?;
+        println!(
+            "trace OK: {} spans, {} counter samples, {} solver lanes",
+            summary.spans, summary.counters, summary.lanes
+        );
         return Ok(());
     }
     let addr = options.addr.as_deref().expect("addr checked by the parser");
     if options.once {
-        let json = fetch_stats_json(addr).map_err(|e| format!("{addr}: {e}"))?;
-        let snapshot: StatsSnapshot =
-            serde_json::from_str(&json).map_err(|e| format!("{addr}: bad snapshot: {e}"))?;
+        let (json, snapshot) = fetch_snapshot(addr)?;
         if let Some(min) = options.min_admits {
             if snapshot.counters.admits < min {
                 return Err(format!(
@@ -212,24 +404,29 @@ fn run(options: &Options) -> Result<(), String> {
                     snapshot.counters.admits
                 ));
             }
+            verify_histograms(&snapshot).map_err(|e| format!("{addr}: {e}"))?;
         }
         println!("{json}");
         return Ok(());
     }
+    let _alt = options.tui.then(AltScreen::enter);
     let mut depths: Vec<u64> = Vec::new();
     let mut iteration = 0u64;
     loop {
-        let json = fetch_stats_json(addr).map_err(|e| format!("{addr}: {e}"))?;
-        let snapshot: StatsSnapshot =
-            serde_json::from_str(&json).map_err(|e| format!("{addr}: bad snapshot: {e}"))?;
+        let (_, snapshot) = fetch_snapshot(addr)?;
         depths.push(snapshot.gauges.queue_depth);
         if depths.len() > SPARK_WINDOW {
             depths.remove(0);
         }
-        // Clear + home, then one full frame.
-        print!("\x1b[2J\x1b[H{}", render(&snapshot, &depths));
-        use std::io::Write;
-        let _ = std::io::stdout().flush();
+        if options.tui {
+            // Home the cursor and clear below, then one full frame on
+            // the alternate screen.
+            print!("\x1b[H\x1b[J{}", render_tui(&snapshot, &depths));
+        } else {
+            // Clear + home, then one full frame.
+            print!("\x1b[2J\x1b[H{}", render(&snapshot, &depths));
+        }
+        let _ = flush();
         iteration += 1;
         if options.iterations != 0 && iteration >= options.iterations {
             return Ok(());
@@ -245,9 +442,9 @@ fn main() -> ExitCode {
         Err(message) => {
             if message == "help" {
                 eprintln!(
-                    "usage: msmr-top --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
+                    "usage: msmr-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--tui]\n\
                      \x20      msmr-top --addr HOST:PORT --once [--min-admits N]\n\
-                     \x20      msmr-top --check-trace FILE [--expect-spans N]"
+                     \x20      msmr-top --check-trace FILE [--expect-spans N] [--expect-counters N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -269,17 +466,7 @@ mod tests {
     use super::*;
     use msmr_stats::{OpLatency, SessionRow, SolverRow};
 
-    #[test]
-    fn sparkline_scales_to_the_window_maximum() {
-        assert_eq!(sparkline(&[]), "");
-        assert_eq!(sparkline(&[0, 0]), "▁▁");
-        let line = sparkline(&[0, 4, 8]);
-        assert_eq!(line.chars().count(), 3);
-        assert!(line.ends_with('█'));
-    }
-
-    #[test]
-    fn render_includes_every_table() {
+    fn sample_snapshot() -> StatsSnapshot {
         let mut snapshot = StatsSnapshot::default();
         snapshot.counters.admits = 12;
         snapshot.counters.warm_decides = 9;
@@ -294,6 +481,9 @@ mod tests {
                 samples: 12,
                 p50_us: 51.0,
                 p99_us: 130.0,
+                histo_buckets: vec![0, 0, 0, 0, 0, 0, 8, 3, 1],
+                histo_p50_us: 63.0,
+                histo_p99_us: 255.0,
             },
         );
         snapshot.solvers.insert(
@@ -303,6 +493,7 @@ mod tests {
                 accepted: 11,
                 warm: 12,
                 sdca_calls: 300,
+                elapsed_micros: 660,
                 ..SolverRow::default()
             },
         );
@@ -312,6 +503,21 @@ mod tests {
             version: 14,
             attached: 2,
         });
+        snapshot
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_window_maximum() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[0, 4, 8]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn render_includes_every_table() {
+        let snapshot = sample_snapshot();
         let frame = render(&snapshot, &[0, 1, 2]);
         assert!(frame.contains("admits       12"));
         assert!(frame.contains("quarantined   1"));
@@ -323,13 +529,81 @@ mod tests {
     }
 
     #[test]
+    fn tui_frame_shows_distributions_shards_and_solver_latency() {
+        let mut snapshot = sample_snapshot();
+        snapshot.gauges.sessions_per_shard = vec![3, 0, 1, 2];
+        snapshot.gauges.live_sessions = 6;
+        let frame = render_tui(&snapshot, &[0, 1, 2]);
+        // Same counter header, plus the distribution table with the
+        // histogram range and sparkline glyphs.
+        assert!(frame.contains("admits       12"));
+        assert!(frame.contains("latency distributions"));
+        assert!(frame.contains("[32µs, 256µs)"));
+        assert!(frame.chars().any(|c| SPARKS.contains(&c)));
+        // Shard occupancy bars, one per shard, scaled to the busiest.
+        assert!(frame.contains("shard 0"));
+        assert!(frame.contains("shard 3"));
+        assert!(frame.contains('█'));
+        // Solver latency: 660 µs over 12 verdicts = 55.0 mean.
+        assert!(frame.contains("55.0"));
+        assert!(frame.contains("91.7%"));
+        // No ANSI control codes inside the frame — the loop owns them.
+        assert!(!frame.contains('\x1b'));
+    }
+
+    #[test]
+    fn empty_histograms_render_without_a_range() {
+        let mut snapshot = sample_snapshot();
+        snapshot.ops.get_mut("admit").unwrap().histo_buckets = Vec::new();
+        let frame = render_tui(&snapshot, &[]);
+        assert!(frame.contains("no samples"));
+    }
+
+    #[test]
+    fn histogram_verification_cross_checks_the_ring() {
+        let mut snapshot = sample_snapshot();
+        assert!(verify_histograms(&snapshot).is_ok());
+        // A histogram that lost samples is an error...
+        snapshot.ops.get_mut("admit").unwrap().histo_buckets = vec![1];
+        let message = verify_histograms(&snapshot).unwrap_err();
+        assert!(message.contains("histogram holds 1"));
+        // ...as is a p99 estimate more than one bucket away.
+        let lat = snapshot.ops.get_mut("admit").unwrap();
+        lat.histo_buckets = vec![0, 0, 0, 0, 0, 0, 8, 3, 1];
+        lat.histo_p99_us = 4095.0; // bucket 12 vs ring bucket 8
+        let message = verify_histograms(&snapshot).unwrap_err();
+        assert!(message.contains("more than one bucket"));
+        // Ops with no samples are skipped entirely.
+        snapshot.ops.get_mut("admit").unwrap().samples = 0;
+        assert!(verify_histograms(&snapshot).is_ok());
+    }
+
+    #[test]
     fn parser_rejects_missing_addr_and_unknown_flags() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         let options =
             parse_args(&["--addr".into(), "127.0.0.1:9".into(), "--once".into()]).unwrap();
         assert!(options.once);
-        let options = parse_args(&["--check-trace".into(), "x.trace".into()]).unwrap();
+        assert!(!options.tui);
+        let options = parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:9".into(),
+            "--tui".into(),
+            "--iterations".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(options.tui);
+        assert_eq!(options.iterations, 3);
+        let options = parse_args(&[
+            "--check-trace".into(),
+            "x.trace".into(),
+            "--expect-counters".into(),
+            "5".into(),
+        ])
+        .unwrap();
         assert_eq!(options.check_trace.as_deref(), Some("x.trace"));
+        assert_eq!(options.expect_counters, Some(5));
     }
 }

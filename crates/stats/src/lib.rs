@@ -9,12 +9,14 @@
 //!
 //! * [`StatsRegistry`] — atomics-only monotonic counters (admits,
 //!   rejects, withdraws, warm vs `cold_fallback` decides, overloads,
-//!   evictions, snapshot writes), an attached-clients gauge, and
-//!   fixed-size [`LatencyRing`]s per op yielding p50/p99. The serve
-//!   session layer, the cluster engine/store/worker-pool and the solver
-//!   registry (through its verdict hook) all feed the same instance;
-//!   recording a sample is a handful of relaxed atomic ops, so the hot
-//!   admission path never takes a lock for a counter.
+//!   evictions, snapshot writes), an attached-clients gauge, fixed-size
+//!   [`LatencyRing`]s per op yielding windowed p50/p99, and log-bucket
+//!   [`LatencyHisto`]s fed by the same `record_*` calls yielding the
+//!   full-lifetime latency distribution. The serve session layer, the
+//!   cluster engine/store/worker-pool and the solver registry (through
+//!   its verdict hook) all feed the same instance; recording a sample
+//!   is a handful of relaxed atomic ops, so the hot admission path
+//!   never takes a lock for a counter.
 //! * [`StatsSnapshot`] — the serde-serializable point-in-time view
 //!   ([`model`]): counters, gauges (live sessions per shard, worker
 //!   queue depth), per-op latency percentiles, a per-solver work table
@@ -23,13 +25,18 @@
 //!   daemons, and over the [`listener`] side channel (`--stats-addr`) so
 //!   scraping never competes with admission traffic.
 //! * [`TraceWriter`] — per-solve span export as Chrome trace-event JSON
-//!   (`--trace-out`): one complete `"X"` event per solver per decision,
-//!   sequence-ordered, args carrying the full `SolverStats`, so an
-//!   entire replay opens in a trace viewer.
+//!   (`--trace-out`): one complete `"X"` event per solver per decision
+//!   on a stable per-solver lane (`tid`), `"M"` metadata events naming
+//!   the process and each lane, periodic `"C"` counter events for
+//!   saturation gauges, args carrying the full `SolverStats`, so an
+//!   entire replay opens in Perfetto with one named track per solver
+//!   and counter tracks beside the spans.
 //! * `msmr-top` — a std-only terminal dashboard over the side channel:
-//!   periodic redraw, per-session and per-solver tables, warm/cold
-//!   ratio and a queue-depth sparkline. Its `--once` / `--check-trace`
-//!   modes double as the JSON validators the CI smoke scripts use.
+//!   periodic redraw (plain repaint, or a full-screen `--tui` mode with
+//!   histogram sparklines), per-session and per-solver tables,
+//!   warm/cold ratio and a queue-depth sparkline. Its `--once` /
+//!   `--check-trace` modes double as the JSON validators the CI smoke
+//!   scripts use.
 //!
 //! Instrumentation is provenance-only by construction: nothing in this
 //! crate touches a [`msmr_sched::Verdict`], so the byte-identity
@@ -39,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod histo;
 pub mod listener;
 pub mod model;
 pub mod percentile;
@@ -46,9 +54,10 @@ pub mod registry;
 pub mod ring;
 pub mod trace;
 
+pub use histo::{bucket_bounds, bucket_index, percentile_from_counts, LatencyHisto, HISTO_BUCKETS};
 pub use listener::{fetch_stats_json, serve_stats};
 pub use model::{OpLatency, SessionRow, SolverRow, StatsCounters, StatsGauges, StatsSnapshot};
 pub use percentile::nearest_rank;
 pub use registry::StatsRegistry;
 pub use ring::LatencyRing;
-pub use trace::{validate_trace, TraceWriter};
+pub use trace::{validate_trace, TraceSummary, TraceWriter};

@@ -67,7 +67,9 @@ pub struct StatsGauges {
     pub workers: u64,
 }
 
-/// Latency summary for one op, from its fixed-size ring.
+/// Latency summary for one op: windowed percentiles from its
+/// fixed-size ring plus the full-lifetime log-bucket distribution from
+/// its [`crate::LatencyHisto`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct OpLatency {
     /// Samples ever recorded (monotonic, not capped by the ring).
@@ -76,6 +78,15 @@ pub struct OpLatency {
     pub p50_us: f64,
     /// Nearest-rank p99 over the ring window, microseconds.
     pub p99_us: f64,
+    /// Log-bucket counts over every sample since boot: element `i`
+    /// counts samples in pow-2 bucket `i` (see
+    /// [`crate::bucket_bounds`]), trimmed after the last non-empty
+    /// bucket. Empty when nothing was recorded.
+    pub histo_buckets: Vec<u64>,
+    /// Histogram-estimated p50 (bucket upper edge), microseconds.
+    pub histo_p50_us: f64,
+    /// Histogram-estimated p99 (bucket upper edge), microseconds.
+    pub histo_p99_us: f64,
 }
 
 /// Aggregated per-solver work counters, fed from
@@ -96,6 +107,10 @@ pub struct SolverRow {
     pub sdca_calls: u64,
     /// Total search nodes explored.
     pub nodes_explored: u64,
+    /// Total microseconds this solver spent producing verdicts (the
+    /// sum of its verdicts' `elapsed_micros`; mean latency =
+    /// `elapsed_micros / verdicts`).
+    pub elapsed_micros: u64,
 }
 
 /// One live session, as the cluster store sees it at snapshot time.
@@ -167,6 +182,9 @@ mod tests {
                 samples: 4,
                 p50_us: 51.0,
                 p99_us: 130.0,
+                histo_buckets: vec![0, 0, 0, 0, 0, 0, 3, 1],
+                histo_p50_us: 63.0,
+                histo_p99_us: 127.0,
             },
         );
         snapshot.solvers.insert(

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 
 use msmr_sched::Verdict;
 
+use crate::histo::LatencyHisto;
 use crate::model::{OpLatency, SolverRow, StatsCounters, StatsSnapshot};
 use crate::ring::LatencyRing;
 use crate::trace::TraceWriter;
@@ -42,6 +43,9 @@ pub struct StatsRegistry {
     admit_ring: LatencyRing,
     withdraw_ring: LatencyRing,
     submit_ring: LatencyRing,
+    admit_histo: LatencyHisto,
+    withdraw_histo: LatencyHisto,
+    submit_histo: LatencyHisto,
     solvers: Mutex<BTreeMap<String, SolverRow>>,
     trace: Mutex<Option<TraceWriter>>,
 }
@@ -71,18 +75,21 @@ impl StatsRegistry {
             self.rejects.fetch_add(1, Ordering::Relaxed);
         }
         self.admit_ring.record(micros);
+        self.admit_histo.record(micros);
     }
 
     /// Records a successful withdrawal and its latency.
     pub fn record_withdraw(&self, micros: u64) {
         self.withdraws.fetch_add(1, Ordering::Relaxed);
         self.withdraw_ring.record(micros);
+        self.withdraw_histo.record(micros);
     }
 
     /// Records a session (re)submission and its latency.
     pub fn record_submit(&self, micros: u64) {
         self.submits.fetch_add(1, Ordering::Relaxed);
         self.submit_ring.record(micros);
+        self.submit_histo.record(micros);
     }
 
     /// Records a request refused with a typed `Overload` frame.
@@ -158,6 +165,7 @@ impl StatsRegistry {
             row.warm += u64::from(!cold && !implied);
             row.sdca_calls += verdict.stats.sdca_calls;
             row.nodes_explored += verdict.stats.nodes_explored;
+            row.elapsed_micros += verdict.stats.elapsed_micros;
         }
         let trace = self.trace.lock().expect("trace writer lock");
         if let Some(writer) = trace.as_ref() {
@@ -168,6 +176,17 @@ impl StatsRegistry {
     /// Attaches a trace writer; subsequent verdicts export spans.
     pub fn set_trace_writer(&self, writer: TraceWriter) {
         *self.trace.lock().expect("trace writer lock") = Some(writer);
+    }
+
+    /// Forwards one sample of a named counter track to the attached
+    /// trace writer (a Chrome `"C"` event), if any. The saturation
+    /// sampler calls this periodically for queue depth, attached
+    /// clients and live sessions.
+    pub fn trace_counter(&self, name: &str, value: u64) {
+        let trace = self.trace.lock().expect("trace writer lock");
+        if let Some(writer) = trace.as_ref() {
+            writer.record_counter(name, value);
+        }
     }
 
     /// Closes the attached trace writer's JSON array, if any.
@@ -212,10 +231,10 @@ impl StatsRegistry {
             ..StatsSnapshot::default()
         };
         snapshot.gauges.attached_clients = self.attached();
-        for (name, ring) in [
-            ("admit", &self.admit_ring),
-            ("withdraw", &self.withdraw_ring),
-            ("submit", &self.submit_ring),
+        for (name, ring, histo) in [
+            ("admit", &self.admit_ring, &self.admit_histo),
+            ("withdraw", &self.withdraw_ring, &self.withdraw_histo),
+            ("submit", &self.submit_ring, &self.submit_histo),
         ] {
             snapshot.ops.insert(
                 name.to_string(),
@@ -223,6 +242,9 @@ impl StatsRegistry {
                     samples: ring.recorded(),
                     p50_us: ring.percentile_us(0.50),
                     p99_us: ring.percentile_us(0.99),
+                    histo_buckets: histo.counts(),
+                    histo_p50_us: histo.percentile_us(0.50),
+                    histo_p99_us: histo.percentile_us(0.99),
                 },
             );
         }
@@ -276,8 +298,19 @@ mod tests {
         assert_eq!(admit.samples, 3);
         assert_eq!(admit.p50_us, 70.0);
         assert_eq!(admit.p99_us, 90.0);
+        // The histograms saw the same samples: 50 µs lands in bucket 6
+        // ([32,64)), 70 and 90 in bucket 7 ([64,128)).
+        assert_eq!(admit.histo_buckets, vec![0, 0, 0, 0, 0, 0, 1, 2]);
+        assert_eq!(admit.histo_p50_us, 127.0);
+        assert_eq!(admit.histo_p99_us, 127.0);
+        assert_eq!(
+            crate::histo::bucket_index(admit.histo_p99_us as u64),
+            crate::histo::bucket_index(admit.p99_us as u64),
+            "histogram p99 estimate stays in the ring p99's bucket"
+        );
         assert_eq!(snapshot.ops["withdraw"].samples, 1);
         assert_eq!(snapshot.ops["submit"].samples, 1);
+        assert_eq!(snapshot.ops["submit"].histo_buckets.iter().sum::<u64>(), 1);
     }
 
     #[test]

@@ -82,10 +82,28 @@ grep -q "loadgen/requests_per_sec" "$BENCH_OUT" || {
     exit 1
 }
 
+# The run's scratch history passes the p50/p99 trend gate (a single
+# run is a "new kernel" baseline for every series, including the new
+# log-bucket histogram percentiles — the point is that the gate parses
+# and accepts what loadgen just recorded).
+scripts/bench_trend.sh --file "$BENCH_OUT"
+
 # Post-burst, the same snapshot is also served in-band through the v4
-# stats op (one JSON line with the counter fields).
+# stats op (one JSON line with the counter fields, histograms included).
 "$ADMIT" --uds "$SOCK" --stats | grep -q '"admits":' || {
     echo "the stats op did not answer with counters" >&2
+    exit 1
+}
+"$ADMIT" --uds "$SOCK" --stats | grep -q '"histo_buckets":' || {
+    echo "the stats op did not carry latency histograms" >&2
+    exit 1
+}
+
+# The per-session breakdown (stats op with a session argument) answers
+# for a loadgen session without attaching to it.
+"$ADMIT" --uds "$SOCK" --stats --session "loadgen-$SEED-0" \
+    | grep -q '"withdraws":' || {
+    echo "the per-session stats breakdown did not answer" >&2
     exit 1
 }
 
@@ -101,8 +119,10 @@ ls "$SNAPDIR"/loadgen-"$SEED"-*.json >/dev/null || {
 }
 
 # The daemon closed a valid Chrome trace-event file: one complete span
-# per solver verdict, parseable by msmr-top's validator.
-"$TOP" --check-trace "$TRACE_OUT"
+# per solver verdict on a named per-solver lane, plus the periodic
+# gauge counter samples (queue depth / attached clients / live
+# sessions; at least one sweep of the three must have landed).
+"$TOP" --check-trace "$TRACE_OUT" --expect-counters 3
 
 trap - EXIT
 rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG"
