@@ -50,6 +50,8 @@ pub struct DaemonHarness {
     child: Child,
     /// The TCP address the daemon bound (`host:port`).
     pub addr: String,
+    /// The stats side-channel address, when the spawn waited for it.
+    pub stats_addr: Option<String>,
 }
 
 impl DaemonHarness {
@@ -64,6 +66,23 @@ impl DaemonHarness {
     /// fails, or the daemon exits or goes silent before announcing its
     /// address.
     pub fn spawn(extra_args: &[&str]) -> Result<DaemonHarness, String> {
+        Self::spawn_inner(extra_args, false)
+    }
+
+    /// Like [`DaemonHarness::spawn`], but also waits for the daemon's
+    /// `stats on tcp://...` announcement — `extra_args` must carry
+    /// `--stats-addr` — and records the bound side-channel address in
+    /// `stats_addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonHarness::spawn`], plus when the stats announcement
+    /// never arrives.
+    pub fn spawn_with_stats(extra_args: &[&str]) -> Result<DaemonHarness, String> {
+        Self::spawn_inner(extra_args, true)
+    }
+
+    fn spawn_inner(extra_args: &[&str], want_stats: bool) -> Result<DaemonHarness, String> {
         let binary = served_binary()?;
         let mut child = Command::new(&binary)
             .arg("--tcp")
@@ -77,7 +96,9 @@ impl DaemonHarness {
         let mut reader = BufReader::new(stdout);
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut line = String::new();
-        let addr = loop {
+        let mut addr = None;
+        let mut stats_addr = None;
+        loop {
             line.clear();
             if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
                 let _ = child.kill();
@@ -85,20 +106,29 @@ impl DaemonHarness {
                 return Err("daemon exited before announcing its address".into());
             }
             if let Some(rest) = line.trim().strip_prefix("msmr-served listening on tcp://") {
-                break rest.to_string();
+                addr = Some(rest.to_string());
+            } else if let Some(rest) = line.trim().strip_prefix("msmr-served stats on tcp://") {
+                stats_addr = Some(rest.to_string());
+            }
+            if addr.is_some() && (!want_stats || stats_addr.is_some()) {
+                break;
             }
             if Instant::now() > deadline {
                 let _ = child.kill();
                 let _ = child.wait();
                 return Err("daemon never announced its address".into());
             }
-        };
+        }
         // Keep draining stdout so the daemon never blocks on a full pipe.
         std::thread::spawn(move || {
             let mut sink = Vec::new();
             let _ = reader.read_to_end(&mut sink);
         });
-        Ok(DaemonHarness { child, addr })
+        Ok(DaemonHarness {
+            child,
+            addr: addr.expect("loop breaks only with an address"),
+            stats_addr,
+        })
     }
 
     /// The daemon's pid.

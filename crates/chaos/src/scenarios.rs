@@ -19,6 +19,7 @@ use msmr_serve::{
     normalized_verdict_json, Client, Endpoint, Listen, ResumingClient, RetryError, RetryPolicy,
     SessionConfig,
 };
+use msmr_stats::{fetch_flight_dump, fetch_stats_json, EventKind, FlightDump, StatsSnapshot};
 use msmr_workload::arrival_order;
 
 use crate::harness::{wait_until, DaemonHarness};
@@ -68,6 +69,91 @@ fn entry_from_frames(
     })
 }
 
+/// Post-failure accounting: reconciles the flight recorder's event
+/// tallies and the per-op [`LatencyHisto`](msmr_stats::LatencyHisto)
+/// totals against the decided-op counts the scenario derived from its
+/// surviving history. The recorder, the counters and the histograms
+/// are fed by the same seams, so after any fault they must agree
+/// exactly — a lost or double-counted op shows up as a delta here.
+fn verify_accounting(
+    context: &str,
+    snapshot: &StatsSnapshot,
+    dump: &FlightDump,
+    decided: u64,
+    withdraws: u64,
+    deduped: u64,
+) -> Result<(), String> {
+    if dump.dropped != 0 {
+        return Err(format!(
+            "{context}: the flight ring dropped {} event(s) — scenarios are sized under capacity",
+            dump.dropped
+        ));
+    }
+    let c = &snapshot.counters;
+    // Counter ↔ flight-event identities: both record at the same seams.
+    for (what, counter, events) in [
+        (
+            "decisions",
+            c.admits + c.rejects,
+            dump.count(EventKind::Admit) + dump.count(EventKind::Reject),
+        ),
+        ("withdraws", c.withdraws, dump.count(EventKind::Withdraw)),
+        ("submits", c.submits, dump.count(EventKind::Submit)),
+        ("overloads", c.overloads, dump.count(EventKind::Overload)),
+        ("evictions", c.evictions, dump.count(EventKind::Eviction)),
+        (
+            "snapshot writes",
+            c.snapshot_writes,
+            dump.count(EventKind::SnapshotWrite),
+        ),
+        (
+            "quarantines",
+            c.snapshot_quarantined,
+            dump.count(EventKind::SnapshotQuarantine),
+        ),
+        ("dedups", c.deduped_ops, dump.count(EventKind::Dedup)),
+    ] {
+        if counter != events {
+            return Err(format!(
+                "{context}: the {what} counter says {counter} but the flight \
+                 recorder holds {events} event(s)"
+            ));
+        }
+    }
+    // History ties: what survived must be exactly what was counted.
+    if c.admits + c.rejects != decided {
+        return Err(format!(
+            "{context}: {} decision(s) counted, the surviving history decided {decided}",
+            c.admits + c.rejects
+        ));
+    }
+    if c.withdraws != withdraws {
+        return Err(format!(
+            "{context}: {} withdraw(s) counted, the surviving history holds {withdraws}",
+            c.withdraws
+        ));
+    }
+    if c.deduped_ops != deduped {
+        return Err(format!(
+            "{context}: {} dedup(s) counted, the client observed {deduped} deduped ack(s)",
+            c.deduped_ops
+        ));
+    }
+    // The latency histograms hold exactly one sample per decided op.
+    for (op, expected) in [("admit", decided), ("withdraw", withdraws)] {
+        let (samples, total) = snapshot.ops.get(op).map_or((0, 0), |lat| {
+            (lat.samples, lat.histo_buckets.iter().sum::<u64>())
+        });
+        if samples != expected || total != expected {
+            return Err(format!(
+                "{context}: op `{op}` histograms hold {total} sample(s) \
+                 (ring total {samples}), the surviving history decided {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// SIGKILL the daemon mid-replay and resume against a restart.
 ///
 /// Invariants: the [`ResumingClient`] reconnects and re-issues its
@@ -86,14 +172,20 @@ pub fn kill_restart(seed: u64) -> Result<Vec<String>, String> {
     let snapshot_dir = dir.join("snapshots");
     std::fs::create_dir_all(&snapshot_dir).map_err(|e| e.to_string())?;
     let pidfile = dir.join("served.pid");
+    let flight_path = dir.join("flight.json");
     let snapshot_arg = snapshot_dir.to_string_lossy().into_owned();
     let pidfile_arg = pidfile.to_string_lossy().into_owned();
+    let flight_arg = flight_path.to_string_lossy().into_owned();
     let args = [
         "--cluster",
         "--snapshot-dir",
         snapshot_arg.as_str(),
         "--pidfile",
         pidfile_arg.as_str(),
+        "--stats-addr",
+        "127.0.0.1:0",
+        "--flight-out",
+        flight_arg.as_str(),
     ];
 
     let jobs = 18usize;
@@ -104,7 +196,7 @@ pub fn kill_restart(seed: u64) -> Result<Vec<String>, String> {
     // acked-but-unsnapshotted tail.
     let kill_before = 6 + (seed as usize % 6);
 
-    let mut daemon = DaemonHarness::spawn(&args)?;
+    let mut daemon = DaemonHarness::spawn_with_stats(&args)?;
     wait_until("the daemon's pidfile", Duration::from_secs(5), || {
         pidfile.is_file()
     })?;
@@ -137,16 +229,18 @@ pub fn kill_restart(seed: u64) -> Result<Vec<String>, String> {
     client.set_pipeline(pipeline);
 
     let mut specs = Vec::new();
+    let mut journal_at_kill = 0u64;
     for (i, &id) in order.iter().enumerate() {
         if i == kill_before {
             let pid = daemon.pid();
             daemon.kill9()?;
+            journal_at_kill = client.journal_len() as u64;
             log.push(format!(
                 "kill-restart: SIGKILLed pid {pid} before op {} (journal holds {} op(s))",
                 i + 1,
-                client.journal_len()
+                journal_at_kill
             ));
-            daemon = DaemonHarness::spawn(&args)?;
+            daemon = DaemonHarness::spawn_with_stats(&args)?;
             client.set_endpoint(Endpoint::Tcp(daemon.addr.clone()));
             log.push(format!(
                 "kill-restart: restarted as pid {} on {}",
@@ -208,6 +302,36 @@ pub fn kill_restart(seed: u64) -> Result<Vec<String>, String> {
         "kill-restart: history of {jobs} seq(s) replays byte-identically ({admitted} admitted)"
     ));
 
+    // Post-failure accounting on the restarted daemon: everything it
+    // applied is the journal the client replayed plus the ops issued
+    // after the kill, minus whatever the restored snapshot horizon
+    // deduped — and its flight recorder, counters and histograms must
+    // all reconcile with that surviving history.
+    let replayed_and_new = journal_at_kill + (jobs - kill_before) as u64;
+    let decided_after_kill = replayed_and_new - stats.deduped_acks;
+    let stats_addr = daemon
+        .stats_addr
+        .clone()
+        .ok_or("restarted daemon announced no stats address")?;
+    let live = fetch_stats_json(&stats_addr).map_err(|e| format!("stats fetch: {e}"))?;
+    let live: StatsSnapshot =
+        serde_json::from_str(live.trim()).map_err(|e| format!("bad stats snapshot: {e}"))?;
+    let dump = fetch_flight_dump(&stats_addr).map_err(|e| format!("flight fetch: {e}"))?;
+    verify_accounting(
+        "kill-restart",
+        &live,
+        &dump,
+        decided_after_kill,
+        0,
+        stats.deduped_acks,
+    )?;
+    log.push(format!(
+        "kill-restart: daemon #2 accounting reconciled ({journal_at_kill} replayed + {} new \
+         op(s), {} deduped)",
+        jobs - kill_before,
+        stats.deduped_acks
+    ));
+
     // Graceful shutdown: SIGTERM must snapshot, exit 0 and remove the
     // pidfile...
     daemon.sigterm_and_wait(Duration::from_secs(10))?;
@@ -215,6 +339,24 @@ pub fn kill_restart(seed: u64) -> Result<Vec<String>, String> {
         return Err("pidfile survived the SIGTERM shutdown".into());
     }
     log.push("kill-restart: SIGTERM shutdown clean (exit 0, pidfile removed)".into());
+
+    // ...and leave the flight dump on disk — the file the SIGKILLed
+    // daemon #1 never got to write, which is exactly why the dump
+    // lives on the graceful path and the panic hook.
+    let dumped = std::fs::read_to_string(&flight_path)
+        .map_err(|e| format!("SIGTERM shutdown left no --flight-out dump: {e}"))?;
+    let dumped: FlightDump = serde_json::from_str(dumped.trim())
+        .map_err(|e| format!("--flight-out dump does not parse: {e}"))?;
+    if dumped.count(EventKind::Admit) + dumped.count(EventKind::Reject) != decided_after_kill {
+        return Err(format!(
+            "--flight-out dump holds {} decision event(s), expected {decided_after_kill}",
+            dumped.count(EventKind::Admit) + dumped.count(EventKind::Reject)
+        ));
+    }
+    log.push(format!(
+        "kill-restart: SIGTERM wrote the flight dump ({} event(s) recorded)",
+        dumped.recorded
+    ));
 
     // ...so a third daemon finds the full decision count on disk.
     let daemon = DaemonHarness::spawn(&args)?;
@@ -355,6 +497,19 @@ pub fn torn_snapshot(seed: u64) -> Result<Vec<String>, String> {
     log.push(format!(
         "torn-snapshot: tenant-a decided warm at seq {seq} after the boot"
     ));
+
+    // Post-failure accounting on the rebooted engine: one fresh
+    // decision, two quarantine events, nothing deduped — recorder,
+    // counters and histograms all agree.
+    verify_accounting(
+        "torn-snapshot",
+        &engine.stats_snapshot(),
+        &engine.stats().flight_dump(),
+        1,
+        0,
+        0,
+    )?;
+    log.push("torn-snapshot: flight recorder and histograms reconcile with the history".into());
     let _ = std::fs::remove_dir_all(&dir);
     Ok(log)
 }
@@ -468,6 +623,19 @@ pub fn overload_storm(seed: u64) -> Result<Vec<String>, String> {
         frame.seq,
         engine.stats_snapshot().counters.overloads
     ));
+
+    // Post-failure accounting: two decided ops around the storm, every
+    // bounce a flight Overload event, histograms holding exactly one
+    // sample per decision and none for the bounced attempts.
+    verify_accounting(
+        "overload-storm",
+        &engine.stats_snapshot(),
+        &engine.stats().flight_dump(),
+        2,
+        0,
+        0,
+    )?;
+    log.push("overload-storm: flight recorder and histograms reconcile with the history".into());
     server.stop();
     server.join();
     Ok(log)
@@ -697,6 +865,19 @@ pub fn frame_chaos(seed: u64) -> Result<Vec<String>, String> {
         .collect();
     verify_history(&trace, &entries, SessionConfig::default())?;
     log.push("frame-chaos: surviving history replays byte-identically".into());
+
+    // Post-failure accounting: exactly one decision and one histogram
+    // sample per unique seq despite the duplicated/reordered/corrupted
+    // lines, and one flight Dedup event per deduped ack the client saw.
+    verify_accounting(
+        "frame-chaos",
+        &engine.stats_snapshot(),
+        &engine.stats().flight_dump(),
+        jobs as u64,
+        0,
+        deduped_acks,
+    )?;
+    log.push("frame-chaos: flight recorder and histograms reconcile with the history".into());
     drop(proxy);
     server.stop();
     server.join();
@@ -835,6 +1016,19 @@ pub fn clock_skew(seed: u64) -> Result<Vec<String>, String> {
     log.push(format!(
         "clock-skew: resurrection came back warm, seq continued at {seq}"
     ));
+
+    // Post-failure accounting: three decisions across the skew (two
+    // before the eviction, one after the resurrection), one Eviction
+    // and one SnapshotWrite flight event matching their counters.
+    verify_accounting(
+        "clock-skew",
+        &engine.stats_snapshot(),
+        &engine.stats().flight_dump(),
+        3,
+        0,
+        0,
+    )?;
+    log.push("clock-skew: flight recorder and histograms reconcile with the history".into());
     let _ = std::fs::remove_dir_all(&dir);
     Ok(log)
 }

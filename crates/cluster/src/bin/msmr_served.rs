@@ -5,7 +5,7 @@
 //!             [--opt-nodes N] [--reserve N] [--threads N]
 //!             [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]
 //!             [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]
-//!             [--pidfile PATH]
+//!             [--flight-out PATH] [--pidfile PATH]
 //! ```
 //!
 //! At least one of `--tcp` / `--uds` is required. The daemon prints one
@@ -40,6 +40,14 @@
 //! (worker-queue depth, attached clients, live sessions) so load lines
 //! up with the solver work it caused. The array is closed on clean
 //! shutdown and remains loadable after a crash.
+//!
+//! The side channel also understands the `stream` command (a persistent
+//! connection receiving the baseline snapshot then periodic
+//! [`msmr_stats::StatsDelta`] frames) and the `flight` command (a
+//! seq-ordered dump of the in-memory flight recorder). `--flight-out
+//! PATH` additionally writes that dump to PATH on shutdown — including
+//! the SIGTERM path — and from a panic hook, so a dying daemon leaves
+//! its last moments on disk.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,10 +55,10 @@ use std::sync::Arc;
 
 use msmr_cluster::{ClusterConfig, ClusterEngine};
 use msmr_serve::{parse_bound, Listen, ServeOptions, Server, SessionConfig};
-use msmr_stats::{serve_stats, StatsRegistry, StatsSnapshot, TraceWriter};
+use msmr_stats::{serve_stats_channel, FlightProvider, StatsRegistry, StatsSnapshot, TraceWriter};
 
 fn usage() -> &'static str {
-    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)\n\nobservability:\n  --stats-addr ADDR  serve one-line JSON stats snapshots on a TCP side channel\n  --trace-out PATH   write one Chrome trace-event span per solver verdict to PATH\n\nlifecycle:\n  --pidfile PATH     write the daemon pid to PATH once bound; SIGTERM shuts the\n                     daemon down gracefully (snapshots first in cluster mode)\n                     and removes the file"
+    "usage: msmr-served [--tcp ADDR] [--uds PATH] [--bound NAME] [--decider SOLVER]\n                   [--opt-nodes N] [--reserve N] [--threads N]\n                   [--cluster] [--shards N] [--workers N] [--queue N] [--snapshot-dir DIR]\n                   [--session-ttl SECS] [--stats-addr ADDR] [--trace-out PATH]\n\n  --tcp ADDR         listen on a TCP address (e.g. 127.0.0.1:7471)\n  --uds PATH         listen on a unix-domain socket path\n  --bound NAME       delay bound (eq1..eq6, eq10; default eq10)\n  --decider NAME     solver deciding admissions (default OPDCA)\n  --opt-nodes N      node budget of the exact engines (default 200000)\n  --reserve N        pre-size session tables for N jobs (default 0)\n  --threads N        worker threads for parallel submits (default 0 = all)\n\ncluster mode (named shared sessions):\n  --cluster          serve named shared sessions instead of per-connection ones\n  --shards N         session-store shards (default 8)\n  --workers N        solve worker threads (default 0 = all cores)\n  --queue N          bounded solve queue; full => typed overload response (default 64)\n  --snapshot-dir DIR enable snapshot/restore persistence in DIR\n  --session-ttl SECS evict detached sessions idle past SECS (snapshot first)\n\nobservability:\n  --stats-addr ADDR  serve one-line JSON stats snapshots on a TCP side channel\n                     (plus the `stream` delta mode and `flight` dump command)\n  --trace-out PATH   write one Chrome trace-event span per solver verdict to PATH\n  --flight-out PATH  write the flight-recorder event dump to PATH on shutdown,\n                     SIGTERM and panic\n\nlifecycle:\n  --pidfile PATH     write the daemon pid to PATH once bound; SIGTERM shuts the\n                     daemon down gracefully (snapshots first in cluster mode)\n                     and removes the file"
 }
 
 struct Options {
@@ -60,7 +68,22 @@ struct Options {
     config: ClusterConfig,
     stats_addr: Option<String>,
     trace_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
     pidfile: Option<PathBuf>,
+}
+
+/// Serializes the flight recorder's dump to `path`, logging either way.
+fn write_flight_dump(path: &std::path::Path, stats: &StatsRegistry) {
+    match serde_json::to_string(&stats.flight_dump()) {
+        Ok(json) => match std::fs::write(path, json + "\n") {
+            Ok(()) => println!("msmr-served flight dump at {}", path.display()),
+            Err(e) => eprintln!(
+                "msmr-served: cannot write --flight-out {}: {e}",
+                path.display()
+            ),
+        },
+        Err(e) => eprintln!("msmr-served: cannot serialize the flight dump: {e}"),
+    }
 }
 
 /// Raised by the `SIGTERM` handler; the lifecycle thread polls it.
@@ -95,6 +118,7 @@ fn parse_options() -> Result<Options, String> {
         config: ClusterConfig::default(),
         stats_addr: None,
         trace_out: None,
+        flight_out: None,
         pidfile: None,
     };
     let mut args = std::env::args().skip(1);
@@ -159,6 +183,7 @@ fn parse_options() -> Result<Options, String> {
             }
             "--stats-addr" => options.stats_addr = Some(value("--stats-addr")?),
             "--trace-out" => options.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--flight-out" => options.flight_out = Some(PathBuf::from(value("--flight-out")?)),
             "--pidfile" => options.pidfile = Some(PathBuf::from(value("--pidfile")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -198,6 +223,16 @@ fn main() -> ExitCode {
         }
     }
     options.session.stats = Some(Arc::clone(&stats));
+    if let Some(path) = options.flight_out.clone() {
+        // A panicking daemon still leaves its flight record behind: the
+        // hook runs before the default one unwinds/aborts the process.
+        let stats = Arc::clone(&stats);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            write_flight_dump(&path, &stats);
+            default_hook(info);
+        }));
+    }
     let (server, engine) = if options.cluster {
         options.config.session = options.session.clone();
         match ClusterEngine::start(options.listen, options.config) {
@@ -298,7 +333,16 @@ fn main() -> ExitCode {
         });
     }
     if let Some(addr) = &options.stats_addr {
-        match serve_stats(addr, Arc::clone(&provider), server.shutdown_handle()) {
+        let flight: FlightProvider = {
+            let stats = Arc::clone(&stats);
+            Arc::new(move || stats.flight_dump())
+        };
+        match serve_stats_channel(
+            addr,
+            Arc::clone(&provider),
+            Some(flight),
+            server.shutdown_handle(),
+        ) {
             Ok((bound, _listener)) => println!("msmr-served stats on tcp://{bound}"),
             Err(e) => {
                 eprintln!("msmr-served: cannot bind --stats-addr {addr}: {e}");
@@ -311,6 +355,12 @@ fn main() -> ExitCode {
         if let Err(e) = stats.close_trace() {
             eprintln!("msmr-served: closing the trace failed: {e}");
         }
+    }
+    if let Some(path) = &options.flight_out {
+        // Covers both graceful exits: the protocol `shutdown` op and
+        // SIGTERM (which funnels into the same join). Panics are
+        // covered by the hook installed above.
+        write_flight_dump(path, &stats);
     }
     if let Some(path) = &options.pidfile {
         let _ = std::fs::remove_file(path);

@@ -163,7 +163,7 @@ impl ClusterEngine {
             if let Some(snapshots) = &self.snapshots {
                 if let Some((image, version)) = session.image() {
                     match snapshots.save(session.name(), version, &image) {
-                        Ok(_) => self.stats.record_snapshot_write(),
+                        Ok(_) => self.stats.record_snapshot_write_for(Some(session.name())),
                         Err(e) => {
                             first_error.get_or_insert(e);
                         }
@@ -175,7 +175,7 @@ impl ClusterEngine {
                 .remove_if_idle(session.name(), ttl_millis)
                 .is_some()
             {
-                self.stats.record_eviction();
+                self.stats.record_eviction_for(Some(session.name()));
                 names.push(session.name().to_string());
             }
         }
@@ -292,7 +292,7 @@ impl ClusterEngine {
         })?;
         let jobs = image.jobs.len() as u64;
         let path = snapshots.save(name, version, &image)?;
-        self.stats.record_snapshot_write();
+        self.stats.record_snapshot_write_for(Some(name));
         Ok(SnapshotFrame {
             session: name.to_string(),
             version,
@@ -375,7 +375,7 @@ impl ClusterEngine {
                 Ok(session) => restored.push(session),
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                     let quarantined = snapshots.quarantine(&name);
-                    self.stats.record_snapshot_quarantine();
+                    self.stats.record_snapshot_quarantine_for(Some(&name));
                     match quarantined {
                         Ok(path) => eprintln!(
                             "msmr-served: quarantined corrupt snapshot `{name}` -> {}: {e}",
@@ -564,7 +564,7 @@ impl ClusterEngine {
                 },
                 Op::Submit(op) => match &attached {
                     Some(session) => {
-                        self.pooled(&mut sink, {
+                        self.pooled(Some(session.name()), &mut sink, {
                             let session = Arc::clone(session);
                             move |tx| {
                                 // serde bypasses the JobSet builder
@@ -592,7 +592,7 @@ impl ClusterEngine {
                 Op::Admit(op) => match &attached {
                     Some(session) => {
                         let decider = self.store.template().decider.clone();
-                        self.pooled(&mut sink, {
+                        self.pooled(Some(session.name()), &mut sink, {
                             let session = Arc::clone(session);
                             move |tx| {
                                 let evaluate = op.evaluate.unwrap_or(true);
@@ -615,7 +615,7 @@ impl ClusterEngine {
                 },
                 Op::Withdraw(op) => match &attached {
                     Some(session) => {
-                        self.pooled(&mut sink, {
+                        self.pooled(Some(session.name()), &mut sink, {
                             let session = Arc::clone(session);
                             move |tx| {
                                 let evaluate = op.evaluate.unwrap_or(false);
@@ -705,6 +705,7 @@ impl ClusterEngine {
     /// worker survives, and the request must still terminate cleanly).
     fn pooled<W: Write>(
         &self,
+        session: Option<&str>,
         sink: &mut FrameSink<'_, W>,
         task: impl FnOnce(mpsc::Sender<Frame>) + Send + 'static,
     ) {
@@ -722,7 +723,7 @@ impl ClusterEngine {
                 }
             }
             Err(SubmitError::Saturated { queued, capacity }) => {
-                self.stats.record_overload();
+                self.stats.record_overload_for(session);
                 sink.send(Frame::Overload(OverloadFrame {
                     queued: queued as u64,
                     capacity: capacity as u64,

@@ -141,13 +141,17 @@ pub struct SharedSession {
 
 impl SharedSession {
     fn new(name: String, config: SessionConfig, clock: Arc<dyn Clock>) -> SharedSession {
+        let mut session = AdmissionSession::new(config);
+        // Label the session's stats flight events with its name, so the
+        // recorder attributes admits/withdraws/dedups per tenant.
+        session.set_stats_label(&name);
         SharedSession {
             name,
             attached: AtomicU64::new(0),
             touched: AtomicU64::new(clock.now_millis()),
             clock,
             inner: Mutex::new(SessionInner {
-                session: AdmissionSession::new(config),
+                session,
                 version: 0,
             }),
         }
@@ -310,8 +314,11 @@ impl SharedSession {
     /// (the restore path). The decision counter is part of the restored
     /// session — it continues from the snapshotted value, so seqs stay
     /// monotonic across restarts and replayed ops dedupe correctly.
-    pub fn install(&self, session: AdmissionSession, version: u64) {
+    pub fn install(&self, mut session: AdmissionSession, version: u64) {
         self.touch();
+        // Restored sessions are built label-less from the image;
+        // re-attach the name before the session records any stats.
+        session.set_stats_label(&self.name);
         let mut inner = self.lock();
         inner.session = session;
         inner.version = version;

@@ -312,6 +312,11 @@ pub struct AdmissionSession {
     /// Bounded log of recent decisions for seq-idempotent replay
     /// (newest last, capped at [`DECISION_LOG_CAP`]).
     decision_log: Vec<DecisionRecord>,
+    /// Name this session's stats flight events carry (the cluster
+    /// store sets its session name; the classic single-session daemon
+    /// leaves it unset). Not part of [`SessionImage`] — the owner
+    /// re-labels after a restore.
+    stats_label: Option<String>,
 }
 
 impl AdmissionSession {
@@ -333,7 +338,15 @@ impl AdmissionSession {
             next_handle: 1,
             decisions: 0,
             decision_log: Vec::new(),
+            stats_label: None,
         }
+    }
+
+    /// Labels the session's stats flight events with a name, so the
+    /// flight recorder can attribute admits/withdraws/dedups to a
+    /// session in multi-tenant daemons.
+    pub fn set_stats_label(&mut self, label: impl Into<String>) {
+        self.stats_label = Some(label.into());
     }
 
     /// Total decisions made (the seq of the most recent one; the next
@@ -412,6 +425,24 @@ impl AdmissionSession {
             return Err(SessionError::SeqConflict(seq));
         }
         Ok(Some(record))
+    }
+
+    /// [`AdmissionSession::check_seq`], with a rejected conflict
+    /// recorded as a flight event (the op never applies, so no counter
+    /// moves — but the recorder keeps the evidence for post-mortems).
+    fn checked_seq(
+        &self,
+        seq: u64,
+        fingerprint: u64,
+        admit: bool,
+    ) -> Result<Option<&DecisionRecord>, SessionError> {
+        let checked = self.check_seq(seq, fingerprint, admit);
+        if let Err(SessionError::SeqConflict(_)) = &checked {
+            if let Some(stats) = &self.config.stats {
+                stats.record_seq_conflict(self.stats_label.as_deref(), Some(seq));
+            }
+        }
+        checked
     }
 
     /// The session's configuration.
@@ -529,7 +560,10 @@ impl AdmissionSession {
             handles,
         });
         if let Some(stats) = &self.config.stats {
-            stats.record_submit(started.elapsed().as_micros() as u64);
+            stats.record_submit_for(
+                self.stats_label.as_deref(),
+                started.elapsed().as_micros() as u64,
+            );
         }
         verdicts
     }
@@ -627,7 +661,12 @@ impl AdmissionSession {
             jobs: jobs as u64,
         });
         if let Some(stats) = &self.config.stats {
-            stats.record_admit(accepted, started.elapsed().as_micros() as u64);
+            stats.record_admit_for(
+                self.stats_label.as_deref(),
+                Some(self.decisions),
+                accepted,
+                started.elapsed().as_micros() as u64,
+            );
         }
         Ok(AdmitOutcome {
             admitted: accepted,
@@ -663,7 +702,7 @@ impl AdmissionSession {
         sink: impl FnMut(&Verdict),
     ) -> Result<(AdmitOutcome, u64, bool), SessionError> {
         if let Some(seq) = seq {
-            if let Some(record) = self.check_seq(seq, admit_fingerprint(spec), true)? {
+            if let Some(record) = self.checked_seq(seq, admit_fingerprint(spec), true)? {
                 let outcome = AdmitOutcome {
                     admitted: record.admitted,
                     handle: record.handle,
@@ -671,7 +710,7 @@ impl AdmissionSession {
                     verdicts: Vec::new(),
                 };
                 if let Some(stats) = &self.config.stats {
-                    stats.record_dedup();
+                    stats.record_dedup_for(self.stats_label.as_deref(), Some(seq));
                 }
                 return Ok((outcome, seq, true));
             }
@@ -767,7 +806,11 @@ impl AdmissionSession {
             jobs: jobs as u64,
         });
         if let Some(stats) = &self.config.stats {
-            stats.record_withdraw(started.elapsed().as_micros() as u64);
+            stats.record_withdraw_for(
+                self.stats_label.as_deref(),
+                Some(self.decisions),
+                started.elapsed().as_micros() as u64,
+            );
         }
         Ok(WithdrawOutcome { jobs, verdicts })
     }
@@ -791,13 +834,13 @@ impl AdmissionSession {
         sink: impl FnMut(&Verdict),
     ) -> Result<(WithdrawOutcome, u64, bool), SessionError> {
         if let Some(seq) = seq {
-            if let Some(record) = self.check_seq(seq, withdraw_fingerprint(handle), false)? {
+            if let Some(record) = self.checked_seq(seq, withdraw_fingerprint(handle), false)? {
                 let outcome = WithdrawOutcome {
                     jobs: record.jobs as usize,
                     verdicts: Vec::new(),
                 };
                 if let Some(stats) = &self.config.stats {
-                    stats.record_dedup();
+                    stats.record_dedup_for(self.stats_label.as_deref(), Some(seq));
                 }
                 return Ok((outcome, seq, true));
             }
@@ -930,6 +973,7 @@ impl AdmissionSession {
             withdraws: 0,
             warm_decides: 0,
             cold_decides: 0,
+            stats_label: None,
             next_handle: image.next_handle.max(min_next),
             // Pre-seq snapshots restore with a fresh counter (seq 1 is
             // the first post-restore decision, as before) and an empty

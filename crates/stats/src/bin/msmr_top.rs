@@ -10,6 +10,13 @@
 //! op, per-shard session occupancy bars and a per-solver latency
 //! table. Two scripting modes double as the CI validators:
 //!
+//! The live modes ride the side channel's **streaming delta mode**: one
+//! persistent connection receives the baseline snapshot and then one
+//! `StatsDelta` frame per interval, folded client-side — no
+//! reconnect-per-poll churn against the daemon. If the daemon bounces,
+//! the dashboard reconnects and picks up a fresh baseline. Four
+//! scripting modes double as the CI validators:
+//!
 //! * `--once` prints one raw JSON snapshot (optionally asserting
 //!   `--min-admits N`; when asserted, the per-op histograms must also
 //!   be populated and agree with the ring p99 within one log bucket),
@@ -19,19 +26,41 @@
 //! * `--check-trace FILE` validates a `--trace-out` file as
 //!   trace-event JSON (optionally asserting `--expect-spans N` exact
 //!   span and `--expect-counters N` minimum counter-sample tallies).
+//! * `--check-stream` holds one streaming connection, folds delta
+//!   frames onto the baseline, and — once a quiescent frame arrives —
+//!   asserts `baseline ⊕ deltas ≡ fresh snapshot` against a plain
+//!   legacy fetch, pinning the merge contract end to end.
+//! * `--replay FILE` is the offline post-mortem: it reconstructs
+//!   per-solver lanes and counter tracks from a recorded Chrome trace,
+//!   rebuilds per-solver span-latency histograms with the same
+//!   log-bucket [`LatencyHisto`], and renders the report without a
+//!   daemon. `--flight DUMP` folds a flight-recorder dump in;
+//!   `--against SNAPSHOT` cross-checks per-solver span counts versus
+//!   the live decisions counters of a saved snapshot.
 //!
 //! ```text
 //! msmr-top --addr 127.0.0.1:9099 [--interval-ms 1000] [--iterations 0] [--tui]
 //! msmr-top --addr 127.0.0.1:9099 --once [--min-admits 1]
+//! msmr-top --addr 127.0.0.1:9099 --check-stream [--interval-ms 200]
 //! msmr-top --check-trace replay.trace [--expect-spans 120] [--expect-counters 3]
+//! msmr-top --replay replay.trace [--flight flight.json] [--against snapshot.json]
 //! ```
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use msmr_stats::ring::DEFAULT_RING_SLOTS;
 use msmr_stats::{
-    bucket_bounds, bucket_index, fetch_stats_json, validate_trace, StatsSnapshot, TraceSummary,
+    bucket_bounds, bucket_index, fetch_stats_json, parse_trace, validate_trace, FlightDump,
+    LatencyHisto, StatsSnapshot, StatsStream, TraceEvents, TraceSummary,
 };
+
+/// How long `--check-stream` waits for the folded stream to converge
+/// with a fresh snapshot before giving up.
+const CHECK_STREAM_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Flight-recorder events listed (newest last) in a replay report.
+const REPLAY_FLIGHT_TAIL: usize = 10;
 
 /// Glyphs of the queue-depth sparkline, lowest to highest.
 const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -54,6 +83,10 @@ struct Options {
     check_trace: Option<String>,
     expect_spans: Option<u64>,
     expect_counters: Option<u64>,
+    check_stream: bool,
+    replay: Option<String>,
+    flight: Option<String>,
+    against: Option<String>,
 }
 
 impl Default for Options {
@@ -68,6 +101,10 @@ impl Default for Options {
             check_trace: None,
             expect_spans: None,
             expect_counters: None,
+            check_stream: false,
+            replay: None,
+            flight: None,
+            against: None,
         }
     }
 }
@@ -117,12 +154,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--expect-counters needs an integer".to_string())?,
                 );
             }
+            "--check-stream" => options.check_stream = true,
+            "--replay" => options.replay = Some(value("--replay")?),
+            "--flight" => options.flight = Some(value("--flight")?),
+            "--against" => options.against = Some(value("--against")?),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if options.check_trace.is_none() && options.addr.is_none() {
-        return Err("--addr HOST:PORT is required (or use --check-trace)".to_string());
+    if options.replay.is_none() && (options.flight.is_some() || options.against.is_some()) {
+        return Err("--flight/--against only make sense with --replay".to_string());
+    }
+    if options.check_trace.is_none() && options.replay.is_none() && options.addr.is_none() {
+        return Err("--addr HOST:PORT is required (or use --check-trace / --replay)".to_string());
     }
     Ok(options)
 }
@@ -354,6 +398,203 @@ fn check_trace(
     Ok(summary)
 }
 
+/// One solver lane reconstructed from a trace's spans.
+#[derive(Default)]
+struct ReplayLane {
+    spans: u64,
+    accepted: u64,
+    total_us: u64,
+    histo: LatencyHisto,
+}
+
+/// Rebuilds the per-solver lanes of a recorded trace: span counts,
+/// accept tallies and a log-bucket latency histogram over span
+/// durations — the offline analogue of the live per-op histograms.
+fn replay_lanes(events: &TraceEvents) -> std::collections::BTreeMap<String, ReplayLane> {
+    let mut lanes: std::collections::BTreeMap<String, ReplayLane> =
+        std::collections::BTreeMap::new();
+    for span in &events.spans {
+        let lane = lanes.entry(span.solver.clone()).or_default();
+        lane.spans += 1;
+        lane.accepted += u64::from(span.accepted.unwrap_or(false));
+        lane.total_us += span.dur_us;
+        lane.histo.record(span.dur_us);
+    }
+    lanes
+}
+
+/// Renders the offline post-mortem report for a parsed trace (plus an
+/// optional flight-recorder dump).
+fn render_replay(path: &str, events: &TraceEvents, flight: Option<&FlightDump>) -> String {
+    let lanes = replay_lanes(events);
+    let wall_us = events
+        .spans
+        .iter()
+        .map(|s| s.ts_us + s.dur_us)
+        .chain(events.counters.iter().map(|c| c.ts_us))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("msmr-top — offline replay of {path}\n\n"));
+    out.push_str(&format!(
+        "{} spans on {} solver lanes, {} counter samples, {:.3}s of trace\n",
+        events.spans.len(),
+        lanes.len(),
+        events.counters.len(),
+        wall_us as f64 / 1_000_000.0
+    ));
+
+    if !lanes.is_empty() {
+        out.push_str(
+            "\nsolver       spans  accepted    mean µs   histo p50/p99 µs  distribution\n",
+        );
+        for (solver, lane) in &lanes {
+            let (glyphs, range) = histo_sparkline(&lane.histo.counts())
+                .unwrap_or_else(|| (String::new(), "no samples".to_string()));
+            out.push_str(&format!(
+                "{solver:<10}{:>8}  {:>8}  {:>9.1}  {:>7.1}/{:<8.1} {} {}\n",
+                lane.spans,
+                lane.accepted,
+                lane.total_us as f64 / lane.spans.max(1) as f64,
+                lane.histo.percentile_us(50.0),
+                lane.histo.percentile_us(99.0),
+                glyphs,
+                range
+            ));
+        }
+    }
+
+    // Counter tracks: per-name sample count and the value envelope.
+    let mut tracks: std::collections::BTreeMap<&str, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for sample in &events.counters {
+        let track = tracks.entry(sample.name.as_str()).or_insert((0, 0, 0));
+        track.0 += 1;
+        track.1 = sample.value;
+        track.2 = track.2.max(sample.value);
+    }
+    if !tracks.is_empty() {
+        out.push_str("\ncounter track         samples      last       max\n");
+        for (name, (samples, last, max)) in &tracks {
+            out.push_str(&format!("{name:<22}{samples:>7}  {last:>8}  {max:>8}\n"));
+        }
+    }
+
+    if let Some(dump) = flight {
+        out.push_str(&format!(
+            "\nflight recorder: {} recorded, {} dropped (capacity {})\n",
+            dump.recorded, dump.dropped, dump.capacity
+        ));
+        let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for event in &dump.events {
+            *kinds.entry(format!("{:?}", event.kind)).or_insert(0) += 1;
+        }
+        let kinds: Vec<String> = kinds
+            .iter()
+            .map(|(kind, count)| format!("{kind} {count}"))
+            .collect();
+        out.push_str(&format!("events: {}\n", kinds.join("  ")));
+        let tail = dump.events.len().saturating_sub(REPLAY_FLIGHT_TAIL);
+        out.push_str(&format!("last {} events:\n", dump.events.len() - tail));
+        for event in &dump.events[tail..] {
+            out.push_str(&format!(
+                "  #{:<6} {:>10}µs  {:<18} {}{}\n",
+                event.seq,
+                event.ts_us,
+                format!("{:?}", event.kind),
+                event.session.as_deref().unwrap_or("-"),
+                event
+                    .op_seq
+                    .map_or_else(String::new, |seq| format!(" seq={seq}"))
+            ));
+        }
+    }
+    out
+}
+
+/// The `--against` cross-check: every solver row of the saved snapshot
+/// must have exactly as many trace spans as live verdicts, and the
+/// trace must not carry spans for solvers the snapshot never saw.
+fn verify_replay_against(events: &TraceEvents, snapshot: &StatsSnapshot) -> Result<(), String> {
+    let lanes = replay_lanes(events);
+    for (solver, row) in &snapshot.solvers {
+        let spans = lanes.get(solver).map_or(0, |lane| lane.spans);
+        if spans != row.verdicts {
+            return Err(format!(
+                "solver `{solver}`: trace holds {spans} spans but the live counter decided {}",
+                row.verdicts
+            ));
+        }
+    }
+    for solver in lanes.keys() {
+        if !snapshot.solvers.contains_key(solver) {
+            return Err(format!(
+                "solver `{solver}` has trace spans but no row in the snapshot"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_replay(options: &Options) -> Result<(), String> {
+    let path = options.replay.as_deref().expect("replay checked by caller");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let flight = match &options.flight {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let dump: FlightDump = serde_json::from_str(text.trim())
+                .map_err(|e| format!("{path}: bad flight dump: {e}"))?;
+            Some(dump)
+        }
+        None => None,
+    };
+    if let Some(path) = &options.against {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let snapshot: StatsSnapshot =
+            serde_json::from_str(text.trim()).map_err(|e| format!("{path}: bad snapshot: {e}"))?;
+        verify_replay_against(&events, &snapshot).map_err(|e| format!("{path}: {e}"))?;
+    }
+    print!("{}", render_replay(path, &events, flight.as_ref()));
+    if options.against.is_some() {
+        println!("\nreplay OK: per-solver span counts match the live decision counters");
+    }
+    Ok(())
+}
+
+/// `--check-stream`: fold streamed deltas onto the baseline until a
+/// quiescent frame arrives, then assert the fold equals a fresh legacy
+/// fetch — the merge contract, checked against the live daemon.
+fn run_check_stream(addr: &str, interval_ms: u64) -> Result<(), String> {
+    let mut stream = StatsStream::connect(addr, interval_ms).map_err(|e| format!("{addr}: {e}"))?;
+    let deadline = Instant::now() + CHECK_STREAM_DEADLINE;
+    let mut frames = 0u64;
+    loop {
+        let frame = stream
+            .next_frame()
+            .map_err(|e| format!("{addr}: stream broke after {frames} frames: {e}"))?;
+        frames += 1;
+        if frame.is_quiescent() {
+            let (_, live) = fetch_snapshot(addr)?;
+            if &live == stream.snapshot() {
+                println!(
+                    "stream OK: baseline + {frames} delta frames == fresh snapshot \
+                     ({} admits)",
+                    live.counters.admits
+                );
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "{addr}: folded stream never converged with a fresh snapshot \
+                 ({frames} frames in {}s)",
+                CHECK_STREAM_DEADLINE.as_secs()
+            ));
+        }
+    }
+}
+
 /// RAII guard for the terminal's alternate screen: enters on
 /// construction, restores (and re-shows the cursor) on drop, so every
 /// exit path — including errors — leaves the terminal usable.
@@ -394,7 +635,13 @@ fn run(options: &Options) -> Result<(), String> {
         );
         return Ok(());
     }
+    if options.replay.is_some() {
+        return run_replay(options);
+    }
     let addr = options.addr.as_deref().expect("addr checked by the parser");
+    if options.check_stream {
+        return run_check_stream(addr, options.interval_ms);
+    }
     if options.once {
         let (json, snapshot) = fetch_snapshot(addr)?;
         if let Some(min) = options.min_admits {
@@ -412,26 +659,42 @@ fn run(options: &Options) -> Result<(), String> {
     let _alt = options.tui.then(AltScreen::enter);
     let mut depths: Vec<u64> = Vec::new();
     let mut iteration = 0u64;
+    // One persistent streaming connection per daemon lifetime: the
+    // baseline arrives once, then delta frames pace the redraws. The
+    // outer loop only reconnects after the daemon goes away.
     loop {
-        let (_, snapshot) = fetch_snapshot(addr)?;
-        depths.push(snapshot.gauges.queue_depth);
-        if depths.len() > SPARK_WINDOW {
-            depths.remove(0);
+        let mut stream = match StatsStream::connect(addr, options.interval_ms) {
+            Ok(stream) => stream,
+            Err(e) if iteration == 0 => return Err(format!("{addr}: {e}")),
+            Err(_) => {
+                // The daemon bounced mid-watch; keep trying to reattach.
+                std::thread::sleep(Duration::from_millis(options.interval_ms));
+                continue;
+            }
+        };
+        loop {
+            let snapshot = stream.snapshot();
+            depths.push(snapshot.gauges.queue_depth);
+            if depths.len() > SPARK_WINDOW {
+                depths.remove(0);
+            }
+            if options.tui {
+                // Home the cursor and clear below, then one full frame
+                // on the alternate screen.
+                print!("\x1b[H\x1b[J{}", render_tui(snapshot, &depths));
+            } else {
+                // Clear + home, then one full frame.
+                print!("\x1b[2J\x1b[H{}", render(snapshot, &depths));
+            }
+            let _ = flush();
+            iteration += 1;
+            if options.iterations != 0 && iteration >= options.iterations {
+                return Ok(());
+            }
+            if stream.next_frame().is_err() {
+                break;
+            }
         }
-        if options.tui {
-            // Home the cursor and clear below, then one full frame on
-            // the alternate screen.
-            print!("\x1b[H\x1b[J{}", render_tui(&snapshot, &depths));
-        } else {
-            // Clear + home, then one full frame.
-            print!("\x1b[2J\x1b[H{}", render(&snapshot, &depths));
-        }
-        let _ = flush();
-        iteration += 1;
-        if options.iterations != 0 && iteration >= options.iterations {
-            return Ok(());
-        }
-        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
     }
 }
 
@@ -444,7 +707,9 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: msmr-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--tui]\n\
                      \x20      msmr-top --addr HOST:PORT --once [--min-admits N]\n\
-                     \x20      msmr-top --check-trace FILE [--expect-spans N] [--expect-counters N]"
+                     \x20      msmr-top --addr HOST:PORT --check-stream [--interval-ms N]\n\
+                     \x20      msmr-top --check-trace FILE [--expect-spans N] [--expect-counters N]\n\
+                     \x20      msmr-top --replay FILE [--flight DUMP] [--against SNAPSHOT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -576,6 +841,136 @@ mod tests {
         // Ops with no samples are skipped entirely.
         snapshot.ops.get_mut("admit").unwrap().samples = 0;
         assert!(verify_histograms(&snapshot).is_ok());
+    }
+
+    fn sample_events() -> TraceEvents {
+        use msmr_stats::{TraceCounterSample, TraceSpan};
+        let mut events = TraceEvents::default();
+        for (i, (solver, dur, accepted)) in [
+            ("OPDCA", 40u64, true),
+            ("OPDCA", 60, true),
+            ("GREEDY", 500, false),
+        ]
+        .iter()
+        .enumerate()
+        {
+            events.spans.push(TraceSpan {
+                solver: (*solver).to_string(),
+                ts_us: i as u64 * 1000,
+                dur_us: *dur,
+                seq: Some(i as u64),
+                accepted: Some(*accepted),
+            });
+        }
+        events.lanes.insert("OPDCA".into(), 1);
+        events.lanes.insert("GREEDY".into(), 2);
+        events.counters.push(TraceCounterSample {
+            name: "queue depth".into(),
+            ts_us: 2500,
+            value: 7,
+        });
+        events
+    }
+
+    #[test]
+    fn replay_report_rebuilds_lanes_histograms_and_counter_tracks() {
+        use msmr_stats::{Event, EventKind, FlightDump};
+        let events = sample_events();
+        let dump = FlightDump {
+            capacity: 1024,
+            recorded: 2,
+            dropped: 0,
+            events: vec![
+                Event {
+                    seq: 0,
+                    ts_us: 10,
+                    kind: EventKind::Admit,
+                    session: Some("tenant-0".into()),
+                    op_seq: Some(1),
+                },
+                Event {
+                    seq: 1,
+                    ts_us: 20,
+                    kind: EventKind::Overload,
+                    session: None,
+                    op_seq: None,
+                },
+            ],
+        };
+        let report = render_replay("run.trace", &events, Some(&dump));
+        assert!(report.contains("offline replay of run.trace"));
+        assert!(report.contains("3 spans on 2 solver lanes, 1 counter samples"));
+        // Per-solver lanes: spans, accepts, mean, and a histogram range.
+        assert!(report.contains("OPDCA"));
+        assert!(report.contains("GREEDY"));
+        assert!(report.contains("50.0")); // OPDCA mean of 40/60 µs
+        assert!(report.contains("[32µs, 64µs)")); // OPDCA distribution span
+        assert!(report.chars().any(|c| SPARKS.contains(&c)));
+        // Counter tracks with the value envelope.
+        assert!(report.contains("queue depth"));
+        // Flight dump section: totals, per-kind tallies, event tail.
+        assert!(report.contains("2 recorded, 0 dropped (capacity 1024)"));
+        assert!(report.contains("Admit 1"));
+        assert!(report.contains("Overload 1"));
+        assert!(report.contains("tenant-0"));
+        assert!(report.contains("seq=1"));
+    }
+
+    #[test]
+    fn replay_against_cross_checks_span_counts_with_the_snapshot() {
+        let events = sample_events();
+        let mut snapshot = StatsSnapshot::default();
+        snapshot.solvers.insert(
+            "OPDCA".into(),
+            SolverRow {
+                verdicts: 2,
+                ..SolverRow::default()
+            },
+        );
+        snapshot.solvers.insert(
+            "GREEDY".into(),
+            SolverRow {
+                verdicts: 1,
+                ..SolverRow::default()
+            },
+        );
+        assert!(verify_replay_against(&events, &snapshot).is_ok());
+        // A solver that decided more than the trace recorded fails...
+        snapshot.solvers.get_mut("OPDCA").unwrap().verdicts = 3;
+        let message = verify_replay_against(&events, &snapshot).unwrap_err();
+        assert!(message.contains("holds 2 spans"));
+        // ...as do trace spans for a solver the snapshot never saw.
+        snapshot.solvers.get_mut("OPDCA").unwrap().verdicts = 2;
+        snapshot.solvers.remove("GREEDY");
+        let message = verify_replay_against(&events, &snapshot).unwrap_err();
+        assert!(message.contains("no row in the snapshot"));
+    }
+
+    #[test]
+    fn parser_accepts_the_replay_and_stream_modes() {
+        let options = parse_args(&[
+            "--replay".into(),
+            "run.trace".into(),
+            "--flight".into(),
+            "flight.json".into(),
+            "--against".into(),
+            "snap.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(options.replay.as_deref(), Some("run.trace"));
+        assert_eq!(options.flight.as_deref(), Some("flight.json"));
+        assert_eq!(options.against.as_deref(), Some("snap.json"));
+        let options = parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:9".into(),
+            "--check-stream".into(),
+        ])
+        .unwrap();
+        assert!(options.check_stream);
+        // --flight without --replay is refused, as is --check-stream
+        // without an address.
+        assert!(parse_args(&["--flight".into(), "x.json".into()]).is_err());
+        assert!(parse_args(&["--check-stream".into()]).is_err());
     }
 
     #[test]

@@ -23,7 +23,19 @@
 //!   aggregated from [`msmr_sched::SolverStats`], and per-session rows.
 //!   It travels two ways: as the protocol-v4 `stats` op answered by both
 //!   daemons, and over the [`listener`] side channel (`--stats-addr`) so
-//!   scraping never competes with admission traffic.
+//!   scraping never competes with admission traffic. The side channel
+//!   also upgrades to a streaming mode — one baseline snapshot, then
+//!   periodic [`StatsDelta`] frames whose fold reproduces the live
+//!   snapshot exactly ([`delta`], pinned by `tests/delta_props.rs`) —
+//!   and answers `flight` with the recorder dump.
+//! * [`FlightRecorder`] — a fixed-capacity, lock-cheap ring of
+//!   structured [`Event`]s ([`events`]) fed from the same seams as the
+//!   counters: admit/reject/withdraw with session and seq, overload
+//!   bounces, TTL evictions, snapshot writes and quarantines, seq
+//!   conflicts, dedups, client attach/detach. Dumpable as seq-ordered
+//!   JSON over the side channel, to `--flight-out` on shutdown
+//!   (including SIGTERM) and from a panic hook — the daemon's black
+//!   box, consumed by `msmr-chaos` post-failure accounting.
 //! * [`TraceWriter`] — per-solve span export as Chrome trace-event JSON
 //!   (`--trace-out`): one complete `"X"` event per solver per decision
 //!   on a stable per-solver lane (`tid`), `"M"` metadata events naming
@@ -34,9 +46,11 @@
 //! * `msmr-top` — a std-only terminal dashboard over the side channel:
 //!   periodic redraw (plain repaint, or a full-screen `--tui` mode with
 //!   histogram sparklines), per-session and per-solver tables,
-//!   warm/cold ratio and a queue-depth sparkline. Its `--once` /
-//!   `--check-trace` modes double as the JSON validators the CI smoke
-//!   scripts use.
+//!   warm/cold ratio and a queue-depth sparkline — fed by one held
+//!   streaming connection, not reconnect-per-poll. Its `--once` /
+//!   `--check-stream` / `--check-trace` modes double as the validators
+//!   the CI smoke scripts use, and `--replay` renders an offline
+//!   post-mortem from a recorded trace (plus optional flight dump).
 //!
 //! Instrumentation is provenance-only by construction: nothing in this
 //! crate touches a [`msmr_sched::Verdict`], so the byte-identity
@@ -46,6 +60,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
+pub mod events;
 pub mod histo;
 pub mod listener;
 pub mod model;
@@ -54,10 +70,18 @@ pub mod registry;
 pub mod ring;
 pub mod trace;
 
+pub use delta::{OpLatencyDelta, StatsDelta};
+pub use events::{Event, EventKind, FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use histo::{bucket_bounds, bucket_index, percentile_from_counts, LatencyHisto, HISTO_BUCKETS};
-pub use listener::{fetch_stats_json, serve_stats};
+pub use listener::{
+    fetch_flight_dump, fetch_stats_json, serve_stats, serve_stats_channel, FlightProvider,
+    SnapshotProvider, StatsStream, DEFAULT_STREAM_INTERVAL_MS,
+};
 pub use model::{OpLatency, SessionRow, SolverRow, StatsCounters, StatsGauges, StatsSnapshot};
 pub use percentile::nearest_rank;
 pub use registry::StatsRegistry;
 pub use ring::LatencyRing;
-pub use trace::{validate_trace, TraceSummary, TraceWriter};
+pub use trace::{
+    parse_trace, validate_trace, TraceCounterSample, TraceEvents, TraceSpan, TraceSummary,
+    TraceWriter,
+};

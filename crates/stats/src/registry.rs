@@ -6,6 +6,7 @@ use std::sync::Mutex;
 
 use msmr_sched::Verdict;
 
+use crate::events::{EventKind, FlightDump, FlightRecorder};
 use crate::histo::LatencyHisto;
 use crate::model::{OpLatency, SolverRow, StatsCounters, StatsSnapshot};
 use crate::ring::LatencyRing;
@@ -48,6 +49,7 @@ pub struct StatsRegistry {
     submit_histo: LatencyHisto,
     solvers: Mutex<BTreeMap<String, SolverRow>>,
     trace: Mutex<Option<TraceWriter>>,
+    flight: FlightRecorder,
 }
 
 impl std::fmt::Debug for StatsRegistry {
@@ -69,58 +71,128 @@ impl StatsRegistry {
 
     /// Records an admission decision and its latency.
     pub fn record_admit(&self, admitted: bool, micros: u64) {
-        if admitted {
+        self.record_admit_for(None, None, admitted, micros);
+    }
+
+    /// [`StatsRegistry::record_admit`] with flight-event context: the
+    /// session name and decision seq, when the caller knows them.
+    pub fn record_admit_for(
+        &self,
+        session: Option<&str>,
+        seq: Option<u64>,
+        admitted: bool,
+        micros: u64,
+    ) {
+        let kind = if admitted {
             self.admits.fetch_add(1, Ordering::Relaxed);
+            EventKind::Admit
         } else {
             self.rejects.fetch_add(1, Ordering::Relaxed);
-        }
+            EventKind::Reject
+        };
         self.admit_ring.record(micros);
         self.admit_histo.record(micros);
+        self.flight.record(kind, session, seq);
     }
 
     /// Records a successful withdrawal and its latency.
     pub fn record_withdraw(&self, micros: u64) {
+        self.record_withdraw_for(None, None, micros);
+    }
+
+    /// [`StatsRegistry::record_withdraw`] with flight-event context.
+    pub fn record_withdraw_for(&self, session: Option<&str>, seq: Option<u64>, micros: u64) {
         self.withdraws.fetch_add(1, Ordering::Relaxed);
         self.withdraw_ring.record(micros);
         self.withdraw_histo.record(micros);
+        self.flight.record(EventKind::Withdraw, session, seq);
     }
 
     /// Records a session (re)submission and its latency.
     pub fn record_submit(&self, micros: u64) {
+        self.record_submit_for(None, micros);
+    }
+
+    /// [`StatsRegistry::record_submit`] with flight-event context.
+    pub fn record_submit_for(&self, session: Option<&str>, micros: u64) {
         self.submits.fetch_add(1, Ordering::Relaxed);
         self.submit_ring.record(micros);
         self.submit_histo.record(micros);
+        self.flight.record(EventKind::Submit, session, None);
     }
 
     /// Records a request refused with a typed `Overload` frame.
     pub fn record_overload(&self) {
+        self.record_overload_for(None);
+    }
+
+    /// [`StatsRegistry::record_overload`] with flight-event context.
+    pub fn record_overload_for(&self, session: Option<&str>) {
         self.overloads.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(EventKind::Overload, session, None);
     }
 
     /// Records a TTL eviction.
     pub fn record_eviction(&self) {
+        self.record_eviction_for(None);
+    }
+
+    /// [`StatsRegistry::record_eviction`] with flight-event context.
+    pub fn record_eviction_for(&self, session: Option<&str>) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(EventKind::Eviction, session, None);
     }
 
     /// Records a session snapshot written to the snapshot store.
     pub fn record_snapshot_write(&self) {
+        self.record_snapshot_write_for(None);
+    }
+
+    /// [`StatsRegistry::record_snapshot_write`] with flight-event
+    /// context.
+    pub fn record_snapshot_write_for(&self, session: Option<&str>) {
         self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(EventKind::SnapshotWrite, session, None);
     }
 
     /// Records a corrupt snapshot file quarantined at restore time.
     pub fn record_snapshot_quarantine(&self) {
+        self.record_snapshot_quarantine_for(None);
+    }
+
+    /// [`StatsRegistry::record_snapshot_quarantine`] with flight-event
+    /// context.
+    pub fn record_snapshot_quarantine_for(&self, session: Option<&str>) {
         self.snapshot_quarantined.fetch_add(1, Ordering::Relaxed);
+        self.flight
+            .record(EventKind::SnapshotQuarantine, session, None);
     }
 
     /// Records a replayed op acknowledged by seq-dedupe without being
     /// re-applied.
     pub fn record_dedup(&self) {
+        self.record_dedup_for(None, None);
+    }
+
+    /// [`StatsRegistry::record_dedup`] with flight-event context.
+    pub fn record_dedup_for(&self, session: Option<&str>, seq: Option<u64>) {
         self.deduped_ops.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(EventKind::Dedup, session, seq);
+    }
+
+    /// Records a replayed seq that named a recorded decision with a
+    /// *different* op — a client bug or corruption the daemon refused.
+    /// Flight-event only: there is no counter for conflicts (the op is
+    /// rejected, so no tally moves), but the recorder keeps the
+    /// evidence.
+    pub fn record_seq_conflict(&self, session: Option<&str>, seq: Option<u64>) {
+        self.flight.record(EventKind::SeqConflict, session, seq);
     }
 
     /// Raises the attached-clients gauge.
     pub fn client_attached(&self) {
         self.attached.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(EventKind::ClientAttach, None, None);
     }
 
     /// Lowers the attached-clients gauge (saturating).
@@ -130,6 +202,19 @@ impl StatsRegistry {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_sub(1))
             });
+        self.flight.record(EventKind::ClientDetach, None, None);
+    }
+
+    /// The flight recorder every `record_*` seam feeds.
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Seq-ordered export of the flight recorder's surviving events.
+    #[must_use]
+    pub fn flight_dump(&self) -> FlightDump {
+        self.flight.dump()
     }
 
     /// Current attached-clients gauge.
@@ -352,5 +437,57 @@ mod tests {
         let stats = StatsRegistry::new();
         stats.client_detached();
         assert_eq!(stats.attached(), 0);
+    }
+
+    #[test]
+    fn every_record_seam_feeds_the_flight_recorder() {
+        use crate::events::EventKind;
+        let stats = StatsRegistry::new();
+        stats.client_attached();
+        stats.record_submit_for(Some("tenant-a"), 40);
+        stats.record_admit_for(Some("tenant-a"), Some(1), true, 50);
+        stats.record_admit_for(Some("tenant-a"), Some(2), false, 60);
+        stats.record_withdraw_for(Some("tenant-a"), Some(3), 70);
+        stats.record_dedup_for(Some("tenant-a"), Some(3));
+        stats.record_seq_conflict(Some("tenant-a"), Some(2));
+        stats.record_overload_for(Some("tenant-a"));
+        stats.record_eviction_for(Some("tenant-b"));
+        stats.record_snapshot_write_for(Some("tenant-b"));
+        stats.record_snapshot_quarantine_for(Some("tenant-x"));
+        stats.client_detached();
+
+        let dump = stats.flight_dump();
+        assert_eq!(dump.recorded, 12);
+        assert_eq!(dump.dropped, 0);
+        for kind in [
+            EventKind::ClientAttach,
+            EventKind::Submit,
+            EventKind::Admit,
+            EventKind::Reject,
+            EventKind::Withdraw,
+            EventKind::Dedup,
+            EventKind::SeqConflict,
+            EventKind::Overload,
+            EventKind::Eviction,
+            EventKind::SnapshotWrite,
+            EventKind::SnapshotQuarantine,
+            EventKind::ClientDetach,
+        ] {
+            assert_eq!(dump.count(kind), 1, "exactly one {kind:?} event");
+        }
+        let admit = dump
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Admit)
+            .expect("admit event recorded");
+        assert_eq!(admit.session.as_deref(), Some("tenant-a"));
+        assert_eq!(admit.op_seq, Some(1));
+        // The counters and the recorder saw the same seams: flight
+        // event counts reconcile with the counter snapshot.
+        let snapshot = stats.snapshot();
+        assert_eq!(dump.count(EventKind::Admit), snapshot.counters.admits);
+        assert_eq!(dump.count(EventKind::Reject), snapshot.counters.rejects);
+        assert_eq!(dump.count(EventKind::Dedup), snapshot.counters.deduped_ops);
+        assert_eq!(dump.count(EventKind::Overload), snapshot.counters.overloads);
     }
 }

@@ -238,6 +238,57 @@ pub struct TraceSummary {
     pub lanes: u64,
 }
 
+/// One complete (`"X"`) span recovered from a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The event name — the solver that produced the verdict.
+    pub solver: String,
+    /// Span start, microseconds since the writer's epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds (the verdict's `elapsed_micros`).
+    pub dur_us: u64,
+    /// The writer-assigned span order, when `args.seq` was recorded.
+    pub seq: Option<u64>,
+    /// The verdict's outcome, when `args.accepted` was recorded.
+    pub accepted: Option<bool>,
+}
+
+/// One counter (`"C"`) sample recovered from a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCounterSample {
+    /// The counter track's name (e.g. `"queue depth"`).
+    pub name: String,
+    /// Sample time, microseconds since the writer's epoch.
+    pub ts_us: u64,
+    /// The sampled value (0 when the event carried none).
+    pub value: u64,
+}
+
+/// Everything [`parse_trace`] recovers from a trace file: the replay
+/// model `msmr-top --replay` renders its post-mortem from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceEvents {
+    /// Spans in file order (which equals writer sequence order).
+    pub spans: Vec<TraceSpan>,
+    /// Counter samples in file order.
+    pub counters: Vec<TraceCounterSample>,
+    /// Lane assignments announced by `thread_name` metadata events:
+    /// solver name → `tid`.
+    pub lanes: BTreeMap<String, u64>,
+}
+
+impl TraceEvents {
+    /// The tallies [`validate_trace`] reports for this trace.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            spans: self.spans.len() as u64,
+            counters: self.counters.len() as u64,
+            lanes: self.lanes.len() as u64,
+        }
+    }
+}
+
 /// Validates trace-event JSON and returns the event tallies.
 ///
 /// Accepts both a properly closed array and one cut short mid-write
@@ -252,6 +303,18 @@ pub struct TraceSummary {
 /// Returns a description of the first malformed element (or the JSON
 /// parse error) when the text is not a valid trace.
 pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    parse_trace(text).map(|events| events.summary())
+}
+
+/// Parses trace-event JSON into its structured events, with the same
+/// validation and truncation leniency as [`validate_trace`] (which is
+/// this walk, keeping only the tallies).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element (or the JSON
+/// parse error) when the text is not a valid trace.
+pub fn parse_trace(text: &str) -> Result<TraceEvents, String> {
     let mut trimmed = text.trim().to_string();
     if !trimmed.starts_with('[') {
         return Err("trace is not a JSON array".into());
@@ -264,46 +327,74 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
     let serde::Value::Seq(events) = value else {
         return Err("trace is not a JSON array".into());
     };
-    let mut summary = TraceSummary::default();
+    let mut parsed = TraceEvents::default();
     for (index, event) in events.iter().enumerate() {
         let ph = event.get("ph").and_then(|v| match v {
             serde::Value::Str(s) => Some(s.as_str()),
             _ => None,
         });
-        let named = matches!(event.get("name"), Some(serde::Value::Str(_)));
-        let unsigned = |field: &str| matches!(event.get(field), Some(serde::Value::UInt(_)));
+        let name = match event.get("name") {
+            Some(serde::Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let unsigned = |field: &str| match event.get(field) {
+            Some(&serde::Value::UInt(n)) => Some(n),
+            _ => None,
+        };
         match ph {
             Some("X") => {
-                if !named {
+                let Some(solver) = name else {
                     return Err(format!("span event {index} has no name"));
+                };
+                let mut fields = [0u64; 2];
+                for (slot, field) in fields.iter_mut().zip(["ts", "dur"]) {
+                    *slot = unsigned(field)
+                        .ok_or_else(|| format!("span event {index} has no unsigned `{field}`"))?;
                 }
-                for field in ["ts", "dur"] {
-                    if !unsigned(field) {
-                        return Err(format!("span event {index} has no unsigned `{field}`"));
-                    }
-                }
-                summary.spans += 1;
+                let args = event.get("args");
+                let arg = |key: &str| args.and_then(|a| a.get(key));
+                parsed.spans.push(TraceSpan {
+                    solver,
+                    ts_us: fields[0],
+                    dur_us: fields[1],
+                    seq: match arg("seq") {
+                        Some(&serde::Value::UInt(n)) => Some(n),
+                        _ => None,
+                    },
+                    accepted: match arg("accepted") {
+                        Some(&serde::Value::Bool(b)) => Some(b),
+                        _ => None,
+                    },
+                });
             }
             Some("M") => {
-                let labels = matches!(
-                    event.get("args").and_then(|args| args.get("name")),
-                    Some(serde::Value::Str(_))
-                );
-                if !named || !labels {
+                let label = match event.get("args").and_then(|args| args.get("name")) {
+                    Some(serde::Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                };
+                let (Some(name), Some(label)) = (name, label) else {
                     return Err(format!("metadata event {index} carries no `args.name`"));
-                }
-                if matches!(event.get("name"), Some(serde::Value::Str(n)) if n == "thread_name") {
-                    summary.lanes += 1;
+                };
+                if name == "thread_name" {
+                    let tid = unsigned("tid").unwrap_or(parsed.lanes.len() as u64 + 1);
+                    parsed.lanes.entry(label).or_insert(tid);
                 }
             }
             Some("C") => {
-                if !named {
+                let Some(name) = name else {
                     return Err(format!("counter event {index} has no name"));
-                }
-                if !unsigned("ts") {
+                };
+                let Some(ts_us) = unsigned("ts") else {
                     return Err(format!("counter event {index} has no unsigned `ts`"));
-                }
-                summary.counters += 1;
+                };
+                let value = match event.get("args").and_then(|args| args.get("value")) {
+                    Some(&serde::Value::UInt(n)) => n,
+                    Some(&serde::Value::Int(n)) => n.max(0) as u64,
+                    _ => 0,
+                };
+                parsed
+                    .counters
+                    .push(TraceCounterSample { name, ts_us, value });
             }
             _ => {
                 return Err(format!(
@@ -312,7 +403,7 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
             }
         }
     }
-    Ok(summary)
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -485,6 +576,36 @@ mod tests {
         let summary = validate_trace(&text).expect("truncated traces validate");
         assert_eq!(summary.spans, verdicts.len() as u64);
         writer.finish().expect("trace closes");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_trace_recovers_spans_counters_and_lanes() {
+        let path = temp_path("parse");
+        let writer = TraceWriter::create(&path).expect("trace file creates");
+        let verdicts = sample_verdicts();
+        for verdict in &verdicts {
+            writer.record_span(verdict);
+        }
+        writer.record_counter("queue depth", 5);
+        writer.finish().expect("trace closes");
+        let text = std::fs::read_to_string(&path).expect("trace reads");
+        let events = parse_trace(&text).expect("recorded traces parse");
+        assert_eq!(events.summary(), validate_trace(&text).unwrap());
+        assert_eq!(events.spans.len(), verdicts.len());
+        for (index, (span, verdict)) in events.spans.iter().zip(&verdicts).enumerate() {
+            assert_eq!(span.solver, verdict.solver);
+            assert_eq!(span.dur_us, verdict.stats.elapsed_micros);
+            assert_eq!(span.seq, Some(index as u64));
+            assert_eq!(span.accepted, Some(verdict.is_accepted()));
+        }
+        // Every span rides a lane announced for its solver.
+        for span in &events.spans {
+            assert!(events.lanes.contains_key(&span.solver));
+        }
+        assert_eq!(events.counters.len(), 1);
+        assert_eq!(events.counters[0].name, "queue depth");
+        assert_eq!(events.counters[0].value, 5);
         std::fs::remove_file(&path).ok();
     }
 

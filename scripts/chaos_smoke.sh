@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Runs the full msmr-chaos fault-injection suite against release
 # binaries (SIGKILL/restart resume, torn-snapshot quarantine, overload
-# storms, byte-level frame chaos, clock skew), then boots a daemon on a
-# poisoned snapshot directory to assert the fail-soft path end to end
-# from the outside: the boot survives, msmr-top's live snapshot shows
-# the quarantine counter, and SIGTERM shuts down cleanly (exit 0,
-# pidfile removed). Fails on any non-zero exit; every chaos scenario
-# prints its seed on failure so runs reproduce exactly.
+# storms, byte-level frame chaos, clock skew) — asserting the
+# kill-restart scenario leaves its flight-recorder dump behind — then
+# boots a daemon on a poisoned snapshot directory to assert the
+# fail-soft path end to end from the outside: the boot survives,
+# msmr-top's live snapshot shows the quarantine counter, SIGTERM shuts
+# down cleanly (exit 0, pidfile removed, flight dump written) and
+# msmr-top --replay renders the run's trace offline. Fails on any
+# non-zero exit; every chaos scenario prints its seed on failure so
+# runs reproduce exactly.
 #
 # Usage: scripts/chaos_smoke.sh [seed]
 set -euo pipefail
@@ -15,25 +18,35 @@ SEED="${1:-7}"
 SNAPDIR="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-snapshots"
 PIDFILE="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$.pid"
 SERVED_LOG="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-served.log"
+CHAOS_LOG="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-chaos.log"
+FLIGHT_OUT="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$-flight.json"
+TRACE_OUT="${TMPDIR:-/tmp}/msmr-chaos-smoke-$$.trace"
 SERVED="target/release/msmr-served"
 CHAOS="target/release/msmr-chaos"
 TOP="target/release/msmr-top"
 
 cargo build --release -p msmr-cluster -p msmr-chaos -p msmr-stats
 
-# The full scenario suite, seeded for reproducibility.
-MSMR_SERVED_BIN="$SERVED" "$CHAOS" --all --seed "$SEED"
+# The full scenario suite, seeded for reproducibility. The SIGKILL
+# scenario must report the flight-recorder dump its restarted daemon
+# wrote on the graceful way down (reconciled against the counters).
+MSMR_SERVED_BIN="$SERVED" "$CHAOS" --all --seed "$SEED" | tee "$CHAOS_LOG"
+grep -q "SIGTERM wrote the flight dump" "$CHAOS_LOG" || {
+    echo "kill-restart did not report a flight-recorder dump" >&2
+    exit 1
+}
 
 # Fail-soft boot, observable from the outside: poison the snapshot dir
 # with a torn file, then boot a daemon on it.
 mkdir -p "$SNAPDIR"
 printf '{"session":"broken"' > "$SNAPDIR/broken.json"
 "$SERVED" --cluster --tcp 127.0.0.1:0 --snapshot-dir "$SNAPDIR" \
-    --stats-addr 127.0.0.1:0 --pidfile "$PIDFILE" >"$SERVED_LOG" 2>&1 &
+    --stats-addr 127.0.0.1:0 --pidfile "$PIDFILE" \
+    --flight-out "$FLIGHT_OUT" --trace-out "$TRACE_OUT" >"$SERVED_LOG" 2>&1 &
 SERVED_PID=$!
 cleanup() {
     kill "$SERVED_PID" 2>/dev/null || true
-    rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG"
+    rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG" "$CHAOS_LOG" "$FLIGHT_OUT" "$TRACE_OUT"
 }
 trap cleanup EXIT
 
@@ -59,11 +72,19 @@ grep -q "quarantined corrupt snapshot" "$SERVED_LOG" || {
     exit 1
 }
 
-# Graceful SIGTERM: exit 0, pidfile removed.
+# Graceful SIGTERM: exit 0, pidfile removed, flight dump on disk.
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"
 [ ! -e "$PIDFILE" ] || { echo "pidfile survived the SIGTERM shutdown" >&2; exit 1; }
+[ -s "$FLIGHT_OUT" ] || {
+    echo "SIGTERM shutdown left no flight-recorder dump" >&2
+    exit 1
+}
+
+# The run's trace replays offline, with the flight dump folded into the
+# post-mortem report.
+"$TOP" --replay "$TRACE_OUT" --flight "$FLIGHT_OUT"
 
 trap - EXIT
-rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG"
+rm -rf "$SNAPDIR" "$PIDFILE" "$SERVED_LOG" "$CHAOS_LOG" "$FLIGHT_OUT" "$TRACE_OUT"
 echo "chaos smoke: OK"

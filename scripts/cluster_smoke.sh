@@ -3,10 +3,12 @@
 # stats side channel and trace-event export on), runs a short
 # multi-client msmr-loadgen burst over shared named sessions with
 # serialized-replay verification and daemon-counter cross-checking,
-# queries the live stats channel mid-burst through msmr-top, exercises
-# the snapshot op through msmr-admit, shuts the daemon down and
-# validates the written trace. Fails on any non-zero exit (including
-# verdict mismatches in the loadgen verification).
+# queries the live stats channel mid-burst through msmr-top (one-shot
+# and a held streaming-delta connection validating the merge contract),
+# exercises the snapshot op through msmr-admit, shuts the daemon down,
+# validates the written trace and replays it offline against the final
+# live snapshot. Fails on any non-zero exit (including verdict
+# mismatches in the loadgen verification).
 #
 # Usage: scripts/cluster_smoke.sh [clients] [sessions] [jobs] [seed]
 set -euo pipefail
@@ -19,6 +21,7 @@ SOCK="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$.sock"
 SNAPDIR="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-snapshots"
 BENCH_OUT="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-bench.json"
 TRACE_OUT="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$.trace"
+FINAL_SNAP="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-final.json"
 SERVED_LOG="${TMPDIR:-/tmp}/msmr-cluster-smoke-$$-served.log"
 SERVED="target/release/msmr-served"
 ADMIT="target/release/msmr-admit"
@@ -32,7 +35,7 @@ cargo build --release -p msmr-serve -p msmr-cluster -p msmr-stats
 SERVED_PID=$!
 cleanup() {
     kill "$SERVED_PID" 2>/dev/null || true
-    rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG"
+    rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG" "$FINAL_SNAP"
 }
 trap cleanup EXIT
 
@@ -74,7 +77,19 @@ done
     exit 1
 }
 
+# Also mid-burst: hold one streaming connection across the rest of the
+# run. msmr-top folds the baseline plus every delta frame client-side
+# and asserts the merge contract (baseline + deltas == fresh snapshot)
+# once the stream goes quiescent.
+"$TOP" --addr "$STATS_ADDR" --check-stream --interval-ms 200 &
+STREAM_PID=$!
+
 wait "$LOADGEN_PID"
+
+wait "$STREAM_PID" || {
+    echo "streamed deltas did not fold back to the live snapshot" >&2
+    exit 1
+}
 
 # The loadgen run landed in the (scratch) append-only history.
 grep -q "loadgen/requests_per_sec" "$BENCH_OUT" || {
@@ -109,7 +124,10 @@ scripts/bench_trend.sh --file "$BENCH_OUT"
 
 # A second tool (msmr-admit) attaches to the first loadgen session by
 # name and reads its status, then the graceful shutdown snapshots every
-# session (the explicit snapshot op is covered by the e2e suite).
+# session (the explicit snapshot op is covered by the e2e suite). The
+# final snapshot is saved first: the offline replay below cross-checks
+# the trace's per-solver span counts against its decision counters.
+"$TOP" --addr "$STATS_ADDR" --once > "$FINAL_SNAP"
 "$ADMIT" --uds "$SOCK" --session "loadgen-$SEED-0" --status
 "$ADMIT" --uds "$SOCK" --shutdown
 wait "$SERVED_PID"
@@ -124,6 +142,11 @@ ls "$SNAPDIR"/loadgen-"$SEED"-*.json >/dev/null || {
 # sessions; at least one sweep of the three must have landed).
 "$TOP" --check-trace "$TRACE_OUT" --expect-counters 3
 
+# Offline post-mortem: replay the recorded trace without a daemon and
+# assert every solver's span count equals the decision counter the live
+# snapshot reported for it.
+"$TOP" --replay "$TRACE_OUT" --against "$FINAL_SNAP"
+
 trap - EXIT
-rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG"
+rm -rf "$SOCK" "$SNAPDIR" "$BENCH_OUT" "$TRACE_OUT" "$SERVED_LOG" "$FINAL_SNAP"
 echo "cluster smoke: OK"
