@@ -25,6 +25,7 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("overload-storm", scenarios::overload_storm),
     ("frame-chaos", scenarios::frame_chaos),
     ("clock-skew", scenarios::clock_skew),
+    ("router-failover", scenarios::router_failover),
 ];
 
 fn usage() -> String {

@@ -884,6 +884,191 @@ pub fn frame_chaos(seed: u64) -> Result<Vec<String>, String> {
     Ok(log)
 }
 
+/// SIGKILL one backend of a routed three-daemon tier mid-replay.
+///
+/// Invariants: the router's health monitor declares the backend dead
+/// on its own clock; the orphaned session is restored on a survivor
+/// from the shared snapshot directory; the [`ResumingClient`] rides
+/// its journal replay through the router so every decision seq is
+/// applied exactly once (no gaps, no conflicts, dedups accounted); the
+/// restored decider stays warm; and the surviving history replays
+/// offline byte-identically.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a display string.
+pub fn router_failover(seed: u64) -> Result<Vec<String>, String> {
+    use msmr_router::{Router, RouterConfig};
+    let mut log = Vec::new();
+    let dir = scratch_dir("router-failover", seed);
+    let snapshot_dir = dir.join("snapshots");
+    std::fs::create_dir_all(&snapshot_dir).map_err(|e| e.to_string())?;
+    let snapshot_arg = snapshot_dir.to_string_lossy().into_owned();
+    let args = ["--cluster", "--snapshot-dir", snapshot_arg.as_str()];
+
+    let mut backends = Vec::new();
+    for _ in 0..3 {
+        backends.push(DaemonHarness::spawn(&args)?);
+    }
+    let router = Router::start(RouterConfig {
+        backends: backends.iter().map(|d| d.addr.clone()).collect(),
+        health_interval: Duration::from_millis(30),
+        health_failures: 2,
+        ..RouterConfig::default()
+    })
+    .map_err(|e| format!("router start: {e}"))?;
+    log.push(format!(
+        "router-failover: router on {} over 3 backends",
+        router.addr()
+    ));
+
+    let jobs = 14usize;
+    let trace = chaos_trace(seed, jobs)?;
+    let order = arrival_order(&trace);
+    let kill_before = 6 + (seed as usize % 5);
+    let policy = RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(80),
+    };
+    let mut client = ResumingClient::new(
+        Endpoint::Tcp(router.addr().to_string()),
+        "chaos-router",
+        policy,
+        seed,
+    );
+    let (pipeline, _) = trace.restrict_to(&[]).map_err(|e| e.to_string())?;
+    client.set_pipeline(pipeline);
+
+    let mut specs = Vec::new();
+    let mut killed = String::new();
+    for (i, &id) in order.iter().enumerate() {
+        if i == kill_before {
+            // Checkpoint so the shared snapshot directory holds the
+            // session, then SIGKILL its owner. The router is told
+            // nothing — its probe loop must notice inside the client's
+            // retry budget.
+            client
+                .checkpoint()
+                .map_err(|e| format!("checkpoint before the kill: {e}"))?;
+            let owner = router
+                .state()
+                .route("chaos-router")
+                .ok_or("no owner for the session")?;
+            let victim = backends
+                .iter()
+                .position(|d| d.addr == owner)
+                .ok_or("owner is not a spawned backend")?;
+            let pid = backends[victim].pid();
+            backends[victim].kill9()?;
+            killed = owner;
+            log.push(format!(
+                "router-failover: SIGKILLed owner {killed} (pid {pid}) before op {}",
+                i + 1
+            ));
+        }
+        let spec = JobSpec::from_job(trace.job(id));
+        client
+            .admit(&spec, true)
+            .map_err(|e| format!("admit {} across the failover: {e}", i + 1))?;
+        specs.push(spec);
+    }
+
+    let stats = client.stats();
+    if stats.reconnects == 0 {
+        return Err("the client never reconnected — the kill was not observed".into());
+    }
+    let owner = router
+        .state()
+        .route("chaos-router")
+        .ok_or("session lost its owner")?;
+    if owner == killed {
+        return Err(format!("session still routed to the dead backend {killed}"));
+    }
+    log.push(format!(
+        "router-failover: {jobs} op(s), {} reconnect(s), {} retry(ies), \
+         {} deduped ack(s); session now on {owner}",
+        stats.reconnects, stats.retries, stats.deduped_acks
+    ));
+
+    // The surviving history: contiguous seqs, warm decider, offline
+    // byte-identity.
+    let decider = SessionConfig::default().decider;
+    let mut last: BTreeMap<u64, Vec<Response>> = BTreeMap::new();
+    for observed in client.drain_observed() {
+        last.insert(observed.seq, observed.frames);
+    }
+    if last.len() != jobs {
+        return Err(format!(
+            "observed {} distinct seq(s), expected {jobs}",
+            last.len()
+        ));
+    }
+    let mut entries = Vec::new();
+    for (&seq, frames) in &last {
+        if seq > 1 {
+            assert_decider_warm(frames, &decider, &format!("seq {seq}"))?;
+        }
+        let spec = &specs[seq as usize - 1];
+        entries.push(entry_from_frames(seq, spec, frames)?);
+    }
+    verify_history(&trace, &entries, SessionConfig::default())?;
+    let admitted = entries
+        .iter()
+        .filter(|e| matches!(e.op, HistoryOp::Admit { admitted: true, .. }))
+        .count();
+    log.push(format!(
+        "router-failover: history of {jobs} seq(s) replays byte-identically \
+         ({admitted} admitted)"
+    ));
+
+    // The survivor holds the full horizon, and the tier-wide aggregate
+    // accounts every dedup the client observed.
+    let mut probe = Client::connect(&Endpoint::Tcp(owner.clone())).map_err(|e| e.to_string())?;
+    let attach = probe
+        .attach("chaos-router", false)
+        .map_err(|e| format!("attach on the survivor: {e}"))?;
+    if attach.decisions != Some(jobs as u64) {
+        return Err(format!(
+            "survivor reports decisions {:?}, expected {jobs}",
+            attach.decisions
+        ));
+    }
+    let mut via_router =
+        Client::connect(&Endpoint::Tcp(router.addr().to_string())).map_err(|e| e.to_string())?;
+    let frames = via_router
+        .request(Op::Stats(msmr_serve::protocol::StatsOp { session: None }))
+        .map_err(|e| e.to_string())?;
+    let aggregate = frames
+        .iter()
+        .find_map(|f| match &f.frame {
+            Frame::Stats(s) => Some(s.stats.clone()),
+            _ => None,
+        })
+        .ok_or("no stats frame from the router")?;
+    if aggregate.counters.deduped_ops != stats.deduped_acks {
+        return Err(format!(
+            "tier counted {} deduped op(s), the client observed {}",
+            aggregate.counters.deduped_ops, stats.deduped_acks
+        ));
+    }
+    log.push(format!(
+        "router-failover: survivor horizon {jobs} verified, tier dedup \
+         accounting reconciled ({} deduped)",
+        stats.deduped_acks
+    ));
+
+    // Tier shutdown through the router: the op is broadcast and every
+    // surviving backend exits.
+    via_router
+        .request(Op::Shutdown(msmr_serve::protocol::ShutdownOp {}))
+        .map_err(|e| format!("shutdown through the router: {e}"))?;
+    router.join();
+    drop(backends);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(log)
+}
+
 /// An injectable store clock driven by the scenario.
 struct SkewClock(AtomicU64);
 

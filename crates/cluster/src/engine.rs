@@ -62,6 +62,30 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Outcome of [`ClusterEngine::restore_if_newer`]: either the snapshot
+/// was installed, or a live session at least as new was kept untouched.
+/// Both arms carry the state now present — name, mutation version, job
+/// count — so the wire's restore frame reports it either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreIfNewer {
+    /// The snapshot was strictly newer (or the session was absent) and
+    /// was installed, warm tables included.
+    Restored(RestoredSession),
+    /// The live session's version was `>=` the snapshot's; nothing was
+    /// installed and live state is reported.
+    KeptLive(RestoredSession),
+}
+
+impl RestoreIfNewer {
+    /// The session state now present, whichever arm was taken.
+    #[must_use]
+    pub fn into_frame(self) -> RestoredSession {
+        match self {
+            RestoreIfNewer::Restored(frame) | RestoreIfNewer::KeptLive(frame) => frame,
+        }
+    }
+}
+
 /// The shared multi-tenant engine: the sharded session store, the
 /// worker pool and the snapshot store. One engine serves every
 /// connection of a cluster daemon.
@@ -348,6 +372,49 @@ impl ClusterEngine {
             version: snapshot.version,
             jobs,
         })
+    }
+
+    /// Restores one session from its snapshot **unless the live session
+    /// is already at least as new** — the failover/migration entry
+    /// point. A blind [`ClusterEngine::restore`] replaces live state, so
+    /// a router proactively restoring a failed-over session onto a
+    /// survivor (or a retried migration) could roll a session back to a
+    /// stale on-disk image; this guard compares the snapshot's version
+    /// against the live session's mutation version and only installs
+    /// when the session is absent or the snapshot is strictly newer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterEngine::restore`].
+    pub fn restore_if_newer(&self, name: &str) -> io::Result<RestoreIfNewer> {
+        let snapshots = self.snapshots.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "snapshots disabled: daemon started without --snapshot-dir",
+            )
+        })?;
+        let snapshot = snapshots.load(name)?;
+        if let Some(live) = self.store.get(name) {
+            let live_version = live.version();
+            if live_version >= snapshot.version {
+                return Ok(RestoreIfNewer::KeptLive(RestoredSession {
+                    session: name.to_string(),
+                    version: live_version,
+                    jobs: live.jobs(),
+                }));
+            }
+        }
+        let jobs = snapshot.image.jobs.len() as u64;
+        let session = AdmissionSession::from_image(self.store.template().clone(), snapshot.image)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.store
+            .install(name, session, snapshot.version)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(RestoreIfNewer::Restored(RestoredSession {
+            session: name.to_string(),
+            version: snapshot.version,
+            jobs,
+        }))
     }
 
     /// Restores every snapshot in the directory (daemon startup, or the
@@ -661,8 +728,14 @@ impl ClusterEngine {
                     }
                 }
                 Op::Restore(op) => {
+                    // The named wire restore is the failover/migration
+                    // path (a router restoring a session onto this
+                    // daemon), so it takes the version guard: a live
+                    // session at least as new as the snapshot wins.
                     let restored = match op.session {
-                        Some(name) => self.restore(&name).map(|one| vec![one]),
+                        Some(name) => self
+                            .restore_if_newer(&name)
+                            .map(|outcome| vec![outcome.into_frame()]),
                         None => self.restore_all(),
                     };
                     match restored {

@@ -128,10 +128,11 @@
 mod engine;
 mod snapshot;
 mod store;
+pub mod testkit;
 
-pub use engine::{ClusterConfig, ClusterEngine};
+pub use engine::{ClusterConfig, ClusterEngine, RestoreIfNewer};
 pub use snapshot::{SessionSnapshot, SnapshotStore};
 pub use store::{
-    validate_session_name, AttachOutcome, Clock, SessionStore, SharedSession, StoreError,
-    SystemClock, MAX_SESSION_NAME,
+    session_name_hash, validate_session_name, AttachOutcome, Clock, SessionStore, SharedSession,
+    StoreError, SystemClock, MAX_SESSION_NAME,
 };

@@ -98,9 +98,13 @@ pub fn validate_session_name(name: &str) -> Result<(), StoreError> {
     }
 }
 
-/// Stable 64-bit FNV-1a: the shard of a name must not depend on the
-/// process (std's `DefaultHasher` is randomly seeded).
-fn fnv1a(name: &str) -> u64 {
+/// Stable 64-bit FNV-1a over a session name: the shard of a name must
+/// not depend on the process (std's `DefaultHasher` is randomly
+/// seeded), and the same stability property lets the cross-process
+/// router tier (`msmr-router`) place names by rendezvous hashing
+/// without any coordination with the daemons.
+#[must_use]
+pub fn session_name_hash(name: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in name.as_bytes() {
         hash ^= u64::from(*byte);
@@ -108,6 +112,8 @@ fn fnv1a(name: &str) -> u64 {
     }
     hash
 }
+
+use session_name_hash as fnv1a;
 
 /// The mutable core of a [`SharedSession`]: the admission session plus
 /// the version counter. The decision `seq` counter lives *inside*

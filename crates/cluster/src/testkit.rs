@@ -1,0 +1,215 @@
+//! Child-process management for tests and harnesses that need a *real*
+//! daemon: spawn `msmr-served` on an ephemeral port, parse the bound
+//! address from its stdout, SIGKILL or SIGTERM it, and always reap the
+//! child.
+//!
+//! This lives in `msmr-cluster` — the crate that owns the `msmr-served`
+//! binary — so every downstream harness (`msmr-chaos` scenarios, the
+//! `msmr-router` e2e suite) shares one copy of the process plumbing
+//! instead of re-growing it. It is std-only and compiled
+//! unconditionally; nothing here runs unless a caller spawns a daemon.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Locates the `msmr-served` binary: the `MSMR_SERVED_BIN` environment
+/// variable when set, otherwise a sibling of the current executable
+/// (both land in the same `target/<profile>/` directory; test binaries
+/// live one level deeper in `deps/`, so that directory is popped).
+///
+/// # Errors
+///
+/// Returns a display string naming both probe locations when the binary
+/// cannot be found — `cargo test` does not build other crates' bins, so
+/// callers typically skip rather than fail on this.
+pub fn served_binary() -> Result<PathBuf, String> {
+    if let Some(path) = std::env::var_os("MSMR_SERVED_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(format!(
+            "MSMR_SERVED_BIN points at `{}` which does not exist",
+            path.display()
+        ));
+    }
+    let mut dir = std::env::current_exe().map_err(|e| e.to_string())?;
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("msmr-served");
+    if candidate.is_file() {
+        return Ok(candidate);
+    }
+    Err(format!(
+        "msmr-served not found at `{}`; build it (`cargo build -p msmr-cluster`) \
+         or set MSMR_SERVED_BIN",
+        candidate.display()
+    ))
+}
+
+/// A spawned `msmr-served` child. [`Drop`] SIGKILLs and reaps it, so a
+/// failing scenario never leaks a daemon.
+pub struct DaemonHarness {
+    child: Child,
+    /// The TCP address the daemon bound (`host:port`).
+    pub addr: String,
+    /// The stats side-channel address, when the spawn waited for it.
+    pub stats_addr: Option<String>,
+}
+
+impl DaemonHarness {
+    /// Spawns `msmr-served --tcp 127.0.0.1:0 <extra_args>` and waits (up
+    /// to 10 s) for its `listening on tcp://...` line to learn the bound
+    /// port. The daemon's stderr is inherited so quarantine and shutdown
+    /// diagnostics stay visible; stdout is drained by a thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a display string when the binary is missing, the spawn
+    /// fails, or the daemon exits or goes silent before announcing its
+    /// address.
+    pub fn spawn(extra_args: &[&str]) -> Result<DaemonHarness, String> {
+        Self::spawn_inner(extra_args, false)
+    }
+
+    /// Like [`DaemonHarness::spawn`], but also waits for the daemon's
+    /// `stats on tcp://...` announcement — `extra_args` must carry
+    /// `--stats-addr` — and records the bound side-channel address in
+    /// `stats_addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonHarness::spawn`], plus when the stats announcement
+    /// never arrives.
+    pub fn spawn_with_stats(extra_args: &[&str]) -> Result<DaemonHarness, String> {
+        Self::spawn_inner(extra_args, true)
+    }
+
+    fn spawn_inner(extra_args: &[&str], want_stats: bool) -> Result<DaemonHarness, String> {
+        let binary = served_binary()?;
+        let mut child = Command::new(&binary)
+            .arg("--tcp")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning {}: {e}", binary.display()))?;
+        let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+        let mut reader = BufReader::new(stdout);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut line = String::new();
+        let mut addr = None;
+        let mut stats_addr = None;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("daemon exited before announcing its address".into());
+            }
+            if let Some(rest) = line.trim().strip_prefix("msmr-served listening on tcp://") {
+                addr = Some(rest.to_string());
+            } else if let Some(rest) = line.trim().strip_prefix("msmr-served stats on tcp://") {
+                stats_addr = Some(rest.to_string());
+            }
+            if addr.is_some() && (!want_stats || stats_addr.is_some()) {
+                break;
+            }
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("daemon never announced its address".into());
+            }
+        }
+        // Keep draining stdout so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = reader.read_to_end(&mut sink);
+        });
+        Ok(DaemonHarness {
+            child,
+            addr: addr.expect("loop breaks only with an address"),
+            stats_addr,
+        })
+    }
+
+    /// The daemon's pid.
+    #[must_use]
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// SIGKILLs the daemon and reaps it — the crash under test: no
+    /// shutdown hook runs, no snapshot is written on the way down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kill/wait failures as display strings.
+    pub fn kill9(&mut self) -> Result<(), String> {
+        self.child.kill().map_err(|e| e.to_string())?;
+        self.child.wait().map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Sends SIGTERM (via `kill -TERM`) and polls for a graceful exit.
+    /// Returns whether the daemon exited successfully within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a display string when the signal cannot be sent, the
+    /// daemon outlives the timeout, or it exits with a failure status.
+    pub fn sigterm_and_wait(&mut self, timeout: Duration) -> Result<(), String> {
+        let status = Command::new("kill")
+            .arg("-TERM")
+            .arg(self.child.id().to_string())
+            .status()
+            .map_err(|e| format!("sending SIGTERM: {e}"))?;
+        if !status.success() {
+            return Err(format!("kill -TERM exited with {status}"));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait().map_err(|e| e.to_string())? {
+                Some(status) if status.success() => return Ok(()),
+                Some(status) => return Err(format!("daemon exited with {status} after SIGTERM")),
+                None if Instant::now() > deadline => {
+                    return Err("daemon ignored SIGTERM past the timeout".into())
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for DaemonHarness {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Polls `check` every 20 ms until it returns `true` or `timeout`
+/// elapses.
+///
+/// # Errors
+///
+/// Returns a display string naming `what` on timeout.
+pub fn wait_until(
+    what: &str,
+    timeout: Duration,
+    mut check: impl FnMut() -> bool,
+) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    while !check() {
+        if Instant::now() > deadline {
+            return Err(format!("timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(())
+}

@@ -1,0 +1,372 @@
+//! The per-connection forwarding loop: parse each client request line
+//! just enough to pick a backend, forward the client's own bytes, and
+//! stream the backend's response lines back verbatim.
+//!
+//! Byte-identity is structural here: response lines cross the router
+//! untouched (never deserialized-and-reserialized), so the verdict
+//! frames a routed replay observes are the backend daemon's exact
+//! bytes. The router only *reads* relayed lines (to spot the
+//! terminating `Done` and attach/detach transitions); the only frames
+//! it authors are its own local answers — aggregated `Stats(None)`,
+//! routing errors, and the malformed-request error — all built with
+//! the same [`FrameSink`] the daemons use.
+//!
+//! Re-routing is re-checked per request under the session's forwarding
+//! lock: when migration (or failover) moves the attached session, the
+//! forwarder detaches from the old backend, attaches on the new one
+//! with a synthesized `Attach { create: false }` control exchange
+//! (absorbed, not relayed) and forwards the pending request there.
+
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use msmr_serve::protocol::{
+    AttachOp, DetachOp, ErrorFrame, Frame, Op, Request, Response, ShutdownOp, StatsFrame,
+};
+use msmr_serve::FrameSink;
+
+use crate::pool::{BackendConn, CONTROL_ID};
+use crate::{stats_agg, RouterState};
+
+/// What a relay observed about the stream it forwarded, beyond moving
+/// the bytes: attachment transitions the router must mirror.
+struct RelayOutcome {
+    saw_attach: bool,
+    saw_detach: bool,
+}
+
+/// Forwards one request line and relays the response stream verbatim
+/// until the matching `Done`.
+fn relay_request<W: Write>(
+    conn: &mut BackendConn,
+    raw_line: &[u8],
+    id: u64,
+    writer: &mut W,
+) -> io::Result<RelayOutcome> {
+    conn.send_raw_line(raw_line)?;
+    let mut outcome = RelayOutcome {
+        saw_attach: false,
+        saw_detach: false,
+    };
+    loop {
+        let line = conn.read_raw_line()?;
+        writer.write_all(&line)?;
+        writer.flush()?;
+        // Parsed only to steer the relay; the bytes above went out
+        // untouched either way.
+        let Ok(response) = std::str::from_utf8(&line)
+            .map_err(|_| ())
+            .and_then(|text| serde_json::from_str::<Response>(text).map_err(|_| ()))
+        else {
+            continue;
+        };
+        if response.id != id {
+            continue;
+        }
+        match response.frame {
+            Frame::Done(_) => return Ok(outcome),
+            Frame::Attach(_) => outcome.saw_attach = true,
+            Frame::Detach(_) => outcome.saw_detach = true,
+            _ => {}
+        }
+    }
+}
+
+/// Politely releases a client's dedicated backend connection: detach
+/// when attached (so the backend's attached-clients gauge stays
+/// truthful), then pool the clean stream. Streams that fail the detach
+/// are dropped — closing them detaches server-side anyway.
+fn release(state: &RouterState, mut conn: BackendConn) {
+    if conn.attached.take().is_some() && conn.control(Op::Detach(DetachOp {})).is_err() {
+        return;
+    }
+    state.pool().checkin(conn);
+}
+
+/// The session name an op addresses explicitly (not via attachment).
+fn explicit_session(op: &Op) -> Option<&str> {
+    match op {
+        Op::Snapshot(op) => op.session.as_deref(),
+        Op::Restore(op) => op.session.as_deref(),
+        Op::Stats(op) => op.session.as_deref(),
+        _ => None,
+    }
+}
+
+/// Serves one client connection: the router side of the NDJSON
+/// protocol. Returns when the client closes, a `shutdown` op is
+/// processed, or a backend dies mid-relay (the torn client connection
+/// is the signal resuming clients reconnect and replay on).
+///
+/// # Errors
+///
+/// Client-transport failures and mid-relay backend failures.
+pub fn handle_connection<R: BufRead, W: Write>(
+    state: &Arc<RouterState>,
+    mut reader: R,
+    mut writer: W,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let mut conn: Option<BackendConn> = None;
+    let mut buffer = Vec::new();
+    let result = loop {
+        buffer.clear();
+        if reader.read_until(b'\n', &mut buffer)? == 0 {
+            break Ok(());
+        }
+        if !buffer.ends_with(b"\n") {
+            buffer.push(b'\n');
+        }
+        let line = String::from_utf8_lossy(&buffer);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => {
+                // Same shape (and, with the shared serde, same bytes)
+                // as a daemon's malformed-request answer.
+                let mut sink = FrameSink::new(&mut writer, 0);
+                sink.send(Frame::Error(ErrorFrame {
+                    message: format!("malformed request: {e}"),
+                }));
+                sink.finish()?;
+                continue;
+            }
+        };
+        if request.id == CONTROL_ID {
+            let mut sink = FrameSink::new(&mut writer, request.id);
+            sink.send(Frame::Error(ErrorFrame {
+                message: format!("request id {CONTROL_ID} is reserved by the router"),
+            }));
+            sink.finish()?;
+            continue;
+        }
+        match &request.op {
+            // The tier-wide stats view is the router's own answer: the
+            // exact per-field sum of its backends' snapshots.
+            Op::Stats(op) if op.session.is_none() => {
+                let stats = stats_agg::aggregate(state);
+                let mut sink = FrameSink::new(&mut writer, request.id);
+                sink.send(Frame::Stats(StatsFrame { stats }));
+                sink.finish()?;
+            }
+            // Shutdown shuts the tier down: every alive backend gets
+            // the op (each snapshots its sessions on the way down),
+            // then the router stops accepting.
+            Op::Shutdown(_) => {
+                for addr in state.alive_backends() {
+                    if let Ok(mut control) = state.pool().checkout(&addr) {
+                        let _ = control.control(Op::Shutdown(ShutdownOp {}));
+                    }
+                }
+                let sink = FrameSink::new(&mut writer, request.id);
+                sink.finish()?;
+                shutdown.store(true, Ordering::SeqCst);
+                conn = None;
+                break Ok(());
+            }
+            Op::Attach(op) => {
+                let Some(backend) = state.route(&op.session) else {
+                    let mut sink = FrameSink::new(&mut writer, request.id);
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: format!("no alive backend to place session `{}`", op.session),
+                    }));
+                    sink.finish()?;
+                    continue;
+                };
+                let session = op.session.clone();
+                if conn.as_ref().is_some_and(|c| c.backend == backend) {
+                    let existing = conn.as_mut().expect("checked above");
+                    match relay_request(existing, &buffer, request.id, &mut writer) {
+                        Ok(outcome) => {
+                            if outcome.saw_attach {
+                                existing.attached = Some(session.clone());
+                                state.note_placement(&session, &backend);
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                } else {
+                    // Attach on the new backend first; the old
+                    // attachment is only released once the new one
+                    // succeeded (a failed attach leaves the client
+                    // attached where it was, like on a daemon).
+                    let mut fresh = match state.pool().checkout(&backend) {
+                        Ok(fresh) => fresh,
+                        Err(e) => {
+                            let mut sink = FrameSink::new(&mut writer, request.id);
+                            sink.send(Frame::Error(ErrorFrame {
+                                message: format!("backend {backend} unreachable: {e}"),
+                            }));
+                            sink.finish()?;
+                            continue;
+                        }
+                    };
+                    match relay_request(&mut fresh, &buffer, request.id, &mut writer) {
+                        Ok(outcome) => {
+                            if outcome.saw_attach {
+                                fresh.attached = Some(session.clone());
+                                state.note_placement(&session, &backend);
+                                if let Some(old) = conn.replace(fresh) {
+                                    release(state, old);
+                                }
+                            } else {
+                                state.pool().checkin(fresh);
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
+            // Ops naming a session explicitly route by that name, on a
+            // pooled connection when the owner is not the currently
+            // attached backend. `Restore(None)` is refused: restoring a
+            // whole snapshot directory onto one backend would pull
+            // sessions owned by its peers.
+            Op::Restore(op) if op.session.is_none() => {
+                let mut sink = FrameSink::new(&mut writer, request.id);
+                sink.send(Frame::Error(ErrorFrame {
+                    message: "restore without a session name is ambiguous behind the router; \
+                              name the session"
+                        .to_string(),
+                }));
+                sink.finish()?;
+            }
+            op if explicit_session(op).is_some() => {
+                let name = explicit_session(op).expect("guard").to_string();
+                let Some(backend) = state.route(&name) else {
+                    let mut sink = FrameSink::new(&mut writer, request.id);
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: format!("no alive backend owns session `{name}`"),
+                    }));
+                    sink.finish()?;
+                    continue;
+                };
+                if conn.as_ref().is_some_and(|c| c.backend == backend) {
+                    let existing = conn.as_mut().expect("checked above");
+                    if let Err(e) = relay_request(existing, &buffer, request.id, &mut writer) {
+                        break Err(e);
+                    }
+                } else {
+                    let mut temp = match state.pool().checkout(&backend) {
+                        Ok(temp) => temp,
+                        Err(e) => {
+                            let mut sink = FrameSink::new(&mut writer, request.id);
+                            sink.send(Frame::Error(ErrorFrame {
+                                message: format!("backend {backend} unreachable: {e}"),
+                            }));
+                            sink.finish()?;
+                            continue;
+                        }
+                    };
+                    match relay_request(&mut temp, &buffer, request.id, &mut writer) {
+                        Ok(_) => state.pool().checkin(temp),
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
+            // Everything else rides the attached session's connection.
+            _ => {
+                let Some(session) = conn.as_ref().and_then(|c| c.attached.clone()) else {
+                    let mut sink = FrameSink::new(&mut writer, request.id);
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: "not attached: send attach first".to_string(),
+                    }));
+                    sink.finish()?;
+                    continue;
+                };
+                // The session's forwarding lock serializes this request
+                // against migration: route re-checks happen inside it,
+                // and a migrating session's in-flight request drains
+                // before the routing entry flips.
+                let lock = state.session_lock(&session);
+                let guard = lock.lock().expect("session forwarding lock");
+                let Some(backend) = state.route(&session) else {
+                    drop(guard);
+                    let mut sink = FrameSink::new(&mut writer, request.id);
+                    sink.send(Frame::Error(ErrorFrame {
+                        message: format!("no alive backend owns session `{session}`"),
+                    }));
+                    sink.finish()?;
+                    continue;
+                };
+                if conn.as_ref().is_some_and(|c| c.backend != backend) {
+                    // The session moved (migration, or failover off a
+                    // dead backend): follow it with an absorbed attach.
+                    match follow_session(state, &session, &backend) {
+                        Ok(fresh) => {
+                            let old = conn.replace(fresh).expect("attached conn exists");
+                            if state.backend(&old.backend).is_some_and(|b| b.is_alive()) {
+                                release(state, old);
+                            }
+                        }
+                        Err(FollowError::Io(e)) => break Err(e),
+                        Err(FollowError::Backend(message)) => {
+                            drop(guard);
+                            let mut sink = FrameSink::new(&mut writer, request.id);
+                            sink.send(Frame::Error(ErrorFrame { message }));
+                            sink.finish()?;
+                            continue;
+                        }
+                    }
+                }
+                let existing = conn.as_mut().expect("attached conn exists");
+                let outcome = relay_request(existing, &buffer, request.id, &mut writer);
+                drop(guard);
+                match outcome {
+                    Ok(outcome) => {
+                        if outcome.saw_detach {
+                            existing.attached = None;
+                            if let Some(clean) = conn.take() {
+                                state.pool().checkin(clean);
+                            }
+                        }
+                    }
+                    Err(e) => break Err(e),
+                }
+            }
+        }
+    };
+    if let Some(conn) = conn.take() {
+        release(state, conn);
+    }
+    result
+}
+
+/// Why following a migrated/failed-over session to its new backend
+/// failed.
+enum FollowError {
+    /// Transport failure talking to the new backend.
+    Io(io::Error),
+    /// The new backend answered the synthesized attach with a typed
+    /// error (e.g. the restore behind it failed).
+    Backend(String),
+}
+
+/// Opens a connection to `backend` and attaches it to `session` with an
+/// absorbed `Attach { create: false }` — `false` because the session
+/// must already exist there (restored by migration/failover, or
+/// resurrectable from the shared snapshot directory by the backend's
+/// own attach-time restore).
+fn follow_session(
+    state: &RouterState,
+    session: &str,
+    backend: &str,
+) -> Result<BackendConn, FollowError> {
+    let mut fresh = state.pool().checkout(backend).map_err(FollowError::Io)?;
+    let frames = fresh
+        .control(Op::Attach(AttachOp {
+            session: session.to_string(),
+            create: Some(false),
+        }))
+        .map_err(FollowError::Io)?;
+    if let Some(message) = BackendConn::first_error(&frames) {
+        state.pool().checkin(fresh);
+        return Err(FollowError::Backend(message));
+    }
+    fresh.attached = Some(session.to_string());
+    Ok(fresh)
+}

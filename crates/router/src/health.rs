@@ -1,0 +1,143 @@
+//! The health-check loop and snapshot failover.
+//!
+//! Every interval, each alive backend is probed with a plain TCP
+//! connect (the daemons' acceptors answer even while every worker is
+//! busy, so a refused/timed-out connect means the process is gone, not
+//! slow). After `failures` consecutive misses a backend is declared
+//! dead, permanently: auto-revival would flip rendezvous placement back
+//! to a daemon whose live sessions died with it, shadowing the newer
+//! state its sessions accrued on the survivors.
+//!
+//! Declaring a backend dead triggers failover for every session last
+//! routed to it: re-place over the survivors and proactively issue the
+//! wire's named `Restore` there — the backend loads the session from
+//! the shared snapshot directory table- and decider-warm, under the
+//! engine's version guard (a survivor already holding newer live state
+//! keeps it). Clients notice only a torn connection; the v5
+//! seq-idempotent journal replay of [`msmr_serve::ResumingClient`]
+//! re-applies in-flight ops exactly once on the new owner.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use msmr_serve::protocol::{Op, RestoreOp};
+
+use crate::pool::BackendConn;
+use crate::RouterState;
+
+/// How long one probe connect may take before counting as a miss.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Probes `addr` once.
+fn probe(addr: &str) -> bool {
+    let Ok(resolved) = addr.parse::<SocketAddr>() else {
+        // Hostnames resolve through the blocking connect path instead.
+        return TcpStream::connect(addr).is_ok();
+    };
+    TcpStream::connect_timeout(&resolved, PROBE_TIMEOUT).is_ok()
+}
+
+/// Marks `addr` dead and fails its sessions over to the survivors.
+/// Public so the chaos harness can force the transition without
+/// waiting out probe intervals.
+pub fn fail_backend(state: &RouterState, addr: &str) {
+    let Some(backend) = state.backend(addr) else {
+        return;
+    };
+    if !backend.alive.swap(false, Ordering::SeqCst) {
+        return; // already dead
+    }
+    state.pool().purge(addr);
+    state.clear_overrides_for(addr);
+    eprintln!("msmr-router: backend {addr} is dead; failing its sessions over");
+    let orphaned: Vec<String> = state
+        .placements()
+        .into_iter()
+        .filter(|(_, backend)| backend == addr)
+        .map(|(session, _)| session)
+        .collect();
+    for session in orphaned {
+        let Some(target) = state.route(&session) else {
+            eprintln!("msmr-router: no survivor left for session `{session}`");
+            continue;
+        };
+        // Serialize with in-flight forwarding for this session, then
+        // restore it warm on the new owner. The engine's version guard
+        // makes a redundant restore harmless.
+        let lock = state.session_lock(&session);
+        let _guard = lock.lock().expect("session forwarding lock");
+        match restore_on(state, &session, &target) {
+            Ok(()) => {
+                state.note_placement(&session, &target);
+                eprintln!("msmr-router: session `{session}` restored on {target}");
+            }
+            Err(e) => {
+                // No snapshot yet (never checkpointed) is normal: the
+                // session will be rebuilt by its client's attach +
+                // journal replay. Route it there regardless.
+                state.note_placement(&session, &target);
+                eprintln!(
+                    "msmr-router: session `{session}` re-placed on {target} \
+                     without a snapshot restore: {e}"
+                );
+            }
+        }
+    }
+}
+
+/// Issues the wire's named (version-guarded) restore for `session` on
+/// backend `target` over a pooled control connection.
+///
+/// # Errors
+///
+/// Transport failures and the backend's typed error (no snapshot,
+/// corrupt snapshot, snapshots disabled).
+pub fn restore_on(state: &RouterState, session: &str, target: &str) -> std::io::Result<()> {
+    let mut conn = state.pool().checkout(target)?;
+    let frames = conn.control(Op::Restore(RestoreOp {
+        session: Some(session.to_string()),
+    }))?;
+    if let Some(message) = BackendConn::first_error(&frames) {
+        state.pool().checkin(conn);
+        return Err(std::io::Error::other(message));
+    }
+    state.pool().checkin(conn);
+    Ok(())
+}
+
+/// Spawns the monitor thread; it exits when `shutdown` rises.
+pub fn spawn_health_monitor(
+    state: Arc<RouterState>,
+    interval: Duration,
+    failures: u32,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let threshold = failures.max(1);
+        while !shutdown.load(Ordering::SeqCst) {
+            for backend in state.backends() {
+                if !backend.is_alive() {
+                    continue;
+                }
+                if probe(&backend.addr) {
+                    backend.probe_failures.store(0, Ordering::SeqCst);
+                } else {
+                    let misses = backend.probe_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                    if misses >= threshold {
+                        fail_backend(&state, &backend.addr);
+                    }
+                }
+            }
+            // Sleep in short slices so shutdown stays responsive.
+            let mut remaining = interval;
+            while remaining > Duration::ZERO && !shutdown.load(Ordering::SeqCst) {
+                let slice = remaining.min(Duration::from_millis(50));
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
+        }
+    })
+}

@@ -1,0 +1,356 @@
+//! `msmr-router` — the distributed admission tier: one thin NDJSON
+//! router in front of K `msmr-served --cluster` daemons.
+//!
+//! The paper's admission problem is multi-stage and multi-resource, but
+//! until this crate the deployment story was one daemon. The router
+//! makes the tier horizontal without touching the wire protocol:
+//!
+//! * **Placement** ([`placement`]) — named sessions are placed by
+//!   rendezvous (highest-random-weight) hashing over the *same* stable
+//!   FNV-1a name hash the cluster store shards with
+//!   ([`msmr_cluster::session_name_hash`]). Placement is a pure
+//!   function of `(name, alive backend set)`: losing a backend
+//!   relocates exactly that backend's sessions, adding one relocates
+//!   ~1/K — properties the placement proptest pins.
+//! * **Forwarding** ([`forwarder`]) — client request lines are relayed
+//!   to the owning backend and response lines stream back **verbatim**
+//!   (never re-serialized), so the serialized-replay byte-identity
+//!   contract holds through the router; the e2e suite byte-compares
+//!   routed replays against a direct single-daemon run and offline
+//!   evaluation. The router parses each request line only to pick the
+//!   backend; the bytes it forwards are the client's own.
+//! * **Pooled backend connections** ([`pool`]) — control exchanges
+//!   (health, stats scrapes, failover restores, migration) ride pooled
+//!   connections under a reserved request id; client traffic gets
+//!   dedicated per-connection backend streams.
+//! * **Failover** ([`health`]) — a probe loop marks a backend dead
+//!   after consecutive connect failures; its sessions are re-placed
+//!   over the survivors and proactively restored — warm tables, warm
+//!   decider — from the shared snapshot directory via the wire's
+//!   version-guarded named restore. Clients ride the v5 seq-idempotent
+//!   [`msmr_serve::ResumingClient`] journal replay, so in-flight ops
+//!   apply exactly once across the failover.
+//! * **Live migration** ([`migration`]) — the admin channel's
+//!   `migrate SESSION BACKEND` drains the session's in-flight request,
+//!   snapshots on the source, restores warm on the target and flips
+//!   the routing entry; the next forwarded request follows it.
+//! * **Aggregated stats** ([`stats_agg`]) — the router answers
+//!   `Stats(None)` (and serves its own `--stats-addr` side channel)
+//!   with [`msmr_stats::StatsSnapshot::merged`] over every alive
+//!   backend: counters sum exactly, per-backend gauges concatenate,
+//!   latency histograms merge bucket-wise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forwarder;
+pub mod health;
+pub mod migration;
+pub mod placement;
+pub mod pool;
+pub mod stats_agg;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use msmr_serve::{ConnHandler, ConnStream, Listen, Server};
+
+pub use placement::{place, rendezvous_score};
+pub use pool::{BackendConn, BackendPool, CONTROL_ID};
+
+/// Configuration of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// TCP listen address for client traffic (e.g. `127.0.0.1:0`).
+    pub listen: String,
+    /// Backend daemon addresses (`host:port`, cluster mode). Order is
+    /// irrelevant to placement (rendezvous hashes the address string).
+    pub backends: Vec<String>,
+    /// Admin channel listen address; `None` disables it.
+    pub admin: Option<String>,
+    /// Health-probe period.
+    pub health_interval: Duration,
+    /// Consecutive probe failures before a backend is declared dead.
+    pub health_failures: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            listen: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            admin: None,
+            health_interval: Duration::from_millis(250),
+            health_failures: 3,
+        }
+    }
+}
+
+/// One backend daemon as the router tracks it.
+pub struct Backend {
+    /// The daemon's client address (`host:port`).
+    pub addr: String,
+    alive: AtomicBool,
+    probe_failures: AtomicU32,
+}
+
+impl Backend {
+    fn new(addr: String) -> Backend {
+        Backend {
+            addr,
+            alive: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether the backend is currently considered alive. Dead backends
+    /// stay dead until an operator intervenes — auto-revival would flip
+    /// placement back to a daemon whose live state is gone, racing the
+    /// survivors' newer sessions (see the README's failover section).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+}
+
+/// The router's shared state: the backend set, routing memory and the
+/// control-connection pool. One instance serves every client
+/// connection, the health monitor and the admin channel.
+pub struct RouterState {
+    backends: Vec<Arc<Backend>>,
+    /// Migration overrides: session → backend address, consulted before
+    /// rendezvous placement.
+    overrides: Mutex<HashMap<String, String>>,
+    /// Last backend each session was routed to — the failover worklist.
+    placements: Mutex<HashMap<String, String>>,
+    /// Pooled control connections, keyed by backend address.
+    pool: BackendPool,
+    /// Per-session forwarding locks: the forwarder holds a session's
+    /// lock across each forwarded request, so migration can drain
+    /// in-flight work by taking it.
+    session_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl RouterState {
+    /// Builds state over a fixed backend set (all initially alive).
+    #[must_use]
+    pub fn new(backends: &[String]) -> Arc<RouterState> {
+        Arc::new(RouterState {
+            backends: backends
+                .iter()
+                .map(|addr| Arc::new(Backend::new(addr.clone())))
+                .collect(),
+            overrides: Mutex::new(HashMap::new()),
+            placements: Mutex::new(HashMap::new()),
+            pool: BackendPool::new(),
+            session_locks: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The full backend set, dead ones included.
+    #[must_use]
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// The backend entry for `addr`.
+    #[must_use]
+    pub fn backend(&self, addr: &str) -> Option<&Arc<Backend>> {
+        self.backends.iter().find(|b| b.addr == addr)
+    }
+
+    /// Addresses of the currently alive backends, in configured order.
+    #[must_use]
+    pub fn alive_backends(&self) -> Vec<String> {
+        self.backends
+            .iter()
+            .filter(|b| b.is_alive())
+            .map(|b| b.addr.clone())
+            .collect()
+    }
+
+    /// The control-connection pool.
+    #[must_use]
+    pub fn pool(&self) -> &BackendPool {
+        &self.pool
+    }
+
+    /// Where `session` lives right now: the migration override when one
+    /// points at an alive backend, rendezvous placement over the alive
+    /// set otherwise. `None` when every backend is dead.
+    #[must_use]
+    pub fn route(&self, session: &str) -> Option<String> {
+        if let Some(target) = self.overrides.lock().expect("override lock").get(session) {
+            if self.backend(target).is_some_and(|b| b.is_alive()) {
+                return Some(target.clone());
+            }
+        }
+        let alive = self.alive_backends();
+        place(session, &alive).cloned()
+    }
+
+    /// Records that `session` traffic was last routed to `backend`.
+    pub fn note_placement(&self, session: &str, backend: &str) {
+        self.placements
+            .lock()
+            .expect("placement lock")
+            .insert(session.to_string(), backend.to_string());
+    }
+
+    /// Snapshot of the routing memory (session → last backend).
+    #[must_use]
+    pub fn placements(&self) -> Vec<(String, String)> {
+        let mut entries: Vec<(String, String)> = self
+            .placements
+            .lock()
+            .expect("placement lock")
+            .iter()
+            .map(|(s, b)| (s.clone(), b.clone()))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Installs a migration override.
+    pub fn set_override(&self, session: &str, backend: &str) {
+        self.overrides
+            .lock()
+            .expect("override lock")
+            .insert(session.to_string(), backend.to_string());
+    }
+
+    /// Drops every override pointing at `backend` (it died); the
+    /// affected sessions fall back to rendezvous over the survivors.
+    pub fn clear_overrides_for(&self, backend: &str) {
+        self.overrides
+            .lock()
+            .expect("override lock")
+            .retain(|_, target| target != backend);
+    }
+
+    /// The forwarding lock of `session` (created on first use).
+    #[must_use]
+    pub fn session_lock(&self, session: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.session_locks
+                .lock()
+                .expect("session-lock map")
+                .entry(session.to_string())
+                .or_default(),
+        )
+    }
+}
+
+/// A running router: the client listener plus its background threads.
+pub struct Router {
+    server: Server,
+    state: Arc<RouterState>,
+    addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the client listener (and the admin channel when
+    /// configured), starts the health monitor and returns. Use
+    /// [`Router::addr`] to learn the bound port when listening on `:0`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and `InvalidInput` when no backend is configured.
+    pub fn start(config: RouterConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "configure at least one --backend",
+            ));
+        }
+        let state = RouterState::new(&config.backends);
+        let handler: ConnHandler = {
+            let state = Arc::clone(&state);
+            Arc::new(move |stream: ConnStream, shutdown| {
+                if let Ok((reader, writer)) = stream.into_split() {
+                    let _ = forwarder::handle_connection(
+                        &state,
+                        std::io::BufReader::new(reader),
+                        writer,
+                        &shutdown,
+                    );
+                }
+            })
+        };
+        let server = Server::start_with(
+            Listen {
+                tcp: Some(config.listen.clone()),
+                uds: None,
+            },
+            handler,
+        )?;
+        let addr = server.tcp_addr().expect("tcp listener configured");
+        let shutdown = server.shutdown_handle();
+        let mut threads = Vec::new();
+        threads.push(health::spawn_health_monitor(
+            Arc::clone(&state),
+            config.health_interval,
+            config.health_failures,
+            Arc::clone(&shutdown),
+        ));
+        let mut admin_addr = None;
+        if let Some(admin) = &config.admin {
+            let (bound, thread) =
+                migration::spawn_admin_listener(Arc::clone(&state), admin, Arc::clone(&shutdown))?;
+            admin_addr = Some(bound);
+            threads.push(thread);
+        }
+        Ok(Router {
+            server,
+            state,
+            addr,
+            admin_addr,
+            threads,
+        })
+    }
+
+    /// The bound client-listener address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound admin-channel address, when configured.
+    #[must_use]
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The shared state (placement, health, pool).
+    #[must_use]
+    pub fn state(&self) -> &Arc<RouterState> {
+        &self.state
+    }
+
+    /// The shutdown flag shared with every router thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        self.server.shutdown_handle()
+    }
+
+    /// Requests shutdown (acceptors, health monitor and admin channel
+    /// all exit).
+    pub fn stop(&self) {
+        self.server.stop();
+    }
+
+    /// Waits for the acceptors and background threads to exit.
+    pub fn join(self) {
+        self.server.join();
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Live migration and the admin channel.
+//!
+//! The admin channel is a plain line protocol on its own listener
+//! (out-of-band — the NDJSON client protocol needs no wire change for
+//! the tier, and keeping operator commands off the client port means a
+//! misbehaving client can never migrate a tenant):
+//!
+//! ```text
+//! > migrate tenant-a 127.0.0.1:7473
+//! < ok migrated tenant-a -> 127.0.0.1:7473 version=12 jobs=4
+//! > backends
+//! < 127.0.0.1:7471 alive
+//! < 127.0.0.1:7473 dead
+//! < ok 2 backends
+//! > routes
+//! < tenant-a 127.0.0.1:7473
+//! < ok 1 sessions
+//! ```
+//!
+//! `migrate SESSION BACKEND` is drain → snapshot → restore → flip:
+//! take the session's forwarding lock (in-flight requests hold it, so
+//! acquiring it *is* the drain), snapshot on the current owner,
+//! restore warm on the target (version-guarded), install the routing
+//! override and release. The next forwarded request re-checks the
+//! route under the same lock and follows the session with an absorbed
+//! re-attach.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use msmr_serve::protocol::{Op, SnapshotOp};
+
+use crate::health::restore_on;
+use crate::pool::BackendConn;
+use crate::RouterState;
+
+/// Migrates `session` to backend `target`: drain, snapshot on the
+/// current owner, restore on the target, flip the routing entry.
+///
+/// # Errors
+///
+/// A display string when the target is unknown or dead, no owner
+/// exists, or either wire step fails. The routing entry only flips
+/// after a successful restore — a failed migration leaves the session
+/// where it was.
+pub fn migrate(state: &RouterState, session: &str, target: &str) -> Result<String, String> {
+    let backend = state
+        .backend(target)
+        .ok_or_else(|| format!("unknown backend `{target}`"))?;
+    if !backend.is_alive() {
+        return Err(format!("backend `{target}` is dead"));
+    }
+    // Taking the forwarding lock drains the per-session queue: every
+    // forwarded request for this session holds it for its duration.
+    let lock = state.session_lock(session);
+    let _guard = lock.lock().expect("session forwarding lock");
+    let source = state
+        .route(session)
+        .ok_or_else(|| format!("no alive backend owns `{session}`"))?;
+    if source == target {
+        state.set_override(session, target);
+        state.note_placement(session, target);
+        return Ok(format!("{session} already on {target}"));
+    }
+    // Snapshot on the source so the target restores the newest state.
+    let mut conn = state
+        .pool()
+        .checkout(&source)
+        .map_err(|e| format!("source {source} unreachable: {e}"))?;
+    let frames = conn
+        .control(Op::Snapshot(SnapshotOp {
+            session: Some(session.to_string()),
+        }))
+        .map_err(|e| format!("snapshot on {source} failed: {e}"))?;
+    state.pool().checkin(conn);
+    if let Some(message) = BackendConn::first_error(&frames) {
+        return Err(format!("snapshot on {source} refused: {message}"));
+    }
+    let detail = frames
+        .iter()
+        .find_map(|frame| match frame {
+            msmr_serve::protocol::Frame::Snapshot(f) => {
+                Some(format!(" version={} jobs={}", f.version, f.jobs))
+            }
+            _ => None,
+        })
+        .unwrap_or_default();
+    restore_on(state, session, target).map_err(|e| format!("restore on {target} failed: {e}"))?;
+    state.set_override(session, target);
+    state.note_placement(session, target);
+    Ok(format!("{session} -> {target}{detail}"))
+}
+
+/// Handles one admin connection (line commands, text answers).
+fn handle_admin(state: &Arc<RouterState>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let mut words = line.split_whitespace();
+        let reply = match (words.next(), words.next(), words.next(), words.next()) {
+            (Some("migrate"), Some(session), Some(target), None) => {
+                match migrate(state, session, target) {
+                    Ok(detail) => format!("ok migrated {detail}\n"),
+                    Err(e) => format!("err {e}\n"),
+                }
+            }
+            (Some("backends"), None, ..) => {
+                let mut out = String::new();
+                for backend in state.backends() {
+                    let status = if backend.is_alive() { "alive" } else { "dead" };
+                    out.push_str(&format!("{} {status}\n", backend.addr));
+                }
+                out.push_str(&format!("ok {} backends\n", state.backends().len()));
+                out
+            }
+            (Some("routes"), None, ..) => {
+                let placements = state.placements();
+                let mut out = String::new();
+                for (session, backend) in &placements {
+                    out.push_str(&format!("{session} {backend}\n"));
+                }
+                out.push_str(&format!("ok {} sessions\n", placements.len()));
+                out
+            }
+            (None, ..) => continue,
+            _ => "err usage: migrate SESSION BACKEND | backends | routes\n".to_string(),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+/// Binds the admin listener and spawns its accept loop; returns the
+/// bound address. The loop exits when `shutdown` rises.
+///
+/// # Errors
+///
+/// Bind failures.
+pub fn spawn_admin_listener(
+    state: Arc<RouterState>,
+    addr: &str,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let thread = std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || {
+                        let _ = handle_admin(&state, stream);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    });
+    Ok((bound, thread))
+}

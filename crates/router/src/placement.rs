@@ -1,0 +1,92 @@
+//! Rendezvous (highest-random-weight) placement of session names over
+//! a backend set.
+//!
+//! Each `(session, backend)` pair gets a pseudo-random score mixed from
+//! the session's stable FNV-1a hash — the *same*
+//! [`msmr_cluster::session_name_hash`] the cluster store shards with —
+//! and the backend address's hash; a session lives on the alive backend
+//! with the highest score. The classic rendezvous properties follow and
+//! the placement proptest pins them:
+//!
+//! * placement is a pure function of `(name, backend set)` — no state,
+//!   no coordination, any router instance computes the same answer;
+//! * removing a backend relocates exactly the sessions it owned (every
+//!   other session's argmax is unchanged);
+//! * adding a backend steals only the sessions whose new score beats
+//!   their old maximum — in expectation 1/K of them.
+
+use msmr_cluster::session_name_hash;
+
+/// The placement score of `backend` for a session with FNV-1a hash
+/// `name_hash`. The two hashes are combined and finalized with a
+/// SplitMix64-style avalanche so that single-bit differences in either
+/// input decorrelate the scores (raw FNV of short ASCII strings leaves
+/// the high bits poorly mixed, which would bias the argmax).
+#[must_use]
+pub fn rendezvous_score(name_hash: u64, backend: &str) -> u64 {
+    let mut x = name_hash ^ session_name_hash(backend).rotate_left(32);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The backend owning `name`: the highest [`rendezvous_score`] over
+/// `backends`, ties broken by the larger address string so the answer
+/// never depends on list order. `None` iff `backends` is empty.
+#[must_use]
+pub fn place<'a>(name: &str, backends: &'a [String]) -> Option<&'a String> {
+    let name_hash = session_name_hash(name);
+    backends
+        .iter()
+        .max_by_key(|backend| (rendezvous_score(name_hash, backend), *backend))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("10.0.0.{i}:7471")).collect()
+    }
+
+    #[test]
+    fn placement_is_order_independent() {
+        let mut backends = fleet(5);
+        let owner = place("tenant-a", &backends).cloned();
+        backends.reverse();
+        assert_eq!(place("tenant-a", &backends).cloned(), owner);
+        backends.swap(0, 2);
+        assert_eq!(place("tenant-a", &backends).cloned(), owner);
+    }
+
+    #[test]
+    fn empty_backend_set_places_nowhere() {
+        assert_eq!(place("tenant-a", &[]), None);
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let backends = fleet(1);
+        for i in 0..50 {
+            assert_eq!(place(&format!("s-{i}"), &backends), Some(&backends[0]));
+        }
+    }
+
+    #[test]
+    fn distribution_over_three_backends_is_roughly_balanced() {
+        let backends = fleet(3);
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            let owner = place(&format!("session-{i}"), &backends).unwrap();
+            let slot = backends.iter().position(|b| b == owner).unwrap();
+            counts[slot] += 1;
+        }
+        for &count in &counts {
+            assert!(
+                (700..1300).contains(&count),
+                "placement is badly skewed: {counts:?}"
+            );
+        }
+    }
+}

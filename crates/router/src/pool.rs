@@ -1,0 +1,221 @@
+//! Backend connections and the control-connection pool.
+//!
+//! A [`BackendConn`] is one TCP stream to a backend daemon exposing the
+//! two access patterns the router needs:
+//!
+//! * **verbatim relay** — raw request lines in, raw response lines out,
+//!   untouched ([`BackendConn::send_raw_line`] /
+//!   [`BackendConn::read_raw_line`]). The forwarder streams backend
+//!   bytes straight to the client, so verdict frames cross the router
+//!   byte-identically.
+//! * **control exchanges** — typed ops the router issues for itself
+//!   (attach-after-reroute, failover restores, migration
+//!   snapshot/restore, stats scrapes, shutdown broadcast) under the
+//!   reserved request id [`CONTROL_ID`], whose response frames are
+//!   absorbed rather than relayed.
+//!
+//! The [`BackendPool`] keeps *clean* (never-attached or detached)
+//! connections per backend for the control paths; client traffic uses
+//! dedicated per-connection streams because NDJSON responses correlate
+//! by request id on one stream, not across streams.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use msmr_serve::protocol::{read_response, write_request, Frame, Op, Request};
+
+/// Request id reserved for the router's own control exchanges. The
+/// forwarder refuses client requests carrying it (with a typed error
+/// frame), so absorbed control responses can never be confused with
+/// relayed client responses on the same stream.
+pub const CONTROL_ID: u64 = u64::MAX;
+
+/// One connection to a backend daemon.
+pub struct BackendConn {
+    /// The backend's address (`host:port`).
+    pub backend: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// The session the *client side* of this stream is attached to on
+    /// the backend, when forwarding for an attached client.
+    pub attached: Option<String>,
+}
+
+impl BackendConn {
+    /// Connects to `addr` with `TCP_NODELAY` (every frame is one
+    /// flushed line; Nagle would add tens of milliseconds per streamed
+    /// verdict).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: &str) -> io::Result<BackendConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BackendConn {
+            backend: addr.to_string(),
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            attached: None,
+        })
+    }
+
+    /// Writes one raw request line (the client's own bytes; the caller
+    /// guarantees the trailing newline) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (the backend died mid-request).
+    pub fn send_raw_line(&mut self, line: &[u8]) -> io::Result<()> {
+        self.writer.write_all(line)?;
+        self.writer.flush()
+    }
+
+    /// Reads one raw response line, newline included.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the backend closed the stream.
+    pub fn read_raw_line(&mut self) -> io::Result<Vec<u8>> {
+        let mut line = Vec::new();
+        if self.reader.read_until(b'\n', &mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("backend {} closed the connection", self.backend),
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Issues `op` under [`CONTROL_ID`] and collects the response
+    /// frames up to (excluding) the terminating `Done`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, and `InvalidData` when the backend answers
+    /// on an unexpected id (a desynchronized stream is unusable).
+    pub fn control(&mut self, op: Op) -> io::Result<Vec<Frame>> {
+        write_request(&mut self.writer, &Request { id: CONTROL_ID, op })?;
+        self.writer.flush()?;
+        let mut frames = Vec::new();
+        loop {
+            let response = read_response(&mut self.reader)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("backend {} closed mid-control-exchange", self.backend),
+                )
+            })?;
+            if response.id != CONTROL_ID {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "backend {} answered control exchange on id {}",
+                        self.backend, response.id
+                    ),
+                ));
+            }
+            match response.frame {
+                Frame::Done(_) => return Ok(frames),
+                frame => frames.push(frame),
+            }
+        }
+    }
+
+    /// The first `Error` frame's message in `frames`, if any — control
+    /// helpers use it to turn typed backend errors into `io::Error`s.
+    #[must_use]
+    pub fn first_error(frames: &[Frame]) -> Option<String> {
+        frames.iter().find_map(|frame| match frame {
+            Frame::Error(e) => Some(e.message.clone()),
+            _ => None,
+        })
+    }
+}
+
+/// A per-backend pool of clean (unattached) control connections.
+pub struct BackendPool {
+    idle: Mutex<HashMap<String, Vec<BackendConn>>>,
+}
+
+impl Default for BackendPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackendPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> BackendPool {
+        BackendPool {
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A connection to `addr`: a pooled one when available, a fresh
+    /// dial otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn checkout(&self, addr: &str) -> io::Result<BackendConn> {
+        if let Some(conn) = self
+            .idle
+            .lock()
+            .expect("pool lock")
+            .get_mut(addr)
+            .and_then(Vec::pop)
+        {
+            return Ok(conn);
+        }
+        BackendConn::connect(addr)
+    }
+
+    /// Returns a connection to the pool. Only clean streams are pooled:
+    /// a still-attached connection is dropped (closing it detaches the
+    /// backend side), so pooled connections never leak session
+    /// attachment across checkouts.
+    pub fn checkin(&self, conn: BackendConn) {
+        if conn.attached.is_some() {
+            return;
+        }
+        self.idle
+            .lock()
+            .expect("pool lock")
+            .entry(conn.backend.clone())
+            .or_default()
+            .push(conn);
+    }
+
+    /// Drops every pooled connection to `addr` (the backend died).
+    pub fn purge(&self, addr: &str) {
+        self.idle.lock().expect("pool lock").remove(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attached_connections_are_not_pooled() {
+        // A pool needs no live backend to enforce its cleanliness rule:
+        // wire two loopback streams together and mark one attached.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = TcpStream::connect(&addr).unwrap();
+        let _server = listener.accept().unwrap();
+        let mut conn = BackendConn {
+            backend: addr.clone(),
+            reader: BufReader::new(client.try_clone().unwrap()),
+            writer: client,
+            attached: None,
+        };
+        let pool = BackendPool::new();
+        conn.attached = Some("tenant-a".into());
+        pool.checkin(conn);
+        assert!(pool.idle.lock().unwrap().get(&addr).is_none());
+    }
+}

@@ -470,6 +470,9 @@ pub struct ResumeStats {
     /// Acks carrying `deduped: true` — journaled ops the daemon had
     /// already applied and acknowledged without re-applying.
     pub deduped_acks: u64,
+    /// Endpoint rotations: connection attempts that failed and moved
+    /// the client onto the next fallback endpoint.
+    pub failovers: u64,
 }
 
 /// One journaled (not yet checkpointed) operation, replayable verbatim.
@@ -529,6 +532,10 @@ enum IssueError {
 /// ops with a typed error).
 pub struct ResumingClient {
     endpoint: Endpoint,
+    /// Endpoints rotated in when connecting to `endpoint` fails — the
+    /// failover hook a replicated tier (several `msmr-router` instances
+    /// over one backend fleet) hands its clients.
+    fallbacks: Vec<Endpoint>,
     session: String,
     policy: RetryPolicy,
     rng: MixRng,
@@ -564,6 +571,7 @@ impl ResumingClient {
     ) -> ResumingClient {
         ResumingClient {
             endpoint,
+            fallbacks: Vec::new(),
             session: session.to_string(),
             policy,
             rng: MixRng::new(retry_seed),
@@ -590,6 +598,23 @@ impl ResumingClient {
     pub fn set_endpoint(&mut self, endpoint: Endpoint) {
         self.endpoint = endpoint;
         self.client = None;
+    }
+
+    /// Installs fallback endpoints: when connecting to the current
+    /// endpoint fails, the client rotates the current endpoint to the
+    /// back of this list and promotes the next one before the retry
+    /// policy's next attempt — so a client handed every instance of a
+    /// replicated tier rides out the loss of any one of them. Each
+    /// rotation is counted in [`ResumeStats::failovers`]. Replaces any
+    /// previously installed fallbacks.
+    pub fn set_fallback_endpoints(&mut self, endpoints: Vec<Endpoint>) {
+        self.fallbacks = endpoints;
+    }
+
+    /// The endpoint the next connection attempt will use.
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
     }
 
     /// The resume counters so far.
@@ -772,7 +797,20 @@ impl ResumingClient {
             return Ok(());
         }
         let had_session = self.next_seq > 1;
-        let mut client = Client::connect(&self.endpoint)?;
+        let mut client = match Client::connect(&self.endpoint) {
+            Ok(client) => client,
+            Err(e) => {
+                // Rotate to the next fallback; the retry policy's next
+                // attempt connects there.
+                if !self.fallbacks.is_empty() {
+                    let next = self.fallbacks.remove(0);
+                    let old = std::mem::replace(&mut self.endpoint, next);
+                    self.fallbacks.push(old);
+                    self.stats.failovers += 1;
+                }
+                return Err(e);
+            }
+        };
         let attach = client.attach(&self.session, true)?;
         if had_session {
             self.stats.reconnects += 1;
@@ -947,6 +985,39 @@ mod tests {
             policy.delay(3, &mut c),
             "different seeds draw different jitter"
         );
+    }
+
+    #[test]
+    fn failed_connects_rotate_through_fallback_endpoints() {
+        // Two endpoints that refuse connections: bind ephemeral ports,
+        // then drop the listeners before anyone connects.
+        let dead = |_: usize| {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let primary = dead(0);
+        let fallback = dead(1);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+        };
+        let mut client = ResumingClient::new(Endpoint::Tcp(primary.clone()), "s", policy, 7);
+        client.set_fallback_endpoints(vec![Endpoint::Tcp(fallback.clone())]);
+        let spec = JobSpec {
+            arrival: 0,
+            deadline: 10,
+            stages: vec![],
+        };
+        let err = client.admit(&spec, false).unwrap_err();
+        assert!(matches!(err, RetryError::Exhausted { attempts: 3, .. }));
+        // Every failed connect rotated; three attempts land the client
+        // back on the fallback (primary → fallback → primary → fallback).
+        assert_eq!(client.stats().failovers, 3);
+        match client.endpoint() {
+            Endpoint::Tcp(addr) => assert_eq!(addr, &fallback),
+            Endpoint::Uds(_) => panic!("endpoint changed transport"),
+        }
     }
 
     #[test]

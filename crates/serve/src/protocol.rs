@@ -51,6 +51,16 @@
 //!   field and never see the new frame, and new daemons parse old
 //!   `{"Stats":{}}` encodings as `session: None`, so the wire version
 //!   stays 5.
+//! * **v5 (distributed tier, no wire change)**: the `msmr-router`
+//!   admission tier went in front of K cluster daemons with **zero**
+//!   protocol changes — by design. The router parses request lines only
+//!   to pick the owning backend and relays response bytes verbatim, so
+//!   every byte a client sees is a daemon's own; its control exchanges
+//!   (health, failover restores, migration, stats scrapes) reuse the
+//!   existing named `snapshot`/`restore`/`stats` ops under the reserved
+//!   request id `u64::MAX`, which the router refuses from clients. The
+//!   `migrate`/`backends`/`routes` admin commands are out-of-band on
+//!   the router's `--admin-addr` line channel, not protocol ops.
 //!
 //! # The seq-idempotency rule (v5)
 //!

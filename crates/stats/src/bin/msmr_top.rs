@@ -37,11 +37,20 @@
 //!   daemon. `--flight DUMP` folds a flight-recorder dump in;
 //!   `--against SNAPSHOT` cross-checks per-solver span counts versus
 //!   the live decisions counters of a saved snapshot.
+//! * `--flight-dump` asks the side channel's `flight` command for the
+//!   live flight-recorder ring and renders the same dump view without
+//!   a trace file.
+//!
+//! `--flight-filter kind=overload,session=NAME` narrows the flight
+//! view — both the live `--flight-dump` and the `--replay --flight`
+//! fold-in — to the matching events; tallies and the event tail then
+//! cover only the selection (the recorded/dropped totals stay honest).
 //!
 //! ```text
 //! msmr-top --addr 127.0.0.1:9099 [--interval-ms 1000] [--iterations 0] [--tui]
 //! msmr-top --addr 127.0.0.1:9099 --once [--min-admits 1]
 //! msmr-top --addr 127.0.0.1:9099 --check-stream [--interval-ms 200]
+//! msmr-top --addr 127.0.0.1:9099 --flight-dump [--flight-filter kind=K,session=S]
 //! msmr-top --check-trace replay.trace [--expect-spans 120] [--expect-counters 3]
 //! msmr-top --replay replay.trace [--flight flight.json] [--against snapshot.json]
 //! ```
@@ -51,8 +60,9 @@ use std::time::{Duration, Instant};
 
 use msmr_stats::ring::DEFAULT_RING_SLOTS;
 use msmr_stats::{
-    bucket_bounds, bucket_index, fetch_stats_json, parse_trace, validate_trace, FlightDump,
-    LatencyHisto, StatsSnapshot, StatsStream, TraceEvents, TraceSummary,
+    bucket_bounds, bucket_index, fetch_flight_dump, fetch_stats_json, parse_trace, validate_trace,
+    Event, EventKind, FlightDump, LatencyHisto, StatsSnapshot, StatsStream, TraceEvents,
+    TraceSummary,
 };
 
 /// How long `--check-stream` waits for the folded stream to converge
@@ -87,6 +97,8 @@ struct Options {
     replay: Option<String>,
     flight: Option<String>,
     against: Option<String>,
+    flight_dump: bool,
+    flight_filter: Option<FlightFilter>,
 }
 
 impl Default for Options {
@@ -105,7 +117,102 @@ impl Default for Options {
             replay: None,
             flight: None,
             against: None,
+            flight_dump: false,
+            flight_filter: None,
         }
+    }
+}
+
+/// Every [`EventKind`] under the lowercase name `--flight-filter`
+/// accepts; the parser strips `-`/`_` so `snapshot-write` works too.
+const EVENT_KINDS: &[(&str, EventKind)] = &[
+    ("admit", EventKind::Admit),
+    ("reject", EventKind::Reject),
+    ("withdraw", EventKind::Withdraw),
+    ("submit", EventKind::Submit),
+    ("overload", EventKind::Overload),
+    ("eviction", EventKind::Eviction),
+    ("snapshotwrite", EventKind::SnapshotWrite),
+    ("snapshotquarantine", EventKind::SnapshotQuarantine),
+    ("seqconflict", EventKind::SeqConflict),
+    ("dedup", EventKind::Dedup),
+    ("clientattach", EventKind::ClientAttach),
+    ("clientdetach", EventKind::ClientDetach),
+];
+
+fn parse_event_kind(name: &str) -> Result<EventKind, String> {
+    let normalized: String = name
+        .chars()
+        .filter(|c| !matches!(c, '-' | '_'))
+        .collect::<String>()
+        .to_ascii_lowercase();
+    EVENT_KINDS
+        .iter()
+        .find(|(known, _)| *known == normalized)
+        .map(|(_, kind)| *kind)
+        .ok_or_else(|| {
+            let names: Vec<&str> = EVENT_KINDS.iter().map(|(known, _)| *known).collect();
+            format!("unknown event kind `{name}` (one of: {})", names.join(", "))
+        })
+}
+
+/// The `--flight-filter` selection: comma-separated `kind=…` /
+/// `session=…` pairs, conjunctive when both are given. Applied to the
+/// flight view wherever it renders — the live `--flight-dump` and the
+/// `--replay --flight` fold-in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FlightFilter {
+    kind: Option<EventKind>,
+    session: Option<String>,
+}
+
+impl FlightFilter {
+    fn parse(spec: &str) -> Result<FlightFilter, String> {
+        let mut filter = FlightFilter {
+            kind: None,
+            session: None,
+        };
+        for pair in spec.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(format!(
+                    "`{pair}` is not a key=value pair (kind=… or session=…)"
+                ));
+            };
+            match key.trim() {
+                "kind" => filter.kind = Some(parse_event_kind(value.trim())?),
+                "session" => filter.session = Some(value.trim().to_string()),
+                other => return Err(format!("unknown filter key `{other}` (kind, session)")),
+            }
+        }
+        if filter.kind.is_none() && filter.session.is_none() {
+            return Err("empty filter: give kind=… and/or session=…".to_string());
+        }
+        Ok(filter)
+    }
+
+    fn matches(&self, event: &Event) -> bool {
+        self.kind.is_none_or(|kind| event.kind == kind)
+            && self
+                .session
+                .as_deref()
+                .is_none_or(|name| event.session.as_deref() == Some(name))
+    }
+
+    /// The filter restated for the report header, e.g.
+    /// `kind=Overload session=tenant-3`.
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(kind) = self.kind {
+            parts.push(format!("kind={kind:?}"));
+        }
+        if let Some(session) = &self.session {
+            parts.push(format!("session={session}"));
+        }
+        parts.join(" ")
     }
 }
 
@@ -158,12 +265,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--replay" => options.replay = Some(value("--replay")?),
             "--flight" => options.flight = Some(value("--flight")?),
             "--against" => options.against = Some(value("--against")?),
+            "--flight-dump" => options.flight_dump = true,
+            "--flight-filter" => {
+                options.flight_filter = Some(
+                    FlightFilter::parse(&value("--flight-filter")?)
+                        .map_err(|e| format!("--flight-filter: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if options.replay.is_none() && (options.flight.is_some() || options.against.is_some()) {
         return Err("--flight/--against only make sense with --replay".to_string());
+    }
+    if options.flight_dump && (options.replay.is_some() || options.check_trace.is_some()) {
+        return Err(
+            "--flight-dump is a live mode; it doesn't combine with --replay/--check-trace"
+                .to_string(),
+        );
+    }
+    if options.flight_filter.is_some() && options.flight.is_none() && !options.flight_dump {
+        return Err(
+            "--flight-filter needs a flight view: --flight-dump or --replay --flight".to_string(),
+        );
     }
     if options.check_trace.is_none() && options.replay.is_none() && options.addr.is_none() {
         return Err("--addr HOST:PORT is required (or use --check-trace / --replay)".to_string());
@@ -423,9 +548,63 @@ fn replay_lanes(events: &TraceEvents) -> std::collections::BTreeMap<String, Repl
     lanes
 }
 
+/// Renders the flight-recorder section shared by the `--replay
+/// --flight` fold-in and the live `--flight-dump` view: honest
+/// recorded/dropped totals, then per-kind tallies and the event tail
+/// over the (optionally `--flight-filter`ed) selection.
+fn render_flight(dump: &FlightDump, filter: Option<&FlightFilter>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flight recorder: {} recorded, {} dropped (capacity {})\n",
+        dump.recorded, dump.dropped, dump.capacity
+    ));
+    let selected: Vec<&Event> = dump
+        .events
+        .iter()
+        .filter(|event| filter.is_none_or(|f| f.matches(event)))
+        .collect();
+    if let Some(filter) = filter {
+        out.push_str(&format!(
+            "filter {}: {} of {} events match\n",
+            filter.describe(),
+            selected.len(),
+            dump.events.len()
+        ));
+    }
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for event in &selected {
+        *kinds.entry(format!("{:?}", event.kind)).or_insert(0) += 1;
+    }
+    let kinds: Vec<String> = kinds
+        .iter()
+        .map(|(kind, count)| format!("{kind} {count}"))
+        .collect();
+    out.push_str(&format!("events: {}\n", kinds.join("  ")));
+    let tail = selected.len().saturating_sub(REPLAY_FLIGHT_TAIL);
+    out.push_str(&format!("last {} events:\n", selected.len() - tail));
+    for event in &selected[tail..] {
+        out.push_str(&format!(
+            "  #{:<6} {:>10}µs  {:<18} {}{}\n",
+            event.seq,
+            event.ts_us,
+            format!("{:?}", event.kind),
+            event.session.as_deref().unwrap_or("-"),
+            event
+                .op_seq
+                .map_or_else(String::new, |seq| format!(" seq={seq}"))
+        ));
+    }
+    out
+}
+
 /// Renders the offline post-mortem report for a parsed trace (plus an
 /// optional flight-recorder dump).
-fn render_replay(path: &str, events: &TraceEvents, flight: Option<&FlightDump>) -> String {
+fn render_replay(
+    path: &str,
+    events: &TraceEvents,
+    flight: Option<&FlightDump>,
+    filter: Option<&FlightFilter>,
+) -> String {
     let lanes = replay_lanes(events);
     let wall_us = events
         .spans
@@ -481,33 +660,8 @@ fn render_replay(path: &str, events: &TraceEvents, flight: Option<&FlightDump>) 
     }
 
     if let Some(dump) = flight {
-        out.push_str(&format!(
-            "\nflight recorder: {} recorded, {} dropped (capacity {})\n",
-            dump.recorded, dump.dropped, dump.capacity
-        ));
-        let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-        for event in &dump.events {
-            *kinds.entry(format!("{:?}", event.kind)).or_insert(0) += 1;
-        }
-        let kinds: Vec<String> = kinds
-            .iter()
-            .map(|(kind, count)| format!("{kind} {count}"))
-            .collect();
-        out.push_str(&format!("events: {}\n", kinds.join("  ")));
-        let tail = dump.events.len().saturating_sub(REPLAY_FLIGHT_TAIL);
-        out.push_str(&format!("last {} events:\n", dump.events.len() - tail));
-        for event in &dump.events[tail..] {
-            out.push_str(&format!(
-                "  #{:<6} {:>10}µs  {:<18} {}{}\n",
-                event.seq,
-                event.ts_us,
-                format!("{:?}", event.kind),
-                event.session.as_deref().unwrap_or("-"),
-                event
-                    .op_seq
-                    .map_or_else(String::new, |seq| format!(" seq={seq}"))
-            ));
-        }
+        out.push('\n');
+        out.push_str(&render_flight(dump, filter));
     }
     out
 }
@@ -555,10 +709,30 @@ fn run_replay(options: &Options) -> Result<(), String> {
             serde_json::from_str(text.trim()).map_err(|e| format!("{path}: bad snapshot: {e}"))?;
         verify_replay_against(&events, &snapshot).map_err(|e| format!("{path}: {e}"))?;
     }
-    print!("{}", render_replay(path, &events, flight.as_ref()));
+    print!(
+        "{}",
+        render_replay(
+            path,
+            &events,
+            flight.as_ref(),
+            options.flight_filter.as_ref()
+        )
+    );
     if options.against.is_some() {
         println!("\nreplay OK: per-solver span counts match the live decision counters");
     }
+    Ok(())
+}
+
+/// `--flight-dump`: fetch the live flight-recorder ring over the side
+/// channel's `flight` command and render the dump view (with any
+/// `--flight-filter` applied) — no trace file needed.
+fn run_flight_dump(addr: &str, filter: Option<&FlightFilter>) -> Result<(), String> {
+    let dump = fetch_flight_dump(addr).map_err(|e| format!("{addr}: {e}"))?;
+    print!(
+        "msmr-top — flight recorder dump from {addr}\n\n{}",
+        render_flight(&dump, filter)
+    );
     Ok(())
 }
 
@@ -639,6 +813,9 @@ fn run(options: &Options) -> Result<(), String> {
         return run_replay(options);
     }
     let addr = options.addr.as_deref().expect("addr checked by the parser");
+    if options.flight_dump {
+        return run_flight_dump(addr, options.flight_filter.as_ref());
+    }
     if options.check_stream {
         return run_check_stream(addr, options.interval_ms);
     }
@@ -708,8 +885,10 @@ fn main() -> ExitCode {
                     "usage: msmr-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--tui]\n\
                      \x20      msmr-top --addr HOST:PORT --once [--min-admits N]\n\
                      \x20      msmr-top --addr HOST:PORT --check-stream [--interval-ms N]\n\
+                     \x20      msmr-top --addr HOST:PORT --flight-dump [--flight-filter kind=K,session=S]\n\
                      \x20      msmr-top --check-trace FILE [--expect-spans N] [--expect-counters N]\n\
-                     \x20      msmr-top --replay FILE [--flight DUMP] [--against SNAPSHOT]"
+                     \x20      msmr-top --replay FILE [--flight DUMP] [--against SNAPSHOT]\n\
+                     \x20                             [--flight-filter kind=K,session=S]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -872,11 +1051,8 @@ mod tests {
         events
     }
 
-    #[test]
-    fn replay_report_rebuilds_lanes_histograms_and_counter_tracks() {
-        use msmr_stats::{Event, EventKind, FlightDump};
-        let events = sample_events();
-        let dump = FlightDump {
+    fn sample_dump() -> FlightDump {
+        FlightDump {
             capacity: 1024,
             recorded: 2,
             dropped: 0,
@@ -896,8 +1072,14 @@ mod tests {
                     op_seq: None,
                 },
             ],
-        };
-        let report = render_replay("run.trace", &events, Some(&dump));
+        }
+    }
+
+    #[test]
+    fn replay_report_rebuilds_lanes_histograms_and_counter_tracks() {
+        let events = sample_events();
+        let dump = sample_dump();
+        let report = render_replay("run.trace", &events, Some(&dump), None);
         assert!(report.contains("offline replay of run.trace"));
         assert!(report.contains("3 spans on 2 solver lanes, 1 counter samples"));
         // Per-solver lanes: spans, accepts, mean, and a histogram range.
@@ -914,6 +1096,66 @@ mod tests {
         assert!(report.contains("Overload 1"));
         assert!(report.contains("tenant-0"));
         assert!(report.contains("seq=1"));
+    }
+
+    #[test]
+    fn flight_filter_parses_pairs_and_rejects_nonsense() {
+        let filter = FlightFilter::parse("kind=overload").unwrap();
+        assert_eq!(filter.kind, Some(EventKind::Overload));
+        assert_eq!(filter.session, None);
+        // Kind names are case-insensitive and tolerate -/_ separators.
+        let filter = FlightFilter::parse("kind=Snapshot-Write").unwrap();
+        assert_eq!(filter.kind, Some(EventKind::SnapshotWrite));
+        let filter = FlightFilter::parse("kind=ADMIT, session=tenant-0").unwrap();
+        assert_eq!(filter.kind, Some(EventKind::Admit));
+        assert_eq!(filter.session.as_deref(), Some("tenant-0"));
+        assert_eq!(filter.describe(), "kind=Admit session=tenant-0");
+        assert!(FlightFilter::parse("")
+            .unwrap_err()
+            .contains("empty filter"));
+        assert!(FlightFilter::parse("overload")
+            .unwrap_err()
+            .contains("key=value"));
+        assert!(FlightFilter::parse("kind=bogus")
+            .unwrap_err()
+            .contains("unknown event kind"));
+        assert!(FlightFilter::parse("solver=OPDCA")
+            .unwrap_err()
+            .contains("unknown filter key"));
+    }
+
+    #[test]
+    fn flight_filter_narrows_tallies_and_tail_but_not_totals() {
+        let dump = sample_dump();
+        // Unfiltered: both kinds tallied, both events in the tail.
+        let view = render_flight(&dump, None);
+        assert!(view.contains("Admit 1"));
+        assert!(view.contains("Overload 1"));
+        assert!(!view.contains("filter"));
+        // kind filter: only the matching event survives; the honest
+        // recorded/dropped totals stay.
+        let filter = FlightFilter::parse("kind=overload").unwrap();
+        let view = render_flight(&dump, Some(&filter));
+        assert!(view.contains("2 recorded, 0 dropped (capacity 1024)"));
+        assert!(view.contains("filter kind=Overload: 1 of 2 events match"));
+        assert!(view.contains("Overload 1"));
+        assert!(!view.contains("Admit 1"));
+        assert!(!view.contains("tenant-0"));
+        assert!(view.contains("last 1 events:"));
+        // session filter: the unlabeled overload event drops out.
+        let filter = FlightFilter::parse("session=tenant-0").unwrap();
+        let view = render_flight(&dump, Some(&filter));
+        assert!(view.contains("filter session=tenant-0: 1 of 2 events match"));
+        assert!(view.contains("tenant-0"));
+        assert!(!view.contains("Overload 1"));
+        // Conjunction that nothing satisfies.
+        let filter = FlightFilter::parse("kind=overload,session=tenant-0").unwrap();
+        let view = render_flight(&dump, Some(&filter));
+        assert!(view.contains("0 of 2 events match"));
+        assert!(view.contains("last 0 events:"));
+        // The replay fold-in threads the same filter through.
+        let report = render_replay("run.trace", &sample_events(), Some(&dump), Some(&filter));
+        assert!(report.contains("0 of 2 events match"));
     }
 
     #[test]
@@ -971,6 +1213,65 @@ mod tests {
         // without an address.
         assert!(parse_args(&["--flight".into(), "x.json".into()]).is_err());
         assert!(parse_args(&["--check-stream".into()]).is_err());
+    }
+
+    #[test]
+    fn parser_wires_the_flight_dump_and_filter_modes() {
+        let options = parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:9".into(),
+            "--flight-dump".into(),
+            "--flight-filter".into(),
+            "kind=overload,session=t-1".into(),
+        ])
+        .unwrap();
+        assert!(options.flight_dump);
+        let filter = options.flight_filter.unwrap();
+        assert_eq!(filter.kind, Some(EventKind::Overload));
+        assert_eq!(filter.session.as_deref(), Some("t-1"));
+        // The filter also rides the offline fold-in.
+        let options = parse_args(&[
+            "--replay".into(),
+            "run.trace".into(),
+            "--flight".into(),
+            "flight.json".into(),
+            "--flight-filter".into(),
+            "session=t-1".into(),
+        ])
+        .unwrap();
+        assert!(options.flight_filter.is_some());
+        // A filter with no flight view to apply to is refused, as is
+        // mixing the live dump with the offline modes, a dump with no
+        // address, and a malformed filter spec.
+        assert!(parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:9".into(),
+            "--flight-filter".into(),
+            "kind=admit".into(),
+        ])
+        .is_err());
+        assert!(parse_args(&[
+            "--replay".into(),
+            "run.trace".into(),
+            "--flight-filter".into(),
+            "kind=admit".into(),
+        ])
+        .is_err());
+        assert!(parse_args(&[
+            "--replay".into(),
+            "run.trace".into(),
+            "--flight-dump".into(),
+        ])
+        .is_err());
+        assert!(parse_args(&["--flight-dump".into()]).is_err());
+        assert!(parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:9".into(),
+            "--flight-dump".into(),
+            "--flight-filter".into(),
+            "kind=bogus".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -142,6 +142,67 @@ pub struct StatsSnapshot {
     pub sessions: Vec<SessionRow>,
 }
 
+impl StatsCounters {
+    /// Adds every counter of `other` into `self` (tier aggregation).
+    pub fn absorb(&mut self, other: &StatsCounters) {
+        self.admits += other.admits;
+        self.rejects += other.rejects;
+        self.withdraws += other.withdraws;
+        self.submits += other.submits;
+        self.warm_decides += other.warm_decides;
+        self.cold_decides += other.cold_decides;
+        self.implied_decides += other.implied_decides;
+        self.overloads += other.overloads;
+        self.evictions += other.evictions;
+        self.snapshot_writes += other.snapshot_writes;
+        self.trace_spans += other.trace_spans;
+        self.snapshot_quarantined += other.snapshot_quarantined;
+        self.deduped_ops += other.deduped_ops;
+    }
+}
+
+impl SolverRow {
+    /// Adds every counter of `other` into `self` (tier aggregation).
+    pub fn absorb(&mut self, other: &SolverRow) {
+        self.verdicts += other.verdicts;
+        self.accepted += other.accepted;
+        self.warm += other.warm;
+        self.cold += other.cold;
+        self.implied += other.implied;
+        self.sdca_calls += other.sdca_calls;
+        self.nodes_explored += other.nodes_explored;
+        self.elapsed_micros += other.elapsed_micros;
+    }
+}
+
+impl OpLatency {
+    /// Folds `other` into `self` through the log-bucket histograms —
+    /// how a router tier aggregates per-backend latency summaries.
+    ///
+    /// Histogram buckets are element-wise sums (bucket `i` is bucket
+    /// `i` on every daemon — see [`crate::bucket_bounds`]) and all four
+    /// percentile fields are recomputed from the merged counts via
+    /// [`crate::percentile_from_counts`]: the windowed ring samples
+    /// behind `p50_us`/`p99_us` are not mergeable across processes, so
+    /// a merged summary reports histogram estimates in those fields
+    /// too (full-lifetime, upper-bucket-edge semantics).
+    pub fn absorb(&mut self, other: &OpLatency) {
+        self.samples += other.samples;
+        if self.histo_buckets.len() < other.histo_buckets.len() {
+            self.histo_buckets.resize(other.histo_buckets.len(), 0);
+        }
+        for (mine, theirs) in self.histo_buckets.iter_mut().zip(&other.histo_buckets) {
+            *mine += *theirs;
+        }
+        let p50 = crate::percentile_from_counts(&self.histo_buckets, 0.50);
+        let p99 = crate::percentile_from_counts(&self.histo_buckets, 0.99);
+        self.histo_p50_us = p50;
+        self.histo_p99_us = p99;
+        self.p50_us = p50;
+        self.p99_us = p99;
+    }
+}
+
 impl StatsSnapshot {
     /// Warm share of all solver verdicts, `None` before any verdict.
     #[must_use]
@@ -149,6 +210,46 @@ impl StatsSnapshot {
         let c = &self.counters;
         let total = c.warm_decides + c.cold_decides + c.implied_decides;
         (total > 0).then(|| c.warm_decides as f64 / total as f64)
+    }
+
+    /// Merges per-backend snapshots into one tier-wide view — what the
+    /// router serves on its own `--stats-addr`.
+    ///
+    /// Counters and per-solver rows sum field by field, so every merged
+    /// counter equals the exact sum of the backends' counters. Scalar
+    /// gauges sum; `sessions_per_shard` concatenates per backend in
+    /// argument order (backend 0's shards first), as do the per-session
+    /// rows (re-sorted by name, ties in backend order). Per-op latency
+    /// merges through [`OpLatency::absorb`] — histogram buckets sum and
+    /// every percentile field is recomputed from the merged buckets.
+    #[must_use]
+    pub fn merged(parts: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut merged = StatsSnapshot::default();
+        for part in parts {
+            merged.counters.absorb(&part.counters);
+            merged.gauges.attached_clients += part.gauges.attached_clients;
+            merged.gauges.live_sessions += part.gauges.live_sessions;
+            merged
+                .gauges
+                .sessions_per_shard
+                .extend_from_slice(&part.gauges.sessions_per_shard);
+            merged.gauges.queue_depth += part.gauges.queue_depth;
+            merged.gauges.queue_capacity += part.gauges.queue_capacity;
+            merged.gauges.workers += part.gauges.workers;
+            for (op, latency) in &part.ops {
+                merged.ops.entry(op.clone()).or_default().absorb(latency);
+            }
+            for (solver, row) in &part.solvers {
+                merged
+                    .solvers
+                    .entry(solver.clone())
+                    .or_default()
+                    .absorb(row);
+            }
+            merged.sessions.extend(part.sessions.iter().cloned());
+        }
+        merged.sessions.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
     }
 }
 
@@ -206,6 +307,100 @@ mod tests {
         let json = serde_json::to_string(&snapshot).expect("snapshots serialize");
         let parsed: StatsSnapshot = serde_json::from_str(&json).expect("snapshots parse");
         assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn merged_sums_counters_exactly_and_concatenates_gauges() {
+        let mut a = StatsSnapshot::default();
+        a.counters.admits = 10;
+        a.counters.rejects = 2;
+        a.counters.deduped_ops = 1;
+        a.gauges.live_sessions = 3;
+        a.gauges.sessions_per_shard = vec![2, 1];
+        a.gauges.workers = 4;
+        a.sessions.push(SessionRow {
+            name: "zeta".into(),
+            jobs: 5,
+            version: 7,
+            attached: 1,
+        });
+        let mut b = StatsSnapshot::default();
+        b.counters.admits = 7;
+        b.counters.overloads = 4;
+        b.gauges.live_sessions = 1;
+        b.gauges.sessions_per_shard = vec![0, 1];
+        b.gauges.workers = 2;
+        b.sessions.push(SessionRow {
+            name: "alpha".into(),
+            jobs: 2,
+            version: 3,
+            attached: 0,
+        });
+        b.solvers.insert(
+            "OPDCA".into(),
+            SolverRow {
+                verdicts: 5,
+                accepted: 4,
+                ..SolverRow::default()
+            },
+        );
+
+        let merged = StatsSnapshot::merged(&[a.clone(), b.clone()]);
+        assert_eq!(merged.counters.admits, 17);
+        assert_eq!(merged.counters.rejects, 2);
+        assert_eq!(merged.counters.overloads, 4);
+        assert_eq!(merged.counters.deduped_ops, 1);
+        assert_eq!(merged.gauges.live_sessions, 4);
+        assert_eq!(merged.gauges.workers, 6);
+        assert_eq!(merged.gauges.sessions_per_shard, vec![2, 1, 0, 1]);
+        let names: Vec<&str> = merged.sessions.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(merged.solvers["OPDCA"].verdicts, 5);
+        // Merging one snapshot is the identity on its counters.
+        assert_eq!(StatsSnapshot::merged(&[a.clone()]).counters, a.counters);
+        assert_eq!(
+            StatsSnapshot::merged(&[]).counters,
+            StatsCounters::default()
+        );
+    }
+
+    #[test]
+    fn merged_op_latency_recomputes_percentiles_from_summed_buckets() {
+        let mut a = StatsSnapshot::default();
+        a.ops.insert(
+            "admit".into(),
+            OpLatency {
+                samples: 3,
+                p50_us: 10.0,
+                p99_us: 12.0,
+                histo_buckets: vec![0, 0, 0, 0, 3], // three samples in [8,16)
+                histo_p50_us: 15.0,
+                histo_p99_us: 15.0,
+            },
+        );
+        let mut b = StatsSnapshot::default();
+        b.ops.insert(
+            "admit".into(),
+            OpLatency {
+                samples: 1,
+                p50_us: 1500.0,
+                p99_us: 1500.0,
+                histo_buckets: vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1], // [1024,2048)
+                histo_p50_us: 2047.0,
+                histo_p99_us: 2047.0,
+            },
+        );
+        let merged = StatsSnapshot::merged(&[a, b]);
+        let admit = &merged.ops["admit"];
+        assert_eq!(admit.samples, 4);
+        assert_eq!(admit.histo_buckets.iter().sum::<u64>(), 4);
+        // p50 rank 2 of 4 → the [8,16) bucket; p99 rank 4 → [1024,2048).
+        assert_eq!(admit.histo_p50_us, 15.0);
+        assert_eq!(admit.histo_p99_us, 2047.0);
+        // The windowed ring fields carry the histogram estimates after a
+        // merge (rings are not mergeable across processes).
+        assert_eq!(admit.p50_us, 15.0);
+        assert_eq!(admit.p99_us, 2047.0);
     }
 
     #[test]
